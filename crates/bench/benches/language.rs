@@ -1,0 +1,90 @@
+//! Criterion benches for the ThingTalk language layer: parsing,
+//! typechecking, canonicalization, NN-syntax round-trip, and program
+//! execution on the simulated runtime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use thingpedia::{SimulatedDevices, Thingpedia};
+use thingtalk::canonical::canonicalized;
+use thingtalk::nn_syntax::{from_tokens, to_tokens, NnSyntaxOptions};
+use thingtalk::runtime::ExecutionEngine;
+use thingtalk::syntax::parse_program;
+use thingtalk::typecheck::typecheck;
+
+const PROGRAMS: &[&str] = &[
+    "now => @com.thecatapi.get() => @com.facebook.post_picture(picture_url = picture_url, caption = \"funny cat\")",
+    "monitor (@com.twitter.timeline() filter author == \"PLDI\") => @com.twitter.retweet(tweet_id = tweet_id)",
+    "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
+    "edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify",
+    "now => @com.nytimes.get_front_page() join @com.yandex.translate.translate() on (text = title) => notify",
+];
+
+fn bench_parsing(c: &mut Criterion) {
+    c.bench_function("parse_program", |b| {
+        b.iter(|| {
+            for source in PROGRAMS {
+                black_box(parse_program(black_box(source)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_typecheck(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let programs: Vec<_> = PROGRAMS.iter().map(|s| parse_program(s).unwrap()).collect();
+    c.bench_function("typecheck", |b| {
+        b.iter(|| {
+            for program in &programs {
+                black_box(typecheck(&library, black_box(program)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_canonicalize(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let programs: Vec<_> = PROGRAMS.iter().map(|s| parse_program(s).unwrap()).collect();
+    c.bench_function("canonicalize", |b| {
+        b.iter(|| {
+            for program in &programs {
+                black_box(canonicalized(&library, black_box(program)));
+            }
+        })
+    });
+}
+
+fn bench_nn_syntax_roundtrip(c: &mut Criterion) {
+    let programs: Vec<_> = PROGRAMS.iter().map(|s| parse_program(s).unwrap()).collect();
+    c.bench_function("nn_syntax_roundtrip", |b| {
+        b.iter(|| {
+            for program in &programs {
+                let tokens = to_tokens(black_box(program), NnSyntaxOptions::default());
+                black_box(from_tokens(&tokens).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_runtime_execution(c: &mut Criterion) {
+    let program = parse_program(
+        "now => @com.dropbox.list_folder() filter file_size > 100MB => notify",
+    )
+    .unwrap();
+    c.bench_function("runtime_execute_once", |b| {
+        b.iter(|| {
+            let mut engine = ExecutionEngine::new(SimulatedDevices::builtin(7));
+            black_box(engine.execute_once(black_box(&program)).unwrap());
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parsing,
+        bench_typecheck,
+        bench_canonicalize,
+        bench_nn_syntax_roundtrip,
+        bench_runtime_execution
+);
+criterion_main!(benches);

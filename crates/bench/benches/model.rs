@@ -1,0 +1,90 @@
+//! Criterion benches for the semantic parser: training throughput, greedy
+//! decoding latency, program-LM scoring, and the baseline matcher.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use genie::pipeline::{DataPipeline, NnOptions, PipelineConfig};
+use genie_templates::GeneratorConfig;
+use luinet::{BaselineParser, LuinetParser, ModelConfig, ParserExample, ProgramLm};
+use thingpedia::Thingpedia;
+
+fn training_data(library: &Thingpedia) -> Vec<ParserExample> {
+    let pipeline = DataPipeline::new(
+        library,
+        PipelineConfig {
+            synthesis: GeneratorConfig {
+                target_per_rule: 20,
+                max_depth: 5,
+                instantiations_per_template: 1,
+                seed: 5,
+                include_aggregation: false,
+                include_timers: true,
+            },
+            paraphrase_sample: 80,
+            ..PipelineConfig::default()
+        },
+    );
+    let data = pipeline.build();
+    pipeline.to_parser_examples(&data.combined(), NnOptions::default())
+}
+
+fn bench_training(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let examples = training_data(&library);
+    c.bench_function("parser_training_one_epoch", |b| {
+        b.iter(|| {
+            let mut parser = LuinetParser::new(ModelConfig {
+                epochs: 1,
+                ..ModelConfig::default()
+            });
+            parser.train(black_box(&examples));
+            black_box(parser.trained_examples())
+        })
+    });
+}
+
+fn bench_decoding(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let examples = training_data(&library);
+    let mut parser = LuinetParser::new(ModelConfig {
+        epochs: 2,
+        ..ModelConfig::default()
+    });
+    parser.train(&examples);
+    let sentences: Vec<Vec<String>> = examples.iter().take(50).map(|e| e.sentence.clone()).collect();
+    c.bench_function("parser_greedy_decode_50", |b| {
+        b.iter(|| black_box(parser.predict_batch(black_box(&sentences))))
+    });
+}
+
+fn bench_program_lm(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let examples = training_data(&library);
+    let mut lm = ProgramLm::new();
+    lm.train(examples.iter().map(|e| &e.program));
+    c.bench_function("program_lm_perplexity", |b| {
+        b.iter(|| {
+            for example in examples.iter().take(100) {
+                black_box(lm.perplexity(&example.program));
+            }
+        })
+    });
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let examples = training_data(&library);
+    let mut baseline = BaselineParser::new();
+    baseline.train(&examples);
+    let sentences: Vec<Vec<String>> = examples.iter().take(20).map(|e| e.sentence.clone()).collect();
+    c.bench_function("baseline_matching_20", |b| {
+        b.iter(|| black_box(baseline.predict_batch(black_box(&sentences))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training, bench_decoding, bench_program_lm, bench_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the NL-template synthesizer (§3.1): phrase
+//! instantiation and full sampled synthesis at two target sizes. The paper
+//! reports that full-scale synthesis (100,000 samples per rule, depth 5)
+//! takes ~25 minutes; these benches track the per-sample cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use genie_templates::{GeneratorConfig, SentenceGenerator};
+use thingpedia::Thingpedia;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    for target in [10usize, 40] {
+        group.bench_with_input(BenchmarkId::new("target_per_rule", target), &target, |b, &target| {
+            b.iter(|| {
+                let generator = SentenceGenerator::new(
+                    &library,
+                    GeneratorConfig {
+                        target_per_rule: target,
+                        max_depth: 5,
+                        instantiations_per_template: 1,
+                        seed: 1,
+                        include_aggregation: false,
+                        include_timers: true,
+                    },
+                );
+                black_box(generator.synthesize())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_synthesis(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    c.bench_function("synthesize_policies", |b| {
+        b.iter(|| {
+            let generator = SentenceGenerator::new(
+                &library,
+                GeneratorConfig {
+                    target_per_rule: 20,
+                    max_depth: 3,
+                    instantiations_per_template: 1,
+                    seed: 2,
+                    include_aggregation: false,
+                    include_timers: false,
+                },
+            );
+            black_box(generator.synthesize_policies())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synthesis, bench_policy_synthesis
+);
+criterion_main!(benches);

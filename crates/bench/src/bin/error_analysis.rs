@@ -1,0 +1,32 @@
+//! Reproduces the §5.5 error analysis: fine-grained accuracy of the Genie
+//! model on the validation set (syntactic correctness, type correctness,
+//! primitive-vs-compound identification, device accuracy, function accuracy,
+//! full program accuracy).
+
+use genie::experiments::error_analysis;
+use genie_bench::{pct, print_table, scale_from_args};
+use thingpedia::Thingpedia;
+
+fn main() {
+    let scale = scale_from_args();
+    let library = Thingpedia::builtin();
+    let result = error_analysis(&library, scale);
+    print_table(
+        "§5.5 — error analysis on the validation set",
+        &["metric", "measured", "paper"],
+        &[
+            vec!["sentences".into(), result.count.to_string(), "1480".into()],
+            vec!["syntactically correct".into(), pct(result.syntax_correct), "96%".into()],
+            vec!["type correct".into(), pct(result.type_correct), "96%".into()],
+            vec![
+                "primitive vs compound identified".into(),
+                pct(result.primitive_compound_accuracy),
+                "91%".into(),
+            ],
+            vec!["correct skills (devices)".into(), pct(result.device_accuracy), "87%".into()],
+            vec!["correct functions".into(), pct(result.function_accuracy), "82%".into()],
+            vec!["full program accuracy".into(), pct(result.program_accuracy), "68%".into()],
+        ],
+    );
+    println!("\nExpected shape: syntax >= type >= primitive/compound >= device >= function >= program accuracy.");
+}

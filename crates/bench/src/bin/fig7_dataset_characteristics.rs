@@ -1,0 +1,49 @@
+//! Reproduces Fig. 7: the characteristics of the ThingTalk training set
+//! (combining paraphrases and synthesized data), plus the headline counts of
+//! §5.2.
+
+use genie::experiments::{dataset_characteristics, ExperimentScale};
+use genie_bench::{pct, print_table, scale_from_args};
+use thingpedia::Thingpedia;
+
+fn main() {
+    let scale: ExperimentScale = scale_from_args();
+    let library = Thingpedia::builtin();
+    let stats = dataset_characteristics(&library, scale);
+
+    let shares = stats.composition.shares();
+    let paper = [0.48, 0.20, 0.15, 0.05, 0.13];
+    let rows: Vec<Vec<String>> = shares
+        .iter()
+        .zip(paper)
+        .map(|((name, share), paper_share)| {
+            vec![(*name).to_owned(), pct(*share), pct(paper_share)]
+        })
+        .collect();
+    print_table(
+        "Fig. 7 — training-set characteristics",
+        &["bucket", "measured", "paper"],
+        &rows,
+    );
+
+    print_table(
+        "Training-set counts (§5.2)",
+        &["statistic", "value"],
+        &[
+            vec!["synthesized sentences".into(), stats.synthesized_sentences.to_string()],
+            vec!["paraphrases".into(), stats.paraphrases.to_string()],
+            vec!["total training sentences".into(), stats.total_sentences.to_string()],
+            vec!["distinct programs".into(), stats.distinct_programs.to_string()],
+            vec![
+                "distinct function combinations".into(),
+                stats.distinct_function_combinations.to_string(),
+            ],
+            vec!["paraphrase fraction".into(), pct(stats.paraphrase_fraction)],
+            vec!["primitive templates".into(), stats.primitive_templates.to_string()],
+            vec![
+                "templates per function".into(),
+                format!("{:.1}", stats.templates_per_function),
+            ],
+        ],
+    );
+}

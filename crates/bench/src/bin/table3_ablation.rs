@@ -1,0 +1,34 @@
+//! Reproduces Table 3: the ablation study of VAPL and model features
+//! (canonicalization, keyword parameters, type annotations, parameter
+//! expansion, pretrained decoder LM).
+
+use genie::experiments::ablation;
+use genie_bench::{pct_range, print_table, scale_from_args};
+use thingpedia::Thingpedia;
+
+fn main() {
+    let scale = scale_from_args();
+    let library = Thingpedia::builtin();
+    let rows = ablation(&library, scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.name.clone(),
+                pct_range(&row.paraphrase),
+                pct_range(&row.validation),
+                pct_range(&row.new_program),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3 — ablation study (program accuracy %, mean ± half-range)",
+        &["model", "paraphrase", "validation", "new program"],
+        &table,
+    );
+    println!(
+        "\nPaper reference: Genie 87.1/67.9/29.9; - canonicalization 80.0/63.2/21.9; - keyword param. 84.0/66.6/25.0;"
+    );
+    println!("- type annotations 86.9/67.5/31.0; - param. expansion 78.3/66.3/30.5; - decoder LM 88.7/66.8/27.3.");
+    println!("Expected shape: removing canonicalization hurts the most; type annotations are within noise.");
+}

@@ -1,0 +1,98 @@
+//! Support library for the experiment binaries and Criterion benches:
+//! command-line scale parsing and fixed-width table printing, so every
+//! binary prints its figure/table in a consistent format recorded in
+//! EXPERIMENTS.md.
+
+use genie::experiments::ExperimentScale;
+
+/// Parse the experiment scale from the command line.
+///
+/// Supported flags: `--tiny` (CI-sized), `--scale N` (multiply the standard
+/// data sizes by `N`), `--seeds N` (number of training runs per
+/// configuration).
+pub fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = ExperimentScale::standard();
+    if args.iter().any(|a| a == "--tiny") {
+        scale = ExperimentScale::tiny();
+    }
+    if let Some(factor) = flag_value(&args, "--scale") {
+        scale = scale.scaled_by(factor);
+    }
+    if let Some(seeds) = flag_value(&args, "--seeds") {
+        scale.seeds = seeds.max(1);
+    }
+    scale
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    let position = args.iter().position(|a| a == flag)?;
+    args.get(position + 1)?.parse().ok()
+}
+
+/// Render a percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{:5.1}%", value * 100.0)
+}
+
+/// Render an accuracy summary as `mean ± half-range` percentages.
+pub fn pct_range(summary: &genie::eval::AccuracySummary) -> String {
+    format!(
+        "{:5.1} ± {:4.1}",
+        summary.mean * 100.0,
+        summary.half_range() * 100.0
+    )
+}
+
+/// Print a fixed-width table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", render(header.iter().map(|s| s.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", render(row.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genie::eval::AccuracySummary;
+
+    #[test]
+    fn percentage_formatting() {
+        assert_eq!(pct(0.625), " 62.5%");
+        let summary = AccuracySummary::of(&[0.6, 0.64]);
+        assert!(pct_range(&summary).contains("62.0"));
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = vec![
+            "bin".to_owned(),
+            "--scale".to_owned(),
+            "3".to_owned(),
+            "--seeds".to_owned(),
+            "2".to_owned(),
+        ];
+        assert_eq!(flag_value(&args, "--scale"), Some(3));
+        assert_eq!(flag_value(&args, "--seeds"), Some(2));
+        assert_eq!(flag_value(&args, "--missing"), None);
+    }
+}

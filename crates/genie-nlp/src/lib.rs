@@ -1,0 +1,25 @@
+//! # genie-nlp — the NLP substrate for Genie
+//!
+//! The Genie pipeline needs a handful of natural-language utilities that the
+//! paper obtains from external tools:
+//!
+//! * tokenization and argument identification (the paper uses the CoreNLP
+//!   tokenizer and a rule-based recognizer to replace numbers, dates, times
+//!   and quoted strings with named constants such as `NUMBER_0`, `DATE_1`) —
+//!   implemented in [`tokenize`] and [`argident`];
+//! * a paraphrase database (the paper uses PPDB) for data augmentation —
+//!   implemented in [`ppdb`];
+//! * string metrics used by the paraphrase-validation heuristics — in
+//!   [`metrics`].
+//!
+//! Everything is implemented from scratch; see DESIGN.md for the
+//! substitution rationale.
+
+pub mod argident;
+pub mod metrics;
+pub mod ppdb;
+pub mod tokenize;
+
+pub use argident::{identify_arguments, ArgumentSpan, ArgumentValue, Preprocessed};
+pub use ppdb::Ppdb;
+pub use tokenize::tokenize;

@@ -1,0 +1,127 @@
+//! String and token-sequence metrics used by the paraphrase validation
+//! heuristics (§3.2) and the dataset statistics (§5.2).
+
+use std::collections::BTreeSet;
+
+/// Word-level Levenshtein edit distance between two token sequences.
+pub fn edit_distance(a: &[String], b: &[String]) -> usize {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut current = vec![0usize; m + 1];
+    for i in 1..=n {
+        current[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            current[j] = (prev[j] + 1)
+                .min(current[j - 1] + 1)
+                .min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[m]
+}
+
+/// Jaccard similarity between the token sets of two sentences, in `[0, 1]`.
+pub fn jaccard_similarity(a: &[String], b: &[String]) -> f64 {
+    let set_a: BTreeSet<&String> = a.iter().collect();
+    let set_b: BTreeSet<&String> = b.iter().collect();
+    if set_a.is_empty() && set_b.is_empty() {
+        return 1.0;
+    }
+    let intersection = set_a.intersection(&set_b).count() as f64;
+    let union = set_a.union(&set_b).count() as f64;
+    intersection / union
+}
+
+/// The bigrams of a token sequence.
+pub fn bigrams(tokens: &[String]) -> Vec<(String, String)> {
+    tokens
+        .windows(2)
+        .map(|w| (w[0].clone(), w[1].clone()))
+        .collect()
+}
+
+/// Fraction of words in `candidate` that do not appear in `reference`
+/// (the "new word" rate of §5.2: paraphrases introduce 38% new words on
+/// average).
+pub fn new_word_rate(reference: &[String], candidate: &[String]) -> f64 {
+    if candidate.is_empty() {
+        return 0.0;
+    }
+    let reference_set: BTreeSet<&String> = reference.iter().collect();
+    let new = candidate
+        .iter()
+        .filter(|w| !reference_set.contains(w))
+        .count();
+    new as f64 / candidate.len() as f64
+}
+
+/// Fraction of bigrams in `candidate` that do not appear in `reference`
+/// (65% for paraphrases in §5.2).
+pub fn new_bigram_rate(reference: &[String], candidate: &[String]) -> f64 {
+    let candidate_bigrams = bigrams(candidate);
+    if candidate_bigrams.is_empty() {
+        return 0.0;
+    }
+    let reference_bigrams: BTreeSet<(String, String)> = bigrams(reference).into_iter().collect();
+    let new = candidate_bigrams
+        .iter()
+        .filter(|b| !reference_bigrams.contains(b))
+        .count();
+    new as f64 / candidate_bigrams.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    #[test]
+    fn edit_distance_basics() {
+        let a = tokenize("post hello on twitter");
+        let b = tokenize("post hello on facebook");
+        assert_eq!(edit_distance(&a, &b), 1);
+        assert_eq!(edit_distance(&a, &a), 0);
+        assert_eq!(edit_distance(&a, &[]), a.len());
+        assert_eq!(edit_distance(&[], &b), b.len());
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        let a = tokenize("play a song");
+        let b = tokenize("play a song");
+        let c = tokenize("lock the door");
+        assert!((jaccard_similarity(&a, &b) - 1.0).abs() < 1e-9);
+        assert_eq!(jaccard_similarity(&a, &c), 0.0);
+        assert!((jaccard_similarity(&[], &[]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn new_word_and_bigram_rates() {
+        let synthesized = tokenize("get my dropbox files and notify me");
+        let paraphrase = tokenize("show me what is in my dropbox");
+        let word_rate = new_word_rate(&synthesized, &paraphrase);
+        let bigram_rate = new_bigram_rate(&synthesized, &paraphrase);
+        assert!(word_rate > 0.3, "word rate {word_rate}");
+        assert!(bigram_rate > word_rate, "bigram novelty should exceed word novelty");
+        assert_eq!(new_word_rate(&synthesized, &synthesized), 0.0);
+        assert_eq!(new_bigram_rate(&synthesized, &synthesized), 0.0);
+    }
+
+    #[test]
+    fn bigram_extraction() {
+        let tokens = tokenize("a b c");
+        assert_eq!(
+            bigrams(&tokens),
+            vec![("a".to_owned(), "b".to_owned()), ("b".to_owned(), "c".to_owned())]
+        );
+        assert!(bigrams(&tokenize("single")).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! A built-in paraphrase lexicon, substituting for PPDB (§3.3).
+//!
+//! The paper applies "standard data augmentation techniques based on PPDB"
+//! to the crowdsourced paraphrases: meaning-preserving one-word (or
+//! one-phrase) substitutions that increase lexical variety. This module
+//! ships an embedded English paraphrase lexicon focused on the command
+//! vocabulary of virtual assistants (verbs of communication, retrieval,
+//! notification; temporal connectives; politeness markers) and implements
+//! the substitution-based augmentation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Paraphrase pairs: each group is a set of interchangeable phrases. A
+/// sentence containing one member can be rewritten with another member.
+const GROUPS: &[&[&str]] = &[
+    // retrieval verbs
+    &["get", "fetch", "retrieve", "show me", "give me", "find"],
+    &["show", "display", "list"],
+    &["search for", "look for", "look up", "find"],
+    &["tell me", "let me know", "inform me"],
+    &["notify me", "alert me", "send me a notification", "ping me"],
+    &["check", "look at"],
+    // communication verbs
+    &["send", "dispatch", "shoot"],
+    &["post", "publish", "share"],
+    &["tweet", "post on twitter"],
+    &["email", "send an email to", "mail"],
+    &["text", "send a text to", "sms"],
+    &["message", "send a message to"],
+    &["call", "phone", "ring"],
+    &["reply", "respond", "answer"],
+    // creation / modification
+    &["create", "make", "add", "set up"],
+    &["remove", "delete", "get rid of"],
+    &["update", "change", "modify"],
+    &["save", "store", "keep"],
+    &["upload", "put"],
+    &["download", "grab"],
+    &["turn on", "switch on", "power on"],
+    &["turn off", "switch off", "power off", "shut off"],
+    &["start", "begin", "kick off"],
+    &["stop", "halt", "end"],
+    &["open", "launch"],
+    &["play", "put on", "start playing"],
+    &["pause", "hold"],
+    &["set", "adjust", "change"],
+    &["lock", "secure"],
+    &["unlock", "open up"],
+    &["schedule", "plan", "book"],
+    &["remind me to", "remember to", "do not let me forget to"],
+    &["translate", "convert"],
+    &["monitor", "watch", "keep an eye on", "track"],
+    // temporal / conditional connectives
+    &["when", "whenever", "every time", "as soon as", "once"],
+    &["if", "in case"],
+    &["every day", "daily", "each day"],
+    &["every week", "weekly", "each week"],
+    &["every hour", "hourly", "each hour"],
+    &["right now", "immediately", "now"],
+    &["in the morning", "each morning", "every morning"],
+    &["at night", "in the evening", "every evening"],
+    &["today", "this day"],
+    &["later", "afterwards", "after that"],
+    // nouns
+    &["picture", "photo", "image", "pic"],
+    &["message", "note"],
+    &["email", "mail", "e mail"],
+    &["file", "document"],
+    &["folder", "directory"],
+    &["song", "track", "tune"],
+    &["playlist", "mix"],
+    &["article", "story", "piece"],
+    &["post", "update"],
+    &["video", "clip"],
+    &["weather", "forecast"],
+    &["temperature", "temp"],
+    &["home", "my house", "my place"],
+    &["work", "the office", "my office"],
+    &["car", "vehicle"],
+    &["phone", "mobile", "cell phone"],
+    &["computer", "laptop"],
+    &["light", "lamp", "light bulb"],
+    &["front door", "door"],
+    &["calendar", "schedule", "agenda"],
+    &["task", "todo", "to do item"],
+    &["meeting", "appointment"],
+    &["friends", "buddies", "pals"],
+    &["people", "folks"],
+    &["news", "headlines", "the latest news"],
+    &["price", "cost", "value"],
+    &["stock", "share"],
+    &["restaurant", "place to eat", "eatery"],
+    &["picture of a cat", "cat picture", "cat photo"],
+    // adjectives / adverbs
+    &["new", "fresh", "recent", "latest"],
+    &["popular", "trending", "hot"],
+    &["important", "urgent", "critical"],
+    &["funny", "hilarious", "amusing"],
+    &["big", "large", "huge"],
+    &["small", "tiny", "little"],
+    &["cheap", "inexpensive", "affordable"],
+    &["expensive", "pricey", "costly"],
+    &["quickly", "fast", "right away"],
+    &["more than", "greater than", "over", "above"],
+    &["less than", "smaller than", "under", "below"],
+    &["at least", "no less than"],
+    &["at most", "no more than"],
+    // politeness / fillers
+    &["please", "kindly", "could you please"],
+    &["i want to", "i would like to", "i need to", "i wish to"],
+    &["can you", "could you", "would you", "will you"],
+    &["my", "all my", "all of my"],
+    &["me", "for me"],
+    &["and then", "then", "and after that", "after that"],
+    &["as well", "too", "also"],
+];
+
+/// The embedded paraphrase lexicon and its substitution-based augmentation.
+#[derive(Debug, Clone)]
+pub struct Ppdb {
+    groups: Vec<Vec<String>>,
+}
+
+impl Default for Ppdb {
+    fn default() -> Self {
+        Ppdb::builtin()
+    }
+}
+
+impl Ppdb {
+    /// The builtin lexicon.
+    pub fn builtin() -> Self {
+        Ppdb {
+            groups: GROUPS
+                .iter()
+                .map(|g| g.iter().map(|s| s.to_string()).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of paraphrase groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of paraphrase pairs (ordered) in the lexicon.
+    pub fn pair_count(&self) -> usize {
+        self.groups.iter().map(|g| g.len() * (g.len() - 1)).sum()
+    }
+
+    /// Alternative phrases for a phrase, excluding itself.
+    pub fn alternatives(&self, phrase: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        for group in &self.groups {
+            if group.iter().any(|p| p == phrase) {
+                out.extend(group.iter().filter(|p| *p != phrase).map(String::as_str));
+            }
+        }
+        out
+    }
+
+    /// All (phrase, position) matches of lexicon phrases inside a sentence
+    /// (given as lowercase text). Longer phrases are preferred at the same
+    /// position.
+    fn matches<'a>(&'a self, sentence: &str) -> Vec<(usize, &'a str)> {
+        let padded = format!(" {sentence} ");
+        let mut out: Vec<(usize, &str)> = Vec::new();
+        for group in &self.groups {
+            for phrase in group {
+                let needle = format!(" {phrase} ");
+                let mut start = 0;
+                while let Some(pos) = padded[start..].find(&needle) {
+                    out.push((start + pos, phrase.as_str()));
+                    start += pos + 1;
+                }
+            }
+        }
+        // Prefer longer phrases at the same start offset.
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.len().cmp(&a.1.len())));
+        out.dedup_by_key(|(pos, _)| *pos);
+        out
+    }
+
+    /// Apply one random meaning-preserving substitution to the sentence, if
+    /// any lexicon phrase matches. Returns `None` when nothing matches.
+    pub fn augment_once<R: Rng + ?Sized>(&self, sentence: &str, rng: &mut R) -> Option<String> {
+        let matches = self.matches(sentence);
+        if matches.is_empty() {
+            return None;
+        }
+        let (_, phrase) = matches.choose(rng)?;
+        let alternatives = self.alternatives(phrase);
+        let replacement = alternatives.choose(rng)?;
+        let padded = format!(" {sentence} ");
+        let replaced = padded.replacen(&format!(" {phrase} "), &format!(" {replacement} "), 1);
+        Some(replaced.trim().to_owned())
+    }
+
+    /// Generate up to `count` distinct augmented variants of a sentence.
+    pub fn augment<R: Rng + ?Sized>(&self, sentence: &str, count: usize, rng: &mut R) -> Vec<String> {
+        let mut out = Vec::new();
+        for _ in 0..count * 3 {
+            if out.len() >= count {
+                break;
+            }
+            if let Some(variant) = self.augment_once(sentence, rng) {
+                if variant != sentence && !out.contains(&variant) {
+                    out.push(variant);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lexicon_is_nontrivial() {
+        let ppdb = Ppdb::builtin();
+        assert!(ppdb.group_count() > 80);
+        assert!(ppdb.pair_count() > 300);
+    }
+
+    #[test]
+    fn alternatives_exclude_the_phrase_itself() {
+        let ppdb = Ppdb::builtin();
+        let alts = ppdb.alternatives("notify me");
+        assert!(alts.contains(&"alert me"));
+        assert!(!alts.contains(&"notify me"));
+        assert!(ppdb.alternatives("xyzzy").is_empty());
+    }
+
+    #[test]
+    fn augmentation_preserves_the_rest_of_the_sentence() {
+        let ppdb = Ppdb::builtin();
+        let mut rng = StdRng::seed_from_u64(11);
+        let variants = ppdb.augment("notify me when it starts raining", 5, &mut rng);
+        assert!(!variants.is_empty());
+        for v in &variants {
+            assert!(v.contains("raining"), "variant lost content: {v}");
+            assert_ne!(v, "notify me when it starts raining");
+        }
+    }
+
+    #[test]
+    fn augmentation_returns_none_without_matches() {
+        let ppdb = Ppdb::builtin();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(ppdb.augment_once("qwerty asdf zxcv", &mut rng).is_none());
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_per_seed() {
+        let ppdb = Ppdb::builtin();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(
+            ppdb.augment("please post a picture on facebook", 3, &mut a),
+            ppdb.augment("please post a picture on facebook", 3, &mut b)
+        );
+    }
+
+    #[test]
+    fn multi_word_phrases_match() {
+        let ppdb = Ppdb::builtin();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut found_multiword = false;
+        for _ in 0..50 {
+            if let Some(v) = ppdb.augment_once("remind me to buy milk when i get home", &mut rng) {
+                if v != "remind me to buy milk when i get home" {
+                    found_multiword = true;
+                    break;
+                }
+            }
+        }
+        assert!(found_multiword);
+    }
+}

@@ -1,0 +1,164 @@
+//! Sentence tokenization.
+//!
+//! A small, deterministic English tokenizer: lowercases, splits on
+//! whitespace, separates trailing punctuation, keeps contractions,
+//! `@mentions`, `#hashtags`, URLs, email addresses, decimal numbers and
+//! times intact, and preserves quoted spans as-is (quotes become their own
+//! tokens so downstream argument identification can find them).
+
+/// Tokenize a sentence into lowercase tokens.
+///
+/// # Examples
+///
+/// ```
+/// let tokens = genie_nlp::tokenize("Post \"Hello, World!\" on Twitter at 8:30am");
+/// assert_eq!(
+///     tokens,
+///     vec!["post", "\"", "hello", ",", "world", "!", "\"", "on", "twitter", "at", "8:30am"]
+/// );
+/// ```
+pub fn tokenize(sentence: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for raw in sentence.split_whitespace() {
+        split_token(raw, &mut tokens);
+    }
+    tokens
+}
+
+fn split_token(raw: &str, out: &mut Vec<String>) {
+    let mut word = raw.to_lowercase();
+    // Leading quotes/punctuation.
+    loop {
+        let Some(first) = word.chars().next() else {
+            return;
+        };
+        if matches!(first, '"' | '(' | '[' | '\'' | '“' | '”') {
+            out.push(normalize_quote(first));
+            word.remove(0);
+        } else {
+            break;
+        }
+    }
+    // Protect tokens that keep internal punctuation.
+    if is_protected(&word) {
+        out.push(word);
+        return;
+    }
+    // Trailing punctuation (possibly several, e.g. `world!"`).
+    let mut trailing: Vec<String> = Vec::new();
+    while let Some(last) = word.chars().last() {
+        if matches!(last, '.' | ',' | '!' | '?' | ';' | ':' | ')' | ']' | '"' | '\'' | '“' | '”')
+            && !is_protected(&word)
+        {
+            word.pop();
+            trailing.push(normalize_quote(last));
+        } else {
+            break;
+        }
+    }
+    // Internal commas in plain words ("hello,world") are rare; split on
+    // remaining internal quotes only.
+    if !word.is_empty() {
+        out.push(word);
+    }
+    out.extend(trailing.into_iter().rev());
+}
+
+fn normalize_quote(c: char) -> String {
+    match c {
+        '“' | '”' => "\"".to_owned(),
+        other => other.to_string(),
+    }
+}
+
+/// Tokens whose internal punctuation is meaningful and must not be split:
+/// numbers, decimals, times, URLs, emails, handles, hashtags, file names.
+fn is_protected(word: &str) -> bool {
+    if word.is_empty() {
+        return false;
+    }
+    if word.starts_with('@') || word.starts_with('#') {
+        return true;
+    }
+    if word.contains("://") || word.starts_with("www.") {
+        return true;
+    }
+    if word.contains('@') && word.contains('.') {
+        return true;
+    }
+    let has_digit = word.chars().any(|c| c.is_ascii_digit());
+    if has_digit {
+        // 8:30am, 1.5, 3,000, 25c, $10, 60f
+        let ok = word
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, ':' | '.' | ',' | '$' | '%' | '-' | '+'));
+        if ok {
+            return true;
+        }
+    }
+    // File names like report.pdf
+    if let Some((stem, ext)) = word.rsplit_once('.') {
+        if !stem.is_empty() && ext.len() <= 4 && ext.chars().all(|c| c.is_ascii_alphanumeric()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Join tokens back into a sentence (inverse of [`tokenize`] up to spacing).
+pub fn detokenize(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits_punctuation() {
+        assert_eq!(
+            tokenize("Remind me, please!"),
+            vec!["remind", "me", ",", "please", "!"]
+        );
+    }
+
+    #[test]
+    fn preserves_times_numbers_and_handles() {
+        assert_eq!(
+            tokenize("wake me at 8:30am with 2.5 songs by @taylorswift #nowplaying"),
+            vec!["wake", "me", "at", "8:30am", "with", "2.5", "songs", "by", "@taylorswift", "#nowplaying"]
+        );
+    }
+
+    #[test]
+    fn preserves_urls_emails_and_files() {
+        let tokens = tokenize("email bob@example.com the file report.pdf from https://example.com/x");
+        assert!(tokens.contains(&"bob@example.com".to_owned()));
+        assert!(tokens.contains(&"report.pdf".to_owned()));
+        assert!(tokens.contains(&"https://example.com/x".to_owned()));
+    }
+
+    #[test]
+    fn quotes_become_tokens() {
+        let tokens = tokenize("post \"funny cat\" on facebook");
+        assert_eq!(tokens, vec!["post", "\"", "funny", "cat", "\"", "on", "facebook"]);
+    }
+
+    #[test]
+    fn curly_quotes_are_normalized() {
+        let tokens = tokenize("post “funny cat” now");
+        assert_eq!(tokens, vec!["post", "\"", "funny", "cat", "\"", "now"]);
+    }
+
+    #[test]
+    fn detokenize_roundtrip_is_space_joined() {
+        let tokens = tokenize("tweet hello world");
+        assert_eq!(detokenize(&tokens), "tweet hello world");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+}

@@ -1,0 +1,673 @@
+//! Synthesis by sampling (§3.1).
+//!
+//! The generator instantiates primitive templates into phrase derivations,
+//! optionally adds filters, and then samples combinations for each construct
+//! template instead of enumerating all derivations: "the number of
+//! derivations grows exponentially with increasing depth and library size
+//! [...] Genie uses a randomized synthesis algorithm, which considers only a
+//! subset of derivations produced by each construct template."
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use thingpedia::{ParamDatasets, Thingpedia};
+use thingtalk::ast::{Action, CompareOp, Predicate, Program, Query, Stream};
+use thingtalk::class::ParamDef;
+use thingtalk::policy::{Policy, PolicyBody};
+use thingtalk::typecheck::SchemaRegistry;
+use thingtalk::types::Type;
+use thingtalk::units::Unit;
+use thingtalk::value::Value;
+
+use crate::constructs::ConstructKind;
+use crate::example::SynthesizedExample;
+use crate::phrases::{add_filter, instantiate, render_value, sample_value, PhraseDerivation, PhraseKind};
+
+/// Configuration of the sampled synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// How many examples to sample per construct kind (the paper uses a
+    /// target size of 100,000 per grammar rule at full scale).
+    pub target_per_rule: usize,
+    /// Maximum derivation depth (the paper uses 5).
+    pub max_depth: usize,
+    /// How many times each primitive template is instantiated with different
+    /// parameter values.
+    pub instantiations_per_template: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Include TT+A aggregation constructs (§6.3).
+    pub include_aggregation: bool,
+    /// Include timer constructs.
+    pub include_timers: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            target_per_rule: 200,
+            max_depth: 5,
+            instantiations_per_template: 2,
+            seed: 0,
+            include_aggregation: false,
+            include_timers: true,
+        }
+    }
+}
+
+/// The sampled sentence generator.
+pub struct SentenceGenerator<'a> {
+    library: &'a Thingpedia,
+    datasets: ParamDatasets,
+    config: GeneratorConfig,
+}
+
+struct PhrasePools {
+    nouns: Vec<PhraseDerivation>,
+    query_verbs: Vec<PhraseDerivation>,
+    action_verbs: Vec<PhraseDerivation>,
+    whens: Vec<PhraseDerivation>,
+    filtered_nouns: Vec<PhraseDerivation>,
+    filtered_whens: Vec<PhraseDerivation>,
+}
+
+impl<'a> SentenceGenerator<'a> {
+    /// Create a generator over a library.
+    pub fn new(library: &'a Thingpedia, config: GeneratorConfig) -> Self {
+        SentenceGenerator {
+            library,
+            datasets: ParamDatasets::builtin(),
+            config,
+        }
+    }
+
+    fn build_pools(&self, rng: &mut StdRng) -> PhrasePools {
+        let mut pools = PhrasePools {
+            nouns: Vec::new(),
+            query_verbs: Vec::new(),
+            action_verbs: Vec::new(),
+            whens: Vec::new(),
+            filtered_nouns: Vec::new(),
+            filtered_whens: Vec::new(),
+        };
+        for template in self.library.templates() {
+            for _ in 0..self.config.instantiations_per_template.max(1) {
+                let Some(derivation) = instantiate(self.library, &self.datasets, template, rng)
+                else {
+                    continue;
+                };
+                match derivation.kind {
+                    PhraseKind::QueryNoun => pools.nouns.push(derivation),
+                    PhraseKind::QueryVerb => pools.query_verbs.push(derivation),
+                    PhraseKind::ActionVerb => pools.action_verbs.push(derivation),
+                    PhraseKind::WhenPhrase => pools.whens.push(derivation),
+                }
+            }
+        }
+        if self.config.max_depth >= 2 {
+            let filter_target = self.config.target_per_rule.max(10);
+            for _ in 0..filter_target {
+                if let Some(base) = pools.nouns.choose(rng) {
+                    if let Some(filtered) = add_filter(self.library, &self.datasets, base, rng) {
+                        pools.filtered_nouns.push(filtered);
+                    }
+                }
+                if let Some(base) = pools.whens.choose(rng) {
+                    if let Some(filtered) = add_filter(self.library, &self.datasets, base, rng) {
+                        pools.filtered_whens.push(filtered);
+                    }
+                }
+            }
+        }
+        pools
+    }
+
+    /// Run the sampled synthesis and return the deduplicated examples.
+    pub fn synthesize(&self) -> Vec<SynthesizedExample> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let pools = self.build_pools(&mut rng);
+        let mut out: Vec<SynthesizedExample> = Vec::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+
+        let push = |example: SynthesizedExample, seen: &mut BTreeSet<String>, out: &mut Vec<SynthesizedExample>| {
+            let key = format!("{}\t{}", example.utterance, example.program);
+            if seen.insert(key) {
+                out.push(example);
+            }
+        };
+
+        let target = self.config.target_per_rule;
+        for kind in ConstructKind::MAIN {
+            if matches!(kind, ConstructKind::AtTimerDo | ConstructKind::TimerDo)
+                && !self.config.include_timers
+            {
+                continue;
+            }
+            if matches!(
+                kind,
+                ConstructKind::WhenDo
+                    | ConstructKind::DoWhen
+                    | ConstructKind::GetDo
+                    | ConstructKind::WhenGetNotify
+                    | ConstructKind::EdgeCommand
+            ) && self.config.max_depth < 3
+            {
+                continue;
+            }
+            for _ in 0..target {
+                if let Some(example) = self.sample_construct(*kind, &pools, &mut rng) {
+                    push(example, &mut seen, &mut out);
+                }
+            }
+        }
+        if self.config.include_aggregation {
+            for kind in [ConstructKind::Aggregation, ConstructKind::CountAggregation] {
+                for _ in 0..target {
+                    if let Some(example) = self.sample_construct(kind, &pools, &mut rng) {
+                        push(example, &mut seen, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Synthesize TACL policies (§6.2) with their utterances.
+    pub fn synthesize_policies(&self) -> Vec<(String, Policy)> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(777));
+        let pools = self.build_pools(&mut rng);
+        let people = self.datasets.get("tt:person_first_name").expect("dataset exists");
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for _ in 0..self.config.target_per_rule {
+            // Query policies.
+            if let Some(np) = choose_query_phrase(&pools, &mut rng) {
+                let person = people.sample(&mut rng).to_owned();
+                let variant = ConstructKind::PolicyQuery
+                    .variants()
+                    .choose(&mut rng)
+                    .expect("variants nonempty");
+                let utterance = variant
+                    .replace("$person", &person)
+                    .replace("$np", &np.utterance);
+                let predicate = np
+                    .query
+                    .as_ref()
+                    .map(|q| merge_predicates(q))
+                    .unwrap_or(Predicate::True);
+                let policy = Policy {
+                    source: Predicate::atom("source", CompareOp::Eq, Value::string(person)),
+                    body: PolicyBody::Query {
+                        function: np.function.clone(),
+                        predicate,
+                    },
+                };
+                let key = format!("{utterance}\t{policy}");
+                if seen.insert(key) {
+                    out.push((utterance, policy));
+                }
+            }
+            // Action policies.
+            if let Some(vp) = pools.action_verbs.choose(&mut rng) {
+                let person = people.sample(&mut rng).to_owned();
+                let variant = ConstructKind::PolicyAction
+                    .variants()
+                    .choose(&mut rng)
+                    .expect("variants nonempty");
+                let utterance = variant
+                    .replace("$person", &person)
+                    .replace("$vp", &vp.utterance);
+                let action = vp.action.as_ref().expect("action phrase");
+                let mut predicate = Predicate::True;
+                for param in &action.in_params {
+                    if param.value.is_constant() {
+                        let atom =
+                            Predicate::atom(param.name.clone(), CompareOp::Eq, param.value.clone());
+                        predicate = if predicate.is_true() { atom } else { predicate.and(atom) };
+                    }
+                }
+                let policy = Policy {
+                    source: Predicate::atom("source", CompareOp::Eq, Value::string(person)),
+                    body: PolicyBody::Action {
+                        function: vp.function.clone(),
+                        predicate,
+                    },
+                };
+                let key = format!("{utterance}\t{policy}");
+                if seen.insert(key) {
+                    out.push((utterance, policy));
+                }
+            }
+        }
+        out
+    }
+
+    fn sample_construct(
+        &self,
+        kind: ConstructKind,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = kind.variants().choose(rng)?.to_string();
+        match kind {
+            ConstructKind::GetNotify => {
+                let np = choose_query_phrase(pools, rng)?;
+                let utterance = variant.replace("$np", &np.utterance);
+                let program = Program::get_query(np.query.clone()?);
+                Some(SynthesizedExample::new(utterance, program, np.depth + 1, kind.label()))
+            }
+            ConstructKind::DoCommand => {
+                // Half of the time, a query verb phrase ("translate hello to
+                // french") becomes a `now => query => notify` command.
+                if rng.gen_bool(0.4) && !pools.query_verbs.is_empty() {
+                    let qvp = pools.query_verbs.choose(rng)?;
+                    let utterance = variant.replace("$vp", &qvp.utterance);
+                    let program = Program::get_query(qvp.query.clone()?);
+                    return Some(SynthesizedExample::new(utterance, program, qvp.depth + 1, kind.label()));
+                }
+                let vp = pools.action_verbs.choose(rng)?;
+                let utterance = variant.replace("$vp", &vp.utterance);
+                let program = Program::do_action(vp.action.clone()?);
+                Some(SynthesizedExample::new(utterance, program, vp.depth + 1, kind.label()))
+            }
+            ConstructKind::WhenNotify => {
+                let wp = choose_when_phrase(pools, rng)?;
+                let utterance = variant.replace("$wp", &wp.utterance);
+                let program = Program::when_notify(wp.query.clone()?);
+                Some(SynthesizedExample::new(utterance, program, wp.depth + 1, kind.label()))
+            }
+            ConstructKind::WhenDo | ConstructKind::DoWhen => {
+                let wp = choose_when_phrase(pools, rng)?;
+                let vp = pools.action_verbs.choose(rng)?;
+                let (mut action, mut vp_utterance) = (vp.action.clone()?, vp.utterance.clone());
+                self.maybe_pass_parameters(wp, &mut action, &mut vp_utterance, rng);
+                let wp_bare = wp
+                    .utterance
+                    .strip_prefix("when ")
+                    .unwrap_or(&wp.utterance)
+                    .to_owned();
+                let utterance = variant
+                    .replace("$wp_bare", &wp_bare)
+                    .replace("$wp", &wp.utterance)
+                    .replace("$vp", &vp_utterance);
+                let program = Program {
+                    stream: Stream::Monitor {
+                        query: Box::new(wp.query.clone()?),
+                        on: Vec::new(),
+                    },
+                    query: None,
+                    action: Action::Invocation(action),
+                };
+                Some(SynthesizedExample::new(
+                    utterance,
+                    program,
+                    wp.depth + vp.depth + 1,
+                    kind.label(),
+                ))
+            }
+            ConstructKind::GetDo => {
+                let np = choose_query_phrase(pools, rng)?;
+                let vp = pools.action_verbs.choose(rng)?;
+                let (mut action, mut vp_utterance) = (vp.action.clone()?, vp.utterance.clone());
+                self.maybe_pass_parameters(np, &mut action, &mut vp_utterance, rng);
+                let utterance = variant
+                    .replace("$np", &np.utterance)
+                    .replace("$vp", &vp_utterance);
+                let program = Program {
+                    stream: Stream::Now,
+                    query: Some(np.query.clone()?),
+                    action: Action::Invocation(action),
+                };
+                Some(SynthesizedExample::new(
+                    utterance,
+                    program,
+                    np.depth + vp.depth + 1,
+                    kind.label(),
+                ))
+            }
+            ConstructKind::WhenGetNotify => {
+                let wp = choose_when_phrase(pools, rng)?;
+                let np = choose_query_phrase(pools, rng)?;
+                if wp.function == np.function {
+                    return None;
+                }
+                let utterance = variant
+                    .replace("$wp", &wp.utterance)
+                    .replace("$np", &np.utterance);
+                let program = Program {
+                    stream: Stream::Monitor {
+                        query: Box::new(wp.query.clone()?),
+                        on: Vec::new(),
+                    },
+                    query: Some(np.query.clone()?),
+                    action: Action::Notify,
+                };
+                Some(SynthesizedExample::new(
+                    utterance,
+                    program,
+                    wp.depth + np.depth + 1,
+                    kind.label(),
+                ))
+            }
+            ConstructKind::AtTimerDo => {
+                let vp = pools.action_verbs.choose(rng)?;
+                let time = Value::Time(rng.gen_range(6..23), [0u8, 15, 30, 45][rng.gen_range(0..4)]);
+                let utterance = variant
+                    .replace("$time", &render_value(&time))
+                    .replace("$vp", &vp.utterance);
+                let program = Program {
+                    stream: Stream::AtTimer { time },
+                    query: None,
+                    action: Action::Invocation(vp.action.clone()?),
+                };
+                Some(SynthesizedExample::new(utterance, program, vp.depth + 1, kind.label()))
+            }
+            ConstructKind::TimerDo => {
+                let vp = pools.action_verbs.choose(rng)?;
+                let (amount, unit) = [
+                    (5.0, Unit::Minute),
+                    (30.0, Unit::Minute),
+                    (1.0, Unit::Hour),
+                    (2.0, Unit::Hour),
+                    (1.0, Unit::Day),
+                    (1.0, Unit::Week),
+                ][rng.gen_range(0..6)];
+                let interval = Value::Measure(amount, unit);
+                let utterance = variant
+                    .replace("$interval", &render_value(&interval))
+                    .replace("$vp", &vp.utterance);
+                let program = Program {
+                    stream: Stream::Timer {
+                        base: Value::Date(thingtalk::value::DateValue::Edge(
+                            thingtalk::value::DateEdge::Now,
+                        )),
+                        interval,
+                    },
+                    query: None,
+                    action: Action::Invocation(vp.action.clone()?),
+                };
+                Some(SynthesizedExample::new(utterance, program, vp.depth + 1, kind.label()))
+            }
+            ConstructKind::EdgeCommand => {
+                let wp = pools.whens.choose(rng)?;
+                let function = self
+                    .library
+                    .function(&wp.function.class, &wp.function.function)?;
+                let numeric: Vec<&ParamDef> = function
+                    .output_params()
+                    .filter(|p| p.ty.is_numeric() && !matches!(p.ty, Type::Date | Type::Time))
+                    .collect();
+                let param = numeric.choose(rng)?;
+                let value = sample_value(&self.datasets, param, rng);
+                let above = rng.gen_bool(0.5);
+                let op = if above { CompareOp::Gt } else { CompareOp::Lt };
+                let direction = if above { "goes above" } else { "drops below" };
+                let pred_text = format!(
+                    "the {} of {} {} {}",
+                    param.canonical,
+                    function.canonical,
+                    direction,
+                    render_value(&value)
+                );
+                let predicate = Predicate::atom(param.name.clone(), op, value);
+                let uses_action = variant.contains("$vp");
+                let (action, vp_utterance, extra_depth) = if uses_action {
+                    let vp = pools.action_verbs.choose(rng)?;
+                    (Action::Invocation(vp.action.clone()?), vp.utterance.clone(), vp.depth)
+                } else {
+                    (Action::Notify, String::new(), 0)
+                };
+                let utterance = variant
+                    .replace("$pred", &pred_text)
+                    .replace("$vp", &vp_utterance);
+                let program = Program {
+                    stream: Stream::EdgeFilter {
+                        stream: Box::new(Stream::Monitor {
+                            query: Box::new(wp.query.clone()?),
+                            on: Vec::new(),
+                        }),
+                        predicate,
+                    },
+                    query: None,
+                    action,
+                };
+                Some(SynthesizedExample::new(
+                    utterance,
+                    program,
+                    wp.depth + extra_depth + 2,
+                    kind.label(),
+                ))
+            }
+            ConstructKind::Aggregation => {
+                let np = pools.nouns.choose(rng)?;
+                if !np.is_list(self.library) {
+                    return None;
+                }
+                let function = self
+                    .library
+                    .function(&np.function.class, &np.function.function)?;
+                let numeric: Vec<&ParamDef> = function
+                    .output_params()
+                    .filter(|p| matches!(p.ty, Type::Number | Type::Measure(_) | Type::Currency))
+                    .collect();
+                let param = numeric.choose(rng)?;
+                let op = match variant.as_str() {
+                    v if v.contains("average") => thingtalk::AggregationOp::Avg,
+                    v if v.contains("maximum") => thingtalk::AggregationOp::Max,
+                    v if v.contains("minimum") => thingtalk::AggregationOp::Min,
+                    _ => thingtalk::AggregationOp::Sum,
+                };
+                let utterance = variant
+                    .replace("$field", &param.canonical)
+                    .replace("$np", &np.utterance);
+                let program = Program::get_query(Query::Aggregation {
+                    op,
+                    field: Some(param.name.clone()),
+                    query: Box::new(np.query.clone()?),
+                });
+                Some(SynthesizedExample::new(utterance, program, np.depth + 1, kind.label()))
+            }
+            ConstructKind::CountAggregation => {
+                let np = choose_query_phrase(pools, rng)?;
+                if !np.is_list(self.library) {
+                    return None;
+                }
+                let utterance = variant.replace("$np", &np.utterance);
+                let program = Program::get_query(Query::Aggregation {
+                    op: thingtalk::AggregationOp::Count,
+                    field: None,
+                    query: Box::new(np.query.clone()?),
+                });
+                Some(SynthesizedExample::new(utterance, program, np.depth + 1, kind.label()))
+            }
+            ConstructKind::PolicyQuery | ConstructKind::PolicyAction => None,
+        }
+    }
+
+    /// With some probability, rewrite constant parameters of the action as
+    /// parameter passing from the preceding query clause, adjusting the
+    /// utterance ("post funny cat on twitter" → "post the caption on
+    /// twitter"), as in Fig. 1.
+    fn maybe_pass_parameters(
+        &self,
+        source: &PhraseDerivation,
+        action: &mut thingtalk::ast::Invocation,
+        vp_utterance: &mut String,
+        rng: &mut StdRng,
+    ) {
+        let Some(source_def) = self
+            .library
+            .function(&source.function.class, &source.function.function)
+        else {
+            return;
+        };
+        let Some(action_def) = self
+            .library
+            .function(&action.function.class, &action.function.function)
+        else {
+            return;
+        };
+        for param in &mut action.in_params {
+            if !param.value.is_constant() || !rng.gen_bool(0.35) {
+                continue;
+            }
+            let Some(decl) = action_def.param(&param.name) else {
+                continue;
+            };
+            let compatible: Vec<&ParamDef> = source_def
+                .output_params()
+                .filter(|out| decl.ty.assignable_from(&out.ty))
+                .collect();
+            let Some(chosen) = compatible.choose(rng) else {
+                continue;
+            };
+            let rendered = render_value(&param.value);
+            if !rendered.is_empty() && vp_utterance.contains(&rendered) {
+                *vp_utterance = vp_utterance.replacen(&rendered, &format!("the {}", chosen.canonical), 1);
+                param.value = Value::VarRef(chosen.name.clone());
+            }
+        }
+    }
+}
+
+fn choose_query_phrase<'p>(pools: &'p PhrasePools, rng: &mut StdRng) -> Option<&'p PhraseDerivation> {
+    if !pools.filtered_nouns.is_empty() && rng.gen_bool(0.3) {
+        pools.filtered_nouns.choose(rng)
+    } else {
+        pools.nouns.choose(rng)
+    }
+}
+
+fn choose_when_phrase<'p>(pools: &'p PhrasePools, rng: &mut StdRng) -> Option<&'p PhraseDerivation> {
+    if !pools.filtered_whens.is_empty() && rng.gen_bool(0.3) {
+        pools.filtered_whens.choose(rng)
+    } else {
+        pools.whens.choose(rng)
+    }
+}
+
+fn merge_predicates(query: &Query) -> Predicate {
+    let mut merged = Predicate::True;
+    for predicate in query.predicates() {
+        merged = if merged.is_true() {
+            predicate.clone()
+        } else {
+            merged.and(predicate.clone())
+        };
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thingtalk::canonical::canonicalized;
+    use thingtalk::typecheck::typecheck;
+
+    fn generator(library: &Thingpedia, target: usize, seed: u64) -> SentenceGenerator<'_> {
+        SentenceGenerator::new(
+            library,
+            GeneratorConfig {
+                target_per_rule: target,
+                max_depth: 5,
+                instantiations_per_template: 1,
+                seed,
+                include_aggregation: true,
+                include_timers: true,
+            },
+        )
+    }
+
+    #[test]
+    fn synthesis_produces_varied_examples() {
+        let library = Thingpedia::builtin();
+        let examples = generator(&library, 30, 1).synthesize();
+        assert!(examples.len() > 150, "only {} examples", examples.len());
+        assert!(examples.iter().any(|e| e.flags.primitive));
+        assert!(examples.iter().any(|e| !e.flags.primitive));
+        assert!(examples.iter().any(|e| e.flags.filter));
+        assert!(examples.iter().any(|e| e.flags.param_passing));
+        assert!(examples.iter().any(|e| e.flags.event_driven));
+        assert!(examples.iter().any(|e| e.flags.aggregation));
+    }
+
+    #[test]
+    fn synthesized_programs_typecheck_and_canonicalize() {
+        let library = Thingpedia::builtin();
+        let examples = generator(&library, 15, 2).synthesize();
+        for example in &examples {
+            typecheck(&library, &example.program).unwrap_or_else(|e| {
+                panic!(
+                    "synthesized program does not typecheck: `{}` => `{}`: {e}",
+                    example.utterance, example.program
+                )
+            });
+            let canonical = canonicalized(&library, &example.program);
+            let again = canonicalized(&library, &canonical);
+            assert_eq!(canonical, again, "canonicalization not idempotent");
+        }
+    }
+
+    #[test]
+    fn utterances_have_no_placeholders_left() {
+        let library = Thingpedia::builtin();
+        let examples = generator(&library, 10, 3).synthesize();
+        for example in &examples {
+            assert!(
+                !example.utterance.contains('$'),
+                "placeholder left in `{}`",
+                example.utterance
+            );
+            assert!(!example.utterance.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let library = Thingpedia::builtin();
+        let a = generator(&library, 10, 7).synthesize();
+        let b = generator(&library, 10, 7).synthesize();
+        let c = generator(&library, 10, 8).synthesize();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn target_size_controls_output_size() {
+        let library = Thingpedia::builtin();
+        let small = generator(&library, 5, 1).synthesize();
+        let large = generator(&library, 40, 1).synthesize();
+        assert!(large.len() > small.len() * 2);
+    }
+
+    #[test]
+    fn policies_are_synthesized_for_tacl() {
+        let library = Thingpedia::builtin();
+        let policies = generator(&library, 40, 4).synthesize_policies();
+        assert!(policies.len() > 40);
+        assert!(policies.iter().any(|(_, p)| p.is_query_policy()));
+        assert!(policies.iter().any(|(_, p)| !p.is_query_policy()));
+        for (utterance, _) in &policies {
+            assert!(!utterance.contains('$'));
+        }
+    }
+
+    #[test]
+    fn low_depth_disables_compound_constructs() {
+        let library = Thingpedia::builtin();
+        let config = GeneratorConfig {
+            target_per_rule: 20,
+            max_depth: 2,
+            instantiations_per_template: 1,
+            seed: 5,
+            include_aggregation: false,
+            include_timers: false,
+        };
+        let examples = SentenceGenerator::new(&library, config).synthesize();
+        assert!(examples.iter().all(|e| e.flags.primitive || !e.flags.param_passing));
+        assert!(examples.iter().all(|e| e.program.invocations().len() <= 1));
+    }
+}

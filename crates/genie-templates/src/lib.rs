@@ -1,0 +1,47 @@
+//! # genie-templates — the NL-template language and sentence synthesis
+//!
+//! Section 3.1 of the paper introduces a template language with two layers:
+//!
+//! * **primitive templates**, written by skill developers, map utterances
+//!   (noun phrases, verb phrases, when phrases) to code fragments using one
+//!   skill function (Table 1) — these live in the `thingpedia` crate next to
+//!   the skills;
+//! * **construct templates**, written by the language designer, combine
+//!   derivations of grammar categories into full programs ("when $wp , $vp",
+//!   "get $np and then $vp", "$np having $pred", …) through semantic
+//!   functions that build the formal representation and can reject invalid
+//!   combinations (e.g. monitoring a non-monitorable query).
+//!
+//! The [`generator`] module implements *synthesis by sampling*: instead of
+//! enumerating every derivation (which grows exponentially with depth and
+//! library size), it samples a configurable number of derivations per
+//! construct template, at increasing depth.
+//!
+//! # Example
+//!
+//! ```
+//! use genie_templates::{GeneratorConfig, SentenceGenerator};
+//! use thingpedia::Thingpedia;
+//!
+//! let library = Thingpedia::builtin();
+//! let config = GeneratorConfig {
+//!     target_per_rule: 5,
+//!     max_depth: 3,
+//!     seed: 1,
+//!     ..GeneratorConfig::default()
+//! };
+//! let generator = SentenceGenerator::new(&library, config);
+//! let examples = generator.synthesize();
+//! assert!(!examples.is_empty());
+//! assert!(examples.iter().any(|e| e.program.is_compound()));
+//! ```
+
+pub mod constructs;
+pub mod example;
+pub mod generator;
+pub mod phrases;
+
+pub use constructs::{construct_template_counts, ConstructKind};
+pub use example::{ExampleFlags, SynthesizedExample};
+pub use generator::{GeneratorConfig, SentenceGenerator};
+pub use phrases::PhraseDerivation;

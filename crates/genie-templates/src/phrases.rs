@@ -1,0 +1,379 @@
+//! Phrase derivations: primitive templates instantiated with sampled
+//! parameter values.
+//!
+//! A phrase derivation is the depth-1 building block of synthesis: a natural
+//! language fragment (noun/verb/when phrase) paired with the code fragment
+//! it denotes — a query, an action invocation, or a monitored stream.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use thingpedia::{ParamDatasets, PhraseCategory, PrimitiveTemplate, Thingpedia};
+use thingtalk::ast::{FunctionRef, Invocation, Query};
+use thingtalk::class::{FunctionDef, ParamDef};
+use thingtalk::describe::describe_value;
+use thingtalk::typecheck::SchemaRegistry;
+use thingtalk::types::Type;
+use thingtalk::units::{BaseUnit, Unit};
+use thingtalk::value::{DateEdge, DateValue, Value};
+
+/// What code fragment a phrase denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhraseKind {
+    /// A noun phrase denoting a query ("my dropbox files").
+    QueryNoun,
+    /// A verb phrase denoting a query ("translate $text").
+    QueryVerb,
+    /// A verb phrase denoting an action ("post $status on twitter").
+    ActionVerb,
+    /// A when phrase denoting an event ("when i receive an email").
+    WhenPhrase,
+}
+
+/// A primitive phrase instantiated with concrete parameter values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhraseDerivation {
+    /// The natural-language fragment.
+    pub utterance: String,
+    /// What the phrase denotes.
+    pub kind: PhraseKind,
+    /// The denoted query (for query and when phrases).
+    pub query: Option<Query>,
+    /// The denoted action invocation (for action verb phrases).
+    pub action: Option<Invocation>,
+    /// The function the phrase uses.
+    pub function: FunctionRef,
+    /// Derivation depth (1 for plain primitives, 2 for filtered phrases).
+    pub depth: usize,
+}
+
+impl PhraseDerivation {
+    /// Whether the underlying function is monitorable (so the phrase can be
+    /// turned into a stream).
+    pub fn is_monitorable(&self, library: &Thingpedia) -> bool {
+        library
+            .function(&self.function.class, &self.function.function)
+            .map(|f| f.kind.is_monitorable())
+            .unwrap_or(false)
+    }
+
+    /// Whether the underlying function returns a list (so TT+A aggregation
+    /// applies).
+    pub fn is_list(&self, library: &Thingpedia) -> bool {
+        library
+            .function(&self.function.class, &self.function.function)
+            .map(|f| f.kind.is_list())
+            .unwrap_or(false)
+    }
+}
+
+/// Instantiate a primitive template with sampled parameter values.
+///
+/// Returns `None` when the template's category is inconsistent with the
+/// function kind (e.g. a when phrase for a non-monitorable query), mirroring
+/// the semantic-function rejection of §3.1.
+pub fn instantiate(
+    library: &Thingpedia,
+    datasets: &ParamDatasets,
+    template: &PrimitiveTemplate,
+    rng: &mut StdRng,
+) -> Option<PhraseDerivation> {
+    let function = library.function(&template.class, &template.function)?;
+    let kind = match (template.category, function.kind.is_query()) {
+        (PhraseCategory::NounPhrase, true) => PhraseKind::QueryNoun,
+        (PhraseCategory::VerbPhrase, true) => PhraseKind::QueryVerb,
+        (PhraseCategory::VerbPhrase, false) => PhraseKind::ActionVerb,
+        (PhraseCategory::WhenPhrase, true) if function.kind.is_monitorable() => {
+            PhraseKind::WhenPhrase
+        }
+        _ => return None,
+    };
+
+    let mut invocation = Invocation::new(template.class.clone(), template.function.clone());
+    let mut substitutions: Vec<(String, String)> = Vec::new();
+
+    // Preset parameters (constant bindings that are part of the meaning of
+    // the utterance, e.g. order_by for "that changed most recently").
+    for (name, value) in &template.preset_params {
+        invocation = invocation.with_param(name.clone(), value.clone());
+    }
+
+    // Placeholder parameters: sample a value and render it.
+    for placeholder in template.placeholders() {
+        let param = function.param(&placeholder)?;
+        let value = sample_value(datasets, param, rng);
+        substitutions.push((placeholder.clone(), render_value(&value)));
+        invocation = invocation.with_param(placeholder, value);
+    }
+
+    // Remaining required inputs are filled silently so the program is
+    // executable; templates are expected to cover them (checked by the
+    // thingpedia test suite for the builtin library).
+    for param in function.required_params() {
+        if invocation.param(&param.name).is_none() {
+            let value = sample_value(datasets, param, rng);
+            invocation = invocation.with_param(param.name.clone(), value);
+        }
+    }
+
+    let utterance = template.instantiate(&substitutions);
+    let function_ref = invocation.function.clone();
+    let (query, action) = if function.kind.is_query() {
+        (Some(Query::Invocation(invocation)), None)
+    } else {
+        (None, Some(invocation))
+    };
+    Some(PhraseDerivation {
+        utterance,
+        kind,
+        query,
+        action,
+        function: function_ref,
+        depth: 1,
+    })
+}
+
+/// Sample a concrete value for a parameter, using the parameter datasets for
+/// strings and entities and type-appropriate generators otherwise.
+pub fn sample_value(datasets: &ParamDatasets, param: &ParamDef, rng: &mut StdRng) -> Value {
+    match &param.ty {
+        Type::Boolean => Value::Boolean(rng.gen_bool(0.5)),
+        Type::Number => Value::Number(rng.gen_range(1..100) as f64),
+        Type::Enum(variants) => {
+            let idx = rng.gen_range(0..variants.len().max(1));
+            Value::Enum(variants.get(idx).cloned().unwrap_or_default())
+        }
+        Type::Measure(base) => {
+            let (amount, unit): (f64, Unit) = match base {
+                BaseUnit::Byte => (rng.gen_range(1..500) as f64, Unit::Megabyte),
+                BaseUnit::Millisecond => (rng.gen_range(1..60) as f64, Unit::Minute),
+                BaseUnit::Meter => (rng.gen_range(1..50) as f64, Unit::Kilometer),
+                BaseUnit::Celsius => (rng.gen_range(-5..40) as f64, Unit::Celsius),
+                BaseUnit::Gram => (rng.gen_range(50..100) as f64, Unit::Kilogram),
+                BaseUnit::MeterPerSecond => (rng.gen_range(1..35) as f64, Unit::MeterPerSecond),
+                BaseUnit::Calorie => (rng.gen_range(100..900) as f64, Unit::Kilocalorie),
+                BaseUnit::BeatPerMinute => (rng.gen_range(60..180) as f64, Unit::BeatPerMinute),
+                BaseUnit::Pascal => (rng.gen_range(980..1040) as f64, Unit::Hectopascal),
+                BaseUnit::Milliliter => (rng.gen_range(1..3) as f64, Unit::Liter),
+            };
+            Value::Measure(amount, unit)
+        }
+        Type::Date => {
+            let edges = [
+                DateEdge::Now,
+                DateEdge::StartOfDay,
+                DateEdge::StartOfWeek,
+                DateEdge::StartOfMonth,
+                DateEdge::EndOfWeek,
+            ];
+            Value::Date(DateValue::Edge(edges[rng.gen_range(0..edges.len())]))
+        }
+        Type::Time => Value::Time(rng.gen_range(0..24), [0, 15, 30, 45][rng.gen_range(0..4)]),
+        Type::Currency => Value::Currency(rng.gen_range(1..200) as f64, "USD".to_owned()),
+        Type::Location => Value::Location(thingtalk::value::LocationValue::Named(
+            datasets
+                .for_param(&Type::Location, &param.name)
+                .sample(rng)
+                .to_owned(),
+        )),
+        Type::Entity(kind) => {
+            let text = datasets.for_param(&param.ty, &param.name).sample(rng).to_owned();
+            Value::Entity {
+                value: text.clone(),
+                kind: kind.clone(),
+                display: Some(text),
+            }
+        }
+        _ => Value::String(
+            datasets
+                .for_param(&param.ty, &param.name)
+                .sample(rng)
+                .to_owned(),
+        ),
+    }
+}
+
+/// Render a sampled value as it should appear inside an utterance.
+pub fn render_value(value: &Value) -> String {
+    describe_value(value)
+}
+
+/// Build one filtered variant of a query noun phrase: adds a type-appropriate
+/// predicate over a random output parameter of the function, with a natural
+/// rendering ("having modified time after start of week").
+pub fn add_filter(
+    library: &Thingpedia,
+    datasets: &ParamDatasets,
+    phrase: &PhraseDerivation,
+    rng: &mut StdRng,
+) -> Option<PhraseDerivation> {
+    use thingtalk::ast::{CompareOp, Predicate};
+
+    if !matches!(phrase.kind, PhraseKind::QueryNoun | PhraseKind::WhenPhrase) {
+        return None;
+    }
+    let function: &FunctionDef = library.function(&phrase.function.class, &phrase.function.function)?;
+    let outputs: Vec<&ParamDef> = function.output_params().collect();
+    if outputs.is_empty() {
+        return None;
+    }
+    let param = outputs[rng.gen_range(0..outputs.len())];
+    let (op, value, phrase_text): (CompareOp, Value, String) = match &param.ty {
+        Type::Number | Type::Measure(_) | Type::Currency => {
+            let value = sample_value(datasets, param, rng);
+            if rng.gen_bool(0.5) {
+                (
+                    CompareOp::Gt,
+                    value.clone(),
+                    format!("with {} greater than {}", param.canonical, render_value(&value)),
+                )
+            } else {
+                (
+                    CompareOp::Lt,
+                    value.clone(),
+                    format!("with {} less than {}", param.canonical, render_value(&value)),
+                )
+            }
+        }
+        Type::Date => {
+            let value = sample_value(datasets, param, rng);
+            (
+                CompareOp::Gt,
+                value.clone(),
+                format!("with {} after {}", param.canonical, render_value(&value)),
+            )
+        }
+        Type::Boolean => {
+            let value = Value::Boolean(true);
+            (
+                CompareOp::Eq,
+                value,
+                format!("that are {}", param.canonical.replace("is ", "")),
+            )
+        }
+        Type::Enum(_) => {
+            let value = sample_value(datasets, param, rng);
+            (
+                CompareOp::Eq,
+                value.clone(),
+                format!("with {} {}", param.canonical, render_value(&value)),
+            )
+        }
+        Type::Array(_) => {
+            let inner = ParamDef::new(param.name.clone(), param.ty.element_type().clone(), param.direction);
+            let value = sample_value(datasets, &inner, rng);
+            (
+                CompareOp::Contains,
+                value.clone(),
+                format!("containing {} {}", param.canonical, render_value(&value)),
+            )
+        }
+        _ => {
+            let value = sample_value(datasets, param, rng);
+            if rng.gen_bool(0.5) {
+                (
+                    CompareOp::Eq,
+                    value.clone(),
+                    format!("with {} {}", param.canonical, render_value(&value)),
+                )
+            } else {
+                (
+                    CompareOp::Substr,
+                    value.clone(),
+                    format!("whose {} contains {}", param.canonical, render_value(&value)),
+                )
+            }
+        }
+    };
+    let predicate = Predicate::atom(param.name.clone(), op, value);
+    let query = phrase.query.clone()?.filtered(predicate);
+    Some(PhraseDerivation {
+        utterance: format!("{} {}", phrase.utterance, phrase_text),
+        kind: phrase.kind,
+        query: Some(query),
+        action: None,
+        function: phrase.function.clone(),
+        depth: phrase.depth + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (Thingpedia, ParamDatasets, StdRng) {
+        (
+            Thingpedia::builtin(),
+            ParamDatasets::builtin(),
+            StdRng::seed_from_u64(42),
+        )
+    }
+
+    #[test]
+    fn instantiates_all_builtin_templates() {
+        let (library, datasets, mut rng) = setup();
+        let mut count = 0;
+        for template in library.templates() {
+            let derivation = instantiate(&library, &datasets, template, &mut rng)
+                .unwrap_or_else(|| panic!("failed to instantiate `{}`", template.utterance));
+            assert!(!derivation.utterance.contains('$'),
+                "placeholder left in `{}`", derivation.utterance);
+            count += 1;
+        }
+        assert!(count > 250);
+    }
+
+    #[test]
+    fn query_phrases_carry_queries_and_actions_carry_invocations() {
+        let (library, datasets, mut rng) = setup();
+        for template in library.templates() {
+            let derivation = instantiate(&library, &datasets, template, &mut rng).unwrap();
+            match derivation.kind {
+                PhraseKind::ActionVerb => {
+                    assert!(derivation.action.is_some());
+                    assert!(derivation.query.is_none());
+                }
+                _ => {
+                    assert!(derivation.query.is_some());
+                    assert!(derivation.action.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_values_typecheck() {
+        let (library, datasets, mut rng) = setup();
+        for template in library.templates().iter().take(100) {
+            let derivation = instantiate(&library, &datasets, template, &mut rng).unwrap();
+            let program = match (&derivation.query, &derivation.action) {
+                (Some(query), _) => thingtalk::Program::get_query(query.clone()),
+                (_, Some(action)) => thingtalk::Program::do_action(action.clone()),
+                _ => unreachable!(),
+            };
+            thingtalk::typecheck::typecheck(&library, &program)
+                .unwrap_or_else(|e| panic!("`{}` does not typecheck: {e}", derivation.utterance));
+        }
+    }
+
+    #[test]
+    fn filtered_phrases_add_one_predicate() {
+        let (library, datasets, mut rng) = setup();
+        let template = library.templates_for("com.dropbox", "list_folder")[0].clone();
+        let base = instantiate(&library, &datasets, &template, &mut rng).unwrap();
+        let filtered = add_filter(&library, &datasets, &base, &mut rng).unwrap();
+        assert_eq!(filtered.depth, base.depth + 1);
+        assert!(filtered.utterance.len() > base.utterance.len());
+        let query = filtered.query.unwrap();
+        assert!(query.has_filter());
+    }
+
+    #[test]
+    fn action_phrases_cannot_be_filtered() {
+        let (library, datasets, mut rng) = setup();
+        let template = library.templates_for("com.twitter", "post")[0].clone();
+        let base = instantiate(&library, &datasets, &template, &mut rng).unwrap();
+        assert!(add_filter(&library, &datasets, &base, &mut rng).is_none());
+    }
+}

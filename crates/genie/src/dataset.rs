@@ -1,0 +1,287 @@
+//! Dataset types: examples, sources, composition statistics (Fig. 7) and
+//! program-level splits.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use genie_templates::ExampleFlags;
+use thingtalk::Program;
+
+/// Where an example came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExampleSource {
+    /// Produced directly by the template synthesizer.
+    Synthesized,
+    /// A (simulated) crowdworker paraphrase of a synthesized sentence.
+    Paraphrase,
+    /// Produced by parameter expansion or PPDB augmentation of another
+    /// example.
+    Augmented,
+    /// Realistic evaluation data (developer, cheatsheet, IFTTT).
+    Evaluation,
+}
+
+/// One sentence/program pair flowing through the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Example {
+    /// The natural-language utterance.
+    pub utterance: String,
+    /// The target program.
+    pub program: Program,
+    /// Provenance.
+    pub source: ExampleSource,
+    /// Structural flags (primitive/compound, filters, parameter passing).
+    pub flags: ExampleFlags,
+}
+
+impl Example {
+    /// Create an example, computing flags from the program.
+    pub fn new(utterance: impl Into<String>, program: Program, source: ExampleSource) -> Self {
+        let flags = ExampleFlags::of(&program);
+        Example {
+            utterance: utterance.into(),
+            program,
+            source,
+            flags,
+        }
+    }
+
+    /// A stable key identifying the program's function combination
+    /// (used for the seen/unseen-program splits of §5.1 and §5.4).
+    pub fn function_signature(&self) -> String {
+        let mut functions: Vec<String> = self
+            .program
+            .functions()
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        functions.sort();
+        functions.join("+")
+    }
+}
+
+/// The composition of a dataset, as reported in Fig. 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Composition {
+    /// Primitive commands without filters.
+    pub primitive: usize,
+    /// Primitive commands with filters.
+    pub primitive_filters: usize,
+    /// Compound commands without parameter passing or filters.
+    pub compound: usize,
+    /// Compound commands with parameter passing.
+    pub compound_param_passing: usize,
+    /// Compound commands with filters (including those that also pass
+    /// parameters).
+    pub compound_filters: usize,
+}
+
+impl Composition {
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.primitive
+            + self.primitive_filters
+            + self.compound
+            + self.compound_param_passing
+            + self.compound_filters
+    }
+
+    /// The five Fig. 7 shares, in the paper's order, as fractions of the
+    /// total.
+    pub fn shares(&self) -> [(&'static str, f64); 5] {
+        let total = self.total().max(1) as f64;
+        [
+            ("primitive commands", self.primitive as f64 / total),
+            ("+ filters", self.primitive_filters as f64 / total),
+            ("compound commands", self.compound as f64 / total),
+            ("+ parameter passing", self.compound_param_passing as f64 / total),
+            ("+ filters", self.compound_filters as f64 / total),
+        ]
+    }
+}
+
+/// A collection of examples with dataset-level statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The examples.
+    pub examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Build a dataset from examples.
+    pub fn from_examples(examples: Vec<Example>) -> Self {
+        Dataset { examples }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Append another dataset.
+    pub fn extend(&mut self, other: Dataset) {
+        self.examples.extend(other.examples);
+    }
+
+    /// The number of distinct programs (by canonical surface form).
+    pub fn distinct_programs(&self) -> usize {
+        let set: BTreeSet<String> = self.examples.iter().map(|e| e.program.to_string()).collect();
+        set.len()
+    }
+
+    /// The number of distinct function combinations.
+    pub fn distinct_function_combinations(&self) -> usize {
+        let set: BTreeSet<String> = self
+            .examples
+            .iter()
+            .map(|e| e.function_signature())
+            .collect();
+        set.len()
+    }
+
+    /// The number of distinct words across all utterances.
+    pub fn distinct_words(&self) -> usize {
+        let mut set: BTreeSet<String> = BTreeSet::new();
+        for example in &self.examples {
+            for word in genie_nlp::tokenize(&example.utterance) {
+                set.insert(word);
+            }
+        }
+        set.len()
+    }
+
+    /// Fraction of examples coming from (simulated) paraphrases.
+    pub fn paraphrase_fraction(&self) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        let paraphrases = self
+            .examples
+            .iter()
+            .filter(|e| e.source == ExampleSource::Paraphrase)
+            .count();
+        paraphrases as f64 / self.examples.len() as f64
+    }
+
+    /// The Fig. 7 composition of the dataset.
+    pub fn composition(&self) -> Composition {
+        let mut composition = Composition::default();
+        for example in &self.examples {
+            let flags = example.flags;
+            if flags.primitive {
+                if flags.filter {
+                    composition.primitive_filters += 1;
+                } else {
+                    composition.primitive += 1;
+                }
+            } else if flags.filter {
+                composition.compound_filters += 1;
+            } else if flags.param_passing {
+                composition.compound_param_passing += 1;
+            } else {
+                composition.compound += 1;
+            }
+        }
+        composition
+    }
+
+    /// Split examples into those whose function combination appears in the
+    /// `reference` dataset ("seen programs") and those whose combination does
+    /// not ("new programs"), the distinction used in §5.2 and Table 3.
+    pub fn split_by_seen_programs(&self, reference: &Dataset) -> (Dataset, Dataset) {
+        let seen: BTreeSet<String> = reference
+            .examples
+            .iter()
+            .map(|e| e.function_signature())
+            .collect();
+        let mut seen_split = Dataset::new();
+        let mut new_split = Dataset::new();
+        for example in &self.examples {
+            if seen.contains(&example.function_signature()) {
+                seen_split.examples.push(example.clone());
+            } else {
+                new_split.examples.push(example.clone());
+            }
+        }
+        (seen_split, new_split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thingtalk::syntax::parse_program;
+
+    fn example(utterance: &str, program: &str, source: ExampleSource) -> Example {
+        Example::new(utterance, parse_program(program).unwrap(), source)
+    }
+
+    fn sample_dataset() -> Dataset {
+        Dataset::from_examples(vec![
+            example("show me my emails", "now => @com.gmail.inbox() => notify", ExampleSource::Synthesized),
+            example(
+                "emails from alice",
+                "now => @com.gmail.inbox() filter sender == \"alice\" => notify",
+                ExampleSource::Synthesized,
+            ),
+            example(
+                "when i get an email send a slack message",
+                "monitor (@com.gmail.inbox()) => @com.slack.send(channel = \"#x\"^^tt:slack_channel, message = \"mail\")",
+                ExampleSource::Paraphrase,
+            ),
+            example(
+                "when i get an email forward the subject to slack",
+                "monitor (@com.gmail.inbox()) => @com.slack.send(channel = \"#x\"^^tt:slack_channel, message = subject)",
+                ExampleSource::Paraphrase,
+            ),
+        ])
+    }
+
+    #[test]
+    fn composition_buckets() {
+        let dataset = sample_dataset();
+        let composition = dataset.composition();
+        assert_eq!(composition.primitive, 1);
+        assert_eq!(composition.primitive_filters, 1);
+        assert_eq!(composition.compound, 1);
+        assert_eq!(composition.compound_param_passing, 1);
+        assert_eq!(composition.total(), 4);
+        let shares = composition.shares();
+        let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let dataset = sample_dataset();
+        assert_eq!(dataset.len(), 4);
+        assert_eq!(dataset.distinct_programs(), 4);
+        assert_eq!(dataset.distinct_function_combinations(), 2);
+        assert!(dataset.distinct_words() > 10);
+        assert!((dataset.paraphrase_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seen_unseen_split() {
+        let dataset = sample_dataset();
+        let reference = Dataset::from_examples(vec![example(
+            "list my inbox",
+            "now => @com.gmail.inbox() => notify",
+            ExampleSource::Synthesized,
+        )]);
+        let (seen, unseen) = dataset.split_by_seen_programs(&reference);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(unseen.len(), 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Parameter replacement and PPDB augmentation (§3.3).
+//!
+//! "During training, it is important that the model sees many different
+//! combinations of parameter values, so as not to overfit on specific values
+//! present in the training set." Parameter expansion takes an example and
+//! produces copies where the free-form string and entity parameters are
+//! replaced — consistently in the utterance and in the program — with fresh
+//! values from the parameter datasets. PPDB augmentation rewrites the
+//! utterance only.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use genie_nlp::Ppdb;
+use thingpedia::ParamDatasets;
+use thingtalk::ast::Predicate;
+use thingtalk::value::Value;
+
+use crate::dataset::{Example, ExampleSource};
+
+/// Parameter expansion: produce up to `copies` variants of the example with
+/// fresh parameter values. Only values whose rendered text actually occurs in
+/// the utterance are replaced (so sentence and program stay aligned).
+pub fn expand_parameters(
+    example: &Example,
+    datasets: &ParamDatasets,
+    copies: usize,
+    rng: &mut StdRng,
+) -> Vec<Example> {
+    let replaceable = replaceable_values(example);
+    if replaceable.is_empty() || copies == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for _ in 0..copies {
+        let mut utterance = example.utterance.clone();
+        let mut program = example.program.clone();
+        let mut changed = false;
+        for (param_name, old_text) in &replaceable {
+            let dataset = datasets.for_param(&thingtalk::types::Type::String, param_name);
+            let new_text = dataset.sample(rng).to_owned();
+            if new_text == *old_text {
+                continue;
+            }
+            utterance = utterance.replace(old_text.as_str(), &new_text);
+            replace_in_program(&mut program, old_text, &new_text);
+            changed = true;
+        }
+        if changed {
+            out.push(Example::new(utterance, program, ExampleSource::Augmented));
+        }
+    }
+    out.dedup_by(|a, b| a.utterance == b.utterance);
+    out
+}
+
+/// The (parameter name, rendered text) pairs of string/entity constants that
+/// appear verbatim in the utterance.
+fn replaceable_values(example: &Example) -> Vec<(String, String)> {
+    example
+        .program
+        .constants()
+        .into_iter()
+        .filter_map(|(name, value)| match &value {
+            Value::String(s) if example.utterance.contains(s.as_str()) && s.len() > 2 => {
+                Some((name, s.clone()))
+            }
+            Value::Entity { display: Some(d), .. }
+                if example.utterance.contains(d.as_str()) && d.len() > 2 =>
+            {
+                Some((name, d.clone()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Replace a string/entity constant's text everywhere in a program.
+fn replace_in_program(program: &mut thingtalk::Program, old_text: &str, new_text: &str) {
+    for invocation in program.invocations_mut() {
+        for param in &mut invocation.in_params {
+            replace_in_value(&mut param.value, old_text, new_text);
+        }
+    }
+    if let Some(query) = &mut program.query {
+        replace_in_query(query, old_text, new_text);
+    }
+    if let thingtalk::Stream::Monitor { query, .. } = &mut program.stream {
+        replace_in_query(query, old_text, new_text);
+    }
+    if let thingtalk::Stream::EdgeFilter { predicate, .. } = &mut program.stream {
+        replace_in_predicate(predicate, old_text, new_text);
+    }
+}
+
+fn replace_in_query(query: &mut thingtalk::Query, old_text: &str, new_text: &str) {
+    match query {
+        thingtalk::Query::Invocation(inv) => {
+            for param in &mut inv.in_params {
+                replace_in_value(&mut param.value, old_text, new_text);
+            }
+        }
+        thingtalk::Query::Filter { query, predicate } => {
+            replace_in_query(query, old_text, new_text);
+            replace_in_predicate(predicate, old_text, new_text);
+        }
+        thingtalk::Query::Join { lhs, rhs, .. } => {
+            replace_in_query(lhs, old_text, new_text);
+            replace_in_query(rhs, old_text, new_text);
+        }
+        thingtalk::Query::Aggregation { query, .. } => replace_in_query(query, old_text, new_text),
+    }
+}
+
+fn replace_in_predicate(predicate: &mut Predicate, old_text: &str, new_text: &str) {
+    match predicate {
+        Predicate::Not(inner) => replace_in_predicate(inner, old_text, new_text),
+        Predicate::And(items) | Predicate::Or(items) => {
+            for item in items {
+                replace_in_predicate(item, old_text, new_text);
+            }
+        }
+        Predicate::Atom { value, .. } => replace_in_value(value, old_text, new_text),
+        Predicate::External {
+            invocation,
+            predicate,
+        } => {
+            for param in &mut invocation.in_params {
+                replace_in_value(&mut param.value, old_text, new_text);
+            }
+            replace_in_predicate(predicate, old_text, new_text);
+        }
+        _ => {}
+    }
+}
+
+fn replace_in_value(value: &mut Value, old_text: &str, new_text: &str) {
+    match value {
+        Value::String(s) if s == old_text => *s = new_text.to_owned(),
+        Value::Entity { value, display, .. } => {
+            if display.as_deref() == Some(old_text) {
+                *display = Some(new_text.to_owned());
+            }
+            if value == old_text {
+                *value = new_text.to_owned();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// PPDB augmentation: rewrite the utterance with meaning-preserving lexical
+/// substitutions, keeping the program unchanged.
+pub fn augment_ppdb(example: &Example, ppdb: &Ppdb, copies: usize, rng: &mut StdRng) -> Vec<Example> {
+    ppdb.augment(&example.utterance, copies, rng)
+        .into_iter()
+        .map(|utterance| Example::new(utterance, example.program.clone(), ExampleSource::Augmented))
+        .collect()
+}
+
+/// Convenience: expand a whole dataset, with a per-example expansion factor
+/// chosen by the caller (the paper uses 30× for paraphrases with string
+/// parameters, 10× for other paraphrases, 4× for synthesized primitives and
+/// 1× otherwise).
+pub fn expand_dataset(
+    examples: &[Example],
+    datasets: &ParamDatasets,
+    factor: impl Fn(&Example) -> usize,
+    seed: u64,
+) -> Vec<Example> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for example in examples {
+        let copies = factor(example);
+        out.extend(expand_parameters(example, datasets, copies, &mut rng));
+        // A small probability of additionally applying a PPDB rewrite keeps
+        // the augmented set lexically varied without exploding its size.
+        if rng.gen_bool(0.3) {
+            let ppdb = Ppdb::builtin();
+            out.extend(augment_ppdb(example, &ppdb, 1, &mut rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thingtalk::syntax::parse_program;
+
+    fn example() -> Example {
+        Example::new(
+            "post funny cat on facebook",
+            parse_program("now => @com.facebook.post(status = \"funny cat\")").unwrap(),
+            ExampleSource::Synthesized,
+        )
+    }
+
+    #[test]
+    fn expansion_replaces_utterance_and_program_consistently() {
+        let datasets = ParamDatasets::builtin();
+        let mut rng = StdRng::seed_from_u64(3);
+        let expanded = expand_parameters(&example(), &datasets, 5, &mut rng);
+        assert!(!expanded.is_empty());
+        for variant in &expanded {
+            assert_ne!(variant.utterance, example().utterance);
+            let constants = variant.program.constants();
+            let (_, value) = &constants[0];
+            let text = value.as_text().unwrap();
+            assert!(
+                variant.utterance.contains(&text),
+                "utterance `{}` does not contain the new value `{text}`",
+                variant.utterance
+            );
+            assert_eq!(variant.source, ExampleSource::Augmented);
+        }
+    }
+
+    #[test]
+    fn examples_without_string_constants_are_not_expanded() {
+        let datasets = ParamDatasets::builtin();
+        let mut rng = StdRng::seed_from_u64(3);
+        let plain = Example::new(
+            "show me my emails",
+            parse_program("now => @com.gmail.inbox() => notify").unwrap(),
+            ExampleSource::Synthesized,
+        );
+        assert!(expand_parameters(&plain, &datasets, 5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn ppdb_augmentation_keeps_the_program() {
+        let ppdb = Ppdb::builtin();
+        let mut rng = StdRng::seed_from_u64(4);
+        let augmented = augment_ppdb(&example(), &ppdb, 3, &mut rng);
+        assert!(!augmented.is_empty());
+        for variant in &augmented {
+            assert_eq!(variant.program, example().program);
+            assert_ne!(variant.utterance, example().utterance);
+        }
+    }
+
+    #[test]
+    fn expand_dataset_respects_the_factor() {
+        let datasets = ParamDatasets::builtin();
+        let examples = vec![example()];
+        let large = expand_dataset(&examples, &datasets, |_| 10, 5);
+        let small = expand_dataset(&examples, &datasets, |_| 1, 5);
+        assert!(large.len() > small.len());
+        let none = expand_dataset(&examples, &datasets, |_| 0, 5);
+        assert!(none.len() <= 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # genie — the data-acquisition and evaluation pipeline
+//!
+//! This crate is the toolkit layer of the reproduction (Fig. 2 of the
+//! paper): it takes the formal language (`thingtalk`), the skill library and
+//! parameter datasets (`thingpedia`), the NL-template synthesis
+//! (`genie-templates`), the NLP substrate (`genie-nlp`) and the parser
+//! (`luinet`), and wires them into the end-to-end system the evaluation
+//! section measures:
+//!
+//! * [`dataset`] — typed examples, dataset assembly, Fig. 7 composition
+//!   statistics and the seen/unseen-program splits of §5;
+//! * [`paraphrase`] — the crowdsourced-paraphrasing substitute (§3.2),
+//!   including the worker-error model and the validation heuristics;
+//! * [`crowdsource`] — MTurk batch generation and answer validation;
+//! * [`expansion`] — parameter replacement (§3.3) and PPDB augmentation;
+//! * [`pipeline`] — the training-set builder with the three training
+//!   strategies of Fig. 8 (synthesized-only, paraphrase-only, Genie) and the
+//!   ablation switches of Table 3;
+//! * [`evaldata`] — the realistic evaluation sets (developer, cheatsheet,
+//!   IFTTT with the Table 2 cleanup rules);
+//! * [`eval`] — program accuracy and the §5.5 error analysis;
+//! * [`experiments`] — reusable runners that regenerate every figure and
+//!   table (used by the `genie-bench` binaries and the integration tests).
+
+pub mod crowdsource;
+pub mod dataset;
+pub mod eval;
+pub mod evaldata;
+pub mod expansion;
+pub mod experiments;
+pub mod paraphrase;
+pub mod pipeline;
+
+pub use dataset::{Dataset, Example, ExampleSource};
+pub use eval::{evaluate, EvalResult};
+pub use paraphrase::{ParaphraseConfig, ParaphraseSimulator};
+pub use pipeline::{DataPipeline, NnOptions, PipelineConfig, TrainingStrategy};

@@ -1,0 +1,274 @@
+//! The crowdsourced-paraphrasing substitute (§3.2).
+//!
+//! Genie asks Mechanical Turk workers to rephrase synthesized sentences "in
+//! more natural sentences"; workers see each sentence twice and provide two
+//! paraphrases, and some answers are wrong (workers "paraphrase sentences
+//! incorrectly or just make minor modifications"). The simulator reproduces
+//! that behaviour with rule- and lexicon-based rewriting plus a configurable
+//! error model, and the same validation heuristics Genie applies to discard
+//! obvious mistakes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use genie_nlp::metrics::{edit_distance, jaccard_similarity};
+use genie_nlp::{tokenize, Ppdb};
+
+use crate::dataset::{Example, ExampleSource};
+
+/// Configuration of the paraphrase simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParaphraseConfig {
+    /// Paraphrases requested per synthesized sentence (the paper asks each
+    /// worker for two).
+    pub per_sentence: usize,
+    /// Probability that a produced paraphrase is wrong (lazy or confused
+    /// worker): under-specified or copied almost verbatim.
+    pub error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParaphraseConfig {
+    fn default() -> Self {
+        ParaphraseConfig {
+            per_sentence: 2,
+            error_rate: 0.08,
+            seed: 0,
+        }
+    }
+}
+
+/// Simulates crowdworkers paraphrasing synthesized sentences.
+#[derive(Debug, Clone)]
+pub struct ParaphraseSimulator {
+    ppdb: Ppdb,
+    config: ParaphraseConfig,
+}
+
+const FILLERS: &[&str] = &["please", "hey", "ok", "now", "for me", "if you can", "when you get a chance"];
+const PREFIXES: &[&str] = &[
+    "i want you to",
+    "i would like you to",
+    "could you",
+    "can you",
+    "make sure to",
+    "i need you to",
+];
+
+impl ParaphraseSimulator {
+    /// Create a simulator.
+    pub fn new(config: ParaphraseConfig) -> Self {
+        ParaphraseSimulator {
+            ppdb: Ppdb::builtin(),
+            config,
+        }
+    }
+
+    /// Paraphrase a batch of synthesized examples, keeping only the
+    /// paraphrases that pass the validation heuristics.
+    pub fn paraphrase_all(&self, examples: &[Example]) -> Vec<Example> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut out = Vec::new();
+        for example in examples {
+            for paraphrase in self.paraphrase(example, &mut rng) {
+                out.push(paraphrase);
+            }
+        }
+        out
+    }
+
+    /// Paraphrase one example.
+    pub fn paraphrase(&self, example: &Example, rng: &mut StdRng) -> Vec<Example> {
+        let mut out = Vec::new();
+        for _ in 0..self.config.per_sentence {
+            let candidate = if rng.gen_bool(self.config.error_rate) {
+                self.erroneous_rewrite(&example.utterance, rng)
+            } else {
+                self.faithful_rewrite(&example.utterance, rng)
+            };
+            if self.validate(&example.utterance, &candidate) {
+                out.push(Example::new(
+                    candidate,
+                    example.program.clone(),
+                    ExampleSource::Paraphrase,
+                ));
+            }
+        }
+        out
+    }
+
+    /// A faithful rewrite: lexical substitutions, clause reordering, filler
+    /// insertion or removal.
+    fn faithful_rewrite(&self, utterance: &str, rng: &mut StdRng) -> String {
+        let mut sentence = utterance.to_owned();
+        // 1–3 lexicon substitutions.
+        let substitutions = rng.gen_range(1..=3);
+        for _ in 0..substitutions {
+            if let Some(next) = self.ppdb.augment_once(&sentence, rng) {
+                sentence = next;
+            }
+        }
+        // Clause reordering for when-commands: "when X , Y" <-> "Y when X".
+        if rng.gen_bool(0.5) {
+            sentence = reorder_clauses(&sentence);
+        }
+        // Politeness prefix or filler.
+        match rng.gen_range(0..4) {
+            0 => {
+                let prefix = PREFIXES.choose(rng).expect("nonempty");
+                sentence = format!("{prefix} {sentence}");
+            }
+            1 => {
+                let filler = FILLERS.choose(rng).expect("nonempty");
+                sentence = format!("{sentence} {filler}");
+            }
+            2 => {
+                // Drop a leading politeness word if present.
+                for lead in ["please ", "get ", "show me "] {
+                    if let Some(rest) = sentence.strip_prefix(lead) {
+                        if rest.split_whitespace().count() >= 3 {
+                            sentence = rest.to_owned();
+                        }
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+        sentence
+    }
+
+    /// An erroneous rewrite: either near-verbatim (lazy worker) or heavily
+    /// truncated (worker dropped the second clause).
+    fn erroneous_rewrite(&self, utterance: &str, rng: &mut StdRng) -> String {
+        if rng.gen_bool(0.5) {
+            // Minimal modification (will be dropped by validation).
+            format!("{utterance} .")
+        } else {
+            let words: Vec<&str> = utterance.split_whitespace().collect();
+            let keep = (words.len() / 2).max(1);
+            words[..keep].join(" ")
+        }
+    }
+
+    /// The validation heuristics of §3.2: discard answers that are too
+    /// similar to the synthesized sentence (no real paraphrase), too short
+    /// relative to it (information lost), or empty.
+    pub fn validate(&self, original: &str, paraphrase: &str) -> bool {
+        let original_tokens = tokenize(original);
+        let paraphrase_tokens = tokenize(paraphrase);
+        if paraphrase_tokens.len() < 3 {
+            return false;
+        }
+        if paraphrase_tokens.len() * 2 < original_tokens.len() {
+            return false;
+        }
+        let distance = edit_distance(&original_tokens, &paraphrase_tokens);
+        if distance <= 1 {
+            return false;
+        }
+        // Completely unrelated answers are also rejected.
+        jaccard_similarity(&original_tokens, &paraphrase_tokens) >= 0.15
+    }
+}
+
+/// Swap "when X , Y" into "Y when X" and vice versa.
+fn reorder_clauses(sentence: &str) -> String {
+    if let Some(rest) = sentence.strip_prefix("when ") {
+        if let Some((condition, action)) = rest.split_once(" , ") {
+            if !condition.is_empty() && !action.is_empty() {
+                return format!("{action} when {condition}");
+            }
+        }
+    } else if let Some((action, condition)) = sentence.split_once(" when ") {
+        if !action.is_empty() && !condition.is_empty() && !action.starts_with("when") {
+            return format!("when {condition} , {action}");
+        }
+    }
+    sentence.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thingtalk::syntax::parse_program;
+
+    fn example() -> Example {
+        Example::new(
+            "when i receive an email , send a slack message to #general saying check your inbox",
+            parse_program(
+                "monitor (@com.gmail.inbox()) => @com.slack.send(channel = \"#general\"^^tt:slack_channel, message = \"check your inbox\")",
+            )
+            .unwrap(),
+            ExampleSource::Synthesized,
+        )
+    }
+
+    #[test]
+    fn paraphrases_differ_but_keep_the_program() {
+        let simulator = ParaphraseSimulator::new(ParaphraseConfig {
+            per_sentence: 4,
+            error_rate: 0.0,
+            seed: 1,
+        });
+        let paraphrases = simulator.paraphrase_all(&[example()]);
+        assert!(!paraphrases.is_empty());
+        for p in &paraphrases {
+            assert_eq!(p.program, example().program);
+            assert_eq!(p.source, ExampleSource::Paraphrase);
+            assert_ne!(p.utterance, example().utterance);
+        }
+    }
+
+    #[test]
+    fn clause_reordering_roundtrips() {
+        let forward = reorder_clauses("when it rains , bring an umbrella");
+        assert_eq!(forward, "bring an umbrella when it rains");
+        let back = reorder_clauses(&forward);
+        assert_eq!(back, "when it rains , bring an umbrella");
+        assert_eq!(reorder_clauses("lock the door"), "lock the door");
+    }
+
+    #[test]
+    fn validation_rejects_lazy_and_truncated_answers() {
+        let simulator = ParaphraseSimulator::new(ParaphraseConfig::default());
+        let original = "when i receive an email , send a slack message";
+        assert!(!simulator.validate(original, original));
+        assert!(!simulator.validate(original, "when i receive an email , send a slack message ."));
+        assert!(!simulator.validate(original, "when i"));
+        assert!(!simulator.validate(original, "play some jazz music loudly tonight"));
+        assert!(simulator.validate(original, "send a slack message whenever an email arrives for me"));
+    }
+
+    #[test]
+    fn error_rate_reduces_the_yield() {
+        let clean = ParaphraseSimulator::new(ParaphraseConfig {
+            per_sentence: 3,
+            error_rate: 0.0,
+            seed: 2,
+        });
+        let noisy = ParaphraseSimulator::new(ParaphraseConfig {
+            per_sentence: 3,
+            error_rate: 0.9,
+            seed: 2,
+        });
+        let examples = vec![example(); 20];
+        let clean_count = clean.paraphrase_all(&examples).len();
+        let noisy_count = noisy.paraphrase_all(&examples).len();
+        assert!(clean_count > noisy_count, "clean {clean_count} vs noisy {noisy_count}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let config = ParaphraseConfig {
+            per_sentence: 2,
+            error_rate: 0.1,
+            seed: 9,
+        };
+        let a = ParaphraseSimulator::new(config).paraphrase_all(&[example()]);
+        let b = ParaphraseSimulator::new(config).paraphrase_all(&[example()]);
+        assert_eq!(a, b);
+    }
+}

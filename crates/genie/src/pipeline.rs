@@ -1,0 +1,375 @@
+//! The training-set builder (Fig. 2, §3.4).
+//!
+//! The pipeline synthesizes sentences with the template engine, samples a
+//! subset for (simulated) paraphrasing, expands parameters, applies PPDB
+//! augmentation, and assembles the final training set. Three training
+//! strategies are supported, matching Fig. 8: synthesized-only,
+//! paraphrase-only (the traditional methodology), and the Genie strategy
+//! that combines both. Ablation switches (Table 3) control
+//! canonicalization, keyword parameters, type annotations, parameter
+//! expansion and the pretrained decoder LM.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use genie_templates::{GeneratorConfig, SentenceGenerator};
+use luinet::{ParserExample, ProgramLm};
+use thingpedia::{ParamDatasets, Thingpedia};
+use thingtalk::canonical::canonicalized;
+use thingtalk::nn_syntax::{to_tokens, NnSyntaxOptions};
+
+use crate::dataset::{Dataset, Example, ExampleSource};
+use crate::expansion::expand_dataset;
+use crate::paraphrase::{ParaphraseConfig, ParaphraseSimulator};
+
+/// Which data the parser is trained on (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrainingStrategy {
+    /// Only synthesized sentences.
+    SynthesizedOnly,
+    /// Only (simulated) paraphrases — the Wang-et-al methodology.
+    ParaphraseOnly,
+    /// Synthesized + paraphrases + augmentation — the Genie strategy.
+    Genie,
+}
+
+impl TrainingStrategy {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrainingStrategy::SynthesizedOnly => "Synthesized Only",
+            TrainingStrategy::ParaphraseOnly => "Paraphrase Only",
+            TrainingStrategy::Genie => "Genie",
+        }
+    }
+}
+
+/// Options controlling how programs are rendered into parser tokens,
+/// bundling the NN-syntax settings with the canonicalization switch of the
+/// Table 3 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NnOptions {
+    /// Keyword parameters / type annotations (NN syntax).
+    pub syntax: NnSyntaxOptions,
+    /// Canonicalize programs before serialization. Disabling this randomly
+    /// shuffles keyword parameters per training example (the paper's
+    /// "− canonicalization" row).
+    pub canonicalize: bool,
+}
+
+impl Default for NnOptions {
+    fn default() -> Self {
+        NnOptions {
+            syntax: NnSyntaxOptions::default(),
+            canonicalize: true,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Template-synthesis settings.
+    pub synthesis: GeneratorConfig,
+    /// Paraphrase-simulation settings.
+    pub paraphrase: ParaphraseConfig,
+    /// How many synthesized sentences are sent for paraphrasing.
+    pub paraphrase_sample: usize,
+    /// Parameter-expansion factor for paraphrases (paper: 10–30×).
+    pub expansion_paraphrase: usize,
+    /// Parameter-expansion factor for synthesized sentences (paper: 1–4×).
+    pub expansion_synthesized: usize,
+    /// Master switch for parameter expansion (Table 3 ablation).
+    pub parameter_expansion: bool,
+    /// Seed for sampling decisions in the pipeline itself.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            synthesis: GeneratorConfig::default(),
+            paraphrase: ParaphraseConfig::default(),
+            paraphrase_sample: 400,
+            expansion_paraphrase: 3,
+            expansion_synthesized: 1,
+            parameter_expansion: true,
+            seed: 0,
+        }
+    }
+}
+
+/// The assembled training material, kept separated by provenance so the
+/// training strategies and Fig. 7 statistics can be computed.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingData {
+    /// Synthesized examples.
+    pub synthesized: Dataset,
+    /// Simulated crowdworker paraphrases.
+    pub paraphrases: Dataset,
+    /// Parameter-expanded / PPDB-augmented examples.
+    pub augmented: Dataset,
+}
+
+impl TrainingData {
+    /// The dataset a given training strategy sees.
+    pub fn for_strategy(&self, strategy: TrainingStrategy) -> Dataset {
+        let mut out = Dataset::new();
+        match strategy {
+            TrainingStrategy::SynthesizedOnly => out.extend(self.synthesized.clone()),
+            TrainingStrategy::ParaphraseOnly => out.extend(self.paraphrases.clone()),
+            TrainingStrategy::Genie => {
+                out.extend(self.synthesized.clone());
+                out.extend(self.paraphrases.clone());
+                out.extend(self.augmented.clone());
+            }
+        }
+        out
+    }
+
+    /// The full Genie training set.
+    pub fn combined(&self) -> Dataset {
+        self.for_strategy(TrainingStrategy::Genie)
+    }
+}
+
+/// The end-to-end training-set builder.
+pub struct DataPipeline<'a> {
+    library: &'a Thingpedia,
+    datasets: ParamDatasets,
+    config: PipelineConfig,
+}
+
+impl<'a> DataPipeline<'a> {
+    /// Create a pipeline over a skill library.
+    pub fn new(library: &'a Thingpedia, config: PipelineConfig) -> Self {
+        DataPipeline {
+            library,
+            datasets: ParamDatasets::builtin(),
+            config,
+        }
+    }
+
+    /// The skill library the pipeline targets.
+    pub fn library(&self) -> &Thingpedia {
+        self.library
+    }
+
+    /// Run synthesis, paraphrasing and augmentation.
+    pub fn build(&self) -> TrainingData {
+        let generator = SentenceGenerator::new(self.library, self.config.synthesis);
+        let synthesized_raw = generator.synthesize();
+        let synthesized = Dataset::from_examples(
+            synthesized_raw
+                .iter()
+                .map(|e| Example::new(e.utterance.clone(), e.program.clone(), ExampleSource::Synthesized))
+                .collect(),
+        );
+
+        // Sample synthesized sentences for paraphrasing.
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut to_paraphrase: Vec<&Example> = synthesized.examples.iter().collect();
+        to_paraphrase.shuffle(&mut rng);
+        to_paraphrase.truncate(self.config.paraphrase_sample);
+        let simulator = ParaphraseSimulator::new(self.config.paraphrase);
+        let paraphrases = Dataset::from_examples(
+            simulator.paraphrase_all(&to_paraphrase.into_iter().cloned().collect::<Vec<_>>()),
+        );
+
+        // Parameter expansion / augmentation.
+        let augmented = if self.config.parameter_expansion {
+            let mut expanded = expand_dataset(
+                &paraphrases.examples,
+                &self.datasets,
+                |_| self.config.expansion_paraphrase,
+                self.config.seed.wrapping_add(1),
+            );
+            expanded.extend(expand_dataset(
+                &synthesized.examples,
+                &self.datasets,
+                |e| {
+                    if e.flags.primitive {
+                        self.config.expansion_synthesized
+                    } else {
+                        self.config.expansion_synthesized.saturating_sub(1).max(0)
+                    }
+                },
+                self.config.seed.wrapping_add(2),
+            ));
+            Dataset::from_examples(expanded)
+        } else {
+            Dataset::new()
+        };
+
+        TrainingData {
+            synthesized,
+            paraphrases,
+            augmented,
+        }
+    }
+
+    /// Convert a dataset into parser examples under the given NN options.
+    pub fn to_parser_examples(&self, dataset: &Dataset, options: NnOptions) -> Vec<ParserExample> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(99));
+        dataset
+            .examples
+            .iter()
+            .map(|example| self.to_parser_example(example, options, &mut rng))
+            .collect()
+    }
+
+    /// Convert a single example.
+    pub fn to_parser_example(
+        &self,
+        example: &Example,
+        options: NnOptions,
+        rng: &mut StdRng,
+    ) -> ParserExample {
+        let sentence = genie_nlp::tokenize(&example.utterance);
+        let mut program = if options.canonicalize {
+            canonicalized(self.library, &example.program)
+        } else {
+            example.program.clone()
+        };
+        if !options.canonicalize {
+            // The "− canonicalization" ablation: shuffle keyword parameters
+            // independently per training example.
+            for invocation in program.invocations_mut() {
+                invocation.in_params.shuffle(rng);
+            }
+        }
+        let program_tokens = to_tokens(&program, options.syntax);
+        ParserExample::new(sentence, program_tokens)
+    }
+
+    /// The gold parser tokens of an example for evaluation (always
+    /// canonicalized, as the paper evaluates against the canonicalized
+    /// program regardless of the training-time ablation).
+    pub fn gold_tokens(&self, example: &Example, options: NnOptions) -> Vec<String> {
+        let program = canonicalized(self.library, &example.program);
+        to_tokens(&program, options.syntax)
+    }
+
+    /// Pretrain the program language model on a larger synthesized-only
+    /// corpus (§4.2), `scale`× the size of the main synthesis.
+    pub fn pretrain_lm(&self, scale: usize) -> ProgramLm {
+        let mut config = self.config.synthesis;
+        config.target_per_rule *= scale.max(1);
+        config.seed = config.seed.wrapping_add(4242);
+        let generator = SentenceGenerator::new(self.library, config);
+        let mut lm = ProgramLm::new();
+        let programs: Vec<Vec<String>> = generator
+            .synthesize()
+            .iter()
+            .map(|e| to_tokens(&canonicalized(self.library, &e.program), NnSyntaxOptions::default()))
+            .collect();
+        lm.train(&programs);
+        lm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            synthesis: GeneratorConfig {
+                target_per_rule: 15,
+                max_depth: 5,
+                instantiations_per_template: 1,
+                seed: 1,
+                include_aggregation: false,
+                include_timers: true,
+            },
+            paraphrase: ParaphraseConfig {
+                per_sentence: 2,
+                error_rate: 0.05,
+                seed: 1,
+            },
+            paraphrase_sample: 60,
+            expansion_paraphrase: 2,
+            expansion_synthesized: 1,
+            parameter_expansion: true,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_all_three_sources() {
+        let library = Thingpedia::builtin();
+        let pipeline = DataPipeline::new(&library, small_config());
+        let data = pipeline.build();
+        assert!(!data.synthesized.is_empty());
+        assert!(!data.paraphrases.is_empty());
+        assert!(!data.augmented.is_empty());
+        let combined = data.combined();
+        assert!(combined.len() > data.synthesized.len());
+        assert!(combined.paraphrase_fraction() > 0.0);
+    }
+
+    #[test]
+    fn strategies_select_different_subsets() {
+        let library = Thingpedia::builtin();
+        let pipeline = DataPipeline::new(&library, small_config());
+        let data = pipeline.build();
+        let synthesized = data.for_strategy(TrainingStrategy::SynthesizedOnly);
+        let paraphrase = data.for_strategy(TrainingStrategy::ParaphraseOnly);
+        let genie = data.for_strategy(TrainingStrategy::Genie);
+        assert_eq!(synthesized.len(), data.synthesized.len());
+        assert_eq!(paraphrase.len(), data.paraphrases.len());
+        assert!(genie.len() > synthesized.len().max(paraphrase.len()));
+    }
+
+    #[test]
+    fn parameter_expansion_can_be_disabled() {
+        let library = Thingpedia::builtin();
+        let mut config = small_config();
+        config.parameter_expansion = false;
+        let data = DataPipeline::new(&library, config).build();
+        assert!(data.augmented.is_empty());
+    }
+
+    #[test]
+    fn parser_examples_have_aligned_tokens() {
+        let library = Thingpedia::builtin();
+        let pipeline = DataPipeline::new(&library, small_config());
+        let data = pipeline.build();
+        let examples = pipeline.to_parser_examples(&data.synthesized, NnOptions::default());
+        assert_eq!(examples.len(), data.synthesized.len());
+        for example in examples.iter().take(50) {
+            assert!(!example.sentence.is_empty());
+            assert!(example.program.len() >= 4);
+            assert!(example.program.iter().any(|t| t == "=>"));
+        }
+    }
+
+    #[test]
+    fn canonicalization_ablation_shuffles_parameters() {
+        let library = Thingpedia::builtin();
+        let pipeline = DataPipeline::new(&library, small_config());
+        let example = Example::new(
+            "post the picture on facebook with caption funny cat",
+            thingtalk::syntax::parse_program(
+                "now => @com.facebook.post_picture(picture_url = \"https://x.example/p.jpg\", caption = \"funny cat\")",
+            )
+            .unwrap(),
+            ExampleSource::Synthesized,
+        );
+        let canonical = pipeline.gold_tokens(&example, NnOptions::default());
+        // Canonical order is alphabetical: caption before picture_url.
+        let caption_pos = canonical.iter().position(|t| t == "param:caption").unwrap();
+        let picture_pos = canonical.iter().position(|t| t == "param:picture_url").unwrap();
+        assert!(caption_pos < picture_pos);
+    }
+
+    #[test]
+    fn pretrained_lm_covers_program_structure() {
+        let library = Thingpedia::builtin();
+        let pipeline = DataPipeline::new(&library, small_config());
+        let lm = pipeline.pretrain_lm(1);
+        assert!(lm.trained_programs() > 100);
+        assert!(lm.log_prob("<s>", "now", "=>") > lm.log_prob("<s>", "now", "notify"));
+    }
+}

@@ -1,0 +1,175 @@
+//! The Baseline parser (Wang et al. [57], as configured in §6 of the paper):
+//! trained only on paraphrase data, with no synthesized data, no PPDB
+//! augmentation and no parameter expansion.
+//!
+//! Operationally it is a paraphrase-matching parser: every training sentence
+//! is indexed with its program, and at prediction time the input is matched
+//! against the stored sentences with a TF-IDF-weighted token overlap; the
+//! program of the closest sentence is returned. This mirrors "use the
+//! paraphrases to train a machine learning model that can match input
+//! sentences against possible canonical sentences".
+
+use std::collections::HashMap;
+
+use crate::data::ParserExample;
+
+/// The paraphrase-matching baseline parser.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineParser {
+    examples: Vec<ParserExample>,
+    document_frequency: HashMap<String, f64>,
+}
+
+impl BaselineParser {
+    /// An empty baseline.
+    pub fn new() -> Self {
+        BaselineParser::default()
+    }
+
+    /// Index the training examples.
+    pub fn train(&mut self, examples: &[ParserExample]) {
+        for example in examples {
+            let mut seen: Vec<&String> = Vec::new();
+            for token in &example.sentence {
+                if !seen.contains(&token) {
+                    seen.push(token);
+                    *self.document_frequency.entry(token.clone()).or_default() += 1.0;
+                }
+            }
+            self.examples.push(example.clone());
+        }
+    }
+
+    /// Number of indexed sentences.
+    pub fn size(&self) -> usize {
+        self.examples.len()
+    }
+
+    fn idf(&self, token: &str) -> f64 {
+        let n = self.examples.len().max(1) as f64;
+        let df = self.document_frequency.get(token).copied().unwrap_or(0.0);
+        ((n + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+
+    fn similarity(&self, a: &[String], b: &[String]) -> f64 {
+        let mut score = 0.0;
+        let mut norm = 0.0;
+        for token in a {
+            let w = self.idf(token);
+            norm += w;
+            if b.contains(token) {
+                score += w;
+            }
+        }
+        for token in b {
+            norm += self.idf(token) * 0.25;
+        }
+        if norm == 0.0 {
+            0.0
+        } else {
+            score / norm
+        }
+    }
+
+    /// Predict the program for a sentence by nearest-neighbour matching.
+    /// Returns an empty program when nothing has been indexed.
+    pub fn predict(&self, sentence: &[String]) -> Vec<String> {
+        let mut best: Option<(&ParserExample, f64)> = None;
+        for example in &self.examples {
+            let score = self.similarity(sentence, &example.sentence);
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((example, score));
+            }
+        }
+        best.map(|(e, _)| e.program.clone()).unwrap_or_default()
+    }
+
+    /// Predict programs for many sentences.
+    pub fn predict_batch(&self, sentences: &[Vec<String>]) -> Vec<Vec<String>> {
+        sentences.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Exact-match accuracy on a set of examples.
+    pub fn exact_match_accuracy(&self, examples: &[ParserExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|e| self.predict(&e.sentence) == e.program)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> BaselineParser {
+        let mut baseline = BaselineParser::new();
+        baseline.train(&[
+            ParserExample::from_strs(
+                "show me my emails",
+                "now => @com.gmail.inbox ( ) => notify",
+            ),
+            ParserExample::from_strs(
+                "show me my tweets",
+                "now => @com.twitter.timeline ( ) => notify",
+            ),
+            ParserExample::from_strs(
+                "lock the front door",
+                "now => @com.august.lock.lock ( )",
+            ),
+        ]);
+        baseline
+    }
+
+    #[test]
+    fn exact_sentences_are_recalled() {
+        let baseline = index();
+        assert_eq!(baseline.size(), 3);
+        let p = baseline.predict(
+            &"lock the front door"
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(p.join(" "), "now => @com.august.lock.lock ( )");
+    }
+
+    #[test]
+    fn near_paraphrases_match_the_right_program() {
+        let baseline = index();
+        let p = baseline.predict(
+            &"please show my emails now"
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>(),
+        );
+        assert!(p.join(" ").contains("@com.gmail.inbox"));
+    }
+
+    #[test]
+    fn rare_words_dominate_matching() {
+        let baseline = index();
+        // "tweets" is rare relative to "show me my", so it should pick the
+        // twitter program even with extra overlap elsewhere.
+        let p = baseline.predict(
+            &"show me all the tweets please"
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>(),
+        );
+        assert!(p.join(" ").contains("@com.twitter.timeline"));
+    }
+
+    #[test]
+    fn empty_baseline_returns_empty_program() {
+        let baseline = BaselineParser::new();
+        assert!(baseline
+            .predict(&["anything".to_owned()])
+            .is_empty());
+        assert_eq!(baseline.exact_match_accuracy(&[]), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Training and evaluation examples for the parser.
+
+use serde::{Deserialize, Serialize};
+
+/// One (sentence, program) pair, both as token sequences.
+///
+/// The sentence is tokenized and argument-identified by `genie-nlp`; the
+/// program is in NN syntax (`thingtalk::nn_syntax`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParserExample {
+    /// The input sentence tokens.
+    pub sentence: Vec<String>,
+    /// The target program tokens.
+    pub program: Vec<String>,
+}
+
+impl ParserExample {
+    /// Create an example from token vectors.
+    pub fn new(sentence: Vec<String>, program: Vec<String>) -> Self {
+        ParserExample { sentence, program }
+    }
+
+    /// Create an example by whitespace-splitting two strings (convenient in
+    /// tests).
+    pub fn from_strs(sentence: &str, program: &str) -> Self {
+        ParserExample {
+            sentence: sentence.split_whitespace().map(str::to_owned).collect(),
+            program: program.split_whitespace().map(str::to_owned).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_strs_splits_on_whitespace() {
+        let ex = ParserExample::from_strs("post hello", "now => @com.twitter.post ( )");
+        assert_eq!(ex.sentence.len(), 2);
+        assert_eq!(ex.program.len(), 5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Hashed feature vectors for the structured decoder.
+//!
+//! The decoder scores candidate next-tokens with a linear model over sparse
+//! features. Features are hashed into a fixed-size weight table (the hashing
+//! trick), so memory stays bounded regardless of vocabulary size.
+
+use std::hash::{Hash, Hasher};
+
+/// Number of weight buckets (2^22).
+pub const FEATURE_BUCKETS: usize = 1 << 22;
+
+/// A deterministic 64-bit hash (FxHash-style) used for feature hashing.
+/// `std::collections::hash_map::DefaultHasher` is deterministic per process
+/// but not guaranteed across Rust versions, so we implement a fixed one.
+#[derive(Clone, Copy)]
+pub struct FxHasher(u64);
+
+impl Default for FxHasher {
+    fn default() -> Self {
+        FxHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x1000_0000_01b3;
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+}
+
+/// Hash a feature (any `Hash` tuple) combined with a candidate token into a
+/// weight bucket.
+pub fn bucket<F: Hash>(feature: &F, candidate: &str) -> usize {
+    let mut hasher = FxHasher::default();
+    feature.hash(&mut hasher);
+    candidate.hash(&mut hasher);
+    (hasher.finish() as usize) % FEATURE_BUCKETS
+}
+
+/// The feature buckets active for a decoding context paired with a candidate.
+///
+/// Context features:
+/// * previous one and two program tokens (a program-LM-style feature);
+/// * each content word of the input sentence (lexical → function/parameter
+///   associations, the analogue of attention);
+/// * whether the candidate copies a word that occurs in the input (the
+///   pointer feature);
+/// * a position bucket.
+pub fn candidate_buckets(
+    sentence: &[String],
+    prev1: &str,
+    prev2: &str,
+    position: usize,
+    candidate: &str,
+    buckets: &mut Vec<usize>,
+) {
+    buckets.clear();
+    buckets.push(bucket(&("bias",), candidate));
+    buckets.push(bucket(&("prev1", prev1), candidate));
+    buckets.push(bucket(&("prev2", prev2, prev1), candidate));
+    buckets.push(bucket(&("pos", position.min(24)), candidate));
+    let copies = sentence.iter().any(|w| w == candidate);
+    if copies {
+        buckets.push(bucket(&("copy", prev1), ""));
+        buckets.push(bucket(&("copy-word",), candidate));
+    }
+    // Pointer-style span continuation: if the previous program token was
+    // itself copied from the input, learn (independently of word identity)
+    // whether to keep copying the next input word or to close the span.
+    let prev_copied = sentence.iter().any(|w| w == prev1);
+    if prev_copied {
+        buckets.push(bucket(&("prev-copied",), candidate));
+        let continues_span = sentence
+            .windows(2)
+            .any(|pair| pair[0] == prev1 && pair[1] == candidate);
+        if continues_span {
+            buckets.push(bucket(&("copy-next",), ""));
+        }
+    }
+    for word in content_words(sentence) {
+        buckets.push(bucket(&("word", word), candidate));
+    }
+}
+
+/// The content words of a sentence used as lexical features (stop words and
+/// very short tokens are skipped, and the list is capped to bound cost).
+pub fn content_words(sentence: &[String]) -> impl Iterator<Item = &str> {
+    const STOP: &[&str] = &[
+        "a", "an", "the", "to", "of", "in", "on", "at", "is", "are", "my", "me", "i", "and",
+        "then", "please", "can", "you", "it", "that", "with", "for", "when", "if", ",", ".", "!",
+        "?", "\"",
+    ];
+    sentence
+        .iter()
+        .map(String::as_str)
+        .filter(|w| w.len() > 1 && !STOP.contains(w))
+        .take(12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_bounded() {
+        let a = bucket(&("prev1", "now"), "=>");
+        let b = bucket(&("prev1", "now"), "=>");
+        assert_eq!(a, b);
+        assert!(a < FEATURE_BUCKETS);
+        let c = bucket(&("prev1", "now"), "notify");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn candidate_buckets_include_lexical_features() {
+        let sentence = words("post funny cat on facebook");
+        let mut buckets = Vec::new();
+        candidate_buckets(&sentence, "now", "<s>", 1, "@com.facebook.post", &mut buckets);
+        assert!(buckets.len() >= 6);
+        let mut with_other_word = Vec::new();
+        candidate_buckets(
+            &words("lock the front door"),
+            "now",
+            "<s>",
+            1,
+            "@com.facebook.post",
+            &mut with_other_word,
+        );
+        assert_ne!(buckets, with_other_word);
+    }
+
+    #[test]
+    fn copy_features_fire_only_for_input_words() {
+        let sentence = words("play shake it off");
+        let mut copy_buckets = Vec::new();
+        candidate_buckets(&sentence, "\"", "=", 5, "shake", &mut copy_buckets);
+        let mut nocopy_buckets = Vec::new();
+        candidate_buckets(&sentence, "\"", "=", 5, "hello", &mut nocopy_buckets);
+        assert!(copy_buckets.len() > nocopy_buckets.len());
+    }
+
+    #[test]
+    fn content_words_drop_stopwords() {
+        let sentence = words("please post the funny cat on my facebook");
+        let content: Vec<&str> = content_words(&sentence).collect();
+        assert!(content.contains(&"funny"));
+        assert!(content.contains(&"facebook"));
+        assert!(!content.contains(&"the"));
+        assert!(!content.contains(&"please"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # LUInet — the semantic parser
+//!
+//! The paper's parser is MQAN, a seq2seq model with coattention,
+//! self-attention and a pointer-generator decoder, augmented with a
+//! pretrained ThingTalk decoder language model (§4). Training it requires a
+//! GPU and a deep-learning framework; per the reproduction plan (DESIGN.md),
+//! this crate substitutes a from-scratch, CPU-trainable parser that keeps
+//! the properties the evaluation depends on:
+//!
+//! * it is trained on (sentence tokens, program tokens) pairs and decodes
+//!   programs token by token, conditioned on the input sentence and the
+//!   previously generated tokens ([`model::LuinetParser`]);
+//! * it has a **copy mechanism**: at every step the decoder can either emit
+//!   a token from the program vocabulary or copy a word from the input
+//!   sentence, which is how unquoted free-form parameters are produced;
+//! * it can be augmented with a **pretrained program language model**
+//!   ([`lm::ProgramLm`]) trained on a large synthesized program corpus, the
+//!   counterpart of §4.2's decoder LM (and the corresponding Table 3
+//!   ablation);
+//! * larger and more varied training sets improve it, so the Fig. 8 and
+//!   Fig. 9 comparisons between training strategies are meaningful.
+//!
+//! The crate also provides the **Baseline** of §6 ([`baseline`]): a
+//! Wang-et-al-style parser that matches the input against the canonical
+//! sentences of the programs seen in training and returns the program of the
+//! closest match.
+
+pub mod baseline;
+pub mod data;
+pub mod features;
+pub mod lm;
+pub mod model;
+pub mod vocab;
+
+pub use baseline::BaselineParser;
+pub use data::ParserExample;
+pub use lm::ProgramLm;
+pub use model::{LuinetParser, ModelConfig};
+pub use vocab::Vocab;

@@ -1,0 +1,180 @@
+//! The pretrained ThingTalk program language model (§4.2).
+//!
+//! The paper pretrains a recurrent LM on ~20M synthesized programs and feeds
+//! its representation to the decoder, exposing the model "to a much larger
+//! space of programs than the paraphrase set". Here the LM is an
+//! interpolated bigram/trigram model over program tokens, trained on a large
+//! synthesized program corpus and used both as an additional score in the
+//! decoder and to propose candidate next tokens (which keeps decoding fast).
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::{BOS, EOS};
+
+/// An interpolated bigram/trigram language model over program tokens.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProgramLm {
+    unigram: HashMap<String, f64>,
+    bigram: HashMap<(String, String), f64>,
+    trigram: HashMap<(String, String, String), f64>,
+    successors: HashMap<String, BTreeSet<String>>,
+    total_tokens: f64,
+    trained_programs: usize,
+}
+
+impl ProgramLm {
+    /// An empty (untrained) LM.
+    pub fn new() -> Self {
+        ProgramLm::default()
+    }
+
+    /// Train (or continue training) on a corpus of programs, each given as
+    /// its token sequence.
+    pub fn train<'a>(&mut self, programs: impl IntoIterator<Item = &'a Vec<String>>) {
+        for program in programs {
+            self.trained_programs += 1;
+            let mut prev1 = BOS.to_owned();
+            let mut prev2 = BOS.to_owned();
+            for token in program.iter().chain(std::iter::once(&EOS.to_owned())) {
+                *self.unigram.entry(token.clone()).or_default() += 1.0;
+                *self
+                    .bigram
+                    .entry((prev1.clone(), token.clone()))
+                    .or_default() += 1.0;
+                *self
+                    .trigram
+                    .entry((prev2.clone(), prev1.clone(), token.clone()))
+                    .or_default() += 1.0;
+                self.successors
+                    .entry(prev1.clone())
+                    .or_default()
+                    .insert(token.clone());
+                self.total_tokens += 1.0;
+                prev2 = prev1;
+                prev1 = token.clone();
+            }
+        }
+    }
+
+    /// Number of programs the LM was trained on.
+    pub fn trained_programs(&self) -> usize {
+        self.trained_programs
+    }
+
+    /// The tokens that have been observed to follow `prev` in training.
+    pub fn successors(&self, prev: &str) -> impl Iterator<Item = &str> {
+        self.successors
+            .get(prev)
+            .into_iter()
+            .flat_map(|set| set.iter().map(String::as_str))
+    }
+
+    /// Interpolated log-probability of `token` following `(prev2, prev1)`.
+    pub fn log_prob(&self, prev2: &str, prev1: &str, token: &str) -> f64 {
+        if self.total_tokens == 0.0 {
+            return 0.0;
+        }
+        let vocab_size = self.unigram.len().max(1) as f64;
+        let uni_count = self.unigram.get(token).copied().unwrap_or(0.0);
+        let p_uni = (uni_count + 1.0) / (self.total_tokens + vocab_size);
+        let prev1_count = self.unigram.get(prev1).copied().unwrap_or(0.0).max(1.0);
+        let bi_count = self
+            .bigram
+            .get(&(prev1.to_owned(), token.to_owned()))
+            .copied()
+            .unwrap_or(0.0);
+        let p_bi = (bi_count + 0.5) / (prev1_count + 0.5 * vocab_size);
+        let bi_context = self
+            .bigram
+            .get(&(prev2.to_owned(), prev1.to_owned()))
+            .copied()
+            .unwrap_or(0.0)
+            .max(1.0);
+        let tri_count = self
+            .trigram
+            .get(&(prev2.to_owned(), prev1.to_owned(), token.to_owned()))
+            .copied()
+            .unwrap_or(0.0);
+        let p_tri = (tri_count + 0.25) / (bi_context + 0.25 * vocab_size);
+        (0.2 * p_uni + 0.4 * p_bi + 0.4 * p_tri).ln()
+    }
+
+    /// Perplexity of a program under the LM (lower is better).
+    pub fn perplexity(&self, program: &[String]) -> f64 {
+        if program.is_empty() {
+            return f64::INFINITY;
+        }
+        let mut prev1 = BOS.to_owned();
+        let mut prev2 = BOS.to_owned();
+        let mut log_sum = 0.0;
+        let mut count = 0usize;
+        for token in program.iter().chain(std::iter::once(&EOS.to_owned())) {
+            log_sum += self.log_prob(&prev2, &prev1, token);
+            count += 1;
+            prev2 = prev1;
+            prev1 = token.clone();
+        }
+        (-log_sum / count as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn trained() -> ProgramLm {
+        let corpus = vec![
+            toks("now => @com.gmail.inbox ( ) => notify"),
+            toks("now => @com.twitter.timeline ( ) => notify"),
+            toks("now => @com.gmail.inbox ( ) => @com.slack.send ( )"),
+            toks("monitor ( @com.gmail.inbox ( ) ) => notify"),
+            toks("monitor ( @com.twitter.timeline ( ) ) => notify"),
+        ];
+        let mut lm = ProgramLm::new();
+        lm.train(&corpus);
+        lm
+    }
+
+    #[test]
+    fn grammatical_continuations_score_higher() {
+        let lm = trained();
+        let p_arrow = lm.log_prob("<s>", "now", "=>");
+        let p_garbage = lm.log_prob("<s>", "now", "notify");
+        assert!(p_arrow > p_garbage);
+    }
+
+    #[test]
+    fn successors_reflect_training_data() {
+        let lm = trained();
+        let next: Vec<&str> = lm.successors("now").collect();
+        assert_eq!(next, vec!["=>"]);
+        assert!(lm.successors("never-seen").next().is_none());
+    }
+
+    #[test]
+    fn perplexity_prefers_seen_programs() {
+        let lm = trained();
+        let seen = toks("now => @com.gmail.inbox ( ) => notify");
+        let garbled = toks("notify => ) ( now inbox");
+        assert!(lm.perplexity(&seen) < lm.perplexity(&garbled));
+    }
+
+    #[test]
+    fn untrained_lm_is_neutral() {
+        let lm = ProgramLm::new();
+        assert_eq!(lm.log_prob("a", "b", "c"), 0.0);
+        assert_eq!(lm.trained_programs(), 0);
+    }
+
+    #[test]
+    fn training_counts_programs() {
+        let lm = trained();
+        assert_eq!(lm.trained_programs(), 5);
+    }
+}

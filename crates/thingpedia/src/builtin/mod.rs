@@ -1,0 +1,185 @@
+//! The builtin skill library: 45+ classes across the domains of the paper's
+//! Thingpedia snapshot, each with function signatures (Fig. 3), canonical
+//! phrases, and primitive templates (Table 1).
+//!
+//! The classes are grouped by domain module. `all()` returns every class
+//! together with its primitive templates; [`crate::Thingpedia::builtin`]
+//! assembles them into a registry.
+
+pub mod communication;
+pub mod iot;
+pub mod media;
+pub mod news;
+pub mod productivity;
+pub mod social;
+pub mod spotify;
+pub mod web;
+
+use thingtalk::class::ClassDef;
+
+use crate::templates::PrimitiveTemplate;
+
+/// A class plus its primitive templates.
+pub type SkillEntry = (ClassDef, Vec<PrimitiveTemplate>);
+
+/// All builtin skills (the extended Spotify skill of §6.1 is returned
+/// separately by [`spotify::extended`]).
+pub fn all() -> Vec<SkillEntry> {
+    let mut out = Vec::new();
+    out.extend(social::skills());
+    out.extend(communication::skills());
+    out.extend(media::skills());
+    out.extend(news::skills());
+    out.extend(productivity::skills());
+    out.extend(iot::skills());
+    out.extend(web::skills());
+    out.push(spotify::basic());
+    out
+}
+
+/// Shared shorthand for declaring functions and parameters compactly.
+pub(crate) mod dsl {
+    use thingtalk::class::{FunctionDef, FunctionKind, ParamDef, ParamDirection};
+    use thingtalk::types::Type;
+    use thingtalk::units::BaseUnit;
+
+    /// Required input parameter.
+    pub fn req(name: &str, ty: Type) -> ParamDef {
+        ParamDef::new(name, ty, ParamDirection::InReq)
+    }
+
+    /// Optional input parameter.
+    pub fn opt(name: &str, ty: Type) -> ParamDef {
+        ParamDef::new(name, ty, ParamDirection::InOpt)
+    }
+
+    /// Output parameter.
+    pub fn out(name: &str, ty: Type) -> ParamDef {
+        ParamDef::new(name, ty, ParamDirection::Out)
+    }
+
+    /// Monitorable list query.
+    pub fn mlq(name: &str, canonical: &str, params: Vec<ParamDef>) -> FunctionDef {
+        FunctionDef::new(name, FunctionKind::MONITORABLE_LIST_QUERY, params).with_canonical(canonical)
+    }
+
+    /// Monitorable single-result query.
+    pub fn mq(name: &str, canonical: &str, params: Vec<ParamDef>) -> FunctionDef {
+        FunctionDef::new(name, FunctionKind::MONITORABLE_QUERY, params).with_canonical(canonical)
+    }
+
+    /// Non-monitorable list query.
+    pub fn lq(name: &str, canonical: &str, params: Vec<ParamDef>) -> FunctionDef {
+        FunctionDef::new(name, FunctionKind::LIST_QUERY, params).with_canonical(canonical)
+    }
+
+    /// Non-monitorable single-result query.
+    pub fn q(name: &str, canonical: &str, params: Vec<ParamDef>) -> FunctionDef {
+        FunctionDef::new(name, FunctionKind::QUERY, params).with_canonical(canonical)
+    }
+
+    /// Action.
+    pub fn act(name: &str, canonical: &str, params: Vec<ParamDef>) -> FunctionDef {
+        FunctionDef::new(name, FunctionKind::Action, params).with_canonical(canonical)
+    }
+
+    /// `String` type shorthand.
+    pub fn s() -> Type {
+        Type::String
+    }
+
+    /// `Number` type shorthand.
+    pub fn num() -> Type {
+        Type::Number
+    }
+
+    /// `Boolean` type shorthand.
+    pub fn boolean() -> Type {
+        Type::Boolean
+    }
+
+    /// `Date` type shorthand.
+    pub fn date() -> Type {
+        Type::Date
+    }
+
+    /// Entity type shorthand.
+    pub fn ent(kind: &str) -> Type {
+        Type::Entity(kind.to_owned())
+    }
+
+    /// Enum type shorthand.
+    pub fn en(variants: &[&str]) -> Type {
+        Type::Enum(variants.iter().map(|v| v.to_string()).collect())
+    }
+
+    /// Measure type shorthand.
+    pub fn measure(base: BaseUnit) -> Type {
+        Type::Measure(base)
+    }
+
+    /// Array type shorthand.
+    pub fn array(inner: Type) -> Type {
+        Type::Array(Box::new(inner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thingtalk::class::FunctionKind;
+
+    #[test]
+    fn all_returns_many_skills() {
+        let skills = all();
+        assert!(skills.len() >= 44, "found only {} skills", skills.len());
+        // No duplicate class names.
+        let mut names: Vec<&str> = skills.iter().map(|(c, _)| c.name.as_str()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate class names in the builtin library");
+    }
+
+    #[test]
+    fn every_class_has_a_domain_and_display_name() {
+        for (class, _) in all() {
+            assert!(!class.domain.is_empty(), "class {} has no domain", class.name);
+            assert!(!class.display_name.is_empty());
+            assert!(!class.functions.is_empty(), "class {} has no functions", class.name);
+        }
+    }
+
+    #[test]
+    fn actions_have_no_output_parameters() {
+        for (class, _) in all() {
+            for function in class.functions.values() {
+                if function.kind == FunctionKind::Action {
+                    assert_eq!(
+                        function.output_params().count(),
+                        0,
+                        "action @{}.{} declares output parameters",
+                        class.name,
+                        function.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_have_at_least_one_output_parameter() {
+        for (class, _) in all() {
+            for function in class.functions.values() {
+                if function.kind.is_query() {
+                    assert!(
+                        function.output_params().count() > 0,
+                        "query @{}.{} has no output parameters",
+                        class.name,
+                        function.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! News skills: the New York Times, the Washington Post, the Wall Street
+//! Journal, BBC, a generic RSS reader, and PhD Comics.
+
+use thingtalk::class::ClassDef;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The news skills.
+pub fn skills() -> Vec<SkillEntry> {
+    vec![nytimes(), washingtonpost(), wsj(), bbc(), rss(), phdcomics()]
+}
+
+fn nytimes() -> SkillEntry {
+    let class = ClassDef::new("com.nytimes")
+        .with_display_name("New York Times")
+        .with_domain("news")
+        .with_function(mlq(
+            "get_front_page",
+            "articles on the new york times front page",
+            vec![
+                out("title", ent("tt:news_title")),
+                out("link", thingtalk::Type::Url),
+                out("abstract", s()),
+                out("section", s()),
+                out("updated", date()),
+            ],
+        ))
+        .with_function(mlq(
+            "get_section",
+            "new york times articles in a section",
+            vec![
+                req("section", en(&["world", "business", "technology", "sports", "science", "arts"])),
+                out("title", ent("tt:news_title")),
+                out("link", thingtalk::Type::Url),
+                out("abstract", s()),
+            ],
+        ));
+    let templates = vec![
+        np("com.nytimes", "get_front_page", "articles on the new york times front page"),
+        np("com.nytimes", "get_front_page", "the headlines in the new york times"),
+        np("com.nytimes", "get_front_page", "today's new york times stories"),
+        wp("com.nytimes", "get_front_page", "when the new york times publishes a new article"),
+        np("com.nytimes", "get_section", "new york times $section articles"),
+        wp("com.nytimes", "get_section", "when there is a new $section story in the new york times"),
+    ];
+    (class, templates)
+}
+
+fn washingtonpost() -> SkillEntry {
+    let class = ClassDef::new("com.washingtonpost")
+        .with_display_name("Washington Post")
+        .with_domain("news")
+        .with_function(mlq(
+            "get_article",
+            "washington post articles",
+            vec![
+                out("headline", ent("tt:news_title")),
+                out("link", thingtalk::Type::Url),
+                out("blurb", s()),
+            ],
+        ))
+        .with_function(mlq(
+            "get_blog_post",
+            "washington post blog posts",
+            vec![
+                out("headline", ent("tt:news_title")),
+                out("link", thingtalk::Type::Url),
+            ],
+        ));
+    let templates = vec![
+        np("com.washingtonpost", "get_article", "washington post articles"),
+        np("com.washingtonpost", "get_article", "news from the washington post"),
+        wp("com.washingtonpost", "get_article", "when the washington post publishes an article"),
+        np("com.washingtonpost", "get_blog_post", "washington post blog posts"),
+        wp("com.washingtonpost", "get_blog_post", "when there is a new washington post blog post"),
+    ];
+    (class, templates)
+}
+
+fn wsj() -> SkillEntry {
+    let class = ClassDef::new("com.wsj")
+        .with_display_name("Wall Street Journal")
+        .with_domain("news")
+        .with_function(mlq(
+            "get_news",
+            "wall street journal articles",
+            vec![
+                req("section", en(&["markets", "world_news", "us_business", "technology", "opinion"])),
+                out("title", ent("tt:news_title")),
+                out("link", thingtalk::Type::Url),
+                out("published", date()),
+            ],
+        ));
+    let templates = vec![
+        np("com.wsj", "get_news", "wall street journal $section articles"),
+        np("com.wsj", "get_news", "news in the $section section of the wsj"),
+        wp("com.wsj", "get_news", "when the wall street journal publishes a $section article"),
+    ];
+    (class, templates)
+}
+
+fn bbc() -> SkillEntry {
+    let class = ClassDef::new("com.bbc")
+        .with_display_name("BBC")
+        .with_domain("news")
+        .with_function(mlq(
+            "top_stories",
+            "bbc top stories",
+            vec![
+                out("title", ent("tt:news_title")),
+                out("link", thingtalk::Type::Url),
+                out("summary", s()),
+            ],
+        ));
+    let templates = vec![
+        np("com.bbc", "top_stories", "bbc top stories"),
+        np("com.bbc", "top_stories", "the latest news from the bbc"),
+        wp("com.bbc", "top_stories", "when the bbc reports a new story"),
+    ];
+    (class, templates)
+}
+
+fn rss() -> SkillEntry {
+    let class = ClassDef::new("org.thingpedia.rss")
+        .with_display_name("RSS Feed")
+        .with_domain("news")
+        .with_function(mlq(
+            "get_post",
+            "posts in an rss feed",
+            vec![
+                req("url", thingtalk::Type::Url),
+                out("title", s()),
+                out("link", thingtalk::Type::Url),
+                out("updated", date()),
+            ],
+        ));
+    let templates = vec![
+        np("org.thingpedia.rss", "get_post", "posts in the rss feed $url"),
+        np("org.thingpedia.rss", "get_post", "articles from the feed at $url"),
+        wp("org.thingpedia.rss", "get_post", "when the rss feed $url updates"),
+    ];
+    (class, templates)
+}
+
+fn phdcomics() -> SkillEntry {
+    let class = ClassDef::new("com.phdcomics")
+        .with_display_name("PhD Comics")
+        .with_domain("news")
+        .with_function(mq(
+            "get_post",
+            "the latest phd comic",
+            vec![
+                out("title", s()),
+                out("link", thingtalk::Type::Url),
+                out("picture_url", thingtalk::Type::Picture),
+            ],
+        ));
+    let templates = vec![
+        np("com.phdcomics", "get_post", "the latest phd comic"),
+        wp("com.phdcomics", "get_post", "when a new phd comic is published"),
+        vp("com.phdcomics", "get_post", "check phd comics"),
+    ];
+    (class, templates)
+}

@@ -1,0 +1,317 @@
+//! Productivity and cloud-storage skills: Dropbox, OneDrive, Google Drive,
+//! GitHub, a calendar, a to-do list, and a note-taking app.
+
+use thingtalk::class::ClassDef;
+use thingtalk::units::BaseUnit;
+use thingtalk::Value;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The productivity skills.
+pub fn skills() -> Vec<SkillEntry> {
+    vec![
+        dropbox(),
+        onedrive(),
+        gdrive(),
+        github(),
+        calendar(),
+        todo(),
+        notes(),
+    ]
+}
+
+fn dropbox() -> SkillEntry {
+    let class = ClassDef::new("com.dropbox")
+        .with_display_name("Dropbox")
+        .with_domain("cloud storage")
+        .with_function(mq(
+            "get_space_usage",
+            "my dropbox space usage",
+            vec![
+                out("used_space", measure(BaseUnit::Byte)),
+                out("total_space", measure(BaseUnit::Byte)),
+            ],
+        ))
+        .with_function(mlq(
+            "list_folder",
+            "my dropbox files",
+            vec![
+                opt("folder_name", thingtalk::Type::PathName),
+                opt(
+                    "order_by",
+                    en(&["modified_time_decreasing", "modified_time_increasing", "name"]),
+                ),
+                out("file_name", thingtalk::Type::PathName),
+                out("is_folder", boolean()),
+                out("modified_time", date()),
+                out("file_size", measure(BaseUnit::Byte)),
+                out("full_path", thingtalk::Type::PathName),
+            ],
+        ))
+        .with_function(q(
+            "open",
+            "a temporary download link to a dropbox file",
+            vec![
+                req("file_name", thingtalk::Type::PathName),
+                out("download_url", thingtalk::Type::Url),
+            ],
+        ))
+        .with_function(act(
+            "move",
+            "move a dropbox file",
+            vec![
+                req("old_name", thingtalk::Type::PathName),
+                req("new_name", thingtalk::Type::PathName),
+            ],
+        ))
+        .with_function(act(
+            "create_folder",
+            "create a dropbox folder",
+            vec![req("folder_name", thingtalk::Type::PathName)],
+        ));
+    let templates = vec![
+        np("com.dropbox", "get_space_usage", "my dropbox space usage"),
+        np("com.dropbox", "get_space_usage", "how much dropbox space i am using"),
+        np("com.dropbox", "list_folder", "my dropbox files"),
+        np("com.dropbox", "list_folder", "files in my dropbox folder $folder_name"),
+        np("com.dropbox", "list_folder", "my dropbox files that changed most recently")
+            .with_preset("order_by", Value::Enum("modified_time_decreasing".into())),
+        wp("com.dropbox", "list_folder", "when i modify a file in dropbox"),
+        wp("com.dropbox", "list_folder", "when i create a file in dropbox"),
+        np("com.dropbox", "open", "the download url of $file_name"),
+        np("com.dropbox", "open", "a temporary link to $file_name"),
+        vp("com.dropbox", "open", "open $file_name"),
+        vp("com.dropbox", "open", "download $file_name"),
+        vp("com.dropbox", "move", "move $old_name to $new_name in dropbox"),
+        vp("com.dropbox", "move", "rename the dropbox file $old_name to $new_name"),
+        vp("com.dropbox", "create_folder", "create a dropbox folder named $folder_name"),
+    ];
+    (class, templates)
+}
+
+fn onedrive() -> SkillEntry {
+    let class = ClassDef::new("com.live.onedrive")
+        .with_display_name("OneDrive")
+        .with_domain("cloud storage")
+        .with_function(mlq(
+            "list_files",
+            "my onedrive files",
+            vec![
+                out("file_name", thingtalk::Type::PathName),
+                out("file_size", measure(BaseUnit::Byte)),
+                out("modified_time", date()),
+            ],
+        ))
+        .with_function(act(
+            "upload_file",
+            "upload a file to onedrive",
+            vec![req("file_name", thingtalk::Type::PathName), req("contents", s())],
+        ));
+    let templates = vec![
+        np("com.live.onedrive", "list_files", "my onedrive files"),
+        np("com.live.onedrive", "list_files", "files stored in my onedrive"),
+        wp("com.live.onedrive", "list_files", "when a file changes in my onedrive"),
+        vp("com.live.onedrive", "upload_file", "upload $contents to onedrive as $file_name"),
+    ];
+    (class, templates)
+}
+
+fn gdrive() -> SkillEntry {
+    let class = ClassDef::new("com.google.drive")
+        .with_display_name("Google Drive")
+        .with_domain("cloud storage")
+        .with_function(mlq(
+            "list_drive_files",
+            "my google drive files",
+            vec![
+                out("file_name", thingtalk::Type::PathName),
+                out("file_size", measure(BaseUnit::Byte)),
+                out("last_modified", date()),
+                out("link", thingtalk::Type::Url),
+            ],
+        ))
+        .with_function(act(
+            "create_document",
+            "create a google doc",
+            vec![req("title", s()), opt("body", s())],
+        ));
+    let templates = vec![
+        np("com.google.drive", "list_drive_files", "my google drive files"),
+        np("com.google.drive", "list_drive_files", "documents in my google drive"),
+        wp("com.google.drive", "list_drive_files", "when a new file appears in my google drive"),
+        vp("com.google.drive", "create_document", "create a google doc called $title"),
+    ];
+    (class, templates)
+}
+
+fn github() -> SkillEntry {
+    let class = ClassDef::new("com.github")
+        .with_display_name("GitHub")
+        .with_domain("productivity")
+        .with_function(mlq(
+            "issues",
+            "issues opened on my github repositories",
+            vec![
+                opt("repo_name", ent("com.github:repo_name")),
+                out("title", ent("com.github:issue_title")),
+                out("author", ent("tt:username")),
+                out("number", num()),
+                out("state", en(&["open", "closed"])),
+            ],
+        ))
+        .with_function(mlq(
+            "pull_requests",
+            "pull requests on my repositories",
+            vec![
+                opt("repo_name", ent("com.github:repo_name")),
+                out("title", s()),
+                out("author", ent("tt:username")),
+                out("number", num()),
+            ],
+        ))
+        .with_function(mlq(
+            "commits",
+            "commits pushed to a repository",
+            vec![
+                req("repo_name", ent("com.github:repo_name")),
+                out("message", s()),
+                out("author", ent("tt:username")),
+                out("sha", s()),
+            ],
+        ))
+        .with_function(act(
+            "open_issue",
+            "open a github issue",
+            vec![
+                req("repo_name", ent("com.github:repo_name")),
+                req("title", s()),
+                opt("body", s()),
+            ],
+        ))
+        .with_function(act(
+            "star_repo",
+            "star a github repository",
+            vec![req("repo_name", ent("com.github:repo_name"))],
+        ));
+    let templates = vec![
+        np("com.github", "issues", "issues on my github repositories"),
+        np("com.github", "issues", "github issues on $repo_name"),
+        wp("com.github", "issues", "when someone opens an issue on $repo_name"),
+        wp("com.github", "issues", "when a new github issue is filed"),
+        np("com.github", "pull_requests", "pull requests on $repo_name"),
+        wp("com.github", "pull_requests", "when someone opens a pull request"),
+        np("com.github", "commits", "commits pushed to $repo_name"),
+        wp("com.github", "commits", "when someone pushes to $repo_name"),
+        vp("com.github", "open_issue", "open an issue on $repo_name titled $title"),
+        vp("com.github", "star_repo", "star the repository $repo_name"),
+    ];
+    (class, templates)
+}
+
+fn calendar() -> SkillEntry {
+    let class = ClassDef::new("org.thingpedia.builtin.calendar")
+        .with_display_name("Calendar")
+        .with_domain("productivity")
+        .with_function(mlq(
+            "list_events",
+            "events on my calendar",
+            vec![
+                out("title", ent("tt:calendar_event")),
+                out("start_time", date()),
+                out("end_time", date()),
+                out("location", thingtalk::Type::Location),
+                out("organizer", ent("tt:person_name")),
+            ],
+        ))
+        .with_function(act(
+            "create_event",
+            "add an event to my calendar",
+            vec![
+                req("title", s()),
+                req("start_time", date()),
+                opt("end_time", date()),
+                opt("location", thingtalk::Type::Location),
+            ],
+        ));
+    let templates = vec![
+        np("org.thingpedia.builtin.calendar", "list_events", "events on my calendar"),
+        np("org.thingpedia.builtin.calendar", "list_events", "my upcoming meetings"),
+        wp("org.thingpedia.builtin.calendar", "list_events", "when a new event is added to my calendar"),
+        wp("org.thingpedia.builtin.calendar", "list_events", "when a meeting is about to start"),
+        vp("org.thingpedia.builtin.calendar", "create_event", "add $title to my calendar at $start_time"),
+        vp("org.thingpedia.builtin.calendar", "create_event", "schedule $title for $start_time"),
+    ];
+    (class, templates)
+}
+
+fn todo() -> SkillEntry {
+    let class = ClassDef::new("com.todoist")
+        .with_display_name("Todoist")
+        .with_domain("productivity")
+        .with_function(mlq(
+            "list_tasks",
+            "tasks on my to do list",
+            vec![
+                out("task", s()),
+                out("due_date", date()),
+                out("priority", num()),
+                out("completed", boolean()),
+            ],
+        ))
+        .with_function(act(
+            "add_task",
+            "add a task to my to do list",
+            vec![req("task", s()), opt("due_date", date())],
+        ))
+        .with_function(act(
+            "complete_task",
+            "mark a task as done",
+            vec![req("task", s())],
+        ));
+    let templates = vec![
+        np("com.todoist", "list_tasks", "tasks on my to do list"),
+        np("com.todoist", "list_tasks", "my todoist tasks"),
+        wp("com.todoist", "list_tasks", "when i add a task to my to do list"),
+        wp("com.todoist", "list_tasks", "when a task becomes due"),
+        vp("com.todoist", "add_task", "add $task to my to do list"),
+        vp("com.todoist", "add_task", "remind me to $task"),
+        vp("com.todoist", "complete_task", "mark $task as done"),
+    ];
+    (class, templates)
+}
+
+fn notes() -> SkillEntry {
+    let class = ClassDef::new("com.evernote")
+        .with_display_name("Evernote")
+        .with_domain("productivity")
+        .with_function(mlq(
+            "list_notes",
+            "my evernote notes",
+            vec![
+                out("title", ent("tt:note_title")),
+                out("body", s()),
+                out("updated", date()),
+            ],
+        ))
+        .with_function(act(
+            "create_note",
+            "create a note",
+            vec![req("title", s()), req("body", s())],
+        ))
+        .with_function(act(
+            "append_to_note",
+            "append to a note",
+            vec![req("title", ent("tt:note_title")), req("body", s())],
+        ));
+    let templates = vec![
+        np("com.evernote", "list_notes", "my evernote notes"),
+        np("com.evernote", "list_notes", "notes i saved in evernote"),
+        wp("com.evernote", "list_notes", "when i edit a note in evernote"),
+        vp("com.evernote", "create_note", "create a note titled $title saying $body"),
+        vp("com.evernote", "create_note", "save a note that says $body with title $title"),
+        vp("com.evernote", "append_to_note", "append $body to my note $title"),
+    ];
+    (class, templates)
+}

@@ -1,0 +1,337 @@
+//! Social-network skills: Twitter, Facebook, Instagram, Reddit, LinkedIn,
+//! Tumblr, Pinterest.
+
+use thingtalk::class::ClassDef;
+use thingtalk::units::BaseUnit;
+use thingtalk::Value;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The social-network skills.
+pub fn skills() -> Vec<SkillEntry> {
+    vec![
+        twitter(),
+        facebook(),
+        instagram(),
+        reddit(),
+        linkedin(),
+        tumblr(),
+        pinterest(),
+    ]
+}
+
+fn twitter() -> SkillEntry {
+    let class = ClassDef::new("com.twitter")
+        .with_display_name("Twitter")
+        .with_domain("social network")
+        .with_function(mlq(
+            "timeline",
+            "tweets from people i follow",
+            vec![
+                out("text", s()),
+                out("hashtags", array(ent("tt:hashtag"))),
+                out("author", ent("tt:username")),
+                out("in_reply_to", ent("tt:username")),
+                out("tweet_id", ent("com.twitter:id")),
+            ],
+        ))
+        .with_function(mlq(
+            "search",
+            "tweets matching a search",
+            vec![
+                req("query", s()),
+                out("text", s()),
+                out("author", ent("tt:username")),
+                out("hashtags", array(ent("tt:hashtag"))),
+                out("tweet_id", ent("com.twitter:id")),
+            ],
+        ))
+        .with_function(mlq(
+            "direct_messages",
+            "direct messages i received on twitter",
+            vec![
+                out("sender", ent("tt:username")),
+                out("message", s()),
+            ],
+        ))
+        .with_function(mlq(
+            "my_tweets",
+            "my own tweets",
+            vec![
+                out("text", s()),
+                out("tweet_id", ent("com.twitter:id")),
+                out("retweet_count", num()),
+            ],
+        ))
+        .with_function(act(
+            "post",
+            "tweet",
+            vec![req("status", s())],
+        ))
+        .with_function(act(
+            "post_picture",
+            "post a picture on twitter",
+            vec![req("picture_url", thingtalk::Type::Picture), req("caption", s())],
+        ))
+        .with_function(act(
+            "retweet",
+            "retweet",
+            vec![req("tweet_id", ent("com.twitter:id"))],
+        ))
+        .with_function(act(
+            "follow",
+            "follow someone on twitter",
+            vec![req("user_name", ent("tt:username"))],
+        ))
+        .with_function(act(
+            "send_direct_message",
+            "send a twitter direct message",
+            vec![req("to", ent("tt:username")), req("message", s())],
+        ));
+    let templates = vec![
+        np("com.twitter", "timeline", "my twitter timeline"),
+        np("com.twitter", "timeline", "tweets from people i follow"),
+        np("com.twitter", "timeline", "recent tweets in my feed"),
+        wp("com.twitter", "timeline", "when someone i follow tweets"),
+        wp("com.twitter", "timeline", "when there is a new tweet in my timeline"),
+        np("com.twitter", "search", "tweets about $query"),
+        np("com.twitter", "search", "twitter posts matching $query"),
+        wp("com.twitter", "search", "when someone tweets about $query"),
+        np("com.twitter", "direct_messages", "my twitter direct messages"),
+        wp("com.twitter", "direct_messages", "when i receive a twitter dm"),
+        np("com.twitter", "my_tweets", "my own tweets"),
+        wp("com.twitter", "my_tweets", "when i tweet something"),
+        vp("com.twitter", "post", "tweet $status"),
+        vp("com.twitter", "post", "post $status on twitter"),
+        vp("com.twitter", "post_picture", "post the picture $picture_url on twitter with caption $caption"),
+        vp("com.twitter", "post_picture", "tweet the photo $picture_url saying $caption"),
+        vp("com.twitter", "retweet", "retweet it"),
+        vp("com.twitter", "retweet", "retweet that tweet"),
+        vp("com.twitter", "follow", "follow $user_name on twitter"),
+        vp("com.twitter", "send_direct_message", "send a twitter dm to $to saying $message"),
+    ];
+    (class, templates)
+}
+
+fn facebook() -> SkillEntry {
+    let class = ClassDef::new("com.facebook")
+        .with_display_name("Facebook")
+        .with_domain("social network")
+        .with_function(mlq(
+            "feed",
+            "posts in my facebook feed",
+            vec![
+                out("text", s()),
+                out("author", ent("tt:person_name")),
+                out("link", thingtalk::Type::Url),
+            ],
+        ))
+        .with_function(act(
+            "post",
+            "post on facebook",
+            vec![req("status", s())],
+        ))
+        .with_function(act(
+            "post_picture",
+            "post a picture on facebook",
+            vec![req("picture_url", thingtalk::Type::Picture), req("caption", s())],
+        ));
+    let templates = vec![
+        np("com.facebook", "feed", "my facebook feed"),
+        np("com.facebook", "feed", "posts from my facebook friends"),
+        wp("com.facebook", "feed", "when one of my friends posts on facebook"),
+        vp("com.facebook", "post", "post $status on facebook"),
+        vp("com.facebook", "post", "share $status with my facebook friends"),
+        vp("com.facebook", "post_picture", "post the picture $picture_url on facebook with caption $caption"),
+        vp("com.facebook", "post_picture", "upload $picture_url to facebook saying $caption"),
+    ];
+    (class, templates)
+}
+
+fn instagram() -> SkillEntry {
+    let class = ClassDef::new("com.instagram")
+        .with_display_name("Instagram")
+        .with_domain("social network")
+        .with_function(mlq(
+            "get_pictures",
+            "my instagram pictures",
+            vec![
+                out("picture_url", thingtalk::Type::Picture),
+                out("caption", s()),
+                out("hashtags", array(ent("tt:hashtag"))),
+                out("location", thingtalk::Type::Location),
+            ],
+        ))
+        .with_function(act(
+            "post_picture",
+            "post a picture on instagram",
+            vec![req("picture_url", thingtalk::Type::Picture), req("caption", s())],
+        ))
+        .with_function(act(
+            "follow",
+            "follow someone on instagram",
+            vec![req("user_name", ent("tt:username"))],
+        ));
+    let templates = vec![
+        np("com.instagram", "get_pictures", "my instagram pictures"),
+        np("com.instagram", "get_pictures", "photos i posted on instagram"),
+        wp("com.instagram", "get_pictures", "when i upload a new photo to instagram"),
+        vp("com.instagram", "post_picture", "post $picture_url on instagram with caption $caption"),
+        vp("com.instagram", "follow", "follow $user_name on instagram"),
+    ];
+    (class, templates)
+}
+
+fn reddit() -> SkillEntry {
+    let class = ClassDef::new("com.reddit")
+        .with_display_name("Reddit")
+        .with_domain("social network")
+        .with_function(mlq(
+            "frontpage",
+            "posts on the reddit front page",
+            vec![
+                out("title", s()),
+                out("link", thingtalk::Type::Url),
+                out("subreddit", ent("com.reddit:subreddit")),
+                out("score", num()),
+            ],
+        ))
+        .with_function(mlq(
+            "subreddit_posts",
+            "posts in a subreddit",
+            vec![
+                req("subreddit", ent("com.reddit:subreddit")),
+                out("title", s()),
+                out("link", thingtalk::Type::Url),
+                out("score", num()),
+            ],
+        ))
+        .with_function(act(
+            "submit_link",
+            "submit a link to reddit",
+            vec![
+                req("subreddit", ent("com.reddit:subreddit")),
+                req("title", s()),
+                req("link", thingtalk::Type::Url),
+            ],
+        ));
+    let templates = vec![
+        np("com.reddit", "frontpage", "the reddit front page"),
+        np("com.reddit", "frontpage", "top posts on reddit"),
+        wp("com.reddit", "frontpage", "when a new post reaches the reddit front page"),
+        np("com.reddit", "subreddit_posts", "posts in the subreddit $subreddit"),
+        np("com.reddit", "subreddit_posts", "what people are posting on $subreddit"),
+        wp("com.reddit", "subreddit_posts", "when there is a new post on $subreddit"),
+        vp("com.reddit", "submit_link", "submit $link to $subreddit titled $title"),
+    ];
+    (class, templates)
+}
+
+fn linkedin() -> SkillEntry {
+    let class = ClassDef::new("com.linkedin")
+        .with_display_name("LinkedIn")
+        .with_domain("social network")
+        .with_function(mq(
+            "get_profile",
+            "my linkedin profile",
+            vec![
+                out("headline", s()),
+                out("industry", s()),
+                out("profile_picture", thingtalk::Type::Picture),
+            ],
+        ))
+        .with_function(act(
+            "share",
+            "share on linkedin",
+            vec![req("status", s())],
+        ))
+        .with_function(act(
+            "update_headline",
+            "update my linkedin headline",
+            vec![req("headline", s())],
+        ));
+    let templates = vec![
+        np("com.linkedin", "get_profile", "my linkedin profile"),
+        np("com.linkedin", "get_profile", "my professional profile on linkedin"),
+        wp("com.linkedin", "get_profile", "when i update my linkedin profile"),
+        vp("com.linkedin", "share", "share $status on linkedin"),
+        vp("com.linkedin", "update_headline", "set my linkedin headline to $headline"),
+    ];
+    (class, templates)
+}
+
+fn tumblr() -> SkillEntry {
+    let class = ClassDef::new("com.tumblr")
+        .with_display_name("Tumblr")
+        .with_domain("social network")
+        .with_function(mlq(
+            "dashboard",
+            "posts on my tumblr dashboard",
+            vec![
+                out("title", s()),
+                out("body", s()),
+                out("blog_name", s()),
+            ],
+        ))
+        .with_function(act(
+            "post_text",
+            "post on tumblr",
+            vec![req("title", s()), req("body", s())],
+        ))
+        .with_function(act(
+            "post_picture",
+            "post a picture on tumblr",
+            vec![req("picture_url", thingtalk::Type::Picture), opt("caption", s())],
+        ));
+    let templates = vec![
+        np("com.tumblr", "dashboard", "my tumblr dashboard"),
+        wp("com.tumblr", "dashboard", "when a blog i follow posts on tumblr"),
+        vp("com.tumblr", "post_text", "post $body on tumblr titled $title"),
+        vp("com.tumblr", "post_picture", "post the picture $picture_url on my tumblr"),
+    ];
+    (class, templates)
+}
+
+fn pinterest() -> SkillEntry {
+    let class = ClassDef::new("com.pinterest")
+        .with_display_name("Pinterest")
+        .with_domain("social network")
+        .with_function(mlq(
+            "my_pins",
+            "my pinterest pins",
+            vec![
+                out("pin_url", thingtalk::Type::Url),
+                out("description", s()),
+                out("board", s()),
+                out("picture_url", thingtalk::Type::Picture),
+            ],
+        ))
+        .with_function(act(
+            "create_pin",
+            "pin a picture on pinterest",
+            vec![
+                req("board", s()),
+                req("picture_url", thingtalk::Type::Picture),
+                opt("description", s()),
+            ],
+        ));
+    let templates = vec![
+        np("com.pinterest", "my_pins", "my pinterest pins"),
+        np("com.pinterest", "my_pins", "pictures i pinned on pinterest"),
+        wp("com.pinterest", "my_pins", "when i pin something new on pinterest"),
+        vp("com.pinterest", "create_pin", "pin $picture_url to my $board board"),
+    ];
+    (class, templates)
+}
+
+/// A retweet-count threshold, used by tests exercising numeric filters on
+/// social skills.
+pub fn popular_tweet_threshold() -> Value {
+    Value::Number(100.0)
+}
+
+/// The byte dimension used by picture-size parameters (kept here so domain
+/// modules share one definition).
+pub const PICTURE_SIZE_DIMENSION: BaseUnit = BaseUnit::Byte;

@@ -1,0 +1,266 @@
+//! The Spotify skill.
+//!
+//! `basic()` is the small music skill that is part of the main 44-skill
+//! library; `extended()` is the comprehensive skill of the first case study
+//! (§6.1), which "allows users to combine 15 queries and 17 actions in
+//! creative ways" — e.g. "add all songs faster than 500 bpm to the playlist
+//! dance dance revolution" or "wake me up at 8 am by playing wake me up
+//! inside by evanescence".
+
+use thingtalk::class::ClassDef;
+use thingtalk::units::BaseUnit;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The basic Spotify skill included in the main library.
+pub fn basic() -> SkillEntry {
+    let class = ClassDef::new("com.spotify")
+        .with_display_name("Spotify")
+        .with_domain("media")
+        .with_function(mq(
+            "get_currently_playing",
+            "the song i am listening to",
+            vec![
+                out("song", ent("com.spotify:song")),
+                out("artist", ent("com.spotify:artist")),
+                out("album", ent("com.spotify:album")),
+            ],
+        ))
+        .with_function(lq(
+            "search_songs",
+            "songs matching a search",
+            vec![
+                req("query", s()),
+                out("song", ent("com.spotify:song")),
+                out("artist", ent("com.spotify:artist")),
+                out("popularity", num()),
+            ],
+        ))
+        .with_function(act(
+            "play_song",
+            "play a song",
+            vec![req("song", ent("com.spotify:song"))],
+        ))
+        .with_function(act(
+            "add_to_playlist",
+            "add a song to a playlist",
+            vec![
+                req("playlist", ent("com.spotify:playlist")),
+                req("song", ent("com.spotify:song")),
+            ],
+        ));
+    let templates = vec![
+        np("com.spotify", "get_currently_playing", "the song i am listening to"),
+        np("com.spotify", "get_currently_playing", "what is playing on spotify"),
+        wp("com.spotify", "get_currently_playing", "when the song changes on spotify"),
+        np("com.spotify", "search_songs", "songs matching $query on spotify"),
+        np("com.spotify", "search_songs", "spotify songs about $query"),
+        vp("com.spotify", "play_song", "play $song"),
+        vp("com.spotify", "play_song", "play $song on spotify"),
+        vp("com.spotify", "add_to_playlist", "add $song to the playlist $playlist"),
+        vp("com.spotify", "add_to_playlist", "put $song in my $playlist playlist"),
+    ];
+    (class, templates)
+}
+
+/// The comprehensive Spotify skill of the §6.1 case study: 15 queries and 17
+/// actions written by the skill developers (5.8 primitive templates per
+/// function on average in the paper).
+pub fn extended() -> SkillEntry {
+    let song_outs = vec![
+        out("song", ent("com.spotify:song")),
+        out("artist", ent("com.spotify:artist")),
+        out("album", ent("com.spotify:album")),
+        out("genre", ent("tt:music_genre")),
+        out("popularity", num()),
+        out("tempo", measure(BaseUnit::BeatPerMinute)),
+        out("duration", measure(BaseUnit::Millisecond)),
+        out("release_date", date()),
+        out("is_explicit", boolean()),
+    ];
+    let class = ClassDef::new("com.spotify")
+        .with_display_name("Spotify")
+        .with_domain("media")
+        // ---- queries (15) ----
+        .with_function(mq("get_currently_playing", "the song i am listening to", song_outs.clone()))
+        .with_function(lq("search_songs", "songs matching a search", {
+            let mut p = vec![req("query", s())];
+            p.extend(song_outs.clone());
+            p
+        }))
+        .with_function(lq("search_artists", "artists matching a search", vec![
+            req("query", s()),
+            out("artist", ent("com.spotify:artist")),
+            out("genre", ent("tt:music_genre")),
+            out("follower_count", num()),
+        ]))
+        .with_function(lq("search_albums", "albums matching a search", vec![
+            req("query", s()),
+            out("album", ent("com.spotify:album")),
+            out("artist", ent("com.spotify:artist")),
+            out("release_date", date()),
+        ]))
+        .with_function(lq("get_playlist_tracks", "songs in a playlist", {
+            let mut p = vec![req("playlist", ent("com.spotify:playlist"))];
+            p.extend(song_outs.clone());
+            p
+        }))
+        .with_function(mlq("get_saved_songs", "my saved songs", song_outs.clone()))
+        .with_function(mlq("get_recently_played", "songs i listened to recently", song_outs.clone()))
+        .with_function(lq("get_top_tracks", "my most played songs", song_outs.clone()))
+        .with_function(lq("get_top_artists", "my most played artists", vec![
+            out("artist", ent("com.spotify:artist")),
+            out("genre", ent("tt:music_genre")),
+        ]))
+        .with_function(lq("get_new_releases", "newly released albums", vec![
+            out("album", ent("com.spotify:album")),
+            out("artist", ent("com.spotify:artist")),
+            out("release_date", date()),
+        ]))
+        .with_function(lq("get_recommendations", "recommended songs", {
+            let mut p = vec![opt("seed_genre", ent("tt:music_genre"))];
+            p.extend(song_outs.clone());
+            p
+        }))
+        .with_function(mlq("get_my_playlists", "my playlists", vec![
+            out("playlist", ent("com.spotify:playlist")),
+            out("track_count", num()),
+            out("is_public", boolean()),
+        ]))
+        .with_function(lq("get_artist_top_tracks", "an artist's most popular songs", {
+            let mut p = vec![req("artist", ent("com.spotify:artist"))];
+            p.extend(song_outs.clone());
+            p
+        }))
+        .with_function(lq("get_album_tracks", "songs on an album", {
+            let mut p = vec![req("album", ent("com.spotify:album"))];
+            p.extend(song_outs.clone());
+            p
+        }))
+        .with_function(mq("get_playback_state", "what my spotify player is doing", vec![
+            out("is_playing", boolean()),
+            out("shuffle", boolean()),
+            out("volume", num()),
+            out("device_name", ent("tt:device_name")),
+        ]))
+        // ---- actions (17) ----
+        .with_function(act("play_song", "play a song", vec![req("song", ent("com.spotify:song"))]))
+        .with_function(act("play_artist", "play songs by an artist", vec![req("artist", ent("com.spotify:artist"))]))
+        .with_function(act("play_album", "play an album", vec![req("album", ent("com.spotify:album"))]))
+        .with_function(act("play_playlist", "play a playlist", vec![req("playlist", ent("com.spotify:playlist"))]))
+        .with_function(act("play_genre", "play music of a genre", vec![req("genre", ent("tt:music_genre"))]))
+        .with_function(act("pause", "pause the music", vec![]))
+        .with_function(act("resume", "resume the music", vec![]))
+        .with_function(act("next_track", "skip to the next song", vec![]))
+        .with_function(act("previous_track", "go back to the previous song", vec![]))
+        .with_function(act("set_volume", "set the volume", vec![req("volume", num())]))
+        .with_function(act("set_shuffle", "turn shuffle on or off", vec![req("shuffle", boolean())]))
+        .with_function(act("set_repeat", "set the repeat mode", vec![req("mode", en(&["track", "context", "off"]))]))
+        .with_function(act("add_to_playlist", "add a song to a playlist", vec![
+            req("playlist", ent("com.spotify:playlist")),
+            req("song", ent("com.spotify:song")),
+        ]))
+        .with_function(act("remove_from_playlist", "remove a song from a playlist", vec![
+            req("playlist", ent("com.spotify:playlist")),
+            req("song", ent("com.spotify:song")),
+        ]))
+        .with_function(act("create_playlist", "create a playlist", vec![req("name", s())]))
+        .with_function(act("save_song", "save a song to my library", vec![req("song", ent("com.spotify:song"))]))
+        .with_function(act("follow_artist", "follow an artist", vec![req("artist", ent("com.spotify:artist"))]));
+
+    let c = "com.spotify";
+    let templates = vec![
+        // queries
+        np(c, "get_currently_playing", "the song i am listening to"),
+        np(c, "get_currently_playing", "what is playing right now"),
+        np(c, "get_currently_playing", "the current song on spotify"),
+        wp(c, "get_currently_playing", "when the song changes"),
+        np(c, "search_songs", "songs matching $query"),
+        np(c, "search_songs", "spotify songs about $query"),
+        vp(c, "search_songs", "search spotify for $query"),
+        np(c, "search_artists", "artists matching $query"),
+        np(c, "search_artists", "musicians named $query"),
+        np(c, "search_albums", "albums matching $query"),
+        np(c, "get_playlist_tracks", "songs in the playlist $playlist"),
+        np(c, "get_playlist_tracks", "what is on my $playlist playlist"),
+        np(c, "get_saved_songs", "my saved songs"),
+        np(c, "get_saved_songs", "songs in my spotify library"),
+        wp(c, "get_saved_songs", "when i save a new song"),
+        np(c, "get_recently_played", "songs i listened to recently"),
+        np(c, "get_recently_played", "my spotify listening history"),
+        wp(c, "get_recently_played", "when i finish listening to a song"),
+        np(c, "get_top_tracks", "my most played songs"),
+        np(c, "get_top_tracks", "my favorite tracks on spotify"),
+        np(c, "get_top_artists", "my most played artists"),
+        np(c, "get_new_releases", "newly released albums"),
+        np(c, "get_new_releases", "new music on spotify"),
+        np(c, "get_recommendations", "recommended songs"),
+        np(c, "get_recommendations", "spotify recommendations for $seed_genre"),
+        np(c, "get_my_playlists", "my playlists"),
+        wp(c, "get_my_playlists", "when i create a new playlist"),
+        np(c, "get_artist_top_tracks", "the most popular songs by $artist"),
+        np(c, "get_artist_top_tracks", "top tracks of $artist"),
+        np(c, "get_album_tracks", "songs on the album $album"),
+        np(c, "get_playback_state", "what my spotify player is doing"),
+        wp(c, "get_playback_state", "when my spotify playback changes"),
+        // actions
+        vp(c, "play_song", "play $song"),
+        vp(c, "play_song", "play the song $song"),
+        vp(c, "play_song", "put on $song"),
+        vp(c, "play_artist", "play songs by $artist"),
+        vp(c, "play_artist", "play $artist"),
+        vp(c, "play_album", "play the album $album"),
+        vp(c, "play_playlist", "play my $playlist playlist"),
+        vp(c, "play_playlist", "put on the $playlist playlist"),
+        vp(c, "play_genre", "play some $genre music"),
+        vp(c, "play_genre", "put on $genre"),
+        vp(c, "pause", "pause the music"),
+        vp(c, "pause", "stop playing"),
+        vp(c, "resume", "resume the music"),
+        vp(c, "resume", "keep playing"),
+        vp(c, "next_track", "skip this song"),
+        vp(c, "next_track", "play the next track"),
+        vp(c, "previous_track", "go back to the previous song"),
+        vp(c, "set_volume", "set the volume to $volume"),
+        vp(c, "set_volume", "turn the volume to $volume percent"),
+        vp(c, "set_shuffle", "set shuffle to $shuffle"),
+        vp(c, "set_repeat", "set repeat to $mode"),
+        vp(c, "add_to_playlist", "add $song to the playlist $playlist"),
+        vp(c, "add_to_playlist", "put $song in my $playlist playlist"),
+        vp(c, "remove_from_playlist", "remove $song from the playlist $playlist"),
+        vp(c, "create_playlist", "create a playlist called $name"),
+        vp(c, "create_playlist", "make a new playlist named $name"),
+        vp(c, "save_song", "save $song to my library"),
+        vp(c, "save_song", "like the song $song"),
+        vp(c, "follow_artist", "follow $artist on spotify"),
+    ];
+    (class, templates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_skill_matches_case_study_scale() {
+        let (class, templates) = extended();
+        assert_eq!(class.queries().count(), 15);
+        assert_eq!(class.actions().count(), 17);
+        let per_function = templates.len() as f64 / class.functions.len() as f64;
+        assert!(per_function >= 1.5, "templates per function = {per_function:.2}");
+    }
+
+    #[test]
+    fn basic_skill_is_a_subset_by_name() {
+        let (basic_class, _) = basic();
+        let (extended_class, _) = extended();
+        for name in basic_class.functions.keys() {
+            assert!(
+                extended_class.functions.contains_key(name),
+                "extended spotify is missing {name}"
+            );
+        }
+    }
+}

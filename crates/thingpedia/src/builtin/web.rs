@@ -1,0 +1,381 @@
+//! Web-service skills: weather, translation, web search, Wikipedia, stock
+//! quotes, Bitcoin prices, NASA, ride hailing, restaurant search, air
+//! quality, and the builtin assistant device (say, timers, random numbers).
+
+use thingtalk::class::ClassDef;
+use thingtalk::units::BaseUnit;
+
+use super::dsl::*;
+use super::SkillEntry;
+use crate::templates::short::{np, vp, wp};
+
+/// The web-service skills plus the builtin assistant device.
+pub fn skills() -> Vec<SkillEntry> {
+    vec![
+        weather(),
+        translate(),
+        bing(),
+        wikipedia(),
+        yahoo_finance(),
+        coinbase(),
+        nasa(),
+        uber(),
+        yelp(),
+        airquality(),
+        builtin_device(),
+    ]
+}
+
+fn weather() -> SkillEntry {
+    let class = ClassDef::new("org.thingpedia.weather")
+        .with_display_name("Weather")
+        .with_domain("weather")
+        .with_function(mq(
+            "current",
+            "the current weather",
+            vec![
+                opt("location", thingtalk::Type::Location),
+                out("temperature", measure(BaseUnit::Celsius)),
+                out("wind_speed", measure(BaseUnit::MeterPerSecond)),
+                out("humidity", num()),
+                out("status", en(&["sunny", "cloudy", "raining", "snowy", "windy", "foggy"])),
+            ],
+        ))
+        .with_function(mq(
+            "sunrise",
+            "sunrise and sunset times",
+            vec![
+                opt("location", thingtalk::Type::Location),
+                out("sunrise_time", thingtalk::Type::Time),
+                out("sunset_time", thingtalk::Type::Time),
+            ],
+        ))
+        .with_function(lq(
+            "forecast",
+            "the weather forecast",
+            vec![
+                opt("location", thingtalk::Type::Location),
+                out("date", date()),
+                out("high", measure(BaseUnit::Celsius)),
+                out("low", measure(BaseUnit::Celsius)),
+                out("status", en(&["sunny", "cloudy", "raining", "snowy", "windy", "foggy"])),
+            ],
+        ));
+    let templates = vec![
+        np("org.thingpedia.weather", "current", "the current weather"),
+        np("org.thingpedia.weather", "current", "the weather in $location"),
+        np("org.thingpedia.weather", "current", "the temperature outside"),
+        wp("org.thingpedia.weather", "current", "when the weather changes"),
+        wp("org.thingpedia.weather", "current", "when it starts raining"),
+        np("org.thingpedia.weather", "sunrise", "the sunrise time in $location"),
+        wp("org.thingpedia.weather", "sunrise", "when the sun rises"),
+        np("org.thingpedia.weather", "forecast", "the weather forecast for $location"),
+        np("org.thingpedia.weather", "forecast", "this week's forecast"),
+    ];
+    (class, templates)
+}
+
+fn translate() -> SkillEntry {
+    let class = ClassDef::new("com.yandex.translate")
+        .with_display_name("Yandex Translate")
+        .with_domain("web services")
+        .with_function(q(
+            "translate",
+            "the translation of some text",
+            vec![
+                req("text", s()),
+                opt("target_language", ent("tt:language")),
+                out("translated_text", s()),
+            ],
+        ))
+        .with_function(q(
+            "detect_language",
+            "the language of some text",
+            vec![req("text", s()), out("value", ent("tt:language"))],
+        ));
+    let templates = vec![
+        np("com.yandex.translate", "translate", "the translation of $text"),
+        np("com.yandex.translate", "translate", "the translation of $text to $target_language"),
+        vp("com.yandex.translate", "translate", "translate $text"),
+        vp("com.yandex.translate", "translate", "translate $text to $target_language"),
+        np("com.yandex.translate", "detect_language", "the language of $text"),
+        vp("com.yandex.translate", "detect_language", "detect the language of $text"),
+    ];
+    (class, templates)
+}
+
+fn bing() -> SkillEntry {
+    let class = ClassDef::new("com.bing")
+        .with_display_name("Bing")
+        .with_domain("web services")
+        .with_function(lq(
+            "web_search",
+            "web search results",
+            vec![
+                req("query", s()),
+                out("title", s()),
+                out("description", s()),
+                out("link", thingtalk::Type::Url),
+            ],
+        ))
+        .with_function(lq(
+            "image_search",
+            "image search results",
+            vec![
+                req("query", s()),
+                out("title", s()),
+                out("picture_url", thingtalk::Type::Picture),
+            ],
+        ));
+    let templates = vec![
+        np("com.bing", "web_search", "websites matching $query"),
+        np("com.bing", "web_search", "search results for $query"),
+        vp("com.bing", "web_search", "search the web for $query"),
+        np("com.bing", "image_search", "images of $query"),
+        np("com.bing", "image_search", "pictures matching $query"),
+        vp("com.bing", "image_search", "search for images of $query"),
+    ];
+    (class, templates)
+}
+
+fn wikipedia() -> SkillEntry {
+    let class = ClassDef::new("org.wikipedia")
+        .with_display_name("Wikipedia")
+        .with_domain("web services")
+        .with_function(q(
+            "article",
+            "a wikipedia article",
+            vec![
+                req("query", s()),
+                out("title", s()),
+                out("summary", s()),
+                out("link", thingtalk::Type::Url),
+            ],
+        ))
+        .with_function(mq(
+            "featured_article",
+            "today's featured wikipedia article",
+            vec![out("title", s()), out("summary", s()), out("link", thingtalk::Type::Url)],
+        ));
+    let templates = vec![
+        np("org.wikipedia", "article", "the wikipedia article about $query"),
+        np("org.wikipedia", "article", "the wikipedia summary of $query"),
+        vp("org.wikipedia", "article", "look up $query on wikipedia"),
+        np("org.wikipedia", "featured_article", "today's featured wikipedia article"),
+        wp("org.wikipedia", "featured_article", "when wikipedia features a new article"),
+    ];
+    (class, templates)
+}
+
+fn yahoo_finance() -> SkillEntry {
+    let class = ClassDef::new("com.yahoo.finance")
+        .with_display_name("Yahoo Finance")
+        .with_domain("finance")
+        .with_function(mq(
+            "get_stock_quote",
+            "the price of a stock",
+            vec![
+                req("stock_id", ent("com.yahoo.finance:stock")),
+                out("value", thingtalk::Type::Currency),
+                out("change", num()),
+            ],
+        ))
+        .with_function(mq(
+            "get_stock_div",
+            "the dividend of a stock",
+            vec![
+                req("stock_id", ent("com.yahoo.finance:stock")),
+                out("value", thingtalk::Type::Currency),
+                out("yield_rate", num()),
+            ],
+        ));
+    let templates = vec![
+        np("com.yahoo.finance", "get_stock_quote", "the stock price of $stock_id"),
+        np("com.yahoo.finance", "get_stock_quote", "how $stock_id is trading"),
+        wp("com.yahoo.finance", "get_stock_quote", "when the price of $stock_id changes"),
+        np("com.yahoo.finance", "get_stock_div", "the dividend of $stock_id"),
+        wp("com.yahoo.finance", "get_stock_div", "when $stock_id announces a dividend"),
+    ];
+    (class, templates)
+}
+
+fn coinbase() -> SkillEntry {
+    let class = ClassDef::new("com.coinbase")
+        .with_display_name("Coinbase")
+        .with_domain("finance")
+        .with_function(mq(
+            "get_price",
+            "the price of a cryptocurrency",
+            vec![
+                req("currency_code", en(&["btc", "eth", "ltc", "doge"])),
+                out("value", thingtalk::Type::Currency),
+            ],
+        ));
+    let templates = vec![
+        np("com.coinbase", "get_price", "the price of $currency_code"),
+        np("com.coinbase", "get_price", "how much $currency_code is worth"),
+        wp("com.coinbase", "get_price", "when the price of $currency_code changes"),
+    ];
+    (class, templates)
+}
+
+fn nasa() -> SkillEntry {
+    let class = ClassDef::new("gov.nasa")
+        .with_display_name("NASA")
+        .with_domain("web services")
+        .with_function(mq(
+            "apod",
+            "nasa's astronomy picture of the day",
+            vec![
+                out("title", s()),
+                out("description", s()),
+                out("picture_url", thingtalk::Type::Picture),
+            ],
+        ))
+        .with_function(lq(
+            "asteroid",
+            "asteroids passing near earth",
+            vec![
+                out("name", s()),
+                out("distance", measure(BaseUnit::Meter)),
+                out("is_dangerous", boolean()),
+            ],
+        ))
+        .with_function(q(
+            "rover",
+            "pictures from the mars rover",
+            vec![
+                opt("date_taken", date()),
+                out("picture_url", thingtalk::Type::Picture),
+                out("camera_used", s()),
+            ],
+        ));
+    let templates = vec![
+        np("gov.nasa", "apod", "nasa's astronomy picture of the day"),
+        np("gov.nasa", "apod", "the nasa picture of the day"),
+        wp("gov.nasa", "apod", "when nasa publishes a new picture of the day"),
+        np("gov.nasa", "asteroid", "asteroids passing near earth"),
+        np("gov.nasa", "asteroid", "near earth objects today"),
+        np("gov.nasa", "rover", "pictures from the mars rover"),
+    ];
+    (class, templates)
+}
+
+fn uber() -> SkillEntry {
+    let class = ClassDef::new("com.uber")
+        .with_display_name("Uber")
+        .with_domain("web services")
+        .with_function(q(
+            "get_price_estimate",
+            "the price of an uber ride",
+            vec![
+                req("start", thingtalk::Type::Location),
+                req("end", thingtalk::Type::Location),
+                out("low_estimate", thingtalk::Type::Currency),
+                out("high_estimate", thingtalk::Type::Currency),
+                out("duration", measure(BaseUnit::Millisecond)),
+            ],
+        ))
+        .with_function(act(
+            "request_ride",
+            "request an uber",
+            vec![req("start", thingtalk::Type::Location), req("end", thingtalk::Type::Location)],
+        ));
+    let templates = vec![
+        np("com.uber", "get_price_estimate", "the price of an uber from $start to $end"),
+        np("com.uber", "get_price_estimate", "how much an uber to $end costs from $start"),
+        vp("com.uber", "request_ride", "get me an uber from $start to $end"),
+        vp("com.uber", "request_ride", "request a ride to $end from $start"),
+    ];
+    (class, templates)
+}
+
+fn yelp() -> SkillEntry {
+    let class = ClassDef::new("com.yelp")
+        .with_display_name("Yelp")
+        .with_domain("web services")
+        .with_function(lq(
+            "restaurant",
+            "restaurants nearby",
+            vec![
+                opt("cuisine", s()),
+                opt("location", thingtalk::Type::Location),
+                out("name", s()),
+                out("rating", num()),
+                out("price_range", en(&["cheap", "moderate", "expensive", "luxury"])),
+                out("link", thingtalk::Type::Url),
+            ],
+        ));
+    let templates = vec![
+        np("com.yelp", "restaurant", "restaurants near $location"),
+        np("com.yelp", "restaurant", "$cuisine restaurants nearby"),
+        np("com.yelp", "restaurant", "places to eat around $location"),
+        vp("com.yelp", "restaurant", "find me a $cuisine restaurant"),
+    ];
+    (class, templates)
+}
+
+fn airquality() -> SkillEntry {
+    let class = ClassDef::new("gov.epa.airnow")
+        .with_display_name("Air Quality")
+        .with_domain("weather")
+        .with_function(mq(
+            "get_aqi",
+            "the air quality index",
+            vec![
+                opt("location", thingtalk::Type::Location),
+                out("aqi", num()),
+                out("category", en(&["good", "moderate", "unhealthy", "hazardous"])),
+            ],
+        ));
+    let templates = vec![
+        np("gov.epa.airnow", "get_aqi", "the air quality in $location"),
+        np("gov.epa.airnow", "get_aqi", "the aqi near me"),
+        wp("gov.epa.airnow", "get_aqi", "when the air quality changes"),
+        wp("gov.epa.airnow", "get_aqi", "when the air becomes unhealthy"),
+    ];
+    (class, templates)
+}
+
+fn builtin_device() -> SkillEntry {
+    let class = ClassDef::new("org.thingpedia.builtin.thingengine.builtin")
+        .with_display_name("Assistant")
+        .with_domain("web services")
+        .with_function(q(
+            "get_random_between",
+            "a random number",
+            vec![req("low", num()), req("high", num()), out("random", num())],
+        ))
+        .with_function(mq(
+            "get_date",
+            "today's date",
+            vec![out("date", date())],
+        ))
+        .with_function(mq(
+            "get_time",
+            "the current time",
+            vec![out("time", thingtalk::Type::Time)],
+        ))
+        .with_function(act(
+            "say",
+            "say something",
+            vec![req("message", s())],
+        ))
+        .with_function(act(
+            "open_url",
+            "open a website",
+            vec![req("url", thingtalk::Type::Url)],
+        ));
+    let templates = vec![
+        np("org.thingpedia.builtin.thingengine.builtin", "get_random_between", "a random number between $low and $high"),
+        vp("org.thingpedia.builtin.thingengine.builtin", "get_random_between", "pick a number between $low and $high"),
+        np("org.thingpedia.builtin.thingengine.builtin", "get_date", "today's date"),
+        wp("org.thingpedia.builtin.thingengine.builtin", "get_date", "when the date changes"),
+        np("org.thingpedia.builtin.thingengine.builtin", "get_time", "the current time"),
+        wp("org.thingpedia.builtin.thingengine.builtin", "get_time", "when the time changes"),
+        vp("org.thingpedia.builtin.thingengine.builtin", "say", "say $message"),
+        vp("org.thingpedia.builtin.thingengine.builtin", "say", "tell me $message"),
+        vp("org.thingpedia.builtin.thingengine.builtin", "open_url", "open $url"),
+    ];
+    (class, templates)
+}

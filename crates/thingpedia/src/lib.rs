@@ -1,0 +1,43 @@
+//! # Thingpedia — the skill library substrate
+//!
+//! The Genie paper evaluates on the Thingpedia skill library: 44 skills, 131
+//! functions and 178 distinct parameters, each declared with the class
+//! grammar of Fig. 3 and accompanied by primitive templates (Table 1) and
+//! large parameter-value corpora (§3.3).
+//!
+//! This crate is a from-scratch reimplementation of that substrate:
+//!
+//! * [`builtin`] — 45+ skill classes across the same domains the paper draws
+//!   on (social networks, cloud storage, news, IoT devices, media, …), each
+//!   with primitive templates in the three grammar categories (noun phrase,
+//!   verb phrase, when phrase);
+//! * [`library`] — the [`Thingpedia`] registry implementing
+//!   [`thingtalk::SchemaRegistry`];
+//! * [`params`] — 49 parameter-value datasets (person names, song titles,
+//!   hashtags, country names, free-form text, …) generated from embedded
+//!   word lists and combinatorial generators;
+//! * [`simulate`] — a [`thingtalk::runtime::DeviceDelegate`] that produces
+//!   deterministic, seeded results for every builtin function so programs
+//!   can actually execute.
+//!
+//! # Example
+//!
+//! ```
+//! use thingpedia::Thingpedia;
+//! use thingtalk::SchemaRegistry;
+//!
+//! let library = Thingpedia::builtin();
+//! assert!(library.class("com.dropbox").is_some());
+//! assert!(library.function_count() >= 130);
+//! ```
+
+pub mod builtin;
+pub mod library;
+pub mod params;
+pub mod simulate;
+pub mod templates;
+
+pub use library::Thingpedia;
+pub use params::{ParamDataset, ParamDatasets};
+pub use simulate::SimulatedDevices;
+pub use templates::{PhraseCategory, PrimitiveTemplate};

@@ -1,0 +1,269 @@
+//! The Thingpedia registry: classes + primitive templates + entity metadata.
+
+use std::collections::BTreeMap;
+
+use thingtalk::class::ClassDef;
+use thingtalk::typecheck::SchemaRegistry;
+use thingtalk::types::Type;
+
+use crate::templates::{PhraseCategory, PrimitiveTemplate};
+
+/// The skill library: a set of classes with their primitive templates.
+///
+/// Implements [`SchemaRegistry`] so it can be used directly with the
+/// typechecker, canonicalizer and describer of the `thingtalk` crate.
+#[derive(Debug, Default, Clone)]
+pub struct Thingpedia {
+    classes: BTreeMap<String, ClassDef>,
+    templates: Vec<PrimitiveTemplate>,
+}
+
+impl Thingpedia {
+    /// An empty library.
+    pub fn new() -> Self {
+        Thingpedia::default()
+    }
+
+    /// The full builtin library (45+ skills across the domains of the
+    /// paper's Thingpedia snapshot).
+    pub fn builtin() -> Self {
+        let mut library = Thingpedia::new();
+        for (class, templates) in crate::builtin::all() {
+            library.add_class(class, templates);
+        }
+        library
+    }
+
+    /// The builtin library plus the comprehensive Spotify skill used in the
+    /// first case study (§6.1).
+    pub fn builtin_with_spotify() -> Self {
+        let mut library = Thingpedia::builtin();
+        let (class, templates) = crate::builtin::spotify::extended();
+        library.add_class(class, templates);
+        library
+    }
+
+    /// Add a class and its primitive templates.
+    pub fn add_class(&mut self, class: ClassDef, templates: Vec<PrimitiveTemplate>) {
+        self.classes.insert(class.name.clone(), class);
+        self.templates.extend(templates);
+    }
+
+    /// All primitive templates.
+    pub fn templates(&self) -> &[PrimitiveTemplate] {
+        &self.templates
+    }
+
+    /// Primitive templates for a given function.
+    pub fn templates_for(&self, class: &str, function: &str) -> Vec<&PrimitiveTemplate> {
+        self.templates
+            .iter()
+            .filter(|t| t.class == class && t.function == function)
+            .collect()
+    }
+
+    /// Primitive templates of a given grammar category.
+    pub fn templates_by_category(&self, category: PhraseCategory) -> Vec<&PrimitiveTemplate> {
+        self.templates
+            .iter()
+            .filter(|t| t.category == category)
+            .collect()
+    }
+
+    /// Iterate over all classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+
+    /// Number of classes (skills).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of distinct parameter names across all functions, as reported
+    /// in §5 of the paper (178 for the original snapshot).
+    pub fn distinct_parameter_count(&self) -> usize {
+        let mut names: Vec<&str> = Vec::new();
+        for class in self.classes.values() {
+            for function in class.functions.values() {
+                for param in &function.params {
+                    if !names.contains(&param.name.as_str()) {
+                        names.push(&param.name);
+                    }
+                }
+            }
+        }
+        names.len()
+    }
+
+    /// The distinct entity types referenced by parameters in the library.
+    pub fn entity_types(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for class in self.classes.values() {
+            for function in class.functions.values() {
+                for param in &function.params {
+                    if let Type::Entity(kind) = &param.ty {
+                        if !out.contains(kind) {
+                            out.push(kind.clone());
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Average number of primitive templates per function, reported in §5.2
+    /// (8.5 for the full ThingTalk experiment, 5.8 for Spotify).
+    pub fn templates_per_function(&self) -> f64 {
+        let functions = self.function_count();
+        if functions == 0 {
+            0.0
+        } else {
+            self.templates.len() as f64 / functions as f64
+        }
+    }
+
+    /// The classes in a given domain, used to build cheatsheets.
+    pub fn classes_in_domain(&self, domain: &str) -> Vec<&ClassDef> {
+        self.classes
+            .values()
+            .filter(|c| c.domain == domain)
+            .collect()
+    }
+
+    /// All distinct domains.
+    pub fn domains(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for class in self.classes.values() {
+            if !class.domain.is_empty() && !out.contains(&class.domain.as_str()) {
+                out.push(&class.domain);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+impl SchemaRegistry for Thingpedia {
+    fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    fn class_names(&self) -> Vec<&str> {
+        self.classes.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_library_matches_paper_scale() {
+        let library = Thingpedia::builtin();
+        assert!(
+            library.class_count() >= 44,
+            "expected at least 44 skills, found {}",
+            library.class_count()
+        );
+        assert!(
+            library.function_count() >= 131,
+            "expected at least 131 functions, found {}",
+            library.function_count()
+        );
+        assert!(
+            library.distinct_parameter_count() >= 130,
+            "expected a rich parameter vocabulary, found {}",
+            library.distinct_parameter_count()
+        );
+    }
+
+    #[test]
+    fn every_function_has_at_least_one_template() {
+        let library = Thingpedia::builtin();
+        let mut missing = Vec::new();
+        for class in library.classes() {
+            for function in class.functions.values() {
+                if library.templates_for(&class.name, &function.name).is_empty() {
+                    missing.push(format!("@{}.{}", class.name, function.name));
+                }
+            }
+        }
+        assert!(missing.is_empty(), "functions without templates: {missing:?}");
+    }
+
+    #[test]
+    fn templates_reference_existing_functions_and_params() {
+        let library = Thingpedia::builtin();
+        for template in library.templates() {
+            let function = library
+                .function(&template.class, &template.function)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "template references unknown function @{}.{}",
+                        template.class, template.function
+                    )
+                });
+            for placeholder in template.placeholders() {
+                assert!(
+                    function.param(&placeholder).is_some(),
+                    "template `{}` references unknown parameter `{placeholder}` of @{}.{}",
+                    template.utterance,
+                    template.class,
+                    template.function
+                );
+            }
+            for (name, _) in &template.preset_params {
+                assert!(
+                    function.param(name).is_some(),
+                    "template `{}` presets unknown parameter `{name}`",
+                    template.utterance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn when_phrases_only_for_monitorable_queries() {
+        let library = Thingpedia::builtin();
+        for template in library.templates_by_category(PhraseCategory::WhenPhrase) {
+            let function = library
+                .function(&template.class, &template.function)
+                .expect("template function exists");
+            assert!(
+                function.kind.is_monitorable(),
+                "when phrase `{}` for non-monitorable @{}.{}",
+                template.utterance,
+                template.class,
+                template.function
+            );
+        }
+    }
+
+    #[test]
+    fn spotify_extension_adds_functions() {
+        let base = Thingpedia::builtin();
+        let extended = Thingpedia::builtin_with_spotify();
+        assert!(extended.function_count() > base.function_count());
+        let spotify = extended.class("com.spotify").unwrap();
+        assert!(spotify.queries().count() >= 10);
+        assert!(spotify.actions().count() >= 10);
+    }
+
+    #[test]
+    fn domains_are_populated() {
+        let library = Thingpedia::builtin();
+        let domains = library.domains();
+        assert!(domains.len() >= 6, "expected several domains, found {domains:?}");
+        assert!(!library.classes_in_domain(domains[0]).is_empty());
+    }
+
+    #[test]
+    fn average_templates_per_function_is_reasonable() {
+        let library = Thingpedia::builtin();
+        let avg = library.templates_per_function();
+        assert!(avg >= 2.0, "expected >= 2 templates per function on average, found {avg:.2}");
+    }
+}

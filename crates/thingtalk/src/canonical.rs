@@ -1,0 +1,449 @@
+//! Canonicalization of ThingTalk programs (§2.4).
+//!
+//! Canonicalization is key to training a neural semantic parser: the output
+//! of the network is checked for exact match against the canonicalized gold
+//! program, so semantically equivalent programs must have a single canonical
+//! form. The paper's ablation (Table 3) finds canonicalization to be the
+//! single most important VAPL feature (5–8% accuracy).
+//!
+//! The transformation rules implemented here follow the paper:
+//!
+//! * query joins without parameter passing are commutative and are
+//!   canonicalized by ordering the operands lexically;
+//! * nested applications of `filter` are merged into a single filter with
+//!   the `&&` connective;
+//! * boolean predicates are simplified, converted to conjunctive normal
+//!   form, and sorted (see [`crate::optimize`]);
+//! * filters are moved to the left-most query operand that provides all the
+//!   output parameters they mention;
+//! * input parameters are listed in alphabetical order, which helps the
+//!   neural model learn a single global order across functions.
+
+use crate::ast::{Action, Invocation, Predicate, Program, Query, Stream};
+use crate::optimize::simplify;
+use crate::typecheck::SchemaRegistry;
+
+/// Canonicalize a program in place. The `registry` is used to find which
+/// query operand provides the output parameters mentioned by a filter; pass
+/// a registry without the relevant classes and filters simply stay where the
+/// parser put them.
+pub fn canonicalize<R: SchemaRegistry + ?Sized>(registry: &R, program: &mut Program) {
+    program.stream = canonicalize_stream(registry, std::mem::replace(&mut program.stream, Stream::Now));
+    if let Some(query) = program.query.take() {
+        program.query = Some(canonicalize_query(registry, query));
+    }
+    if let Action::Invocation(inv) = &mut program.action {
+        sort_input_params(inv);
+    }
+}
+
+/// Return the canonical form of a program, leaving the original untouched.
+pub fn canonicalized<R: SchemaRegistry + ?Sized>(registry: &R, program: &Program) -> Program {
+    let mut clone = program.clone();
+    canonicalize(registry, &mut clone);
+    clone
+}
+
+/// Two programs are semantically equivalent under canonicalization if their
+/// canonical forms are structurally equal. This is the *program accuracy*
+/// criterion used throughout the evaluation.
+pub fn equivalent<R: SchemaRegistry + ?Sized>(registry: &R, a: &Program, b: &Program) -> bool {
+    canonicalized(registry, a) == canonicalized(registry, b)
+}
+
+fn canonicalize_stream<R: SchemaRegistry + ?Sized>(registry: &R, stream: Stream) -> Stream {
+    match stream {
+        Stream::Monitor { query, mut on } => {
+            on.sort();
+            on.dedup();
+            Stream::Monitor {
+                query: Box::new(canonicalize_query(registry, *query)),
+                on,
+            }
+        }
+        Stream::EdgeFilter { stream, predicate } => Stream::EdgeFilter {
+            stream: Box::new(canonicalize_stream(registry, *stream)),
+            predicate: simplify(predicate),
+        },
+        other => other,
+    }
+}
+
+fn canonicalize_query<R: SchemaRegistry + ?Sized>(registry: &R, query: Query) -> Query {
+    // 1. Collect all filters, merging nested applications.
+    let (skeleton, mut predicates) = strip_filters(query);
+    // 2. Canonicalize the skeleton (joins, invocations).
+    let skeleton = canonicalize_skeleton(registry, skeleton);
+    // 3. Re-attach the filters to the left-most operand providing all the
+    //    mentioned output parameters, or to the top if none does.
+    predicates.retain(|p| !p.is_true());
+    if predicates.is_empty() {
+        return skeleton;
+    }
+    let merged = predicates
+        .into_iter()
+        .reduce(Predicate::and)
+        .expect("at least one predicate");
+    let simplified = simplify(merged);
+    if simplified.is_true() {
+        return skeleton;
+    }
+    attach_filter(registry, skeleton, simplified)
+}
+
+/// Remove all filter nodes from the query, returning the filter-free
+/// skeleton and the collected predicates. Aggregation boundaries are kept:
+/// filters inside an aggregation stay inside it.
+fn strip_filters(query: Query) -> (Query, Vec<Predicate>) {
+    match query {
+        Query::Invocation(inv) => (Query::Invocation(inv), Vec::new()),
+        Query::Filter { query, predicate } => {
+            let (skeleton, mut predicates) = strip_filters(*query);
+            predicates.push(predicate);
+            (skeleton, predicates)
+        }
+        Query::Join { lhs, rhs, on } => {
+            let (lhs_skeleton, mut lhs_preds) = strip_filters(*lhs);
+            let (rhs_skeleton, rhs_preds) = strip_filters(*rhs);
+            lhs_preds.extend(rhs_preds);
+            (
+                Query::Join {
+                    lhs: Box::new(lhs_skeleton),
+                    rhs: Box::new(rhs_skeleton),
+                    on,
+                },
+                lhs_preds,
+            )
+        }
+        Query::Aggregation { op, field, query } => {
+            // Filters under an aggregation change its value, so canonicalize
+            // them recursively but do not hoist them out.
+            (
+                Query::Aggregation {
+                    op,
+                    field,
+                    query: Box::new(canonicalize_query(&EmptyRegistry, *query)),
+                },
+                Vec::new(),
+            )
+        }
+    }
+}
+
+/// A registry with no classes, used when canonicalizing nested queries whose
+/// filters must not be hoisted.
+struct EmptyRegistry;
+
+impl SchemaRegistry for EmptyRegistry {
+    fn class(&self, _name: &str) -> Option<&crate::class::ClassDef> {
+        None
+    }
+
+    fn class_names(&self) -> Vec<&str> {
+        Vec::new()
+    }
+}
+
+fn canonicalize_skeleton<R: SchemaRegistry + ?Sized>(registry: &R, query: Query) -> Query {
+    match query {
+        Query::Invocation(mut inv) => {
+            sort_input_params(&mut inv);
+            Query::Invocation(inv)
+        }
+        Query::Join { lhs, rhs, mut on } => {
+            let mut lhs = canonicalize_skeleton(registry, *lhs);
+            let mut rhs = canonicalize_skeleton(registry, *rhs);
+            on.sort_by(|a, b| a.input.cmp(&b.input).then_with(|| a.output.cmp(&b.output)));
+            on.dedup();
+            // Joins without parameter passing (explicit `on` or implicit via
+            // var refs in the right operand) are commutative: order operands
+            // lexically by their first function name.
+            let implicit_passing = rhs_uses_lhs_outputs(registry, &lhs, &rhs);
+            if on.is_empty() && !implicit_passing {
+                let lhs_key = join_sort_key(&lhs);
+                let rhs_key = join_sort_key(&rhs);
+                if rhs_key < lhs_key {
+                    std::mem::swap(&mut lhs, &mut rhs);
+                }
+            }
+            Query::Join {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                on,
+            }
+        }
+        Query::Filter { query, predicate } => {
+            // strip_filters removes these before we get here, but stay
+            // total for robustness.
+            Query::Filter {
+                query: Box::new(canonicalize_skeleton(registry, *query)),
+                predicate: simplify(predicate),
+            }
+        }
+        Query::Aggregation { op, field, query } => Query::Aggregation {
+            op,
+            field,
+            query: Box::new(canonicalize_skeleton(registry, *query)),
+        },
+    }
+}
+
+fn join_sort_key(query: &Query) -> String {
+    query
+        .invocations()
+        .first()
+        .map(|inv| format!("{}.{}", inv.function.class, inv.function.function))
+        .unwrap_or_default()
+}
+
+fn rhs_uses_lhs_outputs<R: SchemaRegistry + ?Sized>(
+    registry: &R,
+    lhs: &Query,
+    rhs: &Query,
+) -> bool {
+    let lhs_outputs = query_output_params(registry, lhs);
+    rhs.invocations().iter().any(|inv| {
+        inv.passed_params()
+            .any(|(_, source)| lhs_outputs.contains(&source.to_owned()))
+    })
+}
+
+/// The output parameters provided by a query (union over its invocations).
+fn query_output_params<R: SchemaRegistry + ?Sized>(registry: &R, query: &Query) -> Vec<String> {
+    let mut out = Vec::new();
+    for inv in query.invocations() {
+        if let Some(def) = registry.function(&inv.function.class, &inv.function.function) {
+            for p in def.output_params() {
+                if !out.contains(&p.name) {
+                    out.push(p.name.clone());
+                }
+            }
+        }
+    }
+    if let Query::Aggregation { op, field, .. } = query {
+        match field {
+            Some(field) => out.push(field.clone()),
+            None => out.push("count".to_owned()),
+        }
+        let _ = op;
+    }
+    out
+}
+
+/// Attach a filter to the left-most sub-query that provides all the output
+/// parameters it mentions (the paper: "each clause is also automatically
+/// moved to the left-most function that includes all the output
+/// parameters").
+fn attach_filter<R: SchemaRegistry + ?Sized>(
+    registry: &R,
+    query: Query,
+    predicate: Predicate,
+) -> Query {
+    match query {
+        Query::Join { lhs, rhs, on } => {
+            let mentioned: Vec<String> = predicate
+                .mentioned_params()
+                .into_iter()
+                .map(str::to_owned)
+                .collect();
+            let lhs_params = query_output_params(registry, &lhs);
+            let rhs_params = query_output_params(registry, &rhs);
+            let all_in_lhs = !mentioned.is_empty()
+                && mentioned.iter().all(|p| lhs_params.contains(p));
+            let all_in_rhs = !mentioned.is_empty()
+                && mentioned.iter().all(|p| rhs_params.contains(p));
+            if all_in_lhs {
+                Query::Join {
+                    lhs: Box::new(attach_filter(registry, *lhs, predicate)),
+                    rhs,
+                    on,
+                }
+            } else if all_in_rhs {
+                Query::Join {
+                    lhs,
+                    rhs: Box::new(attach_filter(registry, *rhs, predicate)),
+                    on,
+                }
+            } else {
+                Query::Filter {
+                    query: Box::new(Query::Join { lhs, rhs, on }),
+                    predicate,
+                }
+            }
+        }
+        other => Query::Filter {
+            query: Box::new(other),
+            predicate,
+        },
+    }
+}
+
+fn sort_input_params(inv: &mut Invocation) {
+    inv.in_params.sort_by(|a, b| a.name.cmp(&b.name));
+    inv.in_params.dedup_by(|a, b| a.name == b.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassDef, FunctionDef, FunctionKind, ParamDef, ParamDirection};
+    use crate::syntax::parse_program;
+    use crate::typecheck::MapRegistry;
+    use crate::types::Type;
+
+    fn registry() -> MapRegistry {
+        let mut registry = MapRegistry::new();
+        registry.add_class(
+            ClassDef::new("com.nytimes").with_function(FunctionDef::new(
+                "get_front_page",
+                FunctionKind::MONITORABLE_LIST_QUERY,
+                vec![
+                    ParamDef::new("title", Type::String, ParamDirection::Out),
+                    ParamDef::new("link", Type::Url, ParamDirection::Out),
+                ],
+            )),
+        );
+        registry.add_class(
+            ClassDef::new("com.washingtonpost").with_function(FunctionDef::new(
+                "get_article",
+                FunctionKind::MONITORABLE_LIST_QUERY,
+                vec![ParamDef::new("headline", Type::String, ParamDirection::Out)],
+            )),
+        );
+        registry.add_class(
+            ClassDef::new("com.yandex.translate").with_function(FunctionDef::new(
+                "translate",
+                FunctionKind::QUERY,
+                vec![
+                    ParamDef::new("text", Type::String, ParamDirection::InReq),
+                    ParamDef::new("translated_text", Type::String, ParamDirection::Out),
+                ],
+            )),
+        );
+        registry
+    }
+
+    fn canon(source: &str) -> Program {
+        let program = parse_program(source).unwrap();
+        canonicalized(&registry(), &program)
+    }
+
+    #[test]
+    fn input_parameters_are_sorted_alphabetically() {
+        let a = canon("now => @com.yandex.translate.translate(text = \"ciao\") => notify");
+        let b = canon("now => @com.yandex.translate.translate(text = \"ciao\") => notify");
+        assert_eq!(a, b);
+
+        let program = parse_program(
+            "now => @com.facebook.post_picture(picture_url = \"u\", caption = \"c\")",
+        )
+        .unwrap();
+        let canonical = canonicalized(&registry(), &program);
+        if let Action::Invocation(inv) = &canonical.action {
+            let names: Vec<&str> = inv.in_params.iter().map(|p| p.name.as_str()).collect();
+            assert_eq!(names, vec!["caption", "picture_url"]);
+        } else {
+            panic!("expected an action invocation");
+        }
+    }
+
+    #[test]
+    fn nested_filters_are_merged_and_sorted() {
+        let a = canon(
+            "now => (@com.nytimes.get_front_page() filter title substr \"rust\") filter link substr \"blog\" => notify",
+        );
+        let b = canon(
+            "now => (@com.nytimes.get_front_page() filter link substr \"blog\") filter title substr \"rust\" => notify",
+        );
+        assert_eq!(a, b);
+        let query = a.query.unwrap();
+        assert!(matches!(query, Query::Filter { ref predicate, .. } if predicate.atom_count() == 2));
+    }
+
+    #[test]
+    fn commutative_joins_are_ordered_lexically() {
+        let a = canon(
+            "now => @com.washingtonpost.get_article() join @com.nytimes.get_front_page() => notify",
+        );
+        let b = canon(
+            "now => @com.nytimes.get_front_page() join @com.washingtonpost.get_article() => notify",
+        );
+        assert_eq!(a, b);
+        let query = a.query.unwrap();
+        match query {
+            Query::Join { lhs, .. } => {
+                assert_eq!(lhs.invocations()[0].function.class, "com.nytimes");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn joins_with_param_passing_are_not_reordered() {
+        let a = canon(
+            "now => @com.nytimes.get_front_page() join @com.yandex.translate.translate() on (text = title) => notify",
+        );
+        match a.query.unwrap() {
+            Query::Join { lhs, .. } => {
+                assert_eq!(lhs.invocations()[0].function.class, "com.nytimes");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Even though com.yandex.translate < com.nytimes would not reorder,
+        // check the reverse direction is also preserved when passing params.
+        let b = canon(
+            "now => @com.washingtonpost.get_article() join @com.yandex.translate.translate(text = headline) => notify",
+        );
+        match b.query.unwrap() {
+            Query::Join { lhs, .. } => {
+                assert_eq!(lhs.invocations()[0].function.class, "com.washingtonpost");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filters_move_to_the_operand_that_provides_the_params() {
+        let program = canon(
+            "now => (@com.nytimes.get_front_page() join @com.washingtonpost.get_article()) filter title substr \"election\" => notify",
+        );
+        match program.query.unwrap() {
+            Query::Join { lhs, rhs, .. } => {
+                assert!(matches!(*lhs, Query::Filter { .. }), "filter should move into the nytimes operand");
+                assert!(matches!(*rhs, Query::Invocation(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equivalence_checks_canonical_forms() {
+        let registry = registry();
+        let a = parse_program(
+            "now => @com.nytimes.get_front_page() filter title substr \"a\" && link substr \"b\" => notify",
+        )
+        .unwrap();
+        let b = parse_program(
+            "now => @com.nytimes.get_front_page() filter link substr \"b\" && title substr \"a\" => notify",
+        )
+        .unwrap();
+        assert!(equivalent(&registry, &a, &b));
+        let c = parse_program("now => @com.nytimes.get_front_page() => notify").unwrap();
+        assert!(!equivalent(&registry, &a, &c));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let registry = registry();
+        let sources = [
+            "now => @com.washingtonpost.get_article() join @com.nytimes.get_front_page() => notify",
+            "now => (@com.nytimes.get_front_page() filter title substr \"x\") filter link substr \"y\" => notify",
+            "monitor (@com.nytimes.get_front_page()) => notify",
+        ];
+        for source in sources {
+            let once = canonicalized(&registry, &parse_program(source).unwrap());
+            let twice = canonicalized(&registry, &once);
+            assert_eq!(once, twice, "not idempotent for `{source}`");
+        }
+    }
+}

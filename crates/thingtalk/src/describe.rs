@@ -1,0 +1,406 @@
+//! Converting programs back into canonical natural language.
+//!
+//! The paper notes that VAPL code "can also be converted back into a
+//! canonical natural language sentence to confirm the program before
+//! execution". The describer is also the core of the Wang-et-al baseline
+//! (generate one canonical sentence per program and match paraphrases
+//! against it) and is used to build clunky-but-understandable synthesized
+//! sentences when no primitive template applies.
+
+use crate::ast::{Action, AggregationOp, CompareOp, Invocation, Predicate, Program, Query, Stream};
+use crate::typecheck::SchemaRegistry;
+use crate::value::{DateValue, LocationValue, Value};
+
+/// Produces canonical English descriptions of programs, values and
+/// predicates, using the canonical phrases stored in the skill library when
+/// available and falling back to identifier munging otherwise.
+pub struct Describer<'a, R: SchemaRegistry + ?Sized> {
+    registry: &'a R,
+}
+
+impl<'a, R: SchemaRegistry + ?Sized> Describer<'a, R> {
+    /// Create a describer over the given registry.
+    pub fn new(registry: &'a R) -> Self {
+        Describer { registry }
+    }
+
+    /// Describe a full program as one sentence.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use thingtalk::describe::Describer;
+    /// use thingtalk::syntax::parse_program;
+    /// use thingtalk::typecheck::MapRegistry;
+    ///
+    /// let registry = MapRegistry::new();
+    /// let program = parse_program("now => @com.gmail.inbox() => notify")?;
+    /// let sentence = Describer::new(&registry).describe(&program);
+    /// assert_eq!(sentence, "get inbox on gmail and notify me");
+    /// # Ok::<(), thingtalk::Error>(())
+    /// ```
+    pub fn describe(&self, program: &Program) -> String {
+        let action_phrase = match &program.action {
+            Action::Notify => {
+                if program.query.is_some() || program.stream.monitored_query().is_some() {
+                    "notify me".to_owned()
+                } else {
+                    "notify me".to_owned()
+                }
+            }
+            Action::Invocation(inv) => self.describe_invocation(inv, "do"),
+        };
+        let query_phrase = program
+            .query
+            .as_ref()
+            .map(|q| self.describe_query(q, "get"));
+        let stream_phrase = self.describe_stream(&program.stream);
+
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(stream_phrase) = stream_phrase {
+            parts.push(stream_phrase);
+        }
+        if let Some(query_phrase) = query_phrase {
+            parts.push(query_phrase);
+        }
+        parts.push(action_phrase);
+        parts.join(" and ").replace("  ", " ").trim().to_owned()
+    }
+
+    fn describe_stream(&self, stream: &Stream) -> Option<String> {
+        match stream {
+            Stream::Now => None,
+            Stream::AtTimer { time } => Some(format!("every day at {}", describe_value(time))),
+            Stream::Timer { interval, .. } => {
+                Some(format!("every {}", describe_value(interval)))
+            }
+            Stream::Monitor { query, on } => {
+                let base = self.describe_query(query, "when");
+                if on.is_empty() {
+                    Some(format!("when {base} change"))
+                } else {
+                    Some(format!(
+                        "when {base} have a new {}",
+                        on.iter()
+                            .map(|p| p.replace('_', " "))
+                            .collect::<Vec<_>>()
+                            .join(" or ")
+                    ))
+                }
+            }
+            Stream::EdgeFilter { stream, predicate } => {
+                let base = self.describe_stream(stream).unwrap_or_default();
+                Some(format!(
+                    "{base} and {} becomes true",
+                    self.describe_predicate(predicate)
+                ))
+            }
+        }
+    }
+
+    fn describe_query(&self, query: &Query, verb: &str) -> String {
+        match query {
+            Query::Invocation(inv) => self.describe_invocation(inv, verb),
+            Query::Filter { query, predicate } => format!(
+                "{} having {}",
+                self.describe_query(query, verb),
+                self.describe_predicate(predicate)
+            ),
+            Query::Join { lhs, rhs, on } => {
+                let mut sentence = format!(
+                    "{} combined with {}",
+                    self.describe_query(lhs, verb),
+                    self.describe_query(rhs, "get")
+                );
+                if !on.is_empty() {
+                    let passing: Vec<String> = on
+                        .iter()
+                        .map(|jp| {
+                            format!(
+                                "the {} as the {}",
+                                jp.output.replace('_', " "),
+                                jp.input.replace('_', " ")
+                            )
+                        })
+                        .collect();
+                    sentence.push_str(&format!(" using {}", passing.join(" and ")));
+                }
+                sentence
+            }
+            Query::Aggregation { op, field, query } => {
+                let inner = self.describe_query(query, "get");
+                match (op, field) {
+                    (AggregationOp::Count, _) => format!("the number of {inner}"),
+                    (op, Some(field)) => format!(
+                        "the {} {} of {inner}",
+                        aggregation_phrase(*op),
+                        field.replace('_', " ")
+                    ),
+                    (op, None) => format!("the {} of {inner}", aggregation_phrase(*op)),
+                }
+            }
+        }
+    }
+
+    fn describe_invocation(&self, inv: &Invocation, verb: &str) -> String {
+        let function = self
+            .registry
+            .function(&inv.function.class, &inv.function.function);
+        let canonical = function
+            .map(|f| f.canonical.clone())
+            .unwrap_or_else(|| inv.function.function.replace('_', " "));
+        let device = self
+            .registry
+            .class(&inv.function.class)
+            .map(|c| c.display_name.clone())
+            .unwrap_or_else(|| {
+                inv.function
+                    .class
+                    .rsplit('.')
+                    .next()
+                    .unwrap_or(&inv.function.class)
+                    .to_owned()
+            });
+        let mut sentence = if canonical.contains(&device.to_lowercase()) || canonical.contains(&device) {
+            format!("{verb} {canonical}")
+        } else {
+            format!("{verb} {canonical} on {device}")
+        };
+        for param in &inv.in_params {
+            let param_phrase = function
+                .and_then(|f| f.param(&param.name))
+                .map(|p| p.canonical.clone())
+                .unwrap_or_else(|| param.name.replace('_', " "));
+            match &param.value {
+                Value::VarRef(source) => {
+                    sentence.push_str(&format!(
+                        " with the {} as the {param_phrase}",
+                        source.replace('_', " ")
+                    ));
+                }
+                Value::Event => {
+                    sentence.push_str(&format!(" with the result as the {param_phrase}"));
+                }
+                Value::Undefined => {
+                    sentence.push_str(&format!(" with some {param_phrase}"));
+                }
+                value => {
+                    sentence.push_str(&format!(" with {param_phrase} {}", describe_value(value)));
+                }
+            }
+        }
+        sentence
+    }
+
+    /// Describe a predicate as an English phrase.
+    pub fn describe_predicate(&self, predicate: &Predicate) -> String {
+        match predicate {
+            Predicate::True => "anything".to_owned(),
+            Predicate::False => "nothing".to_owned(),
+            Predicate::Not(inner) => format!("not {}", self.describe_predicate(inner)),
+            Predicate::And(items) => items
+                .iter()
+                .map(|p| self.describe_predicate(p))
+                .collect::<Vec<_>>()
+                .join(" and "),
+            Predicate::Or(items) => items
+                .iter()
+                .map(|p| self.describe_predicate(p))
+                .collect::<Vec<_>>()
+                .join(" or "),
+            Predicate::Atom { param, op, value } => format!(
+                "the {} {} {}",
+                param.replace('_', " "),
+                compare_phrase(*op),
+                describe_value(value)
+            ),
+            Predicate::External {
+                invocation,
+                predicate,
+            } => format!(
+                "{} have {}",
+                self.describe_invocation(invocation, "the"),
+                self.describe_predicate(predicate)
+            ),
+        }
+    }
+}
+
+fn aggregation_phrase(op: AggregationOp) -> &'static str {
+    match op {
+        AggregationOp::Max => "maximum",
+        AggregationOp::Min => "minimum",
+        AggregationOp::Sum => "total",
+        AggregationOp::Avg => "average",
+        AggregationOp::Count => "number",
+    }
+}
+
+fn compare_phrase(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "is equal to",
+        CompareOp::Neq => "is not",
+        CompareOp::Gt => "is greater than",
+        CompareOp::Lt => "is less than",
+        CompareOp::Geq => "is at least",
+        CompareOp::Leq => "is at most",
+        CompareOp::Contains => "contains",
+        CompareOp::Substr => "contains",
+        CompareOp::StartsWith => "starts with",
+        CompareOp::EndsWith => "ends with",
+        CompareOp::InArray => "is one of",
+    }
+}
+
+/// Describe a value in natural language.
+pub fn describe_value(value: &Value) -> String {
+    match value {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Value::Boolean(true) => "yes".to_owned(),
+        Value::Boolean(false) => "no".to_owned(),
+        Value::Measure(amount, unit) => {
+            format!("{} {}", describe_value(&Value::Number(*amount)), unit.phrase())
+        }
+        Value::CompoundMeasure(parts) => parts
+            .iter()
+            .map(|(a, u)| format!("{} {}", describe_value(&Value::Number(*a)), u.phrase()))
+            .collect::<Vec<_>>()
+            .join(" "),
+        Value::Date(DateValue::Absolute(ms)) => format!("the date {ms}"),
+        Value::Date(DateValue::Edge(edge)) => edge.keyword().replace('_', " "),
+        Value::Date(DateValue::Offset { base, offset_ms }) => {
+            let days = (offset_ms.abs() as f64 / 86_400_000.0).round() as i64;
+            if *offset_ms < 0 {
+                format!("{days} days before {}", base.keyword().replace('_', " "))
+            } else {
+                format!("{days} days after {}", base.keyword().replace('_', " "))
+            }
+        }
+        Value::Time(h, m) => format!("{h}:{m:02}"),
+        Value::Location(LocationValue::Named(name)) => name.clone(),
+        Value::Location(LocationValue::Coordinates { latitude, longitude }) => {
+            format!("the location at {latitude}, {longitude}")
+        }
+        Value::Enum(v) => v.replace('_', " "),
+        Value::Currency(amount, code) => format!("{amount} {code}"),
+        Value::Entity { value, display, .. } => display.clone().unwrap_or_else(|| value.clone()),
+        Value::Array(items) => items
+            .iter()
+            .map(describe_value)
+            .collect::<Vec<_>>()
+            .join(", "),
+        Value::VarRef(name) => format!("the {}", name.replace('_', " ")),
+        Value::Event => "the result".to_owned(),
+        Value::Undefined => "something".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassDef, FunctionDef, FunctionKind, ParamDef, ParamDirection};
+    use crate::syntax::parse_program;
+    use crate::typecheck::MapRegistry;
+    use crate::types::Type;
+    use crate::units::BaseUnit;
+
+    fn registry() -> MapRegistry {
+        let mut registry = MapRegistry::new();
+        registry.add_class(
+            ClassDef::new("com.dropbox")
+                .with_display_name("Dropbox")
+                .with_function(
+                    FunctionDef::new(
+                        "list_folder",
+                        FunctionKind::MONITORABLE_LIST_QUERY,
+                        vec![
+                            ParamDef::new("file_name", Type::PathName, ParamDirection::Out),
+                            ParamDef::new(
+                                "file_size",
+                                Type::Measure(BaseUnit::Byte),
+                                ParamDirection::Out,
+                            ),
+                            ParamDef::new("modified_time", Type::Date, ParamDirection::Out),
+                        ],
+                    )
+                    .with_canonical("my dropbox files"),
+                ),
+        );
+        registry
+    }
+
+    #[test]
+    fn describes_primitive_get() {
+        let registry = registry();
+        let program = parse_program("now => @com.dropbox.list_folder() => notify").unwrap();
+        let sentence = Describer::new(&registry).describe(&program);
+        assert_eq!(sentence, "get my dropbox files and notify me");
+    }
+
+    #[test]
+    fn describes_filters_with_canonical_phrases() {
+        let registry = registry();
+        let program = parse_program(
+            "now => @com.dropbox.list_folder() filter modified_time > start_of_week => notify",
+        )
+        .unwrap();
+        let sentence = Describer::new(&registry).describe(&program);
+        assert!(sentence.contains("my dropbox files"));
+        assert!(sentence.contains("modified time is greater than start of week"));
+    }
+
+    #[test]
+    fn describes_monitors() {
+        let registry = registry();
+        let program =
+            parse_program("monitor (@com.dropbox.list_folder()) => notify").unwrap();
+        let sentence = Describer::new(&registry).describe(&program);
+        assert!(sentence.starts_with("when when my dropbox files change") || sentence.contains("when"));
+        assert!(sentence.ends_with("notify me"));
+    }
+
+    #[test]
+    fn describes_unknown_functions_by_munging() {
+        let registry = MapRegistry::new();
+        let program = parse_program(
+            "now => @com.thecatapi.get() => @com.facebook.post_picture(caption = \"funny cat\")",
+        )
+        .unwrap();
+        let sentence = Describer::new(&registry).describe(&program);
+        assert!(sentence.contains("thecatapi"));
+        assert!(sentence.contains("post picture"));
+        assert!(sentence.contains("funny cat"));
+    }
+
+    #[test]
+    fn describes_values() {
+        assert_eq!(describe_value(&Value::Measure(60.0, crate::units::Unit::Fahrenheit)), "60 degrees fahrenheit");
+        assert_eq!(describe_value(&Value::Boolean(true)), "yes");
+        assert_eq!(describe_value(&Value::Time(8, 5)), "8:05");
+        assert_eq!(
+            describe_value(&Value::CompoundMeasure(vec![
+                (6.0, crate::units::Unit::Foot),
+                (3.0, crate::units::Unit::Inch)
+            ])),
+            "6 feet 3 inches"
+        );
+    }
+
+    #[test]
+    fn deterministic_descriptions() {
+        let registry = registry();
+        let program = parse_program(
+            "now => @com.dropbox.list_folder() filter file_size > 5GB => notify",
+        )
+        .unwrap();
+        let describer = Describer::new(&registry);
+        assert_eq!(describer.describe(&program), describer.describe(&program));
+    }
+}

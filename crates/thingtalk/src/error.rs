@@ -1,0 +1,102 @@
+//! Error types for the ThingTalk crate.
+
+use std::fmt;
+
+/// A specialized `Result` type for ThingTalk operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by ThingTalk parsing, type checking, serialization
+/// and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A lexical error at the given byte offset of the input.
+    Lex { offset: usize, message: String },
+    /// A syntax error while parsing the surface or NN syntax.
+    Parse { message: String },
+    /// A type error detected by the typechecker.
+    Type { message: String },
+    /// Reference to a class or function that is not in the schema registry.
+    UnknownFunction { class: String, function: String },
+    /// Reference to a parameter that the function does not declare.
+    UnknownParameter {
+        class: String,
+        function: String,
+        param: String,
+    },
+    /// A runtime execution error.
+    Execution { message: String },
+    /// An access-control policy violation (TACL).
+    PolicyViolation { message: String },
+    /// Invalid unit name or incompatible unit arithmetic.
+    Unit { message: String },
+}
+
+impl Error {
+    /// Construct a parse error with the given message.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Error::Parse {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a type error with the given message.
+    pub fn type_error(message: impl Into<String>) -> Self {
+        Error::Type {
+            message: message.into(),
+        }
+    }
+
+    /// Construct an execution error with the given message.
+    pub fn execution(message: impl Into<String>) -> Self {
+        Error::Execution {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { offset, message } => {
+                write!(f, "lexical error at offset {offset}: {message}")
+            }
+            Error::Parse { message } => write!(f, "syntax error: {message}"),
+            Error::Type { message } => write!(f, "type error: {message}"),
+            Error::UnknownFunction { class, function } => {
+                write!(f, "unknown function @{class}.{function}")
+            }
+            Error::UnknownParameter {
+                class,
+                function,
+                param,
+            } => write!(f, "unknown parameter {param} of @{class}.{function}"),
+            Error::Execution { message } => write!(f, "execution error: {message}"),
+            Error::PolicyViolation { message } => write!(f, "policy violation: {message}"),
+            Error::Unit { message } => write!(f, "invalid unit: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = Error::parse("expected `=>`");
+        assert_eq!(err.to_string(), "syntax error: expected `=>`");
+        let err = Error::UnknownFunction {
+            class: "com.twitter".into(),
+            function: "tweet".into(),
+        };
+        assert_eq!(err.to_string(), "unknown function @com.twitter.tweet");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,72 @@
+//! # ThingTalk — the Virtual Assistant Programming Language
+//!
+//! This crate implements the revised ThingTalk language described in Section 2
+//! of *Genie: A Generator of Natural Language Semantic Parsers for Virtual
+//! Assistant Commands* (PLDI 2019): a statically-typed, data-focused language
+//! with a single construct
+//!
+//! ```text
+//! stream => query? => action
+//! ```
+//!
+//! built on top of a skill library of classes with *query* functions (no side
+//! effects, possibly monitorable) and *action* functions (side effects, no
+//! results).
+//!
+//! The crate provides, bottom to top:
+//!
+//! * [`types`] and [`value`] — the fine-grained type system (Fig. 3) and the
+//!   rich constant language (compound measures, dates, entities, …).
+//! * [`class`] — the skill-library class grammar (Fig. 3) used by Thingpedia.
+//! * [`ast`] — the program grammar (Fig. 5), plus the TT+A aggregation
+//!   extension (§6.3).
+//! * [`syntax`] — a lexer and recursive-descent parser for the surface syntax
+//!   of programs, classes, and access-control policies.
+//! * [`typecheck`] — static typing of programs against a [`SchemaRegistry`].
+//! * [`canonical`] — semantic-preserving canonicalization (§2.4), the most
+//!   important VAPL feature in the paper's ablation (Table 3).
+//! * [`nn_syntax`] — the linearized token form of programs consumed and
+//!   produced by the neural semantic parser, with keyword parameters and
+//!   optional type annotations.
+//! * [`describe`] — converting programs back to canonical English for
+//!   confirmation and for the Wang-et-al baseline.
+//! * [`policy`] — TACL, the ThingTalk Access Control Language (§6.2).
+//! * [`runtime`] — an execution engine with a virtual clock, monitors, edge
+//!   filters, timers, joins, filters, parameter passing, and aggregation.
+//!
+//! # Example
+//!
+//! ```
+//! use thingtalk::syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "monitor (@com.twitter.timeline() filter author == \"PLDI\") \
+//!      => @com.twitter.retweet(tweet_id = tweet_id)",
+//! )?;
+//! assert!(program.is_compound());
+//! assert_eq!(program.functions().len(), 2);
+//! # Ok::<(), thingtalk::Error>(())
+//! ```
+
+pub mod ast;
+pub mod canonical;
+pub mod class;
+pub mod describe;
+pub mod error;
+pub mod nn_syntax;
+pub mod optimize;
+pub mod policy;
+pub mod runtime;
+pub mod syntax;
+pub mod typecheck;
+pub mod types;
+pub mod units;
+pub mod value;
+
+pub use ast::{Action, AggregationOp, CompareOp, Invocation, Predicate, Program, Query, Stream};
+pub use class::{ClassDef, FunctionDef, FunctionKind, ParamDef, ParamDirection};
+pub use error::{Error, Result};
+pub use typecheck::SchemaRegistry;
+pub use types::Type;
+pub use units::Unit;
+pub use value::Value;

@@ -1,0 +1,525 @@
+//! The neural-network syntax: programs as flat token sequences.
+//!
+//! The semantic parser is a sequence-to-sequence model, so programs must be
+//! linearized into token sequences. Following §2.1 and §2.3 of the paper:
+//!
+//! * parameters are *keyword* parameters (`param:caption:String = ...`), so
+//!   the model only needs to learn partial signatures; the ablation of
+//!   Table 3 can switch to positional parameters;
+//! * each parameter can be annotated with its type (also ablatable);
+//! * string and entity values are split into one token per word surrounded
+//!   by quote tokens, so the pointer-generator decoder can copy them from
+//!   the input sentence word by word;
+//! * numbers, dates and times that were normalized by argument
+//!   identification appear as named constants (`NUMBER_0`, `DATE_1`, …),
+//!   which are single tokens.
+//!
+//! [`to_tokens`] and [`from_tokens`] form a round trip for the default
+//! options; the positional variant is only used for training-time ablation
+//! and is not decodable without the registry.
+
+use crate::ast::{Action, Predicate, Program, Query, Stream};
+use crate::error::{Error, Result};
+use crate::syntax::parse_program;
+use crate::value::Value;
+
+/// Options controlling the token serialization, used by the Table 3
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NnSyntaxOptions {
+    /// Serialize parameters as `param:name = value` keyword tokens; when
+    /// `false`, values are emitted positionally in declaration order.
+    pub keyword_params: bool,
+    /// Append the parameter type to keyword tokens
+    /// (`param:caption:String`).
+    pub type_annotations: bool,
+}
+
+impl Default for NnSyntaxOptions {
+    fn default() -> Self {
+        NnSyntaxOptions {
+            keyword_params: true,
+            type_annotations: false,
+        }
+    }
+}
+
+impl NnSyntaxOptions {
+    /// The configuration used by the full Genie model (keyword parameters,
+    /// type annotations on).
+    pub fn full() -> Self {
+        NnSyntaxOptions {
+            keyword_params: true,
+            type_annotations: true,
+        }
+    }
+}
+
+/// Serialize a program into NN-syntax tokens.
+///
+/// # Examples
+///
+/// ```
+/// use thingtalk::nn_syntax::{to_tokens, NnSyntaxOptions};
+/// use thingtalk::syntax::parse_program;
+///
+/// let program = parse_program(
+///     "now => @com.thecatapi.get() => @com.facebook.post_picture(caption = \"funny cat\")",
+/// )?;
+/// let tokens = to_tokens(&program, NnSyntaxOptions::default());
+/// assert!(tokens.contains(&"@com.facebook.post_picture".to_owned()));
+/// assert!(tokens.contains(&"funny".to_owned()));
+/// # Ok::<(), thingtalk::Error>(())
+/// ```
+pub fn to_tokens(program: &Program, options: NnSyntaxOptions) -> Vec<String> {
+    let mut out = Vec::new();
+    stream_tokens(&program.stream, options, &mut out);
+    if let Some(query) = &program.query {
+        out.push("=>".to_owned());
+        query_tokens(query, options, &mut out);
+    }
+    out.push("=>".to_owned());
+    match &program.action {
+        Action::Notify => out.push("notify".to_owned()),
+        Action::Invocation(inv) => invocation_tokens(inv, options, &mut out),
+    }
+    out
+}
+
+/// Deserialize NN-syntax tokens back into a program. Only the default
+/// keyword-parameter form (with or without type annotations) is decodable;
+/// this is what the model emits at inference time.
+///
+/// # Errors
+///
+/// Returns a parse error if the token sequence is not a well-formed program.
+pub fn from_tokens(tokens: &[String]) -> Result<Program> {
+    let source = tokens_to_source(tokens)?;
+    parse_program(&source)
+}
+
+/// The textual surface form reconstructed from NN tokens (useful for
+/// debugging model output).
+pub fn tokens_to_source(tokens: &[String]) -> Result<String> {
+    let mut pieces: Vec<String> = Vec::new();
+    let mut in_string = false;
+    let mut string_words: Vec<String> = Vec::new();
+    for token in tokens {
+        if token == "\"" {
+            if in_string {
+                pieces.push(format!("\"{}\"", string_words.join(" ")));
+                string_words.clear();
+                in_string = false;
+            } else {
+                in_string = true;
+            }
+            continue;
+        }
+        if in_string {
+            string_words.push(token.clone());
+            continue;
+        }
+        if let Some(rest) = token.strip_prefix("param:") {
+            // `param:name` or `param:name:Type`
+            let name = rest.split(':').next().unwrap_or(rest);
+            pieces.push(name.to_owned());
+            continue;
+        }
+        if let Some(unit) = token.strip_prefix("unit:") {
+            // Attach the unit to the previous number token.
+            match pieces.last_mut() {
+                Some(last) if last.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') => {
+                    last.push_str(unit);
+                }
+                _ => {
+                    return Err(Error::parse(format!(
+                        "unit token `{token}` does not follow a number"
+                    )))
+                }
+            }
+            continue;
+        }
+        if let Some(kind) = token.strip_prefix("^^") {
+            match pieces.last_mut() {
+                Some(last) if last.starts_with('"') => {
+                    last.push_str("^^");
+                    last.push_str(kind);
+                }
+                _ => {
+                    return Err(Error::parse(format!(
+                        "entity type token `{token}` does not follow a string"
+                    )))
+                }
+            }
+            continue;
+        }
+        pieces.push(token.clone());
+    }
+    if in_string {
+        return Err(Error::parse("unterminated quoted span in NN tokens"));
+    }
+    Ok(pieces.join(" "))
+}
+
+/// Whether a decoded token sequence is syntactically valid (parses as a
+/// program), used for the error analysis of §5.5.
+pub fn is_syntactically_valid(tokens: &[String]) -> bool {
+    from_tokens(tokens).is_ok()
+}
+
+fn stream_tokens(stream: &Stream, options: NnSyntaxOptions, out: &mut Vec<String>) {
+    match stream {
+        Stream::Now => out.push("now".to_owned()),
+        Stream::AtTimer { time } => {
+            out.push("attimer".to_owned());
+            out.push("time".to_owned());
+            out.push("=".to_owned());
+            value_tokens(time, out);
+        }
+        Stream::Timer { base, interval } => {
+            out.push("timer".to_owned());
+            out.push("base".to_owned());
+            out.push("=".to_owned());
+            value_tokens(base, out);
+            out.push("interval".to_owned());
+            out.push("=".to_owned());
+            value_tokens(interval, out);
+        }
+        Stream::Monitor { query, on } => {
+            out.push("monitor".to_owned());
+            out.push("(".to_owned());
+            query_tokens(query, options, out);
+            out.push(")".to_owned());
+            if !on.is_empty() {
+                out.push("on".to_owned());
+                out.push("new".to_owned());
+                for (i, param) in on.iter().enumerate() {
+                    if i > 0 {
+                        out.push(",".to_owned());
+                    }
+                    out.push(param.clone());
+                }
+            }
+        }
+        Stream::EdgeFilter { stream, predicate } => {
+            out.push("edge".to_owned());
+            out.push("(".to_owned());
+            stream_tokens(stream, options, out);
+            out.push(")".to_owned());
+            out.push("on".to_owned());
+            predicate_tokens(predicate, options, out);
+        }
+    }
+}
+
+fn query_tokens(query: &Query, options: NnSyntaxOptions, out: &mut Vec<String>) {
+    match query {
+        Query::Invocation(inv) => invocation_tokens(inv, options, out),
+        Query::Filter { query, predicate } => {
+            out.push("(".to_owned());
+            query_tokens(query, options, out);
+            out.push(")".to_owned());
+            out.push("filter".to_owned());
+            predicate_tokens(predicate, options, out);
+        }
+        Query::Join { lhs, rhs, on } => {
+            query_tokens(lhs, options, out);
+            out.push("join".to_owned());
+            query_tokens(rhs, options, out);
+            if !on.is_empty() {
+                out.push("on".to_owned());
+                out.push("(".to_owned());
+                for (i, jp) in on.iter().enumerate() {
+                    if i > 0 {
+                        out.push(",".to_owned());
+                    }
+                    out.push(jp.input.clone());
+                    out.push("=".to_owned());
+                    out.push(jp.output.clone());
+                }
+                out.push(")".to_owned());
+            }
+        }
+        Query::Aggregation { op, field, query } => {
+            out.push("agg".to_owned());
+            out.push(op.keyword().to_owned());
+            if let Some(field) = field {
+                out.push(field.clone());
+            }
+            out.push("of".to_owned());
+            out.push("(".to_owned());
+            query_tokens(query, options, out);
+            out.push(")".to_owned());
+        }
+    }
+}
+
+fn invocation_tokens(
+    inv: &crate::ast::Invocation,
+    options: NnSyntaxOptions,
+    out: &mut Vec<String>,
+) {
+    out.push(format!("@{}.{}", inv.function.class, inv.function.function));
+    out.push("(".to_owned());
+    for (i, param) in inv.in_params.iter().enumerate() {
+        if i > 0 {
+            out.push(",".to_owned());
+        }
+        if options.keyword_params {
+            let name = if options.type_annotations {
+                format!(
+                    "param:{}:{}",
+                    param.name,
+                    crate::typecheck::value_type(&param.value).annotation_token()
+                )
+            } else {
+                format!("param:{}", param.name)
+            };
+            out.push(name);
+            out.push("=".to_owned());
+        }
+        value_tokens(&param.value, out);
+    }
+    out.push(")".to_owned());
+}
+
+fn predicate_tokens(predicate: &Predicate, options: NnSyntaxOptions, out: &mut Vec<String>) {
+    match predicate {
+        Predicate::True => out.push("true".to_owned()),
+        Predicate::False => out.push("false".to_owned()),
+        Predicate::Not(inner) => {
+            out.push("!".to_owned());
+            out.push("(".to_owned());
+            predicate_tokens(inner, options, out);
+            out.push(")".to_owned());
+        }
+        Predicate::And(items) | Predicate::Or(items) => {
+            let connective = if matches!(predicate, Predicate::And(_)) {
+                "&&"
+            } else {
+                "||"
+            };
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(connective.to_owned());
+                }
+                out.push("(".to_owned());
+                predicate_tokens(item, options, out);
+                out.push(")".to_owned());
+            }
+        }
+        Predicate::Atom { param, op, value } => {
+            if options.keyword_params && options.type_annotations {
+                out.push(format!(
+                    "param:{}:{}",
+                    param,
+                    crate::typecheck::value_type(value).annotation_token()
+                ));
+            } else {
+                out.push(param.clone());
+            }
+            out.push(op.symbol().to_owned());
+            value_tokens(value, out);
+        }
+        Predicate::External {
+            invocation,
+            predicate,
+        } => {
+            invocation_tokens(invocation, options, out);
+            out.push("{".to_owned());
+            predicate_tokens(predicate, options, out);
+            out.push("}".to_owned());
+        }
+    }
+}
+
+fn value_tokens(value: &Value, out: &mut Vec<String>) {
+    match value {
+        Value::String(s) => quoted_span(s, out),
+        Value::Entity {
+            value,
+            kind,
+            display,
+        } => {
+            let text = display.clone().unwrap_or_else(|| value.clone());
+            quoted_span(&text, out);
+            out.push(format!("^^{kind}"));
+        }
+        Value::Measure(amount, unit) => {
+            out.push(format_number(*amount));
+            out.push(format!("unit:{}", unit.symbol()));
+        }
+        Value::CompoundMeasure(parts) => {
+            for (i, (amount, unit)) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push("+".to_owned());
+                }
+                out.push(format_number(*amount));
+                out.push(format!("unit:{}", unit.symbol()));
+            }
+        }
+        other => {
+            // Numbers, dates, times, enums, booleans, locations, currencies,
+            // var refs, $event, $? all print as single surface tokens or as
+            // placeholder constants (NUMBER_0, DATE_1) substituted upstream.
+            let printed = other.to_string();
+            if printed.contains(' ') {
+                // e.g. `start_of_week + 86400000ms`, `location("palo alto")`
+                for piece in split_preserving_quotes(&printed) {
+                    out.push(piece);
+                }
+            } else {
+                out.push(printed);
+            }
+        }
+    }
+}
+
+fn quoted_span(text: &str, out: &mut Vec<String>) {
+    out.push("\"".to_owned());
+    for word in text.split_whitespace() {
+        out.push(word.to_owned());
+    }
+    out.push("\"".to_owned());
+}
+
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn split_preserving_quotes(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            ' ' if !in_quotes => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::parse_program;
+
+    fn roundtrip(source: &str) {
+        let program = parse_program(source).unwrap();
+        for options in [
+            NnSyntaxOptions::default(),
+            NnSyntaxOptions::full(),
+        ] {
+            let tokens = to_tokens(&program, options);
+            let decoded = from_tokens(&tokens)
+                .unwrap_or_else(|e| panic!("failed to decode {tokens:?}: {e}"));
+            assert_eq!(program, decoded, "roundtrip failed for `{source}` with {options:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_representative_programs() {
+        roundtrip("now => @com.thecatapi.get() => @com.facebook.post_picture(picture_url = picture_url, caption = \"funny cat\")");
+        roundtrip("monitor (@com.twitter.timeline() filter author == \"PLDI\") => @com.twitter.retweet(tweet_id = tweet_id)");
+        roundtrip("now => agg sum file_size of (@com.dropbox.list_folder()) => notify");
+        roundtrip("edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify");
+        roundtrip("timer base = now interval = 1h => @com.spotify.play_song(song = \"wake me up inside\")");
+        roundtrip("now => @com.nytimes.get_front_page() join @com.yandex.translate.translate() on (text = title) => notify");
+    }
+
+    #[test]
+    fn strings_are_split_into_words() {
+        let program = parse_program(
+            "now => @com.twitter.post(status = \"hello brave new world\")",
+        )
+        .unwrap();
+        let tokens = to_tokens(&program, NnSyntaxOptions::default());
+        let quote_count = tokens.iter().filter(|t| *t == "\"").count();
+        assert_eq!(quote_count, 2);
+        assert!(tokens.contains(&"brave".to_owned()));
+        assert!(tokens.contains(&"world".to_owned()));
+    }
+
+    #[test]
+    fn type_annotations_are_included_when_enabled() {
+        let program = parse_program(
+            "now => @com.twitter.post(status = \"hi\")",
+        )
+        .unwrap();
+        let tokens = to_tokens(&program, NnSyntaxOptions::full());
+        assert!(tokens.iter().any(|t| t == "param:status:String"));
+        let tokens = to_tokens(&program, NnSyntaxOptions::default());
+        assert!(tokens.iter().any(|t| t == "param:status"));
+    }
+
+    #[test]
+    fn positional_mode_omits_parameter_names() {
+        let program = parse_program(
+            "now => @com.twitter.post(status = \"hi\")",
+        )
+        .unwrap();
+        let options = NnSyntaxOptions {
+            keyword_params: false,
+            type_annotations: false,
+        };
+        let tokens = to_tokens(&program, options);
+        assert!(!tokens.iter().any(|t| t.starts_with("param:")));
+    }
+
+    #[test]
+    fn measures_use_unit_tokens() {
+        let program = parse_program(
+            "edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify",
+        )
+        .unwrap();
+        let tokens = to_tokens(&program, NnSyntaxOptions::default());
+        assert!(tokens.contains(&"unit:F".to_owned()));
+        assert!(tokens.contains(&"60".to_owned()));
+    }
+
+    #[test]
+    fn invalid_token_sequences_are_rejected() {
+        assert!(!is_syntactically_valid(&[
+            "now".to_owned(),
+            "=>".to_owned(),
+        ]));
+        assert!(!is_syntactically_valid(&[
+            "\"".to_owned(),
+            "dangling".to_owned(),
+        ]));
+        assert!(is_syntactically_valid(
+            &to_tokens(
+                &parse_program("now => @com.gmail.inbox() => notify").unwrap(),
+                NnSyntaxOptions::default()
+            )
+        ));
+    }
+
+    #[test]
+    fn entity_values_keep_their_type() {
+        let program = parse_program(
+            "now => @com.spotify.play_song(song = \"shake it off\"^^com.spotify:song)",
+        )
+        .unwrap();
+        let tokens = to_tokens(&program, NnSyntaxOptions::default());
+        assert!(tokens.contains(&"^^com.spotify:song".to_owned()));
+        let decoded = from_tokens(&tokens).unwrap();
+        assert_eq!(program, decoded);
+    }
+}

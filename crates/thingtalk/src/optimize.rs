@@ -1,0 +1,235 @@
+//! Predicate simplification used by canonicalization (§2.4).
+//!
+//! Boolean predicates are simplified to eliminate redundant expressions and
+//! converted to conjunctive normal form (CNF) before sorting, so semantically
+//! equivalent filters have a single representation.
+
+use crate::ast::Predicate;
+
+/// Simplify a predicate: flatten nested connectives, drop `true`/`false`
+/// identities, deduplicate operands, push negation inward (using operator
+/// negation where possible), and return the result in conjunctive normal
+/// form.
+pub fn simplify(predicate: Predicate) -> Predicate {
+    let nnf = to_nnf(predicate);
+    let cnf = to_cnf(nnf);
+    flatten(cnf)
+}
+
+/// Push negations inward, producing negation normal form. Negated comparison
+/// atoms are rewritten using the negated operator when one exists; otherwise
+/// the negation is kept around the atom.
+fn to_nnf(predicate: Predicate) -> Predicate {
+    match predicate {
+        Predicate::Not(inner) => negate(to_nnf(*inner)),
+        Predicate::And(items) => Predicate::And(items.into_iter().map(to_nnf).collect()),
+        Predicate::Or(items) => Predicate::Or(items.into_iter().map(to_nnf).collect()),
+        other => other,
+    }
+}
+
+fn negate(predicate: Predicate) -> Predicate {
+    match predicate {
+        Predicate::True => Predicate::False,
+        Predicate::False => Predicate::True,
+        Predicate::Not(inner) => *inner,
+        Predicate::And(items) => Predicate::Or(items.into_iter().map(negate).collect()),
+        Predicate::Or(items) => Predicate::And(items.into_iter().map(negate).collect()),
+        Predicate::Atom { param, op, value } => match op.negate() {
+            Some(negated) => Predicate::Atom {
+                param,
+                op: negated,
+                value,
+            },
+            None => Predicate::Not(Box::new(Predicate::Atom { param, op, value })),
+        },
+        external @ Predicate::External { .. } => Predicate::Not(Box::new(external)),
+    }
+}
+
+/// Distribute disjunctions over conjunctions to obtain CNF. The recursion is
+/// bounded because filters in practice have a handful of atoms.
+fn to_cnf(predicate: Predicate) -> Predicate {
+    match predicate {
+        Predicate::And(items) => Predicate::And(items.into_iter().map(to_cnf).collect()),
+        Predicate::Or(items) => {
+            let items: Vec<Predicate> = items.into_iter().map(to_cnf).collect();
+            // Find a conjunction among the disjuncts to distribute over.
+            if let Some(idx) = items
+                .iter()
+                .position(|p| matches!(p, Predicate::And(_)))
+            {
+                let mut rest = items;
+                let and = rest.remove(idx);
+                let Predicate::And(conjuncts) = and else {
+                    unreachable!("position() found an And");
+                };
+                let distributed: Vec<Predicate> = conjuncts
+                    .into_iter()
+                    .map(|conjunct| {
+                        let mut operands = rest.clone();
+                        operands.push(conjunct);
+                        to_cnf(Predicate::Or(operands))
+                    })
+                    .collect();
+                Predicate::And(distributed)
+            } else {
+                Predicate::Or(items)
+            }
+        }
+        other => other,
+    }
+}
+
+/// Flatten nested conjunctions/disjunctions, remove identities, deduplicate
+/// and sort operands by their printed form (the canonical order of §2.4).
+fn flatten(predicate: Predicate) -> Predicate {
+    match predicate {
+        Predicate::And(items) => {
+            let mut flat: Vec<Predicate> = Vec::new();
+            for item in items {
+                match flatten(item) {
+                    Predicate::True => {}
+                    Predicate::False => return Predicate::False,
+                    Predicate::And(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            normalize_operands(&mut flat);
+            match flat.len() {
+                0 => Predicate::True,
+                1 => flat.pop().expect("one operand"),
+                _ => Predicate::And(flat),
+            }
+        }
+        Predicate::Or(items) => {
+            let mut flat: Vec<Predicate> = Vec::new();
+            for item in items {
+                match flatten(item) {
+                    Predicate::False => {}
+                    Predicate::True => return Predicate::True,
+                    Predicate::Or(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            normalize_operands(&mut flat);
+            match flat.len() {
+                0 => Predicate::False,
+                1 => flat.pop().expect("one operand"),
+                _ => Predicate::Or(flat),
+            }
+        }
+        Predicate::Not(inner) => match flatten(*inner) {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            other => Predicate::Not(Box::new(other)),
+        },
+        other => other,
+    }
+}
+
+fn normalize_operands(operands: &mut Vec<Predicate>) {
+    operands.sort_by_key(|p| p.to_string());
+    operands.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CompareOp;
+    use crate::value::Value;
+
+    fn atom(param: &str, op: CompareOp, n: f64) -> Predicate {
+        Predicate::atom(param, op, Value::Number(n))
+    }
+
+    #[test]
+    fn drops_true_and_false_identities() {
+        let p = Predicate::And(vec![Predicate::True, atom("x", CompareOp::Gt, 1.0)]);
+        assert_eq!(simplify(p), atom("x", CompareOp::Gt, 1.0));
+
+        let p = Predicate::Or(vec![Predicate::False, atom("x", CompareOp::Gt, 1.0)]);
+        assert_eq!(simplify(p), atom("x", CompareOp::Gt, 1.0));
+
+        let p = Predicate::And(vec![Predicate::False, atom("x", CompareOp::Gt, 1.0)]);
+        assert_eq!(simplify(p), Predicate::False);
+    }
+
+    #[test]
+    fn deduplicates_and_sorts_operands() {
+        let p = Predicate::And(vec![
+            atom("b", CompareOp::Gt, 2.0),
+            atom("a", CompareOp::Lt, 1.0),
+            atom("b", CompareOp::Gt, 2.0),
+        ]);
+        let simplified = simplify(p);
+        match simplified {
+            Predicate::And(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0], atom("a", CompareOp::Lt, 1.0));
+                assert_eq!(items[1], atom("b", CompareOp::Gt, 2.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_is_pushed_into_atoms() {
+        let p = Predicate::Not(Box::new(atom("x", CompareOp::Gt, 5.0)));
+        assert_eq!(simplify(p), atom("x", CompareOp::Leq, 5.0));
+
+        // De Morgan: !(a && b) == !a || !b
+        let p = Predicate::Not(Box::new(Predicate::And(vec![
+            atom("a", CompareOp::Eq, 1.0),
+            atom("b", CompareOp::Eq, 2.0),
+        ])));
+        match simplify(p) {
+            Predicate::Or(items) => assert_eq!(items.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let p = Predicate::Not(Box::new(Predicate::Not(Box::new(atom(
+            "x",
+            CompareOp::Eq,
+            1.0,
+        )))));
+        assert_eq!(simplify(p), atom("x", CompareOp::Eq, 1.0));
+    }
+
+    #[test]
+    fn converts_to_cnf() {
+        // a || (b && c)  ==>  (a || b) && (a || c)
+        let p = Predicate::Or(vec![
+            atom("a", CompareOp::Eq, 1.0),
+            Predicate::And(vec![
+                atom("b", CompareOp::Eq, 2.0),
+                atom("c", CompareOp::Eq, 3.0),
+            ]),
+        ]);
+        match simplify(p) {
+            Predicate::And(items) => {
+                assert_eq!(items.len(), 2);
+                for item in items {
+                    assert!(matches!(item, Predicate::Or(ref inner) if inner.len() == 2));
+                }
+            }
+            other => panic!("expected CNF conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equivalent_predicates_have_equal_canonical_forms() {
+        let p1 = Predicate::And(vec![
+            atom("a", CompareOp::Eq, 1.0),
+            atom("b", CompareOp::Eq, 2.0),
+        ]);
+        let p2 = Predicate::And(vec![
+            atom("b", CompareOp::Eq, 2.0),
+            atom("a", CompareOp::Eq, 1.0),
+        ]);
+        assert_eq!(simplify(p1), simplify(p2));
+    }
+}

@@ -1,0 +1,826 @@
+//! The ThingTalk execution runtime.
+//!
+//! The runtime gives the language an operational semantics matching §2.3 of
+//! the paper: queries always return lists of results which are implicitly
+//! traversed; monitors trigger whenever the query result changes; edge
+//! filters trigger when a predicate transitions from false to true; joins
+//! take the cross product of their operands with parameter passing; the
+//! action runs once per result row, with output parameters passed by name
+//! into input parameters.
+//!
+//! Devices are provided through the [`DeviceDelegate`] trait. The
+//! `thingpedia` crate implements it with seeded simulated devices; tests can
+//! implement it with fixed tables.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{
+    Action, AggregationOp, CompareOp, FunctionRef, Invocation, Predicate, Program, Query, Stream,
+};
+use crate::error::{Error, Result};
+use crate::value::{DateValue, Value};
+
+/// A single result row: output parameter name → value.
+pub type ResultRow = BTreeMap<String, Value>;
+
+/// The execution context passed to device delegates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecContext {
+    /// Virtual time in milliseconds since the engine's epoch.
+    pub now_ms: i64,
+    /// The tick counter (number of evaluation rounds so far).
+    pub tick: u64,
+}
+
+/// The interface between the runtime and the skill implementations.
+pub trait DeviceDelegate {
+    /// Invoke a query function with the given (fully resolved) input
+    /// parameters, returning its result rows.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::Execution`] for unknown functions or
+    /// simulated service failures.
+    fn invoke_query(
+        &mut self,
+        function: &FunctionRef,
+        params: &ResultRow,
+        ctx: &ExecContext,
+    ) -> Result<Vec<ResultRow>>;
+
+    /// Invoke an action function with the given input parameters.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::Execution`] for unknown functions or
+    /// simulated service failures.
+    fn invoke_action(
+        &mut self,
+        function: &FunctionRef,
+        params: &ResultRow,
+        ctx: &ExecContext,
+    ) -> Result<()>;
+}
+
+/// A record of an action the engine performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformedAction {
+    /// The invoked action function.
+    pub function: FunctionRef,
+    /// The resolved input parameters.
+    pub params: ResultRow,
+    /// The virtual time at which the action ran.
+    pub at_ms: i64,
+}
+
+/// The observable outcome of executing a program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionResult {
+    /// Result rows delivered to the user through `notify`.
+    pub notifications: Vec<ResultRow>,
+    /// Side-effecting actions performed.
+    pub actions: Vec<PerformedAction>,
+    /// Number of times the stream triggered.
+    pub trigger_count: usize,
+}
+
+impl ExecutionResult {
+    fn merge(&mut self, other: ExecutionResult) {
+        self.notifications.extend(other.notifications);
+        self.actions.extend(other.actions);
+        self.trigger_count += other.trigger_count;
+    }
+}
+
+/// Configuration of the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockConfig {
+    /// Milliseconds that pass between evaluation ticks.
+    pub tick_ms: i64,
+    /// The starting virtual time.
+    pub start_ms: i64,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig {
+            tick_ms: 60_000,
+            start_ms: 0,
+        }
+    }
+}
+
+/// The execution engine: owns the virtual clock and the per-program monitor
+/// state, and drives a [`DeviceDelegate`].
+pub struct ExecutionEngine<D> {
+    delegate: D,
+    clock: ClockConfig,
+    now_ms: i64,
+    tick: u64,
+    monitor_seen: BTreeSet<String>,
+    edge_state: BTreeMap<String, bool>,
+}
+
+impl<D: DeviceDelegate> ExecutionEngine<D> {
+    /// Create an engine with the default clock.
+    pub fn new(delegate: D) -> Self {
+        Self::with_clock(delegate, ClockConfig::default())
+    }
+
+    /// Create an engine with an explicit clock configuration.
+    pub fn with_clock(delegate: D, clock: ClockConfig) -> Self {
+        ExecutionEngine {
+            delegate,
+            now_ms: clock.start_ms,
+            clock,
+            tick: 0,
+            monitor_seen: BTreeSet::new(),
+            edge_state: BTreeMap::new(),
+        }
+    }
+
+    /// The current virtual time in milliseconds.
+    pub fn now_ms(&self) -> i64 {
+        self.now_ms
+    }
+
+    /// Borrow the device delegate.
+    pub fn delegate(&self) -> &D {
+        &self.delegate
+    }
+
+    /// Mutably borrow the device delegate.
+    pub fn delegate_mut(&mut self) -> &mut D {
+        &mut self.delegate
+    }
+
+    /// Consume the engine, returning the delegate.
+    pub fn into_delegate(self) -> D {
+        self.delegate
+    }
+
+    fn ctx(&self) -> ExecContext {
+        ExecContext {
+            now_ms: self.now_ms,
+            tick: self.tick,
+        }
+    }
+
+    /// Execute a `now` program once, or run an event-driven program for a
+    /// single evaluation tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates delegate errors and reports runtime errors such as
+    /// unresolvable parameter references.
+    pub fn execute_once(&mut self, program: &Program) -> Result<ExecutionResult> {
+        let trigger_rows = self.evaluate_stream(&program.stream)?;
+        let mut result = ExecutionResult::default();
+        result.trigger_count = trigger_rows.len();
+        for trigger_row in trigger_rows {
+            let rows = match &program.query {
+                Some(query) => self.evaluate_query(query, &trigger_row)?,
+                None => vec![trigger_row.clone()],
+            };
+            for row in rows {
+                // The action sees the union of the trigger row and the query
+                // row; on name conflicts the rightmost (query) value wins, as
+                // specified in §2.3.
+                let mut merged = trigger_row.clone();
+                merged.extend(row);
+                let outcome = self.perform_action(&program.action, &merged)?;
+                result.merge(outcome);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Run an event-driven program for `ticks` evaluation rounds, advancing
+    /// the virtual clock between rounds, and accumulate the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from any tick.
+    pub fn run_for(&mut self, program: &Program, ticks: u64) -> Result<ExecutionResult> {
+        let mut total = ExecutionResult::default();
+        for _ in 0..ticks {
+            let outcome = self.execute_once(program)?;
+            total.merge(outcome);
+            self.now_ms += self.clock.tick_ms;
+            self.tick += 1;
+        }
+        Ok(total)
+    }
+
+    // ----- streams -----
+
+    fn evaluate_stream(&mut self, stream: &Stream) -> Result<Vec<ResultRow>> {
+        match stream {
+            Stream::Now => Ok(vec![ResultRow::new()]),
+            Stream::AtTimer { time } => {
+                let (hour, minute) = match time {
+                    Value::Time(h, m) => (*h as i64, *m as i64),
+                    other => {
+                        return Err(Error::execution(format!(
+                            "attimer requires a time of day, found {other}"
+                        )))
+                    }
+                };
+                let target = (hour * 60 + minute) * 60_000;
+                let day_ms = self.now_ms.rem_euclid(86_400_000);
+                let fires = day_ms <= target && target < day_ms + self.clock.tick_ms;
+                if fires {
+                    Ok(vec![ResultRow::new()])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            Stream::Timer { base, interval } => {
+                // The timer base is anchored at program start: `base = now`
+                // means "counting from when the program was installed".
+                let base_ms = match base {
+                    Value::Date(d) => d.resolve(self.clock.start_ms),
+                    Value::Undefined => self.clock.start_ms,
+                    other => {
+                        return Err(Error::execution(format!(
+                            "timer base must be a date, found {other}"
+                        )))
+                    }
+                };
+                let interval_ms = interval
+                    .measure_in_base()
+                    .filter(|ms| *ms > 0.0)
+                    .ok_or_else(|| {
+                        Error::execution(format!(
+                            "timer interval must be a positive duration, found {interval}"
+                        ))
+                    })? as i64;
+                let elapsed = self.now_ms - base_ms;
+                let fires = elapsed >= 0 && elapsed % interval_ms < self.clock.tick_ms;
+                if fires {
+                    Ok(vec![ResultRow::new()])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            Stream::Monitor { query, on } => {
+                let rows = self.evaluate_query(query, &ResultRow::new())?;
+                let mut triggered = Vec::new();
+                for row in rows {
+                    let fingerprint = monitor_fingerprint(&row, on);
+                    if self.monitor_seen.insert(fingerprint) && self.tick > 0 {
+                        triggered.push(row);
+                    } else if self.tick == 0 {
+                        // The first poll establishes the baseline without
+                        // triggering, matching the push-notification
+                        // semantics of the Almond runtime.
+                    }
+                }
+                Ok(triggered)
+            }
+            Stream::EdgeFilter { stream, predicate } => {
+                let rows = self.evaluate_stream(stream)?;
+                let mut triggered = Vec::new();
+                for row in rows {
+                    let now_true = eval_predicate(predicate, &row, &mut self.delegate, &ExecContext {
+                        now_ms: self.now_ms,
+                        tick: self.tick,
+                    })?;
+                    let key = edge_key(predicate, &row);
+                    let was_true = self.edge_state.insert(key, now_true).unwrap_or(false);
+                    if now_true && !was_true {
+                        triggered.push(row);
+                    }
+                }
+                Ok(triggered)
+            }
+        }
+    }
+
+    // ----- queries -----
+
+    fn evaluate_query(&mut self, query: &Query, env: &ResultRow) -> Result<Vec<ResultRow>> {
+        match query {
+            Query::Invocation(inv) => {
+                let params = resolve_params(inv, env, self.now_ms)?;
+                let ctx = self.ctx();
+                let rows = self.delegate.invoke_query(&inv.function, &params, &ctx)?;
+                // Each row also carries the resolved input parameters so that
+                // later clauses can refer to them.
+                Ok(rows
+                    .into_iter()
+                    .map(|mut row| {
+                        for (name, value) in &params {
+                            row.entry(name.clone()).or_insert_with(|| value.clone());
+                        }
+                        row
+                    })
+                    .collect())
+            }
+            Query::Filter { query, predicate } => {
+                let rows = self.evaluate_query(query, env)?;
+                let ctx = self.ctx();
+                let mut kept = Vec::new();
+                for row in rows {
+                    if eval_predicate(predicate, &row, &mut self.delegate, &ctx)? {
+                        kept.push(row);
+                    }
+                }
+                Ok(kept)
+            }
+            Query::Join { lhs, rhs, on } => {
+                let lhs_rows = self.evaluate_query(lhs, env)?;
+                let mut out = Vec::new();
+                for lhs_row in &lhs_rows {
+                    // The right-hand side sees the left row for parameter
+                    // passing (both explicit `on` and implicit var refs).
+                    let mut rhs_env = env.clone();
+                    rhs_env.extend(lhs_row.clone());
+                    for jp in on {
+                        if let Some(value) = lhs_row.get(&jp.output) {
+                            rhs_env.insert(jp.input.clone(), value.clone());
+                        }
+                    }
+                    let rhs_rows = self.evaluate_query_with_join_params(rhs, &rhs_env, on)?;
+                    for rhs_row in rhs_rows {
+                        let mut merged = lhs_row.clone();
+                        merged.extend(rhs_row);
+                        out.push(merged);
+                    }
+                }
+                Ok(out)
+            }
+            Query::Aggregation { op, field, query } => {
+                let rows = self.evaluate_query(query, env)?;
+                Ok(vec![aggregate(*op, field.as_deref(), &rows)?])
+            }
+        }
+    }
+
+    fn evaluate_query_with_join_params(
+        &mut self,
+        query: &Query,
+        env: &ResultRow,
+        on: &[crate::ast::JoinParam],
+    ) -> Result<Vec<ResultRow>> {
+        match query {
+            Query::Invocation(inv) => {
+                // Inject the explicit join parameters as additional input
+                // parameters of the invocation.
+                let mut inv = inv.clone();
+                for jp in on {
+                    if inv.param(&jp.input).is_none() {
+                        if let Some(value) = env.get(&jp.input) {
+                            inv.in_params.push(crate::ast::InputParam::new(
+                                jp.input.clone(),
+                                value.clone(),
+                            ));
+                        }
+                    }
+                }
+                self.evaluate_query(&Query::Invocation(inv), env)
+            }
+            other => self.evaluate_query(other, env),
+        }
+    }
+
+    // ----- actions -----
+
+    fn perform_action(&mut self, action: &Action, row: &ResultRow) -> Result<ExecutionResult> {
+        let mut result = ExecutionResult::default();
+        match action {
+            Action::Notify => result.notifications.push(row.clone()),
+            Action::Invocation(inv) => {
+                let params = resolve_params(inv, row, self.now_ms)?;
+                let ctx = self.ctx();
+                self.delegate.invoke_action(&inv.function, &params, &ctx)?;
+                result.actions.push(PerformedAction {
+                    function: inv.function.clone(),
+                    params,
+                    at_ms: self.now_ms,
+                });
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Resolve the input parameters of an invocation against an environment row:
+/// var refs are looked up by name, `$event` is rendered as the textual form
+/// of the row, dates are resolved to absolute times.
+fn resolve_params(inv: &Invocation, env: &ResultRow, now_ms: i64) -> Result<ResultRow> {
+    let mut out = ResultRow::new();
+    for param in &inv.in_params {
+        let value = match &param.value {
+            Value::VarRef(source) => env
+                .get(source)
+                .cloned()
+                .ok_or_else(|| {
+                    Error::execution(format!(
+                        "parameter `{}` refers to `{source}`, which is not available",
+                        param.name
+                    ))
+                })?,
+            Value::Event => Value::String(render_event(env)),
+            Value::Date(date) => Value::Date(DateValue::Absolute(date.resolve(now_ms))),
+            Value::Undefined => {
+                return Err(Error::execution(format!(
+                    "parameter `{}` was left unspecified",
+                    param.name
+                )))
+            }
+            other => other.clone(),
+        };
+        out.insert(param.name.clone(), value);
+    }
+    Ok(out)
+}
+
+/// Render a result row as text, used for `$event`.
+fn render_event(row: &ResultRow) -> String {
+    row.iter()
+        .map(|(k, v)| format!("{}: {}", k.replace('_', " "), crate::describe::describe_value(v)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn monitor_fingerprint(row: &ResultRow, on: &[String]) -> String {
+    if on.is_empty() {
+        row.iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("|")
+    } else {
+        on.iter()
+            .map(|k| format!("{k}={}", row.get(k).cloned().unwrap_or(Value::Undefined)))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+fn edge_key(predicate: &Predicate, row: &ResultRow) -> String {
+    let _ = row;
+    predicate.to_string()
+}
+
+/// Evaluate a predicate over a result row. External predicates invoke their
+/// query through the delegate.
+fn eval_predicate<D: DeviceDelegate>(
+    predicate: &Predicate,
+    row: &ResultRow,
+    delegate: &mut D,
+    ctx: &ExecContext,
+) -> Result<bool> {
+    Ok(match predicate {
+        Predicate::True => true,
+        Predicate::False => false,
+        Predicate::Not(inner) => !eval_predicate(inner, row, delegate, ctx)?,
+        Predicate::And(items) => {
+            let mut all = true;
+            for item in items {
+                if !eval_predicate(item, row, delegate, ctx)? {
+                    all = false;
+                    break;
+                }
+            }
+            all
+        }
+        Predicate::Or(items) => {
+            let mut any = false;
+            for item in items {
+                if eval_predicate(item, row, delegate, ctx)? {
+                    any = true;
+                    break;
+                }
+            }
+            any
+        }
+        Predicate::Atom { param, op, value } => {
+            let Some(actual) = row.get(param) else {
+                return Ok(false);
+            };
+            let expected = match value {
+                Value::VarRef(source) => row.get(source).cloned().unwrap_or(Value::Undefined),
+                Value::Date(d) => Value::Date(DateValue::Absolute(d.resolve(ctx.now_ms))),
+                other => other.clone(),
+            };
+            compare(actual, *op, &expected)
+        }
+        Predicate::External {
+            invocation,
+            predicate,
+        } => {
+            let params = resolve_params(invocation, row, ctx.now_ms)?;
+            let rows = delegate.invoke_query(&invocation.function, &params, ctx)?;
+            let mut any = false;
+            for external_row in rows {
+                if eval_predicate(predicate, &external_row, delegate, ctx)? {
+                    any = true;
+                    break;
+                }
+            }
+            any
+        }
+    })
+}
+
+/// Evaluate a single comparison between runtime values.
+pub fn compare(lhs: &Value, op: CompareOp, rhs: &Value) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        CompareOp::Eq => lhs.loosely_equals(rhs),
+        CompareOp::Neq => !lhs.loosely_equals(rhs),
+        CompareOp::Gt => matches!(lhs.compare(rhs), Some(Ordering::Greater)),
+        CompareOp::Lt => matches!(lhs.compare(rhs), Some(Ordering::Less)),
+        CompareOp::Geq => matches!(lhs.compare(rhs), Some(Ordering::Greater | Ordering::Equal)),
+        CompareOp::Leq => matches!(lhs.compare(rhs), Some(Ordering::Less | Ordering::Equal)),
+        CompareOp::Contains => match lhs {
+            Value::Array(items) => items.iter().any(|item| item.loosely_equals(rhs)),
+            _ => text_contains(lhs, rhs),
+        },
+        CompareOp::Substr => text_contains(lhs, rhs),
+        CompareOp::StartsWith => match (lhs.as_text(), rhs.as_text()) {
+            (Some(a), Some(b)) => a.to_lowercase().starts_with(&b.to_lowercase()),
+            _ => false,
+        },
+        CompareOp::EndsWith => match (lhs.as_text(), rhs.as_text()) {
+            (Some(a), Some(b)) => a.to_lowercase().ends_with(&b.to_lowercase()),
+            _ => false,
+        },
+        CompareOp::InArray => match rhs {
+            Value::Array(items) => items.iter().any(|item| lhs.loosely_equals(item)),
+            _ => false,
+        },
+    }
+}
+
+fn text_contains(lhs: &Value, rhs: &Value) -> bool {
+    match (lhs.as_text(), rhs.as_text()) {
+        (Some(a), Some(b)) => a.to_lowercase().contains(&b.to_lowercase()),
+        _ => false,
+    }
+}
+
+fn aggregate(op: AggregationOp, field: Option<&str>, rows: &[ResultRow]) -> Result<ResultRow> {
+    let mut out = ResultRow::new();
+    match op {
+        AggregationOp::Count => {
+            out.insert("count".to_owned(), Value::Number(rows.len() as f64));
+        }
+        _ => {
+            let field = field.ok_or_else(|| {
+                Error::execution(format!("aggregation `{op}` requires a field"))
+            })?;
+            let mut numbers = Vec::new();
+            let mut template: Option<Value> = None;
+            for row in rows {
+                if let Some(value) = row.get(field) {
+                    if let Some(n) = value.as_number() {
+                        numbers.push(n);
+                        template.get_or_insert_with(|| value.clone());
+                    }
+                }
+            }
+            if numbers.is_empty() {
+                return Err(Error::execution(format!(
+                    "aggregation `{op}` over `{field}` found no numeric values"
+                )));
+            }
+            let result = match op {
+                AggregationOp::Max => numbers.iter().cloned().fold(f64::MIN, f64::max),
+                AggregationOp::Min => numbers.iter().cloned().fold(f64::MAX, f64::min),
+                AggregationOp::Sum => numbers.iter().sum(),
+                AggregationOp::Avg => numbers.iter().sum::<f64>() / numbers.len() as f64,
+                AggregationOp::Count => unreachable!("handled above"),
+            };
+            // Preserve the dimension of the aggregated values (measures stay
+            // measures in their base unit).
+            let value = match template {
+                Some(Value::Measure(_, unit)) => Value::Measure(unit.from_base(result), unit),
+                Some(Value::Currency(_, code)) => Value::Currency(result, code),
+                _ => Value::Number(result),
+            };
+            out.insert(field.to_owned(), value);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::parse_program;
+    use crate::units::Unit;
+
+    /// A toy delegate with a fixed table of tweets, files and weather that
+    /// changes over virtual time.
+    #[derive(Debug, Default)]
+    struct ToyDelegate {
+        tweets: Vec<(String, String)>,
+        actions: Vec<(String, ResultRow)>,
+    }
+
+    impl ToyDelegate {
+        fn new() -> Self {
+            ToyDelegate {
+                tweets: vec![
+                    ("PLDI".to_owned(), "paper deadline extended".to_owned()),
+                    ("rustlang".to_owned(), "new release out".to_owned()),
+                ],
+                actions: Vec::new(),
+            }
+        }
+    }
+
+    impl DeviceDelegate for ToyDelegate {
+        fn invoke_query(
+            &mut self,
+            function: &FunctionRef,
+            _params: &ResultRow,
+            ctx: &ExecContext,
+        ) -> Result<Vec<ResultRow>> {
+            match (function.class.as_str(), function.function.as_str()) {
+                ("com.twitter", "timeline") => Ok(self
+                    .tweets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (author, text))| {
+                        let mut row = ResultRow::new();
+                        row.insert("author".to_owned(), Value::string(author.clone()));
+                        row.insert("text".to_owned(), Value::string(text.clone()));
+                        row.insert(
+                            "tweet_id".to_owned(),
+                            Value::entity(format!("tweet-{i}"), "com.twitter:id"),
+                        );
+                        row
+                    })
+                    .collect()),
+                ("com.dropbox", "list_folder") => Ok((0..3)
+                    .map(|i| {
+                        let mut row = ResultRow::new();
+                        row.insert("file_name".to_owned(), Value::string(format!("file{i}.txt")));
+                        row.insert(
+                            "file_size".to_owned(),
+                            Value::Measure((i as f64 + 1.0) * 100.0, Unit::Megabyte),
+                        );
+                        row
+                    })
+                    .collect()),
+                ("org.thingpedia.weather", "current") => {
+                    // Temperature drops over time: 70F, 65F, 55F, 50F, ...
+                    let temp = 70.0 - 5.0 * ctx.tick as f64;
+                    let mut row = ResultRow::new();
+                    row.insert("temperature".to_owned(), Value::Measure(temp, Unit::Fahrenheit));
+                    Ok(vec![row])
+                }
+                _ => Err(Error::execution(format!("unknown query {function}"))),
+            }
+        }
+
+        fn invoke_action(
+            &mut self,
+            function: &FunctionRef,
+            params: &ResultRow,
+            _ctx: &ExecContext,
+        ) -> Result<()> {
+            self.actions.push((function.to_string(), params.clone()));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn primitive_get_notifies_each_row() {
+        let program = parse_program("now => @com.twitter.timeline() => notify").unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        let result = engine.execute_once(&program).unwrap();
+        assert_eq!(result.notifications.len(), 2);
+    }
+
+    #[test]
+    fn filters_restrict_results() {
+        let program = parse_program(
+            "now => @com.twitter.timeline() filter author == \"PLDI\" => notify",
+        )
+        .unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        let result = engine.execute_once(&program).unwrap();
+        assert_eq!(result.notifications.len(), 1);
+        assert_eq!(
+            result.notifications[0].get("author"),
+            Some(&Value::string("PLDI"))
+        );
+    }
+
+    #[test]
+    fn param_passing_reaches_the_action() {
+        let program = parse_program(
+            "now => @com.twitter.timeline() filter author == \"PLDI\" => @com.twitter.retweet(tweet_id = tweet_id)",
+        )
+        .unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        let result = engine.execute_once(&program).unwrap();
+        assert_eq!(result.actions.len(), 1);
+        let params = &result.actions[0].params;
+        assert!(matches!(params.get("tweet_id"), Some(Value::Entity { value, .. }) if value == "tweet-0"));
+    }
+
+    #[test]
+    fn aggregation_sums_measures() {
+        let program = parse_program(
+            "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
+        )
+        .unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        let result = engine.execute_once(&program).unwrap();
+        assert_eq!(result.notifications.len(), 1);
+        let total = result.notifications[0]
+            .get("file_size")
+            .and_then(|v| v.measure_in_base())
+            .unwrap();
+        assert!((total - 600e6).abs() < 1e-3, "expected 600 MB, got {total}");
+    }
+
+    #[test]
+    fn count_aggregation() {
+        let program = parse_program(
+            "now => agg count of (@com.dropbox.list_folder()) => notify",
+        )
+        .unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        let result = engine.execute_once(&program).unwrap();
+        assert_eq!(
+            result.notifications[0].get("count"),
+            Some(&Value::Number(3.0))
+        );
+    }
+
+    #[test]
+    fn monitor_triggers_only_on_new_results() {
+        let program = parse_program("monitor (@com.twitter.timeline()) => notify").unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        // First tick establishes the baseline, no triggers.
+        let first = engine.run_for(&program, 2).unwrap();
+        assert_eq!(first.notifications.len(), 0);
+        // A new tweet arrives.
+        engine
+            .delegate_mut()
+            .tweets
+            .push(("PLDI".to_owned(), "camera ready due".to_owned()));
+        let second = engine.run_for(&program, 1).unwrap();
+        assert_eq!(second.notifications.len(), 1);
+        // No further changes, no further triggers.
+        let third = engine.run_for(&program, 3).unwrap();
+        assert_eq!(third.notifications.len(), 0);
+    }
+
+    #[test]
+    fn edge_filter_fires_on_transition_only() {
+        let program = parse_program(
+            "edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify",
+        )
+        .unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        // Temperatures: tick0=70 (baseline), tick1=65, tick2=60, tick3=55 (fires), tick4=50 (no re-fire).
+        let result = engine.run_for(&program, 6).unwrap();
+        assert_eq!(result.notifications.len(), 1);
+    }
+
+    #[test]
+    fn timer_fires_at_interval() {
+        let program = parse_program(
+            "timer base = now interval = 2min => @com.twitter.post(status = \"ping\")",
+        )
+        .unwrap();
+        let clock = ClockConfig {
+            tick_ms: 60_000,
+            start_ms: 0,
+        };
+        let mut engine = ExecutionEngine::with_clock(ToyDelegate::new(), clock);
+        let result = engine.run_for(&program, 6).unwrap();
+        // Fires at t=0, 2min, 4min.
+        assert_eq!(result.actions.len(), 3);
+    }
+
+    #[test]
+    fn event_placeholder_renders_the_row() {
+        let program = parse_program(
+            "now => @com.twitter.timeline() filter author == \"PLDI\" => @com.twitter.post(status = $event)",
+        )
+        .unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        let result = engine.execute_once(&program).unwrap();
+        let status = result.actions[0].params.get("status").unwrap();
+        let text = status.as_text().unwrap();
+        assert!(text.contains("paper deadline extended"));
+    }
+
+    #[test]
+    fn missing_param_reference_is_an_execution_error() {
+        let program = parse_program(
+            "now => @com.twitter.timeline() => @com.twitter.post(status = nonexistent_param)",
+        )
+        .unwrap();
+        let mut engine = ExecutionEngine::new(ToyDelegate::new());
+        assert!(engine.execute_once(&program).is_err());
+    }
+}

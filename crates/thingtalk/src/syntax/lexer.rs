@@ -1,0 +1,392 @@
+//! The ThingTalk lexer.
+//!
+//! Produces a flat token stream consumed by the recursive-descent parser.
+//! The lexer is deliberately simple: identifiers (including dotted names
+//! after `@`), numbers, string literals, and a fixed set of punctuation.
+
+use crate::error::{Error, Result};
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`now`, `filter`, `author`, …).
+    Ident(String),
+    /// A function reference, e.g. `@com.twitter.timeline` (without the `@`).
+    At(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A double-quoted string literal (without the quotes).
+    Str(String),
+    /// `=>`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `>=`
+    Geq,
+    /// `<=`
+    Leq,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `=`
+    Assign,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `^^` (entity type annotation)
+    CaretCaret,
+    /// `.` (only appears between identifiers, e.g. entity kinds)
+    Dot,
+    /// `$?` (undefined slot)
+    DollarQuestion,
+    /// `$event`
+    DollarEvent,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its byte offset in the source, for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// Tokenize a ThingTalk source string.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on unterminated strings or unexpected characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, offset: start });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, offset: start });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: TokenKind::Colon, offset: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Arrow, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Assign, offset: start });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Geq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Leq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, offset: start });
+                    i += 2;
+                } else {
+                    return Err(Error::Lex {
+                        offset: start,
+                        message: "expected `&&`".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, offset: start });
+                    i += 2;
+                } else {
+                    return Err(Error::Lex {
+                        offset: start,
+                        message: "expected `||`".into(),
+                    });
+                }
+            }
+            '^' => {
+                if bytes.get(i + 1) == Some(&b'^') {
+                    tokens.push(Token { kind: TokenKind::CaretCaret, offset: start });
+                    i += 2;
+                } else {
+                    return Err(Error::Lex {
+                        offset: start,
+                        message: "expected `^^`".into(),
+                    });
+                }
+            }
+            '$' => {
+                let rest = &source[i + 1..];
+                if rest.starts_with('?') {
+                    tokens.push(Token { kind: TokenKind::DollarQuestion, offset: start });
+                    i += 2;
+                } else if rest.starts_with("event") {
+                    tokens.push(Token { kind: TokenKind::DollarEvent, offset: start });
+                    i += 1 + "event".len();
+                } else {
+                    return Err(Error::Lex {
+                        offset: start,
+                        message: "expected `$?` or `$event`".into(),
+                    });
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(Error::Lex {
+                        offset: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(source[i + 1..j].to_owned()),
+                    offset: start,
+                });
+                i = j + 1;
+            }
+            '@' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                let name = &source[i + 1..j];
+                if name.is_empty() || name.starts_with('.') || name.ends_with('.') || name.contains("..") {
+                    return Err(Error::Lex {
+                        offset: start,
+                        message: format!("malformed function reference `@{name}`"),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::At(name.to_owned()),
+                    offset: start,
+                });
+                i = j;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !seen_dot))
+                {
+                    if bytes[j] == b'.' {
+                        // A dot not followed by a digit terminates the number
+                        // (e.g. the end of a sentence).
+                        if !bytes.get(j + 1).map(u8::is_ascii_digit).unwrap_or(false) {
+                            break;
+                        }
+                        seen_dot = true;
+                    }
+                    j += 1;
+                }
+                let text = &source[i..j];
+                let value: f64 = text.parse().map_err(|_| Error::Lex {
+                    offset: start,
+                    message: format!("invalid number `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    offset: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(source[i..j].to_owned()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(Error::Lex {
+                    offset: start,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: source.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_program_skeleton() {
+        let kinds = kinds("now => @com.gmail.inbox() => notify");
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident("now".into()),
+                TokenKind::Arrow,
+                TokenKind::At("com.gmail.inbox".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Ident("notify".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_measures_and_comparisons() {
+        let kinds = kinds("temperature < 60F && size >= 1.5");
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident("temperature".into()),
+                TokenKind::Lt,
+                TokenKind::Number(60.0),
+                TokenKind::Ident("F".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("size".into()),
+                TokenKind::Geq,
+                TokenKind::Number(1.5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_strings_and_dollar_tokens() {
+        let kinds = kinds("caption = \"funny cat\" body = $event x = $?");
+        assert!(kinds.contains(&TokenKind::Str("funny cat".into())));
+        assert!(kinds.contains(&TokenKind::DollarEvent));
+        assert!(kinds.contains(&TokenKind::DollarQuestion));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("@.bad").is_err());
+        assert!(tokenize("#hash").is_err());
+    }
+
+    #[test]
+    fn number_followed_by_period_does_not_consume_it() {
+        let kinds = kinds("5. ");
+        assert_eq!(kinds[0], TokenKind::Number(5.0));
+    }
+}

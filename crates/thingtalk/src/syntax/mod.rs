@@ -1,0 +1,126 @@
+//! Surface syntax: lexer and recursive-descent parser for ThingTalk
+//! programs, skill-library classes, and TACL policies.
+//!
+//! The surface syntax follows the notation used throughout the paper:
+//!
+//! ```text
+//! monitor (@com.twitter.timeline() filter author == "PLDI")
+//!   => @com.twitter.retweet(tweet_id = tweet_id)
+//!
+//! now => @com.nytimes.get_front_page() join @com.yandex.translate() on (text = title) => notify
+//!
+//! edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify
+//! ```
+//!
+//! Programs printed with [`std::fmt::Display`] parse back to the same AST
+//! (round-trip property, tested with proptest in the crate's test suite).
+
+mod lexer;
+mod parser;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse_class, parse_policy, parse_program, Parser};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Action, CompareOp, Predicate, Query, Stream};
+    use crate::value::Value;
+
+    #[test]
+    fn parse_fig1_program() {
+        let program = parse_program(
+            "now => @com.thecatapi.get() => @com.facebook.post_picture(picture_url = picture_url, caption = \"funny cat\")",
+        )
+        .unwrap();
+        assert!(program.is_compound());
+        assert!(program.uses_param_passing());
+        assert_eq!(program.devices(), vec!["com.thecatapi", "com.facebook"]);
+    }
+
+    #[test]
+    fn parse_retweet_example() {
+        let program = parse_program(
+            "monitor (@com.twitter.timeline() filter author == \"PLDI\") => @com.twitter.retweet(tweet_id = tweet_id)",
+        )
+        .unwrap();
+        assert!(program.is_event_driven());
+        assert!(program.has_filter());
+        match &program.action {
+            Action::Invocation(inv) => assert_eq!(inv.function.function, "retweet"),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_edge_filter_example() {
+        let program = parse_program(
+            "edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify",
+        )
+        .unwrap();
+        match &program.stream {
+            Stream::EdgeFilter { predicate, .. } => match predicate {
+                Predicate::Atom { param, op, value } => {
+                    assert_eq!(param, "temperature");
+                    assert_eq!(*op, CompareOp::Lt);
+                    assert!(matches!(value, Value::Measure(v, _) if (*v - 60.0).abs() < 1e-9));
+                }
+                other => panic!("unexpected predicate {other:?}"),
+            },
+            other => panic!("unexpected stream {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_join_with_param_passing() {
+        let program = parse_program(
+            "now => @com.nytimes.get_front_page() join @com.yandex.translate() on (text = title) => notify",
+        )
+        .unwrap();
+        let query = program.query.as_ref().unwrap();
+        match query {
+            Query::Join { on, .. } => {
+                assert_eq!(on.len(), 1);
+                assert_eq!(on[0].input, "text");
+                assert_eq!(on[0].output, "title");
+            }
+            other => panic!("unexpected query {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_aggregation() {
+        let program = parse_program(
+            "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
+        )
+        .unwrap();
+        assert!(program.has_aggregation());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let sources = [
+            "now => @com.thecatapi.get() => @com.facebook.post_picture(picture_url = picture_url, caption = \"funny cat\")",
+            "monitor (@com.twitter.timeline() filter author == \"PLDI\") => @com.twitter.retweet(tweet_id = tweet_id)",
+            "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
+            "timer base = now interval = 1h => @com.spotify.play_song(song = \"wake me up inside\")",
+            "attimer time = time(08:00) => @com.spotify.play_song(song = \"wake me up\")",
+            "edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify",
+        ];
+        for source in sources {
+            let program = parse_program(source).unwrap();
+            let printed = program.to_string();
+            let reparsed = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+            assert_eq!(program, reparsed, "roundtrip failed for `{source}`");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_program("now =>").is_err());
+        assert!(parse_program("=> notify").is_err());
+        assert!(parse_program("now => @com..bad() => notify").is_err());
+        assert!(parse_program("now => @com.gmail.inbox() filter => notify").is_err());
+    }
+}

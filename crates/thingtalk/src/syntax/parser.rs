@@ -1,0 +1,984 @@
+//! Recursive-descent parser for ThingTalk programs, classes, and policies.
+
+use crate::ast::{
+    Action, AggregationOp, CompareOp, FunctionRef, InputParam, Invocation, JoinParam, Predicate,
+    Program, Query, Stream,
+};
+use crate::class::{ClassDef, FunctionDef, FunctionKind, ParamDef, ParamDirection};
+use crate::error::{Error, Result};
+use crate::policy::{Policy, PolicyBody};
+use crate::types::Type;
+use crate::units::{BaseUnit, Unit};
+use crate::value::{DateEdge, DateValue, LocationValue, Value};
+
+use super::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a ThingTalk program from its surface syntax.
+///
+/// # Errors
+///
+/// Returns a lexical or syntax error describing the first problem found.
+///
+/// # Examples
+///
+/// ```
+/// let program = thingtalk::syntax::parse_program(
+///     "now => @com.gmail.inbox() filter sender == \"Alice\" => notify",
+/// )?;
+/// assert!(program.has_filter());
+/// # Ok::<(), thingtalk::Error>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program> {
+    let mut parser = Parser::new(source)?;
+    let program = parser.program()?;
+    parser.expect_end()?;
+    Ok(program)
+}
+
+/// Parse a skill-library class definition (Fig. 3 / Fig. 4 syntax).
+pub fn parse_class(source: &str) -> Result<ClassDef> {
+    let mut parser = Parser::new(source)?;
+    let class = parser.class()?;
+    parser.expect_end()?;
+    Ok(class)
+}
+
+/// Parse a TACL access-control policy (Fig. 10 syntax).
+pub fn parse_policy(source: &str) -> Result<Policy> {
+    let mut parser = Parser::new(source)?;
+    let policy = parser.policy()?;
+    parser.expect_end()?;
+    Ok(policy)
+}
+
+/// The ThingTalk parser. Most users should call the free functions
+/// [`parse_program`], [`parse_class`] and [`parse_policy`] instead.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over the given source.
+    pub fn new(source: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(source)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, lookahead: usize) -> &TokenKind {
+        let idx = (self.pos + lookahead).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(w) if w == word) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected {what}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<()> {
+        if self.eat_ident(word) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected `{word}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(name) => Ok(name),
+            other => Err(Error::parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Require that all input has been consumed.
+    pub fn expect_end(&mut self) -> Result<()> {
+        self.eat(&TokenKind::Semicolon);
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "unexpected trailing input: {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    // ----- programs -----
+
+    /// Parse a full program: `stream [=> query] => action`.
+    pub fn program(&mut self) -> Result<Program> {
+        let stream = self.stream()?;
+        self.expect(&TokenKind::Arrow, "`=>` after the stream clause")?;
+        // Either `query => action` or just `action`.
+        let checkpoint = self.pos;
+        if let Ok(query) = self.query() {
+            if self.eat(&TokenKind::Arrow) {
+                let action = self.action()?;
+                return Ok(Program {
+                    stream,
+                    query: Some(query),
+                    action,
+                });
+            }
+            // The "query" was actually the action invocation (no second arrow).
+            self.pos = checkpoint;
+        } else {
+            self.pos = checkpoint;
+        }
+        let action = self.action()?;
+        Ok(Program {
+            stream,
+            query: None,
+            action,
+        })
+    }
+
+    fn stream(&mut self) -> Result<Stream> {
+        if self.eat_ident("now") {
+            return Ok(Stream::Now);
+        }
+        if self.eat_ident("attimer") {
+            self.expect_ident("time")?;
+            self.expect(&TokenKind::Assign, "`=` after `time`")?;
+            let time = self.value()?;
+            return Ok(Stream::AtTimer { time });
+        }
+        if self.eat_ident("timer") {
+            self.expect_ident("base")?;
+            self.expect(&TokenKind::Assign, "`=` after `base`")?;
+            let base = self.value()?;
+            self.expect_ident("interval")?;
+            self.expect(&TokenKind::Assign, "`=` after `interval`")?;
+            let interval = self.value()?;
+            return Ok(Stream::Timer { base, interval });
+        }
+        if self.eat_ident("monitor") {
+            let query = if self.eat(&TokenKind::LParen) {
+                let q = self.query()?;
+                self.expect(&TokenKind::RParen, "`)` closing the monitored query")?;
+                q
+            } else {
+                Query::Invocation(self.invocation()?)
+            };
+            let mut on = Vec::new();
+            if matches!(self.peek(), TokenKind::Ident(w) if w == "on")
+                && matches!(self.peek_at(1), TokenKind::Ident(w) if w == "new")
+            {
+                self.advance();
+                self.advance();
+                on.push(self.ident("output parameter name")?);
+                while self.eat(&TokenKind::Comma) {
+                    on.push(self.ident("output parameter name")?);
+                }
+            }
+            return Ok(Stream::Monitor {
+                query: Box::new(query),
+                on,
+            });
+        }
+        if self.eat_ident("edge") {
+            self.expect(&TokenKind::LParen, "`(` after `edge`")?;
+            let inner = self.stream()?;
+            self.expect(&TokenKind::RParen, "`)` closing the edge stream")?;
+            self.expect_ident("on")?;
+            let predicate = self.predicate()?;
+            return Ok(Stream::EdgeFilter {
+                stream: Box::new(inner),
+                predicate,
+            });
+        }
+        Err(Error::parse(format!(
+            "expected a stream (`now`, `monitor`, `timer`, `attimer`, `edge`), found {:?}",
+            self.peek()
+        )))
+    }
+
+    /// Parse a query expression (joins are left-associative).
+    pub fn query(&mut self) -> Result<Query> {
+        let mut lhs = self.query_filtered()?;
+        while self.eat_ident("join") {
+            let rhs = self.query_filtered()?;
+            let mut on = Vec::new();
+            if self.eat_ident("on") {
+                self.expect(&TokenKind::LParen, "`(` after `on`")?;
+                loop {
+                    let input = self.ident("input parameter name")?;
+                    self.expect(&TokenKind::Assign, "`=` in join parameter passing")?;
+                    let output = self.ident("output parameter name")?;
+                    on.push(JoinParam { input, output });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, "`)` closing join parameters")?;
+            }
+            lhs = Query::Join {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                on,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn query_filtered(&mut self) -> Result<Query> {
+        let mut query = self.query_atom()?;
+        while self.eat_ident("filter") {
+            let predicate = self.predicate()?;
+            query = Query::Filter {
+                query: Box::new(query),
+                predicate,
+            };
+        }
+        Ok(query)
+    }
+
+    fn query_atom(&mut self) -> Result<Query> {
+        if self.eat_ident("agg") {
+            let op_name = self.ident("aggregation operator")?;
+            let op = AggregationOp::from_keyword(&op_name).ok_or_else(|| {
+                Error::parse(format!("unknown aggregation operator `{op_name}`"))
+            })?;
+            let field = if matches!(self.peek(), TokenKind::Ident(w) if w != "of") {
+                Some(self.ident("aggregated field")?)
+            } else {
+                None
+            };
+            self.expect_ident("of")?;
+            self.expect(&TokenKind::LParen, "`(` after `of`")?;
+            let query = self.query()?;
+            self.expect(&TokenKind::RParen, "`)` closing the aggregated query")?;
+            return Ok(Query::Aggregation {
+                op,
+                field,
+                query: Box::new(query),
+            });
+        }
+        if self.eat(&TokenKind::LParen) {
+            let query = self.query()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(query);
+        }
+        Ok(Query::Invocation(self.invocation()?))
+    }
+
+    fn action(&mut self) -> Result<Action> {
+        if self.eat_ident("notify") {
+            return Ok(Action::Notify);
+        }
+        Ok(Action::Invocation(self.invocation()?))
+    }
+
+    fn invocation(&mut self) -> Result<Invocation> {
+        let qualified = match self.advance() {
+            TokenKind::At(name) => name,
+            other => {
+                return Err(Error::parse(format!(
+                    "expected a function reference `@class.function`, found {other:?}"
+                )))
+            }
+        };
+        let function = FunctionRef::parse_qualified(&qualified).ok_or_else(|| {
+            Error::parse(format!("malformed function reference `@{qualified}`"))
+        })?;
+        let mut in_params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    let name = self.ident("parameter name")?;
+                    self.expect(&TokenKind::Assign, "`=` after the parameter name")?;
+                    let value = self.value()?;
+                    in_params.push(InputParam { name, value });
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, "`)` closing the parameter list")?;
+            }
+        }
+        Ok(Invocation {
+            function,
+            in_params,
+        })
+    }
+
+    // ----- predicates -----
+
+    /// Parse a boolean predicate.
+    pub fn predicate(&mut self) -> Result<Predicate> {
+        self.predicate_or()
+    }
+
+    fn predicate_or(&mut self) -> Result<Predicate> {
+        let first = self.predicate_and()?;
+        let mut items = vec![first];
+        while self.eat(&TokenKind::OrOr) {
+            items.push(self.predicate_and()?);
+        }
+        if items.len() == 1 {
+            Ok(items.pop().expect("one item"))
+        } else {
+            Ok(Predicate::Or(items))
+        }
+    }
+
+    fn predicate_and(&mut self) -> Result<Predicate> {
+        let first = self.predicate_unary()?;
+        let mut items = vec![first];
+        while self.eat(&TokenKind::AndAnd) {
+            items.push(self.predicate_unary()?);
+        }
+        if items.len() == 1 {
+            Ok(items.pop().expect("one item"))
+        } else {
+            Ok(Predicate::And(items))
+        }
+    }
+
+    fn predicate_unary(&mut self) -> Result<Predicate> {
+        if self.eat(&TokenKind::Bang) {
+            let inner = self.predicate_unary()?;
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.predicate()?;
+            self.expect(&TokenKind::RParen, "`)` closing the predicate")?;
+            return Ok(inner);
+        }
+        if matches!(self.peek(), TokenKind::At(_)) {
+            let invocation = self.invocation()?;
+            self.expect(&TokenKind::LBrace, "`{` opening the external predicate")?;
+            let predicate = self.predicate()?;
+            self.expect(&TokenKind::RBrace, "`}` closing the external predicate")?;
+            return Ok(Predicate::External {
+                invocation,
+                predicate: Box::new(predicate),
+            });
+        }
+        if self.eat_ident("true") {
+            return Ok(Predicate::True);
+        }
+        if self.eat_ident("false") {
+            return Ok(Predicate::False);
+        }
+        // An atomic comparison: `param op value`.
+        let param = self.ident("output parameter name in filter")?;
+        let op = self.compare_op()?;
+        let value = self.value()?;
+        Ok(Predicate::Atom { param, op, value })
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp> {
+        let op = match self.peek().clone() {
+            TokenKind::EqEq | TokenKind::Assign => CompareOp::Eq,
+            TokenKind::NotEq => CompareOp::Neq,
+            TokenKind::Gt => CompareOp::Gt,
+            TokenKind::Lt => CompareOp::Lt,
+            TokenKind::Geq => CompareOp::Geq,
+            TokenKind::Leq => CompareOp::Leq,
+            TokenKind::Ident(word) => {
+                return CompareOp::from_symbol(&word)
+                    .ok_or_else(|| Error::parse(format!("unknown filter operator `{word}`")))
+                    .inspect(|_| {
+                        self.advance();
+                    });
+            }
+            other => {
+                return Err(Error::parse(format!(
+                    "expected a comparison operator, found {other:?}"
+                )))
+            }
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    // ----- values -----
+
+    /// Parse a constant value, variable reference, `$event`, or `$?`.
+    pub fn value(&mut self) -> Result<Value> {
+        if self.eat(&TokenKind::DollarQuestion) {
+            return Ok(Value::Undefined);
+        }
+        if self.eat(&TokenKind::DollarEvent) {
+            return Ok(Value::Event);
+        }
+        if self.eat(&TokenKind::LBracket) {
+            let mut items = Vec::new();
+            if !self.eat(&TokenKind::RBracket) {
+                loop {
+                    items.push(self.value()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RBracket, "`]` closing the array")?;
+            }
+            return Ok(Value::Array(items));
+        }
+        if matches!(self.peek(), TokenKind::Str(_)) {
+            return self.string_or_entity();
+        }
+        let negative = self.eat(&TokenKind::Minus);
+        if matches!(self.peek(), TokenKind::Number(_)) {
+            return self.numeric_value(negative);
+        }
+        if negative {
+            return Err(Error::parse("expected a number after `-`"));
+        }
+        // Keyword-like values.
+        match self.peek().clone() {
+            TokenKind::Ident(word) => match word.as_str() {
+                "true" => {
+                    self.advance();
+                    Ok(Value::Boolean(true))
+                }
+                "false" => {
+                    self.advance();
+                    Ok(Value::Boolean(false))
+                }
+                "enum" => {
+                    self.advance();
+                    self.expect(&TokenKind::Colon, "`:` after `enum`")?;
+                    let variant = self.ident("enum variant")?;
+                    Ok(Value::Enum(variant))
+                }
+                "time" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen, "`(` after `time`")?;
+                    let hour = self.number("hour")?;
+                    self.expect(&TokenKind::Colon, "`:` in the time literal")?;
+                    let minute = self.number("minute")?;
+                    self.expect(&TokenKind::RParen, "`)` closing the time literal")?;
+                    Ok(Value::Time(hour as u8, minute as u8))
+                }
+                "date" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen, "`(` after `date`")?;
+                    let negative = self.eat(&TokenKind::Minus);
+                    let ms = self.number("milliseconds")?;
+                    self.expect(&TokenKind::RParen, "`)` closing the date literal")?;
+                    let ms = if negative { -ms } else { ms };
+                    Ok(Value::Date(DateValue::Absolute(ms as i64)))
+                }
+                "location" => {
+                    self.advance();
+                    self.expect(&TokenKind::LParen, "`(` after `location`")?;
+                    let value = if let TokenKind::Str(name) = self.peek().clone() {
+                        self.advance();
+                        Value::Location(LocationValue::Named(name))
+                    } else {
+                        let lat_neg = self.eat(&TokenKind::Minus);
+                        let latitude = self.number("latitude")?;
+                        self.expect(&TokenKind::Comma, "`,` between coordinates")?;
+                        let lon_neg = self.eat(&TokenKind::Minus);
+                        let longitude = self.number("longitude")?;
+                        Value::Location(LocationValue::Coordinates {
+                            latitude: if lat_neg { -latitude } else { latitude },
+                            longitude: if lon_neg { -longitude } else { longitude },
+                        })
+                    };
+                    self.expect(&TokenKind::RParen, "`)` closing the location")?;
+                    Ok(value)
+                }
+                _ => {
+                    if let Some(edge) = DateEdge::from_keyword(&word) {
+                        self.advance();
+                        return Ok(self.date_offset(edge)?);
+                    }
+                    // A bare identifier is a variable reference (parameter
+                    // passing by name).
+                    self.advance();
+                    Ok(Value::VarRef(word))
+                }
+            },
+            other => Err(Error::parse(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    fn date_offset(&mut self, base: DateEdge) -> Result<Value> {
+        let sign = if self.eat(&TokenKind::Plus) {
+            1.0
+        } else if self.eat(&TokenKind::Minus) {
+            -1.0
+        } else {
+            return Ok(Value::Date(DateValue::Edge(base)));
+        };
+        let amount = self.number("duration amount")?;
+        let unit_name = self.ident("duration unit")?;
+        let unit: Unit = unit_name.parse()?;
+        if unit.base() != BaseUnit::Millisecond {
+            return Err(Error::parse(format!(
+                "date offsets must be durations, `{unit_name}` is not"
+            )));
+        }
+        Ok(Value::Date(DateValue::Offset {
+            base,
+            offset_ms: (sign * unit.to_base(amount)) as i64,
+        }))
+    }
+
+    fn numeric_value(&mut self, negative: bool) -> Result<Value> {
+        let mut amount = self.number("number")?;
+        if negative {
+            amount = -amount;
+        }
+        // A unit suffix turns the number into a measure; a currency code into
+        // a currency.
+        if let TokenKind::Ident(word) = self.peek().clone() {
+            if let Ok(unit) = word.parse::<Unit>() {
+                self.advance();
+                let mut parts = vec![(amount, unit)];
+                // Compound measures: `6ft + 3in`.
+                while matches!(self.peek(), TokenKind::Plus)
+                    && matches!(self.peek_at(1), TokenKind::Number(_))
+                    && matches!(self.peek_at(2), TokenKind::Ident(w) if w.parse::<Unit>().is_ok())
+                {
+                    self.advance();
+                    let next_amount = self.number("measure amount")?;
+                    let next_unit: Unit = self.ident("unit")?.parse()?;
+                    parts.push((next_amount, next_unit));
+                }
+                return Ok(if parts.len() == 1 {
+                    Value::Measure(amount, unit)
+                } else {
+                    Value::CompoundMeasure(parts)
+                });
+            }
+            if word.len() == 3 && word.chars().all(|c| c.is_ascii_uppercase()) {
+                self.advance();
+                return Ok(Value::Currency(amount, word));
+            }
+        }
+        Ok(Value::Number(amount))
+    }
+
+    fn string_or_entity(&mut self) -> Result<Value> {
+        let text = match self.advance() {
+            TokenKind::Str(s) => s,
+            other => return Err(Error::parse(format!("expected a string, found {other:?}"))),
+        };
+        if self.eat(&TokenKind::CaretCaret) {
+            let kind = self.entity_kind()?;
+            let display = if self.eat(&TokenKind::LParen) {
+                let display = match self.advance() {
+                    TokenKind::Str(s) => s,
+                    other => {
+                        return Err(Error::parse(format!(
+                            "expected a display name string, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(&TokenKind::RParen, "`)` closing the display name")?;
+                Some(display)
+            } else {
+                None
+            };
+            return Ok(Value::Entity {
+                value: text,
+                kind,
+                display,
+            });
+        }
+        Ok(Value::String(text))
+    }
+
+    fn entity_kind(&mut self) -> Result<String> {
+        let mut kind = self.ident("entity type")?;
+        while self.eat(&TokenKind::Dot) {
+            kind.push('.');
+            kind.push_str(&self.ident("entity type component")?);
+        }
+        if self.eat(&TokenKind::Colon) {
+            kind.push(':');
+            kind.push_str(&self.ident("entity type name")?);
+        }
+        Ok(kind)
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64> {
+        match self.advance() {
+            TokenKind::Number(n) => Ok(n),
+            other => Err(Error::parse(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ----- classes -----
+
+    /// Parse a class definition.
+    pub fn class(&mut self) -> Result<ClassDef> {
+        self.expect_ident("class")?;
+        let name = match self.advance() {
+            TokenKind::At(name) => name,
+            other => {
+                return Err(Error::parse(format!(
+                    "expected a class name `@...`, found {other:?}"
+                )))
+            }
+        };
+        let mut class = ClassDef::new(name);
+        while self.eat_ident("extends") {
+            match self.advance() {
+                TokenKind::At(parent) => class.extends.push(parent),
+                other => {
+                    return Err(Error::parse(format!(
+                        "expected a parent class name, found {other:?}"
+                    )))
+                }
+            }
+        }
+        self.expect(&TokenKind::LBrace, "`{` opening the class body")?;
+        while !self.eat(&TokenKind::RBrace) {
+            let function = self.function_def()?;
+            class.add_function(function);
+        }
+        Ok(class)
+    }
+
+    fn function_def(&mut self) -> Result<FunctionDef> {
+        let monitorable = self.eat_ident("monitorable");
+        let list = self.eat_ident("list");
+        let kind = if self.eat_ident("query") {
+            FunctionKind::Query { monitorable, list }
+        } else if self.eat_ident("action") {
+            if monitorable || list {
+                return Err(Error::parse(
+                    "actions cannot be declared monitorable or list",
+                ));
+            }
+            FunctionKind::Action
+        } else {
+            return Err(Error::parse(format!(
+                "expected `query` or `action`, found {:?}",
+                self.peek()
+            )));
+        };
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(` opening the parameter list")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.param_def()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)` closing the parameter list")?;
+        }
+        self.expect(&TokenKind::Semicolon, "`;` after the function declaration")?;
+        Ok(FunctionDef::new(name, kind, params))
+    }
+
+    fn param_def(&mut self) -> Result<ParamDef> {
+        let direction = if self.eat_ident("in") {
+            if self.eat_ident("req") {
+                ParamDirection::InReq
+            } else if self.eat_ident("opt") {
+                ParamDirection::InOpt
+            } else {
+                return Err(Error::parse("expected `req` or `opt` after `in`"));
+            }
+        } else if self.eat_ident("out") {
+            ParamDirection::Out
+        } else {
+            return Err(Error::parse(format!(
+                "expected `in req`, `in opt`, or `out`, found {:?}",
+                self.peek()
+            )));
+        };
+        let name = self.ident("parameter name")?;
+        self.expect(&TokenKind::Colon, "`:` before the parameter type")?;
+        let ty = self.type_ref()?;
+        Ok(ParamDef::new(name, ty, direction))
+    }
+
+    fn type_ref(&mut self) -> Result<Type> {
+        let name = self.ident("type name")?;
+        let ty = match name.as_str() {
+            "String" => Type::String,
+            "Number" => Type::Number,
+            "Boolean" => Type::Boolean,
+            "Date" => Type::Date,
+            "Time" => Type::Time,
+            "Location" => Type::Location,
+            "Currency" => Type::Currency,
+            "PathName" => Type::PathName,
+            "URL" => Type::Url,
+            "Picture" => Type::Picture,
+            "EmailAddress" => Type::EmailAddress,
+            "PhoneNumber" => Type::PhoneNumber,
+            "Any" => Type::Any,
+            "Enum" => {
+                self.expect(&TokenKind::LParen, "`(` after `Enum`")?;
+                let mut variants = vec![self.ident("enum variant")?];
+                while self.eat(&TokenKind::Comma) {
+                    variants.push(self.ident("enum variant")?);
+                }
+                self.expect(&TokenKind::RParen, "`)` closing the enum variants")?;
+                Type::Enum(variants)
+            }
+            "Measure" => {
+                self.expect(&TokenKind::LParen, "`(` after `Measure`")?;
+                let unit_name = self.ident("unit")?;
+                self.expect(&TokenKind::RParen, "`)` closing the measure unit")?;
+                let unit: Unit = unit_name.parse()?;
+                Type::Measure(unit.base())
+            }
+            "Entity" => {
+                self.expect(&TokenKind::LParen, "`(` after `Entity`")?;
+                let kind = self.entity_kind()?;
+                self.expect(&TokenKind::RParen, "`)` closing the entity type")?;
+                Type::Entity(kind)
+            }
+            "Array" => {
+                self.expect(&TokenKind::LParen, "`(` after `Array`")?;
+                let inner = self.type_ref()?;
+                self.expect(&TokenKind::RParen, "`)` closing the array type")?;
+                Type::Array(Box::new(inner))
+            }
+            other => return Err(Error::parse(format!("unknown type `{other}`"))),
+        };
+        Ok(ty)
+    }
+
+    // ----- policies (TACL) -----
+
+    /// Parse a TACL policy: `source-predicate : now => body`.
+    pub fn policy(&mut self) -> Result<Policy> {
+        let source = self.predicate()?;
+        self.expect(&TokenKind::Colon, "`:` after the source predicate")?;
+        self.expect_ident("now")?;
+        self.expect(&TokenKind::Arrow, "`=>` after `now`")?;
+        let invocation = self.invocation()?;
+        // Constant input parameters in a policy body are equivalent to
+        // equality constraints over those parameters.
+        let mut predicate = Predicate::True;
+        for param in &invocation.in_params {
+            if param.value.is_constant() {
+                let atom = Predicate::atom(param.name.clone(), CompareOp::Eq, param.value.clone());
+                predicate = if predicate.is_true() {
+                    atom
+                } else {
+                    predicate.and(atom)
+                };
+            }
+        }
+        while self.eat_ident("filter") {
+            let p = self.predicate()?;
+            predicate = if predicate.is_true() {
+                p
+            } else {
+                predicate.and(p)
+            };
+        }
+        // `=> notify` marks a query policy; its absence an action policy.
+        let body = if self.eat(&TokenKind::Arrow) {
+            self.expect_ident("notify")?;
+            PolicyBody::Query {
+                function: invocation.function,
+                predicate,
+            }
+        } else {
+            PolicyBody::Action {
+                function: invocation.function,
+                predicate,
+            }
+        };
+        Ok(Policy { source, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_values() {
+        let mut p = Parser::new("5GB").unwrap();
+        assert_eq!(p.value().unwrap(), Value::Measure(5.0, Unit::Gigabyte));
+
+        let mut p = Parser::new("6ft + 3in").unwrap();
+        assert_eq!(
+            p.value().unwrap(),
+            Value::CompoundMeasure(vec![(6.0, Unit::Foot), (3.0, Unit::Inch)])
+        );
+
+        let mut p = Parser::new("25USD").unwrap();
+        assert_eq!(p.value().unwrap(), Value::Currency(25.0, "USD".into()));
+
+        let mut p = Parser::new("start_of_week").unwrap();
+        assert_eq!(
+            p.value().unwrap(),
+            Value::Date(DateValue::Edge(DateEdge::StartOfWeek))
+        );
+
+        let mut p = Parser::new("now - 7day").unwrap();
+        assert_eq!(
+            p.value().unwrap(),
+            Value::Date(DateValue::Offset {
+                base: DateEdge::Now,
+                offset_ms: -7 * 86_400_000,
+            })
+        );
+
+        let mut p = Parser::new("\"shake it off\"^^com.spotify:song(\"Shake It Off\")").unwrap();
+        match p.value().unwrap() {
+            Value::Entity {
+                value,
+                kind,
+                display,
+            } => {
+                assert_eq!(value, "shake it off");
+                assert_eq!(kind, "com.spotify:song");
+                assert_eq!(display.as_deref(), Some("Shake It Off"));
+            }
+            other => panic!("unexpected value {other:?}"),
+        }
+
+        let mut p = Parser::new("[1, 2, 3]").unwrap();
+        assert_eq!(
+            p.value().unwrap(),
+            Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(2.0),
+                Value::Number(3.0)
+            ])
+        );
+
+        let mut p = Parser::new("-12.5").unwrap();
+        assert_eq!(p.value().unwrap(), Value::Number(-12.5));
+    }
+
+    #[test]
+    fn parse_class_fig4() {
+        let class = parse_class(
+            "class @com.dropbox {\
+               monitorable query get_space_usage(out used_space : Measure(byte), out total_space : Measure(byte));\
+               monitorable list query list_folder(in req folder_name : PathName, in opt order_by : Enum(modified_time_decreasing, modified_time_increasing), out file_name : PathName, out is_folder : Boolean, out modified_time : Date, out file_size : Measure(byte), out full_path : PathName);\
+               query open(in req file_name : PathName, out download_url : URL);\
+               action move(in req old_name : PathName, in req new_name : PathName);\
+             }",
+        )
+        .unwrap();
+        assert_eq!(class.name, "com.dropbox");
+        assert_eq!(class.queries().count(), 3);
+        assert_eq!(class.actions().count(), 1);
+        let list_folder = class.function("list_folder").unwrap();
+        assert!(list_folder.kind.is_monitorable());
+        assert!(list_folder.kind.is_list());
+        assert_eq!(list_folder.output_params().count(), 5);
+        let open = class.function("open").unwrap();
+        assert!(!open.kind.is_monitorable());
+    }
+
+    #[test]
+    fn parse_policy_example() {
+        let policy = parse_policy(
+            "source == \"secretary\" : now => @com.gmail.inbox() filter labels contains \"work\" => notify",
+        )
+        .unwrap();
+        assert!(policy.is_query_policy());
+        match &policy.body {
+            PolicyBody::Query { function, predicate } => {
+                assert_eq!(function.class, "com.gmail");
+                assert_eq!(predicate.atom_count(), 1);
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_action_policy() {
+        let policy = parse_policy(
+            "true : now => @com.twitter.post(status = $?)",
+        )
+        .unwrap();
+        assert!(!policy.is_query_policy());
+    }
+
+    #[test]
+    fn parse_external_predicate() {
+        let program = parse_program(
+            "now => @com.gmail.inbox() filter @org.thingpedia.weather.current(location = location(\"home\")) { temperature > 30C } => notify",
+        )
+        .unwrap();
+        let query = program.query.unwrap();
+        let predicates = query.predicates();
+        assert_eq!(predicates.len(), 1);
+        assert!(matches!(predicates[0], Predicate::External { .. }));
+    }
+
+    #[test]
+    fn value_display_roundtrip() {
+        let values = [
+            Value::Measure(5.0, Unit::Gigabyte),
+            Value::CompoundMeasure(vec![(6.0, Unit::Foot), (3.0, Unit::Inch)]),
+            Value::Currency(25.0, "USD".into()),
+            Value::Date(DateValue::Edge(DateEdge::StartOfWeek)),
+            Value::Time(8, 30),
+            Value::Boolean(true),
+            Value::Enum("decreasing".into()),
+            Value::string("funny cat"),
+            Value::entity("shake it off", "com.spotify:song"),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]),
+            Value::Location(LocationValue::Named("home".into())),
+            Value::Location(LocationValue::Coordinates {
+                latitude: -37.5,
+                longitude: 144.9,
+            }),
+            Value::VarRef("tweet_id".into()),
+            Value::Undefined,
+            Value::Event,
+        ];
+        for value in values {
+            let printed = value.to_string();
+            let mut parser = Parser::new(&printed)
+                .unwrap_or_else(|e| panic!("failed to lex `{printed}`: {e}"));
+            let reparsed = parser
+                .value()
+                .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+            assert_eq!(value, reparsed, "roundtrip failed for `{printed}`");
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! Static typechecking of ThingTalk programs against a schema registry.
+//!
+//! The typechecker enforces the VAPL design principles of §2.1–§2.3:
+//!
+//! * every invoked function must exist in the skill library;
+//! * every keyword parameter must be declared as an input of its function and
+//!   be bound to a value of an assignable type;
+//! * required input parameters must be bound (or explicitly `$?` for slot
+//!   filling);
+//! * parameter passing (`ip = op`) must refer to an output parameter of an
+//!   earlier function in the program, with a compatible type;
+//! * filters may only mention output parameters of the filtered query, with
+//!   operators appropriate for the parameter type;
+//! * only `monitorable` queries may be monitored; aggregation requires `list`
+//!   queries and numeric fields (except `count`);
+//! * actions have no output parameters, so nothing can be passed out of them.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{
+    Action, AggregationOp, CompareOp, Invocation, Predicate, Program, Query, Stream,
+};
+use crate::class::{ClassDef, FunctionDef};
+use crate::error::{Error, Result};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Read-only access to the skill library, used by the typechecker, the
+/// canonicalizer, the describer, and the NN-syntax decoder.
+///
+/// Thingpedia implements this trait; tests may implement it over a small
+/// in-memory map.
+pub trait SchemaRegistry {
+    /// Look up a class by name.
+    fn class(&self, name: &str) -> Option<&ClassDef>;
+
+    /// All class names, in a stable order.
+    fn class_names(&self) -> Vec<&str>;
+
+    /// Look up a function definition.
+    fn function(&self, class: &str, function: &str) -> Option<&FunctionDef> {
+        self.class(class)?.functions.get(function)
+    }
+
+    /// Total number of functions in the registry.
+    fn function_count(&self) -> usize {
+        self.class_names()
+            .iter()
+            .filter_map(|c| self.class(c))
+            .map(|c| c.functions.len())
+            .sum()
+    }
+}
+
+/// A simple in-memory schema registry backed by a map of classes.
+///
+/// This is the reference implementation of [`SchemaRegistry`] used by tests
+/// and by small tools; the `thingpedia` crate provides the full builtin
+/// library.
+#[derive(Debug, Default, Clone)]
+pub struct MapRegistry {
+    classes: BTreeMap<String, ClassDef>,
+}
+
+impl MapRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        MapRegistry::default()
+    }
+
+    /// Add a class to the registry, replacing any previous class with the
+    /// same name.
+    pub fn add_class(&mut self, class: ClassDef) {
+        self.classes.insert(class.name.clone(), class);
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterate over the classes.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+}
+
+impl SchemaRegistry for MapRegistry {
+    fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    fn class_names(&self) -> Vec<&str> {
+        self.classes.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+/// The typechecker. Holds a reference to the schema registry and accumulates
+/// the output-parameter environment as it walks the program left to right.
+pub struct Typechecker<'a, R: SchemaRegistry + ?Sized> {
+    registry: &'a R,
+}
+
+impl<'a, R: SchemaRegistry + ?Sized> Typechecker<'a, R> {
+    /// Create a typechecker over the given registry.
+    pub fn new(registry: &'a R) -> Self {
+        Typechecker { registry }
+    }
+
+    /// Typecheck a complete program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first type error found, with a message identifying the
+    /// offending clause.
+    pub fn check_program(&self, program: &Program) -> Result<()> {
+        // The environment of output parameters available for parameter
+        // passing, accumulated clause by clause.
+        let mut env: BTreeMap<String, Type> = BTreeMap::new();
+        self.check_stream(&program.stream, &mut env)?;
+        if let Some(query) = &program.query {
+            self.check_query(query, &mut env)?;
+        }
+        self.check_action(&program.action, &env)?;
+        Ok(())
+    }
+
+    fn check_stream(&self, stream: &Stream, env: &mut BTreeMap<String, Type>) -> Result<()> {
+        match stream {
+            Stream::Now => Ok(()),
+            Stream::AtTimer { time } => {
+                if matches!(time, Value::Time(..) | Value::Undefined) {
+                    Ok(())
+                } else {
+                    Err(Error::type_error(format!(
+                        "attimer requires a time of day, found {time}"
+                    )))
+                }
+            }
+            Stream::Timer { base, interval } => {
+                if !matches!(base, Value::Date(_) | Value::Undefined) {
+                    return Err(Error::type_error(format!(
+                        "timer base must be a date, found {base}"
+                    )));
+                }
+                let duration_ok = match interval {
+                    Value::Undefined => true,
+                    Value::Measure(_, unit) => {
+                        unit.base() == crate::units::BaseUnit::Millisecond
+                            && interval.measure_in_base().is_some_and(|ms| ms > 0.0)
+                    }
+                    Value::CompoundMeasure(parts) => {
+                        parts
+                            .iter()
+                            .all(|(_, u)| u.base() == crate::units::BaseUnit::Millisecond)
+                            && interval.measure_in_base().is_some_and(|ms| ms > 0.0)
+                    }
+                    _ => false,
+                };
+                if duration_ok {
+                    Ok(())
+                } else {
+                    Err(Error::type_error(format!(
+                        "timer interval must be a positive duration, found {interval}"
+                    )))
+                }
+            }
+            Stream::Monitor { query, on } => {
+                self.check_query(query, env)?;
+                // Every function in the monitored query must be monitorable.
+                for inv in query.invocations() {
+                    let def = self.lookup(inv)?;
+                    if !def.kind.is_monitorable() {
+                        return Err(Error::type_error(format!(
+                            "@{}.{} cannot be monitored",
+                            inv.function.class, inv.function.function
+                        )));
+                    }
+                }
+                for param in on {
+                    if !env.contains_key(param) {
+                        return Err(Error::type_error(format!(
+                            "monitor on new `{param}`: no such output parameter"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Stream::EdgeFilter { stream, predicate } => {
+                self.check_stream(stream, env)?;
+                self.check_predicate(predicate, env)
+            }
+        }
+    }
+
+    fn check_query(&self, query: &Query, env: &mut BTreeMap<String, Type>) -> Result<()> {
+        match query {
+            Query::Invocation(inv) => self.check_invocation(inv, env, true),
+            Query::Filter { query, predicate } => {
+                self.check_query(query, env)?;
+                self.check_predicate(predicate, env)
+            }
+            Query::Join { lhs, rhs, on } => {
+                self.check_query(lhs, env)?;
+                // The right-hand side sees the left-hand side's outputs for
+                // the `on` parameter passing.
+                let lhs_env = env.clone();
+                // Explicit `on (input = output)` clauses bind input
+                // parameters of the right operand, so inject them before
+                // checking required parameters.
+                let mut rhs_with_join_params = (**rhs).clone();
+                if let Some(inv) = rhs_with_join_params.invocations_mut().into_iter().next() {
+                    for jp in on {
+                        if inv.param(&jp.input).is_none() {
+                            inv.in_params.push(crate::ast::InputParam::new(
+                                jp.input.clone(),
+                                Value::VarRef(jp.output.clone()),
+                            ));
+                        }
+                    }
+                }
+                self.check_query(&rhs_with_join_params, env)?;
+                for jp in on {
+                    let rhs_invocations = rhs.invocations();
+                    let def = rhs_invocations
+                        .first()
+                        .map(|inv| self.lookup(inv))
+                        .transpose()?;
+                    let input_ty = def
+                        .and_then(|d| d.param(&jp.input))
+                        .map(|p| p.ty.clone())
+                        .unwrap_or(Type::Any);
+                    let output_ty = lhs_env.get(&jp.output).cloned().ok_or_else(|| {
+                        Error::type_error(format!(
+                            "join passes unknown output parameter `{}`",
+                            jp.output
+                        ))
+                    })?;
+                    if !input_ty.assignable_from(&output_ty) {
+                        return Err(Error::type_error(format!(
+                            "join parameter `{}` of type {} cannot receive `{}` of type {}",
+                            jp.input, input_ty, jp.output, output_ty
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Query::Aggregation { op, field, query } => {
+                self.check_query(query, env)?;
+                let list = query
+                    .invocations()
+                    .iter()
+                    .map(|inv| self.lookup(inv))
+                    .collect::<Result<Vec<_>>>()?
+                    .iter()
+                    .any(|def| def.kind.is_list());
+                if !list {
+                    return Err(Error::type_error(format!(
+                        "aggregation `{op}` requires a list query"
+                    )));
+                }
+                match (op, field) {
+                    (AggregationOp::Count, None) => {
+                        env.insert("count".to_owned(), Type::Number);
+                        Ok(())
+                    }
+                    (AggregationOp::Count, Some(field)) => Err(Error::type_error(format!(
+                        "count does not take a field, found `{field}`"
+                    ))),
+                    (_, None) => Err(Error::type_error(format!(
+                        "aggregation `{op}` requires a field"
+                    ))),
+                    (_, Some(field)) => {
+                        let ty = env.get(field).cloned().ok_or_else(|| {
+                            Error::type_error(format!(
+                                "aggregated field `{field}` is not an output parameter"
+                            ))
+                        })?;
+                        if !ty.is_numeric() {
+                            return Err(Error::type_error(format!(
+                                "aggregated field `{field}` of type {ty} is not numeric"
+                            )));
+                        }
+                        // The aggregation replaces the result set with a
+                        // single value of the field's type.
+                        env.insert(field.clone(), ty);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_action(&self, action: &Action, env: &BTreeMap<String, Type>) -> Result<()> {
+        match action {
+            Action::Notify => Ok(()),
+            Action::Invocation(inv) => {
+                let def = self.lookup(inv)?;
+                if !def.kind.is_action() {
+                    return Err(Error::type_error(format!(
+                        "@{}.{} is a query, not an action",
+                        inv.function.class, inv.function.function
+                    )));
+                }
+                let mut scratch = env.clone();
+                self.check_invocation(inv, &mut scratch, false)
+            }
+        }
+    }
+
+    fn check_invocation(
+        &self,
+        inv: &Invocation,
+        env: &mut BTreeMap<String, Type>,
+        add_outputs: bool,
+    ) -> Result<()> {
+        let def = self.lookup(inv)?;
+        for param in &inv.in_params {
+            let decl = def.param(&param.name).ok_or_else(|| Error::UnknownParameter {
+                class: inv.function.class.clone(),
+                function: inv.function.function.clone(),
+                param: param.name.clone(),
+            })?;
+            if !decl.direction.is_input() {
+                return Err(Error::type_error(format!(
+                    "`{}` is an output parameter of @{}.{} and cannot be bound",
+                    param.name, inv.function.class, inv.function.function
+                )));
+            }
+            match &param.value {
+                Value::VarRef(source) => {
+                    let source_ty = env.get(source).ok_or_else(|| {
+                        Error::type_error(format!(
+                            "parameter passing from unknown output parameter `{source}`"
+                        ))
+                    })?;
+                    if !decl.ty.assignable_from(source_ty) {
+                        return Err(Error::type_error(format!(
+                            "cannot pass `{source}` of type {} into `{}` of type {}",
+                            source_ty, param.name, decl.ty
+                        )));
+                    }
+                }
+                Value::Undefined | Value::Event => {}
+                value => {
+                    let value_ty = value_type(value);
+                    if !decl.ty.assignable_from(&value_ty) {
+                        return Err(Error::type_error(format!(
+                            "parameter `{}` of @{}.{} expects {}, found {} of type {}",
+                            param.name,
+                            inv.function.class,
+                            inv.function.function,
+                            decl.ty,
+                            value,
+                            value_ty
+                        )));
+                    }
+                    if let (Type::Enum(variants), Value::Enum(v)) = (&decl.ty, value) {
+                        if !variants.contains(v) {
+                            return Err(Error::type_error(format!(
+                                "`{v}` is not a variant of {}",
+                                decl.ty
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // Missing required parameters are allowed only for slot filling; the
+        // dataset synthesizer always fills them, so flag them here.
+        for required in def.required_params() {
+            if inv.param(&required.name).is_none() {
+                return Err(Error::type_error(format!(
+                    "missing required parameter `{}` of @{}.{}",
+                    required.name, inv.function.class, inv.function.function
+                )));
+            }
+        }
+        if add_outputs {
+            for output in def.output_params() {
+                env.insert(output.name.clone(), output.ty.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn check_predicate(&self, predicate: &Predicate, env: &BTreeMap<String, Type>) -> Result<()> {
+        match predicate {
+            Predicate::True | Predicate::False => Ok(()),
+            Predicate::Not(inner) => self.check_predicate(inner, env),
+            Predicate::And(items) | Predicate::Or(items) => {
+                for item in items {
+                    self.check_predicate(item, env)?;
+                }
+                Ok(())
+            }
+            Predicate::Atom { param, op, value } => {
+                let ty = env.get(param).ok_or_else(|| {
+                    Error::type_error(format!(
+                        "filter mentions `{param}`, which is not an output parameter in scope"
+                    ))
+                })?;
+                check_filter_op(param, ty, *op)?;
+                let value_ty = match value {
+                    Value::VarRef(source) => env.get(source).cloned().ok_or_else(|| {
+                        Error::type_error(format!(
+                            "filter compares against unknown output parameter `{source}`"
+                        ))
+                    })?,
+                    Value::Undefined | Value::Event => Type::Any,
+                    other => value_type(other),
+                };
+                let compatible = match op {
+                    CompareOp::Contains => ty.element_type().assignable_from(&value_ty),
+                    CompareOp::InArray => {
+                        value_ty.element_type().assignable_from(ty) || value_ty == Type::Any
+                    }
+                    _ => ty.assignable_from(&value_ty) || value_ty.assignable_from(ty),
+                };
+                if !compatible {
+                    return Err(Error::type_error(format!(
+                        "filter `{param} {op} {value}` compares {ty} against {value_ty}"
+                    )));
+                }
+                Ok(())
+            }
+            Predicate::External {
+                invocation,
+                predicate,
+            } => {
+                let def = self.lookup(invocation)?;
+                if !def.kind.is_query() {
+                    return Err(Error::type_error(format!(
+                        "external predicate @{}.{} must be a query",
+                        invocation.function.class, invocation.function.function
+                    )));
+                }
+                let mut inner_env = BTreeMap::new();
+                self.check_invocation(invocation, &mut inner_env, true)?;
+                self.check_predicate(predicate, &inner_env)
+            }
+        }
+    }
+
+    fn lookup(&self, inv: &Invocation) -> Result<&FunctionDef> {
+        self.registry
+            .function(&inv.function.class, &inv.function.function)
+            .ok_or_else(|| Error::UnknownFunction {
+                class: inv.function.class.clone(),
+                function: inv.function.function.clone(),
+            })
+    }
+}
+
+fn check_filter_op(param: &str, ty: &Type, op: CompareOp) -> Result<()> {
+    let ok = match op {
+        CompareOp::Eq | CompareOp::Neq => ty.is_comparable() || matches!(ty, Type::Array(_)),
+        CompareOp::Gt | CompareOp::Lt | CompareOp::Geq | CompareOp::Leq => {
+            ty.is_numeric() || *ty == Type::String
+        }
+        CompareOp::Substr | CompareOp::StartsWith | CompareOp::EndsWith => ty.is_string_like(),
+        CompareOp::Contains => matches!(ty, Type::Array(_)) || ty.is_string_like(),
+        CompareOp::InArray => ty.is_comparable(),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::type_error(format!(
+            "operator `{op}` cannot be applied to `{param}` of type {ty}"
+        )))
+    }
+}
+
+/// The static type of a constant value.
+pub fn value_type(value: &Value) -> Type {
+    match value {
+        Value::String(_) => Type::String,
+        Value::Number(_) => Type::Number,
+        Value::Boolean(_) => Type::Boolean,
+        Value::Measure(_, unit) => Type::Measure(unit.base()),
+        Value::CompoundMeasure(parts) => parts
+            .first()
+            .map(|(_, unit)| Type::Measure(unit.base()))
+            .unwrap_or(Type::Any),
+        Value::Date(_) => Type::Date,
+        Value::Time(..) => Type::Time,
+        Value::Location(_) => Type::Location,
+        Value::Enum(v) => Type::Enum(vec![v.clone()]),
+        Value::Currency(..) => Type::Currency,
+        Value::Entity { kind, .. } => Type::Entity(kind.clone()),
+        Value::Array(items) => Type::Array(Box::new(
+            items.first().map(value_type).unwrap_or(Type::Any),
+        )),
+        Value::VarRef(_) | Value::Event | Value::Undefined => Type::Any,
+    }
+}
+
+/// Typecheck a program against a registry (convenience wrapper around
+/// [`Typechecker`]).
+///
+/// # Errors
+///
+/// Returns the first type error found.
+pub fn typecheck<R: SchemaRegistry + ?Sized>(registry: &R, program: &Program) -> Result<()> {
+    Typechecker::new(registry).check_program(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{FunctionKind, ParamDef, ParamDirection};
+    use crate::syntax::parse_program;
+    use crate::units::BaseUnit;
+
+    fn registry() -> MapRegistry {
+        let mut registry = MapRegistry::new();
+        registry.add_class(
+            ClassDef::new("com.twitter")
+                .with_function(FunctionDef::new(
+                    "timeline",
+                    FunctionKind::MONITORABLE_LIST_QUERY,
+                    vec![
+                        ParamDef::new("text", Type::String, ParamDirection::Out),
+                        ParamDef::new("author", Type::Entity("tt:username".into()), ParamDirection::Out),
+                        ParamDef::new("tweet_id", Type::Entity("com.twitter:id".into()), ParamDirection::Out),
+                    ],
+                ))
+                .with_function(FunctionDef::new(
+                    "retweet",
+                    FunctionKind::Action,
+                    vec![ParamDef::new(
+                        "tweet_id",
+                        Type::Entity("com.twitter:id".into()),
+                        ParamDirection::InReq,
+                    )],
+                ))
+                .with_function(FunctionDef::new(
+                    "post",
+                    FunctionKind::Action,
+                    vec![ParamDef::new("status", Type::String, ParamDirection::InReq)],
+                )),
+        );
+        registry.add_class(
+            ClassDef::new("com.dropbox").with_function(FunctionDef::new(
+                "list_folder",
+                FunctionKind::MONITORABLE_LIST_QUERY,
+                vec![
+                    ParamDef::new("file_name", Type::PathName, ParamDirection::Out),
+                    ParamDef::new(
+                        "file_size",
+                        Type::Measure(BaseUnit::Byte),
+                        ParamDirection::Out,
+                    ),
+                ],
+            )),
+        );
+        registry.add_class(
+            ClassDef::new("com.thecatapi").with_function(FunctionDef::new(
+                "get",
+                FunctionKind::QUERY,
+                vec![ParamDef::new("picture_url", Type::Picture, ParamDirection::Out)],
+            )),
+        );
+        registry
+    }
+
+    fn check(source: &str) -> Result<()> {
+        typecheck(&registry(), &parse_program(source).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_programs() {
+        check("monitor (@com.twitter.timeline()) => @com.twitter.retweet(tweet_id = tweet_id)")
+            .unwrap();
+        check("now => @com.twitter.timeline() filter author == \"PLDI\" => notify").unwrap();
+        check("now => agg sum file_size of (@com.dropbox.list_folder()) => notify").unwrap();
+        check("now => @com.twitter.post(status = \"hello world\")").unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_functions_and_params() {
+        assert!(matches!(
+            check("now => @com.instagram.get_pictures() => notify"),
+            Err(Error::UnknownFunction { .. })
+        ));
+        assert!(matches!(
+            check("now => @com.twitter.post(body = \"hi\")"),
+            Err(Error::UnknownParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_monitoring_non_monitorable() {
+        let err = check("monitor (@com.thecatapi.get()) => notify").unwrap_err();
+        assert!(matches!(err, Error::Type { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_required_param() {
+        let err = check("now => @com.twitter.retweet()").unwrap_err();
+        assert!(err.to_string().contains("missing required parameter"));
+    }
+
+    #[test]
+    fn rejects_bad_param_passing() {
+        // picture_url is not an output of twitter.timeline
+        let err =
+            check("monitor (@com.twitter.timeline()) => @com.twitter.retweet(tweet_id = picture_url)")
+                .unwrap_err();
+        assert!(err.to_string().contains("unknown output parameter"));
+    }
+
+    #[test]
+    fn rejects_filters_on_unknown_params() {
+        let err = check("now => @com.twitter.timeline() filter hashtag == \"rust\" => notify")
+            .unwrap_err();
+        assert!(err.to_string().contains("not an output parameter"));
+    }
+
+    #[test]
+    fn rejects_incomparable_filter_types() {
+        let err = check("now => @com.dropbox.list_folder() filter file_size > \"big\" => notify")
+            .unwrap_err();
+        assert!(matches!(err, Error::Type { .. }));
+    }
+
+    #[test]
+    fn rejects_aggregation_on_non_numeric() {
+        let err = check("now => agg sum file_name of (@com.dropbox.list_folder()) => notify")
+            .unwrap_err();
+        assert!(err.to_string().contains("not numeric"));
+    }
+
+    #[test]
+    fn rejects_query_used_as_action() {
+        let err = check("now => @com.twitter.timeline() => @com.dropbox.list_folder()")
+            .unwrap_err();
+        assert!(err.to_string().contains("not an action"));
+    }
+
+    #[test]
+    fn count_aggregation_needs_no_field() {
+        check("now => agg count of (@com.dropbox.list_folder()) => notify").unwrap();
+        assert!(check("now => agg count file_size of (@com.dropbox.list_folder()) => notify").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! The Spotify case study (§6.1): load the comprehensive Spotify skill
+//! (15 queries, 17 actions), synthesize quote-free music commands, and show
+//! how the same surface pattern ("play X") maps to different API calls
+//! depending on whether X is a song or an artist.
+//!
+//! Run with: `cargo run --release --example spotify_skill`
+
+use genie_templates::{GeneratorConfig, SentenceGenerator};
+use thingpedia::Thingpedia;
+use thingtalk::describe::Describer;
+use thingtalk::syntax::parse_program;
+use thingtalk::typecheck::typecheck;
+use thingtalk::SchemaRegistry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = Thingpedia::builtin_with_spotify();
+    let spotify = library.class("com.spotify").expect("spotify class exists");
+    println!(
+        "Spotify skill: {} queries, {} actions, {} primitive templates",
+        spotify.queries().count(),
+        spotify.actions().count(),
+        library.templates_for("com.spotify", "play_song").len()
+            + library.templates_for("com.spotify", "play_artist").len()
+    );
+
+    // Quote-free free-form parameters: the same carrier phrase, different
+    // functions depending on the entity.
+    let play_song = parse_program(
+        "now => @com.spotify.play_song(song = \"shake it off\"^^com.spotify:song)",
+    )?;
+    let play_artist = parse_program(
+        "now => @com.spotify.play_artist(artist = \"taylor swift\"^^com.spotify:artist)",
+    )?;
+    typecheck(&library, &play_song)?;
+    typecheck(&library, &play_artist)?;
+    let describer = Describer::new(&library);
+    println!("\n\"play shake it off\"   => {play_song}");
+    println!("                         ({})", describer.describe(&play_song));
+    println!("\"play taylor swift\"   => {play_artist}");
+    println!("                         ({})", describer.describe(&play_artist));
+
+    // The paper's flagship compound examples.
+    let alarm = parse_program(
+        "attimer time = time(08:00) => @com.spotify.play_song(song = \"wake me up inside\"^^com.spotify:song)",
+    )?;
+    typecheck(&library, &alarm)?;
+    println!("\n\"wake me up at 8 am by playing wake me up inside\"\n  => {alarm}");
+
+    let fast_songs = parse_program(
+        "now => @com.spotify.get_saved_songs() filter tempo > 500bpm => @com.spotify.add_to_playlist(playlist = \"dance dance revolution\"^^com.spotify:playlist, song = song)",
+    )?;
+    typecheck(&library, &fast_songs)?;
+    println!("\n\"add all songs faster than 500 bpm to the playlist dance dance revolution\"\n  => {fast_songs}");
+
+    // Synthesize some Spotify training sentences.
+    let generator = SentenceGenerator::new(
+        &library,
+        GeneratorConfig {
+            target_per_rule: 40,
+            ..GeneratorConfig::default()
+        },
+    );
+    let spotify_examples: Vec<_> = generator
+        .synthesize()
+        .into_iter()
+        .filter(|e| e.program.devices().contains(&"com.spotify"))
+        .take(8)
+        .collect();
+    println!("\nSample synthesized Spotify sentences:");
+    for example in &spotify_examples {
+        println!("  \"{}\"", example.utterance);
+        println!("     => {}", example.program);
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # genie-repro
+//!
+//! Umbrella crate for the reproduction of *Genie: A Generator of Natural
+//! Language Semantic Parsers for Virtual Assistant Commands* (PLDI 2019).
+//!
+//! This crate re-exports the workspace members so that the runnable examples
+//! under `examples/` and the cross-crate integration tests under `tests/` can
+//! depend on a single package. Library users should normally depend on the
+//! individual crates directly:
+//!
+//! * [`thingtalk`] — the Virtual Assistant Programming Language (VAPL).
+//! * [`thingpedia`] — the skill library and simulated device runtime.
+//! * [`genie_nlp`] — tokenization, argument identification, paraphrase lexicon.
+//! * [`genie_templates`] — the NL-template language and sampled synthesis.
+//! * [`luinet`] — the neural semantic parser and the Wang-et-al baseline.
+//! * [`genie`] — the end-to-end data-acquisition and evaluation pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use thingtalk::syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "now => @com.thecatapi.get() => @com.facebook.post_picture(caption = \"funny cat\")",
+//! )?;
+//! assert!(program.is_compound());
+//! # Ok::<(), thingtalk::Error>(())
+//! ```
+
+pub use genie;
+pub use genie_nlp;
+pub use genie_templates;
+pub use luinet;
+pub use thingpedia;
+pub use thingtalk;

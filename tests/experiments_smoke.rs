@@ -1,0 +1,94 @@
+//! Smoke tests for the experiment runners: every figure/table of the paper
+//! can be regenerated end to end at tiny scale, and the qualitative shape of
+//! the headline result (Fig. 8: Genie beats paraphrase-only on realistic
+//! data) holds.
+
+use genie::experiments::{
+    ablation, case_studies, dataset_characteristics, error_analysis, training_strategies,
+    ExperimentScale,
+};
+use thingpedia::Thingpedia;
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale::tiny()
+}
+
+#[test]
+fn fig7_dataset_characteristics_run() {
+    let library = Thingpedia::builtin();
+    let stats = dataset_characteristics(&library, tiny());
+    assert!(stats.total_sentences > 100);
+    // Every Fig. 7 bucket is represented.
+    assert!(stats.composition.primitive > 0);
+    assert!(stats.composition.primitive_filters > 0);
+    assert!(stats.composition.compound > 0);
+    assert!(stats.composition.compound_param_passing > 0);
+    assert!(stats.composition.compound_filters > 0);
+}
+
+#[test]
+fn fig8_training_strategies_run_and_genie_wins_on_realistic_data() {
+    let library = Thingpedia::builtin();
+    let mut scale = tiny();
+    scale.target_per_rule = 20;
+    scale.paraphrase_sample = 80;
+    scale.epochs = 2;
+    let rows = training_strategies(&library, scale);
+    assert_eq!(rows.len(), 3);
+    let genie = rows.iter().find(|r| r.strategy == "Genie").unwrap();
+    let paraphrase_only = rows.iter().find(|r| r.strategy == "Paraphrase Only").unwrap();
+    // The headline qualitative result: on realistic (cheatsheet) data the
+    // Genie strategy is at least as good as training on paraphrases alone.
+    assert!(
+        genie.cheatsheet.mean + 1e-9 >= paraphrase_only.cheatsheet.mean,
+        "Genie {:.3} vs Paraphrase Only {:.3} on cheatsheet data",
+        genie.cheatsheet.mean,
+        paraphrase_only.cheatsheet.mean
+    );
+    // At this tiny scale absolute accuracy is near zero; just check the
+    // numbers are well-formed. (The standard-scale run recorded in
+    // EXPERIMENTS.md shows non-trivial accuracy.)
+    for summary in [&genie.paraphrase, &genie.validation, &genie.cheatsheet, &genie.ifttt] {
+        assert!(summary.mean >= 0.0 && summary.mean <= 1.0);
+        assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    }
+}
+
+#[test]
+fn table3_ablation_runs_with_all_rows() {
+    let library = Thingpedia::builtin();
+    let rows = ablation(&library, tiny());
+    assert_eq!(rows.len(), 6);
+    let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+    assert!(names.contains(&"Genie"));
+    assert!(names.contains(&"- canonicalization"));
+    assert!(names.contains(&"- decoder LM"));
+    for row in &rows {
+        assert!(row.validation.mean >= 0.0 && row.validation.mean <= 1.0);
+    }
+}
+
+#[test]
+fn fig9_case_studies_run() {
+    let rows = case_studies(tiny());
+    assert_eq!(rows.len(), 3);
+    let labels: Vec<&str> = rows.iter().map(|r| r.case_study.as_str()).collect();
+    assert_eq!(labels, vec!["Spotify", "TACL", "TT+A"]);
+    for row in &rows {
+        assert!(row.genie.mean >= 0.0 && row.genie.mean <= 1.0);
+        assert!(row.baseline.mean >= 0.0 && row.baseline.mean <= 1.0);
+    }
+}
+
+#[test]
+fn error_analysis_metrics_are_ordered() {
+    let library = Thingpedia::builtin();
+    let mut scale = tiny();
+    scale.target_per_rule = 15;
+    let result = error_analysis(&library, scale);
+    assert!(result.count > 0);
+    // Structural containments that must hold by definition.
+    assert!(result.syntax_correct >= result.type_correct - 1e-9);
+    assert!(result.function_accuracy >= result.program_accuracy - 1e-9);
+    assert!(result.device_accuracy >= result.function_accuracy - 1e-9);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) over the core language invariants:
+//! canonicalization is idempotent and order-insensitive, printing and
+//! parsing round-trip, and the NN syntax round-trips for arbitrary
+//! generated programs over the builtin library.
+
+use proptest::prelude::*;
+
+use thingpedia::Thingpedia;
+use thingtalk::ast::{Action, CompareOp, Invocation, Predicate, Program, Query, Stream};
+use thingtalk::canonical::canonicalized;
+use thingtalk::nn_syntax::{from_tokens, to_tokens, NnSyntaxOptions};
+use thingtalk::syntax::parse_program;
+use thingtalk::typecheck::SchemaRegistry;
+use thingtalk::Value;
+
+/// Strategy: pick a random query function and action function from the
+/// builtin library, with a filter over a random output parameter.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let library = Thingpedia::builtin();
+    let queries: Vec<(String, String, Vec<String>)> = library
+        .classes()
+        .flat_map(|class| {
+            class.queries().map(move |f| {
+                (
+                    class.name.clone(),
+                    f.name.clone(),
+                    f.output_params()
+                        .filter(|p| p.ty.is_string_like())
+                        .map(|p| p.name.clone())
+                        .collect(),
+                )
+            })
+        })
+        .collect();
+    let actions: Vec<(String, String, Vec<String>)> = library
+        .classes()
+        .flat_map(|class| {
+            class.actions().map(move |f| {
+                (
+                    class.name.clone(),
+                    f.name.clone(),
+                    f.required_params().map(|p| p.name.clone()).collect(),
+                )
+            })
+        })
+        .collect();
+
+    (
+        0..queries.len(),
+        0..actions.len(),
+        prop::bool::ANY,
+        prop::bool::ANY,
+        "[a-z]{3,8}",
+        "[a-z]{3,8}",
+    )
+        .prop_map(move |(qi, ai, monitored, with_filter, filter_text, param_text)| {
+            let (qclass, qname, outs) = &queries[qi];
+            let (aclass, aname, reqs) = &actions[ai];
+            let mut query = Query::Invocation(Invocation::new(qclass.clone(), qname.clone()));
+            if with_filter {
+                if let Some(out) = outs.first() {
+                    query = query.filtered(Predicate::atom(
+                        out.clone(),
+                        CompareOp::Substr,
+                        Value::string(filter_text.clone()),
+                    ));
+                }
+            }
+            let mut action_inv = Invocation::new(aclass.clone(), aname.clone());
+            for req in reqs {
+                action_inv = action_inv.with_param(req.clone(), Value::string(param_text.clone()));
+            }
+            if monitored {
+                Program {
+                    stream: Stream::Monitor {
+                        query: Box::new(query),
+                        on: Vec::new(),
+                    },
+                    query: None,
+                    action: Action::Invocation(action_inv),
+                }
+            } else {
+                Program {
+                    stream: Stream::Now,
+                    query: Some(query),
+                    action: Action::Invocation(action_inv),
+                }
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonicalization_is_idempotent(program in arb_program()) {
+        let library = Thingpedia::builtin();
+        let once = canonicalized(&library, &program);
+        let twice = canonicalized(&library, &once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn canonicalization_ignores_input_parameter_order(program in arb_program()) {
+        let library = Thingpedia::builtin();
+        let mut shuffled = program.clone();
+        for invocation in shuffled.invocations_mut() {
+            invocation.in_params.reverse();
+        }
+        prop_assert_eq!(
+            canonicalized(&library, &program),
+            canonicalized(&library, &shuffled)
+        );
+    }
+
+    #[test]
+    fn surface_syntax_roundtrips(program in arb_program()) {
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn nn_syntax_roundtrips(program in arb_program()) {
+        let library = Thingpedia::builtin();
+        let canonical = canonicalized(&library, &program);
+        for options in [NnSyntaxOptions::default(), NnSyntaxOptions::full()] {
+            let tokens = to_tokens(&canonical, options);
+            let decoded = from_tokens(&tokens).unwrap();
+            prop_assert_eq!(&canonical, &decoded);
+        }
+    }
+
+    #[test]
+    fn generated_programs_reference_known_functions(program in arb_program()) {
+        let library = Thingpedia::builtin();
+        for function in program.functions() {
+            prop_assert!(library.function(&function.class, &function.function).is_some());
+        }
+    }
+}
