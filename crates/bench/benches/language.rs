@@ -35,7 +35,7 @@ fn bench_typecheck(c: &mut Criterion) {
     c.bench_function("typecheck", |b| {
         b.iter(|| {
             for program in &programs {
-                black_box(typecheck(&library, black_box(program)).unwrap());
+                typecheck(&library, black_box(program)).unwrap();
             }
         })
     });
@@ -66,10 +66,9 @@ fn bench_nn_syntax_roundtrip(c: &mut Criterion) {
 }
 
 fn bench_runtime_execution(c: &mut Criterion) {
-    let program = parse_program(
-        "now => @com.dropbox.list_folder() filter file_size > 100MB => notify",
-    )
-    .unwrap();
+    let program =
+        parse_program("now => @com.dropbox.list_folder() filter file_size > 100MB => notify")
+            .unwrap();
     c.bench_function("runtime_execute_once", |b| {
         b.iter(|| {
             let mut engine = ExecutionEngine::new(SimulatedDevices::builtin(7));

@@ -19,6 +19,7 @@ fn training_data(library: &Thingpedia) -> Vec<ParserExample> {
                 seed: 5,
                 include_aggregation: false,
                 include_timers: true,
+                threads: 0,
             },
             paraphrase_sample: 80,
             ..PipelineConfig::default()
@@ -51,7 +52,11 @@ fn bench_decoding(c: &mut Criterion) {
         ..ModelConfig::default()
     });
     parser.train(&examples);
-    let sentences: Vec<Vec<String>> = examples.iter().take(50).map(|e| e.sentence.clone()).collect();
+    let sentences: Vec<Vec<String>> = examples
+        .iter()
+        .take(50)
+        .map(|e| e.sentence.clone())
+        .collect();
     c.bench_function("parser_greedy_decode_50", |b| {
         b.iter(|| black_box(parser.predict_batch(black_box(&sentences))))
     });
@@ -76,7 +81,11 @@ fn bench_baseline(c: &mut Criterion) {
     let examples = training_data(&library);
     let mut baseline = BaselineParser::new();
     baseline.train(&examples);
-    let sentences: Vec<Vec<String>> = examples.iter().take(20).map(|e| e.sentence.clone()).collect();
+    let sentences: Vec<Vec<String>> = examples
+        .iter()
+        .take(20)
+        .map(|e| e.sentence.clone())
+        .collect();
     c.bench_function("baseline_matching_20", |b| {
         b.iter(|| black_box(baseline.predict_batch(black_box(&sentences))))
     });

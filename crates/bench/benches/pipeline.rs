@@ -84,6 +84,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                         seed: 1,
                         include_aggregation: false,
                         include_timers: true,
+                        threads: 0,
                     },
                     paraphrase_sample: 50,
                     ..PipelineConfig::default()

@@ -1,35 +1,126 @@
-//! Criterion benches for the NL-template synthesizer (§3.1): phrase
-//! instantiation and full sampled synthesis at two target sizes. The paper
-//! reports that full-scale synthesis (100,000 samples per rule, depth 5)
-//! takes ~25 minutes; these benches track the per-sample cost.
+//! Benches for the NL-template synthesizer (§3.1): full sampled synthesis
+//! at two target sizes, policy synthesis, and the synthesis-throughput
+//! comparison between the sequential and the rule-parallel engine at depth
+//! 5. The paper reports that full-scale synthesis (100,000 samples per
+//! rule, depth 5) takes ~25 minutes; these benches track the per-sample
+//! cost and the parallel speedup.
+
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use genie_templates::{GeneratorConfig, SentenceGenerator};
 use thingpedia::Thingpedia;
 
+fn depth5_config(target: usize, threads: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        target_per_rule: target,
+        max_depth: 5,
+        instantiations_per_template: 1,
+        seed: 1,
+        include_aggregation: false,
+        include_timers: true,
+        threads,
+    }
+}
+
 fn bench_synthesis(c: &mut Criterion) {
     let library = Thingpedia::builtin();
     let mut group = c.benchmark_group("synthesis");
     group.sample_size(10);
     for target in [10usize, 40] {
-        group.bench_with_input(BenchmarkId::new("target_per_rule", target), &target, |b, &target| {
-            b.iter(|| {
-                let generator = SentenceGenerator::new(
-                    &library,
-                    GeneratorConfig {
-                        target_per_rule: target,
-                        max_depth: 5,
-                        instantiations_per_template: 1,
-                        seed: 1,
-                        include_aggregation: false,
-                        include_timers: true,
-                    },
-                );
-                black_box(generator.synthesize())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("target_per_rule", target),
+            &target,
+            |b, &target| {
+                b.iter(|| {
+                    let generator = SentenceGenerator::new(&library, depth5_config(target, 0));
+                    black_box(generator.synthesize())
+                })
+            },
+        );
     }
+    group.finish();
+}
+
+/// Sentences/sec at depth 5, sequential vs parallel, plus the speedup and a
+/// check that both engines produce byte-identical output.
+fn bench_parallel_throughput(c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    const TARGET: usize = 400;
+    const SAMPLES: u32 = 5;
+
+    let measure = |threads: usize| -> (f64, usize, Vec<genie_templates::SynthesizedExample>) {
+        let generator = SentenceGenerator::new(&library, depth5_config(TARGET, threads));
+        let mut out = generator.synthesize();
+        let start = Instant::now();
+        for _ in 0..SAMPLES {
+            out = black_box(generator.synthesize());
+        }
+        let per_run = start.elapsed().as_secs_f64() / SAMPLES as f64;
+        (out.len() as f64 / per_run, out.len(), out)
+    };
+
+    let (seq_rate, count, seq_out) = measure(1);
+    let (par_rate, _, par_out) = measure(0);
+    assert_eq!(seq_out, par_out, "parallel output must be byte-identical");
+    println!(
+        "synthesis-throughput depth=5 target={TARGET}: {count} sentences; \
+         sequential {seq_rate:>10.0} sentences/sec; parallel {par_rate:>10.0} sentences/sec; \
+         speedup {:.2}x",
+        par_rate / seq_rate
+    );
+
+    let mut group = c.benchmark_group("synthesis_throughput_depth5");
+    group.sample_size(5);
+    for (name, threads) in [("sequential", 1usize), ("parallel", 0)] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", name),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let generator =
+                        SentenceGenerator::new(&library, depth5_config(TARGET, threads));
+                    black_box(generator.synthesize())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The pre-refactor engine deduplicated by rendering `utterance\tprogram`
+/// into a `BTreeSet<String>`; the rule-registry engine fingerprints the
+/// structural hash into a `HashSet<u128>`. Measure both on identical output
+/// to record the per-sample dedup cost delta.
+fn bench_dedup_strategies(c: &mut Criterion) {
+    use std::collections::{BTreeSet, HashSet};
+
+    let library = Thingpedia::builtin();
+    let examples = SentenceGenerator::new(&library, depth5_config(200, 0)).synthesize();
+    let mut group = c.benchmark_group("dedup");
+    group.sample_size(20);
+    group.bench_function("legacy_rendered_strings", |b| {
+        b.iter(|| {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            for example in &examples {
+                seen.insert(format!("{}\t{}", example.utterance, example.program));
+            }
+            black_box(seen.len())
+        })
+    });
+    group.bench_function("interned_hash_keys", |b| {
+        b.iter(|| {
+            let mut seen: HashSet<u128> = HashSet::new();
+            for example in &examples {
+                seen.insert(genie_templates::dedup::example_key(
+                    &example.utterance,
+                    &example.program,
+                ));
+            }
+            black_box(seen.len())
+        })
+    });
     group.finish();
 }
 
@@ -46,6 +137,7 @@ fn bench_policy_synthesis(c: &mut Criterion) {
                     seed: 2,
                     include_aggregation: false,
                     include_timers: false,
+                    threads: 0,
                 },
             );
             black_box(generator.synthesize_policies())
@@ -56,6 +148,6 @@ fn bench_policy_synthesis(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis, bench_policy_synthesis
+    targets = bench_synthesis, bench_parallel_throughput, bench_dedup_strategies, bench_policy_synthesis
 );
 criterion_main!(benches);

@@ -16,16 +16,36 @@ fn main() {
         &["metric", "measured", "paper"],
         &[
             vec!["sentences".into(), result.count.to_string(), "1480".into()],
-            vec!["syntactically correct".into(), pct(result.syntax_correct), "96%".into()],
-            vec!["type correct".into(), pct(result.type_correct), "96%".into()],
+            vec![
+                "syntactically correct".into(),
+                pct(result.syntax_correct),
+                "96%".into(),
+            ],
+            vec![
+                "type correct".into(),
+                pct(result.type_correct),
+                "96%".into(),
+            ],
             vec![
                 "primitive vs compound identified".into(),
                 pct(result.primitive_compound_accuracy),
                 "91%".into(),
             ],
-            vec!["correct skills (devices)".into(), pct(result.device_accuracy), "87%".into()],
-            vec!["correct functions".into(), pct(result.function_accuracy), "82%".into()],
-            vec!["full program accuracy".into(), pct(result.program_accuracy), "68%".into()],
+            vec![
+                "correct skills (devices)".into(),
+                pct(result.device_accuracy),
+                "87%".into(),
+            ],
+            vec![
+                "correct functions".into(),
+                pct(result.function_accuracy),
+                "82%".into(),
+            ],
+            vec![
+                "full program accuracy".into(),
+                pct(result.program_accuracy),
+                "68%".into(),
+            ],
         ],
     );
     println!("\nExpected shape: syntax >= type >= primitive/compound >= device >= function >= program accuracy.");

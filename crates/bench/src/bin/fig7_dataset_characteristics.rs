@@ -16,9 +16,7 @@ fn main() {
     let rows: Vec<Vec<String>> = shares
         .iter()
         .zip(paper)
-        .map(|((name, share), paper_share)| {
-            vec![(*name).to_owned(), pct(*share), pct(paper_share)]
-        })
+        .map(|((name, share), paper_share)| vec![(*name).to_owned(), pct(*share), pct(paper_share)])
         .collect();
     print_table(
         "Fig. 7 — training-set characteristics",
@@ -30,16 +28,28 @@ fn main() {
         "Training-set counts (§5.2)",
         &["statistic", "value"],
         &[
-            vec!["synthesized sentences".into(), stats.synthesized_sentences.to_string()],
+            vec![
+                "synthesized sentences".into(),
+                stats.synthesized_sentences.to_string(),
+            ],
             vec!["paraphrases".into(), stats.paraphrases.to_string()],
-            vec!["total training sentences".into(), stats.total_sentences.to_string()],
-            vec!["distinct programs".into(), stats.distinct_programs.to_string()],
+            vec![
+                "total training sentences".into(),
+                stats.total_sentences.to_string(),
+            ],
+            vec![
+                "distinct programs".into(),
+                stats.distinct_programs.to_string(),
+            ],
             vec![
                 "distinct function combinations".into(),
                 stats.distinct_function_combinations.to_string(),
             ],
             vec!["paraphrase fraction".into(), pct(stats.paraphrase_fraction)],
-            vec!["primitive templates".into(), stats.primitive_templates.to_string()],
+            vec![
+                "primitive templates".into(),
+                stats.primitive_templates.to_string(),
+            ],
             vec![
                 "templates per function".into(),
                 format!("{:.1}", stats.templates_per_function),

@@ -24,12 +24,20 @@ fn main() {
         .collect();
     print_table(
         "Fig. 8 — accuracy by training strategy (program accuracy %, mean ± half-range)",
-        &["strategy", "paraphrase", "validation", "cheatsheet", "ifttt"],
+        &[
+            "strategy",
+            "paraphrase",
+            "validation",
+            "cheatsheet",
+            "ifttt",
+        ],
         &table,
     );
     println!(
         "\nPaper reference: Synthesized Only ≈ 48/56/53/51, Paraphrase Only ≈ 82/55/46/49, Genie ≈ 87/68/62/63."
     );
     println!("Expected shape: Genie ≥ both single-source strategies on every realistic test set;");
-    println!("Paraphrase Only is competitive on the paraphrase test but drops on cheatsheet/IFTTT data.");
+    println!(
+        "Paraphrase Only is competitive on the paraphrase test but drops on cheatsheet/IFTTT data."
+    );
 }

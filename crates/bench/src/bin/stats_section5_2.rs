@@ -36,7 +36,11 @@ fn main() {
                 stats.distinct_function_combinations.to_string(),
                 "4,710".into(),
             ],
-            vec!["paraphrases collected".into(), stats.paraphrases.to_string(), "24,451".into()],
+            vec![
+                "paraphrases collected".into(),
+                stats.paraphrases.to_string(),
+                "24,451".into(),
+            ],
             vec![
                 "training sentences after augmentation".into(),
                 stats.total_sentences.to_string(),
@@ -61,13 +65,18 @@ fn main() {
                 "construct templates (primitive/compound/filter)".into(),
                 format!(
                     "{}/{}/{}",
-                    stats.construct_templates.0, stats.construct_templates.1, stats.construct_templates.2
+                    stats.construct_templates.0,
+                    stats.construct_templates.1,
+                    stats.construct_templates.2
                 ),
                 "35/42/68".into(),
             ],
             vec![
                 "primitive templates (per function)".into(),
-                format!("{} ({:.1})", stats.primitive_templates, stats.templates_per_function),
+                format!(
+                    "{} ({:.1})",
+                    stats.primitive_templates, stats.templates_per_function
+                ),
                 "1119 (8.5)".into(),
             ],
         ],
@@ -103,8 +112,16 @@ fn main() {
         "§5.2 — paraphrase novelty",
         &["metric", "measured", "paper"],
         &[
-            vec!["new words per paraphrase".into(), pct(mean(&word_rates)), "38%".into()],
-            vec!["new bigrams per paraphrase".into(), pct(mean(&bigram_rates)), "65%".into()],
+            vec![
+                "new words per paraphrase".into(),
+                pct(mean(&word_rates)),
+                "38%".into(),
+            ],
+            vec![
+                "new bigrams per paraphrase".into(),
+                pct(mean(&bigram_rates)),
+                "65%".into(),
+            ],
         ],
     );
 }

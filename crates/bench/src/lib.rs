@@ -64,7 +64,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", render(header.iter().map(|s| s.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", render(row.clone()));
     }

@@ -266,7 +266,12 @@ fn classify_token(token: &str, next: Option<&String>) -> Option<ArgumentValue> {
         }
         if suffix.eq_ignore_ascii_case("am") || suffix.eq_ignore_ascii_case("pm") {
             if let Ok(hour) = digits.parse::<f64>() {
-                let hour = hour as u8 % 12 + if suffix.eq_ignore_ascii_case("pm") { 12 } else { 0 };
+                let hour = hour as u8 % 12
+                    + if suffix.eq_ignore_ascii_case("pm") {
+                        12
+                    } else {
+                        0
+                    };
                 return Some(ArgumentValue::Time(hour, 0));
             }
         }
@@ -335,10 +340,7 @@ mod tests {
     #[test]
     fn quoted_strings_are_one_span() {
         let p = prep("post \"hello brave world\" on twitter");
-        assert_eq!(
-            p.tokens,
-            vec!["post", "QUOTED_STRING_0", "on", "twitter"]
-        );
+        assert_eq!(p.tokens, vec!["post", "QUOTED_STRING_0", "on", "twitter"]);
         match &p.spans[0].value {
             ArgumentValue::QuotedString(words) => {
                 assert_eq!(words, &["hello", "brave", "world"]);
@@ -354,10 +356,7 @@ mod tests {
         assert!(p.tokens.contains(&"DATE_0".to_owned()));
         assert!(p.tokens.contains(&"USERNAME_0".to_owned()));
         assert!(p.tokens.contains(&"HASHTAG_0".to_owned()));
-        assert_eq!(
-            p.span("TIME_0").unwrap().value,
-            ArgumentValue::Time(8, 30)
-        );
+        assert_eq!(p.span("TIME_0").unwrap().value, ArgumentValue::Time(8, 30));
     }
 
     #[test]
@@ -372,7 +371,11 @@ mod tests {
     #[test]
     fn counters_are_per_prefix() {
         let p = prep("between 5 and 10 dollars on friday");
-        let numbers: Vec<&String> = p.tokens.iter().filter(|t| t.starts_with("NUMBER_")).collect();
+        let numbers: Vec<&String> = p
+            .tokens
+            .iter()
+            .filter(|t| t.starts_with("NUMBER_"))
+            .collect();
         assert_eq!(numbers, vec!["NUMBER_0", "NUMBER_1"]);
         assert!(p.tokens.contains(&"DATE_0".to_owned()));
     }
@@ -387,7 +390,10 @@ mod tests {
     #[test]
     fn number_words_are_recognized() {
         let p = prep("play five songs");
-        assert_eq!(p.span("NUMBER_0").unwrap().value, ArgumentValue::Number(5.0));
+        assert_eq!(
+            p.span("NUMBER_0").unwrap().value,
+            ArgumentValue::Number(5.0)
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ mod tests {
         let word_rate = new_word_rate(&synthesized, &paraphrase);
         let bigram_rate = new_bigram_rate(&synthesized, &paraphrase);
         assert!(word_rate > 0.3, "word rate {word_rate}");
-        assert!(bigram_rate > word_rate, "bigram novelty should exceed word novelty");
+        assert!(
+            bigram_rate > word_rate,
+            "bigram novelty should exceed word novelty"
+        );
         assert_eq!(new_word_rate(&synthesized, &synthesized), 0.0);
         assert_eq!(new_bigram_rate(&synthesized, &synthesized), 0.0);
     }
@@ -120,7 +123,10 @@ mod tests {
         let tokens = tokenize("a b c");
         assert_eq!(
             bigrams(&tokens),
-            vec![("a".to_owned(), "b".to_owned()), ("b".to_owned(), "c".to_owned())]
+            vec![
+                ("a".to_owned(), "b".to_owned()),
+                ("b".to_owned(), "c".to_owned())
+            ]
         );
         assert!(bigrams(&tokenize("single")).is_empty());
     }

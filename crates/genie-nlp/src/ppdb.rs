@@ -198,7 +198,12 @@ impl Ppdb {
     }
 
     /// Generate up to `count` distinct augmented variants of a sentence.
-    pub fn augment<R: Rng + ?Sized>(&self, sentence: &str, count: usize, rng: &mut R) -> Vec<String> {
+    pub fn augment<R: Rng + ?Sized>(
+        &self,
+        sentence: &str,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<String> {
         let mut out = Vec::new();
         for _ in 0..count * 3 {
             if out.len() >= count {

@@ -47,8 +47,10 @@ fn split_token(raw: &str, out: &mut Vec<String>) {
     // Trailing punctuation (possibly several, e.g. `world!"`).
     let mut trailing: Vec<String> = Vec::new();
     while let Some(last) = word.chars().last() {
-        if matches!(last, '.' | ',' | '!' | '?' | ';' | ':' | ')' | ']' | '"' | '\'' | '“' | '”')
-            && !is_protected(&word)
+        if matches!(
+            last,
+            '.' | ',' | '!' | '?' | ';' | ':' | ')' | ']' | '"' | '\'' | '“' | '”'
+        ) && !is_protected(&word)
         {
             word.pop();
             trailing.push(normalize_quote(last));
@@ -89,9 +91,9 @@ fn is_protected(word: &str) -> bool {
     let has_digit = word.chars().any(|c| c.is_ascii_digit());
     if has_digit {
         // 8:30am, 1.5, 3,000, 25c, $10, 60f
-        let ok = word
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, ':' | '.' | ',' | '$' | '%' | '-' | '+'));
+        let ok = word.chars().all(|c| {
+            c.is_ascii_alphanumeric() || matches!(c, ':' | '.' | ',' | '$' | '%' | '-' | '+')
+        });
         if ok {
             return true;
         }
@@ -126,13 +128,25 @@ mod tests {
     fn preserves_times_numbers_and_handles() {
         assert_eq!(
             tokenize("wake me at 8:30am with 2.5 songs by @taylorswift #nowplaying"),
-            vec!["wake", "me", "at", "8:30am", "with", "2.5", "songs", "by", "@taylorswift", "#nowplaying"]
+            vec![
+                "wake",
+                "me",
+                "at",
+                "8:30am",
+                "with",
+                "2.5",
+                "songs",
+                "by",
+                "@taylorswift",
+                "#nowplaying"
+            ]
         );
     }
 
     #[test]
     fn preserves_urls_emails_and_files() {
-        let tokens = tokenize("email bob@example.com the file report.pdf from https://example.com/x");
+        let tokens =
+            tokenize("email bob@example.com the file report.pdf from https://example.com/x");
         assert!(tokens.contains(&"bob@example.com".to_owned()));
         assert!(tokens.contains(&"report.pdf".to_owned()));
         assert!(tokens.contains(&"https://example.com/x".to_owned()));
@@ -141,7 +155,10 @@ mod tests {
     #[test]
     fn quotes_become_tokens() {
         let tokens = tokenize("post \"funny cat\" on facebook");
-        assert_eq!(tokens, vec!["post", "\"", "funny", "cat", "\"", "on", "facebook"]);
+        assert_eq!(
+            tokens,
+            vec!["post", "\"", "funny", "cat", "\"", "on", "facebook"]
+        );
     }
 
     #[test]

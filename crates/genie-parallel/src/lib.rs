@@ -1,0 +1,142 @@
+//! Dependency-free data-parallel driver for the synthesis engine.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! this crate is a small stand-in for the `rayon` idioms the synthesis
+//! pipeline needs: an order-preserving parallel map over a slice, scheduled
+//! dynamically over `std::thread::scope` workers.
+//!
+//! Determinism is the contract: [`par_map`] returns results **in input
+//! order**, and callers derive any randomness from the item index (per-rule
+//! RNG streams, `seed ⊕ rule_id`), so output is byte-identical regardless of
+//! the worker count — including the sequential `threads = 1` path, which runs
+//! inline without spawning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolve a configured thread count: `0` means "use all available cores".
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` workers, returning results in
+/// input order.
+///
+/// `f` receives the item index alongside the item so callers can derive
+/// per-item deterministic state (e.g. RNG seeds). Items are claimed from a
+/// shared atomic cursor, so long and short tasks balance dynamically; the
+/// index-addressed result slots make the output order independent of the
+/// scheduling order. With `threads <= 1` (or fewer than two items) the map
+/// runs inline on the calling thread.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let sender = sender.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    return;
+                };
+                // The receiver outlives the scope; a send cannot fail unless
+                // the main thread already panicked, in which case unwinding
+                // here is fine.
+                let _ = sender.send((index, f(index, item)));
+            });
+        }
+    });
+    drop(sender);
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (index, result) in receiver {
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker produced every claimed slot"))
+        .collect()
+}
+
+/// Map `f` over `items` and concatenate the per-item result vectors in input
+/// order — the common shape for "each rule yields a batch of examples".
+pub fn par_flat_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Vec<R> + Sync,
+{
+    par_map(threads, items, f).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled = par_map(4, &items, |_, &x| x * 2);
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let work = |i: usize, &x: &u64| -> u64 {
+            // A little index-dependent mixing to catch order bugs.
+            x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64)
+        };
+        let sequential = par_map(1, &items, work);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(par_map(threads, &items, work), sequential);
+        }
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let flat = par_flat_map(4, &items, |_, &x| vec![x; x % 3]);
+        let expected: Vec<usize> = (0..50).flat_map(|x| vec![x; x % 3]).collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[41u8], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        let items: Vec<usize> = (0..64).collect();
+        assert_eq!(par_map(0, &items, |_, &x| x), items);
+    }
+}

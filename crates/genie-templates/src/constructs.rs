@@ -265,7 +265,10 @@ mod tests {
         ] {
             assert!(!kind.variants().is_empty());
             for variant in kind.variants() {
-                assert!(variant.contains('$'), "variant `{variant}` of {kind:?} has no slot");
+                assert!(
+                    variant.contains('$'),
+                    "variant `{variant}` of {kind:?} has no slot"
+                );
             }
         }
     }

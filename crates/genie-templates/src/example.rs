@@ -97,10 +97,9 @@ mod tests {
         let primitive = parse_program("now => @com.gmail.inbox() => notify").unwrap();
         assert_eq!(ExampleFlags::of(&primitive).bucket(), "primitive commands");
 
-        let filtered = parse_program(
-            "now => @com.gmail.inbox() filter sender == \"alice\" => notify",
-        )
-        .unwrap();
+        let filtered =
+            parse_program("now => @com.gmail.inbox() filter sender == \"alice\" => notify")
+                .unwrap();
         assert_eq!(ExampleFlags::of(&filtered).bucket(), "primitive + filters");
 
         let compound = parse_program(
@@ -130,7 +129,8 @@ mod tests {
 
     #[test]
     fn example_construction_computes_flags() {
-        let program = parse_program("now => agg count of (@com.dropbox.list_folder()) => notify").unwrap();
+        let program =
+            parse_program("now => agg count of (@com.dropbox.list_folder()) => notify").unwrap();
         let example = SynthesizedExample::new(
             "how many files are in my dropbox".to_owned(),
             program,

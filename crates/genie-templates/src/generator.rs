@@ -1,35 +1,41 @@
-//! Synthesis by sampling (§3.1).
+//! Synthesis by sampling (§3.1), driven by the construct-rule registry.
 //!
 //! The generator instantiates primitive templates into phrase derivations,
 //! optionally adds filters, and then samples combinations for each construct
-//! template instead of enumerating all derivations: "the number of
-//! derivations grows exponentially with increasing depth and library size
-//! [...] Genie uses a randomized synthesis algorithm, which considers only a
-//! subset of derivations produced by each construct template."
+//! rule instead of enumerating all derivations: "the number of derivations
+//! grows exponentially with increasing depth and library size [...] Genie
+//! uses a randomized synthesis algorithm, which considers only a subset of
+//! derivations produced by each construct template."
+//!
+//! # Parallelism and determinism
+//!
+//! Rules run in parallel over a [`genie_parallel`] worker pool. Each rule
+//! draws from its own RNG stream, seeded `seed ⊕ rule_id`, and results are
+//! concatenated in registry order before a sequential hash-based dedup — so
+//! the output is byte-identical for a fixed seed regardless of
+//! [`GeneratorConfig::threads`].
 
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use thingpedia::{ParamDatasets, Thingpedia};
-use thingtalk::ast::{Action, CompareOp, Predicate, Program, Query, Stream};
-use thingtalk::class::ParamDef;
+use thingtalk::ast::{CompareOp, Predicate, Query};
 use thingtalk::policy::{Policy, PolicyBody};
-use thingtalk::typecheck::SchemaRegistry;
-use thingtalk::types::Type;
-use thingtalk::units::Unit;
 use thingtalk::value::Value;
 
 use crate::constructs::ConstructKind;
+use crate::dedup::example_key;
 use crate::example::SynthesizedExample;
-use crate::phrases::{add_filter, instantiate, render_value, sample_value, PhraseDerivation, PhraseKind};
+use crate::pools::PhrasePools;
+use crate::registry::{RuleCtx, RuleRegistry};
 
 /// Configuration of the sampled synthesis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GeneratorConfig {
-    /// How many examples to sample per construct kind (the paper uses a
+    /// How many examples to sample per construct rule (the paper uses a
     /// target size of 100,000 per grammar rule at full scale).
     pub target_per_rule: usize,
     /// Maximum derivation depth (the paper uses 5).
@@ -43,6 +49,10 @@ pub struct GeneratorConfig {
     pub include_aggregation: bool,
     /// Include timer constructs.
     pub include_timers: bool,
+    /// Worker threads for rule-parallel synthesis: `0` uses all available
+    /// cores, `1` runs inline on the calling thread. Output is identical for
+    /// any value.
+    pub threads: usize,
 }
 
 impl Default for GeneratorConfig {
@@ -54,6 +64,7 @@ impl Default for GeneratorConfig {
             seed: 0,
             include_aggregation: false,
             include_timers: true,
+            threads: 0,
         }
     }
 }
@@ -63,15 +74,6 @@ pub struct SentenceGenerator<'a> {
     library: &'a Thingpedia,
     datasets: ParamDatasets,
     config: GeneratorConfig,
-}
-
-struct PhrasePools {
-    nouns: Vec<PhraseDerivation>,
-    query_verbs: Vec<PhraseDerivation>,
-    action_verbs: Vec<PhraseDerivation>,
-    whens: Vec<PhraseDerivation>,
-    filtered_nouns: Vec<PhraseDerivation>,
-    filtered_whens: Vec<PhraseDerivation>,
 }
 
 impl<'a> SentenceGenerator<'a> {
@@ -84,92 +86,43 @@ impl<'a> SentenceGenerator<'a> {
         }
     }
 
-    fn build_pools(&self, rng: &mut StdRng) -> PhrasePools {
-        let mut pools = PhrasePools {
-            nouns: Vec::new(),
-            query_verbs: Vec::new(),
-            action_verbs: Vec::new(),
-            whens: Vec::new(),
-            filtered_nouns: Vec::new(),
-            filtered_whens: Vec::new(),
-        };
-        for template in self.library.templates() {
-            for _ in 0..self.config.instantiations_per_template.max(1) {
-                let Some(derivation) = instantiate(self.library, &self.datasets, template, rng)
-                else {
-                    continue;
-                };
-                match derivation.kind {
-                    PhraseKind::QueryNoun => pools.nouns.push(derivation),
-                    PhraseKind::QueryVerb => pools.query_verbs.push(derivation),
-                    PhraseKind::ActionVerb => pools.action_verbs.push(derivation),
-                    PhraseKind::WhenPhrase => pools.whens.push(derivation),
-                }
-            }
-        }
-        if self.config.max_depth >= 2 {
-            let filter_target = self.config.target_per_rule.max(10);
-            for _ in 0..filter_target {
-                if let Some(base) = pools.nouns.choose(rng) {
-                    if let Some(filtered) = add_filter(self.library, &self.datasets, base, rng) {
-                        pools.filtered_nouns.push(filtered);
-                    }
-                }
-                if let Some(base) = pools.whens.choose(rng) {
-                    if let Some(filtered) = add_filter(self.library, &self.datasets, base, rng) {
-                        pools.filtered_whens.push(filtered);
-                    }
-                }
-            }
-        }
-        pools
+    /// Run the sampled synthesis with the builtin rule registry and return
+    /// the deduplicated examples.
+    pub fn synthesize(&self) -> Vec<SynthesizedExample> {
+        self.synthesize_with(&RuleRegistry::builtin())
     }
 
-    /// Run the sampled synthesis and return the deduplicated examples.
-    pub fn synthesize(&self) -> Vec<SynthesizedExample> {
+    /// Run the sampled synthesis with a caller-provided rule registry.
+    ///
+    /// Each enabled rule samples `target_per_rule` derivations from its own
+    /// deterministic RNG stream (`seed ⊕ rule_id`), in parallel across
+    /// [`GeneratorConfig::threads`] workers. Results are concatenated in
+    /// registry order and deduplicated sequentially by hashed structural
+    /// keys, so the output does not depend on the worker count.
+    pub fn synthesize_with(&self, registry: &RuleRegistry) -> Vec<SynthesizedExample> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let pools = self.build_pools(&mut rng);
-        let mut out: Vec<SynthesizedExample> = Vec::new();
-        let mut seen: BTreeSet<String> = BTreeSet::new();
-
-        let push = |example: SynthesizedExample, seen: &mut BTreeSet<String>, out: &mut Vec<SynthesizedExample>| {
-            let key = format!("{}\t{}", example.utterance, example.program);
-            if seen.insert(key) {
-                out.push(example);
-            }
+        let pools = PhrasePools::build(self.library, &self.datasets, &self.config, &mut rng);
+        let ctx = RuleCtx {
+            library: self.library,
+            datasets: &self.datasets,
+            config: &self.config,
         };
-
+        let rules = registry.enabled_rules(&self.config);
         let target = self.config.target_per_rule;
-        for kind in ConstructKind::MAIN {
-            if matches!(kind, ConstructKind::AtTimerDo | ConstructKind::TimerDo)
-                && !self.config.include_timers
-            {
-                continue;
-            }
-            if matches!(
-                kind,
-                ConstructKind::WhenDo
-                    | ConstructKind::DoWhen
-                    | ConstructKind::GetDo
-                    | ConstructKind::WhenGetNotify
-                    | ConstructKind::EdgeCommand
-            ) && self.config.max_depth < 3
-            {
-                continue;
-            }
-            for _ in 0..target {
-                if let Some(example) = self.sample_construct(*kind, &pools, &mut rng) {
-                    push(example, &mut seen, &mut out);
-                }
-            }
-        }
-        if self.config.include_aggregation {
-            for kind in [ConstructKind::Aggregation, ConstructKind::CountAggregation] {
-                for _ in 0..target {
-                    if let Some(example) = self.sample_construct(kind, &pools, &mut rng) {
-                        push(example, &mut seen, &mut out);
-                    }
-                }
+        let seed = self.config.seed;
+
+        let batches = genie_parallel::par_map(self.config.threads, &rules, |_, rule| {
+            let mut rule_rng = StdRng::seed_from_u64(seed ^ rule.rule_id());
+            (0..target)
+                .filter_map(|_| rule.instantiate(&ctx, &pools, &mut rule_rng))
+                .collect::<Vec<_>>()
+        });
+
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut out = Vec::new();
+        for example in batches.into_iter().flatten() {
+            if seen.insert(example_key(&example.utterance, &example.program)) {
+                out.push(example);
             }
         }
         out
@@ -178,13 +131,16 @@ impl<'a> SentenceGenerator<'a> {
     /// Synthesize TACL policies (§6.2) with their utterances.
     pub fn synthesize_policies(&self) -> Vec<(String, Policy)> {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(777));
-        let pools = self.build_pools(&mut rng);
-        let people = self.datasets.get("tt:person_first_name").expect("dataset exists");
+        let pools = PhrasePools::build(self.library, &self.datasets, &self.config, &mut rng);
+        let people = self
+            .datasets
+            .get("tt:person_first_name")
+            .expect("dataset exists");
         let mut out = Vec::new();
-        let mut seen = BTreeSet::new();
+        let mut seen = HashSet::new();
         for _ in 0..self.config.target_per_rule {
             // Query policies.
-            if let Some(np) = choose_query_phrase(&pools, &mut rng) {
+            if let Some(np) = pools.choose_query_phrase(&mut rng) {
                 let person = people.sample(&mut rng).to_owned();
                 let variant = ConstructKind::PolicyQuery
                     .variants()
@@ -226,7 +182,11 @@ impl<'a> SentenceGenerator<'a> {
                     if param.value.is_constant() {
                         let atom =
                             Predicate::atom(param.name.clone(), CompareOp::Eq, param.value.clone());
-                        predicate = if predicate.is_true() { atom } else { predicate.and(atom) };
+                        predicate = if predicate.is_true() {
+                            atom
+                        } else {
+                            predicate.and(atom)
+                        };
                     }
                 }
                 let policy = Policy {
@@ -243,309 +203,6 @@ impl<'a> SentenceGenerator<'a> {
             }
         }
         out
-    }
-
-    fn sample_construct(
-        &self,
-        kind: ConstructKind,
-        pools: &PhrasePools,
-        rng: &mut StdRng,
-    ) -> Option<SynthesizedExample> {
-        let variant = kind.variants().choose(rng)?.to_string();
-        match kind {
-            ConstructKind::GetNotify => {
-                let np = choose_query_phrase(pools, rng)?;
-                let utterance = variant.replace("$np", &np.utterance);
-                let program = Program::get_query(np.query.clone()?);
-                Some(SynthesizedExample::new(utterance, program, np.depth + 1, kind.label()))
-            }
-            ConstructKind::DoCommand => {
-                // Half of the time, a query verb phrase ("translate hello to
-                // french") becomes a `now => query => notify` command.
-                if rng.gen_bool(0.4) && !pools.query_verbs.is_empty() {
-                    let qvp = pools.query_verbs.choose(rng)?;
-                    let utterance = variant.replace("$vp", &qvp.utterance);
-                    let program = Program::get_query(qvp.query.clone()?);
-                    return Some(SynthesizedExample::new(utterance, program, qvp.depth + 1, kind.label()));
-                }
-                let vp = pools.action_verbs.choose(rng)?;
-                let utterance = variant.replace("$vp", &vp.utterance);
-                let program = Program::do_action(vp.action.clone()?);
-                Some(SynthesizedExample::new(utterance, program, vp.depth + 1, kind.label()))
-            }
-            ConstructKind::WhenNotify => {
-                let wp = choose_when_phrase(pools, rng)?;
-                let utterance = variant.replace("$wp", &wp.utterance);
-                let program = Program::when_notify(wp.query.clone()?);
-                Some(SynthesizedExample::new(utterance, program, wp.depth + 1, kind.label()))
-            }
-            ConstructKind::WhenDo | ConstructKind::DoWhen => {
-                let wp = choose_when_phrase(pools, rng)?;
-                let vp = pools.action_verbs.choose(rng)?;
-                let (mut action, mut vp_utterance) = (vp.action.clone()?, vp.utterance.clone());
-                self.maybe_pass_parameters(wp, &mut action, &mut vp_utterance, rng);
-                let wp_bare = wp
-                    .utterance
-                    .strip_prefix("when ")
-                    .unwrap_or(&wp.utterance)
-                    .to_owned();
-                let utterance = variant
-                    .replace("$wp_bare", &wp_bare)
-                    .replace("$wp", &wp.utterance)
-                    .replace("$vp", &vp_utterance);
-                let program = Program {
-                    stream: Stream::Monitor {
-                        query: Box::new(wp.query.clone()?),
-                        on: Vec::new(),
-                    },
-                    query: None,
-                    action: Action::Invocation(action),
-                };
-                Some(SynthesizedExample::new(
-                    utterance,
-                    program,
-                    wp.depth + vp.depth + 1,
-                    kind.label(),
-                ))
-            }
-            ConstructKind::GetDo => {
-                let np = choose_query_phrase(pools, rng)?;
-                let vp = pools.action_verbs.choose(rng)?;
-                let (mut action, mut vp_utterance) = (vp.action.clone()?, vp.utterance.clone());
-                self.maybe_pass_parameters(np, &mut action, &mut vp_utterance, rng);
-                let utterance = variant
-                    .replace("$np", &np.utterance)
-                    .replace("$vp", &vp_utterance);
-                let program = Program {
-                    stream: Stream::Now,
-                    query: Some(np.query.clone()?),
-                    action: Action::Invocation(action),
-                };
-                Some(SynthesizedExample::new(
-                    utterance,
-                    program,
-                    np.depth + vp.depth + 1,
-                    kind.label(),
-                ))
-            }
-            ConstructKind::WhenGetNotify => {
-                let wp = choose_when_phrase(pools, rng)?;
-                let np = choose_query_phrase(pools, rng)?;
-                if wp.function == np.function {
-                    return None;
-                }
-                let utterance = variant
-                    .replace("$wp", &wp.utterance)
-                    .replace("$np", &np.utterance);
-                let program = Program {
-                    stream: Stream::Monitor {
-                        query: Box::new(wp.query.clone()?),
-                        on: Vec::new(),
-                    },
-                    query: Some(np.query.clone()?),
-                    action: Action::Notify,
-                };
-                Some(SynthesizedExample::new(
-                    utterance,
-                    program,
-                    wp.depth + np.depth + 1,
-                    kind.label(),
-                ))
-            }
-            ConstructKind::AtTimerDo => {
-                let vp = pools.action_verbs.choose(rng)?;
-                let time = Value::Time(rng.gen_range(6..23), [0u8, 15, 30, 45][rng.gen_range(0..4)]);
-                let utterance = variant
-                    .replace("$time", &render_value(&time))
-                    .replace("$vp", &vp.utterance);
-                let program = Program {
-                    stream: Stream::AtTimer { time },
-                    query: None,
-                    action: Action::Invocation(vp.action.clone()?),
-                };
-                Some(SynthesizedExample::new(utterance, program, vp.depth + 1, kind.label()))
-            }
-            ConstructKind::TimerDo => {
-                let vp = pools.action_verbs.choose(rng)?;
-                let (amount, unit) = [
-                    (5.0, Unit::Minute),
-                    (30.0, Unit::Minute),
-                    (1.0, Unit::Hour),
-                    (2.0, Unit::Hour),
-                    (1.0, Unit::Day),
-                    (1.0, Unit::Week),
-                ][rng.gen_range(0..6)];
-                let interval = Value::Measure(amount, unit);
-                let utterance = variant
-                    .replace("$interval", &render_value(&interval))
-                    .replace("$vp", &vp.utterance);
-                let program = Program {
-                    stream: Stream::Timer {
-                        base: Value::Date(thingtalk::value::DateValue::Edge(
-                            thingtalk::value::DateEdge::Now,
-                        )),
-                        interval,
-                    },
-                    query: None,
-                    action: Action::Invocation(vp.action.clone()?),
-                };
-                Some(SynthesizedExample::new(utterance, program, vp.depth + 1, kind.label()))
-            }
-            ConstructKind::EdgeCommand => {
-                let wp = pools.whens.choose(rng)?;
-                let function = self
-                    .library
-                    .function(&wp.function.class, &wp.function.function)?;
-                let numeric: Vec<&ParamDef> = function
-                    .output_params()
-                    .filter(|p| p.ty.is_numeric() && !matches!(p.ty, Type::Date | Type::Time))
-                    .collect();
-                let param = numeric.choose(rng)?;
-                let value = sample_value(&self.datasets, param, rng);
-                let above = rng.gen_bool(0.5);
-                let op = if above { CompareOp::Gt } else { CompareOp::Lt };
-                let direction = if above { "goes above" } else { "drops below" };
-                let pred_text = format!(
-                    "the {} of {} {} {}",
-                    param.canonical,
-                    function.canonical,
-                    direction,
-                    render_value(&value)
-                );
-                let predicate = Predicate::atom(param.name.clone(), op, value);
-                let uses_action = variant.contains("$vp");
-                let (action, vp_utterance, extra_depth) = if uses_action {
-                    let vp = pools.action_verbs.choose(rng)?;
-                    (Action::Invocation(vp.action.clone()?), vp.utterance.clone(), vp.depth)
-                } else {
-                    (Action::Notify, String::new(), 0)
-                };
-                let utterance = variant
-                    .replace("$pred", &pred_text)
-                    .replace("$vp", &vp_utterance);
-                let program = Program {
-                    stream: Stream::EdgeFilter {
-                        stream: Box::new(Stream::Monitor {
-                            query: Box::new(wp.query.clone()?),
-                            on: Vec::new(),
-                        }),
-                        predicate,
-                    },
-                    query: None,
-                    action,
-                };
-                Some(SynthesizedExample::new(
-                    utterance,
-                    program,
-                    wp.depth + extra_depth + 2,
-                    kind.label(),
-                ))
-            }
-            ConstructKind::Aggregation => {
-                let np = pools.nouns.choose(rng)?;
-                if !np.is_list(self.library) {
-                    return None;
-                }
-                let function = self
-                    .library
-                    .function(&np.function.class, &np.function.function)?;
-                let numeric: Vec<&ParamDef> = function
-                    .output_params()
-                    .filter(|p| matches!(p.ty, Type::Number | Type::Measure(_) | Type::Currency))
-                    .collect();
-                let param = numeric.choose(rng)?;
-                let op = match variant.as_str() {
-                    v if v.contains("average") => thingtalk::AggregationOp::Avg,
-                    v if v.contains("maximum") => thingtalk::AggregationOp::Max,
-                    v if v.contains("minimum") => thingtalk::AggregationOp::Min,
-                    _ => thingtalk::AggregationOp::Sum,
-                };
-                let utterance = variant
-                    .replace("$field", &param.canonical)
-                    .replace("$np", &np.utterance);
-                let program = Program::get_query(Query::Aggregation {
-                    op,
-                    field: Some(param.name.clone()),
-                    query: Box::new(np.query.clone()?),
-                });
-                Some(SynthesizedExample::new(utterance, program, np.depth + 1, kind.label()))
-            }
-            ConstructKind::CountAggregation => {
-                let np = choose_query_phrase(pools, rng)?;
-                if !np.is_list(self.library) {
-                    return None;
-                }
-                let utterance = variant.replace("$np", &np.utterance);
-                let program = Program::get_query(Query::Aggregation {
-                    op: thingtalk::AggregationOp::Count,
-                    field: None,
-                    query: Box::new(np.query.clone()?),
-                });
-                Some(SynthesizedExample::new(utterance, program, np.depth + 1, kind.label()))
-            }
-            ConstructKind::PolicyQuery | ConstructKind::PolicyAction => None,
-        }
-    }
-
-    /// With some probability, rewrite constant parameters of the action as
-    /// parameter passing from the preceding query clause, adjusting the
-    /// utterance ("post funny cat on twitter" → "post the caption on
-    /// twitter"), as in Fig. 1.
-    fn maybe_pass_parameters(
-        &self,
-        source: &PhraseDerivation,
-        action: &mut thingtalk::ast::Invocation,
-        vp_utterance: &mut String,
-        rng: &mut StdRng,
-    ) {
-        let Some(source_def) = self
-            .library
-            .function(&source.function.class, &source.function.function)
-        else {
-            return;
-        };
-        let Some(action_def) = self
-            .library
-            .function(&action.function.class, &action.function.function)
-        else {
-            return;
-        };
-        for param in &mut action.in_params {
-            if !param.value.is_constant() || !rng.gen_bool(0.35) {
-                continue;
-            }
-            let Some(decl) = action_def.param(&param.name) else {
-                continue;
-            };
-            let compatible: Vec<&ParamDef> = source_def
-                .output_params()
-                .filter(|out| decl.ty.assignable_from(&out.ty))
-                .collect();
-            let Some(chosen) = compatible.choose(rng) else {
-                continue;
-            };
-            let rendered = render_value(&param.value);
-            if !rendered.is_empty() && vp_utterance.contains(&rendered) {
-                *vp_utterance = vp_utterance.replacen(&rendered, &format!("the {}", chosen.canonical), 1);
-                param.value = Value::VarRef(chosen.name.clone());
-            }
-        }
-    }
-}
-
-fn choose_query_phrase<'p>(pools: &'p PhrasePools, rng: &mut StdRng) -> Option<&'p PhraseDerivation> {
-    if !pools.filtered_nouns.is_empty() && rng.gen_bool(0.3) {
-        pools.filtered_nouns.choose(rng)
-    } else {
-        pools.nouns.choose(rng)
-    }
-}
-
-fn choose_when_phrase<'p>(pools: &'p PhrasePools, rng: &mut StdRng) -> Option<&'p PhraseDerivation> {
-    if !pools.filtered_whens.is_empty() && rng.gen_bool(0.3) {
-        pools.filtered_whens.choose(rng)
-    } else {
-        pools.whens.choose(rng)
     }
 }
 
@@ -577,6 +234,7 @@ mod tests {
                 seed,
                 include_aggregation: true,
                 include_timers: true,
+                threads: 0,
             },
         )
     }
@@ -636,6 +294,29 @@ mod tests {
     }
 
     #[test]
+    fn output_is_identical_across_thread_counts() {
+        let library = Thingpedia::builtin();
+        let run = |threads: usize| {
+            SentenceGenerator::new(
+                &library,
+                GeneratorConfig {
+                    target_per_rule: 25,
+                    seed: 9,
+                    instantiations_per_template: 1,
+                    include_aggregation: true,
+                    threads,
+                    ..GeneratorConfig::default()
+                },
+            )
+            .synthesize()
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 0] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn target_size_controls_output_size() {
         let library = Thingpedia::builtin();
         let small = generator(&library, 5, 1).synthesize();
@@ -665,9 +346,67 @@ mod tests {
             seed: 5,
             include_aggregation: false,
             include_timers: false,
+            threads: 0,
         };
         let examples = SentenceGenerator::new(&library, config).synthesize();
-        assert!(examples.iter().all(|e| e.flags.primitive || !e.flags.param_passing));
+        assert!(examples
+            .iter()
+            .all(|e| e.flags.primitive || !e.flags.param_passing));
         assert!(examples.iter().all(|e| e.program.invocations().len() <= 1));
+    }
+
+    #[test]
+    fn custom_rules_extend_the_registry() {
+        use crate::phrases::PhraseKind;
+        use crate::registry::ConstructRule;
+        use rand::seq::SliceRandom;
+
+        /// A toy scenario rule: negated commands ("do not $vp").
+        struct RefuseRule;
+
+        impl ConstructRule for RefuseRule {
+            fn kind(&self) -> ConstructKind {
+                ConstructKind::DoCommand
+            }
+
+            fn label(&self) -> &'static str {
+                "refuse"
+            }
+
+            fn inputs(&self) -> &'static [PhraseKind] {
+                &[PhraseKind::ActionVerb]
+            }
+
+            fn instantiate(
+                &self,
+                _ctx: &RuleCtx<'_>,
+                pools: &PhrasePools,
+                rng: &mut StdRng,
+            ) -> Option<SynthesizedExample> {
+                let vp = pools.action_verbs.choose(rng)?;
+                let program = thingtalk::Program::do_action(vp.action.clone()?);
+                Some(SynthesizedExample::new(
+                    format!("do not {}", vp.utterance),
+                    program,
+                    vp.depth + 1,
+                    self.label(),
+                ))
+            }
+        }
+
+        let library = Thingpedia::builtin();
+        let mut registry = RuleRegistry::builtin();
+        registry.register(Box::new(RefuseRule));
+        let examples = generator(&library, 10, 6).synthesize_with(&registry);
+        assert!(examples.iter().any(|e| e.construct == "refuse"));
+        // Registry order is output order: the custom rule's examples come
+        // after the builtin ones, so builtin output is unperturbed.
+        let builtin_only = generator(&library, 10, 6).synthesize();
+        let prefix: Vec<_> = examples
+            .iter()
+            .filter(|e| e.construct != "refuse")
+            .cloned()
+            .collect();
+        assert_eq!(prefix, builtin_only);
     }
 }

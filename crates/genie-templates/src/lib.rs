@@ -17,6 +17,11 @@
 //! library size), it samples a configurable number of derivations per
 //! construct template, at increasing depth.
 //!
+//! Construct templates are pluggable [`ConstructRule`]s collected in a
+//! [`RuleRegistry`] (see [`registry`]); the generator drives every enabled
+//! rule in parallel with a per-rule RNG stream (`seed ⊕ rule_id`), so output
+//! is byte-identical regardless of the worker count.
+//!
 //! # Example
 //!
 //! ```
@@ -37,11 +42,17 @@
 //! ```
 
 pub mod constructs;
+pub mod dedup;
 pub mod example;
 pub mod generator;
 pub mod phrases;
+pub mod pools;
+pub mod registry;
+pub mod rules;
 
 pub use constructs::{construct_template_counts, ConstructKind};
 pub use example::{ExampleFlags, SynthesizedExample};
 pub use generator::{GeneratorConfig, SentenceGenerator};
-pub use phrases::PhraseDerivation;
+pub use phrases::{PhraseDerivation, PhraseKind};
+pub use pools::PhrasePools;
+pub use registry::{ConstructRule, RuleCtx, RuleRegistry};

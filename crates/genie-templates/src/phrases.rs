@@ -5,6 +5,8 @@
 //! language fragment (noun/verb/when phrase) paired with the code fragment
 //! it denotes — a query, an action invocation, or a monitored stream.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -31,6 +33,10 @@ pub enum PhraseKind {
 }
 
 /// A primitive phrase instantiated with concrete parameter values.
+///
+/// The denoted code fragments are [`Arc`]-shared: construct rules compose
+/// them into programs by bumping a reference count, not by deep-cloning
+/// (§3.1 calls for sampling thousands of combinations per construct).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhraseDerivation {
     /// The natural-language fragment.
@@ -38,9 +44,9 @@ pub struct PhraseDerivation {
     /// What the phrase denotes.
     pub kind: PhraseKind,
     /// The denoted query (for query and when phrases).
-    pub query: Option<Query>,
+    pub query: Option<Arc<Query>>,
     /// The denoted action invocation (for action verb phrases).
-    pub action: Option<Invocation>,
+    pub action: Option<Arc<Invocation>>,
     /// The function the phrase uses.
     pub function: FunctionRef,
     /// Derivation depth (1 for plain primitives, 2 for filtered phrases).
@@ -119,9 +125,9 @@ pub fn instantiate(
     let utterance = template.instantiate(&substitutions);
     let function_ref = invocation.function.clone();
     let (query, action) = if function.kind.is_query() {
-        (Some(Query::Invocation(invocation)), None)
+        (Some(Arc::new(Query::Invocation(invocation))), None)
     } else {
-        (None, Some(invocation))
+        (None, Some(Arc::new(invocation)))
     };
     Some(PhraseDerivation {
         utterance,
@@ -168,7 +174,10 @@ pub fn sample_value(datasets: &ParamDatasets, param: &ParamDef, rng: &mut StdRng
             ];
             Value::Date(DateValue::Edge(edges[rng.gen_range(0..edges.len())]))
         }
-        Type::Time => Value::Time(rng.gen_range(0..24), [0, 15, 30, 45][rng.gen_range(0..4)]),
+        Type::Time => Value::Time(
+            rng.gen_range(0..24),
+            [0, 15, 30, 45][rng.gen_range(0..4usize)],
+        ),
         Type::Currency => Value::Currency(rng.gen_range(1..200) as f64, "USD".to_owned()),
         Type::Location => Value::Location(thingtalk::value::LocationValue::Named(
             datasets
@@ -177,7 +186,10 @@ pub fn sample_value(datasets: &ParamDatasets, param: &ParamDef, rng: &mut StdRng
                 .to_owned(),
         )),
         Type::Entity(kind) => {
-            let text = datasets.for_param(&param.ty, &param.name).sample(rng).to_owned();
+            let text = datasets
+                .for_param(&param.ty, &param.name)
+                .sample(rng)
+                .to_owned();
             Value::Entity {
                 value: text.clone(),
                 kind: kind.clone(),
@@ -212,7 +224,8 @@ pub fn add_filter(
     if !matches!(phrase.kind, PhraseKind::QueryNoun | PhraseKind::WhenPhrase) {
         return None;
     }
-    let function: &FunctionDef = library.function(&phrase.function.class, &phrase.function.function)?;
+    let function: &FunctionDef =
+        library.function(&phrase.function.class, &phrase.function.function)?;
     let outputs: Vec<&ParamDef> = function.output_params().collect();
     if outputs.is_empty() {
         return None;
@@ -225,13 +238,21 @@ pub fn add_filter(
                 (
                     CompareOp::Gt,
                     value.clone(),
-                    format!("with {} greater than {}", param.canonical, render_value(&value)),
+                    format!(
+                        "with {} greater than {}",
+                        param.canonical,
+                        render_value(&value)
+                    ),
                 )
             } else {
                 (
                     CompareOp::Lt,
                     value.clone(),
-                    format!("with {} less than {}", param.canonical, render_value(&value)),
+                    format!(
+                        "with {} less than {}",
+                        param.canonical,
+                        render_value(&value)
+                    ),
                 )
             }
         }
@@ -260,7 +281,11 @@ pub fn add_filter(
             )
         }
         Type::Array(_) => {
-            let inner = ParamDef::new(param.name.clone(), param.ty.element_type().clone(), param.direction);
+            let inner = ParamDef::new(
+                param.name.clone(),
+                param.ty.element_type().clone(),
+                param.direction,
+            );
             let value = sample_value(datasets, &inner, rng);
             (
                 CompareOp::Contains,
@@ -270,27 +295,35 @@ pub fn add_filter(
         }
         _ => {
             let value = sample_value(datasets, param, rng);
-            if rng.gen_bool(0.5) {
+            // `substr` only typechecks on string-like parameters; anything
+            // else (locations, entities without text, …) gets equality.
+            if param.ty.is_string_like() && !rng.gen_bool(0.5) {
+                (
+                    CompareOp::Substr,
+                    value.clone(),
+                    format!(
+                        "whose {} contains {}",
+                        param.canonical,
+                        render_value(&value)
+                    ),
+                )
+            } else {
                 (
                     CompareOp::Eq,
                     value.clone(),
                     format!("with {} {}", param.canonical, render_value(&value)),
                 )
-            } else {
-                (
-                    CompareOp::Substr,
-                    value.clone(),
-                    format!("whose {} contains {}", param.canonical, render_value(&value)),
-                )
             }
         }
     };
     let predicate = Predicate::atom(param.name.clone(), op, value);
-    let query = phrase.query.clone()?.filtered(predicate);
+    // Share the unfiltered subtree: the filter node wraps the pooled query
+    // without cloning it.
+    let query = Query::shared_filtered(phrase.query.as_ref()?, predicate);
     Some(PhraseDerivation {
         utterance: format!("{} {}", phrase.utterance, phrase_text),
         kind: phrase.kind,
-        query: Some(query),
+        query: Some(Arc::new(query)),
         action: None,
         function: phrase.function.clone(),
         depth: phrase.depth + 1,
@@ -317,8 +350,11 @@ mod tests {
         for template in library.templates() {
             let derivation = instantiate(&library, &datasets, template, &mut rng)
                 .unwrap_or_else(|| panic!("failed to instantiate `{}`", template.utterance));
-            assert!(!derivation.utterance.contains('$'),
-                "placeholder left in `{}`", derivation.utterance);
+            assert!(
+                !derivation.utterance.contains('$'),
+                "placeholder left in `{}`",
+                derivation.utterance
+            );
             count += 1;
         }
         assert!(count > 250);

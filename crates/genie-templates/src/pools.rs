@@ -1,0 +1,180 @@
+//! Phrase-derivation pools: the sampled building blocks construct rules
+//! combine into programs.
+//!
+//! Pools are built once per synthesis run (sequentially, from the master
+//! seed) and then shared read-only across all rule workers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use thingpedia::{ParamDatasets, Thingpedia};
+
+use crate::generator::GeneratorConfig;
+use crate::phrases::{add_filter, instantiate, PhraseDerivation, PhraseKind};
+
+/// How many times the filter loop retries per missing filtered phrase before
+/// recording a shortfall.
+const FILTER_RETRY_FACTOR: usize = 4;
+
+/// The instantiated phrase pools, indexed by [`PhraseKind`], plus filtered
+/// variants of the noun and when pools.
+#[derive(Debug, Default)]
+pub struct PhrasePools {
+    /// Noun phrases denoting queries.
+    pub nouns: Vec<PhraseDerivation>,
+    /// Verb phrases denoting queries.
+    pub query_verbs: Vec<PhraseDerivation>,
+    /// Verb phrases denoting actions.
+    pub action_verbs: Vec<PhraseDerivation>,
+    /// When phrases denoting monitored queries.
+    pub whens: Vec<PhraseDerivation>,
+    /// Noun phrases with one filter predicate added (depth 2).
+    pub filtered_nouns: Vec<PhraseDerivation>,
+    /// When phrases with one filter predicate added (depth 2).
+    pub filtered_whens: Vec<PhraseDerivation>,
+    /// How far the filtered pools fell short of their target after retries
+    /// (0 when the target was met).
+    pub filter_shortfall: usize,
+}
+
+impl PhrasePools {
+    /// Instantiate the pools from the library's primitive templates.
+    ///
+    /// The filtered pools aim for `config.target_per_rule` entries each.
+    /// `add_filter` can reject a candidate (e.g. a function without output
+    /// parameters), so the loop retries with fresh base phrases — up to
+    /// [`FILTER_RETRY_FACTOR`]× the target — instead of silently dropping the
+    /// failed iterations; a remaining shortfall is recorded and logged.
+    pub fn build(
+        library: &Thingpedia,
+        datasets: &ParamDatasets,
+        config: &GeneratorConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut pools = PhrasePools::default();
+        for template in library.templates() {
+            for _ in 0..config.instantiations_per_template.max(1) {
+                let Some(derivation) = instantiate(library, datasets, template, rng) else {
+                    continue;
+                };
+                match derivation.kind {
+                    PhraseKind::QueryNoun => pools.nouns.push(derivation),
+                    PhraseKind::QueryVerb => pools.query_verbs.push(derivation),
+                    PhraseKind::ActionVerb => pools.action_verbs.push(derivation),
+                    PhraseKind::WhenPhrase => pools.whens.push(derivation),
+                }
+            }
+        }
+        if config.max_depth >= 2 {
+            let target = config.target_per_rule.max(10);
+            let shortfall_nouns = fill_filtered(
+                &pools.nouns,
+                &mut pools.filtered_nouns,
+                target,
+                library,
+                datasets,
+                rng,
+            );
+            let shortfall_whens = fill_filtered(
+                &pools.whens,
+                &mut pools.filtered_whens,
+                target,
+                library,
+                datasets,
+                rng,
+            );
+            pools.filter_shortfall = shortfall_nouns + shortfall_whens;
+            if pools.filter_shortfall > 0 {
+                eprintln!(
+                    "genie-templates: filtered phrase pools fell {} short of the target of {} after {}x retries",
+                    pools.filter_shortfall,
+                    target,
+                    FILTER_RETRY_FACTOR,
+                );
+            }
+        }
+        pools
+    }
+
+    /// A query noun phrase, preferring a filtered one 30% of the time.
+    pub fn choose_query_phrase<'p>(&'p self, rng: &mut StdRng) -> Option<&'p PhraseDerivation> {
+        if !self.filtered_nouns.is_empty() && rng.gen_bool(0.3) {
+            self.filtered_nouns.choose(rng)
+        } else {
+            self.nouns.choose(rng)
+        }
+    }
+
+    /// A when phrase, preferring a filtered one 30% of the time.
+    pub fn choose_when_phrase<'p>(&'p self, rng: &mut StdRng) -> Option<&'p PhraseDerivation> {
+        if !self.filtered_whens.is_empty() && rng.gen_bool(0.3) {
+            self.filtered_whens.choose(rng)
+        } else {
+            self.whens.choose(rng)
+        }
+    }
+}
+
+fn fill_filtered(
+    base: &[PhraseDerivation],
+    out: &mut Vec<PhraseDerivation>,
+    target: usize,
+    library: &Thingpedia,
+    datasets: &ParamDatasets,
+    rng: &mut StdRng,
+) -> usize {
+    if base.is_empty() {
+        return target;
+    }
+    let max_attempts = target * FILTER_RETRY_FACTOR;
+    let mut attempts = 0;
+    while out.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let Some(candidate) = base.choose(rng) else {
+            break;
+        };
+        if let Some(filtered) = add_filter(library, datasets, candidate, rng) {
+            out.push(filtered);
+        }
+    }
+    target.saturating_sub(out.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn filtered_pools_reach_their_target() {
+        let library = Thingpedia::builtin();
+        let datasets = ParamDatasets::builtin();
+        let config = GeneratorConfig {
+            target_per_rule: 50,
+            ..GeneratorConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let pools = PhrasePools::build(&library, &datasets, &config, &mut rng);
+        // add_filter only rejects functions without output parameters; with
+        // retries the pools must reach the sampling target.
+        assert_eq!(pools.filtered_nouns.len(), 50);
+        assert_eq!(pools.filtered_whens.len(), 50);
+        assert_eq!(pools.filter_shortfall, 0);
+    }
+
+    #[test]
+    fn shallow_synthesis_skips_filtered_pools() {
+        let library = Thingpedia::builtin();
+        let datasets = ParamDatasets::builtin();
+        let config = GeneratorConfig {
+            max_depth: 1,
+            ..GeneratorConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let pools = PhrasePools::build(&library, &datasets, &config, &mut rng);
+        assert!(pools.filtered_nouns.is_empty());
+        assert!(pools.filtered_whens.is_empty());
+        assert!(!pools.nouns.is_empty());
+    }
+}

@@ -1,0 +1,642 @@
+//! The builtin construct rules: one [`ConstructRule`] per construct
+//! template, ported from the old monolithic per-kind `match` in the
+//! generator.
+//!
+//! Every rule follows the same shape: pick a surface variant, draw phrase
+//! derivations from the pools, optionally rewrite parameters, and assemble
+//! the program by sharing the phrase fragments (`Arc` bumps, no deep
+//! clones). Rules reject combinations by returning `None` — the
+//! semantic-function rejection of §3.1.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use thingtalk::ast::{Action, CompareOp, Invocation, Predicate, Program, Query, Stream};
+use thingtalk::class::ParamDef;
+use thingtalk::typecheck::SchemaRegistry;
+use thingtalk::types::Type;
+use thingtalk::units::Unit;
+use thingtalk::value::Value;
+
+use crate::constructs::ConstructKind;
+use crate::example::SynthesizedExample;
+use crate::generator::GeneratorConfig;
+use crate::phrases::{render_value, sample_value, PhraseDerivation, PhraseKind};
+use crate::pools::PhrasePools;
+use crate::registry::{ConstructRule, RuleCtx};
+
+/// All builtin dataset rules, in canonical registry order.
+pub fn builtin_rules() -> Vec<Box<dyn ConstructRule>> {
+    vec![
+        Box::new(GetNotifyRule),
+        Box::new(DoCommandRule),
+        Box::new(WhenNotifyRule),
+        Box::new(WhenDoRule {
+            action_first: false,
+        }),
+        Box::new(WhenDoRule { action_first: true }),
+        Box::new(GetDoRule),
+        Box::new(WhenGetNotifyRule),
+        Box::new(AtTimerDoRule),
+        Box::new(TimerDoRule),
+        Box::new(EdgeCommandRule),
+        Box::new(AggregationRule),
+        Box::new(CountAggregationRule),
+    ]
+}
+
+/// Pick a surface variant of the rule's construct kind.
+fn pick_variant(kind: ConstructKind, rng: &mut StdRng) -> Option<&'static str> {
+    kind.variants().choose(rng).copied()
+}
+
+/// With some probability, rewrite constant parameters of the action as
+/// parameter passing from the preceding query clause, adjusting the
+/// utterance ("post funny cat on twitter" → "post the caption on twitter"),
+/// as in Fig. 1. Mutation is copy-on-write: the shared invocation is cloned
+/// only when a parameter is actually rewritten.
+fn pass_parameters(
+    ctx: &RuleCtx<'_>,
+    source: &PhraseDerivation,
+    action: &mut Arc<Invocation>,
+    vp_utterance: &mut String,
+    rng: &mut StdRng,
+) {
+    let Some(source_def) = ctx
+        .library
+        .function(&source.function.class, &source.function.function)
+    else {
+        return;
+    };
+    let Some(action_def) = ctx
+        .library
+        .function(&action.function.class, &action.function.function)
+    else {
+        return;
+    };
+    for index in 0..action.in_params.len() {
+        let param = &action.in_params[index];
+        if !param.value.is_constant() || !rng.gen_bool(0.35) {
+            continue;
+        }
+        let Some(decl) = action_def.param(&param.name) else {
+            continue;
+        };
+        let compatible: Vec<&ParamDef> = source_def
+            .output_params()
+            .filter(|out| decl.ty.assignable_from(&out.ty))
+            .collect();
+        let Some(chosen) = compatible.choose(rng) else {
+            continue;
+        };
+        let rendered = render_value(&param.value);
+        if !rendered.is_empty() && vp_utterance.contains(&rendered) {
+            *vp_utterance =
+                vp_utterance.replacen(&rendered, &format!("the {}", chosen.canonical), 1);
+            Arc::make_mut(action).in_params[index].value = Value::VarRef(chosen.name.clone());
+        }
+    }
+}
+
+/// `now => query => notify` from a noun phrase ("show me $np").
+struct GetNotifyRule;
+
+impl ConstructRule for GetNotifyRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::GetNotify
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::QueryNoun]
+    }
+
+    fn instantiate(
+        &self,
+        _ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let np = pools.choose_query_phrase(rng)?;
+        let utterance = variant.replace("$np", &np.utterance);
+        let program = Program::get_query(np.query.clone()?);
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            np.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `now => action` (or a query verb phrase turned into `now => query =>
+/// notify`) from a verb phrase ("please $vp").
+struct DoCommandRule;
+
+impl ConstructRule for DoCommandRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::DoCommand
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::ActionVerb, PhraseKind::QueryVerb]
+    }
+
+    fn instantiate(
+        &self,
+        _ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        // Some of the time, a query verb phrase ("translate hello to
+        // french") becomes a `now => query => notify` command.
+        if rng.gen_bool(0.4) && !pools.query_verbs.is_empty() {
+            let qvp = pools.query_verbs.choose(rng)?;
+            let utterance = variant.replace("$vp", &qvp.utterance);
+            let program = Program::get_query(qvp.query.clone()?);
+            return Some(SynthesizedExample::new(
+                utterance,
+                program,
+                qvp.depth + 1,
+                self.label(),
+            ));
+        }
+        let vp = pools.action_verbs.choose(rng)?;
+        let utterance = variant.replace("$vp", &vp.utterance);
+        let program = Program::do_action(vp.action.clone()?);
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            vp.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `monitor => notify` from a when phrase ("notify me $wp").
+struct WhenNotifyRule;
+
+impl ConstructRule for WhenNotifyRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::WhenNotify
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::WhenPhrase]
+    }
+
+    fn instantiate(
+        &self,
+        _ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let wp = pools.choose_when_phrase(rng)?;
+        let utterance = variant.replace("$wp", &wp.utterance);
+        let program = Program::when_notify(wp.query.clone()?);
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            wp.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `monitor => action`, in both surface orders (`"$wp , $vp"` and
+/// `"$vp $wp"`), with optional parameter passing.
+struct WhenDoRule {
+    action_first: bool,
+}
+
+impl ConstructRule for WhenDoRule {
+    fn kind(&self) -> ConstructKind {
+        if self.action_first {
+            ConstructKind::DoWhen
+        } else {
+            ConstructKind::WhenDo
+        }
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::WhenPhrase, PhraseKind::ActionVerb]
+    }
+
+    fn min_depth(&self) -> usize {
+        3
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let wp = pools.choose_when_phrase(rng)?;
+        let vp = pools.action_verbs.choose(rng)?;
+        let mut action = vp.action.clone()?;
+        let mut vp_utterance = vp.utterance.clone();
+        pass_parameters(ctx, wp, &mut action, &mut vp_utterance, rng);
+        let wp_bare = wp
+            .utterance
+            .strip_prefix("when ")
+            .unwrap_or(&wp.utterance)
+            .to_owned();
+        let utterance = variant
+            .replace("$wp_bare", &wp_bare)
+            .replace("$wp", &wp.utterance)
+            .replace("$vp", &vp_utterance);
+        let program = Program {
+            stream: Stream::Monitor {
+                query: wp.query.clone()?,
+                on: Vec::new(),
+            },
+            query: None,
+            action: Action::Invocation(action),
+        };
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            wp.depth + vp.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `now => query => action` ("get $np and then $vp"), with optional
+/// parameter passing.
+struct GetDoRule;
+
+impl ConstructRule for GetDoRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::GetDo
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::QueryNoun, PhraseKind::ActionVerb]
+    }
+
+    fn min_depth(&self) -> usize {
+        3
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let np = pools.choose_query_phrase(rng)?;
+        let vp = pools.action_verbs.choose(rng)?;
+        let mut action = vp.action.clone()?;
+        let mut vp_utterance = vp.utterance.clone();
+        pass_parameters(ctx, np, &mut action, &mut vp_utterance, rng);
+        let utterance = variant
+            .replace("$np", &np.utterance)
+            .replace("$vp", &vp_utterance);
+        let program = Program {
+            stream: Stream::Now,
+            query: Some(np.query.clone()?),
+            action: Action::Invocation(action),
+        };
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            np.depth + vp.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `monitor => query => notify` ("$wp , show me $np").
+struct WhenGetNotifyRule;
+
+impl ConstructRule for WhenGetNotifyRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::WhenGetNotify
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::WhenPhrase, PhraseKind::QueryNoun]
+    }
+
+    fn min_depth(&self) -> usize {
+        3
+    }
+
+    fn instantiate(
+        &self,
+        _ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let wp = pools.choose_when_phrase(rng)?;
+        let np = pools.choose_query_phrase(rng)?;
+        if wp.function == np.function {
+            return None;
+        }
+        let utterance = variant
+            .replace("$wp", &wp.utterance)
+            .replace("$np", &np.utterance);
+        let program = Program {
+            stream: Stream::Monitor {
+                query: wp.query.clone()?,
+                on: Vec::new(),
+            },
+            query: Some(np.query.clone()?),
+            action: Action::Notify,
+        };
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            wp.depth + np.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `attimer => action` ("every day at $time , $vp").
+struct AtTimerDoRule;
+
+impl ConstructRule for AtTimerDoRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::AtTimerDo
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::ActionVerb]
+    }
+
+    fn enabled(&self, config: &GeneratorConfig) -> bool {
+        config.include_timers && config.max_depth >= self.min_depth()
+    }
+
+    fn instantiate(
+        &self,
+        _ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let vp = pools.action_verbs.choose(rng)?;
+        let time = Value::Time(
+            rng.gen_range(6..23),
+            [0u8, 15, 30, 45][rng.gen_range(0..4usize)],
+        );
+        let utterance = variant
+            .replace("$time", &render_value(&time))
+            .replace("$vp", &vp.utterance);
+        let program = Program {
+            stream: Stream::AtTimer { time },
+            query: None,
+            action: Action::Invocation(vp.action.clone()?),
+        };
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            vp.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `timer => action` ("every $interval , $vp").
+struct TimerDoRule;
+
+impl ConstructRule for TimerDoRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::TimerDo
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::ActionVerb]
+    }
+
+    fn enabled(&self, config: &GeneratorConfig) -> bool {
+        config.include_timers && config.max_depth >= self.min_depth()
+    }
+
+    fn instantiate(
+        &self,
+        _ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let vp = pools.action_verbs.choose(rng)?;
+        let (amount, unit) = [
+            (5.0, Unit::Minute),
+            (30.0, Unit::Minute),
+            (1.0, Unit::Hour),
+            (2.0, Unit::Hour),
+            (1.0, Unit::Day),
+            (1.0, Unit::Week),
+        ][rng.gen_range(0..6usize)];
+        let interval = Value::Measure(amount, unit);
+        let utterance = variant
+            .replace("$interval", &render_value(&interval))
+            .replace("$vp", &vp.utterance);
+        let program = Program {
+            stream: Stream::Timer {
+                base: Value::Date(thingtalk::value::DateValue::Edge(
+                    thingtalk::value::DateEdge::Now,
+                )),
+                interval,
+            },
+            query: None,
+            action: Action::Invocation(vp.action.clone()?),
+        };
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            vp.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// `edge (monitor …) on pred => notify/action` ("when $pred , $vp").
+struct EdgeCommandRule;
+
+impl ConstructRule for EdgeCommandRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::EdgeCommand
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::WhenPhrase, PhraseKind::ActionVerb]
+    }
+
+    fn min_depth(&self) -> usize {
+        3
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let wp = pools.whens.choose(rng)?;
+        let function = ctx
+            .library
+            .function(&wp.function.class, &wp.function.function)?;
+        let numeric: Vec<&ParamDef> = function
+            .output_params()
+            .filter(|p| p.ty.is_numeric() && !matches!(p.ty, Type::Date | Type::Time))
+            .collect();
+        let param = numeric.choose(rng)?;
+        let value = sample_value(ctx.datasets, param, rng);
+        let above = rng.gen_bool(0.5);
+        let op = if above { CompareOp::Gt } else { CompareOp::Lt };
+        let direction = if above { "goes above" } else { "drops below" };
+        let pred_text = format!(
+            "the {} of {} {} {}",
+            param.canonical,
+            function.canonical,
+            direction,
+            render_value(&value)
+        );
+        let predicate = Predicate::atom(param.name.clone(), op, value);
+        let uses_action = variant.contains("$vp");
+        let (action, vp_utterance, extra_depth) = if uses_action {
+            let vp = pools.action_verbs.choose(rng)?;
+            (
+                Action::Invocation(vp.action.clone()?),
+                vp.utterance.clone(),
+                vp.depth,
+            )
+        } else {
+            (Action::Notify, String::new(), 0)
+        };
+        let utterance = variant
+            .replace("$pred", &pred_text)
+            .replace("$vp", &vp_utterance);
+        let program = Program {
+            stream: Stream::EdgeFilter {
+                stream: Arc::new(Stream::Monitor {
+                    query: wp.query.clone()?,
+                    on: Vec::new(),
+                }),
+                predicate,
+            },
+            query: None,
+            action,
+        };
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            wp.depth + extra_depth + 2,
+            self.label(),
+        ))
+    }
+}
+
+/// TT+A aggregation queries ("what is the total $field of $np", §6.3).
+struct AggregationRule;
+
+impl ConstructRule for AggregationRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::Aggregation
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::QueryNoun]
+    }
+
+    fn enabled(&self, config: &GeneratorConfig) -> bool {
+        config.include_aggregation && config.max_depth >= self.min_depth()
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let np = pools.nouns.choose(rng)?;
+        if !np.is_list(ctx.library) {
+            return None;
+        }
+        let function = ctx
+            .library
+            .function(&np.function.class, &np.function.function)?;
+        let numeric: Vec<&ParamDef> = function
+            .output_params()
+            .filter(|p| matches!(p.ty, Type::Number | Type::Measure(_) | Type::Currency))
+            .collect();
+        let param = numeric.choose(rng)?;
+        let op = match variant {
+            v if v.contains("average") => thingtalk::AggregationOp::Avg,
+            v if v.contains("maximum") => thingtalk::AggregationOp::Max,
+            v if v.contains("minimum") => thingtalk::AggregationOp::Min,
+            _ => thingtalk::AggregationOp::Sum,
+        };
+        let utterance = variant
+            .replace("$field", &param.canonical)
+            .replace("$np", &np.utterance);
+        let program = Program::get_query(Query::Aggregation {
+            op,
+            field: Some(param.name.clone()),
+            query: np.query.clone()?,
+        });
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            np.depth + 1,
+            self.label(),
+        ))
+    }
+}
+
+/// TT+A count queries ("how many $np are there").
+struct CountAggregationRule;
+
+impl ConstructRule for CountAggregationRule {
+    fn kind(&self) -> ConstructKind {
+        ConstructKind::CountAggregation
+    }
+
+    fn inputs(&self) -> &'static [PhraseKind] {
+        &[PhraseKind::QueryNoun]
+    }
+
+    fn enabled(&self, config: &GeneratorConfig) -> bool {
+        config.include_aggregation && config.max_depth >= self.min_depth()
+    }
+
+    fn instantiate(
+        &self,
+        ctx: &RuleCtx<'_>,
+        pools: &PhrasePools,
+        rng: &mut StdRng,
+    ) -> Option<SynthesizedExample> {
+        let variant = pick_variant(self.kind(), rng)?;
+        let np = pools.choose_query_phrase(rng)?;
+        if !np.is_list(ctx.library) {
+            return None;
+        }
+        let utterance = variant.replace("$np", &np.utterance);
+        let program = Program::get_query(Query::Aggregation {
+            op: thingtalk::AggregationOp::Count,
+            field: None,
+            query: np.query.clone()?,
+        });
+        Some(SynthesizedExample::new(
+            utterance,
+            program,
+            np.depth + 1,
+            self.label(),
+        ))
+    }
+}

@@ -95,7 +95,10 @@ impl Composition {
             ("primitive commands", self.primitive as f64 / total),
             ("+ filters", self.primitive_filters as f64 / total),
             ("compound commands", self.compound as f64 / total),
-            ("+ parameter passing", self.compound_param_passing as f64 / total),
+            (
+                "+ parameter passing",
+                self.compound_param_passing as f64 / total,
+            ),
             ("+ filters", self.compound_filters as f64 / total),
         ]
     }
@@ -136,7 +139,11 @@ impl Dataset {
 
     /// The number of distinct programs (by canonical surface form).
     pub fn distinct_programs(&self) -> usize {
-        let set: BTreeSet<String> = self.examples.iter().map(|e| e.program.to_string()).collect();
+        let set: BTreeSet<String> = self
+            .examples
+            .iter()
+            .map(|e| e.program.to_string())
+            .collect();
         set.len()
     }
 

@@ -172,12 +172,7 @@ mod tests {
         let library = Thingpedia::builtin();
         let (e1, g1) = example("now => @com.gmail.inbox() => notify");
         let (e2, g2) = example("monitor (@com.twitter.timeline()) => notify");
-        let result = evaluate(
-            &library,
-            &[e1, e2],
-            &[g1.clone(), g2.clone()],
-            &[g1, g2],
-        );
+        let result = evaluate(&library, &[e1, e2], &[g1.clone(), g2.clone()], &[g1, g2]);
         assert_eq!(result.count, 2);
         assert!((result.program_accuracy - 1.0).abs() < 1e-9);
         assert!((result.function_accuracy - 1.0).abs() < 1e-9);
@@ -223,7 +218,11 @@ mod tests {
         )
         .unwrap();
         let predicted_tokens = to_tokens(&predicted_program, NnSyntaxOptions::default());
-        let e = Example::new("post the funny cat picture", gold_program, ExampleSource::Evaluation);
+        let e = Example::new(
+            "post the funny cat picture",
+            gold_program,
+            ExampleSource::Evaluation,
+        );
         let result = evaluate(&library, &[e], &[gold_tokens], &[predicted_tokens]);
         assert!((result.program_accuracy - 1.0).abs() < 1e-9);
     }

@@ -32,7 +32,10 @@ pub struct EvalDataConfig {
 
 impl Default for EvalDataConfig {
     fn default() -> Self {
-        EvalDataConfig { size: 150, seed: 9000 }
+        EvalDataConfig {
+            size: 150,
+            seed: 9000,
+        }
     }
 }
 
@@ -46,6 +49,7 @@ fn base_examples(library: &Thingpedia, config: EvalDataConfig, aggregation: bool
             seed: config.seed,
             include_aggregation: aggregation,
             include_timers: true,
+            threads: 0,
         },
     );
     let mut out: Vec<Example> = generator
@@ -151,7 +155,11 @@ pub fn aggregation_cheatsheet_data(library: &Thingpedia, config: EvalDataConfig)
 pub fn cleanup_ifttt_description(description: &str, program: &Program) -> String {
     let mut sentence = description.to_lowercase();
     // Remove UI-related explanation ("with this button", "using this applet").
-    for ui in [" with this button", " using this applet", " with this widget"] {
+    for ui in [
+        " with this button",
+        " using this applet",
+        " with this widget",
+    ] {
         sentence = sentence.replace(ui, "");
     }
     // Replace second-person pronouns with first person.
@@ -237,7 +245,10 @@ mod tests {
     #[test]
     fn all_three_sets_are_generated() {
         let library = Thingpedia::builtin();
-        let config = EvalDataConfig { size: 40, seed: 1234 };
+        let config = EvalDataConfig {
+            size: 40,
+            seed: 1234,
+        };
         let developer = developer_data(&library, config);
         let cheatsheet = cheatsheet_data(&library, config);
         let ifttt = ifttt_data(&library, config);
@@ -269,10 +280,8 @@ mod tests {
         )
         .unwrap();
         // Second person → first person, UI explanation removed.
-        let cleaned = cleanup_ifttt_description(
-            "Make your Hue Lights color loop with this button",
-            &program,
-        );
+        let cleaned =
+            cleanup_ifttt_description("Make your Hue Lights color loop with this button", &program);
         assert_eq!(cleaned, "make my hue lights color loop");
         // Placeholders are filled.
         let thermostat = parse_program(
@@ -287,7 +296,10 @@ mod tests {
     #[test]
     fn cheatsheet_data_shifts_the_lexical_distribution() {
         let library = Thingpedia::builtin();
-        let config = EvalDataConfig { size: 50, seed: 321 };
+        let config = EvalDataConfig {
+            size: 50,
+            seed: 321,
+        };
         let developer = developer_data(&library, config);
         let cheatsheet = cheatsheet_data(&library, config);
         // The casual prefixes/suffixes should appear in cheatsheet data only.
@@ -305,7 +317,13 @@ mod tests {
     fn eval_sets_are_deterministic() {
         let library = Thingpedia::builtin();
         let config = EvalDataConfig { size: 25, seed: 5 };
-        assert_eq!(developer_data(&library, config), developer_data(&library, config));
-        assert_eq!(cheatsheet_data(&library, config), cheatsheet_data(&library, config));
+        assert_eq!(
+            developer_data(&library, config),
+            developer_data(&library, config)
+        );
+        assert_eq!(
+            cheatsheet_data(&library, config),
+            cheatsheet_data(&library, config)
+        );
     }
 }

@@ -65,11 +65,9 @@ fn replaceable_values(example: &Example) -> Vec<(String, String)> {
             Value::String(s) if example.utterance.contains(s.as_str()) && s.len() > 2 => {
                 Some((name, s.clone()))
             }
-            Value::Entity { display: Some(d), .. }
-                if example.utterance.contains(d.as_str()) && d.len() > 2 =>
-            {
-                Some((name, d.clone()))
-            }
+            Value::Entity {
+                display: Some(d), ..
+            } if example.utterance.contains(d.as_str()) && d.len() > 2 => Some((name, d.clone())),
             _ => None,
         })
         .collect()
@@ -83,10 +81,10 @@ fn replace_in_program(program: &mut thingtalk::Program, old_text: &str, new_text
         }
     }
     if let Some(query) = &mut program.query {
-        replace_in_query(query, old_text, new_text);
+        replace_in_query(std::sync::Arc::make_mut(query), old_text, new_text);
     }
     if let thingtalk::Stream::Monitor { query, .. } = &mut program.stream {
-        replace_in_query(query, old_text, new_text);
+        replace_in_query(std::sync::Arc::make_mut(query), old_text, new_text);
     }
     if let thingtalk::Stream::EdgeFilter { predicate, .. } = &mut program.stream {
         replace_in_predicate(predicate, old_text, new_text);
@@ -101,14 +99,16 @@ fn replace_in_query(query: &mut thingtalk::Query, old_text: &str, new_text: &str
             }
         }
         thingtalk::Query::Filter { query, predicate } => {
-            replace_in_query(query, old_text, new_text);
+            replace_in_query(std::sync::Arc::make_mut(query), old_text, new_text);
             replace_in_predicate(predicate, old_text, new_text);
         }
         thingtalk::Query::Join { lhs, rhs, .. } => {
-            replace_in_query(lhs, old_text, new_text);
-            replace_in_query(rhs, old_text, new_text);
+            replace_in_query(std::sync::Arc::make_mut(lhs), old_text, new_text);
+            replace_in_query(std::sync::Arc::make_mut(rhs), old_text, new_text);
         }
-        thingtalk::Query::Aggregation { query, .. } => replace_in_query(query, old_text, new_text),
+        thingtalk::Query::Aggregation { query, .. } => {
+            replace_in_query(std::sync::Arc::make_mut(query), old_text, new_text)
+        }
     }
 }
 
@@ -151,36 +151,52 @@ fn replace_in_value(value: &mut Value, old_text: &str, new_text: &str) {
 
 /// PPDB augmentation: rewrite the utterance with meaning-preserving lexical
 /// substitutions, keeping the program unchanged.
-pub fn augment_ppdb(example: &Example, ppdb: &Ppdb, copies: usize, rng: &mut StdRng) -> Vec<Example> {
+pub fn augment_ppdb(
+    example: &Example,
+    ppdb: &Ppdb,
+    copies: usize,
+    rng: &mut StdRng,
+) -> Vec<Example> {
     ppdb.augment(&example.utterance, copies, rng)
         .into_iter()
         .map(|utterance| Example::new(utterance, example.program.clone(), ExampleSource::Augmented))
         .collect()
 }
 
+/// Mix an example index into a seed so each example gets an independent
+/// deterministic RNG stream (order- and thread-count-insensitive).
+pub(crate) fn per_item_seed(seed: u64, index: usize) -> u64 {
+    seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Convenience: expand a whole dataset, with a per-example expansion factor
 /// chosen by the caller (the paper uses 30× for paraphrases with string
 /// parameters, 10× for other paraphrases, 4× for synthesized primitives and
 /// 1× otherwise).
+///
+/// Examples are expanded in parallel over `threads` workers (`0` = all
+/// cores, `1` = inline); each draws from its own RNG stream (`seed ⊕
+/// index`), so the output is deterministic and independent of the worker
+/// count.
 pub fn expand_dataset(
     examples: &[Example],
     datasets: &ParamDatasets,
-    factor: impl Fn(&Example) -> usize,
+    factor: impl Fn(&Example) -> usize + Sync,
     seed: u64,
+    threads: usize,
 ) -> Vec<Example> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
-    for example in examples {
+    let ppdb = Ppdb::builtin();
+    genie_parallel::par_flat_map(threads, examples, |index, example| {
+        let mut rng = StdRng::seed_from_u64(per_item_seed(seed, index));
         let copies = factor(example);
-        out.extend(expand_parameters(example, datasets, copies, &mut rng));
+        let mut out = expand_parameters(example, datasets, copies, &mut rng);
         // A small probability of additionally applying a PPDB rewrite keeps
         // the augmented set lexically varied without exploding its size.
         if rng.gen_bool(0.3) {
-            let ppdb = Ppdb::builtin();
             out.extend(augment_ppdb(example, &ppdb, 1, &mut rng));
         }
-    }
-    out
+        out
+    })
 }
 
 #[cfg(test)]
@@ -244,10 +260,10 @@ mod tests {
     fn expand_dataset_respects_the_factor() {
         let datasets = ParamDatasets::builtin();
         let examples = vec![example()];
-        let large = expand_dataset(&examples, &datasets, |_| 10, 5);
-        let small = expand_dataset(&examples, &datasets, |_| 1, 5);
+        let large = expand_dataset(&examples, &datasets, |_| 10, 5, 0);
+        let small = expand_dataset(&examples, &datasets, |_| 1, 5, 0);
         assert!(large.len() > small.len());
-        let none = expand_dataset(&examples, &datasets, |_| 0, 5);
+        let none = expand_dataset(&examples, &datasets, |_| 0, 5, 0);
         assert!(none.len() <= 1);
     }
 }

@@ -75,6 +75,7 @@ impl ExperimentScale {
                 seed,
                 include_aggregation: aggregation,
                 include_timers: true,
+                threads: 0,
             },
             paraphrase: ParaphraseConfig {
                 per_sentence: 2,
@@ -531,6 +532,7 @@ fn tacl_case_study(scale: ExperimentScale) -> Fig9Row {
                 seed: seed as u64,
                 include_aggregation: false,
                 include_timers: false,
+                threads: 0,
             },
         );
         let policies = generator.synthesize_policies();
@@ -552,7 +554,9 @@ fn tacl_case_study(scale: ExperimentScale) -> Fig9Row {
                 let mut rng = rand::SeedableRng::seed_from_u64(seed as u64);
                 let example = crate::dataset::Example::new(
                     utterance.clone(),
-                    thingtalk::Program::do_action(thingtalk::ast::Invocation::new("builtin", "noop")),
+                    thingtalk::Program::do_action(thingtalk::ast::Invocation::new(
+                        "builtin", "noop",
+                    )),
                     crate::dataset::ExampleSource::Synthesized,
                 );
                 let rewrites = simulator.paraphrase(&example, &mut rng);

@@ -47,7 +47,15 @@ pub struct ParaphraseSimulator {
     config: ParaphraseConfig,
 }
 
-const FILLERS: &[&str] = &["please", "hey", "ok", "now", "for me", "if you can", "when you get a chance"];
+const FILLERS: &[&str] = &[
+    "please",
+    "hey",
+    "ok",
+    "now",
+    "for me",
+    "if you can",
+    "when you get a chance",
+];
 const PREFIXES: &[&str] = &[
     "i want you to",
     "i would like you to",
@@ -66,17 +74,26 @@ impl ParaphraseSimulator {
         }
     }
 
-    /// Paraphrase a batch of synthesized examples, keeping only the
-    /// paraphrases that pass the validation heuristics.
+    /// Paraphrase a batch of synthesized examples on all available cores,
+    /// keeping only the paraphrases that pass the validation heuristics.
     pub fn paraphrase_all(&self, examples: &[Example]) -> Vec<Example> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut out = Vec::new();
-        for example in examples {
-            for paraphrase in self.paraphrase(example, &mut rng) {
-                out.push(paraphrase);
-            }
-        }
-        out
+        self.paraphrase_all_with_threads(examples, 0)
+    }
+
+    /// Like [`ParaphraseSimulator::paraphrase_all`], with an explicit worker
+    /// count (`0` = all cores, `1` = inline). Each example draws from a
+    /// per-example RNG stream (`seed ⊕ index`), so the output is
+    /// deterministic and independent of the thread count.
+    pub fn paraphrase_all_with_threads(
+        &self,
+        examples: &[Example],
+        threads: usize,
+    ) -> Vec<Example> {
+        genie_parallel::par_flat_map(threads, examples, |index, example| {
+            let mut rng =
+                StdRng::seed_from_u64(crate::expansion::per_item_seed(self.config.seed, index));
+            self.paraphrase(example, &mut rng)
+        })
     }
 
     /// Paraphrase one example.
@@ -239,7 +256,10 @@ mod tests {
         assert!(!simulator.validate(original, "when i receive an email , send a slack message ."));
         assert!(!simulator.validate(original, "when i"));
         assert!(!simulator.validate(original, "play some jazz music loudly tonight"));
-        assert!(simulator.validate(original, "send a slack message whenever an email arrives for me"));
+        assert!(simulator.validate(
+            original,
+            "send a slack message whenever an email arrives for me"
+        ));
     }
 
     #[test]
@@ -257,7 +277,10 @@ mod tests {
         let examples = vec![example(); 20];
         let clean_count = clean.paraphrase_all(&examples).len();
         let noisy_count = noisy.paraphrase_all(&examples).len();
-        assert!(clean_count > noisy_count, "clean {clean_count} vs noisy {noisy_count}");
+        assert!(
+            clean_count > noisy_count,
+            "clean {clean_count} vs noisy {noisy_count}"
+        );
     }
 
     #[test]

@@ -163,7 +163,13 @@ impl<'a> DataPipeline<'a> {
         let synthesized = Dataset::from_examples(
             synthesized_raw
                 .iter()
-                .map(|e| Example::new(e.utterance.clone(), e.program.clone(), ExampleSource::Synthesized))
+                .map(|e| {
+                    Example::new(
+                        e.utterance.clone(),
+                        e.program.clone(),
+                        ExampleSource::Synthesized,
+                    )
+                })
                 .collect(),
         );
 
@@ -173,9 +179,10 @@ impl<'a> DataPipeline<'a> {
         to_paraphrase.shuffle(&mut rng);
         to_paraphrase.truncate(self.config.paraphrase_sample);
         let simulator = ParaphraseSimulator::new(self.config.paraphrase);
-        let paraphrases = Dataset::from_examples(
-            simulator.paraphrase_all(&to_paraphrase.into_iter().cloned().collect::<Vec<_>>()),
-        );
+        let paraphrases = Dataset::from_examples(simulator.paraphrase_all_with_threads(
+            &to_paraphrase.into_iter().cloned().collect::<Vec<_>>(),
+            self.config.synthesis.threads,
+        ));
 
         // Parameter expansion / augmentation.
         let augmented = if self.config.parameter_expansion {
@@ -184,6 +191,7 @@ impl<'a> DataPipeline<'a> {
                 &self.datasets,
                 |_| self.config.expansion_paraphrase,
                 self.config.seed.wrapping_add(1),
+                self.config.synthesis.threads,
             );
             expanded.extend(expand_dataset(
                 &synthesized.examples,
@@ -192,10 +200,11 @@ impl<'a> DataPipeline<'a> {
                     if e.flags.primitive {
                         self.config.expansion_synthesized
                     } else {
-                        self.config.expansion_synthesized.saturating_sub(1).max(0)
+                        self.config.expansion_synthesized.saturating_sub(1)
                     }
                 },
                 self.config.seed.wrapping_add(2),
+                self.config.synthesis.threads,
             ));
             Dataset::from_examples(expanded)
         } else {
@@ -210,13 +219,20 @@ impl<'a> DataPipeline<'a> {
     }
 
     /// Convert a dataset into parser examples under the given NN options.
+    ///
+    /// Examples are converted in parallel, each with a per-example RNG
+    /// stream, so the (shuffling) "− canonicalization" ablation stays
+    /// deterministic regardless of the worker count.
     pub fn to_parser_examples(&self, dataset: &Dataset, options: NnOptions) -> Vec<ParserExample> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(99));
-        dataset
-            .examples
-            .iter()
-            .map(|example| self.to_parser_example(example, options, &mut rng))
-            .collect()
+        let base = self.config.seed.wrapping_add(99);
+        genie_parallel::par_map(
+            self.config.synthesis.threads,
+            &dataset.examples,
+            |index, example| {
+                let mut rng = StdRng::seed_from_u64(crate::expansion::per_item_seed(base, index));
+                self.to_parser_example(example, options, &mut rng)
+            },
+        )
     }
 
     /// Convert a single example.
@@ -262,7 +278,12 @@ impl<'a> DataPipeline<'a> {
         let programs: Vec<Vec<String>> = generator
             .synthesize()
             .iter()
-            .map(|e| to_tokens(&canonicalized(self.library, &e.program), NnSyntaxOptions::default()))
+            .map(|e| {
+                to_tokens(
+                    &canonicalized(self.library, &e.program),
+                    NnSyntaxOptions::default(),
+                )
+            })
             .collect();
         lm.train(&programs);
         lm
@@ -282,6 +303,7 @@ mod tests {
                 seed: 1,
                 include_aggregation: false,
                 include_timers: true,
+                threads: 0,
             },
             paraphrase: ParaphraseConfig {
                 per_sentence: 2,
@@ -360,7 +382,10 @@ mod tests {
         let canonical = pipeline.gold_tokens(&example, NnOptions::default());
         // Canonical order is alphabetical: caption before picture_url.
         let caption_pos = canonical.iter().position(|t| t == "param:caption").unwrap();
-        let picture_pos = canonical.iter().position(|t| t == "param:picture_url").unwrap();
+        let picture_pos = canonical
+            .iter()
+            .position(|t| t == "param:picture_url")
+            .unwrap();
         assert!(caption_pos < picture_pos);
     }
 

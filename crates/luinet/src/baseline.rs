@@ -109,18 +109,12 @@ mod tests {
     fn index() -> BaselineParser {
         let mut baseline = BaselineParser::new();
         baseline.train(&[
-            ParserExample::from_strs(
-                "show me my emails",
-                "now => @com.gmail.inbox ( ) => notify",
-            ),
+            ParserExample::from_strs("show me my emails", "now => @com.gmail.inbox ( ) => notify"),
             ParserExample::from_strs(
                 "show me my tweets",
                 "now => @com.twitter.timeline ( ) => notify",
             ),
-            ParserExample::from_strs(
-                "lock the front door",
-                "now => @com.august.lock.lock ( )",
-            ),
+            ParserExample::from_strs("lock the front door", "now => @com.august.lock.lock ( )"),
         ]);
         baseline
     }
@@ -167,9 +161,7 @@ mod tests {
     #[test]
     fn empty_baseline_returns_empty_program() {
         let baseline = BaselineParser::new();
-        assert!(baseline
-            .predict(&["anything".to_owned()])
-            .is_empty());
+        assert!(baseline.predict(&["anything".to_owned()]).is_empty());
         assert_eq!(baseline.exact_match_accuracy(&[]), 0.0);
     }
 }

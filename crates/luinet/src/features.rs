@@ -126,7 +126,14 @@ mod tests {
     fn candidate_buckets_include_lexical_features() {
         let sentence = words("post funny cat on facebook");
         let mut buckets = Vec::new();
-        candidate_buckets(&sentence, "now", "<s>", 1, "@com.facebook.post", &mut buckets);
+        candidate_buckets(
+            &sentence,
+            "now",
+            "<s>",
+            1,
+            "@com.facebook.post",
+            &mut buckets,
+        );
         assert!(buckets.len() >= 6);
         let mut with_other_word = Vec::new();
         candidate_buckets(

@@ -92,8 +92,7 @@ impl LuinetParser {
     pub fn train(&mut self, examples: &[ParserExample]) {
         // The transition model proposes candidate next-tokens at decode time
         // and is always (re)built from the training programs.
-        self.transitions
-            .train(examples.iter().map(|e| &e.program));
+        self.transitions.train(examples.iter().map(|e| &e.program));
         for example in examples {
             self.vocab.add_all(&example.program);
         }
@@ -178,6 +177,7 @@ impl LuinetParser {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn score(
         &self,
         sentence: &[String],
@@ -192,8 +192,7 @@ impl LuinetParser {
         let mut score: f64 = 0.0;
         for &bucket in buckets.iter() {
             if averaged && self.updates > 0 {
-                score += self.weights[bucket] as f64
-                    - self.totals[bucket] / self.updates as f64;
+                score += self.weights[bucket] as f64 - self.totals[bucket] / self.updates as f64;
             } else {
                 score += self.weights[bucket] as f64;
             }
@@ -239,8 +238,15 @@ impl LuinetParser {
             let mut best = EOS.to_owned();
             let mut best_score = f64::NEG_INFINITY;
             for candidate in &candidates {
-                let score =
-                    self.score(sentence, &prev1, &prev2, position, candidate, &mut buckets, true);
+                let score = self.score(
+                    sentence,
+                    &prev1,
+                    &prev2,
+                    position,
+                    candidate,
+                    &mut buckets,
+                    true,
+                );
                 if score > best_score {
                     best_score = score;
                     best = candidate.clone();
@@ -258,26 +264,10 @@ impl LuinetParser {
     /// Predict programs for many sentences in parallel (used by the
     /// evaluation harness).
     pub fn predict_batch(&self, sentences: &[Vec<String>]) -> Vec<Vec<String>> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(sentences.len().max(1));
-        if threads <= 1 || sentences.len() < 32 {
+        if sentences.len() < 32 {
             return sentences.iter().map(|s| self.predict(s)).collect();
         }
-        let chunk_size = sentences.len().div_ceil(threads);
-        let mut results: Vec<Vec<Vec<String>>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = sentences
-                .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move |_| chunk.iter().map(|s| self.predict(s)).collect::<Vec<_>>()))
-                .collect();
-            for handle in handles {
-                results.push(handle.join().expect("prediction thread panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        results.into_iter().flatten().collect()
+        genie_parallel::par_map(0, sentences, |_, sentence| self.predict(sentence))
     }
 
     /// Exact-match accuracy of the parser on a set of examples (token-level
@@ -325,7 +315,12 @@ mod tests {
             ));
         }
         // Copy examples: tweet <free form text>.
-        for text in ["hello world", "good morning", "rust is great", "paper accepted"] {
+        for text in [
+            "hello world",
+            "good morning",
+            "rust is great",
+            "paper accepted",
+        ] {
             out.push(ParserExample::from_strs(
                 &format!("tweet {text}"),
                 &format!("now => @com.twitter.post ( param:status = \" {text} \" )"),
@@ -337,7 +332,8 @@ mod tests {
     #[test]
     fn learns_the_training_set() {
         let mut parser = LuinetParser::new(ModelConfig {
-            epochs: 8,
+            epochs: 20,
+            seed: 3,
             ..ModelConfig::default()
         });
         let examples = training_set();
@@ -362,16 +358,14 @@ mod tests {
                 .map(str::to_owned)
                 .collect::<Vec<_>>(),
         );
-        assert_eq!(
-            predicted.join(" "),
-            "now => @com.gmail.inbox ( ) => notify"
-        );
+        assert_eq!(predicted.join(" "), "now => @com.gmail.inbox ( ) => notify");
     }
 
     #[test]
     fn copies_unseen_free_form_text() {
         let mut parser = LuinetParser::new(ModelConfig {
-            epochs: 10,
+            epochs: 20,
+            seed: 1,
             ..ModelConfig::default()
         });
         let examples = training_set();
@@ -433,7 +427,8 @@ mod tests {
             ..ModelConfig::default()
         });
         parser.train(&training_set());
-        let sentences: Vec<Vec<String>> = training_set().iter().map(|e| e.sentence.clone()).collect();
+        let sentences: Vec<Vec<String>> =
+            training_set().iter().map(|e| e.sentence.clone()).collect();
         let sequential: Vec<Vec<String>> = sentences.iter().map(|s| parser.predict(s)).collect();
         let batched = parser.predict_batch(&sentences);
         assert_eq!(sequential, batched);

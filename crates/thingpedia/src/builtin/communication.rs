@@ -49,26 +49,34 @@ fn gmail() -> SkillEntry {
                 req("body", s()),
             ],
         ))
-        .with_function(act(
-            "reply",
-            "reply to an email",
-            vec![req("body", s())],
-        ))
-        .with_function(act(
-            "add_label",
-            "label an email",
-            vec![req("label", s())],
-        ));
+        .with_function(act("reply", "reply to an email", vec![req("body", s())]))
+        .with_function(act("add_label", "label an email", vec![req("label", s())]));
     let templates = vec![
         np("com.gmail", "inbox", "emails in my inbox"),
         np("com.gmail", "inbox", "my gmail messages"),
         np("com.gmail", "inbox", "the mail i received"),
         wp("com.gmail", "inbox", "when i receive an email"),
         wp("com.gmail", "inbox", "when a new email arrives in my inbox"),
-        np("com.gmail", "emails_with_attachment", "emails with attachments"),
-        wp("com.gmail", "emails_with_attachment", "when i receive an email with an attachment"),
-        vp("com.gmail", "send_email", "send an email to $to with subject $subject saying $body"),
-        vp("com.gmail", "send_email", "email $to about $subject with body $body"),
+        np(
+            "com.gmail",
+            "emails_with_attachment",
+            "emails with attachments",
+        ),
+        wp(
+            "com.gmail",
+            "emails_with_attachment",
+            "when i receive an email with an attachment",
+        ),
+        vp(
+            "com.gmail",
+            "send_email",
+            "send an email to $to with subject $subject saying $body",
+        ),
+        vp(
+            "com.gmail",
+            "send_email",
+            "email $to about $subject with body $body",
+        ),
         vp("com.gmail", "reply", "reply $body"),
         vp("com.gmail", "add_label", "label it $label"),
     ];
@@ -105,12 +113,36 @@ fn slack() -> SkillEntry {
             vec![req("emoji", ent("tt:emoji_reaction"))],
         ));
     let templates = vec![
-        np("com.slack", "channel_history", "messages in the slack channel $channel"),
-        np("com.slack", "channel_history", "the conversation in $channel on slack"),
-        wp("com.slack", "channel_history", "when someone posts in $channel on slack"),
-        vp("com.slack", "send", "send a slack message to $channel saying $message"),
-        vp("com.slack", "send", "post $message in the $channel slack channel"),
-        vp("com.slack", "send", "let the team know $message on slack in $channel"),
+        np(
+            "com.slack",
+            "channel_history",
+            "messages in the slack channel $channel",
+        ),
+        np(
+            "com.slack",
+            "channel_history",
+            "the conversation in $channel on slack",
+        ),
+        wp(
+            "com.slack",
+            "channel_history",
+            "when someone posts in $channel on slack",
+        ),
+        vp(
+            "com.slack",
+            "send",
+            "send a slack message to $channel saying $message",
+        ),
+        vp(
+            "com.slack",
+            "send",
+            "post $message in the $channel slack channel",
+        ),
+        vp(
+            "com.slack",
+            "send",
+            "let the team know $message on slack in $channel",
+        ),
         vp("com.slack", "set_status", "set my slack status to $status"),
         vp("com.slack", "add_reaction", "react with $emoji on slack"),
     ];
@@ -155,15 +187,51 @@ fn phone() -> SkillEntry {
             vec![req("mode", en(&["normal", "vibrate", "silent"]))],
         ));
     let templates = vec![
-        np("org.thingpedia.builtin.thingengine.phone", "sms", "my text messages"),
-        np("org.thingpedia.builtin.thingengine.phone", "sms", "sms messages i received"),
-        wp("org.thingpedia.builtin.thingengine.phone", "sms", "when i receive a text message"),
-        np("org.thingpedia.builtin.thingengine.phone", "get_gps", "my current location"),
-        wp("org.thingpedia.builtin.thingengine.phone", "get_gps", "when my location changes"),
-        vp("org.thingpedia.builtin.thingengine.phone", "send_sms", "text $to saying $message"),
-        vp("org.thingpedia.builtin.thingengine.phone", "send_sms", "send an sms to $to with $message"),
-        vp("org.thingpedia.builtin.thingengine.phone", "call", "call $number"),
-        vp("org.thingpedia.builtin.thingengine.phone", "set_ringer", "set my ringer to $mode"),
+        np(
+            "org.thingpedia.builtin.thingengine.phone",
+            "sms",
+            "my text messages",
+        ),
+        np(
+            "org.thingpedia.builtin.thingengine.phone",
+            "sms",
+            "sms messages i received",
+        ),
+        wp(
+            "org.thingpedia.builtin.thingengine.phone",
+            "sms",
+            "when i receive a text message",
+        ),
+        np(
+            "org.thingpedia.builtin.thingengine.phone",
+            "get_gps",
+            "my current location",
+        ),
+        wp(
+            "org.thingpedia.builtin.thingengine.phone",
+            "get_gps",
+            "when my location changes",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.phone",
+            "send_sms",
+            "text $to saying $message",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.phone",
+            "send_sms",
+            "send an sms to $to with $message",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.phone",
+            "call",
+            "call $number",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.phone",
+            "set_ringer",
+            "set my ringer to $mode",
+        ),
     ];
     (class, templates)
 }
@@ -187,9 +255,21 @@ fn messaging() -> SkillEntry {
             vec![req("room", s()), req("message", s())],
         ));
     let templates = vec![
-        np("org.thingpedia.builtin.matrix", "incoming_messages", "my matrix messages"),
-        wp("org.thingpedia.builtin.matrix", "incoming_messages", "when i get a message on matrix"),
-        vp("org.thingpedia.builtin.matrix", "send_message", "send $message to the matrix room $room"),
+        np(
+            "org.thingpedia.builtin.matrix",
+            "incoming_messages",
+            "my matrix messages",
+        ),
+        wp(
+            "org.thingpedia.builtin.matrix",
+            "incoming_messages",
+            "when i get a message on matrix",
+        ),
+        vp(
+            "org.thingpedia.builtin.matrix",
+            "send_message",
+            "send $message to the matrix room $room",
+        ),
     ];
     (class, templates)
 }
@@ -208,8 +288,16 @@ fn sendmail() -> SkillEntry {
             ],
         ));
     let templates = vec![
-        vp("com.sendgrid", "send", "send an automated email to $to with subject $subject and body $body"),
-        vp("com.sendgrid", "send", "email me at $to saying $body with subject $subject"),
+        vp(
+            "com.sendgrid",
+            "send",
+            "send an automated email to $to with subject $subject and body $body",
+        ),
+        vp(
+            "com.sendgrid",
+            "send",
+            "email me at $to saying $body with subject $subject",
+        ),
     ];
     (class, templates)
 }

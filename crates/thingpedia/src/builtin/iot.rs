@@ -40,7 +40,10 @@ fn hue() -> SkillEntry {
         .with_function(act(
             "set_power",
             "turn a hue light on or off",
-            vec![req("name", ent("tt:device_name")), req("power", en(&["on", "off"]))],
+            vec![
+                req("name", ent("tt:device_name")),
+                req("power", en(&["on", "off"])),
+            ],
         ))
         .with_function(act(
             "set_color",
@@ -55,12 +58,24 @@ fn hue() -> SkillEntry {
     let templates = vec![
         np("com.hue", "list_lights", "my hue light bulbs"),
         np("com.hue", "list_lights", "the state of my hue lights"),
-        wp("com.hue", "list_lights", "when one of my hue lights changes"),
+        wp(
+            "com.hue",
+            "list_lights",
+            "when one of my hue lights changes",
+        ),
         vp("com.hue", "set_power", "turn $power my $name hue light"),
         vp("com.hue", "set_power", "switch the $name light $power"),
         vp("com.hue", "set_color", "set my $name light to $color"),
-        vp("com.hue", "set_color", "change the color of the $name light to $color"),
-        vp("com.hue", "color_loop", "make my $name hue light color loop"),
+        vp(
+            "com.hue",
+            "set_color",
+            "change the color of the $name light to $color",
+        ),
+        vp(
+            "com.hue",
+            "color_loop",
+            "make my $name hue light color loop",
+        ),
         vp("com.hue", "color_loop", "blink my $name light"),
     ];
     (class, templates)
@@ -94,14 +109,46 @@ fn thermostat() -> SkillEntry {
             vec![req("mode", en(&["heat", "cool", "off", "auto"]))],
         ));
     let templates = vec![
-        np("org.thingpedia.builtin.thermostat", "get_temperature", "the temperature at home"),
-        np("org.thingpedia.builtin.thermostat", "get_temperature", "the indoor temperature"),
-        wp("org.thingpedia.builtin.thermostat", "get_temperature", "when the temperature at home changes"),
-        np("org.thingpedia.builtin.thermostat", "get_target_temperature", "the thermostat set point"),
-        wp("org.thingpedia.builtin.thermostat", "get_target_temperature", "when someone changes the thermostat"),
-        vp("org.thingpedia.builtin.thermostat", "set_target_temperature", "set the temperature to $value"),
-        vp("org.thingpedia.builtin.thermostat", "set_target_temperature", "set the thermostat to $value"),
-        vp("org.thingpedia.builtin.thermostat", "set_mode", "set the thermostat to $mode mode"),
+        np(
+            "org.thingpedia.builtin.thermostat",
+            "get_temperature",
+            "the temperature at home",
+        ),
+        np(
+            "org.thingpedia.builtin.thermostat",
+            "get_temperature",
+            "the indoor temperature",
+        ),
+        wp(
+            "org.thingpedia.builtin.thermostat",
+            "get_temperature",
+            "when the temperature at home changes",
+        ),
+        np(
+            "org.thingpedia.builtin.thermostat",
+            "get_target_temperature",
+            "the thermostat set point",
+        ),
+        wp(
+            "org.thingpedia.builtin.thermostat",
+            "get_target_temperature",
+            "when someone changes the thermostat",
+        ),
+        vp(
+            "org.thingpedia.builtin.thermostat",
+            "set_target_temperature",
+            "set the temperature to $value",
+        ),
+        vp(
+            "org.thingpedia.builtin.thermostat",
+            "set_target_temperature",
+            "set the thermostat to $value",
+        ),
+        vp(
+            "org.thingpedia.builtin.thermostat",
+            "set_mode",
+            "set the thermostat to $mode mode",
+        ),
     ];
     (class, templates)
 }
@@ -132,12 +179,36 @@ fn security_camera() -> SkillEntry {
             vec![req("is_streaming", boolean())],
         ));
     let templates = vec![
-        np("com.nest.security_camera", "current_event", "events from my security camera"),
-        wp("com.nest.security_camera", "current_event", "when my security camera detects motion"),
-        wp("com.nest.security_camera", "current_event", "when someone is at the door"),
-        np("com.nest.security_camera", "get_snapshot", "a snapshot from my security camera"),
-        vp("com.nest.security_camera", "get_snapshot", "show me the security camera"),
-        vp("com.nest.security_camera", "set_is_streaming", "turn the security camera streaming $is_streaming"),
+        np(
+            "com.nest.security_camera",
+            "current_event",
+            "events from my security camera",
+        ),
+        wp(
+            "com.nest.security_camera",
+            "current_event",
+            "when my security camera detects motion",
+        ),
+        wp(
+            "com.nest.security_camera",
+            "current_event",
+            "when someone is at the door",
+        ),
+        np(
+            "com.nest.security_camera",
+            "get_snapshot",
+            "a snapshot from my security camera",
+        ),
+        vp(
+            "com.nest.security_camera",
+            "get_snapshot",
+            "show me the security camera",
+        ),
+        vp(
+            "com.nest.security_camera",
+            "set_is_streaming",
+            "turn the security camera streaming $is_streaming",
+        ),
     ];
     (class, templates)
 }
@@ -153,9 +224,21 @@ fn scale() -> SkillEntry {
         ));
     let templates = vec![
         np("com.bodytrace.scale", "get_weight", "my weight"),
-        np("com.bodytrace.scale", "get_weight", "the reading from my smart scale"),
-        wp("com.bodytrace.scale", "get_weight", "when i step on the scale"),
-        wp("com.bodytrace.scale", "get_weight", "when my weight changes"),
+        np(
+            "com.bodytrace.scale",
+            "get_weight",
+            "the reading from my smart scale",
+        ),
+        wp(
+            "com.bodytrace.scale",
+            "get_weight",
+            "when i step on the scale",
+        ),
+        wp(
+            "com.bodytrace.scale",
+            "get_weight",
+            "when my weight changes",
+        ),
     ];
     (class, templates)
 }
@@ -201,10 +284,7 @@ fn smart_plug() -> SkillEntry {
         .with_function(mq(
             "get_state",
             "whether the smart plug is on",
-            vec![
-                out("power", en(&["on", "off"])),
-                out("energy_usage", num()),
-            ],
+            vec![out("power", en(&["on", "off"])), out("energy_usage", num())],
         ))
         .with_function(act(
             "set_power",
@@ -212,10 +292,22 @@ fn smart_plug() -> SkillEntry {
             vec![req("power", en(&["on", "off"]))],
         ));
     let templates = vec![
-        np("com.tplink.plug", "get_state", "whether my smart plug is on"),
-        wp("com.tplink.plug", "get_state", "when my smart plug switches"),
+        np(
+            "com.tplink.plug",
+            "get_state",
+            "whether my smart plug is on",
+        ),
+        wp(
+            "com.tplink.plug",
+            "get_state",
+            "when my smart plug switches",
+        ),
         vp("com.tplink.plug", "set_power", "turn the plug $power"),
-        vp("com.tplink.plug", "set_power", "switch $power the smart plug"),
+        vp(
+            "com.tplink.plug",
+            "set_power",
+            "switch $power the smart plug",
+        ),
     ];
     (class, templates)
 }
@@ -236,11 +328,23 @@ fn roomba() -> SkillEntry {
         .with_function(act("dock", "send the roomba home", vec![]));
     let templates = vec![
         np("com.irobot.roomba", "get_status", "what my roomba is doing"),
-        wp("com.irobot.roomba", "get_status", "when my roomba gets stuck"),
-        wp("com.irobot.roomba", "get_status", "when the roomba finishes cleaning"),
+        wp(
+            "com.irobot.roomba",
+            "get_status",
+            "when my roomba gets stuck",
+        ),
+        wp(
+            "com.irobot.roomba",
+            "get_status",
+            "when the roomba finishes cleaning",
+        ),
         vp("com.irobot.roomba", "start_cleaning", "start the roomba"),
         vp("com.irobot.roomba", "start_cleaning", "vacuum the house"),
-        vp("com.irobot.roomba", "dock", "send the roomba back to its dock"),
+        vp(
+            "com.irobot.roomba",
+            "dock",
+            "send the roomba back to its dock",
+        ),
     ];
     (class, templates)
 }
@@ -252,14 +356,25 @@ fn august_lock() -> SkillEntry {
         .with_function(mq(
             "get_state",
             "whether my door is locked",
-            vec![out("state", en(&["locked", "unlocked"])), out("battery", num())],
+            vec![
+                out("state", en(&["locked", "unlocked"])),
+                out("battery", num()),
+            ],
         ))
         .with_function(act("lock", "lock the door", vec![]))
         .with_function(act("unlock", "unlock the door", vec![]));
     let templates = vec![
         np("com.august.lock", "get_state", "whether my door is locked"),
-        wp("com.august.lock", "get_state", "when my front door is unlocked"),
-        wp("com.august.lock", "get_state", "when someone opens the door"),
+        wp(
+            "com.august.lock",
+            "get_state",
+            "when my front door is unlocked",
+        ),
+        wp(
+            "com.august.lock",
+            "get_state",
+            "when someone opens the door",
+        ),
         vp("com.august.lock", "lock", "lock the front door"),
         vp("com.august.lock", "unlock", "unlock the front door"),
     ];
@@ -275,7 +390,10 @@ fn tesla() -> SkillEntry {
             "my car's battery level",
             vec![
                 out("battery_level", num()),
-                out("charging_state", en(&["charging", "complete", "disconnected"])),
+                out(
+                    "charging_state",
+                    en(&["charging", "complete", "disconnected"]),
+                ),
                 out("range", measure(BaseUnit::Meter)),
             ],
         ))
@@ -291,13 +409,33 @@ fn tesla() -> SkillEntry {
         ))
         .with_function(act("honk_horn", "honk the horn", vec![]));
     let templates = vec![
-        np("com.tesla.car", "get_charge_state", "my car's battery level"),
-        np("com.tesla.car", "get_charge_state", "how charged my tesla is"),
-        wp("com.tesla.car", "get_charge_state", "when my car finishes charging"),
-        wp("com.tesla.car", "get_charge_state", "when my car's battery gets low"),
+        np(
+            "com.tesla.car",
+            "get_charge_state",
+            "my car's battery level",
+        ),
+        np(
+            "com.tesla.car",
+            "get_charge_state",
+            "how charged my tesla is",
+        ),
+        wp(
+            "com.tesla.car",
+            "get_charge_state",
+            "when my car finishes charging",
+        ),
+        wp(
+            "com.tesla.car",
+            "get_charge_state",
+            "when my car's battery gets low",
+        ),
         np("com.tesla.car", "get_location", "where my car is parked"),
         wp("com.tesla.car", "get_location", "when my car moves"),
-        vp("com.tesla.car", "set_climate", "set the car temperature to $value"),
+        vp(
+            "com.tesla.car",
+            "set_climate",
+            "set the car temperature to $value",
+        ),
         vp("com.tesla.car", "honk_horn", "honk the horn"),
     ];
     (class, templates)

@@ -52,12 +52,36 @@ fn youtube() -> SkillEntry {
             vec![req("playlist", s()), req("video_url", thingtalk::Type::Url)],
         ));
     let templates = vec![
-        np("com.youtube", "search_videos", "youtube videos about $query"),
-        np("com.youtube", "search_videos", "videos matching $query on youtube"),
-        wp("com.youtube", "search_videos", "when a new video about $query is uploaded"),
-        np("com.youtube", "channel_uploads", "videos from the channel $channel"),
-        wp("com.youtube", "channel_uploads", "when $channel uploads a new video"),
-        vp("com.youtube", "add_to_playlist", "add $video_url to my $playlist playlist on youtube"),
+        np(
+            "com.youtube",
+            "search_videos",
+            "youtube videos about $query",
+        ),
+        np(
+            "com.youtube",
+            "search_videos",
+            "videos matching $query on youtube",
+        ),
+        wp(
+            "com.youtube",
+            "search_videos",
+            "when a new video about $query is uploaded",
+        ),
+        np(
+            "com.youtube",
+            "channel_uploads",
+            "videos from the channel $channel",
+        ),
+        wp(
+            "com.youtube",
+            "channel_uploads",
+            "when $channel uploads a new video",
+        ),
+        vp(
+            "com.youtube",
+            "add_to_playlist",
+            "add $video_url to my $playlist playlist on youtube",
+        ),
     ];
     (class, templates)
 }
@@ -129,7 +153,11 @@ fn xkcd() -> SkillEntry {
     let templates = vec![
         np("com.xkcd", "get_comic", "the latest xkcd comic"),
         np("com.xkcd", "get_comic", "today's xkcd"),
-        wp("com.xkcd", "get_comic", "when a new xkcd comic is published"),
+        wp(
+            "com.xkcd",
+            "get_comic",
+            "when a new xkcd comic is published",
+        ),
         np("com.xkcd", "random_comic", "a random xkcd comic"),
     ];
     (class, templates)
@@ -159,8 +187,16 @@ fn imgflip() -> SkillEntry {
         ));
     let templates = vec![
         np("com.imgflip", "list_templates", "popular meme templates"),
-        np("com.imgflip", "generate", "a $template meme saying $top_text and $bottom_text"),
-        vp("com.imgflip", "generate", "make a meme from $template with top text $top_text and bottom text $bottom_text"),
+        np(
+            "com.imgflip",
+            "generate",
+            "a $template meme saying $top_text and $bottom_text",
+        ),
+        vp(
+            "com.imgflip",
+            "generate",
+            "make a meme from $template with top text $top_text and bottom text $bottom_text",
+        ),
     ];
     (class, templates)
 }
@@ -187,9 +223,21 @@ fn podcasts() -> SkillEntry {
         ));
     let templates = vec![
         np("com.listenlater", "new_episodes", "new podcast episodes"),
-        np("com.listenlater", "new_episodes", "new episodes of $podcast"),
-        wp("com.listenlater", "new_episodes", "when a new episode of $podcast comes out"),
-        vp("com.listenlater", "add_to_queue", "add $link to my listening queue"),
+        np(
+            "com.listenlater",
+            "new_episodes",
+            "new episodes of $podcast",
+        ),
+        wp(
+            "com.listenlater",
+            "new_episodes",
+            "when a new episode of $podcast comes out",
+        ),
+        vp(
+            "com.listenlater",
+            "add_to_queue",
+            "add $link to my listening queue",
+        ),
     ];
     (class, templates)
 }
@@ -219,10 +267,26 @@ fn movies() -> SkillEntry {
             ],
         ));
     let templates = vec![
-        np("com.themoviedb", "now_playing", "movies playing in theaters"),
-        np("com.themoviedb", "now_playing", "what is showing at the movies"),
-        wp("com.themoviedb", "now_playing", "when a new movie comes out in theaters"),
-        np("com.themoviedb", "search_movie", "information about the movie $title"),
+        np(
+            "com.themoviedb",
+            "now_playing",
+            "movies playing in theaters",
+        ),
+        np(
+            "com.themoviedb",
+            "now_playing",
+            "what is showing at the movies",
+        ),
+        wp(
+            "com.themoviedb",
+            "now_playing",
+            "when a new movie comes out in theaters",
+        ),
+        np(
+            "com.themoviedb",
+            "search_movie",
+            "information about the movie $title",
+        ),
         np("com.themoviedb", "search_movie", "the rating of $title"),
     ];
     (class, templates)

@@ -60,7 +60,8 @@ pub(crate) mod dsl {
 
     /// Monitorable list query.
     pub fn mlq(name: &str, canonical: &str, params: Vec<ParamDef>) -> FunctionDef {
-        FunctionDef::new(name, FunctionKind::MONITORABLE_LIST_QUERY, params).with_canonical(canonical)
+        FunctionDef::new(name, FunctionKind::MONITORABLE_LIST_QUERY, params)
+            .with_canonical(canonical)
     }
 
     /// Monitorable single-result query.
@@ -138,15 +139,27 @@ mod tests {
         names.sort();
         let before = names.len();
         names.dedup();
-        assert_eq!(before, names.len(), "duplicate class names in the builtin library");
+        assert_eq!(
+            before,
+            names.len(),
+            "duplicate class names in the builtin library"
+        );
     }
 
     #[test]
     fn every_class_has_a_domain_and_display_name() {
         for (class, _) in all() {
-            assert!(!class.domain.is_empty(), "class {} has no domain", class.name);
+            assert!(
+                !class.domain.is_empty(),
+                "class {} has no domain",
+                class.name
+            );
             assert!(!class.display_name.is_empty());
-            assert!(!class.functions.is_empty(), "class {} has no functions", class.name);
+            assert!(
+                !class.functions.is_empty(),
+                "class {} has no functions",
+                class.name
+            );
         }
     }
 

@@ -9,7 +9,14 @@ use crate::templates::short::{np, vp, wp};
 
 /// The news skills.
 pub fn skills() -> Vec<SkillEntry> {
-    vec![nytimes(), washingtonpost(), wsj(), bbc(), rss(), phdcomics()]
+    vec![
+        nytimes(),
+        washingtonpost(),
+        wsj(),
+        bbc(),
+        rss(),
+        phdcomics(),
+    ]
 }
 
 fn nytimes() -> SkillEntry {
@@ -31,19 +38,53 @@ fn nytimes() -> SkillEntry {
             "get_section",
             "new york times articles in a section",
             vec![
-                req("section", en(&["world", "business", "technology", "sports", "science", "arts"])),
+                req(
+                    "section",
+                    en(&[
+                        "world",
+                        "business",
+                        "technology",
+                        "sports",
+                        "science",
+                        "arts",
+                    ]),
+                ),
                 out("title", ent("tt:news_title")),
                 out("link", thingtalk::Type::Url),
                 out("abstract", s()),
             ],
         ));
     let templates = vec![
-        np("com.nytimes", "get_front_page", "articles on the new york times front page"),
-        np("com.nytimes", "get_front_page", "the headlines in the new york times"),
-        np("com.nytimes", "get_front_page", "today's new york times stories"),
-        wp("com.nytimes", "get_front_page", "when the new york times publishes a new article"),
-        np("com.nytimes", "get_section", "new york times $section articles"),
-        wp("com.nytimes", "get_section", "when there is a new $section story in the new york times"),
+        np(
+            "com.nytimes",
+            "get_front_page",
+            "articles on the new york times front page",
+        ),
+        np(
+            "com.nytimes",
+            "get_front_page",
+            "the headlines in the new york times",
+        ),
+        np(
+            "com.nytimes",
+            "get_front_page",
+            "today's new york times stories",
+        ),
+        wp(
+            "com.nytimes",
+            "get_front_page",
+            "when the new york times publishes a new article",
+        ),
+        np(
+            "com.nytimes",
+            "get_section",
+            "new york times $section articles",
+        ),
+        wp(
+            "com.nytimes",
+            "get_section",
+            "when there is a new $section story in the new york times",
+        ),
     ];
     (class, templates)
 }
@@ -70,11 +111,31 @@ fn washingtonpost() -> SkillEntry {
             ],
         ));
     let templates = vec![
-        np("com.washingtonpost", "get_article", "washington post articles"),
-        np("com.washingtonpost", "get_article", "news from the washington post"),
-        wp("com.washingtonpost", "get_article", "when the washington post publishes an article"),
-        np("com.washingtonpost", "get_blog_post", "washington post blog posts"),
-        wp("com.washingtonpost", "get_blog_post", "when there is a new washington post blog post"),
+        np(
+            "com.washingtonpost",
+            "get_article",
+            "washington post articles",
+        ),
+        np(
+            "com.washingtonpost",
+            "get_article",
+            "news from the washington post",
+        ),
+        wp(
+            "com.washingtonpost",
+            "get_article",
+            "when the washington post publishes an article",
+        ),
+        np(
+            "com.washingtonpost",
+            "get_blog_post",
+            "washington post blog posts",
+        ),
+        wp(
+            "com.washingtonpost",
+            "get_blog_post",
+            "when there is a new washington post blog post",
+        ),
     ];
     (class, templates)
 }
@@ -87,16 +148,37 @@ fn wsj() -> SkillEntry {
             "get_news",
             "wall street journal articles",
             vec![
-                req("section", en(&["markets", "world_news", "us_business", "technology", "opinion"])),
+                req(
+                    "section",
+                    en(&[
+                        "markets",
+                        "world_news",
+                        "us_business",
+                        "technology",
+                        "opinion",
+                    ]),
+                ),
                 out("title", ent("tt:news_title")),
                 out("link", thingtalk::Type::Url),
                 out("published", date()),
             ],
         ));
     let templates = vec![
-        np("com.wsj", "get_news", "wall street journal $section articles"),
-        np("com.wsj", "get_news", "news in the $section section of the wsj"),
-        wp("com.wsj", "get_news", "when the wall street journal publishes a $section article"),
+        np(
+            "com.wsj",
+            "get_news",
+            "wall street journal $section articles",
+        ),
+        np(
+            "com.wsj",
+            "get_news",
+            "news in the $section section of the wsj",
+        ),
+        wp(
+            "com.wsj",
+            "get_news",
+            "when the wall street journal publishes a $section article",
+        ),
     ];
     (class, templates)
 }
@@ -137,9 +219,21 @@ fn rss() -> SkillEntry {
             ],
         ));
     let templates = vec![
-        np("org.thingpedia.rss", "get_post", "posts in the rss feed $url"),
-        np("org.thingpedia.rss", "get_post", "articles from the feed at $url"),
-        wp("org.thingpedia.rss", "get_post", "when the rss feed $url updates"),
+        np(
+            "org.thingpedia.rss",
+            "get_post",
+            "posts in the rss feed $url",
+        ),
+        np(
+            "org.thingpedia.rss",
+            "get_post",
+            "articles from the feed at $url",
+        ),
+        wp(
+            "org.thingpedia.rss",
+            "get_post",
+            "when the rss feed $url updates",
+        ),
     ];
     (class, templates)
 }
@@ -159,7 +253,11 @@ fn phdcomics() -> SkillEntry {
         ));
     let templates = vec![
         np("com.phdcomics", "get_post", "the latest phd comic"),
-        wp("com.phdcomics", "get_post", "when a new phd comic is published"),
+        wp(
+            "com.phdcomics",
+            "get_post",
+            "when a new phd comic is published",
+        ),
         vp("com.phdcomics", "get_post", "check phd comics"),
     ];
     (class, templates)

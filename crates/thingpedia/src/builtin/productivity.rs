@@ -41,7 +41,11 @@ fn dropbox() -> SkillEntry {
                 opt("folder_name", thingtalk::Type::PathName),
                 opt(
                     "order_by",
-                    en(&["modified_time_decreasing", "modified_time_increasing", "name"]),
+                    en(&[
+                        "modified_time_decreasing",
+                        "modified_time_increasing",
+                        "name",
+                    ]),
                 ),
                 out("file_name", thingtalk::Type::PathName),
                 out("is_folder", boolean()),
@@ -73,20 +77,52 @@ fn dropbox() -> SkillEntry {
         ));
     let templates = vec![
         np("com.dropbox", "get_space_usage", "my dropbox space usage"),
-        np("com.dropbox", "get_space_usage", "how much dropbox space i am using"),
+        np(
+            "com.dropbox",
+            "get_space_usage",
+            "how much dropbox space i am using",
+        ),
         np("com.dropbox", "list_folder", "my dropbox files"),
-        np("com.dropbox", "list_folder", "files in my dropbox folder $folder_name"),
-        np("com.dropbox", "list_folder", "my dropbox files that changed most recently")
-            .with_preset("order_by", Value::Enum("modified_time_decreasing".into())),
-        wp("com.dropbox", "list_folder", "when i modify a file in dropbox"),
-        wp("com.dropbox", "list_folder", "when i create a file in dropbox"),
+        np(
+            "com.dropbox",
+            "list_folder",
+            "files in my dropbox folder $folder_name",
+        ),
+        np(
+            "com.dropbox",
+            "list_folder",
+            "my dropbox files that changed most recently",
+        )
+        .with_preset("order_by", Value::Enum("modified_time_decreasing".into())),
+        wp(
+            "com.dropbox",
+            "list_folder",
+            "when i modify a file in dropbox",
+        ),
+        wp(
+            "com.dropbox",
+            "list_folder",
+            "when i create a file in dropbox",
+        ),
         np("com.dropbox", "open", "the download url of $file_name"),
         np("com.dropbox", "open", "a temporary link to $file_name"),
         vp("com.dropbox", "open", "open $file_name"),
         vp("com.dropbox", "open", "download $file_name"),
-        vp("com.dropbox", "move", "move $old_name to $new_name in dropbox"),
-        vp("com.dropbox", "move", "rename the dropbox file $old_name to $new_name"),
-        vp("com.dropbox", "create_folder", "create a dropbox folder named $folder_name"),
+        vp(
+            "com.dropbox",
+            "move",
+            "move $old_name to $new_name in dropbox",
+        ),
+        vp(
+            "com.dropbox",
+            "move",
+            "rename the dropbox file $old_name to $new_name",
+        ),
+        vp(
+            "com.dropbox",
+            "create_folder",
+            "create a dropbox folder named $folder_name",
+        ),
     ];
     (class, templates)
 }
@@ -107,13 +143,28 @@ fn onedrive() -> SkillEntry {
         .with_function(act(
             "upload_file",
             "upload a file to onedrive",
-            vec![req("file_name", thingtalk::Type::PathName), req("contents", s())],
+            vec![
+                req("file_name", thingtalk::Type::PathName),
+                req("contents", s()),
+            ],
         ));
     let templates = vec![
         np("com.live.onedrive", "list_files", "my onedrive files"),
-        np("com.live.onedrive", "list_files", "files stored in my onedrive"),
-        wp("com.live.onedrive", "list_files", "when a file changes in my onedrive"),
-        vp("com.live.onedrive", "upload_file", "upload $contents to onedrive as $file_name"),
+        np(
+            "com.live.onedrive",
+            "list_files",
+            "files stored in my onedrive",
+        ),
+        wp(
+            "com.live.onedrive",
+            "list_files",
+            "when a file changes in my onedrive",
+        ),
+        vp(
+            "com.live.onedrive",
+            "upload_file",
+            "upload $contents to onedrive as $file_name",
+        ),
     ];
     (class, templates)
 }
@@ -138,10 +189,26 @@ fn gdrive() -> SkillEntry {
             vec![req("title", s()), opt("body", s())],
         ));
     let templates = vec![
-        np("com.google.drive", "list_drive_files", "my google drive files"),
-        np("com.google.drive", "list_drive_files", "documents in my google drive"),
-        wp("com.google.drive", "list_drive_files", "when a new file appears in my google drive"),
-        vp("com.google.drive", "create_document", "create a google doc called $title"),
+        np(
+            "com.google.drive",
+            "list_drive_files",
+            "my google drive files",
+        ),
+        np(
+            "com.google.drive",
+            "list_drive_files",
+            "documents in my google drive",
+        ),
+        wp(
+            "com.google.drive",
+            "list_drive_files",
+            "when a new file appears in my google drive",
+        ),
+        vp(
+            "com.google.drive",
+            "create_document",
+            "create a google doc called $title",
+        ),
     ];
     (class, templates)
 }
@@ -198,13 +265,25 @@ fn github() -> SkillEntry {
     let templates = vec![
         np("com.github", "issues", "issues on my github repositories"),
         np("com.github", "issues", "github issues on $repo_name"),
-        wp("com.github", "issues", "when someone opens an issue on $repo_name"),
+        wp(
+            "com.github",
+            "issues",
+            "when someone opens an issue on $repo_name",
+        ),
         wp("com.github", "issues", "when a new github issue is filed"),
         np("com.github", "pull_requests", "pull requests on $repo_name"),
-        wp("com.github", "pull_requests", "when someone opens a pull request"),
+        wp(
+            "com.github",
+            "pull_requests",
+            "when someone opens a pull request",
+        ),
         np("com.github", "commits", "commits pushed to $repo_name"),
         wp("com.github", "commits", "when someone pushes to $repo_name"),
-        vp("com.github", "open_issue", "open an issue on $repo_name titled $title"),
+        vp(
+            "com.github",
+            "open_issue",
+            "open an issue on $repo_name titled $title",
+        ),
         vp("com.github", "star_repo", "star the repository $repo_name"),
     ];
     (class, templates)
@@ -236,12 +315,36 @@ fn calendar() -> SkillEntry {
             ],
         ));
     let templates = vec![
-        np("org.thingpedia.builtin.calendar", "list_events", "events on my calendar"),
-        np("org.thingpedia.builtin.calendar", "list_events", "my upcoming meetings"),
-        wp("org.thingpedia.builtin.calendar", "list_events", "when a new event is added to my calendar"),
-        wp("org.thingpedia.builtin.calendar", "list_events", "when a meeting is about to start"),
-        vp("org.thingpedia.builtin.calendar", "create_event", "add $title to my calendar at $start_time"),
-        vp("org.thingpedia.builtin.calendar", "create_event", "schedule $title for $start_time"),
+        np(
+            "org.thingpedia.builtin.calendar",
+            "list_events",
+            "events on my calendar",
+        ),
+        np(
+            "org.thingpedia.builtin.calendar",
+            "list_events",
+            "my upcoming meetings",
+        ),
+        wp(
+            "org.thingpedia.builtin.calendar",
+            "list_events",
+            "when a new event is added to my calendar",
+        ),
+        wp(
+            "org.thingpedia.builtin.calendar",
+            "list_events",
+            "when a meeting is about to start",
+        ),
+        vp(
+            "org.thingpedia.builtin.calendar",
+            "create_event",
+            "add $title to my calendar at $start_time",
+        ),
+        vp(
+            "org.thingpedia.builtin.calendar",
+            "create_event",
+            "schedule $title for $start_time",
+        ),
     ];
     (class, templates)
 }
@@ -273,7 +376,11 @@ fn todo() -> SkillEntry {
     let templates = vec![
         np("com.todoist", "list_tasks", "tasks on my to do list"),
         np("com.todoist", "list_tasks", "my todoist tasks"),
-        wp("com.todoist", "list_tasks", "when i add a task to my to do list"),
+        wp(
+            "com.todoist",
+            "list_tasks",
+            "when i add a task to my to do list",
+        ),
         wp("com.todoist", "list_tasks", "when a task becomes due"),
         vp("com.todoist", "add_task", "add $task to my to do list"),
         vp("com.todoist", "add_task", "remind me to $task"),
@@ -308,10 +415,26 @@ fn notes() -> SkillEntry {
     let templates = vec![
         np("com.evernote", "list_notes", "my evernote notes"),
         np("com.evernote", "list_notes", "notes i saved in evernote"),
-        wp("com.evernote", "list_notes", "when i edit a note in evernote"),
-        vp("com.evernote", "create_note", "create a note titled $title saying $body"),
-        vp("com.evernote", "create_note", "save a note that says $body with title $title"),
-        vp("com.evernote", "append_to_note", "append $body to my note $title"),
+        wp(
+            "com.evernote",
+            "list_notes",
+            "when i edit a note in evernote",
+        ),
+        vp(
+            "com.evernote",
+            "create_note",
+            "create a note titled $title saying $body",
+        ),
+        vp(
+            "com.evernote",
+            "create_note",
+            "save a note that says $body with title $title",
+        ),
+        vp(
+            "com.evernote",
+            "append_to_note",
+            "append $body to my note $title",
+        ),
     ];
     (class, templates)
 }

@@ -51,10 +51,7 @@ fn twitter() -> SkillEntry {
         .with_function(mlq(
             "direct_messages",
             "direct messages i received on twitter",
-            vec![
-                out("sender", ent("tt:username")),
-                out("message", s()),
-            ],
+            vec![out("sender", ent("tt:username")), out("message", s())],
         ))
         .with_function(mlq(
             "my_tweets",
@@ -65,15 +62,14 @@ fn twitter() -> SkillEntry {
                 out("retweet_count", num()),
             ],
         ))
-        .with_function(act(
-            "post",
-            "tweet",
-            vec![req("status", s())],
-        ))
+        .with_function(act("post", "tweet", vec![req("status", s())]))
         .with_function(act(
             "post_picture",
             "post a picture on twitter",
-            vec![req("picture_url", thingtalk::Type::Picture), req("caption", s())],
+            vec![
+                req("picture_url", thingtalk::Type::Picture),
+                req("caption", s()),
+            ],
         ))
         .with_function(act(
             "retweet",
@@ -95,22 +91,46 @@ fn twitter() -> SkillEntry {
         np("com.twitter", "timeline", "tweets from people i follow"),
         np("com.twitter", "timeline", "recent tweets in my feed"),
         wp("com.twitter", "timeline", "when someone i follow tweets"),
-        wp("com.twitter", "timeline", "when there is a new tweet in my timeline"),
+        wp(
+            "com.twitter",
+            "timeline",
+            "when there is a new tweet in my timeline",
+        ),
         np("com.twitter", "search", "tweets about $query"),
         np("com.twitter", "search", "twitter posts matching $query"),
         wp("com.twitter", "search", "when someone tweets about $query"),
-        np("com.twitter", "direct_messages", "my twitter direct messages"),
-        wp("com.twitter", "direct_messages", "when i receive a twitter dm"),
+        np(
+            "com.twitter",
+            "direct_messages",
+            "my twitter direct messages",
+        ),
+        wp(
+            "com.twitter",
+            "direct_messages",
+            "when i receive a twitter dm",
+        ),
         np("com.twitter", "my_tweets", "my own tweets"),
         wp("com.twitter", "my_tweets", "when i tweet something"),
         vp("com.twitter", "post", "tweet $status"),
         vp("com.twitter", "post", "post $status on twitter"),
-        vp("com.twitter", "post_picture", "post the picture $picture_url on twitter with caption $caption"),
-        vp("com.twitter", "post_picture", "tweet the photo $picture_url saying $caption"),
+        vp(
+            "com.twitter",
+            "post_picture",
+            "post the picture $picture_url on twitter with caption $caption",
+        ),
+        vp(
+            "com.twitter",
+            "post_picture",
+            "tweet the photo $picture_url saying $caption",
+        ),
         vp("com.twitter", "retweet", "retweet it"),
         vp("com.twitter", "retweet", "retweet that tweet"),
         vp("com.twitter", "follow", "follow $user_name on twitter"),
-        vp("com.twitter", "send_direct_message", "send a twitter dm to $to saying $message"),
+        vp(
+            "com.twitter",
+            "send_direct_message",
+            "send a twitter dm to $to saying $message",
+        ),
     ];
     (class, templates)
 }
@@ -128,24 +148,39 @@ fn facebook() -> SkillEntry {
                 out("link", thingtalk::Type::Url),
             ],
         ))
-        .with_function(act(
-            "post",
-            "post on facebook",
-            vec![req("status", s())],
-        ))
+        .with_function(act("post", "post on facebook", vec![req("status", s())]))
         .with_function(act(
             "post_picture",
             "post a picture on facebook",
-            vec![req("picture_url", thingtalk::Type::Picture), req("caption", s())],
+            vec![
+                req("picture_url", thingtalk::Type::Picture),
+                req("caption", s()),
+            ],
         ));
     let templates = vec![
         np("com.facebook", "feed", "my facebook feed"),
         np("com.facebook", "feed", "posts from my facebook friends"),
-        wp("com.facebook", "feed", "when one of my friends posts on facebook"),
+        wp(
+            "com.facebook",
+            "feed",
+            "when one of my friends posts on facebook",
+        ),
         vp("com.facebook", "post", "post $status on facebook"),
-        vp("com.facebook", "post", "share $status with my facebook friends"),
-        vp("com.facebook", "post_picture", "post the picture $picture_url on facebook with caption $caption"),
-        vp("com.facebook", "post_picture", "upload $picture_url to facebook saying $caption"),
+        vp(
+            "com.facebook",
+            "post",
+            "share $status with my facebook friends",
+        ),
+        vp(
+            "com.facebook",
+            "post_picture",
+            "post the picture $picture_url on facebook with caption $caption",
+        ),
+        vp(
+            "com.facebook",
+            "post_picture",
+            "upload $picture_url to facebook saying $caption",
+        ),
     ];
     (class, templates)
 }
@@ -167,7 +202,10 @@ fn instagram() -> SkillEntry {
         .with_function(act(
             "post_picture",
             "post a picture on instagram",
-            vec![req("picture_url", thingtalk::Type::Picture), req("caption", s())],
+            vec![
+                req("picture_url", thingtalk::Type::Picture),
+                req("caption", s()),
+            ],
         ))
         .with_function(act(
             "follow",
@@ -176,9 +214,21 @@ fn instagram() -> SkillEntry {
         ));
     let templates = vec![
         np("com.instagram", "get_pictures", "my instagram pictures"),
-        np("com.instagram", "get_pictures", "photos i posted on instagram"),
-        wp("com.instagram", "get_pictures", "when i upload a new photo to instagram"),
-        vp("com.instagram", "post_picture", "post $picture_url on instagram with caption $caption"),
+        np(
+            "com.instagram",
+            "get_pictures",
+            "photos i posted on instagram",
+        ),
+        wp(
+            "com.instagram",
+            "get_pictures",
+            "when i upload a new photo to instagram",
+        ),
+        vp(
+            "com.instagram",
+            "post_picture",
+            "post $picture_url on instagram with caption $caption",
+        ),
         vp("com.instagram", "follow", "follow $user_name on instagram"),
     ];
     (class, templates)
@@ -220,11 +270,31 @@ fn reddit() -> SkillEntry {
     let templates = vec![
         np("com.reddit", "frontpage", "the reddit front page"),
         np("com.reddit", "frontpage", "top posts on reddit"),
-        wp("com.reddit", "frontpage", "when a new post reaches the reddit front page"),
-        np("com.reddit", "subreddit_posts", "posts in the subreddit $subreddit"),
-        np("com.reddit", "subreddit_posts", "what people are posting on $subreddit"),
-        wp("com.reddit", "subreddit_posts", "when there is a new post on $subreddit"),
-        vp("com.reddit", "submit_link", "submit $link to $subreddit titled $title"),
+        wp(
+            "com.reddit",
+            "frontpage",
+            "when a new post reaches the reddit front page",
+        ),
+        np(
+            "com.reddit",
+            "subreddit_posts",
+            "posts in the subreddit $subreddit",
+        ),
+        np(
+            "com.reddit",
+            "subreddit_posts",
+            "what people are posting on $subreddit",
+        ),
+        wp(
+            "com.reddit",
+            "subreddit_posts",
+            "when there is a new post on $subreddit",
+        ),
+        vp(
+            "com.reddit",
+            "submit_link",
+            "submit $link to $subreddit titled $title",
+        ),
     ];
     (class, templates)
 }
@@ -242,11 +312,7 @@ fn linkedin() -> SkillEntry {
                 out("profile_picture", thingtalk::Type::Picture),
             ],
         ))
-        .with_function(act(
-            "share",
-            "share on linkedin",
-            vec![req("status", s())],
-        ))
+        .with_function(act("share", "share on linkedin", vec![req("status", s())]))
         .with_function(act(
             "update_headline",
             "update my linkedin headline",
@@ -254,10 +320,22 @@ fn linkedin() -> SkillEntry {
         ));
     let templates = vec![
         np("com.linkedin", "get_profile", "my linkedin profile"),
-        np("com.linkedin", "get_profile", "my professional profile on linkedin"),
-        wp("com.linkedin", "get_profile", "when i update my linkedin profile"),
+        np(
+            "com.linkedin",
+            "get_profile",
+            "my professional profile on linkedin",
+        ),
+        wp(
+            "com.linkedin",
+            "get_profile",
+            "when i update my linkedin profile",
+        ),
         vp("com.linkedin", "share", "share $status on linkedin"),
-        vp("com.linkedin", "update_headline", "set my linkedin headline to $headline"),
+        vp(
+            "com.linkedin",
+            "update_headline",
+            "set my linkedin headline to $headline",
+        ),
     ];
     (class, templates)
 }
@@ -269,11 +347,7 @@ fn tumblr() -> SkillEntry {
         .with_function(mlq(
             "dashboard",
             "posts on my tumblr dashboard",
-            vec![
-                out("title", s()),
-                out("body", s()),
-                out("blog_name", s()),
-            ],
+            vec![out("title", s()), out("body", s()), out("blog_name", s())],
         ))
         .with_function(act(
             "post_text",
@@ -283,13 +357,28 @@ fn tumblr() -> SkillEntry {
         .with_function(act(
             "post_picture",
             "post a picture on tumblr",
-            vec![req("picture_url", thingtalk::Type::Picture), opt("caption", s())],
+            vec![
+                req("picture_url", thingtalk::Type::Picture),
+                opt("caption", s()),
+            ],
         ));
     let templates = vec![
         np("com.tumblr", "dashboard", "my tumblr dashboard"),
-        wp("com.tumblr", "dashboard", "when a blog i follow posts on tumblr"),
-        vp("com.tumblr", "post_text", "post $body on tumblr titled $title"),
-        vp("com.tumblr", "post_picture", "post the picture $picture_url on my tumblr"),
+        wp(
+            "com.tumblr",
+            "dashboard",
+            "when a blog i follow posts on tumblr",
+        ),
+        vp(
+            "com.tumblr",
+            "post_text",
+            "post $body on tumblr titled $title",
+        ),
+        vp(
+            "com.tumblr",
+            "post_picture",
+            "post the picture $picture_url on my tumblr",
+        ),
     ];
     (class, templates)
 }
@@ -320,8 +409,16 @@ fn pinterest() -> SkillEntry {
     let templates = vec![
         np("com.pinterest", "my_pins", "my pinterest pins"),
         np("com.pinterest", "my_pins", "pictures i pinned on pinterest"),
-        wp("com.pinterest", "my_pins", "when i pin something new on pinterest"),
-        vp("com.pinterest", "create_pin", "pin $picture_url to my $board board"),
+        wp(
+            "com.pinterest",
+            "my_pins",
+            "when i pin something new on pinterest",
+        ),
+        vp(
+            "com.pinterest",
+            "create_pin",
+            "pin $picture_url to my $board board",
+        ),
     ];
     (class, templates)
 }

@@ -52,15 +52,39 @@ pub fn basic() -> SkillEntry {
             ],
         ));
     let templates = vec![
-        np("com.spotify", "get_currently_playing", "the song i am listening to"),
-        np("com.spotify", "get_currently_playing", "what is playing on spotify"),
-        wp("com.spotify", "get_currently_playing", "when the song changes on spotify"),
-        np("com.spotify", "search_songs", "songs matching $query on spotify"),
+        np(
+            "com.spotify",
+            "get_currently_playing",
+            "the song i am listening to",
+        ),
+        np(
+            "com.spotify",
+            "get_currently_playing",
+            "what is playing on spotify",
+        ),
+        wp(
+            "com.spotify",
+            "get_currently_playing",
+            "when the song changes on spotify",
+        ),
+        np(
+            "com.spotify",
+            "search_songs",
+            "songs matching $query on spotify",
+        ),
         np("com.spotify", "search_songs", "spotify songs about $query"),
         vp("com.spotify", "play_song", "play $song"),
         vp("com.spotify", "play_song", "play $song on spotify"),
-        vp("com.spotify", "add_to_playlist", "add $song to the playlist $playlist"),
-        vp("com.spotify", "add_to_playlist", "put $song in my $playlist playlist"),
+        vp(
+            "com.spotify",
+            "add_to_playlist",
+            "add $song to the playlist $playlist",
+        ),
+        vp(
+            "com.spotify",
+            "add_to_playlist",
+            "put $song in my $playlist playlist",
+        ),
     ];
     (class, templates)
 }
@@ -84,91 +108,187 @@ pub fn extended() -> SkillEntry {
         .with_display_name("Spotify")
         .with_domain("media")
         // ---- queries (15) ----
-        .with_function(mq("get_currently_playing", "the song i am listening to", song_outs.clone()))
+        .with_function(mq(
+            "get_currently_playing",
+            "the song i am listening to",
+            song_outs.clone(),
+        ))
         .with_function(lq("search_songs", "songs matching a search", {
             let mut p = vec![req("query", s())];
             p.extend(song_outs.clone());
             p
         }))
-        .with_function(lq("search_artists", "artists matching a search", vec![
-            req("query", s()),
-            out("artist", ent("com.spotify:artist")),
-            out("genre", ent("tt:music_genre")),
-            out("follower_count", num()),
-        ]))
-        .with_function(lq("search_albums", "albums matching a search", vec![
-            req("query", s()),
-            out("album", ent("com.spotify:album")),
-            out("artist", ent("com.spotify:artist")),
-            out("release_date", date()),
-        ]))
+        .with_function(lq(
+            "search_artists",
+            "artists matching a search",
+            vec![
+                req("query", s()),
+                out("artist", ent("com.spotify:artist")),
+                out("genre", ent("tt:music_genre")),
+                out("follower_count", num()),
+            ],
+        ))
+        .with_function(lq(
+            "search_albums",
+            "albums matching a search",
+            vec![
+                req("query", s()),
+                out("album", ent("com.spotify:album")),
+                out("artist", ent("com.spotify:artist")),
+                out("release_date", date()),
+            ],
+        ))
         .with_function(lq("get_playlist_tracks", "songs in a playlist", {
             let mut p = vec![req("playlist", ent("com.spotify:playlist"))];
             p.extend(song_outs.clone());
             p
         }))
         .with_function(mlq("get_saved_songs", "my saved songs", song_outs.clone()))
-        .with_function(mlq("get_recently_played", "songs i listened to recently", song_outs.clone()))
-        .with_function(lq("get_top_tracks", "my most played songs", song_outs.clone()))
-        .with_function(lq("get_top_artists", "my most played artists", vec![
-            out("artist", ent("com.spotify:artist")),
-            out("genre", ent("tt:music_genre")),
-        ]))
-        .with_function(lq("get_new_releases", "newly released albums", vec![
-            out("album", ent("com.spotify:album")),
-            out("artist", ent("com.spotify:artist")),
-            out("release_date", date()),
-        ]))
+        .with_function(mlq(
+            "get_recently_played",
+            "songs i listened to recently",
+            song_outs.clone(),
+        ))
+        .with_function(lq(
+            "get_top_tracks",
+            "my most played songs",
+            song_outs.clone(),
+        ))
+        .with_function(lq(
+            "get_top_artists",
+            "my most played artists",
+            vec![
+                out("artist", ent("com.spotify:artist")),
+                out("genre", ent("tt:music_genre")),
+            ],
+        ))
+        .with_function(lq(
+            "get_new_releases",
+            "newly released albums",
+            vec![
+                out("album", ent("com.spotify:album")),
+                out("artist", ent("com.spotify:artist")),
+                out("release_date", date()),
+            ],
+        ))
         .with_function(lq("get_recommendations", "recommended songs", {
             let mut p = vec![opt("seed_genre", ent("tt:music_genre"))];
             p.extend(song_outs.clone());
             p
         }))
-        .with_function(mlq("get_my_playlists", "my playlists", vec![
-            out("playlist", ent("com.spotify:playlist")),
-            out("track_count", num()),
-            out("is_public", boolean()),
-        ]))
-        .with_function(lq("get_artist_top_tracks", "an artist's most popular songs", {
-            let mut p = vec![req("artist", ent("com.spotify:artist"))];
-            p.extend(song_outs.clone());
-            p
-        }))
+        .with_function(mlq(
+            "get_my_playlists",
+            "my playlists",
+            vec![
+                out("playlist", ent("com.spotify:playlist")),
+                out("track_count", num()),
+                out("is_public", boolean()),
+            ],
+        ))
+        .with_function(lq(
+            "get_artist_top_tracks",
+            "an artist's most popular songs",
+            {
+                let mut p = vec![req("artist", ent("com.spotify:artist"))];
+                p.extend(song_outs.clone());
+                p
+            },
+        ))
         .with_function(lq("get_album_tracks", "songs on an album", {
             let mut p = vec![req("album", ent("com.spotify:album"))];
             p.extend(song_outs.clone());
             p
         }))
-        .with_function(mq("get_playback_state", "what my spotify player is doing", vec![
-            out("is_playing", boolean()),
-            out("shuffle", boolean()),
-            out("volume", num()),
-            out("device_name", ent("tt:device_name")),
-        ]))
+        .with_function(mq(
+            "get_playback_state",
+            "what my spotify player is doing",
+            vec![
+                out("is_playing", boolean()),
+                out("shuffle", boolean()),
+                out("volume", num()),
+                out("device_name", ent("tt:device_name")),
+            ],
+        ))
         // ---- actions (17) ----
-        .with_function(act("play_song", "play a song", vec![req("song", ent("com.spotify:song"))]))
-        .with_function(act("play_artist", "play songs by an artist", vec![req("artist", ent("com.spotify:artist"))]))
-        .with_function(act("play_album", "play an album", vec![req("album", ent("com.spotify:album"))]))
-        .with_function(act("play_playlist", "play a playlist", vec![req("playlist", ent("com.spotify:playlist"))]))
-        .with_function(act("play_genre", "play music of a genre", vec![req("genre", ent("tt:music_genre"))]))
+        .with_function(act(
+            "play_song",
+            "play a song",
+            vec![req("song", ent("com.spotify:song"))],
+        ))
+        .with_function(act(
+            "play_artist",
+            "play songs by an artist",
+            vec![req("artist", ent("com.spotify:artist"))],
+        ))
+        .with_function(act(
+            "play_album",
+            "play an album",
+            vec![req("album", ent("com.spotify:album"))],
+        ))
+        .with_function(act(
+            "play_playlist",
+            "play a playlist",
+            vec![req("playlist", ent("com.spotify:playlist"))],
+        ))
+        .with_function(act(
+            "play_genre",
+            "play music of a genre",
+            vec![req("genre", ent("tt:music_genre"))],
+        ))
         .with_function(act("pause", "pause the music", vec![]))
         .with_function(act("resume", "resume the music", vec![]))
         .with_function(act("next_track", "skip to the next song", vec![]))
-        .with_function(act("previous_track", "go back to the previous song", vec![]))
-        .with_function(act("set_volume", "set the volume", vec![req("volume", num())]))
-        .with_function(act("set_shuffle", "turn shuffle on or off", vec![req("shuffle", boolean())]))
-        .with_function(act("set_repeat", "set the repeat mode", vec![req("mode", en(&["track", "context", "off"]))]))
-        .with_function(act("add_to_playlist", "add a song to a playlist", vec![
-            req("playlist", ent("com.spotify:playlist")),
-            req("song", ent("com.spotify:song")),
-        ]))
-        .with_function(act("remove_from_playlist", "remove a song from a playlist", vec![
-            req("playlist", ent("com.spotify:playlist")),
-            req("song", ent("com.spotify:song")),
-        ]))
-        .with_function(act("create_playlist", "create a playlist", vec![req("name", s())]))
-        .with_function(act("save_song", "save a song to my library", vec![req("song", ent("com.spotify:song"))]))
-        .with_function(act("follow_artist", "follow an artist", vec![req("artist", ent("com.spotify:artist"))]));
+        .with_function(act(
+            "previous_track",
+            "go back to the previous song",
+            vec![],
+        ))
+        .with_function(act(
+            "set_volume",
+            "set the volume",
+            vec![req("volume", num())],
+        ))
+        .with_function(act(
+            "set_shuffle",
+            "turn shuffle on or off",
+            vec![req("shuffle", boolean())],
+        ))
+        .with_function(act(
+            "set_repeat",
+            "set the repeat mode",
+            vec![req("mode", en(&["track", "context", "off"]))],
+        ))
+        .with_function(act(
+            "add_to_playlist",
+            "add a song to a playlist",
+            vec![
+                req("playlist", ent("com.spotify:playlist")),
+                req("song", ent("com.spotify:song")),
+            ],
+        ))
+        .with_function(act(
+            "remove_from_playlist",
+            "remove a song from a playlist",
+            vec![
+                req("playlist", ent("com.spotify:playlist")),
+                req("song", ent("com.spotify:song")),
+            ],
+        ))
+        .with_function(act(
+            "create_playlist",
+            "create a playlist",
+            vec![req("name", s())],
+        ))
+        .with_function(act(
+            "save_song",
+            "save a song to my library",
+            vec![req("song", ent("com.spotify:song"))],
+        ))
+        .with_function(act(
+            "follow_artist",
+            "follow an artist",
+            vec![req("artist", ent("com.spotify:artist"))],
+        ));
 
     let c = "com.spotify";
     let templates = vec![
@@ -190,17 +310,29 @@ pub fn extended() -> SkillEntry {
         wp(c, "get_saved_songs", "when i save a new song"),
         np(c, "get_recently_played", "songs i listened to recently"),
         np(c, "get_recently_played", "my spotify listening history"),
-        wp(c, "get_recently_played", "when i finish listening to a song"),
+        wp(
+            c,
+            "get_recently_played",
+            "when i finish listening to a song",
+        ),
         np(c, "get_top_tracks", "my most played songs"),
         np(c, "get_top_tracks", "my favorite tracks on spotify"),
         np(c, "get_top_artists", "my most played artists"),
         np(c, "get_new_releases", "newly released albums"),
         np(c, "get_new_releases", "new music on spotify"),
         np(c, "get_recommendations", "recommended songs"),
-        np(c, "get_recommendations", "spotify recommendations for $seed_genre"),
+        np(
+            c,
+            "get_recommendations",
+            "spotify recommendations for $seed_genre",
+        ),
         np(c, "get_my_playlists", "my playlists"),
         wp(c, "get_my_playlists", "when i create a new playlist"),
-        np(c, "get_artist_top_tracks", "the most popular songs by $artist"),
+        np(
+            c,
+            "get_artist_top_tracks",
+            "the most popular songs by $artist",
+        ),
         np(c, "get_artist_top_tracks", "top tracks of $artist"),
         np(c, "get_album_tracks", "songs on the album $album"),
         np(c, "get_playback_state", "what my spotify player is doing"),
@@ -229,7 +361,11 @@ pub fn extended() -> SkillEntry {
         vp(c, "set_repeat", "set repeat to $mode"),
         vp(c, "add_to_playlist", "add $song to the playlist $playlist"),
         vp(c, "add_to_playlist", "put $song in my $playlist playlist"),
-        vp(c, "remove_from_playlist", "remove $song from the playlist $playlist"),
+        vp(
+            c,
+            "remove_from_playlist",
+            "remove $song from the playlist $playlist",
+        ),
         vp(c, "create_playlist", "create a playlist called $name"),
         vp(c, "create_playlist", "make a new playlist named $name"),
         vp(c, "save_song", "save $song to my library"),
@@ -249,7 +385,10 @@ mod tests {
         assert_eq!(class.queries().count(), 15);
         assert_eq!(class.actions().count(), 17);
         let per_function = templates.len() as f64 / class.functions.len() as f64;
-        assert!(per_function >= 1.5, "templates per function = {per_function:.2}");
+        assert!(
+            per_function >= 1.5,
+            "templates per function = {per_function:.2}"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn weather() -> SkillEntry {
                 out("temperature", measure(BaseUnit::Celsius)),
                 out("wind_speed", measure(BaseUnit::MeterPerSecond)),
                 out("humidity", num()),
-                out("status", en(&["sunny", "cloudy", "raining", "snowy", "windy", "foggy"])),
+                out(
+                    "status",
+                    en(&["sunny", "cloudy", "raining", "snowy", "windy", "foggy"]),
+                ),
             ],
         ))
         .with_function(mq(
@@ -58,18 +61,45 @@ fn weather() -> SkillEntry {
                 out("date", date()),
                 out("high", measure(BaseUnit::Celsius)),
                 out("low", measure(BaseUnit::Celsius)),
-                out("status", en(&["sunny", "cloudy", "raining", "snowy", "windy", "foggy"])),
+                out(
+                    "status",
+                    en(&["sunny", "cloudy", "raining", "snowy", "windy", "foggy"]),
+                ),
             ],
         ));
     let templates = vec![
         np("org.thingpedia.weather", "current", "the current weather"),
-        np("org.thingpedia.weather", "current", "the weather in $location"),
-        np("org.thingpedia.weather", "current", "the temperature outside"),
-        wp("org.thingpedia.weather", "current", "when the weather changes"),
-        wp("org.thingpedia.weather", "current", "when it starts raining"),
-        np("org.thingpedia.weather", "sunrise", "the sunrise time in $location"),
+        np(
+            "org.thingpedia.weather",
+            "current",
+            "the weather in $location",
+        ),
+        np(
+            "org.thingpedia.weather",
+            "current",
+            "the temperature outside",
+        ),
+        wp(
+            "org.thingpedia.weather",
+            "current",
+            "when the weather changes",
+        ),
+        wp(
+            "org.thingpedia.weather",
+            "current",
+            "when it starts raining",
+        ),
+        np(
+            "org.thingpedia.weather",
+            "sunrise",
+            "the sunrise time in $location",
+        ),
         wp("org.thingpedia.weather", "sunrise", "when the sun rises"),
-        np("org.thingpedia.weather", "forecast", "the weather forecast for $location"),
+        np(
+            "org.thingpedia.weather",
+            "forecast",
+            "the weather forecast for $location",
+        ),
         np("org.thingpedia.weather", "forecast", "this week's forecast"),
     ];
     (class, templates)
@@ -94,12 +124,32 @@ fn translate() -> SkillEntry {
             vec![req("text", s()), out("value", ent("tt:language"))],
         ));
     let templates = vec![
-        np("com.yandex.translate", "translate", "the translation of $text"),
-        np("com.yandex.translate", "translate", "the translation of $text to $target_language"),
+        np(
+            "com.yandex.translate",
+            "translate",
+            "the translation of $text",
+        ),
+        np(
+            "com.yandex.translate",
+            "translate",
+            "the translation of $text to $target_language",
+        ),
         vp("com.yandex.translate", "translate", "translate $text"),
-        vp("com.yandex.translate", "translate", "translate $text to $target_language"),
-        np("com.yandex.translate", "detect_language", "the language of $text"),
-        vp("com.yandex.translate", "detect_language", "detect the language of $text"),
+        vp(
+            "com.yandex.translate",
+            "translate",
+            "translate $text to $target_language",
+        ),
+        np(
+            "com.yandex.translate",
+            "detect_language",
+            "the language of $text",
+        ),
+        vp(
+            "com.yandex.translate",
+            "detect_language",
+            "detect the language of $text",
+        ),
     ];
     (class, templates)
 }
@@ -155,14 +205,34 @@ fn wikipedia() -> SkillEntry {
         .with_function(mq(
             "featured_article",
             "today's featured wikipedia article",
-            vec![out("title", s()), out("summary", s()), out("link", thingtalk::Type::Url)],
+            vec![
+                out("title", s()),
+                out("summary", s()),
+                out("link", thingtalk::Type::Url),
+            ],
         ));
     let templates = vec![
-        np("org.wikipedia", "article", "the wikipedia article about $query"),
-        np("org.wikipedia", "article", "the wikipedia summary of $query"),
+        np(
+            "org.wikipedia",
+            "article",
+            "the wikipedia article about $query",
+        ),
+        np(
+            "org.wikipedia",
+            "article",
+            "the wikipedia summary of $query",
+        ),
         vp("org.wikipedia", "article", "look up $query on wikipedia"),
-        np("org.wikipedia", "featured_article", "today's featured wikipedia article"),
-        wp("org.wikipedia", "featured_article", "when wikipedia features a new article"),
+        np(
+            "org.wikipedia",
+            "featured_article",
+            "today's featured wikipedia article",
+        ),
+        wp(
+            "org.wikipedia",
+            "featured_article",
+            "when wikipedia features a new article",
+        ),
     ];
     (class, templates)
 }
@@ -190,11 +260,31 @@ fn yahoo_finance() -> SkillEntry {
             ],
         ));
     let templates = vec![
-        np("com.yahoo.finance", "get_stock_quote", "the stock price of $stock_id"),
-        np("com.yahoo.finance", "get_stock_quote", "how $stock_id is trading"),
-        wp("com.yahoo.finance", "get_stock_quote", "when the price of $stock_id changes"),
-        np("com.yahoo.finance", "get_stock_div", "the dividend of $stock_id"),
-        wp("com.yahoo.finance", "get_stock_div", "when $stock_id announces a dividend"),
+        np(
+            "com.yahoo.finance",
+            "get_stock_quote",
+            "the stock price of $stock_id",
+        ),
+        np(
+            "com.yahoo.finance",
+            "get_stock_quote",
+            "how $stock_id is trading",
+        ),
+        wp(
+            "com.yahoo.finance",
+            "get_stock_quote",
+            "when the price of $stock_id changes",
+        ),
+        np(
+            "com.yahoo.finance",
+            "get_stock_div",
+            "the dividend of $stock_id",
+        ),
+        wp(
+            "com.yahoo.finance",
+            "get_stock_div",
+            "when $stock_id announces a dividend",
+        ),
     ];
     (class, templates)
 }
@@ -213,8 +303,16 @@ fn coinbase() -> SkillEntry {
         ));
     let templates = vec![
         np("com.coinbase", "get_price", "the price of $currency_code"),
-        np("com.coinbase", "get_price", "how much $currency_code is worth"),
-        wp("com.coinbase", "get_price", "when the price of $currency_code changes"),
+        np(
+            "com.coinbase",
+            "get_price",
+            "how much $currency_code is worth",
+        ),
+        wp(
+            "com.coinbase",
+            "get_price",
+            "when the price of $currency_code changes",
+        ),
     ];
     (class, templates)
 }
@@ -253,7 +351,11 @@ fn nasa() -> SkillEntry {
     let templates = vec![
         np("gov.nasa", "apod", "nasa's astronomy picture of the day"),
         np("gov.nasa", "apod", "the nasa picture of the day"),
-        wp("gov.nasa", "apod", "when nasa publishes a new picture of the day"),
+        wp(
+            "gov.nasa",
+            "apod",
+            "when nasa publishes a new picture of the day",
+        ),
         np("gov.nasa", "asteroid", "asteroids passing near earth"),
         np("gov.nasa", "asteroid", "near earth objects today"),
         np("gov.nasa", "rover", "pictures from the mars rover"),
@@ -279,13 +381,32 @@ fn uber() -> SkillEntry {
         .with_function(act(
             "request_ride",
             "request an uber",
-            vec![req("start", thingtalk::Type::Location), req("end", thingtalk::Type::Location)],
+            vec![
+                req("start", thingtalk::Type::Location),
+                req("end", thingtalk::Type::Location),
+            ],
         ));
     let templates = vec![
-        np("com.uber", "get_price_estimate", "the price of an uber from $start to $end"),
-        np("com.uber", "get_price_estimate", "how much an uber to $end costs from $start"),
-        vp("com.uber", "request_ride", "get me an uber from $start to $end"),
-        vp("com.uber", "request_ride", "request a ride to $end from $start"),
+        np(
+            "com.uber",
+            "get_price_estimate",
+            "the price of an uber from $start to $end",
+        ),
+        np(
+            "com.uber",
+            "get_price_estimate",
+            "how much an uber to $end costs from $start",
+        ),
+        vp(
+            "com.uber",
+            "request_ride",
+            "get me an uber from $start to $end",
+        ),
+        vp(
+            "com.uber",
+            "request_ride",
+            "request a ride to $end from $start",
+        ),
     ];
     (class, templates)
 }
@@ -302,7 +423,10 @@ fn yelp() -> SkillEntry {
                 opt("location", thingtalk::Type::Location),
                 out("name", s()),
                 out("rating", num()),
-                out("price_range", en(&["cheap", "moderate", "expensive", "luxury"])),
+                out(
+                    "price_range",
+                    en(&["cheap", "moderate", "expensive", "luxury"]),
+                ),
                 out("link", thingtalk::Type::Url),
             ],
         ));
@@ -325,14 +449,21 @@ fn airquality() -> SkillEntry {
             vec![
                 opt("location", thingtalk::Type::Location),
                 out("aqi", num()),
-                out("category", en(&["good", "moderate", "unhealthy", "hazardous"])),
+                out(
+                    "category",
+                    en(&["good", "moderate", "unhealthy", "hazardous"]),
+                ),
             ],
         ));
     let templates = vec![
         np("gov.epa.airnow", "get_aqi", "the air quality in $location"),
         np("gov.epa.airnow", "get_aqi", "the aqi near me"),
         wp("gov.epa.airnow", "get_aqi", "when the air quality changes"),
-        wp("gov.epa.airnow", "get_aqi", "when the air becomes unhealthy"),
+        wp(
+            "gov.epa.airnow",
+            "get_aqi",
+            "when the air becomes unhealthy",
+        ),
     ];
     (class, templates)
 }
@@ -346,36 +477,64 @@ fn builtin_device() -> SkillEntry {
             "a random number",
             vec![req("low", num()), req("high", num()), out("random", num())],
         ))
-        .with_function(mq(
-            "get_date",
-            "today's date",
-            vec![out("date", date())],
-        ))
+        .with_function(mq("get_date", "today's date", vec![out("date", date())]))
         .with_function(mq(
             "get_time",
             "the current time",
             vec![out("time", thingtalk::Type::Time)],
         ))
-        .with_function(act(
-            "say",
-            "say something",
-            vec![req("message", s())],
-        ))
+        .with_function(act("say", "say something", vec![req("message", s())]))
         .with_function(act(
             "open_url",
             "open a website",
             vec![req("url", thingtalk::Type::Url)],
         ));
     let templates = vec![
-        np("org.thingpedia.builtin.thingengine.builtin", "get_random_between", "a random number between $low and $high"),
-        vp("org.thingpedia.builtin.thingengine.builtin", "get_random_between", "pick a number between $low and $high"),
-        np("org.thingpedia.builtin.thingengine.builtin", "get_date", "today's date"),
-        wp("org.thingpedia.builtin.thingengine.builtin", "get_date", "when the date changes"),
-        np("org.thingpedia.builtin.thingengine.builtin", "get_time", "the current time"),
-        wp("org.thingpedia.builtin.thingengine.builtin", "get_time", "when the time changes"),
-        vp("org.thingpedia.builtin.thingengine.builtin", "say", "say $message"),
-        vp("org.thingpedia.builtin.thingengine.builtin", "say", "tell me $message"),
-        vp("org.thingpedia.builtin.thingengine.builtin", "open_url", "open $url"),
+        np(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "get_random_between",
+            "a random number between $low and $high",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "get_random_between",
+            "pick a number between $low and $high",
+        ),
+        np(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "get_date",
+            "today's date",
+        ),
+        wp(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "get_date",
+            "when the date changes",
+        ),
+        np(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "get_time",
+            "the current time",
+        ),
+        wp(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "get_time",
+            "when the time changes",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "say",
+            "say $message",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "say",
+            "tell me $message",
+        ),
+        vp(
+            "org.thingpedia.builtin.thingengine.builtin",
+            "open_url",
+            "open $url",
+        ),
     ];
     (class, templates)
 }

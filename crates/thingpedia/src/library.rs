@@ -186,12 +186,18 @@ mod tests {
         let mut missing = Vec::new();
         for class in library.classes() {
             for function in class.functions.values() {
-                if library.templates_for(&class.name, &function.name).is_empty() {
+                if library
+                    .templates_for(&class.name, &function.name)
+                    .is_empty()
+                {
                     missing.push(format!("@{}.{}", class.name, function.name));
                 }
             }
         }
-        assert!(missing.is_empty(), "functions without templates: {missing:?}");
+        assert!(
+            missing.is_empty(),
+            "functions without templates: {missing:?}"
+        );
     }
 
     #[test]
@@ -256,7 +262,10 @@ mod tests {
     fn domains_are_populated() {
         let library = Thingpedia::builtin();
         let domains = library.domains();
-        assert!(domains.len() >= 6, "expected several domains, found {domains:?}");
+        assert!(
+            domains.len() >= 6,
+            "expected several domains, found {domains:?}"
+        );
         assert!(!library.classes_in_domain(domains[0]).is_empty());
     }
 
@@ -264,6 +273,9 @@ mod tests {
     fn average_templates_per_function_is_reasonable() {
         let library = Thingpedia::builtin();
         let avg = library.templates_per_function();
-        assert!(avg >= 2.0, "expected >= 2 templates per function on average, found {avg:.2}");
+        assert!(
+            avg >= 2.0,
+            "expected >= 2 templates per function on average, found {avg:.2}"
+        );
     }
 }

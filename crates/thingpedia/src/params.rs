@@ -20,34 +20,139 @@ use rand::Rng;
 use thingtalk::types::Type;
 
 const FIRST_NAMES: &[&str] = &[
-    "alice", "bob", "carol", "david", "emma", "frank", "grace", "henry", "isabel", "jack",
-    "karen", "liam", "maria", "nathan", "olivia", "peter", "quinn", "rachel", "samuel", "tina",
-    "umar", "victor", "wendy", "xavier", "yasmin", "zach", "noah", "mia", "lucas", "sofia",
-    "ethan", "ava", "mason", "amelia", "logan", "harper", "elijah", "ella", "james", "scarlett",
+    "alice", "bob", "carol", "david", "emma", "frank", "grace", "henry", "isabel", "jack", "karen",
+    "liam", "maria", "nathan", "olivia", "peter", "quinn", "rachel", "samuel", "tina", "umar",
+    "victor", "wendy", "xavier", "yasmin", "zach", "noah", "mia", "lucas", "sofia", "ethan", "ava",
+    "mason", "amelia", "logan", "harper", "elijah", "ella", "james", "scarlett",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "funny", "amazing", "broken", "quiet", "loud", "bright", "dark", "tiny", "huge", "quick",
-    "lazy", "happy", "sad", "angry", "calm", "wild", "gentle", "brave", "shy", "clever",
-    "ancient", "modern", "crispy", "smooth", "rough", "golden", "silver", "crimson", "azure",
-    "emerald", "hidden", "secret", "famous", "forgotten", "electric", "frozen", "burning",
-    "silent", "endless", "lucky",
+    "funny",
+    "amazing",
+    "broken",
+    "quiet",
+    "loud",
+    "bright",
+    "dark",
+    "tiny",
+    "huge",
+    "quick",
+    "lazy",
+    "happy",
+    "sad",
+    "angry",
+    "calm",
+    "wild",
+    "gentle",
+    "brave",
+    "shy",
+    "clever",
+    "ancient",
+    "modern",
+    "crispy",
+    "smooth",
+    "rough",
+    "golden",
+    "silver",
+    "crimson",
+    "azure",
+    "emerald",
+    "hidden",
+    "secret",
+    "famous",
+    "forgotten",
+    "electric",
+    "frozen",
+    "burning",
+    "silent",
+    "endless",
+    "lucky",
 ];
 
 const NOUNS: &[&str] = &[
-    "cat", "dog", "river", "mountain", "city", "garden", "robot", "dream", "song", "story",
-    "journey", "shadow", "light", "storm", "ocean", "forest", "castle", "bridge", "train",
-    "rocket", "planet", "island", "desert", "winter", "summer", "morning", "midnight", "coffee",
-    "breakfast", "library", "museum", "market", "festival", "harbor", "village", "engine",
-    "mirror", "harvest", "lantern", "compass",
+    "cat",
+    "dog",
+    "river",
+    "mountain",
+    "city",
+    "garden",
+    "robot",
+    "dream",
+    "song",
+    "story",
+    "journey",
+    "shadow",
+    "light",
+    "storm",
+    "ocean",
+    "forest",
+    "castle",
+    "bridge",
+    "train",
+    "rocket",
+    "planet",
+    "island",
+    "desert",
+    "winter",
+    "summer",
+    "morning",
+    "midnight",
+    "coffee",
+    "breakfast",
+    "library",
+    "museum",
+    "market",
+    "festival",
+    "harbor",
+    "village",
+    "engine",
+    "mirror",
+    "harvest",
+    "lantern",
+    "compass",
 ];
 
 const VERBS: &[&str] = &[
@@ -56,20 +161,94 @@ const VERBS: &[&str] = &[
 ];
 
 const CITIES: &[&str] = &[
-    "san francisco", "palo alto", "new york", "london", "paris", "tokyo", "beijing", "sydney",
-    "berlin", "madrid", "rome", "seattle", "austin", "boston", "chicago", "toronto", "vancouver",
-    "mexico city", "sao paulo", "mumbai", "delhi", "singapore", "seoul", "dubai", "amsterdam",
-    "stockholm", "oslo", "helsinki", "zurich", "vienna", "prague", "lisbon", "dublin",
-    "edinburgh", "cairo", "nairobi", "lagos", "buenos aires", "santiago", "lima",
+    "san francisco",
+    "palo alto",
+    "new york",
+    "london",
+    "paris",
+    "tokyo",
+    "beijing",
+    "sydney",
+    "berlin",
+    "madrid",
+    "rome",
+    "seattle",
+    "austin",
+    "boston",
+    "chicago",
+    "toronto",
+    "vancouver",
+    "mexico city",
+    "sao paulo",
+    "mumbai",
+    "delhi",
+    "singapore",
+    "seoul",
+    "dubai",
+    "amsterdam",
+    "stockholm",
+    "oslo",
+    "helsinki",
+    "zurich",
+    "vienna",
+    "prague",
+    "lisbon",
+    "dublin",
+    "edinburgh",
+    "cairo",
+    "nairobi",
+    "lagos",
+    "buenos aires",
+    "santiago",
+    "lima",
 ];
 
 const COUNTRIES: &[&str] = &[
-    "united states", "canada", "mexico", "brazil", "argentina", "united kingdom", "france",
-    "germany", "italy", "spain", "portugal", "netherlands", "belgium", "sweden", "norway",
-    "finland", "denmark", "switzerland", "austria", "poland", "czech republic", "greece",
-    "turkey", "egypt", "kenya", "nigeria", "south africa", "india", "china", "japan",
-    "south korea", "vietnam", "thailand", "indonesia", "australia", "new zealand", "russia",
-    "ukraine", "ireland", "iceland", "chile", "peru", "colombia", "morocco", "israel",
+    "united states",
+    "canada",
+    "mexico",
+    "brazil",
+    "argentina",
+    "united kingdom",
+    "france",
+    "germany",
+    "italy",
+    "spain",
+    "portugal",
+    "netherlands",
+    "belgium",
+    "sweden",
+    "norway",
+    "finland",
+    "denmark",
+    "switzerland",
+    "austria",
+    "poland",
+    "czech republic",
+    "greece",
+    "turkey",
+    "egypt",
+    "kenya",
+    "nigeria",
+    "south africa",
+    "india",
+    "china",
+    "japan",
+    "south korea",
+    "vietnam",
+    "thailand",
+    "indonesia",
+    "australia",
+    "new zealand",
+    "russia",
+    "ukraine",
+    "ireland",
+    "iceland",
+    "chile",
+    "peru",
+    "colombia",
+    "morocco",
+    "israel",
 ];
 
 const CURRENCY_CODES: &[&str] = &[
@@ -78,15 +257,47 @@ const CURRENCY_CODES: &[&str] = &[
 ];
 
 const TOPICS: &[&str] = &[
-    "rust", "climate", "election", "football", "basketball", "music", "movies", "cooking",
-    "travel", "photography", "science", "space", "ai", "privacy", "security", "startups",
-    "fashion", "gaming", "books", "health", "fitness", "economy", "art", "history", "weather",
-    "gardening", "coffee", "wine", "cycling", "hiking",
+    "rust",
+    "climate",
+    "election",
+    "football",
+    "basketball",
+    "music",
+    "movies",
+    "cooking",
+    "travel",
+    "photography",
+    "science",
+    "space",
+    "ai",
+    "privacy",
+    "security",
+    "startups",
+    "fashion",
+    "gaming",
+    "books",
+    "health",
+    "fitness",
+    "economy",
+    "art",
+    "history",
+    "weather",
+    "gardening",
+    "coffee",
+    "wine",
+    "cycling",
+    "hiking",
 ];
 
 const EMAIL_DOMAINS: &[&str] = &[
-    "gmail.com", "yahoo.com", "outlook.com", "example.com", "stanford.edu", "mit.edu",
-    "company.org", "startup.io",
+    "gmail.com",
+    "yahoo.com",
+    "outlook.com",
+    "example.com",
+    "stanford.edu",
+    "mit.edu",
+    "company.org",
+    "startup.io",
 ];
 
 const FILE_EXTENSIONS: &[&str] = &[
@@ -94,8 +305,21 @@ const FILE_EXTENSIONS: &[&str] = &[
 ];
 
 const GENRES: &[&str] = &[
-    "pop", "rock", "jazz", "classical", "hip hop", "country", "electronic", "folk", "blues",
-    "reggae", "metal", "indie", "soul", "punk", "disco",
+    "pop",
+    "rock",
+    "jazz",
+    "classical",
+    "hip hop",
+    "country",
+    "electronic",
+    "folk",
+    "blues",
+    "reggae",
+    "metal",
+    "indie",
+    "soul",
+    "punk",
+    "disco",
 ];
 
 /// A named list of parameter values of one kind.
@@ -215,10 +439,13 @@ impl ParamDatasets {
                     "com.spotify:artist".to_owned()
                 } else if name.contains("album") {
                     "com.spotify:album".to_owned()
-                } else if name.contains("author") || name.contains("name") && name.contains("person")
+                } else if name.contains("author")
+                    || name.contains("name") && name.contains("person")
                 {
                     "tt:person_name".to_owned()
-                } else if name.contains("city") || name.contains("location") || name.contains("place")
+                } else if name.contains("city")
+                    || name.contains("location")
+                    || name.contains("place")
                 {
                     "tt:city_name".to_owned()
                 } else if name.contains("country") {
@@ -283,17 +510,46 @@ fn build_all() -> Vec<ParamDataset> {
         .collect();
     let song_titles = cross3(VERBS, &["the", "my", "your", "that"], NOUNS, " ", 3200);
     let free_text = cross3(
-        &["i want to", "please", "remember to", "do not forget to", "let us"],
+        &[
+            "i want to",
+            "please",
+            "remember to",
+            "do not forget to",
+            "let us",
+        ],
         VERBS,
-        &["the report", "my homework", "dinner tonight", "the meeting notes", "a new plan",
-          "the groceries", "that email", "the tickets", "our trip", "the budget"],
+        &[
+            "the report",
+            "my homework",
+            "dinner tonight",
+            "the meeting notes",
+            "a new plan",
+            "the groceries",
+            "that email",
+            "the tickets",
+            "our trip",
+            "the budget",
+        ],
         " ",
         1000,
     );
     let messages = cross3(
         &["hey", "hello", "hi there", "good morning", "quick reminder"],
-        &["the meeting is", "lunch is", "the deadline is", "the party is", "standup is"],
-        &["at noon", "tomorrow", "on friday", "moved to 3pm", "cancelled", "in room 201"],
+        &[
+            "the meeting is",
+            "lunch is",
+            "the deadline is",
+            "the party is",
+            "standup is",
+        ],
+        &[
+            "at noon",
+            "tomorrow",
+            "on friday",
+            "moved to 3pm",
+            "cancelled",
+            "in room 201",
+        ],
         " ",
         1000,
     );
@@ -301,8 +557,16 @@ fn build_all() -> Vec<ParamDataset> {
     let news_titles = cross3(
         ADJECTIVES,
         NOUNS,
-        &["shakes markets", "wins election", "breaks record", "surprises scientists",
-          "returns home", "goes viral", "faces criticism", "announces merger"],
+        &[
+            "shakes markets",
+            "wins election",
+            "breaks record",
+            "surprises scientists",
+            "returns home",
+            "goes viral",
+            "faces criticism",
+            "announces merger",
+        ],
         " ",
         2400,
     );
@@ -326,11 +590,7 @@ fn build_all() -> Vec<ParamDataset> {
         .collect();
     let emails: Vec<String> = FIRST_NAMES
         .iter()
-        .flat_map(|f| {
-            EMAIL_DOMAINS
-                .iter()
-                .map(move |d| format!("{f}@{d}"))
-        })
+        .flat_map(|f| EMAIL_DOMAINS.iter().map(move |d| format!("{f}@{d}")))
         .collect();
     let phone_numbers: Vec<String> = (0..500)
         .map(|i| format!("+1 650 555 {:04}", (i * 37) % 10_000))
@@ -356,8 +616,23 @@ fn build_all() -> Vec<ParamDataset> {
     let picture_urls: Vec<String> = (0..400)
         .map(|i| format!("https://images.example.com/photo_{i}.jpg"))
         .collect();
-    let playlists = cross2(ADJECTIVES, &["vibes", "mix", "hits", "classics", "mood", "party",
-                                         "workout", "study", "focus", "road trip"], " ", 400);
+    let playlists = cross2(
+        ADJECTIVES,
+        &[
+            "vibes",
+            "mix",
+            "hits",
+            "classics",
+            "mood",
+            "party",
+            "workout",
+            "study",
+            "focus",
+            "road trip",
+        ],
+        " ",
+        400,
+    );
     let artists = cross2(
         &["the", "dj", "little", "big", "saint"],
         &[
@@ -367,10 +642,17 @@ fn build_all() -> Vec<ParamDataset> {
         " ",
         200,
     );
-    let albums = cross2(ADJECTIVES, &["nights", "days", "dreams", "roads", "letters", "echoes"], " ", 240);
+    let albums = cross2(
+        ADJECTIVES,
+        &["nights", "days", "dreams", "roads", "letters", "echoes"],
+        " ",
+        240,
+    );
     let channels = cross2(
         &["daily", "weekly", "the", "planet", "studio"],
-        &["tech", "cooking", "science", "music", "news", "travel", "history", "sports"],
+        &[
+            "tech", "cooking", "science", "music", "news", "travel", "history", "sports",
+        ],
         " ",
         200,
     );
@@ -383,24 +665,52 @@ fn build_all() -> Vec<ParamDataset> {
     .map(|s| s.to_string())
     .collect();
     let device_names = cross2(
-        &["living room", "bedroom", "kitchen", "office", "garage", "hallway"],
+        &[
+            "living room",
+            "bedroom",
+            "kitchen",
+            "office",
+            "garage",
+            "hallway",
+        ],
         &["light", "lamp", "speaker", "thermostat", "camera", "plug"],
         " ",
         100,
     );
     let calendar_events = cross2(
         &["team", "project", "weekly", "quarterly", "client"],
-        &["standup", "review", "sync", "planning", "retrospective", "dinner", "call"],
+        &[
+            "standup",
+            "review",
+            "sync",
+            "planning",
+            "retrospective",
+            "dinner",
+            "call",
+        ],
         " ",
         100,
     );
-    let recipes = cross2(ADJECTIVES, &["pasta", "curry", "salad", "soup", "tacos", "pancakes", "stew"], " ", 280);
+    let recipes = cross2(
+        ADJECTIVES,
+        &[
+            "pasta", "curry", "salad", "soup", "tacos", "pancakes", "stew",
+        ],
+        " ",
+        280,
+    );
 
     vec![
         ParamDataset::new("tt:person_name", person_names),
-        ParamDataset::new("tt:person_first_name", FIRST_NAMES.iter().map(|s| s.to_string()).collect()),
+        ParamDataset::new(
+            "tt:person_first_name",
+            FIRST_NAMES.iter().map(|s| s.to_string()).collect(),
+        ),
         ParamDataset::new("tt:username", usernames.clone()),
-        ParamDataset::new("tt:contact_name", FIRST_NAMES.iter().map(|s| s.to_string()).collect()),
+        ParamDataset::new(
+            "tt:contact_name",
+            FIRST_NAMES.iter().map(|s| s.to_string()).collect(),
+        ),
         ParamDataset::new("tt:email_address", emails),
         ParamDataset::new("tt:phone_number", phone_numbers),
         ParamDataset::new("tt:hashtag", hashtags),
@@ -409,27 +719,68 @@ fn build_all() -> Vec<ParamDataset> {
         ParamDataset::new("tt:caption", captions),
         ParamDataset::new("tt:short_title", cross2(ADJECTIVES, NOUNS, " ", 1200)),
         ParamDataset::new("tt:free_form_text", free_text),
-        ParamDataset::new("tt:long_free_text", cross3(
-            &["note to self:", "draft:", "idea:", "todo:"],
-            VERBS,
-            &["the quarterly report before friday", "a surprise party for the team",
-              "the garden fence this weekend", "the slides for monday"],
-            " ",
-            320,
-        )),
+        ParamDataset::new(
+            "tt:long_free_text",
+            cross3(
+                &["note to self:", "draft:", "idea:", "todo:"],
+                VERBS,
+                &[
+                    "the quarterly report before friday",
+                    "a surprise party for the team",
+                    "the garden fence this weekend",
+                    "the slides for monday",
+                ],
+                " ",
+                320,
+            ),
+        ),
         ParamDataset::new("tt:path_name", path_names),
-        ParamDataset::new("tt:folder_name", NOUNS.iter().map(|n| format!("{n} documents")).collect()),
+        ParamDataset::new(
+            "tt:folder_name",
+            NOUNS.iter().map(|n| format!("{n} documents")).collect(),
+        ),
         ParamDataset::new("tt:url", urls),
         ParamDataset::new("tt:picture_url", picture_urls),
-        ParamDataset::new("tt:city_name", CITIES.iter().map(|s| s.to_string()).collect()),
-        ParamDataset::new("tt:country_name", COUNTRIES.iter().map(|s| s.to_string()).collect()),
-        ParamDataset::new("tt:location", CITIES.iter().map(|s| s.to_string()).collect()),
-        ParamDataset::new("tt:currency_code", CURRENCY_CODES.iter().map(|s| s.to_string()).collect()),
-        ParamDataset::new("tt:language", vec![
-            "english", "spanish", "french", "german", "italian", "chinese", "japanese", "korean",
-            "portuguese", "russian", "arabic", "hindi",
-        ].into_iter().map(String::from).collect()),
-        ParamDataset::new("tt:music_genre", GENRES.iter().map(|s| s.to_string()).collect()),
+        ParamDataset::new(
+            "tt:city_name",
+            CITIES.iter().map(|s| s.to_string()).collect(),
+        ),
+        ParamDataset::new(
+            "tt:country_name",
+            COUNTRIES.iter().map(|s| s.to_string()).collect(),
+        ),
+        ParamDataset::new(
+            "tt:location",
+            CITIES.iter().map(|s| s.to_string()).collect(),
+        ),
+        ParamDataset::new(
+            "tt:currency_code",
+            CURRENCY_CODES.iter().map(|s| s.to_string()).collect(),
+        ),
+        ParamDataset::new(
+            "tt:language",
+            vec![
+                "english",
+                "spanish",
+                "french",
+                "german",
+                "italian",
+                "chinese",
+                "japanese",
+                "korean",
+                "portuguese",
+                "russian",
+                "arabic",
+                "hindi",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        ),
+        ParamDataset::new(
+            "tt:music_genre",
+            GENRES.iter().map(|s| s.to_string()).collect(),
+        ),
         ParamDataset::new("tt:generic_entity", numbered("item", 500)),
         ParamDataset::new("com.spotify:song", song_titles.clone()),
         ParamDataset::new("com.spotify:artist", artists.clone()),
@@ -437,33 +788,133 @@ fn build_all() -> Vec<ParamDataset> {
         ParamDataset::new("com.spotify:playlist", playlists),
         ParamDataset::new("com.youtube:video_title", video_titles.clone()),
         ParamDataset::new("com.youtube:channel", channels.clone()),
-        ParamDataset::new("com.twitter:tweet_text", cross3(
-            &["just", "finally", "cannot believe", "so excited that", "thrilled that"],
-            VERBS,
-            &["the marathon", "my first paper", "the new release", "this view", "the garden"],
-            " ",
-            1000,
-        )),
-        ParamDataset::new("com.instagram:caption", cross2(ADJECTIVES, &["sunset", "brunch", "hike", "skyline", "latte", "beach day"], " ", 240)),
+        ParamDataset::new(
+            "com.twitter:tweet_text",
+            cross3(
+                &[
+                    "just",
+                    "finally",
+                    "cannot believe",
+                    "so excited that",
+                    "thrilled that",
+                ],
+                VERBS,
+                &[
+                    "the marathon",
+                    "my first paper",
+                    "the new release",
+                    "this view",
+                    "the garden",
+                ],
+                " ",
+                1000,
+            ),
+        ),
+        ParamDataset::new(
+            "com.instagram:caption",
+            cross2(
+                ADJECTIVES,
+                &["sunset", "brunch", "hike", "skyline", "latte", "beach day"],
+                " ",
+                240,
+            ),
+        ),
         ParamDataset::new("com.reddit:subreddit", subreddits),
-        ParamDataset::new("com.github:repo_name", cross2(NOUNS, &["rs", "js", "toolkit", "engine", "cli", "lab"], "-", 240)),
-        ParamDataset::new("com.github:issue_title", cross3(&["fix", "add", "remove", "improve"], ADJECTIVES, NOUNS, " ", 1600)),
+        ParamDataset::new(
+            "com.github:repo_name",
+            cross2(
+                NOUNS,
+                &["rs", "js", "toolkit", "engine", "cli", "lab"],
+                "-",
+                240,
+            ),
+        ),
+        ParamDataset::new(
+            "com.github:issue_title",
+            cross3(
+                &["fix", "add", "remove", "improve"],
+                ADJECTIVES,
+                NOUNS,
+                " ",
+                1600,
+            ),
+        ),
         ParamDataset::new("com.yahoo.finance:stock", stock_symbols),
         ParamDataset::new("tt:device_name", device_names),
         ParamDataset::new("tt:calendar_event", calendar_events),
         ParamDataset::new("tt:recipe_name", recipes),
         ParamDataset::new("tt:news_title", news_titles),
-        ParamDataset::new("tt:book_title", cross2(&["the", "a", "beyond the", "under the"], NOUNS, " ", 160)),
-        ParamDataset::new("tt:movie_title", cross2(&["the last", "return of the", "rise of the", "night of the"], NOUNS, " ", 160)),
-        ParamDataset::new("tt:podcast_name", cross2(&["talking", "hidden", "daily", "radio"], NOUNS, " ", 160)),
-        ParamDataset::new("tt:tv_show", cross2(&["planet", "house of", "tales of", "masters of"], NOUNS, " ", 160)),
-        ParamDataset::new("tt:meme_text", cross2(&["one does not simply", "shut up and take my", "y u no", "such"], NOUNS, " ", 160)),
-        ParamDataset::new("tt:emoji_reaction", vec![
-            "thumbsup", "heart", "laughing", "tada", "fire", "eyes", "clap", "rocket",
-        ].into_iter().map(String::from).collect()),
-        ParamDataset::new("tt:slack_channel", TOPICS.iter().map(|t| format!("#{t}")).collect()),
-        ParamDataset::new("tt:alarm_label", cross2(&["wake up", "gym", "meeting", "medication", "pick up kids"], &["reminder", "alarm", "alert"], " ", 15)),
-        ParamDataset::new("tt:note_title", cross2(&["shopping", "reading", "packing", "wish", "todo"], &["list", "notes", "ideas"], " ", 15)),
+        ParamDataset::new(
+            "tt:book_title",
+            cross2(&["the", "a", "beyond the", "under the"], NOUNS, " ", 160),
+        ),
+        ParamDataset::new(
+            "tt:movie_title",
+            cross2(
+                &["the last", "return of the", "rise of the", "night of the"],
+                NOUNS,
+                " ",
+                160,
+            ),
+        ),
+        ParamDataset::new(
+            "tt:podcast_name",
+            cross2(&["talking", "hidden", "daily", "radio"], NOUNS, " ", 160),
+        ),
+        ParamDataset::new(
+            "tt:tv_show",
+            cross2(
+                &["planet", "house of", "tales of", "masters of"],
+                NOUNS,
+                " ",
+                160,
+            ),
+        ),
+        ParamDataset::new(
+            "tt:meme_text",
+            cross2(
+                &[
+                    "one does not simply",
+                    "shut up and take my",
+                    "y u no",
+                    "such",
+                ],
+                NOUNS,
+                " ",
+                160,
+            ),
+        ),
+        ParamDataset::new(
+            "tt:emoji_reaction",
+            vec![
+                "thumbsup", "heart", "laughing", "tada", "fire", "eyes", "clap", "rocket",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        ),
+        ParamDataset::new(
+            "tt:slack_channel",
+            TOPICS.iter().map(|t| format!("#{t}")).collect(),
+        ),
+        ParamDataset::new(
+            "tt:alarm_label",
+            cross2(
+                &["wake up", "gym", "meeting", "medication", "pick up kids"],
+                &["reminder", "alarm", "alert"],
+                " ",
+                15,
+            ),
+        ),
+        ParamDataset::new(
+            "tt:note_title",
+            cross2(
+                &["shopping", "reading", "packing", "wish", "todo"],
+                &["list", "notes", "ideas"],
+                " ",
+                15,
+            ),
+        ),
     ]
 }
 
@@ -516,15 +967,23 @@ mod tests {
     fn routing_by_type_and_name() {
         let registry = ParamDatasets::builtin();
         assert_eq!(
-            registry.for_param(&Type::Entity("com.spotify:song".into()), "song").name,
+            registry
+                .for_param(&Type::Entity("com.spotify:song".into()), "song")
+                .name,
             "com.spotify:song"
         );
         assert_eq!(
             registry.for_param(&Type::String, "search_query").name,
             "tt:search_query"
         );
-        assert_eq!(registry.for_param(&Type::String, "caption").name, "tt:caption");
-        assert_eq!(registry.for_param(&Type::PathName, "folder_name").name, "tt:path_name");
+        assert_eq!(
+            registry.for_param(&Type::String, "caption").name,
+            "tt:caption"
+        );
+        assert_eq!(
+            registry.for_param(&Type::PathName, "folder_name").name,
+            "tt:path_name"
+        );
         assert_eq!(
             registry.for_param(&Type::EmailAddress, "to").name,
             "tt:email_address"

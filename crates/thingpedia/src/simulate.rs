@@ -141,7 +141,7 @@ impl SimulatedDevices {
                 };
                 Value::Measure((amount * 10.0).round() / 10.0, unit)
             }
-            Type::Date => Value::Date(DateValue::Absolute(rng.gen_range(0..90) * 86_400_000)),
+            Type::Date => Value::Date(DateValue::Absolute(rng.gen_range(0..90i64) * 86_400_000)),
             Type::Time => Value::Time(rng.gen_range(0..24), rng.gen_range(0..60)),
             Type::Location => Value::Location(LocationValue::Named(
                 self.datasets
@@ -331,10 +331,7 @@ mod tests {
 
     #[test]
     fn monitors_over_simulated_data_eventually_trigger() {
-        let program = parse_program(
-            "monitor (@com.nytimes.get_front_page()) => notify",
-        )
-        .unwrap();
+        let program = parse_program("monitor (@com.nytimes.get_front_page()) => notify").unwrap();
         let mut engine = engine(3);
         let result = engine.run_for(&program, 12).unwrap();
         assert!(
@@ -346,10 +343,9 @@ mod tests {
 
     #[test]
     fn aggregation_over_dropbox_files() {
-        let program = parse_program(
-            "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
-        )
-        .unwrap();
+        let program =
+            parse_program("now => agg sum file_size of (@com.dropbox.list_folder()) => notify")
+                .unwrap();
         let mut engine = engine(4);
         let result = engine.execute_once(&program).unwrap();
         assert_eq!(result.notifications.len(), 1);
@@ -384,7 +380,11 @@ mod tests {
         let mut devices = SimulatedDevices::builtin(6);
         let ctx = ExecContext { now_ms: 0, tick: 0 };
         assert!(devices
-            .invoke_query(&FunctionRef::new("com.nope", "nothing"), &ResultRow::new(), &ctx)
+            .invoke_query(
+                &FunctionRef::new("com.nope", "nothing"),
+                &ResultRow::new(),
+                &ctx
+            )
             .is_err());
     }
 }

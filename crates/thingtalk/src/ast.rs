@@ -7,9 +7,20 @@
 //! occur; the action clause specifies what the program should do. Queries can
 //! be filtered with boolean predicates and joined with parameter passing;
 //! streams can be timers, monitors of queries, or edge filters over streams.
+//!
+//! # Shared subtrees
+//!
+//! Query, stream, and action subtrees are [`Arc`]-backed so the synthesis
+//! engine can compose thousands of programs from a pool of phrase
+//! derivations without deep-cloning the fragments: wrapping a query in a
+//! filter, a monitor, or a program is a reference-count bump. Mutation goes
+//! through [`Arc::make_mut`], which clones lazily only when a subtree is
+//! actually shared (copy-on-write), so `&mut` traversals like
+//! [`Program::invocations_mut`] keep working unchanged for callers.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::value::Value;
 
@@ -49,7 +60,7 @@ impl fmt::Display for FunctionRef {
 }
 
 /// A keyword input-parameter binding `name = value` in a function invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct InputParam {
     /// The input parameter name.
     pub name: String,
@@ -75,7 +86,7 @@ impl fmt::Display for InputParam {
 }
 
 /// An invocation of a skill-library function with keyword parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct Invocation {
     /// The invoked function.
     pub function: FunctionRef,
@@ -199,7 +210,7 @@ impl fmt::Display for CompareOp {
 }
 
 /// A boolean predicate over the output parameters of a query (Fig. 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub enum Predicate {
     /// Always true.
     True,
@@ -373,23 +384,26 @@ impl fmt::Display for JoinParam {
 }
 
 /// A query expression (Fig. 5, plus TT+A aggregation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Subqueries are [`Arc`]-shared: wrapping an existing query in a filter,
+/// join, or aggregation does not clone it.
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub enum Query {
     /// A direct function invocation.
     Invocation(Invocation),
     /// A filtered query.
     Filter {
         /// The filtered query.
-        query: Box<Query>,
+        query: Arc<Query>,
         /// The boolean predicate over output parameters.
         predicate: Predicate,
     },
     /// A join of two queries, with optional parameter passing.
     Join {
         /// The left-hand query.
-        lhs: Box<Query>,
+        lhs: Arc<Query>,
         /// The right-hand query.
-        rhs: Box<Query>,
+        rhs: Arc<Query>,
         /// Parameter passing `on (input = output)` clauses.
         on: Vec<JoinParam>,
     },
@@ -400,7 +414,7 @@ pub enum Query {
         /// The aggregated output parameter; `None` for `count`.
         field: Option<String>,
         /// The aggregated query.
-        query: Box<Query>,
+        query: Arc<Query>,
     },
 }
 
@@ -416,7 +430,26 @@ impl Query {
                 predicate: existing.and(predicate),
             },
             other => Query::Filter {
-                query: Box::new(other),
+                query: Arc::new(other),
+                predicate,
+            },
+        }
+    }
+
+    /// Wrap a shared query in a filter without cloning its subtree: the
+    /// result either shares `base` directly or, when `base` is already a
+    /// filter, shares the filtered subquery and merges the predicates.
+    pub fn shared_filtered(base: &Arc<Query>, predicate: Predicate) -> Query {
+        match &**base {
+            Query::Filter {
+                query,
+                predicate: existing,
+            } => Query::Filter {
+                query: Arc::clone(query),
+                predicate: existing.clone().and(predicate),
+            },
+            _ => Query::Filter {
+                query: Arc::clone(base),
                 predicate,
             },
         }
@@ -451,12 +484,12 @@ impl Query {
     fn collect_invocations_mut<'a>(&'a mut self, out: &mut Vec<&'a mut Invocation>) {
         match self {
             Query::Invocation(inv) => out.push(inv),
-            Query::Filter { query, .. } => query.collect_invocations_mut(out),
+            Query::Filter { query, .. } => Arc::make_mut(query).collect_invocations_mut(out),
             Query::Join { lhs, rhs, .. } => {
-                lhs.collect_invocations_mut(out);
-                rhs.collect_invocations_mut(out);
+                Arc::make_mut(lhs).collect_invocations_mut(out);
+                Arc::make_mut(rhs).collect_invocations_mut(out);
             }
-            Query::Aggregation { query, .. } => query.collect_invocations_mut(out),
+            Query::Aggregation { query, .. } => Arc::make_mut(query).collect_invocations_mut(out),
         }
     }
 
@@ -529,7 +562,10 @@ impl fmt::Display for Query {
 }
 
 /// A stream expression (Fig. 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Monitored queries and edge-filtered streams are [`Arc`]-shared, like
+/// [`Query`] subtrees.
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub enum Stream {
     /// The degenerate stream `now`, which triggers the program once
     /// immediately.
@@ -549,7 +585,7 @@ pub enum Stream {
     /// A monitor of a query: triggers whenever the query result changes.
     Monitor {
         /// The monitored query.
-        query: Box<Query>,
+        query: Arc<Query>,
         /// Optional list of output parameters to watch (`on new file_name`);
         /// empty means any change triggers.
         on: Vec<String>,
@@ -558,7 +594,7 @@ pub enum Stream {
     /// true on the underlying stream.
     EdgeFilter {
         /// The filtered stream.
-        stream: Box<Stream>,
+        stream: Arc<Stream>,
         /// The edge predicate.
         predicate: Predicate,
     },
@@ -591,8 +627,8 @@ impl Stream {
     /// Mutable access to all invocations in the stream.
     pub fn invocations_mut(&mut self) -> Vec<&mut Invocation> {
         match self {
-            Stream::Monitor { query, .. } => query.invocations_mut(),
-            Stream::EdgeFilter { stream, .. } => stream.invocations_mut(),
+            Stream::Monitor { query, .. } => Arc::make_mut(query).invocations_mut(),
+            Stream::EdgeFilter { stream, .. } => Arc::make_mut(stream).invocations_mut(),
             _ => Vec::new(),
         }
     }
@@ -622,12 +658,15 @@ impl fmt::Display for Stream {
 
 /// An action expression (Fig. 5): either the builtin `notify` or an action
 /// function invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The invocation is [`Arc`]-shared so the same instantiated action phrase
+/// can appear in many synthesized programs without cloning.
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub enum Action {
     /// Present the result to the user.
     Notify,
     /// Invoke an action function.
-    Invocation(Invocation),
+    Invocation(Arc<Invocation>),
 }
 
 impl Action {
@@ -662,56 +701,57 @@ impl fmt::Display for Action {
 /// use thingtalk::ast::{Action, Invocation, Program, Stream};
 /// use thingtalk::value::Value;
 ///
-/// // Fig. 1: get a cat picture and post it on Facebook.
+/// // Fig. 1: get a cat picture and post it on Facebook. Query and action
+/// // subtrees are Arc-shared; `.into()` wraps the owned fragments.
 /// let program = Program {
 ///     stream: Stream::Now,
-///     query: Some(thingtalk::ast::Query::Invocation(Invocation::new(
-///         "com.thecatapi",
-///         "get",
-///     ))),
+///     query: Some(
+///         thingtalk::ast::Query::Invocation(Invocation::new("com.thecatapi", "get")).into(),
+///     ),
 ///     action: Action::Invocation(
 ///         Invocation::new("com.facebook", "post_picture")
 ///             .with_param("picture_url", Value::VarRef("picture_url".into()))
-///             .with_param("caption", Value::string("funny cat")),
+///             .with_param("caption", Value::string("funny cat"))
+///             .into(),
 ///     ),
 /// };
 /// assert!(program.is_compound());
 /// assert!(program.uses_param_passing());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash, Serialize, Deserialize)]
 pub struct Program {
     /// The stream clause.
     pub stream: Stream,
-    /// The optional query clause.
-    pub query: Option<Query>,
+    /// The optional query clause ([`Arc`]-shared).
+    pub query: Option<Arc<Query>>,
     /// The action clause.
     pub action: Action,
 }
 
 impl Program {
     /// A primitive "do" command: `now => action`.
-    pub fn do_action(action: Invocation) -> Self {
+    pub fn do_action(action: impl Into<Arc<Invocation>>) -> Self {
         Program {
             stream: Stream::Now,
             query: None,
-            action: Action::Invocation(action),
+            action: Action::Invocation(action.into()),
         }
     }
 
     /// A primitive "get" command: `now => query => notify`.
-    pub fn get_query(query: Query) -> Self {
+    pub fn get_query(query: impl Into<Arc<Query>>) -> Self {
         Program {
             stream: Stream::Now,
-            query: Some(query),
+            query: Some(query.into()),
             action: Action::Notify,
         }
     }
 
     /// A "when" command: `monitor(query) => notify`.
-    pub fn when_notify(query: Query) -> Self {
+    pub fn when_notify(query: impl Into<Arc<Query>>) -> Self {
         Program {
             stream: Stream::Monitor {
-                query: Box::new(query),
+                query: query.into(),
                 on: Vec::new(),
             },
             query: None,
@@ -726,19 +766,20 @@ impl Program {
             out.extend(query.invocations());
         }
         if let Action::Invocation(inv) = &self.action {
-            out.push(inv);
+            out.push(inv.as_ref());
         }
         out
     }
 
-    /// Mutable access to all invocations in the program.
+    /// Mutable access to all invocations in the program (copy-on-write for
+    /// shared subtrees).
     pub fn invocations_mut(&mut self) -> Vec<&mut Invocation> {
         let mut out = self.stream.invocations_mut();
         if let Some(query) = &mut self.query {
-            out.extend(query.invocations_mut());
+            out.extend(Arc::make_mut(query).invocations_mut());
         }
         if let Action::Invocation(inv) = &mut self.action {
-            out.push(inv);
+            out.push(Arc::make_mut(inv));
         }
         out
     }
@@ -777,7 +818,7 @@ impl Program {
             .invocations()
             .iter()
             .any(|inv| inv.passed_params().next().is_some());
-        let passes_in_join = self.query.as_ref().is_some_and(query_has_join_params);
+        let passes_in_join = self.query.as_deref().is_some_and(query_has_join_params);
         passes_in_invocation || passes_in_join
     }
 
@@ -893,7 +934,7 @@ mod tests {
         //   => @com.twitter.retweet(tweet_id = tweet_id)
         Program {
             stream: Stream::Monitor {
-                query: Box::new(
+                query: Arc::new(
                     Query::Invocation(Invocation::new("com.twitter", "timeline")).filtered(
                         Predicate::atom("author", CompareOp::Eq, Value::string("PLDI")),
                     ),
@@ -901,10 +942,10 @@ mod tests {
                 on: Vec::new(),
             },
             query: None,
-            action: Action::Invocation(
+            action: Action::Invocation(Arc::new(
                 Invocation::new("com.twitter", "retweet")
                     .with_param("tweet_id", Value::VarRef("tweet_id".into())),
-            ),
+            )),
         }
     }
 
@@ -972,7 +1013,7 @@ mod tests {
         let program = Program::get_query(Query::Aggregation {
             op: AggregationOp::Sum,
             field: Some("file_size".into()),
-            query: Box::new(Query::Invocation(Invocation::new(
+            query: Arc::new(Query::Invocation(Invocation::new(
                 "com.dropbox",
                 "list_folder",
             ))),

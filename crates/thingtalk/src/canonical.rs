@@ -19,6 +19,8 @@
 //! * input parameters are listed in alphabetical order, which helps the
 //!   neural model learn a single global order across functions.
 
+use std::sync::Arc;
+
 use crate::ast::{Action, Invocation, Predicate, Program, Query, Stream};
 use crate::optimize::simplify;
 use crate::typecheck::SchemaRegistry;
@@ -28,12 +30,18 @@ use crate::typecheck::SchemaRegistry;
 /// a registry without the relevant classes and filters simply stay where the
 /// parser put them.
 pub fn canonicalize<R: SchemaRegistry + ?Sized>(registry: &R, program: &mut Program) {
-    program.stream = canonicalize_stream(registry, std::mem::replace(&mut program.stream, Stream::Now));
+    program.stream = canonicalize_stream(
+        registry,
+        std::mem::replace(&mut program.stream, Stream::Now),
+    );
     if let Some(query) = program.query.take() {
-        program.query = Some(canonicalize_query(registry, query));
+        program.query = Some(Arc::new(canonicalize_query(
+            registry,
+            Arc::unwrap_or_clone(query),
+        )));
     }
     if let Action::Invocation(inv) = &mut program.action {
-        sort_input_params(inv);
+        sort_input_params(Arc::make_mut(inv));
     }
 }
 
@@ -57,12 +65,12 @@ fn canonicalize_stream<R: SchemaRegistry + ?Sized>(registry: &R, stream: Stream)
             on.sort();
             on.dedup();
             Stream::Monitor {
-                query: Box::new(canonicalize_query(registry, *query)),
+                query: Arc::new(canonicalize_query(registry, Arc::unwrap_or_clone(query))),
                 on,
             }
         }
         Stream::EdgeFilter { stream, predicate } => Stream::EdgeFilter {
-            stream: Box::new(canonicalize_stream(registry, *stream)),
+            stream: Arc::new(canonicalize_stream(registry, Arc::unwrap_or_clone(stream))),
             predicate: simplify(predicate),
         },
         other => other,
@@ -98,18 +106,18 @@ fn strip_filters(query: Query) -> (Query, Vec<Predicate>) {
     match query {
         Query::Invocation(inv) => (Query::Invocation(inv), Vec::new()),
         Query::Filter { query, predicate } => {
-            let (skeleton, mut predicates) = strip_filters(*query);
+            let (skeleton, mut predicates) = strip_filters(Arc::unwrap_or_clone(query));
             predicates.push(predicate);
             (skeleton, predicates)
         }
         Query::Join { lhs, rhs, on } => {
-            let (lhs_skeleton, mut lhs_preds) = strip_filters(*lhs);
-            let (rhs_skeleton, rhs_preds) = strip_filters(*rhs);
+            let (lhs_skeleton, mut lhs_preds) = strip_filters(Arc::unwrap_or_clone(lhs));
+            let (rhs_skeleton, rhs_preds) = strip_filters(Arc::unwrap_or_clone(rhs));
             lhs_preds.extend(rhs_preds);
             (
                 Query::Join {
-                    lhs: Box::new(lhs_skeleton),
-                    rhs: Box::new(rhs_skeleton),
+                    lhs: Arc::new(lhs_skeleton),
+                    rhs: Arc::new(rhs_skeleton),
                     on,
                 },
                 lhs_preds,
@@ -122,7 +130,10 @@ fn strip_filters(query: Query) -> (Query, Vec<Predicate>) {
                 Query::Aggregation {
                     op,
                     field,
-                    query: Box::new(canonicalize_query(&EmptyRegistry, *query)),
+                    query: Arc::new(canonicalize_query(
+                        &EmptyRegistry,
+                        Arc::unwrap_or_clone(query),
+                    )),
                 },
                 Vec::new(),
             )
@@ -151,8 +162,8 @@ fn canonicalize_skeleton<R: SchemaRegistry + ?Sized>(registry: &R, query: Query)
             Query::Invocation(inv)
         }
         Query::Join { lhs, rhs, mut on } => {
-            let mut lhs = canonicalize_skeleton(registry, *lhs);
-            let mut rhs = canonicalize_skeleton(registry, *rhs);
+            let mut lhs = canonicalize_skeleton(registry, Arc::unwrap_or_clone(lhs));
+            let mut rhs = canonicalize_skeleton(registry, Arc::unwrap_or_clone(rhs));
             on.sort_by(|a, b| a.input.cmp(&b.input).then_with(|| a.output.cmp(&b.output)));
             on.dedup();
             // Joins without parameter passing (explicit `on` or implicit via
@@ -167,8 +178,8 @@ fn canonicalize_skeleton<R: SchemaRegistry + ?Sized>(registry: &R, query: Query)
                 }
             }
             Query::Join {
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+                lhs: Arc::new(lhs),
+                rhs: Arc::new(rhs),
                 on,
             }
         }
@@ -176,14 +187,14 @@ fn canonicalize_skeleton<R: SchemaRegistry + ?Sized>(registry: &R, query: Query)
             // strip_filters removes these before we get here, but stay
             // total for robustness.
             Query::Filter {
-                query: Box::new(canonicalize_skeleton(registry, *query)),
+                query: Arc::new(canonicalize_skeleton(registry, Arc::unwrap_or_clone(query))),
                 predicate: simplify(predicate),
             }
         }
         Query::Aggregation { op, field, query } => Query::Aggregation {
             op,
             field,
-            query: Box::new(canonicalize_skeleton(registry, *query)),
+            query: Arc::new(canonicalize_skeleton(registry, Arc::unwrap_or_clone(query))),
         },
     }
 }
@@ -248,31 +259,39 @@ fn attach_filter<R: SchemaRegistry + ?Sized>(
                 .collect();
             let lhs_params = query_output_params(registry, &lhs);
             let rhs_params = query_output_params(registry, &rhs);
-            let all_in_lhs = !mentioned.is_empty()
-                && mentioned.iter().all(|p| lhs_params.contains(p));
-            let all_in_rhs = !mentioned.is_empty()
-                && mentioned.iter().all(|p| rhs_params.contains(p));
+            let all_in_lhs =
+                !mentioned.is_empty() && mentioned.iter().all(|p| lhs_params.contains(p));
+            let all_in_rhs =
+                !mentioned.is_empty() && mentioned.iter().all(|p| rhs_params.contains(p));
             if all_in_lhs {
                 Query::Join {
-                    lhs: Box::new(attach_filter(registry, *lhs, predicate)),
+                    lhs: Arc::new(attach_filter(
+                        registry,
+                        Arc::unwrap_or_clone(lhs),
+                        predicate,
+                    )),
                     rhs,
                     on,
                 }
             } else if all_in_rhs {
                 Query::Join {
                     lhs,
-                    rhs: Box::new(attach_filter(registry, *rhs, predicate)),
+                    rhs: Arc::new(attach_filter(
+                        registry,
+                        Arc::unwrap_or_clone(rhs),
+                        predicate,
+                    )),
                     on,
                 }
             } else {
                 Query::Filter {
-                    query: Box::new(Query::Join { lhs, rhs, on }),
+                    query: Arc::new(Query::Join { lhs, rhs, on }),
                     predicate,
                 }
             }
         }
         other => Query::Filter {
-            query: Box::new(other),
+            query: Arc::new(other),
             predicate,
         },
     }
@@ -293,16 +312,14 @@ mod tests {
 
     fn registry() -> MapRegistry {
         let mut registry = MapRegistry::new();
-        registry.add_class(
-            ClassDef::new("com.nytimes").with_function(FunctionDef::new(
-                "get_front_page",
-                FunctionKind::MONITORABLE_LIST_QUERY,
-                vec![
-                    ParamDef::new("title", Type::String, ParamDirection::Out),
-                    ParamDef::new("link", Type::Url, ParamDirection::Out),
-                ],
-            )),
-        );
+        registry.add_class(ClassDef::new("com.nytimes").with_function(FunctionDef::new(
+            "get_front_page",
+            FunctionKind::MONITORABLE_LIST_QUERY,
+            vec![
+                ParamDef::new("title", Type::String, ParamDirection::Out),
+                ParamDef::new("link", Type::Url, ParamDirection::Out),
+            ],
+        )));
         registry.add_class(
             ClassDef::new("com.washingtonpost").with_function(FunctionDef::new(
                 "get_article",
@@ -357,7 +374,7 @@ mod tests {
         );
         assert_eq!(a, b);
         let query = a.query.unwrap();
-        assert!(matches!(query, Query::Filter { ref predicate, .. } if predicate.atom_count() == 2));
+        assert!(matches!(&*query, Query::Filter { predicate, .. } if predicate.atom_count() == 2));
     }
 
     #[test]
@@ -370,7 +387,7 @@ mod tests {
         );
         assert_eq!(a, b);
         let query = a.query.unwrap();
-        match query {
+        match &*query {
             Query::Join { lhs, .. } => {
                 assert_eq!(lhs.invocations()[0].function.class, "com.nytimes");
             }
@@ -383,7 +400,7 @@ mod tests {
         let a = canon(
             "now => @com.nytimes.get_front_page() join @com.yandex.translate.translate() on (text = title) => notify",
         );
-        match a.query.unwrap() {
+        match &*a.query.unwrap() {
             Query::Join { lhs, .. } => {
                 assert_eq!(lhs.invocations()[0].function.class, "com.nytimes");
             }
@@ -394,7 +411,7 @@ mod tests {
         let b = canon(
             "now => @com.washingtonpost.get_article() join @com.yandex.translate.translate(text = headline) => notify",
         );
-        match b.query.unwrap() {
+        match &*b.query.unwrap() {
             Query::Join { lhs, .. } => {
                 assert_eq!(lhs.invocations()[0].function.class, "com.washingtonpost");
             }
@@ -407,10 +424,13 @@ mod tests {
         let program = canon(
             "now => (@com.nytimes.get_front_page() join @com.washingtonpost.get_article()) filter title substr \"election\" => notify",
         );
-        match program.query.unwrap() {
+        match &*program.query.unwrap() {
             Query::Join { lhs, rhs, .. } => {
-                assert!(matches!(*lhs, Query::Filter { .. }), "filter should move into the nytimes operand");
-                assert!(matches!(*rhs, Query::Invocation(_)));
+                assert!(
+                    matches!(**lhs, Query::Filter { .. }),
+                    "filter should move into the nytimes operand"
+                );
+                assert!(matches!(**rhs, Query::Invocation(_)));
             }
             other => panic!("unexpected {other:?}"),
         }

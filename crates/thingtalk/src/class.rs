@@ -144,7 +144,13 @@ impl FunctionKind {
 
     /// Whether this function can be monitored as a stream.
     pub fn is_monitorable(self) -> bool {
-        matches!(self, FunctionKind::Query { monitorable: true, .. })
+        matches!(
+            self,
+            FunctionKind::Query {
+                monitorable: true,
+                ..
+            }
+        )
     }
 
     /// Whether this function returns a list of results.
@@ -270,11 +276,7 @@ impl ClassDef {
     /// Create a new empty class.
     pub fn new(name: impl Into<String>) -> Self {
         let name = name.into();
-        let display_name = name
-            .rsplit('.')
-            .next()
-            .unwrap_or(&name)
-            .to_owned();
+        let display_name = name.rsplit('.').next().unwrap_or(&name).to_owned();
         ClassDef {
             name,
             extends: Vec::new(),
@@ -355,7 +357,11 @@ mod tests {
                 "get_space_usage",
                 FunctionKind::MONITORABLE_QUERY,
                 vec![
-                    ParamDef::new("used_space", Type::Measure(BaseUnit::Byte), ParamDirection::Out),
+                    ParamDef::new(
+                        "used_space",
+                        Type::Measure(BaseUnit::Byte),
+                        ParamDirection::Out,
+                    ),
                     ParamDef::new(
                         "total_space",
                         Type::Measure(BaseUnit::Byte),
@@ -425,7 +431,9 @@ mod tests {
         let text = class.to_string();
         assert!(text.starts_with("class @com.dropbox {"));
         assert!(text.contains("monitorable list query list_folder(in req folder_name : PathName"));
-        assert!(text.contains("action move(in req old_name : PathName, in req new_name : PathName);"));
+        assert!(
+            text.contains("action move(in req old_name : PathName, in req new_name : PathName);")
+        );
     }
 
     #[test]

@@ -41,13 +41,7 @@ impl<'a, R: SchemaRegistry + ?Sized> Describer<'a, R> {
     /// ```
     pub fn describe(&self, program: &Program) -> String {
         let action_phrase = match &program.action {
-            Action::Notify => {
-                if program.query.is_some() || program.stream.monitored_query().is_some() {
-                    "notify me".to_owned()
-                } else {
-                    "notify me".to_owned()
-                }
-            }
+            Action::Notify => "notify me".to_owned(),
             Action::Invocation(inv) => self.describe_invocation(inv, "do"),
         };
         let query_phrase = program
@@ -71,9 +65,7 @@ impl<'a, R: SchemaRegistry + ?Sized> Describer<'a, R> {
         match stream {
             Stream::Now => None,
             Stream::AtTimer { time } => Some(format!("every day at {}", describe_value(time))),
-            Stream::Timer { interval, .. } => {
-                Some(format!("every {}", describe_value(interval)))
-            }
+            Stream::Timer { interval, .. } => Some(format!("every {}", describe_value(interval))),
             Stream::Monitor { query, on } => {
                 let base = self.describe_query(query, "when");
                 if on.is_empty() {
@@ -161,11 +153,12 @@ impl<'a, R: SchemaRegistry + ?Sized> Describer<'a, R> {
                     .unwrap_or(&inv.function.class)
                     .to_owned()
             });
-        let mut sentence = if canonical.contains(&device.to_lowercase()) || canonical.contains(&device) {
-            format!("{verb} {canonical}")
-        } else {
-            format!("{verb} {canonical} on {device}")
-        };
+        let mut sentence =
+            if canonical.contains(&device.to_lowercase()) || canonical.contains(&device) {
+                format!("{verb} {canonical}")
+            } else {
+                format!("{verb} {canonical} on {device}")
+            };
         for param in &inv.in_params {
             let param_phrase = function
                 .and_then(|f| f.param(&param.name))
@@ -266,7 +259,11 @@ pub fn describe_value(value: &Value) -> String {
         Value::Boolean(true) => "yes".to_owned(),
         Value::Boolean(false) => "no".to_owned(),
         Value::Measure(amount, unit) => {
-            format!("{} {}", describe_value(&Value::Number(*amount)), unit.phrase())
+            format!(
+                "{} {}",
+                describe_value(&Value::Number(*amount)),
+                unit.phrase()
+            )
         }
         Value::CompoundMeasure(parts) => parts
             .iter()
@@ -285,7 +282,10 @@ pub fn describe_value(value: &Value) -> String {
         }
         Value::Time(h, m) => format!("{h}:{m:02}"),
         Value::Location(LocationValue::Named(name)) => name.clone(),
-        Value::Location(LocationValue::Coordinates { latitude, longitude }) => {
+        Value::Location(LocationValue::Coordinates {
+            latitude,
+            longitude,
+        }) => {
             format!("the location at {latitude}, {longitude}")
         }
         Value::Enum(v) => v.replace('_', " "),
@@ -359,10 +359,11 @@ mod tests {
     #[test]
     fn describes_monitors() {
         let registry = registry();
-        let program =
-            parse_program("monitor (@com.dropbox.list_folder()) => notify").unwrap();
+        let program = parse_program("monitor (@com.dropbox.list_folder()) => notify").unwrap();
         let sentence = Describer::new(&registry).describe(&program);
-        assert!(sentence.starts_with("when when my dropbox files change") || sentence.contains("when"));
+        assert!(
+            sentence.starts_with("when when my dropbox files change") || sentence.contains("when")
+        );
         assert!(sentence.ends_with("notify me"));
     }
 
@@ -381,7 +382,10 @@ mod tests {
 
     #[test]
     fn describes_values() {
-        assert_eq!(describe_value(&Value::Measure(60.0, crate::units::Unit::Fahrenheit)), "60 degrees fahrenheit");
+        assert_eq!(
+            describe_value(&Value::Measure(60.0, crate::units::Unit::Fahrenheit)),
+            "60 degrees fahrenheit"
+        );
         assert_eq!(describe_value(&Value::Boolean(true)), "yes");
         assert_eq!(describe_value(&Value::Time(8, 5)), "8:05");
         assert_eq!(
@@ -396,10 +400,9 @@ mod tests {
     #[test]
     fn deterministic_descriptions() {
         let registry = registry();
-        let program = parse_program(
-            "now => @com.dropbox.list_folder() filter file_size > 5GB => notify",
-        )
-        .unwrap();
+        let program =
+            parse_program("now => @com.dropbox.list_folder() filter file_size > 5GB => notify")
+                .unwrap();
         let describer = Describer::new(&registry);
         assert_eq!(describer.describe(&program), describer.describe(&program));
     }

@@ -128,7 +128,12 @@ pub fn tokens_to_source(tokens: &[String]) -> Result<String> {
         if let Some(unit) = token.strip_prefix("unit:") {
             // Attach the unit to the previous number token.
             match pieces.last_mut() {
-                Some(last) if last.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') => {
+                Some(last)
+                    if last
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_digit() || c == '-') =>
+                {
                     last.push_str(unit);
                 }
                 _ => {
@@ -422,14 +427,14 @@ mod tests {
 
     fn roundtrip(source: &str) {
         let program = parse_program(source).unwrap();
-        for options in [
-            NnSyntaxOptions::default(),
-            NnSyntaxOptions::full(),
-        ] {
+        for options in [NnSyntaxOptions::default(), NnSyntaxOptions::full()] {
             let tokens = to_tokens(&program, options);
-            let decoded = from_tokens(&tokens)
-                .unwrap_or_else(|e| panic!("failed to decode {tokens:?}: {e}"));
-            assert_eq!(program, decoded, "roundtrip failed for `{source}` with {options:?}");
+            let decoded =
+                from_tokens(&tokens).unwrap_or_else(|e| panic!("failed to decode {tokens:?}: {e}"));
+            assert_eq!(
+                program, decoded,
+                "roundtrip failed for `{source}` with {options:?}"
+            );
         }
     }
 
@@ -438,17 +443,17 @@ mod tests {
         roundtrip("now => @com.thecatapi.get() => @com.facebook.post_picture(picture_url = picture_url, caption = \"funny cat\")");
         roundtrip("monitor (@com.twitter.timeline() filter author == \"PLDI\") => @com.twitter.retweet(tweet_id = tweet_id)");
         roundtrip("now => agg sum file_size of (@com.dropbox.list_folder()) => notify");
-        roundtrip("edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify");
+        roundtrip(
+            "edge (monitor (@org.thingpedia.weather.current())) on temperature < 60F => notify",
+        );
         roundtrip("timer base = now interval = 1h => @com.spotify.play_song(song = \"wake me up inside\")");
         roundtrip("now => @com.nytimes.get_front_page() join @com.yandex.translate.translate() on (text = title) => notify");
     }
 
     #[test]
     fn strings_are_split_into_words() {
-        let program = parse_program(
-            "now => @com.twitter.post(status = \"hello brave new world\")",
-        )
-        .unwrap();
+        let program =
+            parse_program("now => @com.twitter.post(status = \"hello brave new world\")").unwrap();
         let tokens = to_tokens(&program, NnSyntaxOptions::default());
         let quote_count = tokens.iter().filter(|t| *t == "\"").count();
         assert_eq!(quote_count, 2);
@@ -458,10 +463,7 @@ mod tests {
 
     #[test]
     fn type_annotations_are_included_when_enabled() {
-        let program = parse_program(
-            "now => @com.twitter.post(status = \"hi\")",
-        )
-        .unwrap();
+        let program = parse_program("now => @com.twitter.post(status = \"hi\")").unwrap();
         let tokens = to_tokens(&program, NnSyntaxOptions::full());
         assert!(tokens.iter().any(|t| t == "param:status:String"));
         let tokens = to_tokens(&program, NnSyntaxOptions::default());
@@ -470,10 +472,7 @@ mod tests {
 
     #[test]
     fn positional_mode_omits_parameter_names() {
-        let program = parse_program(
-            "now => @com.twitter.post(status = \"hi\")",
-        )
-        .unwrap();
+        let program = parse_program("now => @com.twitter.post(status = \"hi\")").unwrap();
         let options = NnSyntaxOptions {
             keyword_params: false,
             type_annotations: false,
@@ -503,12 +502,10 @@ mod tests {
             "\"".to_owned(),
             "dangling".to_owned(),
         ]));
-        assert!(is_syntactically_valid(
-            &to_tokens(
-                &parse_program("now => @com.gmail.inbox() => notify").unwrap(),
-                NnSyntaxOptions::default()
-            )
-        ));
+        assert!(is_syntactically_valid(&to_tokens(
+            &parse_program("now => @com.gmail.inbox() => notify").unwrap(),
+            NnSyntaxOptions::default()
+        )));
     }
 
     #[test]

@@ -55,10 +55,7 @@ fn to_cnf(predicate: Predicate) -> Predicate {
         Predicate::Or(items) => {
             let items: Vec<Predicate> = items.into_iter().map(to_cnf).collect();
             // Find a conjunction among the disjuncts to distribute over.
-            if let Some(idx) = items
-                .iter()
-                .position(|p| matches!(p, Predicate::And(_)))
-            {
+            if let Some(idx) = items.iter().position(|p| matches!(p, Predicate::And(_))) {
                 let mut rest = items;
                 let and = rest.remove(idx);
                 let Predicate::And(conjuncts) = and else {

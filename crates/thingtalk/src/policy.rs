@@ -45,9 +45,7 @@ impl PolicyBody {
     /// The restricting predicate.
     pub fn predicate(&self) -> &Predicate {
         match self {
-            PolicyBody::Query { predicate, .. } | PolicyBody::Action { predicate, .. } => {
-                predicate
-            }
+            PolicyBody::Query { predicate, .. } | PolicyBody::Action { predicate, .. } => predicate,
         }
     }
 }
@@ -313,10 +311,9 @@ mod tests {
             "source == \"secretary\" : now => @com.gmail.inbox() filter labels contains \"work\" => notify",
         )
         .unwrap();
-        let allowed = parse_program(
-            "now => @com.gmail.inbox() filter labels contains \"work\" => notify",
-        )
-        .unwrap();
+        let allowed =
+            parse_program("now => @com.gmail.inbox() filter labels contains \"work\" => notify")
+                .unwrap();
         let denied = parse_program("now => @com.gmail.inbox() => notify").unwrap();
         assert!(policy.allows_program("secretary", &allowed));
         assert!(!policy.allows_program("secretary", &denied));
@@ -330,12 +327,18 @@ mod tests {
         )
         .unwrap();
         let allowed = Program::do_action(
-            Invocation::new("org.thingpedia.builtin.thermostat", "set_target_temperature")
-                .with_param("value", Value::Measure(25.0, crate::units::Unit::Celsius)),
+            Invocation::new(
+                "org.thingpedia.builtin.thermostat",
+                "set_target_temperature",
+            )
+            .with_param("value", Value::Measure(25.0, crate::units::Unit::Celsius)),
         );
         let denied = Program::do_action(
-            Invocation::new("org.thingpedia.builtin.thermostat", "set_target_temperature")
-                .with_param("value", Value::Measure(35.0, crate::units::Unit::Celsius)),
+            Invocation::new(
+                "org.thingpedia.builtin.thermostat",
+                "set_target_temperature",
+            )
+            .with_param("value", Value::Measure(35.0, crate::units::Unit::Celsius)),
         );
         assert!(policy.allows_program("anyone", &allowed));
         assert!(!policy.allows_program("anyone", &denied));
@@ -343,14 +346,10 @@ mod tests {
 
     #[test]
     fn compound_programs_are_not_covered_by_primitive_policies() {
-        let policy = parse_policy(
-            "true : now => @com.gmail.inbox() => notify",
-        )
-        .unwrap();
-        let compound = parse_program(
-            "now => @com.gmail.inbox() => @com.slack.send(message = $event)",
-        )
-        .unwrap();
+        let policy = parse_policy("true : now => @com.gmail.inbox() => notify").unwrap();
+        let compound =
+            parse_program("now => @com.gmail.inbox() => @com.slack.send(message = $event)")
+                .unwrap();
         assert!(!policy.allows_program("anyone", &compound));
     }
 

@@ -175,8 +175,10 @@ impl<D: DeviceDelegate> ExecutionEngine<D> {
     /// unresolvable parameter references.
     pub fn execute_once(&mut self, program: &Program) -> Result<ExecutionResult> {
         let trigger_rows = self.evaluate_stream(&program.stream)?;
-        let mut result = ExecutionResult::default();
-        result.trigger_count = trigger_rows.len();
+        let mut result = ExecutionResult {
+            trigger_count: trigger_rows.len(),
+            ..ExecutionResult::default()
+        };
         for trigger_row in trigger_rows {
             let rows = match &program.query {
                 Some(query) => self.evaluate_query(query, &trigger_row)?,
@@ -282,10 +284,15 @@ impl<D: DeviceDelegate> ExecutionEngine<D> {
                 let rows = self.evaluate_stream(stream)?;
                 let mut triggered = Vec::new();
                 for row in rows {
-                    let now_true = eval_predicate(predicate, &row, &mut self.delegate, &ExecContext {
-                        now_ms: self.now_ms,
-                        tick: self.tick,
-                    })?;
+                    let now_true = eval_predicate(
+                        predicate,
+                        &row,
+                        &mut self.delegate,
+                        &ExecContext {
+                            now_ms: self.now_ms,
+                            tick: self.tick,
+                        },
+                    )?;
                     let key = edge_key(predicate, &row);
                     let was_true = self.edge_state.insert(key, now_true).unwrap_or(false);
                     if now_true && !was_true {
@@ -371,10 +378,8 @@ impl<D: DeviceDelegate> ExecutionEngine<D> {
                 for jp in on {
                     if inv.param(&jp.input).is_none() {
                         if let Some(value) = env.get(&jp.input) {
-                            inv.in_params.push(crate::ast::InputParam::new(
-                                jp.input.clone(),
-                                value.clone(),
-                            ));
+                            inv.in_params
+                                .push(crate::ast::InputParam::new(jp.input.clone(), value.clone()));
                         }
                     }
                 }
@@ -412,15 +417,12 @@ fn resolve_params(inv: &Invocation, env: &ResultRow, now_ms: i64) -> Result<Resu
     let mut out = ResultRow::new();
     for param in &inv.in_params {
         let value = match &param.value {
-            Value::VarRef(source) => env
-                .get(source)
-                .cloned()
-                .ok_or_else(|| {
-                    Error::execution(format!(
-                        "parameter `{}` refers to `{source}`, which is not available",
-                        param.name
-                    ))
-                })?,
+            Value::VarRef(source) => env.get(source).cloned().ok_or_else(|| {
+                Error::execution(format!(
+                    "parameter `{}` refers to `{source}`, which is not available",
+                    param.name
+                ))
+            })?,
             Value::Event => Value::String(render_event(env)),
             Value::Date(date) => Value::Date(DateValue::Absolute(date.resolve(now_ms))),
             Value::Undefined => {
@@ -439,7 +441,13 @@ fn resolve_params(inv: &Invocation, env: &ResultRow, now_ms: i64) -> Result<Resu
 /// Render a result row as text, used for `$event`.
 fn render_event(row: &ResultRow) -> String {
     row.iter()
-        .map(|(k, v)| format!("{}: {}", k.replace('_', " "), crate::describe::describe_value(v)))
+        .map(|(k, v)| {
+            format!(
+                "{}: {}",
+                k.replace('_', " "),
+                crate::describe::describe_value(v)
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
@@ -568,9 +576,8 @@ fn aggregate(op: AggregationOp, field: Option<&str>, rows: &[ResultRow]) -> Resu
             out.insert("count".to_owned(), Value::Number(rows.len() as f64));
         }
         _ => {
-            let field = field.ok_or_else(|| {
-                Error::execution(format!("aggregation `{op}` requires a field"))
-            })?;
+            let field = field
+                .ok_or_else(|| Error::execution(format!("aggregation `{op}` requires a field")))?;
             let mut numbers = Vec::new();
             let mut template: Option<Value> = None;
             for row in rows {
@@ -658,7 +665,10 @@ mod tests {
                 ("com.dropbox", "list_folder") => Ok((0..3)
                     .map(|i| {
                         let mut row = ResultRow::new();
-                        row.insert("file_name".to_owned(), Value::string(format!("file{i}.txt")));
+                        row.insert(
+                            "file_name".to_owned(),
+                            Value::string(format!("file{i}.txt")),
+                        );
                         row.insert(
                             "file_size".to_owned(),
                             Value::Measure((i as f64 + 1.0) * 100.0, Unit::Megabyte),
@@ -670,7 +680,10 @@ mod tests {
                     // Temperature drops over time: 70F, 65F, 55F, 50F, ...
                     let temp = 70.0 - 5.0 * ctx.tick as f64;
                     let mut row = ResultRow::new();
-                    row.insert("temperature".to_owned(), Value::Measure(temp, Unit::Fahrenheit));
+                    row.insert(
+                        "temperature".to_owned(),
+                        Value::Measure(temp, Unit::Fahrenheit),
+                    );
                     Ok(vec![row])
                 }
                 _ => Err(Error::execution(format!("unknown query {function}"))),
@@ -698,10 +711,9 @@ mod tests {
 
     #[test]
     fn filters_restrict_results() {
-        let program = parse_program(
-            "now => @com.twitter.timeline() filter author == \"PLDI\" => notify",
-        )
-        .unwrap();
+        let program =
+            parse_program("now => @com.twitter.timeline() filter author == \"PLDI\" => notify")
+                .unwrap();
         let mut engine = ExecutionEngine::new(ToyDelegate::new());
         let result = engine.execute_once(&program).unwrap();
         assert_eq!(result.notifications.len(), 1);
@@ -721,15 +733,16 @@ mod tests {
         let result = engine.execute_once(&program).unwrap();
         assert_eq!(result.actions.len(), 1);
         let params = &result.actions[0].params;
-        assert!(matches!(params.get("tweet_id"), Some(Value::Entity { value, .. }) if value == "tweet-0"));
+        assert!(
+            matches!(params.get("tweet_id"), Some(Value::Entity { value, .. }) if value == "tweet-0")
+        );
     }
 
     #[test]
     fn aggregation_sums_measures() {
-        let program = parse_program(
-            "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
-        )
-        .unwrap();
+        let program =
+            parse_program("now => agg sum file_size of (@com.dropbox.list_folder()) => notify")
+                .unwrap();
         let mut engine = ExecutionEngine::new(ToyDelegate::new());
         let result = engine.execute_once(&program).unwrap();
         assert_eq!(result.notifications.len(), 1);
@@ -742,10 +755,8 @@ mod tests {
 
     #[test]
     fn count_aggregation() {
-        let program = parse_program(
-            "now => agg count of (@com.dropbox.list_folder()) => notify",
-        )
-        .unwrap();
+        let program =
+            parse_program("now => agg count of (@com.dropbox.list_folder()) => notify").unwrap();
         let mut engine = ExecutionEngine::new(ToyDelegate::new());
         let result = engine.execute_once(&program).unwrap();
         assert_eq!(

@@ -99,91 +99,154 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Token { kind: TokenKind::Colon, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Arrow, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::EqEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Assign, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Bang, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Geq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Geq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Leq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Leq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::AndAnd, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(Error::Lex {
@@ -194,7 +257,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::OrOr, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(Error::Lex {
@@ -205,7 +271,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
             }
             '^' => {
                 if bytes.get(i + 1) == Some(&b'^') {
-                    tokens.push(Token { kind: TokenKind::CaretCaret, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::CaretCaret,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(Error::Lex {
@@ -217,10 +286,16 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
             '$' => {
                 let rest = &source[i + 1..];
                 if rest.starts_with('?') {
-                    tokens.push(Token { kind: TokenKind::DollarQuestion, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::DollarQuestion,
+                        offset: start,
+                    });
                     i += 2;
                 } else if rest.starts_with("event") {
-                    tokens.push(Token { kind: TokenKind::DollarEvent, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::DollarEvent,
+                        offset: start,
+                    });
                     i += 1 + "event".len();
                 } else {
                     return Err(Error::Lex {
@@ -254,7 +329,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 let name = &source[i + 1..j];
-                if name.is_empty() || name.starts_with('.') || name.ends_with('.') || name.contains("..") {
+                if name.is_empty()
+                    || name.starts_with('.')
+                    || name.ends_with('.')
+                    || name.contains("..")
+                {
                     return Err(Error::Lex {
                         offset: start,
                         message: format!("malformed function reference `@{name}`"),
@@ -267,7 +346,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>> {
                 i = j;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             c if c.is_ascii_digit() => {
@@ -328,7 +410,11 @@ mod tests {
     use super::*;
 
     fn kinds(source: &str) -> Vec<TokenKind> {
-        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -78,7 +78,7 @@ mod tests {
         )
         .unwrap();
         let query = program.query.as_ref().unwrap();
-        match query {
+        match &**query {
             Query::Join { on, .. } => {
                 assert_eq!(on.len(), 1);
                 assert_eq!(on[0].input, "text");
@@ -90,10 +90,9 @@ mod tests {
 
     #[test]
     fn parse_aggregation() {
-        let program = parse_program(
-            "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
-        )
-        .unwrap();
+        let program =
+            parse_program("now => agg sum file_size of (@com.dropbox.list_folder()) => notify")
+                .unwrap();
         assert!(program.has_aggregation());
     }
 

@@ -1,5 +1,7 @@
 //! Recursive-descent parser for ThingTalk programs, classes, and policies.
 
+use std::sync::Arc;
+
 use crate::ast::{
     Action, AggregationOp, CompareOp, FunctionRef, InputParam, Invocation, JoinParam, Predicate,
     Program, Query, Stream,
@@ -157,7 +159,7 @@ impl Parser {
                 let action = self.action()?;
                 return Ok(Program {
                     stream,
-                    query: Some(query),
+                    query: Some(Arc::new(query)),
                     action,
                 });
             }
@@ -213,7 +215,7 @@ impl Parser {
                 }
             }
             return Ok(Stream::Monitor {
-                query: Box::new(query),
+                query: Arc::new(query),
                 on,
             });
         }
@@ -224,7 +226,7 @@ impl Parser {
             self.expect_ident("on")?;
             let predicate = self.predicate()?;
             return Ok(Stream::EdgeFilter {
-                stream: Box::new(inner),
+                stream: Arc::new(inner),
                 predicate,
             });
         }
@@ -254,8 +256,8 @@ impl Parser {
                 self.expect(&TokenKind::RParen, "`)` closing join parameters")?;
             }
             lhs = Query::Join {
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+                lhs: Arc::new(lhs),
+                rhs: Arc::new(rhs),
                 on,
             };
         }
@@ -267,7 +269,7 @@ impl Parser {
         while self.eat_ident("filter") {
             let predicate = self.predicate()?;
             query = Query::Filter {
-                query: Box::new(query),
+                query: Arc::new(query),
                 predicate,
             };
         }
@@ -277,9 +279,8 @@ impl Parser {
     fn query_atom(&mut self) -> Result<Query> {
         if self.eat_ident("agg") {
             let op_name = self.ident("aggregation operator")?;
-            let op = AggregationOp::from_keyword(&op_name).ok_or_else(|| {
-                Error::parse(format!("unknown aggregation operator `{op_name}`"))
-            })?;
+            let op = AggregationOp::from_keyword(&op_name)
+                .ok_or_else(|| Error::parse(format!("unknown aggregation operator `{op_name}`")))?;
             let field = if matches!(self.peek(), TokenKind::Ident(w) if w != "of") {
                 Some(self.ident("aggregated field")?)
             } else {
@@ -292,7 +293,7 @@ impl Parser {
             return Ok(Query::Aggregation {
                 op,
                 field,
-                query: Box::new(query),
+                query: Arc::new(query),
             });
         }
         if self.eat(&TokenKind::LParen) {
@@ -307,7 +308,7 @@ impl Parser {
         if self.eat_ident("notify") {
             return Ok(Action::Notify);
         }
-        Ok(Action::Invocation(self.invocation()?))
+        Ok(Action::Invocation(Arc::new(self.invocation()?)))
     }
 
     fn invocation(&mut self) -> Result<Invocation> {
@@ -319,23 +320,20 @@ impl Parser {
                 )))
             }
         };
-        let function = FunctionRef::parse_qualified(&qualified).ok_or_else(|| {
-            Error::parse(format!("malformed function reference `@{qualified}`"))
-        })?;
+        let function = FunctionRef::parse_qualified(&qualified)
+            .ok_or_else(|| Error::parse(format!("malformed function reference `@{qualified}`")))?;
         let mut in_params = Vec::new();
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
-                loop {
-                    let name = self.ident("parameter name")?;
-                    self.expect(&TokenKind::Assign, "`=` after the parameter name")?;
-                    let value = self.value()?;
-                    in_params.push(InputParam { name, value });
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                let name = self.ident("parameter name")?;
+                self.expect(&TokenKind::Assign, "`=` after the parameter name")?;
+                let value = self.value()?;
+                in_params.push(InputParam { name, value });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                self.expect(&TokenKind::RParen, "`)` closing the parameter list")?;
             }
+            self.expect(&TokenKind::RParen, "`)` closing the parameter list")?;
         }
         Ok(Invocation {
             function,
@@ -525,7 +523,7 @@ impl Parser {
                 _ => {
                     if let Some(edge) = DateEdge::from_keyword(&word) {
                         self.advance();
-                        return Ok(self.date_offset(edge)?);
+                        return self.date_offset(edge);
                     }
                     // A bare identifier is a variable reference (parameter
                     // passing by name).
@@ -920,7 +918,10 @@ mod tests {
         .unwrap();
         assert!(policy.is_query_policy());
         match &policy.body {
-            PolicyBody::Query { function, predicate } => {
+            PolicyBody::Query {
+                function,
+                predicate,
+            } => {
                 assert_eq!(function.class, "com.gmail");
                 assert_eq!(predicate.atom_count(), 1);
             }
@@ -930,10 +931,7 @@ mod tests {
 
     #[test]
     fn parse_action_policy() {
-        let policy = parse_policy(
-            "true : now => @com.twitter.post(status = $?)",
-        )
-        .unwrap();
+        let policy = parse_policy("true : now => @com.twitter.post(status = $?)").unwrap();
         assert!(!policy.is_query_policy());
     }
 
@@ -973,8 +971,8 @@ mod tests {
         ];
         for value in values {
             let printed = value.to_string();
-            let mut parser = Parser::new(&printed)
-                .unwrap_or_else(|e| panic!("failed to lex `{printed}`: {e}"));
+            let mut parser =
+                Parser::new(&printed).unwrap_or_else(|e| panic!("failed to lex `{printed}`: {e}"));
             let reparsed = parser
                 .value()
                 .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));

@@ -17,9 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::ast::{
-    Action, AggregationOp, CompareOp, Invocation, Predicate, Program, Query, Stream,
-};
+use crate::ast::{Action, AggregationOp, CompareOp, Invocation, Predicate, Program, Query, Stream};
 use crate::class::{ClassDef, FunctionDef};
 use crate::error::{Error, Result};
 use crate::types::Type;
@@ -316,11 +314,13 @@ impl<'a, R: SchemaRegistry + ?Sized> Typechecker<'a, R> {
     ) -> Result<()> {
         let def = self.lookup(inv)?;
         for param in &inv.in_params {
-            let decl = def.param(&param.name).ok_or_else(|| Error::UnknownParameter {
-                class: inv.function.class.clone(),
-                function: inv.function.function.clone(),
-                param: param.name.clone(),
-            })?;
+            let decl = def
+                .param(&param.name)
+                .ok_or_else(|| Error::UnknownParameter {
+                    class: inv.function.class.clone(),
+                    function: inv.function.function.clone(),
+                    param: param.name.clone(),
+                })?;
             if !decl.direction.is_input() {
                 return Err(Error::type_error(format!(
                     "`{}` is an output parameter of @{}.{} and cannot be bound",
@@ -488,9 +488,9 @@ pub fn value_type(value: &Value) -> Type {
         Value::Enum(v) => Type::Enum(vec![v.clone()]),
         Value::Currency(..) => Type::Currency,
         Value::Entity { kind, .. } => Type::Entity(kind.clone()),
-        Value::Array(items) => Type::Array(Box::new(
-            items.first().map(value_type).unwrap_or(Type::Any),
-        )),
+        Value::Array(items) => {
+            Type::Array(Box::new(items.first().map(value_type).unwrap_or(Type::Any)))
+        }
         Value::VarRef(_) | Value::Event | Value::Undefined => Type::Any,
     }
 }
@@ -521,8 +521,16 @@ mod tests {
                     FunctionKind::MONITORABLE_LIST_QUERY,
                     vec![
                         ParamDef::new("text", Type::String, ParamDirection::Out),
-                        ParamDef::new("author", Type::Entity("tt:username".into()), ParamDirection::Out),
-                        ParamDef::new("tweet_id", Type::Entity("com.twitter:id".into()), ParamDirection::Out),
+                        ParamDef::new(
+                            "author",
+                            Type::Entity("tt:username".into()),
+                            ParamDirection::Out,
+                        ),
+                        ParamDef::new(
+                            "tweet_id",
+                            Type::Entity("com.twitter:id".into()),
+                            ParamDirection::Out,
+                        ),
                     ],
                 ))
                 .with_function(FunctionDef::new(
@@ -540,25 +548,27 @@ mod tests {
                     vec![ParamDef::new("status", Type::String, ParamDirection::InReq)],
                 )),
         );
-        registry.add_class(
-            ClassDef::new("com.dropbox").with_function(FunctionDef::new(
-                "list_folder",
-                FunctionKind::MONITORABLE_LIST_QUERY,
-                vec![
-                    ParamDef::new("file_name", Type::PathName, ParamDirection::Out),
-                    ParamDef::new(
-                        "file_size",
-                        Type::Measure(BaseUnit::Byte),
-                        ParamDirection::Out,
-                    ),
-                ],
-            )),
-        );
+        registry.add_class(ClassDef::new("com.dropbox").with_function(FunctionDef::new(
+            "list_folder",
+            FunctionKind::MONITORABLE_LIST_QUERY,
+            vec![
+                ParamDef::new("file_name", Type::PathName, ParamDirection::Out),
+                ParamDef::new(
+                    "file_size",
+                    Type::Measure(BaseUnit::Byte),
+                    ParamDirection::Out,
+                ),
+            ],
+        )));
         registry.add_class(
             ClassDef::new("com.thecatapi").with_function(FunctionDef::new(
                 "get",
                 FunctionKind::QUERY,
-                vec![ParamDef::new("picture_url", Type::Picture, ParamDirection::Out)],
+                vec![ParamDef::new(
+                    "picture_url",
+                    Type::Picture,
+                    ParamDirection::Out,
+                )],
             )),
         );
         registry
@@ -604,9 +614,10 @@ mod tests {
     #[test]
     fn rejects_bad_param_passing() {
         // picture_url is not an output of twitter.timeline
-        let err =
-            check("monitor (@com.twitter.timeline()) => @com.twitter.retweet(tweet_id = picture_url)")
-                .unwrap_err();
+        let err = check(
+            "monitor (@com.twitter.timeline()) => @com.twitter.retweet(tweet_id = picture_url)",
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("unknown output parameter"));
     }
 
@@ -633,14 +644,16 @@ mod tests {
 
     #[test]
     fn rejects_query_used_as_action() {
-        let err = check("now => @com.twitter.timeline() => @com.dropbox.list_folder()")
-            .unwrap_err();
+        let err =
+            check("now => @com.twitter.timeline() => @com.dropbox.list_folder()").unwrap_err();
         assert!(err.to_string().contains("not an action"));
     }
 
     #[test]
     fn count_aggregation_needs_no_field() {
         check("now => agg count of (@com.dropbox.list_folder()) => notify").unwrap();
-        assert!(check("now => agg count file_size of (@com.dropbox.list_folder()) => notify").is_err());
+        assert!(
+            check("now => agg count file_size of (@com.dropbox.list_folder()) => notify").is_err()
+        );
     }
 }

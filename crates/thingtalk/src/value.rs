@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::units::Unit;
 
@@ -202,9 +203,7 @@ impl Value {
     pub fn measure_in_base(&self) -> Option<f64> {
         match self {
             Value::Measure(amount, unit) => Some(unit.to_base(*amount)),
-            Value::CompoundMeasure(parts) => {
-                Some(parts.iter().map(|(a, u)| u.to_base(*a)).sum())
-            }
+            Value::CompoundMeasure(parts) => Some(parts.iter().map(|(a, u)| u.to_base(*a)).sum()),
             _ => None,
         }
     }
@@ -243,10 +242,7 @@ impl Value {
         match (self, other) {
             (Value::String(a), Value::String(b)) => Some(a.cmp(b)),
             (Value::Enum(a), Value::Enum(b)) => Some(a.cmp(b)),
-            (
-                Value::Entity { value: a, .. },
-                Value::Entity { value: b, .. },
-            ) => Some(a.cmp(b)),
+            (Value::Entity { value: a, .. }, Value::Entity { value: b, .. }) => Some(a.cmp(b)),
             _ => {
                 let a = self.as_number()?;
                 let b = other.as_number()?;
@@ -274,6 +270,87 @@ impl Value {
     /// A stable key used to canonicalize the order of operands (§2.4).
     pub fn sort_key(&self) -> String {
         self.to_string()
+    }
+}
+
+// `Hash` is implemented manually because values contain `f64`s. Floats are
+// hashed by bit pattern after normalizing `-0.0` to `0.0`, so every pair
+// that compares equal under the derived (IEEE) `PartialEq` also hashes
+// equal, as the `Hash`/`Eq` contract requires. (The reverse corner — `NaN
+// != NaN` yet equal bits — only makes unequal values share a hash, which is
+// always permitted.)
+fn hash_f64<H: Hasher>(n: f64, state: &mut H) {
+    let normalized = if n == 0.0 { 0.0 } else { n };
+    normalized.to_bits().hash(state);
+}
+impl Hash for DateValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            DateValue::Absolute(ms) => ms.hash(state),
+            DateValue::Edge(edge) => edge.hash(state),
+            DateValue::Offset { base, offset_ms } => {
+                base.hash(state);
+                offset_ms.hash(state);
+            }
+        }
+    }
+}
+
+impl Hash for LocationValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            LocationValue::Named(name) => name.hash(state),
+            LocationValue::Coordinates {
+                latitude,
+                longitude,
+            } => {
+                hash_f64(*latitude, state);
+                hash_f64(*longitude, state);
+            }
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::String(s) => s.hash(state),
+            Value::Number(n) => hash_f64(*n, state),
+            Value::Boolean(b) => b.hash(state),
+            Value::Measure(amount, unit) => {
+                hash_f64(*amount, state);
+                unit.hash(state);
+            }
+            Value::CompoundMeasure(parts) => {
+                for (amount, unit) in parts {
+                    hash_f64(*amount, state);
+                    unit.hash(state);
+                }
+            }
+            Value::Date(date) => date.hash(state),
+            Value::Time(h, m) => (h, m).hash(state),
+            Value::Location(location) => location.hash(state),
+            Value::Enum(variant) => variant.hash(state),
+            Value::Currency(amount, code) => {
+                hash_f64(*amount, state);
+                code.hash(state);
+            }
+            Value::Entity {
+                value,
+                kind,
+                display,
+            } => {
+                value.hash(state);
+                kind.hash(state);
+                display.hash(state);
+            }
+            Value::Array(items) => items.hash(state),
+            Value::VarRef(name) => name.hash(state),
+            Value::Event | Value::Undefined => {}
+        }
     }
 }
 
@@ -389,7 +466,10 @@ mod tests {
         assert_eq!(Value::string("funny cat").to_string(), "\"funny cat\"");
         assert_eq!(Value::Number(60.0).to_string(), "60");
         assert_eq!(Value::Measure(60.0, Unit::Fahrenheit).to_string(), "60F");
-        assert_eq!(Value::Enum("decreasing".into()).to_string(), "enum:decreasing");
+        assert_eq!(
+            Value::Enum("decreasing".into()).to_string(),
+            "enum:decreasing"
+        );
         assert_eq!(
             Value::Date(DateValue::Edge(DateEdge::StartOfWeek)).to_string(),
             "start_of_week"
@@ -412,6 +492,24 @@ mod tests {
             display: Some("alice".into()),
         };
         assert_eq!(v.as_text().unwrap(), "alice");
+    }
+
+    #[test]
+    fn equal_floats_hash_equal() {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let fingerprint = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        let pos = Value::Number(0.0);
+        let neg = Value::Number(-0.0);
+        assert_eq!(pos, neg);
+        assert_eq!(fingerprint(&pos), fingerprint(&neg));
+        let m_pos = Value::Measure(0.0, Unit::Meter);
+        let m_neg = Value::Measure(-0.0, Unit::Meter);
+        assert_eq!(m_pos, m_neg);
+        assert_eq!(fingerprint(&m_pos), fingerprint(&m_neg));
     }
 
     #[test]

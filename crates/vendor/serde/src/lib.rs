@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its data types to
+//! document which ones form the dataset interchange surface, but never
+//! invokes a serializer (there is no `serde_json`). Since the container has
+//! no network access, this crate provides the two marker traits and re-exports
+//! the no-op derives so the annotations compile unchanged. Swapping in the
+//! real serde later is a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace has no access to crates.io, and nothing in the repository
+//! actually serializes data (there is no `serde_json` usage): the
+//! `#[derive(Serialize, Deserialize)]` attributes only document intent. The
+//! derives therefore expand to nothing; the marker traits live in the sibling
+//! `serde` stand-in crate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the `Serialize` marker trait is never used in bounds.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the `Deserialize` marker trait is never used in bounds.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

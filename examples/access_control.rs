@@ -17,9 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("Policy: {policy}");
 
-    let allowed = parse_program(
-        "now => @com.gmail.inbox() filter labels contains \"work\" => notify",
-    )?;
+    let allowed =
+        parse_program("now => @com.gmail.inbox() filter labels contains \"work\" => notify")?;
     let all_mail = parse_program("now => @com.gmail.inbox() => notify")?;
     let other_skill = parse_program("now => @com.twitter.direct_messages() => notify")?;
 
@@ -62,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let synthesized = generator.synthesize_policies();
-    println!("\nSynthesized {} policy sentences; samples:", synthesized.len());
+    println!(
+        "\nSynthesized {} policy sentences; samples:",
+        synthesized.len()
+    );
     for (utterance, policy) in synthesized.iter().take(6) {
         println!("  \"{utterance}\"");
         println!("     => {policy}");

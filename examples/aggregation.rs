@@ -14,9 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = Thingpedia::builtin();
 
     // "find the total size of a folder" (the paper's example).
-    let total_size = parse_program(
-        "now => agg sum file_size of (@com.dropbox.list_folder()) => notify",
-    )?;
+    let total_size =
+        parse_program("now => agg sum file_size of (@com.dropbox.list_folder()) => notify")?;
     typecheck(&library, &total_size)?;
     let mut engine = ExecutionEngine::new(SimulatedDevices::new(library.clone(), 11));
     let outcome = engine.execute_once(&total_size)?;

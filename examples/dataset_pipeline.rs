@@ -46,7 +46,12 @@ fn main() {
     );
 
     println!("\nSample synthesized sentence and its paraphrases:");
-    if let Some(example) = data.synthesized.examples.iter().find(|e| !e.flags.primitive) {
+    if let Some(example) = data
+        .synthesized
+        .examples
+        .iter()
+        .find(|e| !e.flags.primitive)
+    {
         println!("  synthesized: \"{}\"", example.utterance);
         println!("  program:     {}", example.program);
         for paraphrase in data
@@ -69,5 +74,13 @@ fn main() {
         batch.paraphrases_per_worker,
         batch.expected_paraphrases()
     );
-    println!("First CSV rows:\n{}", batch.to_csv().lines().take(4).collect::<Vec<_>>().join("\n"));
+    println!(
+        "First CSV rows:\n{}",
+        batch
+            .to_csv()
+            .lines()
+            .take(4)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }

@@ -32,13 +32,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     typecheck(&library, &program)?;
     let canonical = canonicalized(&library, &program);
     println!("\nThingTalk program:   {canonical}");
-    println!("Canonical sentence:  {}", Describer::new(&library).describe(&canonical));
+    println!(
+        "Canonical sentence:  {}",
+        Describer::new(&library).describe(&canonical)
+    );
 
     // 2. Execute it on the simulated devices.
     let mut engine = ExecutionEngine::new(SimulatedDevices::new(library.clone(), 42));
     let outcome = engine.execute_once(&canonical)?;
     for action in &outcome.actions {
-        println!("Executed action:     {} with {} parameters", action.function, action.params.len());
+        println!(
+            "Executed action:     {} with {} parameters",
+            action.function,
+            action.params.len()
+        );
     }
 
     // 3. Train a small parser with the Genie pipeline and translate a new
@@ -62,8 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.paraphrases.len(),
         data.augmented.len()
     );
-    let mut parser = LuinetParser::new(ModelConfig::default())
-        .with_pretrained_lm(pipeline.pretrain_lm(1));
+    let mut parser =
+        LuinetParser::new(ModelConfig::default()).with_pretrained_lm(pipeline.pretrain_lm(1));
     parser.train(&pipeline.to_parser_examples(&data.combined(), NnOptions::default()));
 
     let command = "show me my dropbox files";

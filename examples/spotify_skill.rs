@@ -25,9 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Quote-free free-form parameters: the same carrier phrase, different
     // functions depending on the entity.
-    let play_song = parse_program(
-        "now => @com.spotify.play_song(song = \"shake it off\"^^com.spotify:song)",
-    )?;
+    let play_song =
+        parse_program("now => @com.spotify.play_song(song = \"shake it off\"^^com.spotify:song)")?;
     let play_artist = parse_program(
         "now => @com.spotify.play_artist(artist = \"taylor swift\"^^com.spotify:artist)",
     )?;
@@ -35,9 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     typecheck(&library, &play_artist)?;
     let describer = Describer::new(&library);
     println!("\n\"play shake it off\"   => {play_song}");
-    println!("                         ({})", describer.describe(&play_song));
+    println!(
+        "                         ({})",
+        describer.describe(&play_song)
+    );
     println!("\"play taylor swift\"   => {play_artist}");
-    println!("                         ({})", describer.describe(&play_artist));
+    println!(
+        "                         ({})",
+        describer.describe(&play_artist)
+    );
 
     // The paper's flagship compound examples.
     let alarm = parse_program(

@@ -1,0 +1,89 @@
+//! Determinism guarantees of the parallel synthesis engine: a fixed
+//! `GeneratorConfig::seed` must produce an identical dataset — utterances
+//! and program token sequences — regardless of the worker thread count,
+//! and across repeated runs.
+
+use genie_templates::{GeneratorConfig, SentenceGenerator};
+use thingpedia::Thingpedia;
+use thingtalk::nn_syntax::{to_tokens, NnSyntaxOptions};
+
+fn config(seed: u64, threads: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        target_per_rule: 30,
+        max_depth: 5,
+        instantiations_per_template: 1,
+        seed,
+        include_aggregation: true,
+        include_timers: true,
+        threads,
+    }
+}
+
+/// The dataset as the parser sees it: (utterance, program tokens) pairs.
+fn dataset(seed: u64, threads: usize) -> Vec<(String, Vec<String>)> {
+    let library = Thingpedia::builtin();
+    SentenceGenerator::new(&library, config(seed, threads))
+        .synthesize()
+        .into_iter()
+        .map(|e| {
+            (
+                e.utterance,
+                to_tokens(&e.program, NnSyntaxOptions::default()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_same_dataset_across_thread_counts() {
+    let sequential = dataset(42, 1);
+    assert!(
+        sequential.len() > 100,
+        "dataset too small: {}",
+        sequential.len()
+    );
+    for threads in [2, 3, 8, 0] {
+        let parallel = dataset(42, threads);
+        assert_eq!(
+            parallel, sequential,
+            "dataset differs between 1 thread and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_dataset_across_runs() {
+    assert_eq!(dataset(7, 0), dataset(7, 0));
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(dataset(7, 0), dataset(8, 0));
+}
+
+#[test]
+fn pipeline_output_is_thread_count_invariant() {
+    use genie::pipeline::{DataPipeline, NnOptions, PipelineConfig};
+
+    let library = Thingpedia::builtin();
+    let build = |threads: usize| {
+        let pipeline = DataPipeline::new(
+            &library,
+            PipelineConfig {
+                synthesis: config(11, threads),
+                paraphrase_sample: 60,
+                ..PipelineConfig::default()
+            },
+        );
+        let data = pipeline.build();
+        let examples = pipeline.to_parser_examples(&data.combined(), NnOptions::default());
+        examples
+            .into_iter()
+            .map(|e| (e.sentence.join(" "), e.program.join(" ")))
+            .collect::<Vec<_>>()
+    };
+    let sequential = build(1);
+    assert!(!sequential.is_empty());
+    assert_eq!(build(4), sequential);
+    assert_eq!(build(0), sequential);
+}

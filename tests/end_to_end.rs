@@ -21,6 +21,7 @@ fn small_pipeline_config(seed: u64) -> PipelineConfig {
             seed,
             include_aggregation: false,
             include_timers: true,
+            threads: 0,
         },
         paraphrase_sample: 50,
         ..PipelineConfig::default()
@@ -70,6 +71,7 @@ fn synthesized_programs_execute_on_the_simulated_runtime() {
             seed: 3,
             include_aggregation: false,
             include_timers: false,
+            threads: 0,
         },
     );
     let examples = generator.synthesize();

@@ -36,7 +36,10 @@ fn fig8_training_strategies_run_and_genie_wins_on_realistic_data() {
     let rows = training_strategies(&library, scale);
     assert_eq!(rows.len(), 3);
     let genie = rows.iter().find(|r| r.strategy == "Genie").unwrap();
-    let paraphrase_only = rows.iter().find(|r| r.strategy == "Paraphrase Only").unwrap();
+    let paraphrase_only = rows
+        .iter()
+        .find(|r| r.strategy == "Paraphrase Only")
+        .unwrap();
     // The headline qualitative result: on realistic (cheatsheet) data the
     // Genie strategy is at least as good as training on paraphrases alone.
     assert!(
@@ -48,7 +51,12 @@ fn fig8_training_strategies_run_and_genie_wins_on_realistic_data() {
     // At this tiny scale absolute accuracy is near zero; just check the
     // numbers are well-formed. (The standard-scale run recorded in
     // EXPERIMENTS.md shows non-trivial accuracy.)
-    for summary in [&genie.paraphrase, &genie.validation, &genie.cheatsheet, &genie.ifttt] {
+    for summary in [
+        &genie.paraphrase,
+        &genie.validation,
+        &genie.cheatsheet,
+        &genie.ifttt,
+    ] {
         assert!(summary.mean >= 0.0 && summary.mean <= 1.0);
         assert!(summary.min <= summary.mean && summary.mean <= summary.max);
     }

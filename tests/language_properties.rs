@@ -1,9 +1,15 @@
-//! Property-based tests (proptest) over the core language invariants:
-//! canonicalization is idempotent and order-insensitive, printing and
-//! parsing round-trip, and the NN syntax round-trips for arbitrary
-//! generated programs over the builtin library.
+//! Property-based tests over the core language invariants: canonicalization
+//! is idempotent and order-insensitive, printing and parsing round-trip, and
+//! the NN syntax round-trips for randomly generated programs over the builtin
+//! library.
+//!
+//! The container has no crates.io access, so instead of proptest these
+//! properties are checked over a seeded stream of generated programs (the
+//! generator below plays the role of a proptest `Strategy`).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 use thingpedia::Thingpedia;
 use thingtalk::ast::{Action, CompareOp, Invocation, Predicate, Program, Query, Stream};
@@ -13,10 +19,18 @@ use thingtalk::syntax::parse_program;
 use thingtalk::typecheck::SchemaRegistry;
 use thingtalk::Value;
 
-/// Strategy: pick a random query function and action function from the
-/// builtin library, with a filter over a random output parameter.
-fn arb_program() -> impl Strategy<Value = Program> {
-    let library = Thingpedia::builtin();
+const CASES: usize = 64;
+
+fn random_word(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(3..=8usize);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+/// Pick a random query function and action function from the builtin
+/// library, with a filter over a random output parameter.
+fn arb_program(library: &Thingpedia, rng: &mut StdRng) -> Program {
     let queries: Vec<(String, String, Vec<String>)> = library
         .classes()
         .flat_map(|class| {
@@ -45,97 +59,105 @@ fn arb_program() -> impl Strategy<Value = Program> {
         })
         .collect();
 
-    (
-        0..queries.len(),
-        0..actions.len(),
-        prop::bool::ANY,
-        prop::bool::ANY,
-        "[a-z]{3,8}",
-        "[a-z]{3,8}",
-    )
-        .prop_map(move |(qi, ai, monitored, with_filter, filter_text, param_text)| {
-            let (qclass, qname, outs) = &queries[qi];
-            let (aclass, aname, reqs) = &actions[ai];
-            let mut query = Query::Invocation(Invocation::new(qclass.clone(), qname.clone()));
-            if with_filter {
-                if let Some(out) = outs.first() {
-                    query = query.filtered(Predicate::atom(
-                        out.clone(),
-                        CompareOp::Substr,
-                        Value::string(filter_text.clone()),
-                    ));
-                }
-            }
-            let mut action_inv = Invocation::new(aclass.clone(), aname.clone());
-            for req in reqs {
-                action_inv = action_inv.with_param(req.clone(), Value::string(param_text.clone()));
-            }
-            if monitored {
-                Program {
-                    stream: Stream::Monitor {
-                        query: Box::new(query),
-                        on: Vec::new(),
-                    },
-                    query: None,
-                    action: Action::Invocation(action_inv),
-                }
-            } else {
-                Program {
-                    stream: Stream::Now,
-                    query: Some(query),
-                    action: Action::Invocation(action_inv),
-                }
-            }
-        })
+    let (qclass, qname, outs) = queries.choose(rng).expect("builtin library has queries");
+    let (aclass, aname, reqs) = actions.choose(rng).expect("builtin library has actions");
+    let monitored = rng.gen_bool(0.5);
+    let with_filter = rng.gen_bool(0.5);
+
+    let mut query = Query::Invocation(Invocation::new(qclass.clone(), qname.clone()));
+    if with_filter {
+        if let Some(out) = outs.first() {
+            query = query.filtered(Predicate::atom(
+                out.clone(),
+                CompareOp::Substr,
+                Value::string(random_word(rng)),
+            ));
+        }
+    }
+    let param_text = random_word(rng);
+    let mut action_inv = Invocation::new(aclass.clone(), aname.clone());
+    for req in reqs {
+        action_inv = action_inv.with_param(req.clone(), Value::string(param_text.clone()));
+    }
+    if monitored {
+        Program {
+            stream: Stream::Monitor {
+                query: query.into(),
+                on: Vec::new(),
+            },
+            query: None,
+            action: Action::Invocation(action_inv.into()),
+        }
+    } else {
+        Program {
+            stream: Stream::Now,
+            query: Some(query.into()),
+            action: Action::Invocation(action_inv.into()),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn canonicalization_is_idempotent(program in arb_program()) {
-        let library = Thingpedia::builtin();
-        let once = canonicalized(&library, &program);
-        let twice = canonicalized(&library, &once);
-        prop_assert_eq!(once, twice);
+fn for_each_case(seed: u64, mut check: impl FnMut(&Thingpedia, Program)) {
+    let library = Thingpedia::builtin();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        let program = arb_program(&library, &mut rng);
+        check(&library, program);
     }
+}
 
-    #[test]
-    fn canonicalization_ignores_input_parameter_order(program in arb_program()) {
-        let library = Thingpedia::builtin();
+#[test]
+fn canonicalization_is_idempotent() {
+    for_each_case(101, |library, program| {
+        let once = canonicalized(library, &program);
+        let twice = canonicalized(library, &once);
+        assert_eq!(once, twice, "program: {program}");
+    });
+}
+
+#[test]
+fn canonicalization_ignores_input_parameter_order() {
+    for_each_case(102, |library, program| {
         let mut shuffled = program.clone();
         for invocation in shuffled.invocations_mut() {
             invocation.in_params.reverse();
         }
-        prop_assert_eq!(
-            canonicalized(&library, &program),
-            canonicalized(&library, &shuffled)
+        assert_eq!(
+            canonicalized(library, &program),
+            canonicalized(library, &shuffled),
+            "program: {program}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn surface_syntax_roundtrips(program in arb_program()) {
+#[test]
+fn surface_syntax_roundtrips() {
+    for_each_case(103, |_, program| {
         let printed = program.to_string();
         let reparsed = parse_program(&printed).unwrap();
-        prop_assert_eq!(program, reparsed);
-    }
+        assert_eq!(program, reparsed, "printed: {printed}");
+    });
+}
 
-    #[test]
-    fn nn_syntax_roundtrips(program in arb_program()) {
-        let library = Thingpedia::builtin();
-        let canonical = canonicalized(&library, &program);
+#[test]
+fn nn_syntax_roundtrips() {
+    for_each_case(104, |library, program| {
+        let canonical = canonicalized(library, &program);
         for options in [NnSyntaxOptions::default(), NnSyntaxOptions::full()] {
             let tokens = to_tokens(&canonical, options);
             let decoded = from_tokens(&tokens).unwrap();
-            prop_assert_eq!(&canonical, &decoded);
+            assert_eq!(&canonical, &decoded, "tokens: {}", tokens.join(" "));
         }
-    }
+    });
+}
 
-    #[test]
-    fn generated_programs_reference_known_functions(program in arb_program()) {
-        let library = Thingpedia::builtin();
+#[test]
+fn generated_programs_reference_known_functions() {
+    for_each_case(105, |library, program| {
         for function in program.functions() {
-            prop_assert!(library.function(&function.class, &function.function).is_some());
+            assert!(library
+                .function(&function.class, &function.function)
+                .is_some());
         }
-    }
+    });
 }
