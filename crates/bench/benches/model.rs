@@ -20,6 +20,7 @@ fn training_data(library: &Thingpedia) -> Vec<ParserExample> {
                 include_aggregation: false,
                 include_timers: true,
                 threads: 0,
+                ..GeneratorConfig::default()
             },
             paraphrase_sample: 80,
             ..PipelineConfig::default()

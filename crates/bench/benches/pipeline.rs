@@ -85,6 +85,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                         include_aggregation: false,
                         include_timers: true,
                         threads: 0,
+                        ..GeneratorConfig::default()
                     },
                     paraphrase_sample: 50,
                     ..PipelineConfig::default()

@@ -1,14 +1,23 @@
 //! Benches for the NL-template synthesizer (§3.1): full sampled synthesis
-//! at two target sizes, policy synthesis, and the synthesis-throughput
-//! comparison between the sequential and the rule-parallel engine at depth
-//! 5. The paper reports that full-scale synthesis (100,000 samples per
-//! rule, depth 5) takes ~25 minutes; these benches track the per-sample
-//! cost and the parallel speedup.
+//! at two target sizes, policy synthesis, the synthesis-throughput
+//! comparison between the sequential and the batched streaming engine at
+//! depth 5, and the machine-readable `BENCH_synthesis.json` report
+//! (sentences/sec + peak resident-set delta) that CI uploads as an
+//! artifact. The paper reports that full-scale synthesis (100,000 samples
+//! per rule, depth 5) takes ~25 minutes; these benches track the
+//! per-sample cost and the parallel speedup.
+//!
+//! Environment: `GENIE_BENCH_SMOKE=1` shrinks the streaming report to
+//! CI-smoke size; `GENIE_BENCH_JSON=path` overrides where the JSON report
+//! is written (default `BENCH_synthesis.json` in the working directory).
 
+use std::hash::Hasher;
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use genie_bench::{json_object, json_string};
+use genie_templates::dedup::Fnv64;
 use genie_templates::{GeneratorConfig, SentenceGenerator};
 use thingpedia::Thingpedia;
 
@@ -21,6 +30,8 @@ fn depth5_config(target: usize, threads: usize) -> GeneratorConfig {
         include_aggregation: false,
         include_timers: true,
         threads,
+        quiet: true,
+        ..GeneratorConfig::default()
     }
 }
 
@@ -47,17 +58,20 @@ fn bench_synthesis(c: &mut Criterion) {
 /// check that both engines produce byte-identical output.
 fn bench_parallel_throughput(c: &mut Criterion) {
     let library = Thingpedia::builtin();
-    const TARGET: usize = 400;
-    const SAMPLES: u32 = 5;
+    // GENIE_BENCH_SMOKE shrinks every bench in this file, so the CI smoke
+    // job pays smoke prices for the whole invocation.
+    let smoke = std::env::var("GENIE_BENCH_SMOKE").is_ok();
+    let target: usize = if smoke { 60 } else { 400 };
+    let samples: u32 = if smoke { 2 } else { 5 };
 
     let measure = |threads: usize| -> (f64, usize, Vec<genie_templates::SynthesizedExample>) {
-        let generator = SentenceGenerator::new(&library, depth5_config(TARGET, threads));
+        let generator = SentenceGenerator::new(&library, depth5_config(target, threads));
         let mut out = generator.synthesize();
         let start = Instant::now();
-        for _ in 0..SAMPLES {
+        for _ in 0..samples {
             out = black_box(generator.synthesize());
         }
-        let per_run = start.elapsed().as_secs_f64() / SAMPLES as f64;
+        let per_run = start.elapsed().as_secs_f64() / samples as f64;
         (out.len() as f64 / per_run, out.len(), out)
     };
 
@@ -65,14 +79,14 @@ fn bench_parallel_throughput(c: &mut Criterion) {
     let (par_rate, _, par_out) = measure(0);
     assert_eq!(seq_out, par_out, "parallel output must be byte-identical");
     println!(
-        "synthesis-throughput depth=5 target={TARGET}: {count} sentences; \
+        "synthesis-throughput depth=5 target={target}: {count} sentences; \
          sequential {seq_rate:>10.0} sentences/sec; parallel {par_rate:>10.0} sentences/sec; \
          speedup {:.2}x",
         par_rate / seq_rate
     );
 
     let mut group = c.benchmark_group("synthesis_throughput_depth5");
-    group.sample_size(5);
+    group.sample_size(samples as usize);
     for (name, threads) in [("sequential", 1usize), ("parallel", 0)] {
         group.bench_with_input(
             BenchmarkId::new("threads", name),
@@ -80,7 +94,7 @@ fn bench_parallel_throughput(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let generator =
-                        SentenceGenerator::new(&library, depth5_config(TARGET, threads));
+                        SentenceGenerator::new(&library, depth5_config(target, threads));
                     black_box(generator.synthesize())
                 })
             },
@@ -124,6 +138,145 @@ fn bench_dedup_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// The streaming-engine report: sentences/sec (sequential vs parallel),
+/// peak resident-set delta over the run, the extra high-water growth a
+/// materializing (collecting) run causes on top of the streaming runs, and
+/// a dataset digest, written as machine-readable `BENCH_synthesis.json`
+/// for the CI perf trajectory.
+///
+/// `VmHWM` is a monotonic process-lifetime high-water mark, so this report
+/// runs **first** in the bench group — otherwise the earlier benches would
+/// have already raised the mark and the delta would read 0.
+fn bench_streaming_report(_c: &mut Criterion) {
+    let library = Thingpedia::builtin();
+    let smoke = std::env::var("GENIE_BENCH_SMOKE").is_ok();
+    let target = if smoke { 60 } else { 400 };
+    let samples: u32 = if smoke { 2 } else { 5 };
+    let config = depth5_config(target, 0);
+    let rss_start_kb = genie_bench::peak_rss_kb();
+
+    let measure = |threads: usize| -> (usize, f64, u64) {
+        let generator = SentenceGenerator::new(&library, depth5_config(target, threads));
+        // Warm-up run also computes the dataset digest for the report.
+        let mut hasher = Fnv64::new();
+        let mut count = 0usize;
+        generator.synthesize_streaming(|example| {
+            hasher.write(example.utterance.as_bytes());
+            hasher.write(example.program.to_string().as_bytes());
+            count += 1;
+        });
+        let digest = hasher.finish();
+        let start = Instant::now();
+        for _ in 0..samples {
+            let mut sink_count = 0usize;
+            let stats = generator.synthesize_streaming(|example| {
+                sink_count += 1;
+                black_box(&example);
+            });
+            assert_eq!(sink_count, count, "stream size changed between runs");
+            black_box(stats);
+        }
+        (
+            count,
+            start.elapsed().as_secs_f64() / samples as f64,
+            digest,
+        )
+    };
+
+    let (sequential_count, sequential_secs, sequential_digest) = measure(1);
+    let (parallel_count, parallel_secs, parallel_digest) = measure(0);
+    assert_eq!(sequential_count, parallel_count);
+    assert_eq!(
+        sequential_digest, parallel_digest,
+        "parallel streaming output must be byte-identical"
+    );
+    let rss_end_kb = genie_bench::peak_rss_kb();
+    let rss_delta_kb = match (rss_start_kb, rss_end_kb) {
+        (Some(start), Some(end)) => Some(end.saturating_sub(start)),
+        _ => None,
+    };
+
+    // Materialize the same dataset as a Vec: any further high-water growth
+    // is the resident cost the streaming path avoids.
+    let collected = SentenceGenerator::new(&library, depth5_config(target, 0)).synthesize();
+    assert_eq!(collected.len(), parallel_count);
+    black_box(&collected);
+    let rss_after_collect_kb = genie_bench::peak_rss_kb();
+    drop(collected);
+    let collect_extra_rss_kb = match (rss_end_kb, rss_after_collect_kb) {
+        (Some(streamed), Some(collected)) => Some(collected.saturating_sub(streamed)),
+        _ => None,
+    };
+
+    let sequential_rate = sequential_count as f64 / sequential_secs;
+    let parallel_rate = parallel_count as f64 / parallel_secs;
+    println!(
+        "synthesis-streaming depth=5 target={target}: {sequential_count} sentences; \
+         sequential {sequential_rate:>10.0} sentences/sec; parallel {parallel_rate:>10.0} \
+         sentences/sec; speedup {:.2}x; peak-rss-delta {} kB; collect-extra-rss {} kB",
+        parallel_rate / sequential_rate,
+        rss_delta_kb.map_or("n/a".to_owned(), |kb| kb.to_string()),
+        collect_extra_rss_kb.map_or("n/a".to_owned(), |kb| kb.to_string()),
+    );
+
+    let run_json = |mode: &str, threads: usize, count: usize, secs: f64| {
+        json_object(&[
+            ("mode", json_string(mode)),
+            ("threads", threads.to_string()),
+            ("sentences", count.to_string()),
+            ("seconds", format!("{secs:.6}")),
+            ("sentences_per_sec", format!("{:.1}", count as f64 / secs)),
+        ])
+    };
+    let report = json_object(&[
+        ("bench", json_string("synthesis")),
+        ("smoke", smoke.to_string()),
+        (
+            "config",
+            json_object(&[
+                ("target_per_rule", target.to_string()),
+                ("max_depth", config.max_depth.to_string()),
+                ("batch_size", config.batch_size.to_string()),
+                ("shards", config.shards.to_string()),
+                ("seed", config.seed.to_string()),
+            ]),
+        ),
+        (
+            "runs",
+            format!(
+                "[{}, {}]",
+                run_json("sequential", 1, sequential_count, sequential_secs),
+                run_json("parallel", 0, parallel_count, parallel_secs),
+            ),
+        ),
+        ("speedup", format!("{:.4}", parallel_rate / sequential_rate)),
+        (
+            "peak_rss_start_kb",
+            rss_start_kb.map_or("null".to_owned(), |kb| kb.to_string()),
+        ),
+        (
+            "peak_rss_end_kb",
+            rss_end_kb.map_or("null".to_owned(), |kb| kb.to_string()),
+        ),
+        (
+            "peak_rss_delta_kb",
+            rss_delta_kb.map_or("null".to_owned(), |kb| kb.to_string()),
+        ),
+        (
+            "collect_extra_rss_kb",
+            collect_extra_rss_kb.map_or("null".to_owned(), |kb| kb.to_string()),
+        ),
+        (
+            "dataset_digest",
+            json_string(&format!("{parallel_digest:016x}")),
+        ),
+    ]);
+    let path =
+        std::env::var("GENIE_BENCH_JSON").unwrap_or_else(|_| "BENCH_synthesis.json".to_owned());
+    std::fs::write(&path, format!("{report}\n")).expect("write BENCH_synthesis.json");
+    println!("wrote {path}");
+}
+
 fn bench_policy_synthesis(c: &mut Criterion) {
     let library = Thingpedia::builtin();
     c.bench_function("synthesize_policies", |b| {
@@ -138,6 +291,7 @@ fn bench_policy_synthesis(c: &mut Criterion) {
                     include_aggregation: false,
                     include_timers: false,
                     threads: 0,
+                    ..GeneratorConfig::default()
                 },
             );
             black_box(generator.synthesize_policies())
@@ -148,6 +302,8 @@ fn bench_policy_synthesis(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis, bench_parallel_throughput, bench_dedup_strategies, bench_policy_synthesis
+    // The streaming report must run first: it measures VmHWM deltas, and the
+    // high-water mark is process-monotonic.
+    targets = bench_streaming_report, bench_synthesis, bench_parallel_throughput, bench_dedup_strategies, bench_policy_synthesis
 );
 criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Support library for the experiment binaries and Criterion benches:
-//! command-line scale parsing and fixed-width table printing, so every
-//! binary prints its figure/table in a consistent format recorded in
-//! EXPERIMENTS.md.
+//! command-line scale parsing, fixed-width table printing (so every binary
+//! prints its figure/table in a consistent format recorded in
+//! EXPERIMENTS.md), and the process-level perf probes behind
+//! `BENCH_synthesis.json`.
 
 use genie::experiments::ExperimentScale;
 
@@ -9,7 +10,9 @@ use genie::experiments::ExperimentScale;
 ///
 /// Supported flags: `--tiny` (CI-sized), `--scale N` (multiply the standard
 /// data sizes by `N`), `--seeds N` (number of training runs per
-/// configuration).
+/// configuration), and the streaming-synthesis knobs `--threads N`,
+/// `--shards N`, `--batch-size N` (threads and shards never change the
+/// dataset; the batch size selects the per-batch RNG streams).
 pub fn scale_from_args() -> ExperimentScale {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = ExperimentScale::standard();
@@ -22,12 +25,70 @@ pub fn scale_from_args() -> ExperimentScale {
     if let Some(seeds) = flag_value(&args, "--seeds") {
         scale.seeds = seeds.max(1);
     }
+    if let Some(threads) = flag_value(&args, "--threads") {
+        scale.threads = threads;
+    }
+    if let Some(shards) = flag_value(&args, "--shards") {
+        scale.shards = shards;
+    }
+    if let Some(batch) = flag_value(&args, "--batch-size") {
+        scale.batch_size = batch;
+    }
     scale
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+/// The value following `flag` in `args`, parsed as `usize`.
+pub fn flag_value(args: &[String], flag: &str) -> Option<usize> {
     let position = args.iter().position(|a| a == flag)?;
     args.get(position + 1)?.parse().ok()
+}
+
+/// The process' peak resident-set size ("VmHWM") in kilobytes, from
+/// `/proc/self/status`. `None` off Linux or if the field is missing — the
+/// bench reports then omit the memory column rather than guessing.
+pub fn peak_rss_kb() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+/// The process' current resident-set size ("VmRSS") in kilobytes.
+pub fn current_rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|line| line.starts_with(field))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Render a flat list of key/value pairs as a JSON object string. Values
+/// are emitted verbatim, so callers pass pre-rendered JSON (numbers,
+/// strings with quotes, nested arrays). The vendored `serde` stand-in has
+/// no serializer, hence this tiny hand-rolled emitter.
+pub fn json_object(pairs: &[(&str, String)]) -> String {
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(key, value)| format!("\"{key}\": {value}"))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Quote and escape a string for JSON output.
+pub fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Render a percentage with one decimal.
@@ -97,5 +158,22 @@ mod tests {
         assert_eq!(flag_value(&args, "--scale"), Some(3));
         assert_eq!(flag_value(&args, "--seeds"), Some(2));
         assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn json_emission_escapes_and_nests() {
+        let object = json_object(&[
+            ("count", "3".to_owned()),
+            ("label", json_string("a \"b\"\nc")),
+        ]);
+        assert_eq!(object, "{\"count\": 3, \"label\": \"a \\\"b\\\"\\nc\"}");
+    }
+
+    #[test]
+    fn rss_probes_report_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb().unwrap_or(0) > 0);
+            assert!(current_rss_kb().unwrap_or(0) > 0);
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! * tokenization and argument identification (the paper uses the CoreNLP
 //!   tokenizer and a rule-based recognizer to replace numbers, dates, times
 //!   and quoted strings with named constants such as `NUMBER_0`, `DATE_1`) —
-//!   implemented in [`tokenize`] and [`argident`];
+//!   implemented in [`mod@tokenize`] and [`argident`];
 //! * a paraphrase database (the paper uses PPDB) for data augmentation —
 //!   implemented in [`ppdb`];
 //! * string metrics used by the paraphrase-validation heuristics — in

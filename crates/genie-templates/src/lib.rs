@@ -18,9 +18,11 @@
 //! construct template, at increasing depth.
 //!
 //! Construct templates are pluggable [`ConstructRule`]s collected in a
-//! [`RuleRegistry`] (see [`registry`]); the generator drives every enabled
-//! rule in parallel with a per-rule RNG stream (`seed ⊕ rule_id`), so output
-//! is byte-identical regardless of the worker count.
+//! [`RuleRegistry`] (see [`registry`]); the generator streams `(rule, batch)`
+//! work items in parallel, each with its own RNG stream
+//! (`seed ⊕ rule_id ⊕ mix(batch)`), through a sharded dedup set (see
+//! [`shards`]), so output is byte-identical regardless of the worker count
+//! and the shard count, and memory stays bounded by the in-flight window.
 //!
 //! # Example
 //!
@@ -49,10 +51,12 @@ pub mod phrases;
 pub mod pools;
 pub mod registry;
 pub mod rules;
+pub mod shards;
 
 pub use constructs::{construct_template_counts, ConstructKind};
 pub use example::{ExampleFlags, SynthesizedExample};
-pub use generator::{GeneratorConfig, SentenceGenerator};
+pub use generator::{GeneratorConfig, SentenceGenerator, SynthesisStats};
 pub use phrases::{PhraseDerivation, PhraseKind};
 pub use pools::PhrasePools;
 pub use registry::{ConstructRule, RuleCtx, RuleRegistry};
+pub use shards::ShardedDedup;

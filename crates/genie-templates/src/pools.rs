@@ -44,8 +44,9 @@ impl PhrasePools {
     /// The filtered pools aim for `config.target_per_rule` entries each.
     /// `add_filter` can reject a candidate (e.g. a function without output
     /// parameters), so the loop retries with fresh base phrases — up to
-    /// [`FILTER_RETRY_FACTOR`]× the target — instead of silently dropping the
-    /// failed iterations; a remaining shortfall is recorded and logged.
+    /// `FILTER_RETRY_FACTOR`× the target — instead of silently dropping the
+    /// failed iterations; a remaining shortfall is recorded and logged
+    /// (unless [`GeneratorConfig::quiet`] is set).
     pub fn build(
         library: &Thingpedia,
         datasets: &ParamDatasets,
@@ -85,7 +86,9 @@ impl PhrasePools {
                 rng,
             );
             pools.filter_shortfall = shortfall_nouns + shortfall_whens;
-            if pools.filter_shortfall > 0 {
+            // The shortfall is recorded unconditionally; the diagnostic is
+            // gated so bench runs and machine-readable output stay clean.
+            if pools.filter_shortfall > 0 && !config.quiet {
                 eprintln!(
                     "genie-templates: filtered phrase pools fell {} short of the target of {} after {}x retries",
                     pools.filter_shortfall,

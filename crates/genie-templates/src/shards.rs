@@ -1,0 +1,186 @@
+//! Sharded deduplication for the streaming synthesis engine.
+//!
+//! The collect-then-dedup engine ran a single sequential `HashSet` pass
+//! after the parallel barrier, which serialized dedup and forced the whole
+//! candidate set to be resident at once. [`ShardedDedup`] splits the key
+//! space into `N` shards (`shard = fold(fingerprint) % N`), each owning its
+//! own FNV-keyed set, so a batch of keys can be tested and inserted with one
+//! worker per shard — dedup parallelizes instead of running after the
+//! barrier.
+//!
+//! Sharding is an implementation detail, not a semantics change: a key lands
+//! in exactly one shard, every shard processes its sub-sequence of the batch
+//! in arrival order, and shards never share keys, so the keep/drop decision
+//! for every candidate is identical to a sequential first-wins scan. The
+//! retained dataset is therefore **byte-identical for any shard count** —
+//! `tests/sharding.rs` and the CI determinism matrix enforce this.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// Minimum batch size for which [`ShardedDedup::insert_batch`] dispatches
+/// one worker per shard; smaller batches insert inline because spawning
+/// scoped workers costs more than the inserts themselves.
+pub const PARALLEL_BATCH_THRESHOLD: usize = 1024;
+
+/// A dedup set partitioned into independently locked shards.
+pub struct ShardedDedup {
+    shards: Vec<Mutex<HashSet<u128>>>,
+}
+
+impl ShardedDedup {
+    /// Create a dedup set with `shard_count` shards (`0` is treated as 1).
+    pub fn new(shard_count: usize) -> Self {
+        ShardedDedup {
+            shards: (0..shard_count.max(1))
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key belongs to: the 128-bit fingerprint folded to 64 bits
+    /// and reduced modulo the shard count.
+    pub fn shard_of(&self, key: u128) -> usize {
+        let folded = (key as u64) ^ ((key >> 64) as u64);
+        (folded % self.shards.len() as u64) as usize
+    }
+
+    /// Insert one key; `true` when the key was not yet present.
+    pub fn insert(&self, key: u128) -> bool {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("dedup shard poisoned")
+            .insert(key)
+    }
+
+    /// Insert a batch of keys, returning for each (in order) whether it was
+    /// fresh. Large batches are processed with one worker per shard; each
+    /// shard scans its own sub-sequence in batch order, so the result is
+    /// always identical to calling [`ShardedDedup::insert`] sequentially.
+    ///
+    /// Batches below [`PARALLEL_BATCH_THRESHOLD`] keys insert inline: the
+    /// scoped-worker dispatch costs more than the handful of uncontended
+    /// hash inserts it would spread out. Either path yields the same
+    /// first-wins decisions.
+    pub fn insert_batch(&self, threads: usize, keys: &[u128]) -> Vec<bool> {
+        if self.shards.len() == 1
+            || keys.len() < PARALLEL_BATCH_THRESHOLD
+            || genie_parallel::resolve_threads(threads) <= 1
+        {
+            return keys.iter().map(|&key| self.insert(key)).collect();
+        }
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (position, &key) in keys.iter().enumerate() {
+            buckets[self.shard_of(key)].push(position);
+        }
+        let per_shard = genie_parallel::par_map(threads, &buckets, |shard, positions| {
+            if positions.is_empty() {
+                return Vec::new();
+            }
+            let mut set = self.shards[shard].lock().expect("dedup shard poisoned");
+            positions
+                .iter()
+                .map(|&position| set.insert(keys[position]))
+                .collect::<Vec<bool>>()
+        });
+        let mut out = vec![false; keys.len()];
+        for (positions, fresh) in buckets.iter().zip(per_shard) {
+            for (&position, fresh) in positions.iter().zip(fresh) {
+                out[position] = fresh;
+            }
+        }
+        out
+    }
+
+    /// Total number of distinct keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("dedup shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dedup::fingerprint;
+
+    fn keys(n: usize) -> Vec<u128> {
+        // Fingerprint-derived keys with deliberate repeats every 7th entry.
+        (0..n)
+            .map(|i| {
+                let base = fingerprint(&(i % (n - n / 7))) as u128;
+                (base << 64) | fingerprint(&format!("k{}", i % (n - n / 7))) as u128
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keys_never_collide_across_shards() {
+        // A key belongs to exactly one shard: inserting it twice must hit
+        // the same shard and be rejected the second time, for any count.
+        for shard_count in [1, 3, 4, 16] {
+            let dedup = ShardedDedup::new(shard_count);
+            for key in keys(200) {
+                let first = dedup.insert(key);
+                assert!(!dedup.insert(key), "key readmitted by another shard");
+                let _ = first;
+            }
+            let distinct: std::collections::HashSet<u128> = keys(200).into_iter().collect();
+            assert_eq!(dedup.len(), distinct.len(), "shards={shard_count}");
+        }
+    }
+
+    #[test]
+    fn batch_insert_matches_sequential_insert_for_any_shard_count() {
+        // 500 keys exercises the inline path, 5000 the per-shard-worker
+        // path; both must reproduce the sequential first-wins decisions.
+        for size in [500, PARALLEL_BATCH_THRESHOLD * 5] {
+            let keys = keys(size);
+            let sequential: Vec<bool> = {
+                let mut seen = HashSet::new();
+                keys.iter().map(|&k| seen.insert(k)).collect()
+            };
+            for shard_count in [1, 4, 16] {
+                for threads in [1, 2, 8] {
+                    let dedup = ShardedDedup::new(shard_count);
+                    assert_eq!(
+                        dedup.insert_batch(threads, &keys),
+                        sequential,
+                        "size={size} shards={shard_count} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_wins_across_batches() {
+        let dedup = ShardedDedup::new(4);
+        let first = dedup.insert_batch(2, &[1, 2, 3, 2]);
+        assert_eq!(first, vec![true, true, true, false]);
+        let second = dedup.insert_batch(2, &[3, 4, 1]);
+        assert_eq!(second, vec![false, true, false]);
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one() {
+        let dedup = ShardedDedup::new(0);
+        assert_eq!(dedup.shard_count(), 1);
+        assert!(dedup.is_empty());
+        assert!(dedup.insert(9));
+        assert!(!dedup.is_empty());
+    }
+}

@@ -1,11 +1,16 @@
-//! Dataset types: examples, sources, composition statistics (Fig. 7) and
-//! program-level splits.
+//! Dataset types: examples, sources, composition statistics (Fig. 7),
+//! program-level splits, and the incremental sharded writers of the
+//! streaming pipeline.
 
 use std::collections::BTreeSet;
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
 use genie_templates::ExampleFlags;
+use luinet::ParserExample;
 use thingtalk::Program;
 
 /// Where an example came from.
@@ -225,6 +230,107 @@ impl Dataset {
     }
 }
 
+/// An incremental writer that spreads a stream of parser examples across
+/// `N` shard files, so arbitrarily large datasets are written with bounded
+/// memory and can be consumed shard-by-shard downstream.
+///
+/// Examples are assigned **round-robin** (`shard = sequence_index % N`):
+/// shard files are written in canonical stream order, and
+/// [`ShardedDatasetWriter::merge`] interleaves them back into exactly the
+/// original sequence. The merged content is therefore byte-identical for any
+/// shard count — the layout is storage, not semantics.
+pub struct ShardedDatasetWriter {
+    writers: Vec<BufWriter<File>>,
+    paths: Vec<PathBuf>,
+    written: usize,
+}
+
+impl ShardedDatasetWriter {
+    /// Create `shard_count` shard files `{stem}.shard-NNNN.tsv` under `dir`
+    /// (`0` is treated as 1), truncating any existing files.
+    pub fn create(dir: impl AsRef<Path>, stem: &str, shard_count: usize) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let mut writers = Vec::new();
+        let mut paths = Vec::new();
+        for shard in 0..shard_count.max(1) {
+            let path = dir.join(format!("{stem}.shard-{shard:04}.tsv"));
+            writers.push(BufWriter::new(File::create(&path)?));
+            paths.push(path);
+        }
+        Ok(ShardedDatasetWriter {
+            writers,
+            paths,
+            written: 0,
+        })
+    }
+
+    /// Append one parser example as a `sentence\tprogram` TSV line to the
+    /// next shard in round-robin order.
+    pub fn write(&mut self, example: &ParserExample) -> io::Result<()> {
+        let shard = self.written % self.writers.len();
+        writeln!(
+            self.writers[shard],
+            "{}\t{}",
+            example.sentence.join(" "),
+            example.program.join(" ")
+        )?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of examples written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The shard file paths, in shard order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Flush every shard and return the shard paths.
+    pub fn finish(mut self) -> io::Result<Vec<PathBuf>> {
+        for writer in &mut self.writers {
+            writer.flush()?;
+        }
+        Ok(self.paths)
+    }
+
+    /// Interleave round-robin shard files back into the canonical stream,
+    /// handing each line to `sink`: round `k` yields line `k` of each
+    /// shard, in shard order. The sequence is exactly what was written, for
+    /// any shard count, and only one line is resident at a time — the
+    /// bounded-memory counterpart of [`ShardedDatasetWriter::merge`].
+    pub fn merge_for_each(paths: &[PathBuf], mut sink: impl FnMut(String)) -> io::Result<()> {
+        let mut readers = Vec::new();
+        for path in paths {
+            readers.push(BufReader::new(File::open(path)?).lines());
+        }
+        loop {
+            let mut any = false;
+            for reader in &mut readers {
+                if let Some(line) = reader.next() {
+                    sink(line?);
+                    any = true;
+                }
+            }
+            if !any {
+                return Ok(());
+            }
+        }
+    }
+
+    /// [`ShardedDatasetWriter::merge_for_each`], collected into a `Vec` —
+    /// convenient for tests and small datasets; large consumers should
+    /// stream through `merge_for_each` instead.
+    pub fn merge(paths: &[PathBuf]) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        Self::merge_for_each(paths, |line| out.push(line))?;
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +383,57 @@ mod tests {
         assert_eq!(dataset.distinct_function_combinations(), 2);
         assert!(dataset.distinct_words() > 10);
         assert!((dataset.paraphrase_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    fn parser_example(i: usize) -> ParserExample {
+        ParserExample::new(
+            vec![format!("sentence{i}"), "words".to_owned()],
+            vec!["now".to_owned(), "=>".to_owned(), format!("prog{i}")],
+        )
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("genie-writer-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn sharded_writer_merge_is_shard_count_invariant() {
+        let examples: Vec<ParserExample> = (0..37).map(parser_example).collect();
+        let mut merged_per_count = Vec::new();
+        for shard_count in [1usize, 4, 16] {
+            let dir = scratch_dir(&format!("inv{shard_count}"));
+            let mut writer = ShardedDatasetWriter::create(&dir, "train", shard_count).unwrap();
+            for example in &examples {
+                writer.write(example).unwrap();
+            }
+            assert_eq!(writer.written(), examples.len());
+            assert_eq!(writer.paths().len(), shard_count);
+            let paths = writer.finish().unwrap();
+            merged_per_count.push(ShardedDatasetWriter::merge(&paths).unwrap());
+            fs::remove_dir_all(&dir).unwrap();
+        }
+        assert_eq!(merged_per_count[0].len(), 37);
+        assert_eq!(merged_per_count[0], merged_per_count[1]);
+        assert_eq!(merged_per_count[1], merged_per_count[2]);
+        assert!(merged_per_count[0][0].starts_with("sentence0 words\t"));
+        assert!(merged_per_count[0][36].contains("prog36"));
+    }
+
+    #[test]
+    fn sharded_writer_spreads_lines_across_shards() {
+        let dir = scratch_dir("spread");
+        let mut writer = ShardedDatasetWriter::create(&dir, "train", 3).unwrap();
+        for i in 0..10 {
+            writer.write(&parser_example(i)).unwrap();
+        }
+        let paths = writer.finish().unwrap();
+        let lines_per_shard: Vec<usize> = paths
+            .iter()
+            .map(|p| fs::read_to_string(p).unwrap().lines().count())
+            .collect();
+        // Round-robin: 10 examples over 3 shards = 4 + 3 + 3.
+        assert_eq!(lines_per_shard, vec![4, 3, 3]);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

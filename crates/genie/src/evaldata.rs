@@ -50,6 +50,7 @@ fn base_examples(library: &Thingpedia, config: EvalDataConfig, aggregation: bool
             include_aggregation: aggregation,
             include_timers: true,
             threads: 0,
+            ..GeneratorConfig::default()
         },
     );
     let mut out: Vec<Example> = generator

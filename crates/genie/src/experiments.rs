@@ -30,6 +30,13 @@ pub struct ExperimentScale {
     pub seeds: usize,
     /// Size of each realistic evaluation set.
     pub eval_size: usize,
+    /// Synthesis worker threads (`0` = all cores; never changes output).
+    pub threads: usize,
+    /// Synthesis dedup shards (`0` = 1; never changes output).
+    pub shards: usize,
+    /// Synthesis streaming batch size (`0` = one batch per rule; part of
+    /// the dataset identity).
+    pub batch_size: usize,
 }
 
 impl ExperimentScale {
@@ -42,6 +49,9 @@ impl ExperimentScale {
             epochs: 3,
             seeds: 3,
             eval_size: 150,
+            threads: 0,
+            shards: 8,
+            batch_size: 64,
         }
     }
 
@@ -53,6 +63,9 @@ impl ExperimentScale {
             epochs: 1,
             seeds: 1,
             eval_size: 25,
+            threads: 0,
+            shards: 8,
+            batch_size: 64,
         }
     }
 
@@ -75,7 +88,10 @@ impl ExperimentScale {
                 seed,
                 include_aggregation: aggregation,
                 include_timers: true,
-                threads: 0,
+                threads: self.threads,
+                shards: self.shards,
+                batch_size: self.batch_size,
+                ..GeneratorConfig::default()
             },
             paraphrase: ParaphraseConfig {
                 per_sentence: 2,
@@ -533,6 +549,7 @@ fn tacl_case_study(scale: ExperimentScale) -> Fig9Row {
                 include_aggregation: false,
                 include_timers: false,
                 threads: 0,
+                ..GeneratorConfig::default()
             },
         );
         let policies = generator.synthesize_policies();

@@ -14,8 +14,11 @@
 //! * [`crowdsource`] — MTurk batch generation and answer validation;
 //! * [`expansion`] — parameter replacement (§3.3) and PPDB augmentation;
 //! * [`pipeline`] — the training-set builder with the three training
-//!   strategies of Fig. 8 (synthesized-only, paraphrase-only, Genie) and the
-//!   ablation switches of Table 3;
+//!   strategies of Fig. 8 (synthesized-only, paraphrase-only, Genie), the
+//!   ablation switches of Table 3, and the fused streaming mode
+//!   ([`pipeline::DataPipeline::run_streaming`]) that pipes each batch
+//!   synthesize → paraphrase → expand → parser examples into incremental
+//!   sharded writers without materializing the dataset;
 //! * [`evaldata`] — the realistic evaluation sets (developer, cheatsheet,
 //!   IFTTT with the Table 2 cleanup rules);
 //! * [`eval`] — program accuracy and the §5.5 error analysis;
@@ -31,7 +34,7 @@ pub mod experiments;
 pub mod paraphrase;
 pub mod pipeline;
 
-pub use dataset::{Dataset, Example, ExampleSource};
+pub use dataset::{Dataset, Example, ExampleSource, ShardedDatasetWriter};
 pub use eval::{evaluate, EvalResult};
 pub use paraphrase::{ParaphraseConfig, ParaphraseSimulator};
-pub use pipeline::{DataPipeline, NnOptions, PipelineConfig, TrainingStrategy};
+pub use pipeline::{DataPipeline, NnOptions, PipelineConfig, StreamStats, TrainingStrategy};

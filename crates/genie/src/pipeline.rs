@@ -11,16 +11,18 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use genie_templates::{GeneratorConfig, SentenceGenerator};
+use genie_nlp::Ppdb;
+use genie_templates::dedup::fingerprint;
+use genie_templates::{GeneratorConfig, SentenceGenerator, SynthesisStats, SynthesizedExample};
 use luinet::{ParserExample, ProgramLm};
 use thingpedia::{ParamDatasets, Thingpedia};
 use thingtalk::canonical::canonicalized;
 use thingtalk::nn_syntax::{to_tokens, NnSyntaxOptions};
 
-use crate::dataset::{Dataset, Example, ExampleSource};
-use crate::expansion::expand_dataset;
+use crate::dataset::{Dataset, Example, ExampleSource, ShardedDatasetWriter};
+use crate::expansion::{augment_ppdb, expand_dataset, expand_parameters, per_item_seed};
 use crate::paraphrase::{ParaphraseConfig, ParaphraseSimulator};
 
 /// Which data the parser is trained on (Fig. 8).
@@ -98,6 +100,21 @@ impl Default for PipelineConfig {
             seed: 0,
         }
     }
+}
+
+/// Counters from one fused streaming run ([`DataPipeline::run_streaming`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Synthesized sentences that entered the fused stages (post-dedup).
+    pub synthesized: usize,
+    /// Paraphrases produced by the simulated crowdworkers.
+    pub paraphrases: usize,
+    /// Parameter-expanded / PPDB-augmented variants.
+    pub augmented: usize,
+    /// Parser examples handed to the sink in total.
+    pub emitted: usize,
+    /// Counters of the underlying synthesis stream.
+    pub synthesis: SynthesisStats,
 }
 
 /// The assembled training material, kept separated by provenance so the
@@ -218,6 +235,205 @@ impl<'a> DataPipeline<'a> {
         }
     }
 
+    /// Run the fused streaming pipeline: every batch of synthesized
+    /// sentences flows synthesize → paraphrase → parameter expansion →
+    /// parser-example conversion and is handed to `sink` before the next
+    /// batch is produced, so the full dataset is **never resident** — peak
+    /// memory is one fused batch plus the dedup keys.
+    ///
+    /// Differences from the materializing [`DataPipeline::build`]:
+    /// paraphrase candidates are selected by a deterministic fingerprint of
+    /// the stream index at a rate targeting
+    /// [`PipelineConfig::paraphrase_sample`] sentences over the expected
+    /// stream — an unbiased spread across every construct rule without the
+    /// whole-dataset shuffle (and barrier) `build` uses, though the realized
+    /// count is approximate rather than exact. All per-example randomness is
+    /// keyed on the example's global stream index, so the emitted sequence
+    /// is byte-identical across thread counts and dedup shard counts.
+    pub fn run_streaming(
+        &self,
+        options: NnOptions,
+        mut sink: impl FnMut(ParserExample),
+    ) -> StreamStats {
+        let generator = SentenceGenerator::new(self.library, self.config.synthesis);
+        let simulator = ParaphraseSimulator::new(self.config.paraphrase);
+        let ppdb = Ppdb::builtin();
+        let fuse = match self.config.synthesis.batch_size {
+            0 => 256,
+            n => n,
+        };
+        // Select ~paraphrase_sample of the expected pre-dedup candidates,
+        // spread over the whole stream: an index is selected when its
+        // fingerprint falls under `paraphrase_sample / expected` of the
+        // 64-bit space.
+        let expected = genie_templates::RuleRegistry::builtin()
+            .enabled_rules(&self.config.synthesis)
+            .len()
+            .saturating_mul(self.config.synthesis.target_per_rule)
+            .max(1);
+        let paraphrase_threshold = if self.config.paraphrase_sample >= expected {
+            u64::MAX
+        } else {
+            ((self.config.paraphrase_sample as u128 * u64::MAX as u128) / expected as u128) as u64
+        };
+        let mut stats = StreamStats::default();
+        let mut pending: Vec<SynthesizedExample> = Vec::new();
+        let mut next_index = 0usize;
+        let synthesis = generator.synthesize_streaming(|example| {
+            pending.push(example);
+            if pending.len() >= fuse {
+                self.fuse_batch(
+                    &simulator,
+                    &ppdb,
+                    options,
+                    paraphrase_threshold,
+                    &mut pending,
+                    &mut next_index,
+                    &mut stats,
+                    &mut sink,
+                );
+            }
+        });
+        self.fuse_batch(
+            &simulator,
+            &ppdb,
+            options,
+            paraphrase_threshold,
+            &mut pending,
+            &mut next_index,
+            &mut stats,
+            &mut sink,
+        );
+        stats.synthesis = synthesis;
+        stats
+    }
+
+    /// [`DataPipeline::run_streaming`] writing into an incremental
+    /// [`ShardedDatasetWriter`]; the first write error aborts further writes
+    /// and is returned after the stream drains.
+    pub fn run_streaming_sharded(
+        &self,
+        options: NnOptions,
+        writer: &mut ShardedDatasetWriter,
+    ) -> std::io::Result<StreamStats> {
+        let mut io_error: Option<std::io::Error> = None;
+        let stats = self.run_streaming(options, |example| {
+            if io_error.is_none() {
+                if let Err(error) = writer.write(&example) {
+                    io_error = Some(error);
+                }
+            }
+        });
+        match io_error {
+            Some(error) => Err(error),
+            None => Ok(stats),
+        }
+    }
+
+    /// Fuse one batch: convert, paraphrase, expand and emit the pending
+    /// synthesized examples in parallel, then drain them to the sink in
+    /// canonical order.
+    #[allow(clippy::too_many_arguments)]
+    fn fuse_batch(
+        &self,
+        simulator: &ParaphraseSimulator,
+        ppdb: &Ppdb,
+        options: NnOptions,
+        paraphrase_threshold: u64,
+        pending: &mut Vec<SynthesizedExample>,
+        next_index: &mut usize,
+        stats: &mut StreamStats,
+        sink: &mut dyn FnMut(ParserExample),
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let start = *next_index;
+        *next_index += pending.len();
+        let config = &self.config;
+        let conversion_base = config.seed.wrapping_add(99);
+
+        let produced =
+            genie_parallel::par_map(config.synthesis.threads, pending, |offset, synthesized| {
+                // All randomness below is keyed on the global stream index,
+                // so batch boundaries, threads and shards never change it.
+                let global = start + offset;
+                let example = Example::new(
+                    synthesized.utterance.clone(),
+                    synthesized.program.clone(),
+                    ExampleSource::Synthesized,
+                );
+                let mut derived: Vec<Example> = Vec::new();
+                let mut paraphrased = 0usize;
+                let mut augmented = 0usize;
+
+                // Fingerprint-based selection spreads the paraphrase budget
+                // over the whole stream instead of its head, so every
+                // construct rule contributes paraphrase-derived data.
+                let selector = fingerprint(&(config.paraphrase.seed, global as u64));
+                if paraphrase_threshold == u64::MAX || selector < paraphrase_threshold {
+                    let mut rng =
+                        StdRng::seed_from_u64(per_item_seed(config.paraphrase.seed, global));
+                    let rewrites = simulator.paraphrase(&example, &mut rng);
+                    paraphrased = rewrites.len();
+                    derived.extend(rewrites);
+                }
+
+                if config.parameter_expansion {
+                    let mut rng =
+                        StdRng::seed_from_u64(per_item_seed(config.seed.wrapping_add(1), global));
+                    let mut expanded: Vec<Example> = Vec::new();
+                    for rewrite in &derived {
+                        expanded.extend(expand_parameters(
+                            rewrite,
+                            &self.datasets,
+                            config.expansion_paraphrase,
+                            &mut rng,
+                        ));
+                    }
+                    let synthesized_factor = if example.flags.primitive {
+                        config.expansion_synthesized
+                    } else {
+                        config.expansion_synthesized.saturating_sub(1)
+                    };
+                    expanded.extend(expand_parameters(
+                        &example,
+                        &self.datasets,
+                        synthesized_factor,
+                        &mut rng,
+                    ));
+                    if rng.gen_bool(0.3) {
+                        expanded.extend(augment_ppdb(&example, ppdb, 1, &mut rng));
+                    }
+                    augmented = expanded.len();
+                    derived.extend(expanded);
+                }
+
+                let mut out = Vec::with_capacity(1 + derived.len());
+                let mut rng = StdRng::seed_from_u64(per_item_seed(conversion_base, global));
+                out.push(self.to_parser_example(&example, options, &mut rng));
+                for (position, rewrite) in derived.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(per_item_seed(
+                        per_item_seed(conversion_base, global),
+                        position + 1,
+                    ));
+                    out.push(self.to_parser_example(rewrite, options, &mut rng));
+                }
+                (out, paraphrased, augmented)
+            });
+
+        stats.synthesized += pending.len();
+        for (examples, paraphrased, augmented) in produced {
+            stats.paraphrases += paraphrased;
+            stats.augmented += augmented;
+            for example in examples {
+                stats.emitted += 1;
+                sink(example);
+            }
+        }
+        pending.clear();
+    }
+
     /// Convert a dataset into parser examples under the given NN options.
     ///
     /// Examples are converted in parallel, each with a per-example RNG
@@ -304,6 +520,7 @@ mod tests {
                 include_aggregation: false,
                 include_timers: true,
                 threads: 0,
+                ..GeneratorConfig::default()
             },
             paraphrase: ParaphraseConfig {
                 per_sentence: 2,
@@ -351,6 +568,65 @@ mod tests {
         config.parameter_expansion = false;
         let data = DataPipeline::new(&library, config).build();
         assert!(data.augmented.is_empty());
+    }
+
+    #[test]
+    fn streaming_pipeline_fuses_all_stages() {
+        let library = Thingpedia::builtin();
+        let pipeline = DataPipeline::new(&library, small_config());
+        let mut emitted = Vec::new();
+        let stats = pipeline.run_streaming(NnOptions::default(), |e| emitted.push(e));
+        assert_eq!(stats.emitted, emitted.len());
+        assert!(stats.synthesized > 50);
+        assert!(stats.paraphrases > 0, "no paraphrases in stream");
+        assert!(stats.augmented > 0, "no augmented examples in stream");
+        assert_eq!(
+            stats.emitted,
+            stats.synthesized + stats.paraphrases + stats.augmented
+        );
+        assert_eq!(stats.synthesis.emitted, stats.synthesized);
+        for example in emitted.iter().take(50) {
+            assert!(!example.sentence.is_empty());
+            assert!(example.program.iter().any(|t| t == "=>"));
+        }
+    }
+
+    #[test]
+    fn streaming_output_is_thread_and_shard_invariant() {
+        let library = Thingpedia::builtin();
+        let run = |threads: usize, shards: usize| {
+            let mut config = small_config();
+            config.synthesis.threads = threads;
+            config.synthesis.shards = shards;
+            config.synthesis.batch_size = 16;
+            let pipeline = DataPipeline::new(&library, config);
+            let mut out = Vec::new();
+            pipeline.run_streaming(NnOptions::default(), |e| {
+                out.push((e.sentence.join(" "), e.program.join(" ")))
+            });
+            out
+        };
+        let sequential = run(1, 1);
+        assert!(!sequential.is_empty());
+        assert_eq!(run(2, 4), sequential);
+        assert_eq!(run(8, 16), sequential);
+        assert_eq!(run(0, 1), sequential);
+    }
+
+    #[test]
+    fn streaming_writes_through_sharded_writer() {
+        let library = Thingpedia::builtin();
+        let pipeline = DataPipeline::new(&library, small_config());
+        let dir = std::env::temp_dir().join(format!("genie-stream-writer-{}", std::process::id()));
+        let mut writer = ShardedDatasetWriter::create(&dir, "train", 4).unwrap();
+        let stats = pipeline
+            .run_streaming_sharded(NnOptions::default(), &mut writer)
+            .unwrap();
+        assert_eq!(writer.written(), stats.emitted);
+        let paths = writer.finish().unwrap();
+        let merged = ShardedDatasetWriter::merge(&paths).unwrap();
+        assert_eq!(merged.len(), stats.emitted);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

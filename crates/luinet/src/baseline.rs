@@ -1,4 +1,4 @@
-//! The Baseline parser (Wang et al. [57], as configured in §6 of the paper):
+//! The Baseline parser (Wang et al. \[57\], as configured in §6 of the paper):
 //! trained only on paraphrase data, with no synthesized data, no PPDB
 //! augmentation and no parameter expansion.
 //!

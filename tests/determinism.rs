@@ -1,7 +1,7 @@
-//! Determinism guarantees of the parallel synthesis engine: a fixed
-//! `GeneratorConfig::seed` must produce an identical dataset — utterances
-//! and program token sequences — regardless of the worker thread count,
-//! and across repeated runs.
+//! Determinism guarantees of the sharded streaming synthesis engine: a
+//! fixed `GeneratorConfig::seed` must produce an identical dataset —
+//! utterances and program token sequences — regardless of the worker
+//! thread count and the dedup shard count, and across repeated runs.
 
 use genie_templates::{GeneratorConfig, SentenceGenerator};
 use thingpedia::Thingpedia;
@@ -16,13 +16,18 @@ fn config(seed: u64, threads: usize) -> GeneratorConfig {
         include_aggregation: true,
         include_timers: true,
         threads,
+        ..GeneratorConfig::default()
     }
 }
 
 /// The dataset as the parser sees it: (utterance, program tokens) pairs.
-fn dataset(seed: u64, threads: usize) -> Vec<(String, Vec<String>)> {
+fn dataset_sharded(seed: u64, threads: usize, shards: usize) -> Vec<(String, Vec<String>)> {
     let library = Thingpedia::builtin();
-    SentenceGenerator::new(&library, config(seed, threads))
+    let config = GeneratorConfig {
+        shards,
+        ..config(seed, threads)
+    };
+    SentenceGenerator::new(&library, config)
         .synthesize()
         .into_iter()
         .map(|e| {
@@ -34,21 +39,44 @@ fn dataset(seed: u64, threads: usize) -> Vec<(String, Vec<String>)> {
         .collect()
 }
 
+fn dataset(seed: u64, threads: usize) -> Vec<(String, Vec<String>)> {
+    dataset_sharded(seed, threads, GeneratorConfig::default().shards)
+}
+
 #[test]
-fn same_seed_same_dataset_across_thread_counts() {
-    let sequential = dataset(42, 1);
+fn same_seed_same_dataset_across_thread_and_shard_counts() {
+    let sequential = dataset_sharded(42, 1, 1);
     assert!(
         sequential.len() > 100,
         "dataset too small: {}",
         sequential.len()
     );
     for threads in [2, 3, 8, 0] {
-        let parallel = dataset(42, threads);
-        assert_eq!(
-            parallel, sequential,
-            "dataset differs between 1 thread and {threads} threads"
-        );
+        for shards in [1, 4, 16] {
+            let parallel = dataset_sharded(42, threads, shards);
+            assert_eq!(
+                parallel, sequential,
+                "dataset differs between (1 thread, 1 shard) and ({threads} threads, {shards} shards)"
+            );
+        }
     }
+}
+
+#[test]
+fn matrix_thread_count_matches_the_sequential_dataset() {
+    // The CI determinism matrix exports GENIE_TEST_THREADS={1, 2, 8}; the
+    // dataset at that worker count must equal the sequential single-shard
+    // dataset. Without the variable (local runs), default to 8 workers so
+    // the multi-worker path is still exercised.
+    let threads: usize = std::env::var("GENIE_TEST_THREADS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(8);
+    assert_eq!(
+        dataset_sharded(42, threads, 4),
+        dataset_sharded(42, 1, 1),
+        "threads = {threads}"
+    );
 }
 
 #[test]
@@ -86,4 +114,43 @@ fn pipeline_output_is_thread_count_invariant() {
     assert!(!sequential.is_empty());
     assert_eq!(build(4), sequential);
     assert_eq!(build(0), sequential);
+}
+
+#[test]
+fn fused_streaming_pipeline_matches_the_ci_matrix() {
+    use genie::pipeline::{DataPipeline, NnOptions, PipelineConfig};
+
+    // The exact grid the CI determinism matrix runs through
+    // `dataset_digest`: threads {1, 2, 8} × shards {1, 4, 16}.
+    let library = Thingpedia::builtin();
+    let run = |threads: usize, shards: usize| {
+        let pipeline = DataPipeline::new(
+            &library,
+            PipelineConfig {
+                synthesis: GeneratorConfig {
+                    threads,
+                    shards,
+                    ..config(13, threads)
+                },
+                paraphrase_sample: 40,
+                ..PipelineConfig::default()
+            },
+        );
+        let mut out = Vec::new();
+        pipeline.run_streaming(NnOptions::default(), |e| {
+            out.push((e.sentence.join(" "), e.program.join(" ")))
+        });
+        out
+    };
+    let reference = run(1, 1);
+    assert!(reference.len() > 100);
+    for threads in [2, 8] {
+        for shards in [4, 16] {
+            assert_eq!(
+                run(threads, shards),
+                reference,
+                "threads={threads} shards={shards}"
+            );
+        }
+    }
 }

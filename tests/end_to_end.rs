@@ -22,6 +22,7 @@ fn small_pipeline_config(seed: u64) -> PipelineConfig {
             include_aggregation: false,
             include_timers: true,
             threads: 0,
+            ..GeneratorConfig::default()
         },
         paraphrase_sample: 50,
         ..PipelineConfig::default()
@@ -72,6 +73,7 @@ fn synthesized_programs_execute_on_the_simulated_runtime() {
             include_aggregation: false,
             include_timers: false,
             threads: 0,
+            ..GeneratorConfig::default()
         },
     );
     let examples = generator.synthesize();
