@@ -26,7 +26,7 @@ fn training_data(library: &Thingpedia) -> Vec<ParserExample> {
             ..PipelineConfig::default()
         },
     );
-    let data = pipeline.build();
+    let data = pipeline.build().expect("builtin pipeline");
     pipeline.to_parser_examples(&data.combined(), NnOptions::default())
 }
 

@@ -91,7 +91,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
                     ..PipelineConfig::default()
                 },
             );
-            black_box(pipeline.build())
+            black_box(pipeline.build().expect("builtin pipeline"))
         })
     });
 }

@@ -27,7 +27,7 @@ fn flag_str(args: &[String], flag: &str) -> Option<String> {
     args.get(position + 1).cloned()
 }
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let args: Vec<String> = std::env::args().collect();
     let threads = flag_value(&args, "--threads").unwrap_or(0);
     let shards = flag_value(&args, "--shards").unwrap_or(8);
@@ -37,21 +37,21 @@ fn main() {
     let paraphrase_sample = flag_value(&args, "--paraphrase-sample").unwrap_or(60);
 
     let library = Thingpedia::builtin();
-    let config = PipelineConfig {
-        synthesis: GeneratorConfig {
-            target_per_rule: target,
-            instantiations_per_template: 1,
-            seed,
-            threads,
-            shards,
-            batch_size,
-            quiet: true,
-            ..GeneratorConfig::default()
-        },
-        paraphrase_sample,
-        seed,
-        ..PipelineConfig::default()
-    };
+    let config = PipelineConfig::builder()
+        .synthesis(
+            GeneratorConfig::builder()
+                .target_per_rule(target)
+                .instantiations_per_template(1)
+                .seed(seed)
+                .threads(threads)
+                .shards(shards)
+                .batch_size(batch_size)
+                .quiet(true)
+                .build()?,
+        )
+        .paraphrase_sample(paraphrase_sample)
+        .seed(seed)
+        .build()?;
     let pipeline = DataPipeline::new(&library, config);
 
     let mut writer = flag_str(&args, "--write-shards").map(|dir| {
@@ -70,7 +70,7 @@ fn main() {
         if let Some(writer) = writer.as_mut() {
             writer.write(&example).expect("write example shard");
         }
-    });
+    })?;
     let digest = hasher.finish();
 
     println!(
@@ -87,4 +87,5 @@ fn main() {
         std::fs::write(path, format!("digest={digest:016x} examples={count}\n"))
             .expect("write digest file");
     }
+    Ok(())
 }

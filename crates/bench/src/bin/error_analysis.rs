@@ -7,10 +7,10 @@ use genie::experiments::error_analysis;
 use genie_bench::{pct, print_table, scale_from_args};
 use thingpedia::Thingpedia;
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let scale = scale_from_args();
     let library = Thingpedia::builtin();
-    let result = error_analysis(&library, scale);
+    let result = error_analysis(&library, scale)?;
     print_table(
         "§5.5 — error analysis on the validation set",
         &["metric", "measured", "paper"],
@@ -49,4 +49,5 @@ fn main() {
         ],
     );
     println!("\nExpected shape: syntax >= type >= primitive/compound >= device >= function >= program accuracy.");
+    Ok(())
 }

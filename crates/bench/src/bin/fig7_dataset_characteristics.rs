@@ -6,10 +6,10 @@ use genie::experiments::{dataset_characteristics, ExperimentScale};
 use genie_bench::{pct, print_table, scale_from_args};
 use thingpedia::Thingpedia;
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let scale: ExperimentScale = scale_from_args();
     let library = Thingpedia::builtin();
-    let stats = dataset_characteristics(&library, scale);
+    let stats = dataset_characteristics(&library, scale)?;
 
     let shares = stats.composition.shares();
     let paper = [0.48, 0.20, 0.15, 0.05, 0.13];
@@ -56,4 +56,5 @@ fn main() {
             ],
         ],
     );
+    Ok(())
 }

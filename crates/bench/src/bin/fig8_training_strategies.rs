@@ -6,10 +6,10 @@ use genie::experiments::training_strategies;
 use genie_bench::{pct_range, print_table, scale_from_args};
 use thingpedia::Thingpedia;
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let scale = scale_from_args();
     let library = Thingpedia::builtin();
-    let rows = training_strategies(&library, scale);
+    let rows = training_strategies(&library, scale)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {
@@ -40,4 +40,5 @@ fn main() {
     println!(
         "Paraphrase Only is competitive on the paraphrase test but drops on cheatsheet/IFTTT data."
     );
+    Ok(())
 }

@@ -5,9 +5,9 @@
 use genie::experiments::case_studies;
 use genie_bench::{pct_range, print_table, scale_from_args};
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let scale = scale_from_args();
-    let rows = case_studies(scale);
+    let rows = case_studies(scale)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {
@@ -26,4 +26,5 @@ fn main() {
     );
     println!("\nPaper reference: Spotify 51→82 (+31), TACL 57→82 (+25), TT+A 48→67 (+19).");
     println!("Expected shape: Genie improves over the Baseline on every case study.");
+    Ok(())
 }

@@ -12,10 +12,10 @@ use genie_templates::GeneratorConfig;
 use rand::SeedableRng;
 use thingpedia::Thingpedia;
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let scale: ExperimentScale = scale_from_args();
     let library = Thingpedia::builtin();
-    let stats = dataset_characteristics(&library, scale);
+    let stats = dataset_characteristics(&library, scale)?;
 
     print_table(
         "§5.2 — synthesis statistics",
@@ -85,16 +85,16 @@ fn main() {
     // New-word / new-bigram rates of paraphrases relative to their source.
     let pipeline = DataPipeline::new(
         &library,
-        PipelineConfig {
-            synthesis: GeneratorConfig {
-                target_per_rule: scale.target_per_rule,
-                seed: 3,
-                ..GeneratorConfig::default()
-            },
-            ..PipelineConfig::default()
-        },
+        PipelineConfig::builder()
+            .synthesis(
+                GeneratorConfig::builder()
+                    .target_per_rule(scale.target_per_rule)
+                    .seed(3)
+                    .build()?,
+            )
+            .build()?,
     );
-    let data = pipeline.build();
+    let data = pipeline.build()?;
     let simulator = ParaphraseSimulator::new(ParaphraseConfig::default());
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let mut word_rates = Vec::new();
@@ -124,4 +124,5 @@ fn main() {
             ],
         ],
     );
+    Ok(())
 }

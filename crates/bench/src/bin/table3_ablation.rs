@@ -6,10 +6,10 @@ use genie::experiments::ablation;
 use genie_bench::{pct_range, print_table, scale_from_args};
 use thingpedia::Thingpedia;
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let scale = scale_from_args();
     let library = Thingpedia::builtin();
-    let rows = ablation(&library, scale);
+    let rows = ablation(&library, scale)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {
@@ -31,4 +31,5 @@ fn main() {
     );
     println!("- type annotations 86.9/67.5/31.0; - param. expansion 78.3/66.3/30.5; - decoder LM 88.7/66.8/27.3.");
     println!("Expected shape: removing canonicalization hurts the most; type annotations are within noise.");
+    Ok(())
 }

@@ -132,6 +132,10 @@ where
     }
 }
 
+/// The odd multiplier shared by every seed-mixing helper in the workspace
+/// (the 64-bit golden-ratio constant of SplitMix64).
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Derive the RNG seed of one batch of one logical stream:
 /// `seed ⊕ stream_id ⊕ mix(batch)`.
 ///
@@ -141,7 +145,21 @@ where
 /// expansion ([`rand`'s `seed_from_u64`]), which decorrelates the nearby
 /// seeds this produces.
 pub fn stream_seed(seed: u64, stream_id: u64, batch: u64) -> u64 {
-    seed ^ stream_id ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    seed ^ stream_id ^ batch.wrapping_mul(SEED_MIX)
+}
+
+/// Derive the RNG seed of one item of an indexed sequence: `seed ⊕
+/// mix(index + 1)`.
+///
+/// This is the per-example counterpart of [`stream_seed`] — the two share
+/// the same odd-constant mix — used wherever a pipeline stage needs an
+/// independent deterministic RNG stream per item regardless of which worker
+/// processes it or in which order (parameter expansion, paraphrase
+/// simulation, parser-example conversion). The `+ 1` keeps index 0 from
+/// collapsing to the bare `seed`, which is already the identity of the
+/// whole sequence.
+pub fn item_seed(seed: u64, index: usize) -> u64 {
+    seed ^ (index as u64).wrapping_add(1).wrapping_mul(SEED_MIX)
 }
 
 #[cfg(test)]
@@ -219,6 +237,20 @@ mod tests {
         // Batch 0 is the plain per-stream seed, so single-batch runs keep
         // their historical stream.
         assert_eq!(stream_seed(7, 42, 0), 7 ^ 42);
+    }
+
+    #[test]
+    fn item_seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..4096usize {
+            assert!(seen.insert(item_seed(9, index)), "collision at {index}");
+        }
+        // The exact formula is part of the dataset identity (callers bake it
+        // into emitted corpora), so pin it.
+        assert_eq!(
+            item_seed(3, 7),
+            3 ^ 8u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        );
     }
 
     #[test]

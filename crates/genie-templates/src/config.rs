@@ -1,0 +1,250 @@
+//! Validated configuration construction.
+//!
+//! The config structs of this workspace started life as plain
+//! `pub`-field structs; any combination of values — a zero sampling
+//! target, a derivation depth the grammar cannot reach, an absurd shard
+//! count — compiled fine and failed (or spun) deep inside the engine.
+//! Serving untrusted inputs needs construction itself to be the
+//! checkpoint, so each config now has a builder whose `build()` returns
+//! `Result<Config, ConfigError>` and a `validate()` for configs assembled
+//! by hand. [`ConfigError`] is shared by every builder in the workspace
+//! (`genie` wraps it into `genie::Error::Config`).
+
+use std::fmt;
+
+use crate::generator::GeneratorConfig;
+
+/// Why a configuration was rejected by a validating builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"max_depth"`.
+    pub field: &'static str,
+    /// What is wrong with its value.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Construct a rejection for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        ConfigError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Hard ceiling on the derivation depth: the builtin grammar bottoms out
+/// well below this, and deeper settings only multiply sampling work.
+pub const MAX_DEPTH_LIMIT: usize = 16;
+
+/// Hard ceiling on the dedup shard count: beyond this, per-shard workers
+/// cost more than they parallelize.
+pub const MAX_SHARDS: usize = 4096;
+
+impl GeneratorConfig {
+    /// Start a validating builder seeded with the default configuration.
+    pub fn builder() -> GeneratorConfigBuilder {
+        GeneratorConfigBuilder {
+            config: GeneratorConfig::default(),
+        }
+    }
+
+    /// Check an already-assembled configuration; [`GeneratorConfigBuilder`]
+    /// calls this from `build()`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.target_per_rule == 0 {
+            return Err(ConfigError::new(
+                "target_per_rule",
+                "must be at least 1 (no rule can sample zero derivations)",
+            ));
+        }
+        if self.max_depth == 0 {
+            return Err(ConfigError::new(
+                "max_depth",
+                "must be at least 1 (depth 0 admits no derivation)",
+            ));
+        }
+        if self.max_depth > MAX_DEPTH_LIMIT {
+            return Err(ConfigError::new(
+                "max_depth",
+                format!("must be at most {MAX_DEPTH_LIMIT}, got {}", self.max_depth),
+            ));
+        }
+        if self.instantiations_per_template == 0 {
+            return Err(ConfigError::new(
+                "instantiations_per_template",
+                "must be at least 1",
+            ));
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(ConfigError::new(
+                "shards",
+                format!("must be at most {MAX_SHARDS}, got {}", self.shards),
+            ));
+        }
+        // `batch_size` needs no bound: larger than `target_per_rule` simply
+        // collapses to one batch per rule, and `0` is that same sentinel.
+        Ok(())
+    }
+}
+
+/// Validating builder for [`GeneratorConfig`]; see the crate-level docs for
+/// the builder-API migration notes.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfigBuilder {
+    config: GeneratorConfig,
+}
+
+impl GeneratorConfigBuilder {
+    /// Samples per construct rule.
+    pub fn target_per_rule(mut self, value: usize) -> Self {
+        self.config.target_per_rule = value;
+        self
+    }
+
+    /// Maximum derivation depth.
+    pub fn max_depth(mut self, value: usize) -> Self {
+        self.config.max_depth = value;
+        self
+    }
+
+    /// Instantiations of each primitive template.
+    pub fn instantiations_per_template(mut self, value: usize) -> Self {
+        self.config.instantiations_per_template = value;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, value: u64) -> Self {
+        self.config.seed = value;
+        self
+    }
+
+    /// Include TT+A aggregation constructs.
+    pub fn include_aggregation(mut self, value: bool) -> Self {
+        self.config.include_aggregation = value;
+        self
+    }
+
+    /// Include timer constructs.
+    pub fn include_timers(mut self, value: bool) -> Self {
+        self.config.include_timers = value;
+        self
+    }
+
+    /// Worker threads (`0` = all cores; never changes output).
+    pub fn threads(mut self, value: usize) -> Self {
+        self.config.threads = value;
+        self
+    }
+
+    /// Streaming batch size (`0` = one batch per rule; part of the dataset
+    /// identity).
+    pub fn batch_size(mut self, value: usize) -> Self {
+        self.config.batch_size = value;
+        self
+    }
+
+    /// Dedup shards (never changes output).
+    pub fn shards(mut self, value: usize) -> Self {
+        self.config.shards = value;
+        self
+    }
+
+    /// Suppress non-fatal diagnostics.
+    pub fn quiet(mut self, value: bool) -> Self {
+        self.config.quiet = value;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<GeneratorConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(GeneratorConfig::default().validate().is_ok());
+        let built = GeneratorConfig::builder().build().unwrap();
+        assert_eq!(built, GeneratorConfig::default());
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let config = GeneratorConfig::builder()
+            .target_per_rule(50)
+            .max_depth(4)
+            .instantiations_per_template(3)
+            .seed(77)
+            .include_aggregation(true)
+            .include_timers(false)
+            .threads(2)
+            .batch_size(16)
+            .shards(4)
+            .quiet(true)
+            .build()
+            .unwrap();
+        assert_eq!(config.target_per_rule, 50);
+        assert_eq!(config.max_depth, 4);
+        assert_eq!(config.instantiations_per_template, 3);
+        assert_eq!(config.seed, 77);
+        assert!(config.include_aggregation);
+        assert!(!config.include_timers);
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.batch_size, 16);
+        assert_eq!(config.shards, 4);
+        assert!(config.quiet);
+    }
+
+    #[test]
+    fn bad_combinations_are_rejected_with_the_field_named() {
+        let zero_target = GeneratorConfig::builder().target_per_rule(0).build();
+        assert_eq!(zero_target.unwrap_err().field, "target_per_rule");
+
+        let zero_depth = GeneratorConfig::builder().max_depth(0).build();
+        assert_eq!(zero_depth.unwrap_err().field, "max_depth");
+
+        let deep = GeneratorConfig::builder()
+            .max_depth(MAX_DEPTH_LIMIT + 1)
+            .build();
+        assert_eq!(deep.unwrap_err().field, "max_depth");
+
+        let shards = GeneratorConfig::builder().shards(MAX_SHARDS + 1).build();
+        assert_eq!(shards.unwrap_err().field, "shards");
+
+        // `0` batch size is the documented "one batch per rule" sentinel,
+        // and a batch larger than the target collapses to the same thing.
+        assert!(GeneratorConfig::builder()
+            .target_per_rule(10)
+            .batch_size(0)
+            .build()
+            .is_ok());
+        assert!(GeneratorConfig::builder()
+            .target_per_rule(10)
+            .batch_size(64)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn error_display_names_field_and_reason() {
+        let error = GeneratorConfig::builder().max_depth(0).build().unwrap_err();
+        let text = error.to_string();
+        assert!(text.contains("max_depth"), "{text}");
+        assert!(text.contains("at least 1"), "{text}");
+    }
+}

@@ -43,6 +43,7 @@
 //! assert!(examples.iter().any(|e| e.program.is_compound()));
 //! ```
 
+pub mod config;
 pub mod constructs;
 pub mod dedup;
 pub mod example;
@@ -53,6 +54,7 @@ pub mod registry;
 pub mod rules;
 pub mod shards;
 
+pub use config::{ConfigError, GeneratorConfigBuilder};
 pub use constructs::{construct_template_counts, ConstructKind};
 pub use example::{ExampleFlags, SynthesizedExample};
 pub use generator::{GeneratorConfig, SentenceGenerator, SynthesisStats};

@@ -180,28 +180,17 @@ pub fn sample_value(datasets: &ParamDatasets, param: &ParamDef, rng: &mut StdRng
         ),
         Type::Currency => Value::Currency(rng.gen_range(1..200) as f64, "USD".to_owned()),
         Type::Location => Value::Location(thingtalk::value::LocationValue::Named(
-            datasets
-                .for_param(&Type::Location, &param.name)
-                .sample(rng)
-                .to_owned(),
+            datasets.sample_for_param(&Type::Location, &param.name, rng),
         )),
         Type::Entity(kind) => {
-            let text = datasets
-                .for_param(&param.ty, &param.name)
-                .sample(rng)
-                .to_owned();
+            let text = datasets.sample_for_param(&param.ty, &param.name, rng);
             Value::Entity {
                 value: text.clone(),
                 kind: kind.clone(),
                 display: Some(text),
             }
         }
-        _ => Value::String(
-            datasets
-                .for_param(&param.ty, &param.name)
-                .sample(rng)
-                .to_owned(),
-        ),
+        _ => Value::String(datasets.sample_for_param(&param.ty, &param.name, rng)),
     }
 }
 

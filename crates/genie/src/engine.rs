@@ -1,0 +1,796 @@
+//! The `GenieEngine` serving facade.
+//!
+//! PRs 1–2 built the *offline* half of the paper — the dataset factory —
+//! but the product of §5 is a deployed semantic parser answering live
+//! utterances. This module is that serving layer: one long-lived,
+//! thread-safe object assembled once from a Thingpedia and a trained
+//! parser, shared across request threads, and answering typed requests
+//! with typed errors instead of panics.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! ParseRequest { utterance, flags }
+//!        │  validate: non-empty, ≤ max_utterance_tokens
+//!        ▼
+//!   tokenize (genie-nlp)
+//!        │            cache hit? ──────────────────────────┐
+//!        ▼                                                 │
+//!   LuinetParser::predict_topk  (k scored candidates)      │
+//!        │  per candidate:                                 │
+//!        ▼                                                 │
+//!   nn_syntax::from_tokens_checked  (decode + typecheck)   │
+//!        │                                                 │
+//!        ▼                                                 │
+//!   TACL policy check (when policies are installed)        │
+//!        │  survivors                                      ▼
+//!        ▼                                         ParseResponse
+//!   ParseResponse { candidates } ── insert ──▶ fingerprint-keyed cache
+//!        │
+//!        └─ every candidate rejected → Err(Error::NoParse { rejected })
+//! ```
+//!
+//! Responses are a pure function of (model, library, policies, request),
+//! candidate ranking breaks ties deterministically, and
+//! [`GenieEngine::parse_batch`] fans out over an order-preserving parallel
+//! map — so batch output is **byte-identical for any thread count**, and
+//! the cache can only change latency, never content.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use genie_templates::dedup::fingerprint;
+use genie_templates::ConfigError;
+use luinet::{LuinetParser, ModelConfig};
+use thingpedia::Thingpedia;
+use thingtalk::nn_syntax::from_tokens_checked;
+use thingtalk::policy::{check_program, Policy};
+use thingtalk::Program;
+
+use crate::error::{Error, GenieResult};
+use crate::pipeline::{DataPipeline, NnOptions, PipelineConfig};
+
+/// Default number of candidates decoded per request.
+pub const DEFAULT_CANDIDATES: usize = 3;
+/// Hard ceiling on candidates per request. The beam's cost grows with its
+/// width, so an unclamped per-request `candidates` would let one untrusted
+/// request buy unbounded decode work; values above the ceiling are clamped.
+pub const MAX_REQUEST_CANDIDATES: usize = 16;
+/// Default bound on utterance length, in tokens.
+pub const DEFAULT_MAX_UTTERANCE_TOKENS: usize = 64;
+/// Default response-cache capacity, in entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+/// The principal used for policy checks when a request names none.
+pub const DEFAULT_PRINCIPAL: &str = "user";
+
+/// Per-request options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseFlags {
+    /// Candidates to decode and check; `0` uses the engine default.
+    pub candidates: usize,
+    /// Principal for the TACL policy check; `None` uses
+    /// [`DEFAULT_PRINCIPAL`].
+    pub principal: Option<String>,
+    /// Skip the response cache for this request (it is still populated).
+    pub bypass_cache: bool,
+}
+
+/// One utterance to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRequest {
+    /// The natural-language command.
+    pub utterance: String,
+    /// Per-request options.
+    pub flags: ParseFlags,
+}
+
+impl ParseRequest {
+    /// A request with default flags.
+    pub fn new(utterance: impl Into<String>) -> Self {
+        ParseRequest {
+            utterance: utterance.into(),
+            flags: ParseFlags::default(),
+        }
+    }
+
+    /// Ask for a specific number of candidates.
+    pub fn with_candidates(mut self, candidates: usize) -> Self {
+        self.flags.candidates = candidates;
+        self
+    }
+
+    /// Check policies against this principal instead of the default.
+    pub fn with_principal(mut self, principal: impl Into<String>) -> Self {
+        self.flags.principal = Some(principal.into());
+        self
+    }
+
+    /// Skip the response cache.
+    pub fn bypass_cache(mut self) -> Self {
+        self.flags.bypass_cache = true;
+        self
+    }
+}
+
+/// One decoded, typechecked, policy-approved candidate program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseCandidate {
+    /// The decoded program.
+    pub program: Program,
+    /// The program rendered in surface syntax.
+    pub source: String,
+    /// The NN tokens the model emitted.
+    pub tokens: Vec<String>,
+    /// The decoder score (comparable within one response only).
+    pub score: f64,
+}
+
+/// The answer to a [`ParseRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseResponse {
+    /// The request utterance, as received.
+    pub utterance: String,
+    /// The tokenized sentence the model saw.
+    pub sentence: Vec<String>,
+    /// Valid candidates, most probable first. Never empty — an empty set
+    /// is an [`Error::NoParse`] instead.
+    pub candidates: Vec<ParseCandidate>,
+}
+
+impl ParseResponse {
+    /// The most probable candidate.
+    pub fn best(&self) -> &ParseCandidate {
+        // Construction guarantees at least one candidate.
+        &self.candidates[0]
+    }
+}
+
+/// Aggregate serving counters (monotonic; updated atomically).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests answered (including errors).
+    pub requests: u64,
+    /// Requests answered from the response cache.
+    pub cache_hits: u64,
+    /// Model candidates discarded by decode, typecheck or policy.
+    pub rejected_candidates: u64,
+}
+
+/// One cached response, carrying the full key so a 64-bit fingerprint
+/// collision is detected on lookup instead of silently serving another
+/// utterance's parse.
+struct CacheEntry {
+    sentence: Vec<String>,
+    k: usize,
+    principal: String,
+    response: ParseResponse,
+}
+
+struct EngineInner {
+    library: Arc<Thingpedia>,
+    model: Arc<LuinetParser>,
+    policies: Vec<Policy>,
+    candidates: usize,
+    max_utterance_tokens: usize,
+    cache_capacity: usize,
+    threads: usize,
+    cache: Mutex<HashMap<u64, Arc<CacheEntry>>>,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    rejected_candidates: AtomicU64,
+}
+
+/// The long-lived, thread-safe serving facade. Cloning is cheap (the
+/// engine is an [`Arc`] handle); clones share the model, the library, the
+/// cache and the counters.
+#[derive(Clone)]
+pub struct GenieEngine {
+    inner: Arc<EngineInner>,
+}
+
+/// Builder for [`GenieEngine`]; `build()` validates the assembly.
+pub struct EngineBuilder {
+    library: Arc<Thingpedia>,
+    model: Option<Arc<LuinetParser>>,
+    policies: Vec<Policy>,
+    candidates: usize,
+    max_utterance_tokens: usize,
+    cache_capacity: usize,
+    threads: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            library: Arc::new(Thingpedia::builtin()),
+            model: None,
+            policies: Vec::new(),
+            candidates: DEFAULT_CANDIDATES,
+            max_utterance_tokens: DEFAULT_MAX_UTTERANCE_TOKENS,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            threads: 0,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Start from the builtin Thingpedia and defaults.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Serve against this skill library instead of the builtin one.
+    pub fn thingpedia(mut self, library: Thingpedia) -> Self {
+        self.library = Arc::new(library);
+        self
+    }
+
+    /// Share an already-`Arc`ed library (e.g. with a co-located pipeline).
+    pub fn thingpedia_shared(mut self, library: Arc<Thingpedia>) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Use this trained parser.
+    pub fn model(mut self, model: LuinetParser) -> Self {
+        self.model = Some(Arc::new(model));
+        self
+    }
+
+    /// Share an already-`Arc`ed parser.
+    pub fn model_shared(mut self, model: Arc<LuinetParser>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Synthesize a training set with `pipeline`, train a parser with
+    /// `model` on the full Genie strategy, and install it as the engine
+    /// model — the one-stop bootstrap used by tests, examples and the
+    /// serving bench.
+    pub fn train(mut self, pipeline: PipelineConfig, model: ModelConfig) -> GenieResult<Self> {
+        pipeline.validate()?;
+        let data_pipeline = DataPipeline::new(&self.library, pipeline);
+        let data = data_pipeline.build()?;
+        let examples = data_pipeline.to_parser_examples(&data.combined(), NnOptions::default());
+        let mut parser = LuinetParser::new(model);
+        parser.train(&examples);
+        self.model = Some(Arc::new(parser));
+        Ok(self)
+    }
+
+    /// Enforce these TACL policies on every candidate. With no policies
+    /// installed, every well-typed candidate is allowed.
+    pub fn policies(mut self, policies: Vec<Policy>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Default number of candidates per request.
+    pub fn candidates(mut self, candidates: usize) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Reject utterances longer than this many tokens.
+    pub fn max_utterance_tokens(mut self, tokens: usize) -> Self {
+        self.max_utterance_tokens = tokens;
+        self
+    }
+
+    /// Response-cache capacity in entries (`0` disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Worker threads for [`GenieEngine::parse_batch`] (`0` = all cores;
+    /// never changes output).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validate and assemble the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ModelUntrained`] when no model was installed or the model
+    /// has seen no training data; [`Error::Config`] for out-of-range
+    /// limits.
+    pub fn build(self) -> GenieResult<GenieEngine> {
+        if self.candidates == 0 {
+            return Err(ConfigError::new("candidates", "must be at least 1").into());
+        }
+        if self.candidates > MAX_REQUEST_CANDIDATES {
+            return Err(ConfigError::new(
+                "candidates",
+                format!(
+                    "must be at most {MAX_REQUEST_CANDIDATES}, got {}",
+                    self.candidates
+                ),
+            )
+            .into());
+        }
+        if self.max_utterance_tokens == 0 {
+            return Err(ConfigError::new("max_utterance_tokens", "must be at least 1").into());
+        }
+        let model = self.model.ok_or(Error::ModelUntrained)?;
+        if model.trained_examples() == 0 {
+            return Err(Error::ModelUntrained);
+        }
+        Ok(GenieEngine {
+            inner: Arc::new(EngineInner {
+                library: self.library,
+                model,
+                policies: self.policies,
+                candidates: self.candidates,
+                max_utterance_tokens: self.max_utterance_tokens,
+                cache_capacity: self.cache_capacity,
+                threads: self.threads,
+                cache: Mutex::new(HashMap::new()),
+                requests: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                rejected_candidates: AtomicU64::new(0),
+            }),
+        })
+    }
+}
+
+impl GenieEngine {
+    /// Start building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The skill library the engine serves.
+    pub fn library(&self) -> &Thingpedia {
+        &self.inner.library
+    }
+
+    /// The trained model, shared (a cheap [`Arc`] clone) — e.g. to
+    /// assemble another engine over the same parser with different
+    /// policies or worker counts.
+    pub fn model(&self) -> Arc<LuinetParser> {
+        self.inner.model.clone()
+    }
+
+    /// Aggregate serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
+            rejected_candidates: self.inner.rejected_candidates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Parse one utterance into typechecked, policy-approved candidate
+    /// programs.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyUtterance`] / [`Error::UtteranceTooLong`] for
+    ///   malformed requests;
+    /// * [`Error::NoParse`] when every model candidate is rejected by
+    ///   decode, typecheck or policy — the rejections ride along for
+    ///   error analysis.
+    pub fn parse(&self, request: &ParseRequest) -> GenieResult<ParseResponse> {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        let utterance = request.utterance.trim();
+        if utterance.is_empty() {
+            return Err(Error::EmptyUtterance);
+        }
+        let sentence = genie_nlp::tokenize(utterance);
+        if sentence.is_empty() {
+            return Err(Error::EmptyUtterance);
+        }
+        if sentence.len() > self.inner.max_utterance_tokens {
+            return Err(Error::UtteranceTooLong {
+                tokens: sentence.len(),
+                limit: self.inner.max_utterance_tokens,
+            });
+        }
+        // Clamp the per-request width: decode work grows with the beam, so
+        // an untrusted request must not be able to buy unbounded work.
+        let k = if request.flags.candidates == 0 {
+            self.inner.candidates
+        } else {
+            request.flags.candidates.min(MAX_REQUEST_CANDIDATES)
+        };
+        let principal = request
+            .flags
+            .principal
+            .as_deref()
+            .unwrap_or(DEFAULT_PRINCIPAL);
+
+        // The response is a deterministic function of the key, so a hit can
+        // only change latency, never content. The entry stores the full
+        // (sentence, k, principal) tuple and a hit re-verifies it, so a
+        // 64-bit fingerprint collision degrades to a miss, never to serving
+        // another utterance's parse.
+        let key = fingerprint(&(&sentence, k, principal));
+        if !request.flags.bypass_cache && self.inner.cache_capacity > 0 {
+            let cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cached) = cache.get(&key) {
+                if cached.sentence == sentence && cached.k == k && cached.principal == principal {
+                    self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    let mut response = cached.response.clone();
+                    response.utterance = request.utterance.clone();
+                    return Ok(response);
+                }
+            }
+        }
+
+        let predictions = self.inner.model.predict_topk(&sentence, k);
+        let mut candidates = Vec::new();
+        let mut rejected = Vec::new();
+        for prediction in predictions {
+            match self.check_candidate(&prediction.tokens, principal) {
+                Ok(program) => {
+                    candidates.push(ParseCandidate {
+                        source: program.to_string(),
+                        program,
+                        tokens: prediction.tokens,
+                        score: prediction.score,
+                    });
+                }
+                Err(error) => {
+                    self.inner
+                        .rejected_candidates
+                        .fetch_add(1, Ordering::Relaxed);
+                    rejected.push((prediction.tokens.join(" "), error));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(Error::NoParse {
+                utterance: request.utterance.clone(),
+                rejected,
+            });
+        }
+        let response = ParseResponse {
+            utterance: request.utterance.clone(),
+            sentence,
+            candidates,
+        };
+        if self.inner.cache_capacity > 0 {
+            let mut cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            // Bounded and deterministic in content: a full cache stops
+            // admitting. (Values are pure functions of their key, so *which*
+            // requests are cached never affects *what* is returned.)
+            if cache.len() < self.inner.cache_capacity {
+                cache.entry(key).or_insert_with(|| {
+                    let mut cached = response.clone();
+                    // The cache is keyed on the tokenization, which many
+                    // surface utterances share; store the tokens' canonical
+                    // rendering, and rewrite per request on the way out.
+                    cached.utterance = cached.sentence.join(" ");
+                    Arc::new(CacheEntry {
+                        sentence: cached.sentence.clone(),
+                        k,
+                        principal: principal.to_owned(),
+                        response: cached,
+                    })
+                });
+            }
+        }
+        Ok(response)
+    }
+
+    /// Decode, typecheck and policy-check one model candidate.
+    fn check_candidate(&self, tokens: &[String], principal: &str) -> thingtalk::Result<Program> {
+        let program = from_tokens_checked(self.inner.library.as_ref(), tokens)?;
+        if !self.inner.policies.is_empty()
+            && !check_program(&self.inner.policies, principal, &program)
+        {
+            return Err(thingtalk::Error::policy_violation(format!(
+                "no installed policy allows principal `{principal}` to run this program"
+            )));
+        }
+        Ok(program)
+    }
+
+    /// Parse a batch of requests, fanned out over the engine's configured
+    /// worker threads. Output order matches input order and every response
+    /// is byte-identical regardless of the thread count — per-request
+    /// results are pure functions, and the shared cache affects latency
+    /// only.
+    pub fn parse_batch(&self, requests: &[ParseRequest]) -> Vec<GenieResult<ParseResponse>> {
+        genie_parallel::par_map(self.inner.threads, requests, |_, request| {
+            self.parse(request)
+        })
+    }
+
+    /// Drop every cached response (e.g. after a policy change in a test
+    /// harness; the engine itself is immutable once built).
+    pub fn clear_cache(&self) {
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Number of cached responses.
+    pub fn cached_responses(&self) -> usize {
+        self.inner
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paraphrase::ParaphraseConfig;
+    use genie_templates::GeneratorConfig;
+    use std::sync::OnceLock;
+
+    fn tiny_pipeline() -> PipelineConfig {
+        PipelineConfig::builder()
+            .synthesis(
+                GeneratorConfig::builder()
+                    .target_per_rule(12)
+                    .instantiations_per_template(1)
+                    .seed(5)
+                    .quiet(true)
+                    .build()
+                    .unwrap(),
+            )
+            .paraphrase(
+                ParaphraseConfig::builder()
+                    .per_sentence(1)
+                    .error_rate(0.0)
+                    .seed(5)
+                    .build()
+                    .unwrap(),
+            )
+            .paraphrase_sample(30)
+            .parameter_expansion(false)
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    /// One engine (expensive: synthesis + training) shared by every test,
+    /// plus a training utterance the engine demonstrably parses.
+    fn tiny_engine() -> &'static (GenieEngine, String) {
+        static ENGINE: OnceLock<(GenieEngine, String)> = OnceLock::new();
+        ENGINE.get_or_init(|| {
+            let engine = GenieEngine::builder()
+                .train(
+                    tiny_pipeline(),
+                    ModelConfig {
+                        epochs: 8,
+                        seed: 5,
+                        ..ModelConfig::default()
+                    },
+                )
+                .unwrap()
+                .threads(1)
+                .build()
+                .unwrap();
+            // Find a training utterance the tiny model round-trips; the
+            // facade must answer at least one of the first twenty.
+            let library = Thingpedia::builtin();
+            let data = DataPipeline::new(&library, tiny_pipeline())
+                .build()
+                .unwrap();
+            let utterance = data
+                .synthesized
+                .examples
+                .iter()
+                .take(20)
+                .map(|e| e.utterance.clone())
+                .find(|u| {
+                    engine
+                        .parse(&ParseRequest::new(u.clone()).bypass_cache())
+                        .is_ok()
+                })
+                .expect("the engine answers none of its own training utterances");
+            engine.clear_cache();
+            (engine, utterance)
+        })
+    }
+
+    #[test]
+    fn engine_answers_a_training_utterance() {
+        let (engine, utterance) = tiny_engine();
+        let response = engine.parse(&ParseRequest::new(utterance.clone())).unwrap();
+        assert!(!response.candidates.is_empty());
+        let best = response.best();
+        assert!(best.source.contains("=>"), "not a program: {}", best.source);
+        // Every returned candidate typechecks against the library.
+        for candidate in &response.candidates {
+            assert!(thingtalk::typecheck::typecheck(engine.library(), &candidate.program).is_ok());
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let (engine, _) = tiny_engine();
+        assert!(matches!(
+            engine.parse(&ParseRequest::new("")),
+            Err(Error::EmptyUtterance)
+        ));
+        assert!(matches!(
+            engine.parse(&ParseRequest::new("   \t  ")),
+            Err(Error::EmptyUtterance)
+        ));
+        let long = "tweet ".repeat(200);
+        assert!(matches!(
+            engine.parse(&ParseRequest::new(long)),
+            Err(Error::UtteranceTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_candidate_requests_are_clamped_not_unbounded() {
+        let (engine, utterance) = tiny_engine();
+        // An adversarial width must not buy unbounded beam work: the
+        // request completes promptly and matches the clamped width.
+        let flooded = engine.parse(
+            &ParseRequest::new(utterance.clone())
+                .with_candidates(usize::MAX)
+                .bypass_cache(),
+        );
+        let clamped = engine.parse(
+            &ParseRequest::new(utterance.clone())
+                .with_candidates(MAX_REQUEST_CANDIDATES)
+                .bypass_cache(),
+        );
+        match (flooded, clamped) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!("clamped and flooded requests diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn untrained_model_is_rejected_at_build_time() {
+        let untrained = LuinetParser::new(ModelConfig::default());
+        assert!(matches!(
+            GenieEngine::builder().model(untrained).build(),
+            Err(Error::ModelUntrained)
+        ));
+        assert!(matches!(
+            GenieEngine::builder().build(),
+            Err(Error::ModelUntrained)
+        ));
+    }
+
+    #[test]
+    fn zero_limits_are_config_errors() {
+        let (engine, _) = tiny_engine();
+        let model = engine.inner.model.clone();
+        let zero_candidates = GenieEngine::builder()
+            .model_shared(model.clone())
+            .candidates(0)
+            .build();
+        assert!(matches!(zero_candidates, Err(Error::Config(_))));
+        let too_many = GenieEngine::builder()
+            .model_shared(model.clone())
+            .candidates(MAX_REQUEST_CANDIDATES + 1)
+            .build();
+        assert!(matches!(too_many, Err(Error::Config(_))));
+        let zero_length = GenieEngine::builder()
+            .model_shared(model)
+            .max_utterance_tokens(0)
+            .build();
+        assert!(matches!(zero_length, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_changing_responses() {
+        let (base, utterance) = tiny_engine();
+        // A private engine so the counters are this test's alone.
+        let engine = GenieEngine::builder()
+            .model_shared(base.inner.model.clone())
+            .threads(1)
+            .build()
+            .unwrap();
+        let request = ParseRequest::new(utterance.clone());
+        let first = engine.parse(&request).unwrap();
+        let second = engine.parse(&request).unwrap();
+        assert_eq!(first, second);
+        assert!(engine.stats().cache_hits >= 1);
+        assert_eq!(engine.cached_responses(), 1);
+        // Bypass gives the same content.
+        let bypassed = engine.parse(&request.clone().bypass_cache()).unwrap();
+        assert_eq!(first, bypassed);
+        engine.clear_cache();
+        assert_eq!(engine.cached_responses(), 0);
+    }
+
+    #[test]
+    fn policies_reject_disallowed_programs() {
+        use thingtalk::ast::{FunctionRef, Predicate};
+        use thingtalk::policy::{action_policy, query_policy};
+
+        let (base, utterance) = tiny_engine();
+        let parsed = base.parse(&ParseRequest::new(utterance.clone())).unwrap();
+        // Build a policy that allows only a class the parsed program does
+        // not use, so every candidate for this utterance violates it.
+        let devices = parsed.best().program.devices();
+        assert!(!devices.contains(&"com.example.unused"));
+        let only_unused = vec![
+            query_policy(
+                Predicate::True,
+                FunctionRef::new("com.example.unused", "get"),
+                Predicate::True,
+            ),
+            action_policy(
+                Predicate::True,
+                FunctionRef::new("com.example.unused", "act"),
+                Predicate::True,
+            ),
+        ];
+        let engine = GenieEngine::builder()
+            .model_shared(base.inner.model.clone())
+            .policies(only_unused)
+            .threads(1)
+            .build()
+            .unwrap();
+        match engine.parse(&ParseRequest::new(utterance.clone())) {
+            Err(Error::NoParse { rejected, .. }) => {
+                assert!(!rejected.is_empty());
+                assert!(rejected
+                    .iter()
+                    .any(|(_, e)| matches!(e, thingtalk::Error::PolicyViolation { .. })));
+            }
+            other => panic!("expected NoParse with policy rejections, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_output_is_byte_identical_across_thread_counts() {
+        let (base, utterance) = tiny_engine();
+        let mut utterances = vec![
+            utterance.clone(),
+            "tweet hello world".to_owned(),
+            utterance.clone(), // repeat: exercises the cache
+            String::new(),     // error path inside a batch
+            "frobnicate the unfrobnicatable".to_owned(),
+        ];
+        utterances.push(utterance.clone());
+        let requests: Vec<ParseRequest> = utterances
+            .iter()
+            .map(|u| ParseRequest::new(u.clone()))
+            .collect();
+        let render = |results: Vec<GenieResult<ParseResponse>>| -> Vec<String> {
+            results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(response) => format!(
+                        "ok {} | {}",
+                        response.sentence.join(" "),
+                        response
+                            .candidates
+                            .iter()
+                            .map(|c| c.tokens.join(" "))
+                            .collect::<Vec<_>>()
+                            .join(" ; ")
+                    ),
+                    Err(error) => format!("err {error}"),
+                })
+                .collect()
+        };
+        let mut baseline = None;
+        for threads in [1usize, 2, 8] {
+            let engine = GenieEngine::builder()
+                .model_shared(base.inner.model.clone())
+                .threads(threads)
+                .build()
+                .unwrap();
+            let rendered = render(engine.parse_batch(&requests));
+            match &baseline {
+                None => baseline = Some(rendered),
+                Some(expected) => {
+                    assert_eq!(&rendered, expected, "batch differs at {threads} threads")
+                }
+            }
+        }
+    }
+}

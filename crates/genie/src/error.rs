@@ -1,0 +1,147 @@
+//! The unified error story of the toolkit layer.
+//!
+//! Everything fallible in `genie` — config validation, dataset I/O,
+//! ThingTalk parsing/typechecking, and the serving engine — funnels into
+//! one [`enum@Error`], so a caller holding a [`GenieResult`] can match on
+//! *why* a request failed without knowing which layer rejected it.
+
+use std::fmt;
+
+use genie_templates::ConfigError;
+
+/// A specialized `Result` for toolkit and serving operations.
+pub type GenieResult<T> = std::result::Result<T, Error>;
+
+/// The error type of the `genie` crate: pipeline assembly, dataset
+/// production, and the [`crate::engine::GenieEngine`] serving facade.
+#[derive(Debug)]
+pub enum Error {
+    /// An invalid configuration rejected by a validating builder.
+    Config(ConfigError),
+    /// An error from the ThingTalk layer (parse, typecheck, policy, missing
+    /// resource).
+    ThingTalk(thingtalk::Error),
+    /// A dataset read or write failed.
+    Io(std::io::Error),
+    /// A parse request carried an empty (or whitespace-only) utterance.
+    EmptyUtterance,
+    /// A parse request exceeded the engine's utterance length bound.
+    UtteranceTooLong {
+        /// Tokens in the offending utterance.
+        tokens: usize,
+        /// The engine's bound.
+        limit: usize,
+    },
+    /// The model produced no candidate that decodes, typechecks and passes
+    /// the access-control policies.
+    NoParse {
+        /// The rejected utterance.
+        utterance: String,
+        /// Candidates the model proposed (all rejected), with the reason
+        /// each one was discarded.
+        rejected: Vec<(String, thingtalk::Error)>,
+    },
+    /// The engine was built without a usable model.
+    ModelUntrained,
+}
+
+impl Error {
+    /// The rejected candidates of a [`Error::NoParse`], if that is what
+    /// this error is.
+    pub fn rejected_candidates(&self) -> Option<&[(String, thingtalk::Error)]> {
+        match self {
+            Error::NoParse { rejected, .. } => Some(rejected),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(error) => write!(f, "{error}"),
+            Error::ThingTalk(error) => write!(f, "{error}"),
+            Error::Io(error) => write!(f, "i/o error: {error}"),
+            Error::EmptyUtterance => write!(f, "empty utterance"),
+            Error::UtteranceTooLong { tokens, limit } => {
+                write!(
+                    f,
+                    "utterance of {tokens} tokens exceeds the limit of {limit}"
+                )
+            }
+            Error::NoParse {
+                utterance,
+                rejected,
+            } => {
+                write!(
+                    f,
+                    "no valid parse for `{utterance}` ({} candidate(s) rejected)",
+                    rejected.len()
+                )
+            }
+            Error::ModelUntrained => write!(f, "the engine's model has seen no training data"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(error) => Some(error),
+            Error::ThingTalk(error) => Some(error),
+            Error::Io(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(error: ConfigError) -> Self {
+        Error::Config(error)
+    }
+}
+
+impl From<thingtalk::Error> for Error {
+    fn from(error: thingtalk::Error) -> Self {
+        Error::ThingTalk(error)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(error: std::io::Error) -> Self {
+        Error::Io(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_the_cause() {
+        let config: Error = ConfigError::new("max_depth", "must be at least 1").into();
+        assert!(config.to_string().contains("max_depth"));
+
+        let tt: Error = thingtalk::Error::parse("dangling `=>`").into();
+        assert!(tt.to_string().contains("dangling"));
+
+        let io: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn no_parse_exposes_rejections() {
+        let error = Error::NoParse {
+            utterance: "frobnicate the cat".into(),
+            rejected: vec![("now =>".into(), thingtalk::Error::parse("truncated"))],
+        };
+        assert_eq!(error.rejected_candidates().unwrap().len(), 1);
+        assert!(error.to_string().contains("1 candidate(s) rejected"));
+    }
+}

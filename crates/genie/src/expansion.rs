@@ -17,19 +17,27 @@ use thingtalk::ast::Predicate;
 use thingtalk::value::Value;
 
 use crate::dataset::{Example, ExampleSource};
+use crate::error::GenieResult;
 
 /// Parameter expansion: produce up to `copies` variants of the example with
 /// fresh parameter values. Only values whose rendered text actually occurs in
 /// the utterance are replaced (so sentence and program stay aligned).
+///
+/// # Errors
+///
+/// Propagates [`thingtalk::Error::MissingResource`] (as
+/// [`crate::Error::ThingTalk`]) when the dataset registry lacks both the
+/// routed dataset and its free-form fallback — impossible for
+/// [`ParamDatasets::builtin`], reachable with hand-assembled registries.
 pub fn expand_parameters(
     example: &Example,
     datasets: &ParamDatasets,
     copies: usize,
     rng: &mut StdRng,
-) -> Vec<Example> {
+) -> GenieResult<Vec<Example>> {
     let replaceable = replaceable_values(example);
     if replaceable.is_empty() || copies == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut out = Vec::new();
     for _ in 0..copies {
@@ -37,7 +45,7 @@ pub fn expand_parameters(
         let mut program = example.program.clone();
         let mut changed = false;
         for (param_name, old_text) in &replaceable {
-            let dataset = datasets.for_param(&thingtalk::types::Type::String, param_name);
+            let dataset = datasets.for_param(&thingtalk::types::Type::String, param_name)?;
             let new_text = dataset.sample(rng).to_owned();
             if new_text == *old_text {
                 continue;
@@ -51,7 +59,7 @@ pub fn expand_parameters(
         }
     }
     out.dedup_by(|a, b| a.utterance == b.utterance);
-    out
+    Ok(out)
 }
 
 /// The (parameter name, rendered text) pairs of string/entity constants that
@@ -163,40 +171,44 @@ pub fn augment_ppdb(
         .collect()
 }
 
-/// Mix an example index into a seed so each example gets an independent
-/// deterministic RNG stream (order- and thread-count-insensitive).
-pub(crate) fn per_item_seed(seed: u64, index: usize) -> u64 {
-    seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
 /// Convenience: expand a whole dataset, with a per-example expansion factor
 /// chosen by the caller (the paper uses 30× for paraphrases with string
 /// parameters, 10× for other paraphrases, 4× for synthesized primitives and
 /// 1× otherwise).
 ///
 /// Examples are expanded in parallel over `threads` workers (`0` = all
-/// cores, `1` = inline); each draws from its own RNG stream (`seed ⊕
-/// index`), so the output is deterministic and independent of the worker
-/// count.
+/// cores, `1` = inline); each draws from its own RNG stream
+/// ([`genie_parallel::item_seed`]), so the output is deterministic and
+/// independent of the worker count. The first per-example error (see
+/// [`expand_parameters`]) aborts the whole expansion.
 pub fn expand_dataset(
     examples: &[Example],
     datasets: &ParamDatasets,
     factor: impl Fn(&Example) -> usize + Sync,
     seed: u64,
     threads: usize,
-) -> Vec<Example> {
+) -> GenieResult<Vec<Example>> {
     let ppdb = Ppdb::builtin();
-    genie_parallel::par_flat_map(threads, examples, |index, example| {
-        let mut rng = StdRng::seed_from_u64(per_item_seed(seed, index));
-        let copies = factor(example);
-        let mut out = expand_parameters(example, datasets, copies, &mut rng);
-        // A small probability of additionally applying a PPDB rewrite keeps
-        // the augmented set lexically varied without exploding its size.
-        if rng.gen_bool(0.3) {
-            out.extend(augment_ppdb(example, &ppdb, 1, &mut rng));
-        }
-        out
-    })
+    let expanded = genie_parallel::par_map(
+        threads,
+        examples,
+        |index, example| -> GenieResult<Vec<Example>> {
+            let mut rng = StdRng::seed_from_u64(genie_parallel::item_seed(seed, index));
+            let copies = factor(example);
+            let mut out = expand_parameters(example, datasets, copies, &mut rng)?;
+            // A small probability of additionally applying a PPDB rewrite keeps
+            // the augmented set lexically varied without exploding its size.
+            if rng.gen_bool(0.3) {
+                out.extend(augment_ppdb(example, &ppdb, 1, &mut rng));
+            }
+            Ok(out)
+        },
+    );
+    let mut out = Vec::new();
+    for batch in expanded {
+        out.extend(batch?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -216,7 +228,7 @@ mod tests {
     fn expansion_replaces_utterance_and_program_consistently() {
         let datasets = ParamDatasets::builtin();
         let mut rng = StdRng::seed_from_u64(3);
-        let expanded = expand_parameters(&example(), &datasets, 5, &mut rng);
+        let expanded = expand_parameters(&example(), &datasets, 5, &mut rng).unwrap();
         assert!(!expanded.is_empty());
         for variant in &expanded {
             assert_ne!(variant.utterance, example().utterance);
@@ -241,7 +253,9 @@ mod tests {
             parse_program("now => @com.gmail.inbox() => notify").unwrap(),
             ExampleSource::Synthesized,
         );
-        assert!(expand_parameters(&plain, &datasets, 5, &mut rng).is_empty());
+        assert!(expand_parameters(&plain, &datasets, 5, &mut rng)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -260,10 +274,10 @@ mod tests {
     fn expand_dataset_respects_the_factor() {
         let datasets = ParamDatasets::builtin();
         let examples = vec![example()];
-        let large = expand_dataset(&examples, &datasets, |_| 10, 5, 0);
-        let small = expand_dataset(&examples, &datasets, |_| 1, 5, 0);
+        let large = expand_dataset(&examples, &datasets, |_| 10, 5, 0).unwrap();
+        let small = expand_dataset(&examples, &datasets, |_| 1, 5, 0).unwrap();
         assert!(large.len() > small.len());
-        let none = expand_dataset(&examples, &datasets, |_| 0, 5, 0);
+        let none = expand_dataset(&examples, &datasets, |_| 0, 5, 0).unwrap();
         assert!(none.len() <= 1);
     }
 }

@@ -10,6 +10,7 @@ use luinet::{BaselineParser, LuinetParser, ModelConfig, ParserExample};
 use thingpedia::Thingpedia;
 
 use crate::dataset::{Composition, Dataset};
+use crate::error::GenieResult;
 use crate::eval::{evaluate, AccuracySummary, EvalResult};
 use crate::evaldata::{
     aggregation_cheatsheet_data, cheatsheet_data, developer_data, ifttt_data, EvalDataConfig,
@@ -79,31 +80,32 @@ impl ExperimentScale {
         self
     }
 
-    fn pipeline_config(&self, seed: u64, aggregation: bool) -> PipelineConfig {
-        PipelineConfig {
-            synthesis: GeneratorConfig {
-                target_per_rule: self.target_per_rule,
-                max_depth: 5,
-                instantiations_per_template: 2,
-                seed,
-                include_aggregation: aggregation,
-                include_timers: true,
-                threads: self.threads,
-                shards: self.shards,
-                batch_size: self.batch_size,
-                ..GeneratorConfig::default()
-            },
-            paraphrase: ParaphraseConfig {
-                per_sentence: 2,
-                error_rate: 0.08,
-                seed,
-            },
-            paraphrase_sample: self.paraphrase_sample,
-            expansion_paraphrase: 3,
-            expansion_synthesized: 1,
-            parameter_expansion: true,
-            seed,
-        }
+    fn pipeline_config(&self, seed: u64, aggregation: bool) -> GenieResult<PipelineConfig> {
+        let synthesis = GeneratorConfig::builder()
+            .target_per_rule(self.target_per_rule)
+            .max_depth(5)
+            .instantiations_per_template(2)
+            .seed(seed)
+            .include_aggregation(aggregation)
+            .include_timers(true)
+            .threads(self.threads)
+            .shards(self.shards)
+            .batch_size(self.batch_size)
+            .build()?;
+        let paraphrase = ParaphraseConfig::builder()
+            .per_sentence(2)
+            .error_rate(0.08)
+            .seed(seed)
+            .build()?;
+        Ok(PipelineConfig::builder()
+            .synthesis(synthesis)
+            .paraphrase(paraphrase)
+            .paraphrase_sample(self.paraphrase_sample)
+            .expansion_paraphrase(3)
+            .expansion_synthesized(1)
+            .parameter_expansion(true)
+            .seed(seed)
+            .build()?)
     }
 }
 
@@ -170,11 +172,11 @@ fn run_once(
     parameter_expansion: bool,
     seed: u64,
     test_sets: &[(&str, &Dataset)],
-) -> Vec<(String, EvalResult)> {
-    let mut config = scale.pipeline_config(seed, false);
+) -> GenieResult<Vec<(String, EvalResult)>> {
+    let mut config = scale.pipeline_config(seed, false)?;
     config.parameter_expansion = parameter_expansion;
     let pipeline = DataPipeline::new(library, config);
-    let data = pipeline.build();
+    let data = pipeline.build()?;
     let training = data.for_strategy(strategy);
     let train_examples = pipeline.to_parser_examples(&training, options);
 
@@ -189,7 +191,7 @@ fn run_once(
     }
     parser.train(&train_examples);
 
-    test_sets
+    Ok(test_sets
         .iter()
         .map(|(name, dataset)| {
             let sentences: Vec<Vec<String>> = dataset
@@ -206,7 +208,7 @@ fn run_once(
             let result = evaluate(library, &dataset.examples, &gold, &predictions);
             ((*name).to_owned(), result)
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -230,7 +232,10 @@ pub struct Fig8Row {
 
 /// Reproduce Fig. 8: train with synthesized-only, paraphrase-only, and the
 /// Genie strategy, and evaluate each on the four test sets.
-pub fn training_strategies(library: &Thingpedia, scale: ExperimentScale) -> Vec<Fig8Row> {
+pub fn training_strategies(
+    library: &Thingpedia,
+    scale: ExperimentScale,
+) -> GenieResult<Vec<Fig8Row>> {
     let test_sets = build_test_sets(library, scale);
     let sets: Vec<(&str, &Dataset)> = vec![
         ("paraphrase", &test_sets.paraphrase),
@@ -256,18 +261,18 @@ pub fn training_strategies(library: &Thingpedia, scale: ExperimentScale) -> Vec<
                 true,
                 seed as u64,
                 &sets,
-            );
+            )?;
             for (idx, (_, result)) in results.iter().enumerate() {
                 per_set[idx].push(result.program_accuracy);
             }
         }
-        Fig8Row {
+        Ok(Fig8Row {
             strategy: strategy.label().to_owned(),
             paraphrase: AccuracySummary::of(&per_set[0]),
             validation: AccuracySummary::of(&per_set[1]),
             cheatsheet: AccuracySummary::of(&per_set[2]),
             ifttt: AccuracySummary::of(&per_set[3]),
-        }
+        })
     })
     .collect()
 }
@@ -292,7 +297,7 @@ pub struct Table3Row {
 
 /// Reproduce Table 3: remove one feature at a time from the Genie
 /// configuration.
-pub fn ablation(library: &Thingpedia, scale: ExperimentScale) -> Vec<Table3Row> {
+pub fn ablation(library: &Thingpedia, scale: ExperimentScale) -> GenieResult<Vec<Table3Row>> {
     use thingtalk::nn_syntax::NnSyntaxOptions;
 
     let test_sets = build_test_sets(library, scale);
@@ -300,8 +305,8 @@ pub fn ablation(library: &Thingpedia, scale: ExperimentScale) -> Vec<Table3Row> 
     // The "new program" subset is computed against a reference synthesis
     // with the training seed, approximating which function combinations the
     // training set contains.
-    let reference_pipeline = DataPipeline::new(library, scale.pipeline_config(0, false));
-    let reference = reference_pipeline.build().combined();
+    let reference_pipeline = DataPipeline::new(library, scale.pipeline_config(0, false)?);
+    let reference = reference_pipeline.build()?.combined();
     let (_, new_programs) = test_sets.validation.split_by_seen_programs(&reference);
 
     let configurations: Vec<(&str, NnOptions, bool, bool)> = vec![
@@ -384,17 +389,17 @@ pub fn ablation(library: &Thingpedia, scale: ExperimentScale) -> Vec<Table3Row> 
                     expansion,
                     seed as u64,
                     &sets,
-                );
+                )?;
                 for (idx, (_, result)) in results.iter().enumerate() {
                     per_set[idx].push(result.program_accuracy);
                 }
             }
-            Table3Row {
+            Ok(Table3Row {
                 name: name.to_owned(),
                 paraphrase: AccuracySummary::of(&per_set[0]),
                 validation: AccuracySummary::of(&per_set[1]),
                 new_program: AccuracySummary::of(&per_set[2]),
-            }
+            })
         })
         .collect()
 }
@@ -417,12 +422,12 @@ pub struct Fig9Row {
 
 /// Reproduce Fig. 9: the Spotify skill, TACL, and TT+A case studies,
 /// comparing the Wang-et-al Baseline with Genie on cheatsheet test data.
-pub fn case_studies(scale: ExperimentScale) -> Vec<Fig9Row> {
-    vec![
-        spotify_case_study(scale),
-        tacl_case_study(scale),
-        aggregation_case_study(scale),
-    ]
+pub fn case_studies(scale: ExperimentScale) -> GenieResult<Vec<Fig9Row>> {
+    Ok(vec![
+        spotify_case_study(scale)?,
+        tacl_case_study(scale)?,
+        aggregation_case_study(scale)?,
+    ])
 }
 
 fn program_accuracy_for(
@@ -439,13 +444,13 @@ fn program_accuracy_for(
     evaluate(library, &dataset.examples, &gold, parser_output).program_accuracy
 }
 
-fn spotify_case_study(scale: ExperimentScale) -> Fig9Row {
+fn spotify_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
     let library = Thingpedia::builtin_with_spotify();
     let mut baseline_accs = Vec::new();
     let mut genie_accs = Vec::new();
     for seed in 0..scale.seeds {
-        let pipeline = DataPipeline::new(&library, scale.pipeline_config(seed as u64, false));
-        let data = pipeline.build();
+        let pipeline = DataPipeline::new(&library, scale.pipeline_config(seed as u64, false)?);
+        let data = pipeline.build()?;
         // Test set: cheatsheet commands that use the Spotify skill.
         let cheatsheet = cheatsheet_data(
             &library,
@@ -499,11 +504,11 @@ fn spotify_case_study(scale: ExperimentScale) -> Fig9Row {
             &spotify_test,
         ));
     }
-    Fig9Row {
+    Ok(Fig9Row {
         case_study: "Spotify".to_owned(),
         baseline: AccuracySummary::of(&baseline_accs),
         genie: AccuracySummary::of(&genie_accs),
-    }
+    })
 }
 
 /// Tokenize a TACL policy for sequence prediction (whitespace, with quoted
@@ -534,23 +539,22 @@ pub fn policy_tokens(policy: &thingtalk::policy::Policy) -> Vec<String> {
     tokens
 }
 
-fn tacl_case_study(scale: ExperimentScale) -> Fig9Row {
+fn tacl_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
     let library = Thingpedia::builtin();
     let mut baseline_accs = Vec::new();
     let mut genie_accs = Vec::new();
     for seed in 0..scale.seeds {
         let generator = genie_templates::SentenceGenerator::new(
             &library,
-            GeneratorConfig {
-                target_per_rule: scale.target_per_rule * 2,
-                max_depth: 3,
-                instantiations_per_template: 1,
-                seed: seed as u64,
-                include_aggregation: false,
-                include_timers: false,
-                threads: 0,
-                ..GeneratorConfig::default()
-            },
+            GeneratorConfig::builder()
+                .target_per_rule(scale.target_per_rule * 2)
+                .max_depth(3)
+                .instantiations_per_template(1)
+                .seed(seed as u64)
+                .include_aggregation(false)
+                .include_timers(false)
+                .threads(0)
+                .build()?,
         );
         let policies = generator.synthesize_policies();
         if policies.len() < 10 {
@@ -560,11 +564,13 @@ fn tacl_case_study(scale: ExperimentScale) -> Fig9Row {
         // rewritten by the paraphrase simulator.
         let split = (policies.len() * 4) / 5;
         let (train_policies, test_policies) = policies.split_at(split);
-        let simulator = ParaphraseSimulator::new(ParaphraseConfig {
-            per_sentence: 1,
-            error_rate: 0.0,
-            seed: 17 + seed as u64,
-        });
+        let simulator = ParaphraseSimulator::new(
+            ParaphraseConfig::builder()
+                .per_sentence(1)
+                .error_rate(0.0)
+                .seed(17 + seed as u64)
+                .build()?,
+        );
         let train_paraphrase_examples: Vec<ParserExample> = train_policies
             .iter()
             .flat_map(|(utterance, policy)| {
@@ -613,22 +619,22 @@ fn tacl_case_study(scale: ExperimentScale) -> Fig9Row {
         parser.train(&train_paraphrase_examples);
         genie_accs.push(parser.exact_match_accuracy(&test_examples));
     }
-    Fig9Row {
+    Ok(Fig9Row {
         case_study: "TACL".to_owned(),
         baseline: AccuracySummary::of(&baseline_accs),
         genie: AccuracySummary::of(&genie_accs),
-    }
+    })
 }
 
-fn aggregation_case_study(scale: ExperimentScale) -> Fig9Row {
+fn aggregation_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
     let library = Thingpedia::builtin();
     let mut baseline_accs = Vec::new();
     let mut genie_accs = Vec::new();
     for seed in 0..scale.seeds {
-        let mut config = scale.pipeline_config(seed as u64, true);
+        let mut config = scale.pipeline_config(seed as u64, true)?;
         config.synthesis.include_aggregation = true;
         let pipeline = DataPipeline::new(&library, config);
-        let data = pipeline.build();
+        let data = pipeline.build()?;
         let test = aggregation_cheatsheet_data(
             &library,
             EvalDataConfig {
@@ -669,11 +675,11 @@ fn aggregation_case_study(scale: ExperimentScale) -> Fig9Row {
             &test,
         ));
     }
-    Fig9Row {
+    Ok(Fig9Row {
         case_study: "TT+A".to_owned(),
         baseline: AccuracySummary::of(&baseline_accs),
         genie: AccuracySummary::of(&genie_accs),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -710,11 +716,14 @@ pub struct DatasetStats {
 }
 
 /// Compute the dataset characteristics (Fig. 7 + the §5.2 statistics).
-pub fn dataset_characteristics(library: &Thingpedia, scale: ExperimentScale) -> DatasetStats {
-    let pipeline = DataPipeline::new(library, scale.pipeline_config(0, false));
-    let data = pipeline.build();
+pub fn dataset_characteristics(
+    library: &Thingpedia,
+    scale: ExperimentScale,
+) -> GenieResult<DatasetStats> {
+    let pipeline = DataPipeline::new(library, scale.pipeline_config(0, false)?);
+    let data = pipeline.build()?;
     let combined = data.combined();
-    DatasetStats {
+    Ok(DatasetStats {
         composition: combined.composition(),
         synthesized_sentences: data.synthesized.len(),
         paraphrases: data.paraphrases.len(),
@@ -727,12 +736,12 @@ pub fn dataset_characteristics(library: &Thingpedia, scale: ExperimentScale) -> 
         construct_templates: construct_template_counts(),
         primitive_templates: library.templates().len(),
         templates_per_function: library.templates_per_function(),
-    }
+    })
 }
 
 /// Reproduce the §5.5 error analysis: run the Genie configuration once and
 /// report the fine-grained metrics on the validation set.
-pub fn error_analysis(library: &Thingpedia, scale: ExperimentScale) -> EvalResult {
+pub fn error_analysis(library: &Thingpedia, scale: ExperimentScale) -> GenieResult<EvalResult> {
     let test_sets = build_test_sets(library, scale);
     let sets: Vec<(&str, &Dataset)> = vec![("validation", &test_sets.validation)];
     let results = run_once(
@@ -744,8 +753,8 @@ pub fn error_analysis(library: &Thingpedia, scale: ExperimentScale) -> EvalResul
         true,
         0,
         &sets,
-    );
-    results[0].1
+    )?;
+    Ok(results[0].1)
 }
 
 #[cfg(test)]
@@ -755,7 +764,7 @@ mod tests {
     #[test]
     fn dataset_characteristics_are_sane() {
         let library = Thingpedia::builtin();
-        let stats = dataset_characteristics(&library, ExperimentScale::tiny());
+        let stats = dataset_characteristics(&library, ExperimentScale::tiny()).unwrap();
         assert!(stats.synthesized_sentences > 50);
         assert!(stats.paraphrases > 10);
         assert!(stats.total_sentences >= stats.synthesized_sentences + stats.paraphrases);

@@ -23,10 +23,38 @@
 //!   IFTTT with the Table 2 cleanup rules);
 //! * [`eval`] — program accuracy and the §5.5 error analysis;
 //! * [`experiments`] — reusable runners that regenerate every figure and
-//!   table (used by the `genie-bench` binaries and the integration tests).
+//!   table (used by the `genie-bench` binaries and the integration tests);
+//! * [`engine`] — the **serving facade**: a long-lived, thread-safe
+//!   [`engine::GenieEngine`] that answers `ParseRequest → GenieResult<ParseResponse>`
+//!   with decoded, typechecked, policy-checked candidate programs.
+//!
+//! # Builder-API migration notes
+//!
+//! As of the serving redesign, the public entry points are fallible and the
+//! config structs have validating builders:
+//!
+//! * construct configs with `GeneratorConfig::builder()`,
+//!   [`ParaphraseConfig::builder`] and [`PipelineConfig::builder`] — each
+//!   `build()` returns `Result<_, ConfigError>` and rejects out-of-range
+//!   values up front (struct literals still compile for backward
+//!   compatibility, but skip validation; call `validate()` on them before
+//!   use);
+//! * [`DataPipeline::build`](pipeline::DataPipeline::build),
+//!   [`DataPipeline::run_streaming`](pipeline::DataPipeline::run_streaming) and
+//!   [`DataPipeline::run_streaming_sharded`](pipeline::DataPipeline::run_streaming_sharded)
+//!   now return [`GenieResult`]; dataset-expansion helpers
+//!   ([`expansion::expand_parameters`], [`expansion::expand_dataset`])
+//!   propagate missing-dataset errors instead of panicking;
+//! * everything funnels into one [`enum@Error`] (`Config` / `ThingTalk` /
+//!   `Io` / serving variants), so `?` composes across layers;
+//! * the seed-mixing helpers are unified in `genie-parallel`
+//!   ([`genie_parallel::item_seed`], [`genie_parallel::stream_seed`]) —
+//!   `genie`'s private `per_item_seed` is gone.
 
 pub mod crowdsource;
 pub mod dataset;
+pub mod engine;
+pub mod error;
 pub mod eval;
 pub mod evaldata;
 pub mod expansion;
@@ -35,6 +63,11 @@ pub mod paraphrase;
 pub mod pipeline;
 
 pub use dataset::{Dataset, Example, ExampleSource, ShardedDatasetWriter};
+pub use engine::{
+    EngineBuilder, EngineStats, GenieEngine, ParseCandidate, ParseFlags, ParseRequest,
+    ParseResponse,
+};
+pub use error::{Error, GenieResult};
 pub use eval::{evaluate, EvalResult};
 pub use paraphrase::{ParaphraseConfig, ParaphraseSimulator};
 pub use pipeline::{DataPipeline, NnOptions, PipelineConfig, StreamStats, TrainingStrategy};

@@ -40,6 +40,60 @@ impl Default for ParaphraseConfig {
     }
 }
 
+impl ParaphraseConfig {
+    /// Start a validating builder seeded with the default configuration.
+    pub fn builder() -> ParaphraseConfigBuilder {
+        ParaphraseConfigBuilder {
+            config: ParaphraseConfig::default(),
+        }
+    }
+
+    /// Check an already-assembled configuration. An out-of-range
+    /// `error_rate` would otherwise panic deep inside the worker simulation
+    /// (`Rng::gen_bool` requires a probability in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), genie_templates::ConfigError> {
+        if !self.error_rate.is_finite() || !(0.0..=1.0).contains(&self.error_rate) {
+            return Err(genie_templates::ConfigError::new(
+                "error_rate",
+                format!("must be a probability in [0, 1], got {}", self.error_rate),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`ParaphraseConfig`].
+#[derive(Debug, Clone)]
+pub struct ParaphraseConfigBuilder {
+    config: ParaphraseConfig,
+}
+
+impl ParaphraseConfigBuilder {
+    /// Paraphrases requested per synthesized sentence (`0` disables).
+    pub fn per_sentence(mut self, value: usize) -> Self {
+        self.config.per_sentence = value;
+        self
+    }
+
+    /// Probability that a produced paraphrase is wrong.
+    pub fn error_rate(mut self, value: f64) -> Self {
+        self.config.error_rate = value;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, value: u64) -> Self {
+        self.config.seed = value;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<ParaphraseConfig, genie_templates::ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Simulates crowdworkers paraphrasing synthesized sentences.
 #[derive(Debug, Clone)]
 pub struct ParaphraseSimulator {
@@ -82,16 +136,15 @@ impl ParaphraseSimulator {
 
     /// Like [`ParaphraseSimulator::paraphrase_all`], with an explicit worker
     /// count (`0` = all cores, `1` = inline). Each example draws from a
-    /// per-example RNG stream (`seed ⊕ index`), so the output is
-    /// deterministic and independent of the thread count.
+    /// per-example RNG stream ([`genie_parallel::item_seed`]), so the output
+    /// is deterministic and independent of the thread count.
     pub fn paraphrase_all_with_threads(
         &self,
         examples: &[Example],
         threads: usize,
     ) -> Vec<Example> {
         genie_parallel::par_flat_map(threads, examples, |index, example| {
-            let mut rng =
-                StdRng::seed_from_u64(crate::expansion::per_item_seed(self.config.seed, index));
+            let mut rng = StdRng::seed_from_u64(genie_parallel::item_seed(self.config.seed, index));
             self.paraphrase(example, &mut rng)
         })
     }

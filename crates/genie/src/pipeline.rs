@@ -21,8 +21,11 @@ use thingpedia::{ParamDatasets, Thingpedia};
 use thingtalk::canonical::canonicalized;
 use thingtalk::nn_syntax::{to_tokens, NnSyntaxOptions};
 
+use genie_parallel::item_seed;
+
 use crate::dataset::{Dataset, Example, ExampleSource, ShardedDatasetWriter};
-use crate::expansion::{augment_ppdb, expand_dataset, expand_parameters, per_item_seed};
+use crate::error::{Error, GenieResult};
+use crate::expansion::{augment_ppdb, expand_dataset, expand_parameters};
 use crate::paraphrase::{ParaphraseConfig, ParaphraseSimulator};
 
 /// Which data the parser is trained on (Fig. 8).
@@ -102,6 +105,81 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Start a validating builder seeded with the default configuration.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Check an already-assembled configuration, including the nested
+    /// synthesis and paraphrase configs.
+    pub fn validate(&self) -> Result<(), genie_templates::ConfigError> {
+        self.synthesis.validate()?;
+        self.paraphrase.validate()?;
+        Ok(())
+    }
+}
+
+/// Validating builder for [`PipelineConfig`]. Nested configs are taken
+/// whole (build them with their own builders); `build()` re-validates the
+/// complete assembly.
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Template-synthesis settings.
+    pub fn synthesis(mut self, value: GeneratorConfig) -> Self {
+        self.config.synthesis = value;
+        self
+    }
+
+    /// Paraphrase-simulation settings.
+    pub fn paraphrase(mut self, value: ParaphraseConfig) -> Self {
+        self.config.paraphrase = value;
+        self
+    }
+
+    /// How many synthesized sentences are sent for paraphrasing.
+    pub fn paraphrase_sample(mut self, value: usize) -> Self {
+        self.config.paraphrase_sample = value;
+        self
+    }
+
+    /// Parameter-expansion factor for paraphrases.
+    pub fn expansion_paraphrase(mut self, value: usize) -> Self {
+        self.config.expansion_paraphrase = value;
+        self
+    }
+
+    /// Parameter-expansion factor for synthesized sentences.
+    pub fn expansion_synthesized(mut self, value: usize) -> Self {
+        self.config.expansion_synthesized = value;
+        self
+    }
+
+    /// Master switch for parameter expansion.
+    pub fn parameter_expansion(mut self, value: bool) -> Self {
+        self.config.parameter_expansion = value;
+        self
+    }
+
+    /// Seed for sampling decisions in the pipeline itself.
+    pub fn seed(mut self, value: u64) -> Self {
+        self.config.seed = value;
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<PipelineConfig, genie_templates::ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Counters from one fused streaming run ([`DataPipeline::run_streaming`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
@@ -174,7 +252,16 @@ impl<'a> DataPipeline<'a> {
     }
 
     /// Run synthesis, paraphrasing and augmentation.
-    pub fn build(&self) -> TrainingData {
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-expansion failures (missing dataset in a
+    /// hand-assembled registry); infallible with the builtin datasets.
+    pub fn build(&self) -> GenieResult<TrainingData> {
+        // Validate even hand-assembled configs at the choke point: the
+        // fields are still `pub`, and e.g. an out-of-range `error_rate`
+        // would otherwise panic inside the paraphrase simulation.
+        self.config.validate()?;
         let generator = SentenceGenerator::new(self.library, self.config.synthesis);
         let synthesized_raw = generator.synthesize();
         let synthesized = Dataset::from_examples(
@@ -209,7 +296,7 @@ impl<'a> DataPipeline<'a> {
                 |_| self.config.expansion_paraphrase,
                 self.config.seed.wrapping_add(1),
                 self.config.synthesis.threads,
-            );
+            )?;
             expanded.extend(expand_dataset(
                 &synthesized.examples,
                 &self.datasets,
@@ -222,17 +309,17 @@ impl<'a> DataPipeline<'a> {
                 },
                 self.config.seed.wrapping_add(2),
                 self.config.synthesis.threads,
-            ));
+            )?);
             Dataset::from_examples(expanded)
         } else {
             Dataset::new()
         };
 
-        TrainingData {
+        Ok(TrainingData {
             synthesized,
             paraphrases,
             augmented,
-        }
+        })
     }
 
     /// Run the fused streaming pipeline: every batch of synthesized
@@ -254,7 +341,8 @@ impl<'a> DataPipeline<'a> {
         &self,
         options: NnOptions,
         mut sink: impl FnMut(ParserExample),
-    ) -> StreamStats {
+    ) -> GenieResult<StreamStats> {
+        self.config.validate()?;
         let generator = SentenceGenerator::new(self.library, self.config.synthesis);
         let simulator = ParaphraseSimulator::new(self.config.paraphrase);
         let ppdb = Ppdb::builtin();
@@ -279,10 +367,18 @@ impl<'a> DataPipeline<'a> {
         let mut stats = StreamStats::default();
         let mut pending: Vec<SynthesizedExample> = Vec::new();
         let mut next_index = 0usize;
+        // The synthesis driver's sink is infallible, so the first fuse
+        // error is parked here and returned after the driver finishes;
+        // synthesis itself still runs to completion (it has no cancellation
+        // channel), but its remaining output is discarded unprocessed.
+        let mut failure: Option<Error> = None;
         let synthesis = generator.synthesize_streaming(|example| {
+            if failure.is_some() {
+                return;
+            }
             pending.push(example);
             if pending.len() >= fuse {
-                self.fuse_batch(
+                if let Err(error) = self.fuse_batch(
                     &simulator,
                     &ppdb,
                     options,
@@ -291,9 +387,14 @@ impl<'a> DataPipeline<'a> {
                     &mut next_index,
                     &mut stats,
                     &mut sink,
-                );
+                ) {
+                    failure = Some(error);
+                }
             }
         });
+        if let Some(error) = failure {
+            return Err(error);
+        }
         self.fuse_batch(
             &simulator,
             &ppdb,
@@ -303,9 +404,9 @@ impl<'a> DataPipeline<'a> {
             &mut next_index,
             &mut stats,
             &mut sink,
-        );
+        )?;
         stats.synthesis = synthesis;
-        stats
+        Ok(stats)
     }
 
     /// [`DataPipeline::run_streaming`] writing into an incremental
@@ -315,7 +416,7 @@ impl<'a> DataPipeline<'a> {
         &self,
         options: NnOptions,
         writer: &mut ShardedDatasetWriter,
-    ) -> std::io::Result<StreamStats> {
+    ) -> GenieResult<StreamStats> {
         let mut io_error: Option<std::io::Error> = None;
         let stats = self.run_streaming(options, |example| {
             if io_error.is_none() {
@@ -323,9 +424,9 @@ impl<'a> DataPipeline<'a> {
                     io_error = Some(error);
                 }
             }
-        });
+        })?;
         match io_error {
-            Some(error) => Err(error),
+            Some(error) => Err(error.into()),
             None => Ok(stats),
         }
     }
@@ -344,17 +445,20 @@ impl<'a> DataPipeline<'a> {
         next_index: &mut usize,
         stats: &mut StreamStats,
         sink: &mut dyn FnMut(ParserExample),
-    ) {
+    ) -> GenieResult<()> {
         if pending.is_empty() {
-            return;
+            return Ok(());
         }
         let start = *next_index;
         *next_index += pending.len();
         let config = &self.config;
         let conversion_base = config.seed.wrapping_add(99);
 
-        let produced =
-            genie_parallel::par_map(config.synthesis.threads, pending, |offset, synthesized| {
+        type FusedBatch = (Vec<ParserExample>, usize, usize);
+        let produced = genie_parallel::par_map(
+            config.synthesis.threads,
+            pending,
+            |offset, synthesized| -> GenieResult<FusedBatch> {
                 // All randomness below is keyed on the global stream index,
                 // so batch boundaries, threads and shards never change it.
                 let global = start + offset;
@@ -372,8 +476,7 @@ impl<'a> DataPipeline<'a> {
                 // construct rule contributes paraphrase-derived data.
                 let selector = fingerprint(&(config.paraphrase.seed, global as u64));
                 if paraphrase_threshold == u64::MAX || selector < paraphrase_threshold {
-                    let mut rng =
-                        StdRng::seed_from_u64(per_item_seed(config.paraphrase.seed, global));
+                    let mut rng = StdRng::seed_from_u64(item_seed(config.paraphrase.seed, global));
                     let rewrites = simulator.paraphrase(&example, &mut rng);
                     paraphrased = rewrites.len();
                     derived.extend(rewrites);
@@ -381,7 +484,7 @@ impl<'a> DataPipeline<'a> {
 
                 if config.parameter_expansion {
                     let mut rng =
-                        StdRng::seed_from_u64(per_item_seed(config.seed.wrapping_add(1), global));
+                        StdRng::seed_from_u64(item_seed(config.seed.wrapping_add(1), global));
                     let mut expanded: Vec<Example> = Vec::new();
                     for rewrite in &derived {
                         expanded.extend(expand_parameters(
@@ -389,7 +492,7 @@ impl<'a> DataPipeline<'a> {
                             &self.datasets,
                             config.expansion_paraphrase,
                             &mut rng,
-                        ));
+                        )?);
                     }
                     let synthesized_factor = if example.flags.primitive {
                         config.expansion_synthesized
@@ -401,7 +504,7 @@ impl<'a> DataPipeline<'a> {
                         &self.datasets,
                         synthesized_factor,
                         &mut rng,
-                    ));
+                    )?);
                     if rng.gen_bool(0.3) {
                         expanded.extend(augment_ppdb(&example, ppdb, 1, &mut rng));
                     }
@@ -410,20 +513,22 @@ impl<'a> DataPipeline<'a> {
                 }
 
                 let mut out = Vec::with_capacity(1 + derived.len());
-                let mut rng = StdRng::seed_from_u64(per_item_seed(conversion_base, global));
+                let mut rng = StdRng::seed_from_u64(item_seed(conversion_base, global));
                 out.push(self.to_parser_example(&example, options, &mut rng));
                 for (position, rewrite) in derived.iter().enumerate() {
-                    let mut rng = StdRng::seed_from_u64(per_item_seed(
-                        per_item_seed(conversion_base, global),
+                    let mut rng = StdRng::seed_from_u64(item_seed(
+                        item_seed(conversion_base, global),
                         position + 1,
                     ));
                     out.push(self.to_parser_example(rewrite, options, &mut rng));
                 }
-                (out, paraphrased, augmented)
-            });
+                Ok((out, paraphrased, augmented))
+            },
+        );
 
         stats.synthesized += pending.len();
-        for (examples, paraphrased, augmented) in produced {
+        for produced in produced {
+            let (examples, paraphrased, augmented) = produced?;
             stats.paraphrases += paraphrased;
             stats.augmented += augmented;
             for example in examples {
@@ -432,6 +537,7 @@ impl<'a> DataPipeline<'a> {
             }
         }
         pending.clear();
+        Ok(())
     }
 
     /// Convert a dataset into parser examples under the given NN options.
@@ -445,7 +551,7 @@ impl<'a> DataPipeline<'a> {
             self.config.synthesis.threads,
             &dataset.examples,
             |index, example| {
-                let mut rng = StdRng::seed_from_u64(crate::expansion::per_item_seed(base, index));
+                let mut rng = StdRng::seed_from_u64(item_seed(base, index));
                 self.to_parser_example(example, options, &mut rng)
             },
         )
@@ -539,7 +645,7 @@ mod tests {
     fn pipeline_produces_all_three_sources() {
         let library = Thingpedia::builtin();
         let pipeline = DataPipeline::new(&library, small_config());
-        let data = pipeline.build();
+        let data = pipeline.build().unwrap();
         assert!(!data.synthesized.is_empty());
         assert!(!data.paraphrases.is_empty());
         assert!(!data.augmented.is_empty());
@@ -552,7 +658,7 @@ mod tests {
     fn strategies_select_different_subsets() {
         let library = Thingpedia::builtin();
         let pipeline = DataPipeline::new(&library, small_config());
-        let data = pipeline.build();
+        let data = pipeline.build().unwrap();
         let synthesized = data.for_strategy(TrainingStrategy::SynthesizedOnly);
         let paraphrase = data.for_strategy(TrainingStrategy::ParaphraseOnly);
         let genie = data.for_strategy(TrainingStrategy::Genie);
@@ -562,11 +668,26 @@ mod tests {
     }
 
     #[test]
+    fn hand_assembled_invalid_configs_error_instead_of_panicking() {
+        let library = Thingpedia::builtin();
+        // Struct literals bypass the builders; the entry points re-validate
+        // so an out-of-range error_rate cannot reach `gen_bool` and panic.
+        let mut config = small_config();
+        config.paraphrase.error_rate = 1.5;
+        let pipeline = DataPipeline::new(&library, config);
+        assert!(matches!(pipeline.build(), Err(crate::Error::Config(_))));
+        assert!(matches!(
+            pipeline.run_streaming(NnOptions::default(), |_| {}),
+            Err(crate::Error::Config(_))
+        ));
+    }
+
+    #[test]
     fn parameter_expansion_can_be_disabled() {
         let library = Thingpedia::builtin();
         let mut config = small_config();
         config.parameter_expansion = false;
-        let data = DataPipeline::new(&library, config).build();
+        let data = DataPipeline::new(&library, config).build().unwrap();
         assert!(data.augmented.is_empty());
     }
 
@@ -575,7 +696,9 @@ mod tests {
         let library = Thingpedia::builtin();
         let pipeline = DataPipeline::new(&library, small_config());
         let mut emitted = Vec::new();
-        let stats = pipeline.run_streaming(NnOptions::default(), |e| emitted.push(e));
+        let stats = pipeline
+            .run_streaming(NnOptions::default(), |e| emitted.push(e))
+            .unwrap();
         assert_eq!(stats.emitted, emitted.len());
         assert!(stats.synthesized > 50);
         assert!(stats.paraphrases > 0, "no paraphrases in stream");
@@ -601,9 +724,11 @@ mod tests {
             config.synthesis.batch_size = 16;
             let pipeline = DataPipeline::new(&library, config);
             let mut out = Vec::new();
-            pipeline.run_streaming(NnOptions::default(), |e| {
-                out.push((e.sentence.join(" "), e.program.join(" ")))
-            });
+            pipeline
+                .run_streaming(NnOptions::default(), |e| {
+                    out.push((e.sentence.join(" "), e.program.join(" ")))
+                })
+                .unwrap();
             out
         };
         let sequential = run(1, 1);
@@ -633,7 +758,7 @@ mod tests {
     fn parser_examples_have_aligned_tokens() {
         let library = Thingpedia::builtin();
         let pipeline = DataPipeline::new(&library, small_config());
-        let data = pipeline.build();
+        let data = pipeline.build().unwrap();
         let examples = pipeline.to_parser_examples(&data.synthesized, NnOptions::default());
         assert_eq!(examples.len(), data.synthesized.len());
         for example in examples.iter().take(50) {

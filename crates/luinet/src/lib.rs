@@ -9,7 +9,11 @@
 //!
 //! * it is trained on (sentence tokens, program tokens) pairs and decodes
 //!   programs token by token, conditioned on the input sentence and the
-//!   previously generated tokens ([`model::LuinetParser`]);
+//!   previously generated tokens ([`model::LuinetParser`]); besides the
+//!   greedy decode it offers scored top-k candidates
+//!   ([`model::LuinetParser::predict_topk`]: greedy top-1 plus a
+//!   deterministic length-normalized beam), which is what the
+//!   `genie::engine` serving facade consumes;
 //! * it has a **copy mechanism**: at every step the decoder can either emit
 //!   a token from the program vocabulary or copy a word from the input
 //!   sentence, which is how unquoted free-form parameters are produced;
@@ -35,5 +39,5 @@ pub mod vocab;
 pub use baseline::BaselineParser;
 pub use data::ParserExample;
 pub use lm::ProgramLm;
-pub use model::{LuinetParser, ModelConfig};
+pub use model::{LuinetParser, ModelConfig, ScoredPrediction};
 pub use vocab::Vocab;

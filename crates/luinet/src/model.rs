@@ -44,6 +44,36 @@ impl Default for ModelConfig {
     }
 }
 
+/// One scored candidate program from [`LuinetParser::predict_topk`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredPrediction {
+    /// The decoded program tokens (without the end-of-sequence marker).
+    pub tokens: Vec<String>,
+    /// Length-normalized decoder score (mean per-step score); higher is
+    /// more probable. Comparable only between candidates for the same
+    /// sentence.
+    pub score: f64,
+}
+
+/// One in-flight beam hypothesis of [`LuinetParser::predict_topk`].
+#[derive(Debug, Clone)]
+struct Hypothesis {
+    tokens: Vec<String>,
+    prev1: String,
+    prev2: String,
+    score: f64,
+    steps: usize,
+    finished: bool,
+}
+
+impl Hypothesis {
+    /// Mean per-step score — comparable between hypotheses of different
+    /// lengths, unlike the raw cumulative score.
+    fn normalized(&self) -> f64 {
+        self.score / self.steps.max(1) as f64
+    }
+}
+
 /// The trainable parser.
 pub struct LuinetParser {
     config: ModelConfig,
@@ -261,13 +291,169 @@ impl LuinetParser {
         out
     }
 
+    /// Decode the `k` best-scoring candidate programs for a sentence, most
+    /// probable first.
+    ///
+    /// The top candidate is always the greedy decode — identical to
+    /// [`LuinetParser::predict`] — so serving the best candidate behaves
+    /// exactly like the evaluated parser. Alternatives come from a
+    /// deterministic beam search (beam width = `k`) ranked by
+    /// length-normalized score (mean per-step averaged-weight score, plus
+    /// the pretrained-LM contribution); normalization keeps long
+    /// token-copy runaways from outscoring short finished parses. Ties are
+    /// broken lexicographically on the token sequence, so the ranking is
+    /// reproducible bit for bit across runs and thread counts — the
+    /// property the serving cache depends on.
+    pub fn predict_topk(&self, sentence: &[String], k: usize) -> Vec<ScoredPrediction> {
+        let greedy_tokens = self.predict(sentence);
+        let greedy_score = self.sequence_score(sentence, &greedy_tokens);
+        let mut out = vec![ScoredPrediction {
+            tokens: greedy_tokens,
+            score: greedy_score,
+        }];
+        if k <= 1 {
+            return out;
+        }
+        for hypothesis in self.beam(sentence, k) {
+            if out.len() >= k {
+                break;
+            }
+            if out.iter().any(|p| p.tokens == hypothesis.tokens) {
+                continue;
+            }
+            let score = hypothesis.normalized();
+            out.push(ScoredPrediction {
+                tokens: hypothesis.tokens,
+                score,
+            });
+        }
+        out
+    }
+
+    /// The length-normalized averaged-weight score of a fixed token
+    /// sequence (the score [`LuinetParser::predict_topk`] reports for its
+    /// greedy top candidate).
+    fn sequence_score(&self, sentence: &[String], tokens: &[String]) -> f64 {
+        let mut buckets = Vec::with_capacity(24);
+        let mut prev1 = BOS.to_owned();
+        let mut prev2 = BOS.to_owned();
+        let mut total = 0.0;
+        let mut steps = 0usize;
+        for (position, token) in tokens
+            .iter()
+            .map(String::as_str)
+            .chain(std::iter::once(EOS))
+            .enumerate()
+        {
+            total += self.score(
+                sentence,
+                &prev1,
+                &prev2,
+                position,
+                token,
+                &mut buckets,
+                true,
+            );
+            steps += 1;
+            prev2 = std::mem::replace(&mut prev1, token.to_owned());
+        }
+        total / steps.max(1) as f64
+    }
+
+    /// Deterministic beam search over the decode space; returns the beam
+    /// ranked by length-normalized score.
+    fn beam(&self, sentence: &[String], beam_width: usize) -> Vec<Hypothesis> {
+        let mut buckets = Vec::with_capacity(24);
+        let mut beam: Vec<Hypothesis> = vec![Hypothesis {
+            tokens: Vec::new(),
+            prev1: BOS.to_owned(),
+            prev2: BOS.to_owned(),
+            score: 0.0,
+            steps: 0,
+            finished: false,
+        }];
+        for position in 0..self.config.max_length {
+            if beam.iter().all(|h| h.finished) {
+                break;
+            }
+            let mut next: Vec<Hypothesis> = Vec::with_capacity(beam.len() * 8);
+            for hypothesis in &beam {
+                if hypothesis.finished {
+                    next.push(hypothesis.clone());
+                    continue;
+                }
+                let candidates = self.candidates(sentence, &hypothesis.prev1);
+                for candidate in &candidates {
+                    let step = self.score(
+                        sentence,
+                        &hypothesis.prev1,
+                        &hypothesis.prev2,
+                        position,
+                        candidate,
+                        &mut buckets,
+                        true,
+                    );
+                    let mut extended = hypothesis.clone();
+                    extended.score += step;
+                    extended.steps += 1;
+                    if candidate == EOS {
+                        extended.finished = true;
+                    } else {
+                        extended.prev2 = std::mem::replace(&mut extended.prev1, candidate.clone());
+                        extended.tokens.push(candidate.clone());
+                    }
+                    next.push(extended);
+                }
+            }
+            // Deterministic pruning: normalized score descending, token
+            // sequence as the tie-break (no hash-order or float-equality
+            // ambiguity).
+            next.sort_by(|a, b| {
+                b.normalized()
+                    .partial_cmp(&a.normalized())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.tokens.cmp(&b.tokens))
+            });
+            next.dedup_by(|a, b| a.tokens == b.tokens && a.finished == b.finished);
+            next.truncate(beam_width);
+            beam = next;
+        }
+        beam
+    }
+
     /// Predict programs for many sentences in parallel (used by the
-    /// evaluation harness).
+    /// evaluation harness). Uses all available cores for large batches; see
+    /// [`LuinetParser::predict_batch_with_threads`] for an explicit count.
     pub fn predict_batch(&self, sentences: &[Vec<String>]) -> Vec<Vec<String>> {
         if sentences.len() < 32 {
             return sentences.iter().map(|s| self.predict(s)).collect();
         }
-        genie_parallel::par_map(0, sentences, |_, sentence| self.predict(sentence))
+        self.predict_batch_with_threads(sentences, 0)
+    }
+
+    /// [`LuinetParser::predict_batch`] with an explicit worker count (`0` =
+    /// all cores, `1` = inline). Predictions are a pure function of the
+    /// model and the sentence and [`genie_parallel::par_map`] preserves
+    /// input order, so the output is byte-identical for any thread count.
+    pub fn predict_batch_with_threads(
+        &self,
+        sentences: &[Vec<String>],
+        threads: usize,
+    ) -> Vec<Vec<String>> {
+        genie_parallel::par_map(threads, sentences, |_, sentence| self.predict(sentence))
+    }
+
+    /// Top-`k` scored candidates for many sentences, fanned out over
+    /// `threads` workers with order-preserving, byte-identical output.
+    pub fn predict_topk_batch(
+        &self,
+        sentences: &[Vec<String>],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<ScoredPrediction>> {
+        genie_parallel::par_map(threads, sentences, |_, sentence| {
+            self.predict_topk(sentence, k)
+        })
     }
 
     /// Exact-match accuracy of the parser on a set of examples (token-level
@@ -418,6 +604,65 @@ mod tests {
         assert!(!predicted.iter().any(|t| t == "=>" || t.starts_with('@')));
         assert_eq!(parser.trained_examples(), 0);
         assert!(parser.vocab().is_empty());
+    }
+
+    #[test]
+    fn topk_is_scored_ranked_and_deterministic() {
+        let mut parser = LuinetParser::new(ModelConfig {
+            epochs: 8,
+            seed: 2,
+            ..ModelConfig::default()
+        });
+        parser.train(&training_set());
+        let sentence: Vec<String> = "show me my gmail stuff"
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+        let top = parser.predict_topk(&sentence, 4);
+        assert!(!top.is_empty() && top.len() <= 4);
+        // The top candidate is pinned to the greedy decode; the beam
+        // alternatives after it are ranked by normalized score.
+        assert_eq!(top[0].tokens, parser.predict(&sentence));
+        for pair in top[1..].windows(2) {
+            assert!(pair[0].score >= pair[1].score, "alternatives out of order");
+        }
+        // No duplicate candidates.
+        for (i, a) in top.iter().enumerate() {
+            for b in &top[i + 1..] {
+                assert_ne!(a.tokens, b.tokens, "duplicate candidate");
+            }
+        }
+        // Rerunning the decode gives bit-identical candidates.
+        assert_eq!(top, parser.predict_topk(&sentence, 4));
+        // The top candidate is a plausible program for the sentence.
+        assert!(top[0].tokens.join(" ").contains("@com.gmail.inbox"));
+    }
+
+    #[test]
+    fn topk_batch_is_thread_invariant() {
+        let mut parser = LuinetParser::new(ModelConfig {
+            epochs: 4,
+            ..ModelConfig::default()
+        });
+        parser.train(&training_set());
+        let sentences: Vec<Vec<String>> =
+            training_set().iter().map(|e| e.sentence.clone()).collect();
+        let sequential = parser.predict_topk_batch(&sentences, 3, 1);
+        for threads in [2, 8] {
+            assert_eq!(
+                parser.predict_topk_batch(&sentences, 3, threads),
+                sequential,
+                "top-k batch differs at {threads} threads"
+            );
+        }
+        let greedy = parser.predict_batch_with_threads(&sentences, 1);
+        for threads in [2, 8] {
+            assert_eq!(
+                parser.predict_batch_with_threads(&sentences, threads),
+                greedy,
+                "greedy batch differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

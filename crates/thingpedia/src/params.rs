@@ -398,7 +398,15 @@ impl ParamDatasets {
     /// its name. Entity types map to their own gazette when one exists;
     /// string parameters are routed by name heuristics (titles, messages,
     /// queries, captions, …) and fall back to the free-form text corpus.
-    pub fn for_param(&self, ty: &Type, param_name: &str) -> &ParamDataset {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`thingtalk::Error::MissingResource`] when neither the routed
+    /// dataset nor the `tt:free_form_text` fallback exists in the registry —
+    /// possible only for hand-assembled registries, never for
+    /// [`ParamDatasets::builtin`]. (Historically this path panicked; serving
+    /// converts it into a request error instead.)
+    pub fn for_param(&self, ty: &Type, param_name: &str) -> thingtalk::Result<&ParamDataset> {
         let key = match ty {
             Type::Entity(kind) => {
                 if self.datasets.contains_key(kind.as_str()) {
@@ -466,7 +474,27 @@ impl ParamDatasets {
         self.datasets
             .get(&key)
             .or_else(|| self.datasets.get("tt:free_form_text"))
-            .expect("the free-form text dataset always exists")
+            .ok_or_else(|| {
+                thingtalk::Error::missing_resource(format!(
+                    "parameter dataset `{key}` (and the `tt:free_form_text` fallback)"
+                ))
+            })
+    }
+
+    /// Sample one value for a parameter, falling back to a fixed placeholder
+    /// when no dataset covers it. The infallible convenience over
+    /// [`ParamDatasets::for_param`] used by the simulated runtime and the
+    /// phrase instantiator, whose value generation cannot fail.
+    pub fn sample_for_param<R: Rng + ?Sized>(
+        &self,
+        ty: &Type,
+        param_name: &str,
+        rng: &mut R,
+    ) -> String {
+        match self.for_param(ty, param_name) {
+            Ok(dataset) => dataset.sample(rng).to_owned(),
+            Err(_) => "placeholder".to_owned(),
+        }
     }
 }
 
@@ -969,32 +997,43 @@ mod tests {
         assert_eq!(
             registry
                 .for_param(&Type::Entity("com.spotify:song".into()), "song")
+                .unwrap()
                 .name,
             "com.spotify:song"
         );
         assert_eq!(
-            registry.for_param(&Type::String, "search_query").name,
+            registry
+                .for_param(&Type::String, "search_query")
+                .unwrap()
+                .name,
             "tt:search_query"
         );
         assert_eq!(
-            registry.for_param(&Type::String, "caption").name,
+            registry.for_param(&Type::String, "caption").unwrap().name,
             "tt:caption"
         );
         assert_eq!(
-            registry.for_param(&Type::PathName, "folder_name").name,
+            registry
+                .for_param(&Type::PathName, "folder_name")
+                .unwrap()
+                .name,
             "tt:path_name"
         );
         assert_eq!(
-            registry.for_param(&Type::EmailAddress, "to").name,
+            registry.for_param(&Type::EmailAddress, "to").unwrap().name,
             "tt:email_address"
         );
         assert_eq!(
-            registry.for_param(&Type::String, "mystery_blob").name,
+            registry
+                .for_param(&Type::String, "mystery_blob")
+                .unwrap()
+                .name,
             "tt:free_form_text"
         );
         assert_eq!(
             registry
                 .for_param(&Type::Entity("com.unknown:thing".into()), "thing")
+                .unwrap()
                 .name,
             "tt:generic_entity"
         );

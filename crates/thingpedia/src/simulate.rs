@@ -110,11 +110,7 @@ impl SimulatedDevices {
         });
         match &param.ty {
             Type::String => {
-                let base = self
-                    .datasets
-                    .for_param(&param.ty, &param.name)
-                    .sample(rng)
-                    .to_owned();
+                let base = self.datasets.sample_for_param(&param.ty, &param.name, rng);
                 match (&input_text, rng.gen_bool(0.5)) {
                     (Some(query), true) => Value::String(format!("{base} about {query}")),
                     _ => Value::String(base),
@@ -145,28 +141,17 @@ impl SimulatedDevices {
             Type::Time => Value::Time(rng.gen_range(0..24), rng.gen_range(0..60)),
             Type::Location => Value::Location(LocationValue::Named(
                 self.datasets
-                    .for_param(&Type::Location, &param.name)
-                    .sample(rng)
-                    .to_owned(),
+                    .sample_for_param(&Type::Location, &param.name, rng),
             )),
             Type::Currency => Value::Currency(
                 (rng.gen_range(100..100_000) as f64) / 100.0,
                 "USD".to_owned(),
             ),
             Type::PathName | Type::Url | Type::Picture | Type::EmailAddress | Type::PhoneNumber => {
-                Value::String(
-                    self.datasets
-                        .for_param(&param.ty, &param.name)
-                        .sample(rng)
-                        .to_owned(),
-                )
+                Value::String(self.datasets.sample_for_param(&param.ty, &param.name, rng))
             }
             Type::Entity(kind) => {
-                let text = self
-                    .datasets
-                    .for_param(&param.ty, &param.name)
-                    .sample(rng)
-                    .to_owned();
+                let text = self.datasets.sample_for_param(&param.ty, &param.name, rng);
                 Value::Entity {
                     value: text.clone(),
                     kind: kind.clone(),

@@ -29,6 +29,9 @@ pub enum Error {
     PolicyViolation { message: String },
     /// Invalid unit name or incompatible unit arithmetic.
     Unit { message: String },
+    /// A required resource (e.g. a parameter-value dataset) is absent from a
+    /// registry.
+    MissingResource { resource: String },
 }
 
 impl Error {
@@ -52,6 +55,20 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Construct a policy-violation error with the given message.
+    pub fn policy_violation(message: impl Into<String>) -> Self {
+        Error::PolicyViolation {
+            message: message.into(),
+        }
+    }
+
+    /// Construct a missing-resource error naming the absent resource.
+    pub fn missing_resource(resource: impl Into<String>) -> Self {
+        Error::MissingResource {
+            resource: resource.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -73,6 +90,9 @@ impl fmt::Display for Error {
             Error::Execution { message } => write!(f, "execution error: {message}"),
             Error::PolicyViolation { message } => write!(f, "policy violation: {message}"),
             Error::Unit { message } => write!(f, "invalid unit: {message}"),
+            Error::MissingResource { resource } => {
+                write!(f, "missing resource: {resource}")
+            }
         }
     }
 }

@@ -21,7 +21,16 @@
 use crate::ast::{Action, Predicate, Program, Query, Stream};
 use crate::error::{Error, Result};
 use crate::syntax::parse_program;
+use crate::typecheck::{typecheck, SchemaRegistry};
 use crate::value::Value;
+
+/// Upper bound on the number of NN tokens [`from_tokens`] will decode.
+///
+/// Model output is bounded by the decoder's `max_length`, but the decode
+/// entry points also accept untrusted token sequences (e.g. replayed
+/// requests); the cap turns pathological inputs into an [`Error::Parse`]
+/// instead of unbounded work.
+pub const MAX_DECODE_TOKENS: usize = 1024;
 
 /// Options controlling the token serialization, used by the Table 3
 /// ablation.
@@ -98,9 +107,33 @@ pub fn from_tokens(tokens: &[String]) -> Result<Program> {
     parse_program(&source)
 }
 
+/// Decode NN-syntax tokens and typecheck the result against a schema
+/// registry — the decode path a serving system must run on every model
+/// candidate before trusting it.
+///
+/// # Errors
+///
+/// Returns the decode error if the tokens are not a well-formed program, or
+/// the type error if the decoded program does not typecheck (unknown
+/// function, unknown parameter, type mismatch).
+pub fn from_tokens_checked<R: SchemaRegistry + ?Sized>(
+    registry: &R,
+    tokens: &[String],
+) -> Result<Program> {
+    let program = from_tokens(tokens)?;
+    typecheck(registry, &program)?;
+    Ok(program)
+}
+
 /// The textual surface form reconstructed from NN tokens (useful for
 /// debugging model output).
 pub fn tokens_to_source(tokens: &[String]) -> Result<String> {
+    if tokens.len() > MAX_DECODE_TOKENS {
+        return Err(Error::parse(format!(
+            "token sequence of length {} exceeds the decode limit of {MAX_DECODE_TOKENS}",
+            tokens.len()
+        )));
+    }
     let mut pieces: Vec<String> = Vec::new();
     let mut in_string = false;
     let mut string_words: Vec<String> = Vec::new();
@@ -506,6 +539,44 @@ mod tests {
             &parse_program("now => @com.gmail.inbox() => notify").unwrap(),
             NnSyntaxOptions::default()
         )));
+    }
+
+    #[test]
+    fn oversized_token_sequences_are_rejected_not_decoded() {
+        let tokens: Vec<String> = vec!["now".to_owned(); MAX_DECODE_TOKENS + 1];
+        let error = from_tokens(&tokens).unwrap_err();
+        assert!(error.to_string().contains("decode limit"));
+    }
+
+    #[test]
+    fn checked_decode_runs_the_typechecker() {
+        use crate::class::{ClassDef, FunctionDef, FunctionKind, ParamDef, ParamDirection};
+        use crate::typecheck::MapRegistry;
+        use crate::types::Type;
+
+        let mut registry = MapRegistry::new();
+        registry.add_class(ClassDef::new("com.twitter").with_function(FunctionDef::new(
+            "post",
+            FunctionKind::Action,
+            vec![ParamDef::new("status", Type::String, ParamDirection::InReq)],
+        )));
+        let ok = parse_program("now => @com.twitter.post(status = \"hi\")").unwrap();
+        let tokens = to_tokens(&ok, NnSyntaxOptions::default());
+        assert!(from_tokens_checked(&registry, &tokens).is_ok());
+
+        // Well-formed but unknown function: decodes, fails the typecheck.
+        let unknown = parse_program("now => @com.gmail.inbox() => notify").unwrap();
+        let tokens = to_tokens(&unknown, NnSyntaxOptions::default());
+        assert!(matches!(
+            from_tokens_checked(&registry, &tokens),
+            Err(Error::UnknownFunction { .. })
+        ));
+
+        // Malformed token soup: fails the decode before the typecheck.
+        assert!(matches!(
+            from_tokens_checked(&registry, &["=>".to_owned(), "(".to_owned()]),
+            Err(Error::Parse { .. })
+        ));
     }
 
     #[test]

@@ -54,11 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = Thingpedia::builtin();
     let generator = SentenceGenerator::new(
         &library,
-        GeneratorConfig {
-            target_per_rule: 30,
-            max_depth: 3,
-            ..GeneratorConfig::default()
-        },
+        GeneratorConfig::builder()
+            .target_per_rule(30)
+            .max_depth(3)
+            .build()
+            .expect("valid synthesis config"),
     );
     let synthesized = generator.synthesize_policies();
     println!(

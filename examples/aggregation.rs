@@ -50,11 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // templates and collected 2,421 paraphrases for this extension).
     let generator = SentenceGenerator::new(
         &library,
-        GeneratorConfig {
-            target_per_rule: 40,
-            include_aggregation: true,
-            ..GeneratorConfig::default()
-        },
+        GeneratorConfig::builder()
+            .target_per_rule(40)
+            .include_aggregation(true)
+            .build()
+            .expect("valid synthesis config"),
     );
     let aggregation_examples: Vec<_> = generator
         .synthesize()

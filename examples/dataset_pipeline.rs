@@ -10,20 +10,16 @@ use genie::pipeline::{DataPipeline, PipelineConfig};
 use genie_templates::GeneratorConfig;
 use thingpedia::Thingpedia;
 
-fn main() {
+fn main() -> genie::GenieResult<()> {
     let library = Thingpedia::builtin();
     let pipeline = DataPipeline::new(
         &library,
-        PipelineConfig {
-            synthesis: GeneratorConfig {
-                target_per_rule: 80,
-                ..GeneratorConfig::default()
-            },
-            paraphrase_sample: 300,
-            ..PipelineConfig::default()
-        },
+        PipelineConfig::builder()
+            .synthesis(GeneratorConfig::builder().target_per_rule(80).build()?)
+            .paraphrase_sample(300)
+            .build()?,
     );
-    let data = pipeline.build();
+    let data = pipeline.build()?;
 
     println!("Synthesized sentences: {}", data.synthesized.len());
     println!("Simulated paraphrases: {}", data.paraphrases.len());
@@ -83,4 +79,5 @@ fn main() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    Ok(())
 }

@@ -53,16 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nBuilding a small training set and training the parser (about a minute)...");
     let pipeline = DataPipeline::new(
         &library,
-        PipelineConfig {
-            synthesis: GeneratorConfig {
-                target_per_rule: 60,
-                ..GeneratorConfig::default()
-            },
-            paraphrase_sample: 200,
-            ..PipelineConfig::default()
-        },
+        PipelineConfig::builder()
+            .synthesis(
+                GeneratorConfig::builder()
+                    .target_per_rule(60)
+                    .build()
+                    .expect("valid synthesis config"),
+            )
+            .paraphrase_sample(200)
+            .build()
+            .expect("valid pipeline config"),
     );
-    let data = pipeline.build();
+    let data = pipeline.build().expect("the builtin pipeline cannot fail");
     println!(
         "Training set: {} synthesized + {} paraphrases + {} augmented sentences",
         data.synthesized.len(),
@@ -84,5 +86,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Describer::new(&library).describe(&predicted)
         );
     }
+
+    // Serve the trained parser behind the thread-safe engine facade: every
+    // answer is decoded, typechecked and policy-checked, and malformed
+    // requests come back as typed errors instead of panics.
+    let engine = genie::GenieEngine::builder()
+        .thingpedia(library.clone())
+        .model(parser)
+        .build()?;
+    match engine.parse(&genie::ParseRequest::new(command)) {
+        Ok(response) => println!(
+            "\nServed via GenieEngine: {} candidate(s); best: {}",
+            response.candidates.len(),
+            response.best().source
+        ),
+        Err(error) => println!("\nServed via GenieEngine: no parse ({error})"),
+    }
+    assert!(engine.parse(&genie::ParseRequest::new("")).is_err());
     Ok(())
 }

@@ -60,10 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthesize some Spotify training sentences.
     let generator = SentenceGenerator::new(
         &library,
-        GeneratorConfig {
-            target_per_rule: 40,
-            ..GeneratorConfig::default()
-        },
+        GeneratorConfig::builder()
+            .target_per_rule(40)
+            .build()
+            .expect("valid synthesis config"),
     );
     let spotify_examples: Vec<_> = generator
         .synthesize()

@@ -103,7 +103,7 @@ fn pipeline_output_is_thread_count_invariant() {
                 ..PipelineConfig::default()
             },
         );
-        let data = pipeline.build();
+        let data = pipeline.build().unwrap();
         let examples = pipeline.to_parser_examples(&data.combined(), NnOptions::default());
         examples
             .into_iter()
@@ -137,9 +137,11 @@ fn fused_streaming_pipeline_matches_the_ci_matrix() {
             },
         );
         let mut out = Vec::new();
-        pipeline.run_streaming(NnOptions::default(), |e| {
-            out.push((e.sentence.join(" "), e.program.join(" ")))
-        });
+        pipeline
+            .run_streaming(NnOptions::default(), |e| {
+                out.push((e.sentence.join(" "), e.program.join(" ")))
+            })
+            .unwrap();
         out
     };
     let reference = run(1, 1);

@@ -99,7 +99,7 @@ fn synthesized_programs_execute_on_the_simulated_runtime() {
 fn trained_parser_translates_held_out_paraphrases() {
     let library = Thingpedia::builtin();
     let pipeline = DataPipeline::new(&library, small_pipeline_config(7));
-    let data = pipeline.build();
+    let data = pipeline.build().unwrap();
     let train = pipeline.to_parser_examples(&data.combined(), NnOptions::default());
     assert!(train.len() > 200);
 
@@ -148,7 +148,7 @@ fn trained_parser_translates_held_out_paraphrases() {
 fn predicted_programs_are_mostly_executable() {
     let library = Thingpedia::builtin();
     let pipeline = DataPipeline::new(&library, small_pipeline_config(11));
-    let data = pipeline.build();
+    let data = pipeline.build().unwrap();
     let train = pipeline.to_parser_examples(&data.combined(), NnOptions::default());
     let mut parser = LuinetParser::new(ModelConfig {
         epochs: 2,

@@ -16,7 +16,7 @@ fn tiny() -> ExperimentScale {
 #[test]
 fn fig7_dataset_characteristics_run() {
     let library = Thingpedia::builtin();
-    let stats = dataset_characteristics(&library, tiny());
+    let stats = dataset_characteristics(&library, tiny()).unwrap();
     assert!(stats.total_sentences > 100);
     // Every Fig. 7 bucket is represented.
     assert!(stats.composition.primitive > 0);
@@ -33,7 +33,7 @@ fn fig8_training_strategies_run_and_genie_wins_on_realistic_data() {
     scale.target_per_rule = 20;
     scale.paraphrase_sample = 80;
     scale.epochs = 2;
-    let rows = training_strategies(&library, scale);
+    let rows = training_strategies(&library, scale).unwrap();
     assert_eq!(rows.len(), 3);
     let genie = rows.iter().find(|r| r.strategy == "Genie").unwrap();
     let paraphrase_only = rows
@@ -65,7 +65,7 @@ fn fig8_training_strategies_run_and_genie_wins_on_realistic_data() {
 #[test]
 fn table3_ablation_runs_with_all_rows() {
     let library = Thingpedia::builtin();
-    let rows = ablation(&library, tiny());
+    let rows = ablation(&library, tiny()).unwrap();
     assert_eq!(rows.len(), 6);
     let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
     assert!(names.contains(&"Genie"));
@@ -78,7 +78,7 @@ fn table3_ablation_runs_with_all_rows() {
 
 #[test]
 fn fig9_case_studies_run() {
-    let rows = case_studies(tiny());
+    let rows = case_studies(tiny()).unwrap();
     assert_eq!(rows.len(), 3);
     let labels: Vec<&str> = rows.iter().map(|r| r.case_study.as_str()).collect();
     assert_eq!(labels, vec!["Spotify", "TACL", "TT+A"]);
@@ -93,7 +93,7 @@ fn error_analysis_metrics_are_ordered() {
     let library = Thingpedia::builtin();
     let mut scale = tiny();
     scale.target_per_rule = 15;
-    let result = error_analysis(&library, scale);
+    let result = error_analysis(&library, scale).unwrap();
     assert!(result.count > 0);
     // Structural containments that must hold by definition.
     assert!(result.syntax_correct >= result.type_correct - 1e-9);

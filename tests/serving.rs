@@ -1,0 +1,250 @@
+//! Integration tests for the serving redesign: the fallible public API
+//! surface end to end — builder validation, malformed-input decoding,
+//! typecheck rejection, and the `GenieEngine` facade's determinism
+//! guarantees across thread counts.
+
+use std::sync::OnceLock;
+
+use genie::engine::{GenieEngine, ParseRequest};
+use genie::paraphrase::ParaphraseConfig;
+use genie::pipeline::PipelineConfig;
+use genie::{Error, GenieResult, ParseResponse};
+use genie_templates::GeneratorConfig;
+use luinet::ModelConfig;
+use thingpedia::Thingpedia;
+use thingtalk::nn_syntax::{from_tokens, from_tokens_checked};
+
+// ---------------------------------------------------------------------------
+// Builder validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builders_reject_bad_configs_across_all_layers() {
+    // Synthesis: zero target, zero/huge depth, huge shard count.
+    assert!(GeneratorConfig::builder()
+        .target_per_rule(0)
+        .build()
+        .is_err());
+    assert!(GeneratorConfig::builder().max_depth(0).build().is_err());
+    assert!(GeneratorConfig::builder().max_depth(100).build().is_err());
+    assert!(GeneratorConfig::builder().shards(1 << 20).build().is_err());
+
+    // Paraphrase: a probability outside [0, 1] would panic inside the
+    // worker simulation without validation.
+    assert!(ParaphraseConfig::builder().error_rate(1.5).build().is_err());
+    assert!(ParaphraseConfig::builder()
+        .error_rate(-0.1)
+        .build()
+        .is_err());
+    assert!(ParaphraseConfig::builder()
+        .error_rate(f64::NAN)
+        .build()
+        .is_err());
+
+    // Pipeline: nested configs are re-validated at assembly.
+    let bad_synthesis = GeneratorConfig {
+        max_depth: 0,
+        ..GeneratorConfig::default()
+    };
+    assert!(PipelineConfig::builder()
+        .synthesis(bad_synthesis)
+        .build()
+        .is_err());
+
+    // The errors convert into the unified genie::Error.
+    let error: Error = GeneratorConfig::builder()
+        .max_depth(0)
+        .build()
+        .unwrap_err()
+        .into();
+    assert!(matches!(error, Error::Config(_)));
+    assert!(error.to_string().contains("max_depth"));
+}
+
+// ---------------------------------------------------------------------------
+// Malformed NN-syntax decode and typecheck rejection
+// ---------------------------------------------------------------------------
+
+fn tokens(text: &str) -> Vec<String> {
+    text.split_whitespace().map(str::to_owned).collect()
+}
+
+#[test]
+fn malformed_nn_syntax_decodes_to_errors_not_panics() {
+    let malformed = [
+        "",                            // empty
+        "now =>",                      // truncated
+        "\" dangling",                 // unterminated quoted span
+        "=> => =>",                    // connective soup
+        "now => ( ( ( => notify",      // unbalanced parens
+        "unit:F 60",                   // unit before its number
+        "now => @ ( ) => notify",      // bare @
+        "^^com.spotify:song \" hi \"", // entity type before its string
+        "param:status = \" hi",        // param without invocation
+    ];
+    for case in malformed {
+        assert!(
+            from_tokens(&tokens(case)).is_err(),
+            "`{case}` unexpectedly decoded"
+        );
+    }
+}
+
+#[test]
+fn typecheck_rejected_candidates_surface_the_type_error() {
+    let library = Thingpedia::builtin();
+    // Well-formed program over a function the library does not declare.
+    let unknown = tokens("now => @com.nonexistent.query ( ) => notify");
+    assert!(from_tokens(&unknown).is_ok(), "decode should succeed");
+    assert!(matches!(
+        from_tokens_checked(&library, &unknown),
+        Err(thingtalk::Error::UnknownFunction { .. })
+    ));
+    // Known function, unknown parameter.
+    let bad_param = tokens("now => @com.twitter.post ( param:no_such_param = \" hi \" )");
+    assert!(matches!(
+        from_tokens_checked(&library, &bad_param),
+        Err(thingtalk::Error::UnknownParameter { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism across thread counts
+// ---------------------------------------------------------------------------
+
+/// One trained engine for the whole file (training dominates the runtime),
+/// plus a training utterance the engine demonstrably answers.
+fn engine() -> &'static (GenieEngine, String) {
+    static ENGINE: OnceLock<(GenieEngine, String)> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let pipeline = PipelineConfig::builder()
+            .synthesis(
+                GeneratorConfig::builder()
+                    .target_per_rule(10)
+                    .instantiations_per_template(1)
+                    .seed(9)
+                    .quiet(true)
+                    .build()
+                    .unwrap(),
+            )
+            .paraphrase(
+                ParaphraseConfig::builder()
+                    .per_sentence(1)
+                    .error_rate(0.0)
+                    .seed(9)
+                    .build()
+                    .unwrap(),
+            )
+            .paraphrase_sample(20)
+            .parameter_expansion(false)
+            .seed(9)
+            .build()
+            .unwrap();
+        let engine = GenieEngine::builder()
+            .train(
+                pipeline,
+                ModelConfig {
+                    epochs: 5,
+                    seed: 9,
+                    ..ModelConfig::default()
+                },
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let library = Thingpedia::builtin();
+        let data = genie::DataPipeline::new(&library, pipeline)
+            .build()
+            .unwrap();
+        let utterance = data
+            .synthesized
+            .examples
+            .iter()
+            .take(30)
+            .map(|e| e.utterance.clone())
+            .find(|u| {
+                engine
+                    .parse(&ParseRequest::new(u.clone()).bypass_cache())
+                    .is_ok()
+            })
+            .expect("the engine answers none of its own training utterances");
+        engine.clear_cache();
+        (engine, utterance)
+    })
+}
+
+fn render(results: Vec<GenieResult<ParseResponse>>) -> Vec<String> {
+    results
+        .into_iter()
+        .map(|result| match result {
+            Ok(response) => format!(
+                "ok {} | {}",
+                response.sentence.join(" "),
+                response
+                    .candidates
+                    .iter()
+                    .map(|c| format!("{} ~ {}", c.tokens.join(" "), c.source))
+                    .collect::<Vec<_>>()
+                    .join(" ; ")
+            ),
+            Err(error) => format!("err {error}"),
+        })
+        .collect()
+}
+
+#[test]
+fn engine_cache_and_batches_are_deterministic_across_thread_counts() {
+    let (base, known) = engine();
+    // A mixed workload: a known-parseable command (repeated, so the warm
+    // pass hits the cache), other commands, and garbage.
+    let utterances = [
+        known.as_str(),
+        "tweet deadline extended",
+        known.as_str(),
+        "",
+        "show me my emails",
+        "xyzzy plugh",
+    ];
+    let requests: Vec<ParseRequest> = utterances.iter().map(|u| ParseRequest::new(*u)).collect();
+    let mut baseline: Option<Vec<String>> = None;
+    for threads in [1usize, 2, 8] {
+        // Fresh engine (own cache and counters) per worker count, sharing
+        // the trained model.
+        let engine = GenieEngine::builder()
+            .model_shared(base.model())
+            .threads(threads)
+            .build()
+            .unwrap();
+        let rendered = render(engine.parse_batch(&requests));
+        // A second pass is served (partly) from the cache and must agree
+        // bit for bit with the cold pass.
+        let warm = render(engine.parse_batch(&requests));
+        assert_eq!(rendered, warm, "warm pass differs at {threads} threads");
+        assert!(
+            engine.stats().cache_hits > 0,
+            "no cache hits at {threads} threads"
+        );
+        match &baseline {
+            None => baseline = Some(rendered),
+            Some(expected) => {
+                assert_eq!(&rendered, expected, "batch differs at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_errors_are_typed_end_to_end() {
+    let (base, _) = engine();
+    match base.parse(&ParseRequest::new("")) {
+        Err(Error::EmptyUtterance) => {}
+        other => panic!("expected EmptyUtterance, got {other:?}"),
+    }
+    let flood = "word ".repeat(500);
+    match base.parse(&ParseRequest::new(flood)) {
+        Err(Error::UtteranceTooLong { tokens, limit }) => {
+            assert!(tokens > limit);
+        }
+        other => panic!("expected UtteranceTooLong, got {other:?}"),
+    }
+}
