@@ -53,7 +53,7 @@ fn bench_decoding(c: &mut Criterion) {
         ..ModelConfig::default()
     });
     parser.train(&examples);
-    let sentences: Vec<Vec<String>> = examples
+    let sentences: Vec<genie_nlp::TokenStream> = examples
         .iter()
         .take(50)
         .map(|e| e.sentence.clone())
@@ -82,7 +82,7 @@ fn bench_baseline(c: &mut Criterion) {
     let examples = training_data(&library);
     let mut baseline = BaselineParser::new();
     baseline.train(&examples);
-    let sentences: Vec<Vec<String>> = examples
+    let sentences: Vec<genie_nlp::TokenStream> = examples
         .iter()
         .take(20)
         .map(|e| e.sentence.clone())

@@ -45,7 +45,7 @@ fn bench_parameter_expansion(c: &mut Criterion) {
 }
 
 fn bench_ppdb_augmentation(c: &mut Criterion) {
-    let ppdb = Ppdb::builtin();
+    let ppdb = Ppdb::builtin().compile(genie_templates::intern::shared());
     let example = sample_example();
     c.bench_function("ppdb_augmentation_5x", |b| {
         b.iter(|| {

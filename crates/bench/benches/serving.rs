@@ -105,7 +105,7 @@ fn workload(requests: usize, target_per_rule: usize) -> Vec<ParseRequest> {
     pipeline
         .run_streaming(genie::NnOptions::default(), |example| {
             if commands.len() < 64 {
-                commands.push(example.sentence.join(" "));
+                commands.push(example.sentence_text());
             }
         })
         .expect("builtin pipeline streams");

@@ -59,12 +59,13 @@ fn main() -> genie::GenieResult<()> {
     });
     let mut hasher = Fnv64::new();
     let mut count = 0usize;
+    // One reused render buffer; the row bytes come from the same
+    // `render_tsv_row` the sharded writers use, so the digest is the digest
+    // of the written files by construction.
+    let mut line = String::new();
     let stats = pipeline.run_streaming(NnOptions::default(), |example| {
-        let line = format!(
-            "{}\t{}\n",
-            example.sentence.join(" "),
-            example.program.join(" ")
-        );
+        line.clear();
+        example.render_tsv_row(&mut line);
         hasher.write(line.as_bytes());
         count += 1;
         if let Some(writer) = writer.as_mut() {

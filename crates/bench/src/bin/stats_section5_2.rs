@@ -101,8 +101,9 @@ fn main() -> genie::GenieResult<()> {
     let mut bigram_rates = Vec::new();
     for example in data.synthesized.examples.iter().take(500) {
         for paraphrase in simulator.paraphrase(example, &mut rng) {
-            let original = genie_nlp::tokenize(&example.utterance);
-            let rewritten = genie_nlp::tokenize(&paraphrase.utterance);
+            let interner = genie_templates::intern::shared();
+            let original = interner.tokenized(&example.utterance);
+            let rewritten = interner.tokenized(&paraphrase.utterance);
             word_rates.push(new_word_rate(&original, &rewritten));
             bigram_rates.push(new_bigram_rate(&original, &rewritten));
         }

@@ -1,0 +1,991 @@
+//! String interning and token-stream utterances.
+//!
+//! The synthesis hot path used to build every utterance as a fresh `String`
+//! (`format!` chains in the construct rules, `replace` scans over rendered
+//! text, re-hashing of rendered bytes for dedup, and a render → re-tokenize
+//! round trip before training). This module provides the allocation-free
+//! representation the pipeline now uses end-to-end:
+//!
+//! * [`Symbol`] — a 32-bit id naming one whitespace-delimited text fragment;
+//! * [`TokenStream`] — an inline-small sequence of symbols (the utterance
+//!   representation; rendering joins fragments with single spaces);
+//! * [`Interner`] — the append-only arena mapping symbols ↔ fragments, with
+//!   **lock-free resolve** (chunked, pointer-stable storage) and a cached
+//!   per-symbol tokenizer expansion so sentences are never re-tokenized;
+//! * [`LocalInterner`] — a per-worker overlay for parallel producers, whose
+//!   pending fragments are merged into the global arena **in canonical
+//!   stream order** ([`Interner::commit`]), making symbol assignment
+//!   deterministic and independent of the worker count.
+//!
+//! # Determinism contract
+//!
+//! Global symbols are assigned in the order fragments are first interned on
+//! the committing (sink) thread. Parallel workers never assign global ids:
+//! they intern misses into a [`LocalInterner`], tag them with
+//! [`Symbol::LOCAL_BIT`], and ship the pending list to the sink, which
+//! commits batches in canonical order and remaps the tagged symbols. A
+//! fresh, identically pre-seeded interner therefore assigns identical
+//! symbols for any worker count — `genie-templates` has the test matrix.
+//!
+//! # Ownership rules
+//!
+//! A [`TokenStream`] is only meaningful together with the [`Interner`] that
+//! produced it. Components default to one shared process-wide arena (see
+//! `genie_templates::intern::shared`); tests that need id-level determinism
+//! construct fresh arenas and thread them through explicitly.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Symbols per storage chunk (must be a power of two).
+const CHUNK: usize = 1 << 12;
+/// Maximum number of chunks; caps the arena at `CHUNK * MAX_CHUNKS` symbols.
+const MAX_CHUNKS: usize = 256;
+
+/// An interned text fragment (one whitespace-delimited word of an
+/// utterance). Copy-sized: 4 bytes.
+///
+/// The high bit distinguishes *local* symbols (assigned by a
+/// [`LocalInterner`] inside a parallel worker, meaningless outside it) from
+/// *global* symbols (assigned by the [`Interner`], stable for its lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Tag bit marking worker-local symbols awaiting [`Interner::commit`].
+    pub const LOCAL_BIT: u32 = 1 << 31;
+
+    /// Reconstruct a symbol from its raw id.
+    #[inline]
+    pub const fn from_raw(raw: u32) -> Self {
+        Symbol(raw)
+    }
+
+    /// The raw id (including the local tag bit, when set).
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this symbol is a worker-local id that still needs remapping.
+    #[inline]
+    pub const fn is_local(self) -> bool {
+        self.0 & Self::LOCAL_BIT != 0
+    }
+
+    /// The index into the local pending list (local symbols only).
+    #[inline]
+    const fn local_index(self) -> usize {
+        (self.0 & !Self::LOCAL_BIT) as usize
+    }
+}
+
+/// FNV-1a, used for the lookup maps so interning costs no sip-hash setup
+/// and behaves identically on every platform.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut state = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &byte in bytes {
+            state ^= byte as u64;
+            state = state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = state;
+    }
+}
+
+/// `BuildHasher` for FNV-keyed maps.
+pub type FnvState = BuildHasherDefault<FnvHasher>;
+
+/// The cached tokenizer expansion of a fragment: what
+/// [`crate::tokenize`] would produce for it as a whitespace word.
+enum Expansion {
+    /// The fragment is already a single clean token (the common case for
+    /// synthesized text): its expansion is itself.
+    Identity,
+    /// The fragment lowercases and/or splits into these tokens.
+    Tokens(Box<[Symbol]>),
+}
+
+struct Slot {
+    text: Arc<str>,
+    expansion: Expansion,
+}
+
+type Chunk = [OnceLock<Slot>; CHUNK];
+
+/// The append-only, thread-safe symbol arena.
+///
+/// * `resolve` is **lock-free**: slots live in pointer-stable chunks and are
+///   published through `OnceLock`, so readers never contend with writers.
+/// * `intern`/`commit` serialize through one lookup map; misses are rare
+///   once the arena is pre-seeded with the synthesis vocabulary.
+pub struct Interner {
+    chunks: [OnceLock<Box<Chunk>>; MAX_CHUNKS],
+    lookup: RwLock<HashMap<Arc<str>, u32, FnvState>>,
+    len: AtomicU32,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide shared arena. Components that exchange
+/// [`TokenStream`]s across crate boundaries (the pipeline, LUInet, the
+/// dataset writers) default to this instance; `genie-templates` pre-seeds
+/// it with the synthesis vocabulary on first use. Symbol *values* in the
+/// shared arena depend on process history — only resolved text and symbol
+/// equality ever reach outputs, so that is sound; tests that assert on id
+/// assignment construct fresh arenas instead.
+pub fn shared() -> &'static Arc<Interner> {
+    static SHARED: OnceLock<Arc<Interner>> = OnceLock::new();
+    SHARED.get_or_init(|| Arc::new(Interner::new()))
+}
+
+impl Interner {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Interner {
+            chunks: [const { OnceLock::new() }; MAX_CHUNKS],
+            lookup: RwLock::new(HashMap::default()),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of interned fragments.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+
+    /// Whether no fragment has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up an already-interned fragment.
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        self.lookup
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(text)
+            .map(|&id| Symbol(id))
+    }
+
+    /// Intern a fragment, assigning the next id on first sight.
+    ///
+    /// Only call this from the canonical (sink) thread or in single-threaded
+    /// contexts; parallel workers go through a [`LocalInterner`] so that id
+    /// assignment stays deterministic.
+    pub fn intern(&self, text: &str) -> Symbol {
+        if let Some(symbol) = self.get(text) {
+            return symbol;
+        }
+        let mut map = self.lookup.write().unwrap_or_else(|e| e.into_inner());
+        Symbol(self.insert_locked(&mut map, text))
+    }
+
+    /// Maximum number of symbols the arena can hold.
+    pub const CAPACITY: usize = CHUNK * MAX_CHUNKS;
+
+    /// How many more symbols fit before the arena is full.
+    pub fn remaining_capacity(&self) -> usize {
+        Self::CAPACITY - self.len()
+    }
+
+    fn insert_locked(&self, map: &mut HashMap<Arc<str>, u32, FnvState>, text: &str) -> u32 {
+        if let Some(&id) = map.get(text) {
+            return id;
+        }
+        // Compute the tokenizer expansion first: its sub-tokens are distinct
+        // fragments (lowercased / punctuation-split), interned before the
+        // parent so the parent's slot can reference published symbols.
+        let mut pieces = Vec::new();
+        crate::tokenize::split_token(text, &mut pieces);
+        let expansion = if pieces.len() == 1 && pieces[0] == text {
+            Expansion::Identity
+        } else {
+            let symbols: Vec<Symbol> = pieces
+                .iter()
+                .map(|piece| Symbol(self.insert_locked(map, piece)))
+                .collect();
+            Expansion::Tokens(symbols.into_boxed_slice())
+        };
+
+        let id = self.len.load(Ordering::Acquire);
+        // This fires before any state is mutated, so even under the
+        // poison-tolerant locks a capacity panic leaves the arena
+        // consistent. Servable inputs go through [`Interner::try_commit`],
+        // which refuses gracefully instead.
+        assert!(
+            (id as usize) < Self::CAPACITY,
+            "interner capacity exceeded ({} symbols)",
+            Self::CAPACITY
+        );
+        let arc: Arc<str> = Arc::from(text);
+        let chunk = self.chunks[id as usize / CHUNK]
+            .get_or_init(|| Box::new([const { OnceLock::new() }; CHUNK]));
+        chunk[id as usize % CHUNK]
+            .set(Slot {
+                text: arc.clone(),
+                expansion,
+            })
+            .unwrap_or_else(|_| unreachable!("slot {id} published twice"));
+        self.len.store(id + 1, Ordering::Release);
+        map.insert(arc, id);
+        id
+    }
+
+    /// The text of a global symbol. Lock-free.
+    ///
+    /// # Panics
+    /// On local (uncommitted) symbols and ids from another arena.
+    #[inline]
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        debug_assert!(!symbol.is_local(), "resolving uncommitted local symbol");
+        &self.slot(symbol).text
+    }
+
+    #[inline]
+    fn slot(&self, symbol: Symbol) -> &Slot {
+        let id = symbol.0 as usize;
+        self.chunks[id / CHUNK]
+            .get()
+            .and_then(|chunk| chunk[id % CHUNK].get())
+            .expect("symbol from another arena or not yet committed")
+    }
+
+    /// Append the tokenizer expansion of a global symbol to `out`: exactly
+    /// the tokens [`fn@crate::tokenize`] produces for this fragment, from the
+    /// cache — no re-tokenization.
+    #[inline]
+    pub fn push_tokenized(&self, symbol: Symbol, out: &mut TokenStream) {
+        match &self.slot(symbol).expansion {
+            Expansion::Identity => out.push(symbol),
+            Expansion::Tokens(tokens) => out.extend_from_slice(tokens),
+        }
+    }
+
+    /// The tokenizer expansion of a whole raw stream — the interned
+    /// counterpart of `tokenize(render(stream))`.
+    pub fn tokenized(&self, raw: &[Symbol]) -> TokenStream {
+        let mut out = TokenStream::new();
+        for &symbol in raw {
+            self.push_tokenized(symbol, &mut out);
+        }
+        out
+    }
+
+    /// Intern every whitespace-separated fragment of `text` into `out`.
+    pub fn intern_words(&self, text: &str, out: &mut TokenStream) {
+        for word in text.split_whitespace() {
+            out.push(self.intern(word));
+        }
+    }
+
+    /// Tokenize external text straight into a global interned stream — the
+    /// interning counterpart of [`fn@crate::tokenize`] for single-threaded
+    /// contexts (parallel producers use
+    /// [`crate::tokenize::tokenize_into`] with a [`LocalInterner`]).
+    pub fn tokenize_text(&self, sentence: &str) -> TokenStream {
+        let mut out = TokenStream::new();
+        let mut pieces = Vec::new();
+        for raw in sentence.split_whitespace() {
+            pieces.clear();
+            crate::tokenize::split_token(raw, &mut pieces);
+            for piece in &pieces {
+                out.push(self.intern(piece));
+            }
+        }
+        out
+    }
+
+    /// [`Interner::intern_words`] into a fresh stream.
+    pub fn stream_of(&self, text: &str) -> TokenStream {
+        let mut out = TokenStream::new();
+        self.intern_words(text, &mut out);
+        out
+    }
+
+    /// Render a stream by joining fragments with single spaces into a
+    /// reusable buffer (cleared first). This is the single place utterances
+    /// become text again — at TSV-write time or for human-facing output.
+    pub fn render_into(&self, stream: &[Symbol], buf: &mut String) {
+        buf.clear();
+        for (i, &symbol) in stream.iter().enumerate() {
+            if i > 0 {
+                buf.push(' ');
+            }
+            buf.push_str(self.resolve(symbol));
+        }
+    }
+
+    /// [`Interner::render_into`] allocating a fresh `String`.
+    pub fn render(&self, stream: &[Symbol]) -> String {
+        let mut buf = String::new();
+        self.render_into(stream, &mut buf);
+        buf
+    }
+
+    /// Merge a worker's pending fragments into the arena, in pending order,
+    /// and return the local → global remap table. Call from the canonical
+    /// sink, in stream order, so global ids are worker-count-invariant.
+    pub fn commit(&self, pending: &PendingSymbols) -> Remap {
+        if pending.fragments.is_empty() {
+            return Remap(Vec::new());
+        }
+        let mut map = self.lookup.write().unwrap_or_else(|e| e.into_inner());
+        Remap(
+            pending
+                .fragments
+                .iter()
+                .map(|fragment| self.insert_locked(&mut map, fragment))
+                .collect(),
+        )
+    }
+
+    /// [`Interner::commit`] that refuses (returning `None`, committing
+    /// nothing) when the pending fragments might not fit — the panic-free
+    /// entry point for untrusted input (the serving facade uses it so a
+    /// vocabulary-exhaustion attack degrades to a typed error instead of a
+    /// capacity panic). The check happens under the write lock, so
+    /// concurrent committers cannot race past it.
+    pub fn try_commit(&self, pending: &PendingSymbols) -> Option<Remap> {
+        if pending.fragments.is_empty() {
+            return Some(Remap(Vec::new()));
+        }
+        let mut map = self.lookup.write().unwrap_or_else(|e| e.into_inner());
+        // Worst case every pending fragment expands into itself plus a few
+        // tokenizer sub-fragments; 4x is a safe over-estimate.
+        if pending.fragments.len().saturating_mul(4) > Self::CAPACITY - self.len() {
+            return None;
+        }
+        Some(Remap(
+            pending
+                .fragments
+                .iter()
+                .map(|fragment| self.insert_locked(&mut map, fragment))
+                .collect(),
+        ))
+    }
+}
+
+/// The local → global id table produced by [`Interner::commit`].
+pub struct Remap(Vec<u32>);
+
+impl Remap {
+    /// Whether the batch had no pending fragments (nothing to rewrite).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Rewrite any local symbols in `stream` to their global ids.
+    #[inline]
+    pub fn apply(&self, stream: &mut TokenStream) {
+        if self.0.is_empty() {
+            return;
+        }
+        for symbol in stream.as_mut_slice() {
+            if symbol.is_local() {
+                *symbol = Symbol(self.0[symbol.local_index()]);
+            }
+        }
+    }
+}
+
+/// The pending fragment list a worker ships to the sink for ordered commit.
+#[derive(Default)]
+pub struct PendingSymbols {
+    fragments: Vec<Arc<str>>,
+}
+
+impl PendingSymbols {
+    /// Whether the worker interned any fragment the global arena lacked.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// Number of pending fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+}
+
+/// A per-worker interning overlay: resolves against the global arena
+/// read-only and parks unseen fragments in a local pending list with
+/// [`Symbol::LOCAL_BIT`]-tagged ids.
+///
+/// Streams built through a `LocalInterner` may carry local symbols; the
+/// sink must [`Interner::commit`] the worker's [`PendingSymbols`] and
+/// [`Remap::apply`] them before the streams escape the batch.
+pub struct LocalInterner<'a> {
+    global: &'a Interner,
+    /// Global arena length at creation: only symbols below this snapshot
+    /// are used, so a fragment resolves identically for the whole batch
+    /// even if a concurrent sink commit publishes it mid-batch. Without
+    /// the snapshot, in-batch symbol equality would depend on commit
+    /// timing — i.e. on the worker count.
+    limit: u32,
+    pending: PendingSymbols,
+    local: HashMap<Arc<str>, u32, FnvState>,
+    /// Scratch buffer reused by [`LocalInterner::intern_rendered`].
+    scratch: String,
+}
+
+impl<'a> LocalInterner<'a> {
+    /// A fresh overlay over `global`.
+    pub fn new(global: &'a Interner) -> Self {
+        LocalInterner {
+            global,
+            limit: global.len.load(Ordering::Acquire),
+            pending: PendingSymbols::default(),
+            local: HashMap::default(),
+            scratch: String::new(),
+        }
+    }
+
+    /// The underlying global arena.
+    pub fn global(&self) -> &'a Interner {
+        self.global
+    }
+
+    /// Intern one fragment: a global symbol when the arena already has it,
+    /// a tagged local symbol otherwise.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(symbol) = self.global.get(text) {
+            if symbol.raw() < self.limit {
+                return symbol;
+            }
+        }
+        if let Some(&id) = self.local.get(text) {
+            return Symbol(id | Symbol::LOCAL_BIT);
+        }
+        let id = self.pending.fragments.len() as u32;
+        assert!(id < Symbol::LOCAL_BIT, "local arena overflow");
+        let arc: Arc<str> = Arc::from(text);
+        self.pending.fragments.push(arc.clone());
+        self.local.insert(arc, id);
+        Symbol(id | Symbol::LOCAL_BIT)
+    }
+
+    /// Intern every whitespace-separated fragment of `text` into `out`.
+    pub fn intern_words(&mut self, text: &str, out: &mut TokenStream) {
+        for word in text.split_whitespace() {
+            out.push(self.intern(word));
+        }
+    }
+
+    /// Render `value` through `write` into the reused scratch buffer, then
+    /// intern the resulting words into `out`. The allocation-free path for
+    /// "describe this value into the utterance".
+    pub fn intern_rendered(&mut self, out: &mut TokenStream, write: impl FnOnce(&mut String)) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        write(&mut scratch);
+        self.intern_words(&scratch, out);
+        self.scratch = scratch;
+    }
+
+    /// The text of a symbol (local or global).
+    #[inline]
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        if symbol.is_local() {
+            &self.pending.fragments[symbol.local_index()]
+        } else {
+            self.global.resolve(symbol)
+        }
+    }
+
+    /// Append the tokenizer expansion of a symbol (local or global).
+    pub fn push_tokenized(&mut self, symbol: Symbol, out: &mut TokenStream) {
+        if !symbol.is_local() {
+            self.global.push_tokenized(symbol, out);
+            return;
+        }
+        let mut pieces = Vec::new();
+        crate::tokenize::split_token(
+            &self.pending.fragments[symbol.local_index()].clone(),
+            &mut pieces,
+        );
+        if pieces.len() == 1 && pieces[0].as_str() == self.resolve(symbol) {
+            out.push(symbol);
+            return;
+        }
+        for piece in &pieces {
+            let sub = self.intern(piece);
+            out.push(sub);
+        }
+    }
+
+    /// The tokenizer expansion of a whole raw stream.
+    pub fn tokenized(&mut self, raw: &[Symbol]) -> TokenStream {
+        let mut out = TokenStream::new();
+        for &symbol in raw {
+            self.push_tokenized(symbol, &mut out);
+        }
+        out
+    }
+
+    /// Hand the pending fragments to the sink, resetting the overlay.
+    pub fn take_pending(&mut self) -> PendingSymbols {
+        self.local.clear();
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Whether any fragment is pending commit.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+/// Inline capacity of a [`TokenStream`]: streams up to this many symbols
+/// (the vast majority of utterances) never touch the heap.
+const INLINE: usize = 14;
+
+enum Repr {
+    Inline([Symbol; INLINE]),
+    Heap(Vec<Symbol>),
+}
+
+/// An utterance as a sequence of interned fragments — the `SmallVec`-style
+/// small-buffer sequence the synthesis engine passes around instead of
+/// `String`s. Rendering joins the fragments with single spaces
+/// ([`Interner::render_into`]); equality and hashing are O(len) over 4-byte
+/// ids, with no text access.
+pub struct TokenStream {
+    len: u32,
+    repr: Repr,
+}
+
+impl TokenStream {
+    /// An empty stream (no allocation).
+    #[inline]
+    pub const fn new() -> Self {
+        TokenStream {
+            len: 0,
+            repr: Repr::Inline([Symbol(0); INLINE]),
+        }
+    }
+
+    /// An empty stream with room for `capacity` symbols.
+    pub fn with_capacity(capacity: usize) -> Self {
+        if capacity <= INLINE {
+            Self::new()
+        } else {
+            TokenStream {
+                len: 0,
+                repr: Repr::Heap(Vec::with_capacity(capacity)),
+            }
+        }
+    }
+
+    /// A stream holding a copy of `symbols`.
+    pub fn from_slice(symbols: &[Symbol]) -> Self {
+        let mut out = Self::with_capacity(symbols.len());
+        out.extend_from_slice(symbols);
+        out
+    }
+
+    /// Number of symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the stream holds no symbols.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the symbols live in the inline buffer (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    /// The symbols as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Symbol] {
+        match &self.repr {
+            Repr::Inline(buf) => &buf[..self.len as usize],
+            Repr::Heap(vec) => vec,
+        }
+    }
+
+    /// The symbols as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Symbol] {
+        match &mut self.repr {
+            Repr::Inline(buf) => &mut buf[..self.len as usize],
+            Repr::Heap(vec) => vec,
+        }
+    }
+
+    /// Append one symbol, spilling to the heap past the inline capacity.
+    #[inline]
+    pub fn push(&mut self, symbol: Symbol) {
+        match &mut self.repr {
+            Repr::Inline(buf) => {
+                let len = self.len as usize;
+                if len < INLINE {
+                    buf[len] = symbol;
+                    self.len += 1;
+                } else {
+                    let mut vec = Vec::with_capacity(INLINE * 2);
+                    vec.extend_from_slice(&buf[..len]);
+                    vec.push(symbol);
+                    self.len += 1;
+                    self.repr = Repr::Heap(vec);
+                }
+            }
+            Repr::Heap(vec) => {
+                vec.push(symbol);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Append a run of symbols.
+    pub fn extend_from_slice(&mut self, symbols: &[Symbol]) {
+        match &mut self.repr {
+            Repr::Inline(buf) => {
+                let len = self.len as usize;
+                if len + symbols.len() <= INLINE {
+                    buf[len..len + symbols.len()].copy_from_slice(symbols);
+                    self.len += symbols.len() as u32;
+                } else {
+                    let mut vec = Vec::with_capacity((len + symbols.len()).max(INLINE * 2));
+                    vec.extend_from_slice(&buf[..len]);
+                    vec.extend_from_slice(symbols);
+                    self.len += symbols.len() as u32;
+                    self.repr = Repr::Heap(vec);
+                }
+            }
+            Repr::Heap(vec) => {
+                vec.extend_from_slice(symbols);
+                self.len += symbols.len() as u32;
+            }
+        }
+    }
+
+    /// Remove all symbols, keeping the buffer.
+    pub fn clear(&mut self) {
+        if let Repr::Heap(vec) = &mut self.repr {
+            vec.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Truncate to the first `len` symbols (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len as usize {
+            if let Repr::Heap(vec) = &mut self.repr {
+                vec.truncate(len);
+            }
+            self.len = len as u32;
+        }
+    }
+
+    /// Iterate over the symbols.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Symbol>> {
+        self.as_slice().iter().copied()
+    }
+
+    /// First index at or after `from` where `needle` occurs as a contiguous
+    /// run (the token-stream counterpart of `str::find`).
+    pub fn find_seq(&self, needle: &[Symbol], from: usize) -> Option<usize> {
+        find_seq(self.as_slice(), needle, from)
+    }
+
+    /// Replace every non-overlapping occurrence of `old` (left to right)
+    /// with `new`, like `str::replace` over whole fragments. Returns the
+    /// rewritten stream, or `None` when `old` never occurs.
+    pub fn replace_seq(&self, old: &[Symbol], new: &[Symbol]) -> Option<TokenStream> {
+        replace_seq(self.as_slice(), old, new, usize::MAX)
+    }
+
+    /// Replace only the first occurrence of `old` with `new`
+    /// (`str::replacen(…, 1)` over whole fragments).
+    pub fn replacen_seq(&self, old: &[Symbol], new: &[Symbol]) -> Option<TokenStream> {
+        replace_seq(self.as_slice(), old, new, 1)
+    }
+}
+
+/// First index at or after `from` where `needle` occurs inside `haystack`.
+pub fn find_seq(haystack: &[Symbol], needle: &[Symbol], from: usize) -> Option<usize> {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return None;
+    }
+    (from..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+fn replace_seq(
+    haystack: &[Symbol],
+    old: &[Symbol],
+    new: &[Symbol],
+    limit: usize,
+) -> Option<TokenStream> {
+    let first = find_seq(haystack, old, 0)?;
+    let mut out = TokenStream::with_capacity(haystack.len());
+    out.extend_from_slice(&haystack[..first]);
+    out.extend_from_slice(new);
+    let mut cursor = first + old.len();
+    let mut done = 1;
+    while done < limit {
+        match find_seq(haystack, old, cursor) {
+            Some(next) => {
+                out.extend_from_slice(&haystack[cursor..next]);
+                out.extend_from_slice(new);
+                cursor = next + old.len();
+                done += 1;
+            }
+            None => break,
+        }
+    }
+    out.extend_from_slice(&haystack[cursor..]);
+    Some(out)
+}
+
+impl Default for TokenStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for TokenStream {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Inline(buf) => TokenStream {
+                len: self.len,
+                repr: Repr::Inline(*buf),
+            },
+            Repr::Heap(vec) => TokenStream {
+                len: self.len,
+                repr: Repr::Heap(vec.clone()),
+            },
+        }
+    }
+}
+
+impl PartialEq for TokenStream {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TokenStream {}
+
+impl Hash for TokenStream {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for TokenStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.as_slice().iter().map(|s| s.raw()))
+            .finish()
+    }
+}
+
+impl std::ops::Deref for TokenStream {
+    type Target = [Symbol];
+
+    fn deref(&self) -> &[Symbol] {
+        self.as_slice()
+    }
+}
+
+impl std::iter::FromIterator<Symbol> for TokenStream {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
+        let mut out = TokenStream::new();
+        for symbol in iter {
+            out.push(symbol);
+        }
+        out
+    }
+}
+
+impl Extend<Symbol> for TokenStream {
+    fn extend<I: IntoIterator<Item = Symbol>>(&mut self, iter: I) {
+        for symbol in iter {
+            self.push(symbol);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenStream {
+    type Item = Symbol;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Symbol>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_ordered() {
+        let interner = Interner::new();
+        let a = interner.intern("show");
+        let b = interner.intern("me");
+        assert_eq!(interner.intern("show"), a);
+        assert_eq!(b.raw(), a.raw() + 1);
+        assert_eq!(interner.resolve(a), "show");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_intern_resolve_intern_is_identity() {
+        let interner = Interner::new();
+        for word in ["alpha", "beta", "8:30am", "#general", "Taylor", "cat."] {
+            let symbol = interner.intern(word);
+            let resolved = interner.resolve(symbol).to_owned();
+            assert_eq!(resolved, word);
+            assert_eq!(interner.intern(&resolved), symbol);
+        }
+    }
+
+    #[test]
+    fn render_joins_with_single_spaces() {
+        let interner = Interner::new();
+        let stream = interner.stream_of("post funny cat on facebook");
+        assert_eq!(stream.len(), 5);
+        assert_eq!(interner.render(&stream), "post funny cat on facebook");
+        let mut buf = String::from("dirty");
+        interner.render_into(&stream, &mut buf);
+        assert_eq!(buf, "post funny cat on facebook");
+    }
+
+    #[test]
+    fn tokenized_expansion_matches_tokenize() {
+        let interner = Interner::new();
+        for text in [
+            "post funny cat on facebook",
+            "Post \"Hello, World!\" on Twitter at 8:30am",
+            "email bob@example.com the file report.pdf",
+        ] {
+            let raw = interner.stream_of(text);
+            let expanded = interner.tokenized(&raw);
+            let expected = crate::tokenize(text);
+            let got: Vec<String> = expanded
+                .iter()
+                .map(|s| interner.resolve(s).to_owned())
+                .collect();
+            assert_eq!(got, expected, "expansion mismatch for {text:?}");
+        }
+    }
+
+    #[test]
+    fn inline_streams_spill_to_heap() {
+        let interner = Interner::new();
+        let mut stream = TokenStream::new();
+        assert!(stream.is_inline());
+        for i in 0..INLINE {
+            stream.push(interner.intern(&format!("w{i}")));
+        }
+        assert!(stream.is_inline());
+        stream.push(interner.intern("spill"));
+        assert!(!stream.is_inline());
+        assert_eq!(stream.len(), INLINE + 1);
+        assert_eq!(interner.resolve(stream[INLINE]), "spill");
+    }
+
+    #[test]
+    fn find_and_replace_sequences() {
+        let interner = Interner::new();
+        let hay = interner.stream_of("a b c a b d");
+        let ab: Vec<Symbol> = interner.stream_of("a b").iter().collect();
+        let x: Vec<Symbol> = interner.stream_of("x").iter().collect();
+        assert_eq!(hay.find_seq(&ab, 0), Some(0));
+        assert_eq!(hay.find_seq(&ab, 1), Some(3));
+        let all = hay.replace_seq(&ab, &x).unwrap();
+        assert_eq!(interner.render(&all), "x c x d");
+        let first = hay.replacen_seq(&ab, &x).unwrap();
+        assert_eq!(interner.render(&first), "x c a b d");
+        assert!(hay.replace_seq(&interner.stream_of("z"), &x).is_none());
+    }
+
+    #[test]
+    fn local_interner_commits_in_order() {
+        let global = Interner::new();
+        global.intern("known");
+        let mut local = LocalInterner::new(&global);
+        let known = local.intern("known");
+        assert!(!known.is_local());
+        let novel1 = local.intern("novel1");
+        let novel2 = local.intern("novel2");
+        assert!(novel1.is_local() && novel2.is_local());
+        assert_eq!(local.intern("novel1"), novel1);
+        assert_eq!(local.resolve(novel1), "novel1");
+
+        let mut stream = TokenStream::from_slice(&[known, novel2, novel1]);
+        let pending = local.take_pending();
+        assert_eq!(pending.len(), 2);
+        let remap = global.commit(&pending);
+        remap.apply(&mut stream);
+        assert!(stream.iter().all(|s| !s.is_local()));
+        assert_eq!(global.render(&stream), "known novel2 novel1");
+        // Committed order is pending order: novel1 before novel2.
+        assert!(stream[2].raw() < stream[1].raw());
+    }
+
+    #[test]
+    fn commit_deduplicates_against_racing_batches() {
+        let global = Interner::new();
+        // Batch A and batch B both miss "shared" (built before any commit).
+        let mut a = LocalInterner::new(&global);
+        let mut b = LocalInterner::new(&global);
+        let sa = a.intern("shared");
+        let sb = b.intern("shared");
+        let mut stream_a = TokenStream::from_slice(&[sa]);
+        let mut stream_b = TokenStream::from_slice(&[sb]);
+        global.commit(&a.take_pending()).apply(&mut stream_a);
+        global.commit(&b.take_pending()).apply(&mut stream_b);
+        assert_eq!(stream_a, stream_b);
+        assert_eq!(global.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_resolve_while_interning() {
+        let interner = std::sync::Arc::new(Interner::new());
+        let seed: Vec<Symbol> = (0..64)
+            .map(|i| interner.intern(&format!("seed{i}")))
+            .collect();
+        std::thread::scope(|scope| {
+            let reader = interner.clone();
+            let seeds = seed.clone();
+            scope.spawn(move || {
+                for _ in 0..2000 {
+                    for &s in &seeds {
+                        assert!(reader.resolve(s).starts_with("seed"));
+                    }
+                }
+            });
+            let writer = interner.clone();
+            scope.spawn(move || {
+                for i in 0..2000 {
+                    writer.intern(&format!("dyn{i}"));
+                }
+            });
+        });
+        assert_eq!(interner.len(), 64 + 2000);
+    }
+}

@@ -10,16 +10,23 @@
 //! * a paraphrase database (the paper uses PPDB) for data augmentation —
 //!   implemented in [`ppdb`];
 //! * string metrics used by the paraphrase-validation heuristics — in
-//!   [`metrics`].
+//!   [`metrics`];
+//! * string interning and the [`intern::TokenStream`] utterance
+//!   representation the whole synthesis pipeline flows through — in
+//!   [`intern`]. [`mod@tokenize`] is the single entry point producing
+//!   interned streams ([`tokenize::tokenize_into`]); rendering back to text
+//!   happens once, at output time ([`intern::Interner::render_into`]).
 //!
 //! Everything is implemented from scratch; see DESIGN.md for the
 //! substitution rationale.
 
 pub mod argident;
+pub mod intern;
 pub mod metrics;
 pub mod ppdb;
 pub mod tokenize;
 
 pub use argident::{identify_arguments, ArgumentSpan, ArgumentValue, Preprocessed};
+pub use intern::{Interner, LocalInterner, Symbol, TokenStream};
 pub use ppdb::Ppdb;
 pub use tokenize::tokenize;

@@ -3,8 +3,10 @@
 
 use std::collections::BTreeSet;
 
-/// Word-level Levenshtein edit distance between two token sequences.
-pub fn edit_distance(a: &[String], b: &[String]) -> usize {
+/// Word-level Levenshtein edit distance between two token sequences
+/// (token strings or interned [`crate::intern::Symbol`]s — symbol equality
+/// is token equality, so either representation gives the same distance).
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     let n = a.len();
     let m = b.len();
     if n == 0 {
@@ -29,9 +31,9 @@ pub fn edit_distance(a: &[String], b: &[String]) -> usize {
 }
 
 /// Jaccard similarity between the token sets of two sentences, in `[0, 1]`.
-pub fn jaccard_similarity(a: &[String], b: &[String]) -> f64 {
-    let set_a: BTreeSet<&String> = a.iter().collect();
-    let set_b: BTreeSet<&String> = b.iter().collect();
+pub fn jaccard_similarity<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    let set_a: BTreeSet<&T> = a.iter().collect();
+    let set_b: BTreeSet<&T> = b.iter().collect();
     if set_a.is_empty() && set_b.is_empty() {
         return 1.0;
     }
@@ -41,7 +43,7 @@ pub fn jaccard_similarity(a: &[String], b: &[String]) -> f64 {
 }
 
 /// The bigrams of a token sequence.
-pub fn bigrams(tokens: &[String]) -> Vec<(String, String)> {
+pub fn bigrams<T: Clone>(tokens: &[T]) -> Vec<(T, T)> {
     tokens
         .windows(2)
         .map(|w| (w[0].clone(), w[1].clone()))
@@ -51,11 +53,11 @@ pub fn bigrams(tokens: &[String]) -> Vec<(String, String)> {
 /// Fraction of words in `candidate` that do not appear in `reference`
 /// (the "new word" rate of §5.2: paraphrases introduce 38% new words on
 /// average).
-pub fn new_word_rate(reference: &[String], candidate: &[String]) -> f64 {
+pub fn new_word_rate<T: Ord>(reference: &[T], candidate: &[T]) -> f64 {
     if candidate.is_empty() {
         return 0.0;
     }
-    let reference_set: BTreeSet<&String> = reference.iter().collect();
+    let reference_set: BTreeSet<&T> = reference.iter().collect();
     let new = candidate
         .iter()
         .filter(|w| !reference_set.contains(w))
@@ -65,12 +67,12 @@ pub fn new_word_rate(reference: &[String], candidate: &[String]) -> f64 {
 
 /// Fraction of bigrams in `candidate` that do not appear in `reference`
 /// (65% for paraphrases in §5.2).
-pub fn new_bigram_rate(reference: &[String], candidate: &[String]) -> f64 {
+pub fn new_bigram_rate<T: Clone + Ord>(reference: &[T], candidate: &[T]) -> f64 {
     let candidate_bigrams = bigrams(candidate);
     if candidate_bigrams.is_empty() {
         return 0.0;
     }
-    let reference_bigrams: BTreeSet<(String, String)> = bigrams(reference).into_iter().collect();
+    let reference_bigrams: BTreeSet<(T, T)> = bigrams(reference).into_iter().collect();
     let new = candidate_bigrams
         .iter()
         .filter(|b| !reference_bigrams.contains(b))
@@ -89,8 +91,8 @@ mod tests {
         let b = tokenize("post hello on facebook");
         assert_eq!(edit_distance(&a, &b), 1);
         assert_eq!(edit_distance(&a, &a), 0);
-        assert_eq!(edit_distance(&a, &[]), a.len());
-        assert_eq!(edit_distance(&[], &b), b.len());
+        assert_eq!(edit_distance::<String>(&a, &[]), a.len());
+        assert_eq!(edit_distance::<String>(&[], &b), b.len());
     }
 
     #[test]
@@ -100,7 +102,7 @@ mod tests {
         let c = tokenize("lock the door");
         assert!((jaccard_similarity(&a, &b) - 1.0).abs() < 1e-9);
         assert_eq!(jaccard_similarity(&a, &c), 0.0);
-        assert!((jaccard_similarity(&[], &[]) - 1.0).abs() < 1e-9);
+        assert!((jaccard_similarity::<String>(&[], &[]) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! notification; temporal connectives; politeness markers) and implements
 //! the substitution-based augmentation.
 
+use std::collections::HashMap;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+use crate::intern::{FnvState, Interner, Symbol, TokenStream};
 
 /// Paraphrase pairs: each group is a set of interchangeable phrases. A
 /// sentence containing one member can be rewritten with another member.
@@ -219,11 +223,182 @@ impl Ppdb {
     }
 }
 
+/// One lexicon phrase compiled to interned tokens.
+struct CompiledPhrase {
+    tokens: Box<[Symbol]>,
+    /// Byte length of the phrase text — the tie-break the string matcher
+    /// used ("prefer longer phrases at the same position").
+    byte_len: usize,
+    /// Flat indices of the interchangeable phrases, across every group that
+    /// contains this phrase, in group order, excluding the phrase itself —
+    /// exactly [`Ppdb::alternatives`], with multiplicities preserved.
+    alternatives: Vec<u32>,
+}
+
+/// The lexicon compiled against an [`Interner`]: matching walks the
+/// utterance symbols once through a first-token index instead of running
+/// ~300 substring scans over rendered text, and substitution splices token
+/// runs instead of re-allocating the sentence. Produces **identical
+/// rewrites** (same matches, same RNG draws, same output text) as the
+/// string-based [`Ppdb::augment`] path it replaces.
+pub struct CompiledPpdb {
+    phrases: Vec<CompiledPhrase>,
+    /// Candidate phrases by first token, each list sorted by
+    /// (byte length descending, flat index ascending) so the first full
+    /// match at a position is the winner the string matcher picked.
+    by_first: HashMap<Symbol, Vec<u32>, FnvState>,
+}
+
+impl Ppdb {
+    /// Compile the lexicon against an interner (global symbols only — call
+    /// from a single-threaded context, e.g. pipeline construction).
+    pub fn compile(&self, interner: &Interner) -> CompiledPpdb {
+        let mut phrases: Vec<CompiledPhrase> = Vec::new();
+        let mut flat: Vec<(usize, usize)> = Vec::new();
+        for (g, group) in self.groups.iter().enumerate() {
+            for (p, phrase) in group.iter().enumerate() {
+                let tokens: Box<[Symbol]> = phrase
+                    .split_whitespace()
+                    .map(|w| interner.intern(w))
+                    .collect();
+                phrases.push(CompiledPhrase {
+                    tokens,
+                    byte_len: phrase.len(),
+                    alternatives: Vec::new(),
+                });
+                flat.push((g, p));
+            }
+        }
+        // Alternatives: for each phrase, every member of every group that
+        // contains an identical phrase, minus the identical entries.
+        for index in 0..phrases.len() {
+            let own = phrases[index].tokens.clone();
+            let mut alternatives = Vec::new();
+            let mut cursor = 0usize;
+            for group in &self.groups {
+                let members: Vec<u32> = (0..group.len()).map(|p| (cursor + p) as u32).collect();
+                if members.iter().any(|&m| phrases[m as usize].tokens == own) {
+                    alternatives.extend(
+                        members
+                            .iter()
+                            .filter(|&&m| phrases[m as usize].tokens != own),
+                    );
+                }
+                cursor += group.len();
+            }
+            phrases[index].alternatives = alternatives;
+        }
+        let mut by_first: HashMap<Symbol, Vec<u32>, FnvState> = HashMap::default();
+        for (index, phrase) in phrases.iter().enumerate() {
+            if let Some(&first) = phrase.tokens.first() {
+                by_first.entry(first).or_default().push(index as u32);
+            }
+        }
+        for candidates in by_first.values_mut() {
+            candidates.sort_by(|&a, &b| {
+                phrases[b as usize]
+                    .byte_len
+                    .cmp(&phrases[a as usize].byte_len)
+                    .then(a.cmp(&b))
+            });
+        }
+        CompiledPpdb { phrases, by_first }
+    }
+}
+
+impl CompiledPpdb {
+    /// The winning match at each sentence position, in position order — the
+    /// deduplicated match list of the string matcher, built in one pass.
+    fn matches(&self, sentence: &[Symbol]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for i in 0..sentence.len() {
+            let Some(candidates) = self.by_first.get(&sentence[i]) else {
+                continue;
+            };
+            let winner = candidates.iter().find(|&&c| {
+                let tokens = &self.phrases[c as usize].tokens;
+                sentence.len() - i >= tokens.len() && sentence[i..i + tokens.len()] == tokens[..]
+            });
+            if let Some(&winner) = winner {
+                out.push(winner);
+            }
+        }
+        out
+    }
+
+    /// Apply one random meaning-preserving substitution, if any lexicon
+    /// phrase matches. Token-stream counterpart of [`Ppdb::augment_once`].
+    pub fn augment_once<R: Rng + ?Sized>(
+        &self,
+        sentence: &TokenStream,
+        rng: &mut R,
+    ) -> Option<TokenStream> {
+        let matches = self.matches(sentence);
+        if matches.is_empty() {
+            return None;
+        }
+        let &phrase = matches.choose(rng)?;
+        let phrase = &self.phrases[phrase as usize];
+        let &replacement = phrase.alternatives.choose(rng)?;
+        let replacement = &self.phrases[replacement as usize];
+        // Like the string path: the substitution lands on the *first*
+        // occurrence of the chosen phrase.
+        sentence.replacen_seq(&phrase.tokens, &replacement.tokens)
+    }
+
+    /// Generate up to `count` distinct augmented variants of a sentence.
+    pub fn augment<R: Rng + ?Sized>(
+        &self,
+        sentence: &TokenStream,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<TokenStream> {
+        let mut out = Vec::new();
+        for _ in 0..count * 3 {
+            if out.len() >= count {
+                break;
+            }
+            if let Some(variant) = self.augment_once(sentence, rng) {
+                if &variant != sentence && !out.contains(&variant) {
+                    out.push(variant);
+                }
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// The compiled matcher must reproduce the string path draw for draw.
+    #[test]
+    fn compiled_augment_matches_string_augment() {
+        let ppdb = Ppdb::builtin();
+        let interner = Interner::new();
+        let compiled = ppdb.compile(&interner);
+        for (seed, sentence) in [
+            (11u64, "notify me when it starts raining"),
+            (5, "please post a picture on facebook"),
+            (9, "remind me to buy milk when i get home"),
+            (3, "get my dropbox files and then send a message"),
+            (7, "qwerty asdf zxcv"),
+        ] {
+            let stream = interner.stream_of(sentence);
+            for round in 0..20 {
+                let mut rng_a = StdRng::seed_from_u64(seed + round);
+                let mut rng_b = StdRng::seed_from_u64(seed + round);
+                let via_string = ppdb.augment_once(sentence, &mut rng_a);
+                let via_stream = compiled
+                    .augment_once(&stream, &mut rng_b)
+                    .map(|s| interner.render(&s));
+                assert_eq!(via_string, via_stream, "seed {} round {round}", seed);
+            }
+        }
+    }
 
     #[test]
     fn lexicon_is_nontrivial() {

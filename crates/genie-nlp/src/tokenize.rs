@@ -25,7 +25,33 @@ pub fn tokenize(sentence: &str) -> Vec<String> {
     tokens
 }
 
-fn split_token(raw: &str, out: &mut Vec<String>) {
+/// Tokenize a sentence directly into an interned
+/// [`TokenStream`](crate::intern::TokenStream) — the
+/// single entry point that turns external text (serving requests,
+/// evaluation data) into the symbol representation the pipeline uses
+/// internally. Unseen words intern into the worker-local overlay; commit
+/// them ([`Interner::commit`](crate::intern::Interner::commit)) before the
+/// stream escapes the batch.
+///
+/// For text the pipeline itself produced, prefer the cached per-symbol
+/// expansion ([`crate::intern::Interner::tokenized`]) — it never re-runs
+/// the tokenizer.
+pub fn tokenize_into(
+    sentence: &str,
+    interner: &mut crate::intern::LocalInterner<'_>,
+    out: &mut crate::intern::TokenStream,
+) {
+    let mut pieces = Vec::new();
+    for raw in sentence.split_whitespace() {
+        pieces.clear();
+        split_token(raw, &mut pieces);
+        for piece in &pieces {
+            out.push(interner.intern(piece));
+        }
+    }
+}
+
+pub(crate) fn split_token(raw: &str, out: &mut Vec<String>) {
     let mut word = raw.to_lowercase();
     // Leading quotes/punctuation.
     loop {

@@ -196,6 +196,45 @@ impl ConstructKind {
         }
     }
 
+    /// Every construct kind, in declaration order — the index space of the
+    /// compiled-variant tables in [`crate::intern::SynthVocab`].
+    pub const ALL: &'static [ConstructKind] = &[
+        ConstructKind::GetNotify,
+        ConstructKind::DoCommand,
+        ConstructKind::WhenNotify,
+        ConstructKind::WhenDo,
+        ConstructKind::DoWhen,
+        ConstructKind::GetDo,
+        ConstructKind::WhenGetNotify,
+        ConstructKind::AtTimerDo,
+        ConstructKind::TimerDo,
+        ConstructKind::EdgeCommand,
+        ConstructKind::Aggregation,
+        ConstructKind::CountAggregation,
+        ConstructKind::PolicyQuery,
+        ConstructKind::PolicyAction,
+    ];
+
+    /// The kind's position in [`ConstructKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ConstructKind::GetNotify => 0,
+            ConstructKind::DoCommand => 1,
+            ConstructKind::WhenNotify => 2,
+            ConstructKind::WhenDo => 3,
+            ConstructKind::DoWhen => 4,
+            ConstructKind::GetDo => 5,
+            ConstructKind::WhenGetNotify => 6,
+            ConstructKind::AtTimerDo => 7,
+            ConstructKind::TimerDo => 8,
+            ConstructKind::EdgeCommand => 9,
+            ConstructKind::Aggregation => 10,
+            ConstructKind::CountAggregation => 11,
+            ConstructKind::PolicyQuery => 12,
+            ConstructKind::PolicyAction => 13,
+        }
+    }
+
     /// All construct kinds used by the main ThingTalk experiment (policies
     /// and aggregation are enabled separately for the case studies).
     pub const MAIN: &'static [ConstructKind] = &[
@@ -279,6 +318,15 @@ mod tests {
         assert!(primitive >= 30, "primitive construct variants: {primitive}");
         assert!(compound >= 25, "compound construct variants: {compound}");
         assert_eq!(filters, 68);
+    }
+
+    #[test]
+    fn index_agrees_with_all_ordering() {
+        // `SynthVocab` indexes its variant tables by `index()`; a mismatch
+        // with `ALL` would splice another construct's surface patterns.
+        for (position, kind) in ConstructKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), position, "{kind:?}");
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::hash::{Hash, Hasher};
 
 use thingtalk::Program;
 
+use crate::intern::Symbol;
+
 /// FNV-1a, 64-bit, with a configurable offset basis so two independent
 /// streams can be combined into a 128-bit fingerprint.
 pub struct Fnv64 {
@@ -59,6 +61,9 @@ pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
     hasher.finish()
 }
 
+/// The alternate offset basis of the high key half.
+const HI_BASIS: u64 = 0x9ae1_6a3b_2f90_404f;
+
 /// The 128-bit dedup key of an (utterance, program) pair: two independent
 /// FNV streams over the structural hash, so collisions are negligible at
 /// dataset scale.
@@ -66,9 +71,82 @@ pub fn example_key(utterance: &str, program: &Program) -> u128 {
     let mut lo = Fnv64::new();
     utterance.hash(&mut lo);
     program.hash(&mut lo);
-    let mut hi = Fnv64::with_basis(0x9ae1_6a3b_2f90_404f);
+    let mut hi = Fnv64::with_basis(HI_BASIS);
     utterance.hash(&mut hi);
     program.hash(&mut hi);
+    ((hi.finish() as u128) << 64) | lo.finish() as u128
+}
+
+/// Two independent FNV streams over one traversal — the same 128 bits of
+/// key material as hashing twice, at half the hashing cost. Workers use it
+/// to fingerprint the program (the expensive structural half of the dedup
+/// key) in parallel with synthesis.
+pub struct Fnv128 {
+    lo: Fnv64,
+    hi: Fnv64,
+}
+
+impl Fnv128 {
+    /// A paired hasher with the standard and alternate bases.
+    pub fn new() -> Self {
+        Fnv128 {
+            lo: Fnv64::new(),
+            hi: Fnv64::with_basis(HI_BASIS),
+        }
+    }
+
+    /// The two stream states.
+    pub fn finish128(&self) -> (u64, u64) {
+        (self.lo.finish(), self.hi.finish())
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv128 {
+    fn finish(&self) -> u64 {
+        self.lo.finish()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.lo.write(bytes);
+        self.hi.write(bytes);
+    }
+}
+
+/// The structural fingerprint pair of a program — computed worker-side, in
+/// parallel with synthesis; combined with the utterance symbols at the
+/// canonical sink ([`example_stream_key`]).
+pub fn program_fingerprints(program: &Program) -> (u64, u64) {
+    let mut hasher = Fnv128::new();
+    program.hash(&mut hasher);
+    hasher.finish128()
+}
+
+/// The 128-bit dedup key of an interned utterance and a program
+/// fingerprint pair. The interner is injective (symbol equality ⇔ fragment
+/// equality ⇔ rendered-text equality), so keying on the 4-byte symbol ids
+/// preserves exactly the keep/drop decisions of [`example_key`] over
+/// rendered text — without touching a single utterance byte.
+pub fn example_stream_key(utterance: &[Symbol], program_fp: (u64, u64)) -> u128 {
+    let mut lo = Fnv64::new();
+    let mut hi = Fnv64::with_basis(HI_BASIS);
+    for &symbol in utterance {
+        let bytes = symbol.raw().to_le_bytes();
+        lo.write(&bytes);
+        hi.write(&bytes);
+    }
+    // Length then the program halves: keeps (utterance, program) injective
+    // in the hashed byte stream.
+    let len = (utterance.len() as u64).to_le_bytes();
+    lo.write(&len);
+    hi.write(&len);
+    lo.write(&program_fp.0.to_le_bytes());
+    hi.write(&program_fp.1.to_le_bytes());
     ((hi.finish() as u128) << 64) | lo.finish() as u128
 }
 

@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use thingtalk::Program;
 
+use crate::intern::{Interner, TokenStream};
+
 /// Structural flags of a synthesized example, used to report the dataset
 /// characteristics of Fig. 7 and to stratify sampling for paraphrasing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -53,17 +55,23 @@ impl ExampleFlags {
 }
 
 /// A synthesized sentence with its program, produced by the template engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The utterance is an interned [`TokenStream`]; render it with the arena
+/// that produced it ([`SynthesizedExample::utterance_text`]) — by default
+/// [`crate::intern::shared`]. The construct label is `&'static str` (labels
+/// come from the rule registry), so cloning an example never allocates for
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesizedExample {
-    /// The natural-language utterance.
-    pub utterance: String,
+    /// The natural-language utterance as interned tokens.
+    pub utterance: TokenStream,
     /// The corresponding ThingTalk program (already canonicalizable).
     pub program: Program,
     /// The derivation depth at which this example was produced.
     pub depth: usize,
     /// The construct template that produced it (for statistics and
     /// paraphrase sampling).
-    pub construct: String,
+    pub construct: &'static str,
     /// Structural flags.
     pub flags: ExampleFlags,
 }
@@ -71,19 +79,24 @@ pub struct SynthesizedExample {
 impl SynthesizedExample {
     /// Create an example, computing its flags from the program.
     pub fn new(
-        utterance: String,
+        utterance: TokenStream,
         program: Program,
         depth: usize,
-        construct: impl Into<String>,
+        construct: &'static str,
     ) -> Self {
         let flags = ExampleFlags::of(&program);
         SynthesizedExample {
             utterance,
             program,
             depth,
-            construct: construct.into(),
+            construct,
             flags,
         }
+    }
+
+    /// Render the utterance through the arena that produced it.
+    pub fn utterance_text(&self, interner: &Interner) -> String {
+        interner.render(&self.utterance)
     }
 }
 
@@ -131,8 +144,9 @@ mod tests {
     fn example_construction_computes_flags() {
         let program =
             parse_program("now => agg count of (@com.dropbox.list_folder()) => notify").unwrap();
+        let interner = crate::intern::shared();
         let example = SynthesizedExample::new(
-            "how many files are in my dropbox".to_owned(),
+            interner.stream_of("how many files are in my dropbox"),
             program,
             2,
             "aggregation",

@@ -25,6 +25,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use std::sync::Arc;
+
 use thingpedia::{ParamDatasets, Thingpedia};
 use thingtalk::ast::{CompareOp, Predicate, Query};
 use thingtalk::policy::{Policy, PolicyBody};
@@ -33,8 +35,9 @@ use thingtalk::value::Value;
 use std::collections::HashSet;
 
 use crate::constructs::ConstructKind;
-use crate::dedup::example_key;
+use crate::dedup::{example_stream_key, program_fingerprints};
 use crate::example::SynthesizedExample;
+use crate::intern::{Interner, LocalInterner, PendingSymbols, SynthVocab, TokenStream};
 use crate::pools::PhrasePools;
 use crate::registry::{ConstructRule, RuleCtx, RuleRegistry};
 use crate::shards::ShardedDedup;
@@ -116,16 +119,62 @@ pub struct SentenceGenerator<'a> {
     library: &'a Thingpedia,
     datasets: ParamDatasets,
     config: GeneratorConfig,
+    vocab: SynthVocab,
+    /// The phrase pools, built once per generator: they are a pure function
+    /// of `(library, config.seed)` — the build consumes a fresh
+    /// seed-derived RNG and nothing else — so repeated synthesis runs reuse
+    /// them with byte-identical output.
+    pools: std::sync::OnceLock<PhrasePools>,
 }
 
 impl<'a> SentenceGenerator<'a> {
-    /// Create a generator over a library.
+    /// Create a generator over a library, interning into the shared
+    /// process-wide arena ([`crate::intern::shared`]) — which is already
+    /// pre-seeded, so construction skips the vocabulary walk.
     pub fn new(library: &'a Thingpedia, config: GeneratorConfig) -> Self {
+        Self::assemble(library, crate::intern::shared().clone(), config)
+    }
+
+    /// Create a generator interning into a caller-owned arena (pre-seeded
+    /// here, so a fresh arena assigns ids deterministically for any worker
+    /// count — what the interner-determinism tests rely on).
+    pub fn with_interner(
+        library: &'a Thingpedia,
+        config: GeneratorConfig,
+        interner: Arc<Interner>,
+    ) -> Self {
+        crate::intern::preseed(&interner, library, &ParamDatasets::builtin());
+        Self::assemble(library, interner, config)
+    }
+
+    fn assemble(library: &'a Thingpedia, interner: Arc<Interner>, config: GeneratorConfig) -> Self {
         SentenceGenerator {
             library,
             datasets: ParamDatasets::builtin(),
             config,
+            vocab: SynthVocab::new(interner),
+            pools: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The arena utterances of this generator intern into.
+    pub fn interner(&self) -> &Arc<Interner> {
+        self.vocab.interner()
+    }
+
+    /// The phrase pools (built on first use, cached for the generator's
+    /// lifetime).
+    fn pools(&self) -> &PhrasePools {
+        self.pools.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            PhrasePools::build(
+                &self.vocab,
+                self.library,
+                &self.datasets,
+                &self.config,
+                &mut rng,
+            )
+        })
     }
 
     /// Run the sampled synthesis with the builtin rule registry and return
@@ -174,12 +223,12 @@ impl<'a> SentenceGenerator<'a> {
         registry: &RuleRegistry,
         mut sink: impl FnMut(SynthesizedExample),
     ) -> SynthesisStats {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let pools = PhrasePools::build(self.library, &self.datasets, &self.config, &mut rng);
+        let pools = self.pools();
         let ctx = RuleCtx {
             library: self.library,
             datasets: &self.datasets,
             config: &self.config,
+            vocab: &self.vocab,
         };
         let rules = registry.enabled_rules(&self.config);
         let target = self.config.target_per_rule;
@@ -209,36 +258,57 @@ impl<'a> SentenceGenerator<'a> {
 
         let dedup = ShardedDedup::new(self.config.shards);
         let mut stats = SynthesisStats::default();
+        let interner = self.vocab.interner();
         // Keep enough windows in flight to feed every worker without ever
         // materializing more than `window` batches of candidates.
         let window = genie_parallel::resolve_threads(threads)
             .saturating_mul(4)
             .max(1);
+        type WorkerBatch = (Vec<SynthesizedExample>, Vec<(u64, u64)>, PendingSymbols);
         genie_parallel::par_stream(
             threads,
             &items,
             window,
-            |_, item| {
+            |_, item| -> WorkerBatch {
                 let mut batch_rng = StdRng::seed_from_u64(genie_parallel::stream_seed(
                     seed,
                     item.rule.rule_id(),
                     item.batch,
                 ));
+                // Fresh text the rules render (timer values, predicates)
+                // interns into this per-batch overlay; the sink commits the
+                // pending fragments in canonical order.
+                let mut local = LocalInterner::new(interner);
                 let candidates: Vec<SynthesizedExample> = (0..item.count)
-                    .filter_map(|_| item.rule.instantiate(&ctx, &pools, &mut batch_rng))
+                    .filter_map(|_| {
+                        item.rule
+                            .instantiate(&ctx, pools, &mut local, &mut batch_rng)
+                    })
                     .collect();
-                // Fingerprinting is the O(program size) half of dedup; doing
-                // it here means it parallelizes with synthesis, leaving the
-                // sink only O(1) set inserts per candidate.
-                let keys: Vec<u128> = candidates
+                // Fingerprinting the program is the O(program size) half of
+                // dedup; doing it here means it parallelizes with synthesis,
+                // leaving the sink O(utterance length) symbol hashing.
+                let fingerprints: Vec<(u64, u64)> = candidates
                     .iter()
-                    .map(|e| example_key(&e.utterance, &e.program))
+                    .map(|e| program_fingerprints(&e.program))
                     .collect();
-                (candidates, keys)
+                (candidates, fingerprints, local.take_pending())
             },
-            |_, (candidates, keys): (Vec<SynthesizedExample>, Vec<u128>)| {
+            |_, (candidates, fingerprints, pending): WorkerBatch| {
                 stats.batches += 1;
                 stats.generated += candidates.len();
+                // Ordered merge of the worker arena: global ids depend only
+                // on the canonical stream order, never on scheduling.
+                let remap = interner.commit(&pending);
+                let mut candidates = candidates;
+                let keys: Vec<u128> = candidates
+                    .iter_mut()
+                    .zip(&fingerprints)
+                    .map(|(example, &fp)| {
+                        remap.apply(&mut example.utterance);
+                        example_stream_key(&example.utterance, fp)
+                    })
+                    .collect();
                 let fresh = dedup.insert_batch(threads, &keys);
                 for (example, fresh) in candidates.into_iter().zip(fresh) {
                     if fresh {
@@ -256,24 +326,38 @@ impl<'a> SentenceGenerator<'a> {
     /// Synthesize TACL policies (§6.2) with their utterances.
     pub fn synthesize_policies(&self) -> Vec<(String, Policy)> {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(777));
-        let pools = PhrasePools::build(self.library, &self.datasets, &self.config, &mut rng);
+        let pools = PhrasePools::build(
+            &self.vocab,
+            self.library,
+            &self.datasets,
+            &self.config,
+            &mut rng,
+        );
+        let interner = self.vocab.interner();
         let people = self
             .datasets
             .get("tt:person_first_name")
             .expect("dataset exists");
         let mut out = Vec::new();
         let mut seen = HashSet::new();
+        // Single-threaded path: splice into a reused stream, render once per
+        // accepted policy.
+        let mut stream = TokenStream::new();
         for _ in 0..self.config.target_per_rule {
             // Query policies.
             if let Some(np) = pools.choose_query_phrase(&mut rng) {
                 let person = people.sample(&mut rng).to_owned();
-                let variant = ConstructKind::PolicyQuery
-                    .variants()
+                let variant = self
+                    .vocab
+                    .variants(ConstructKind::PolicyQuery)
                     .choose(&mut rng)
                     .expect("variants nonempty");
-                let utterance = variant
-                    .replace("$person", &person)
-                    .replace("$np", &np.utterance);
+                stream.clear();
+                variant.splice(&mut stream, |piece, out| match piece {
+                    crate::intern::VariantPiece::Person => interner.intern_words(&person, out),
+                    _ => out.extend_from_slice(&np.utterance),
+                });
+                let utterance = interner.render(&stream);
                 let predicate = np
                     .query
                     .as_ref()
@@ -294,13 +378,17 @@ impl<'a> SentenceGenerator<'a> {
             // Action policies.
             if let Some(vp) = pools.action_verbs.choose(&mut rng) {
                 let person = people.sample(&mut rng).to_owned();
-                let variant = ConstructKind::PolicyAction
-                    .variants()
+                let variant = self
+                    .vocab
+                    .variants(ConstructKind::PolicyAction)
                     .choose(&mut rng)
                     .expect("variants nonempty");
-                let utterance = variant
-                    .replace("$person", &person)
-                    .replace("$vp", &vp.utterance);
+                stream.clear();
+                variant.splice(&mut stream, |piece, out| match piece {
+                    crate::intern::VariantPiece::Person => interner.intern_words(&person, out),
+                    _ => out.extend_from_slice(&vp.utterance),
+                });
+                let utterance = interner.render(&stream);
                 let action = vp.action.as_ref().expect("action phrase");
                 let mut predicate = Predicate::True;
                 for param in &action.in_params {
@@ -381,12 +469,14 @@ mod tests {
     #[test]
     fn synthesized_programs_typecheck_and_canonicalize() {
         let library = Thingpedia::builtin();
-        let examples = generator(&library, 15, 2).synthesize();
+        let gen = generator(&library, 15, 2);
+        let examples = gen.synthesize();
         for example in &examples {
             typecheck(&library, &example.program).unwrap_or_else(|e| {
                 panic!(
                     "synthesized program does not typecheck: `{}` => `{}`: {e}",
-                    example.utterance, example.program
+                    example.utterance_text(gen.interner()),
+                    example.program
                 )
             });
             let canonical = canonicalized(&library, &example.program);
@@ -398,14 +488,13 @@ mod tests {
     #[test]
     fn utterances_have_no_placeholders_left() {
         let library = Thingpedia::builtin();
-        let examples = generator(&library, 10, 3).synthesize();
+        let gen = generator(&library, 10, 3);
+        let examples = gen.synthesize();
         for example in &examples {
-            assert!(
-                !example.utterance.contains('$'),
-                "placeholder left in `{}`",
-                example.utterance
-            );
-            assert!(!example.utterance.trim().is_empty());
+            let text = example.utterance_text(gen.interner());
+            assert!(!text.contains('$'), "placeholder left in `{text}`");
+            assert!(!text.trim().is_empty());
+            assert!(!example.utterance.is_empty());
         }
     }
 
@@ -558,12 +647,16 @@ mod tests {
                 &self,
                 _ctx: &RuleCtx<'_>,
                 pools: &PhrasePools,
+                local: &mut LocalInterner<'_>,
                 rng: &mut StdRng,
             ) -> Option<SynthesizedExample> {
                 let vp = pools.action_verbs.choose(rng)?;
                 let program = thingtalk::Program::do_action(vp.action.clone()?);
+                let mut utterance = TokenStream::new();
+                local.intern_words("do not", &mut utterance);
+                utterance.extend_from_slice(&vp.utterance);
                 Some(SynthesizedExample::new(
-                    format!("do not {}", vp.utterance),
+                    utterance,
                     program,
                     vp.depth + 1,
                     self.label(),

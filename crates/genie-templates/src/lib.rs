@@ -24,6 +24,33 @@
 //! [`shards`]), so output is byte-identical regardless of the worker count
 //! and the shard count, and memory stays bounded by the in-flight window.
 //!
+//! # Migration: interned token-stream utterances
+//!
+//! Utterances are no longer `String`s. [`SynthesizedExample::utterance`]
+//! and [`PhraseDerivation::utterance`] are interned
+//! [`TokenStream`]s — sequences of 4-byte [`Symbol`]s in an arena
+//! ([`intern`]) — so the synthesis hot path splices, compares and
+//! fingerprints ids instead of allocating and scanning text. Porting
+//! callers:
+//!
+//! * read the text: `example.utterance_text(generator.interner())`, or
+//!   `intern::shared().render(&example.utterance)` when using the default
+//!   arena;
+//! * build a stream from text (tests, custom rules):
+//!   `intern::shared().stream_of("show me my files")`;
+//! * custom [`ConstructRule`]s receive a `&mut LocalInterner` in
+//!   [`ConstructRule::instantiate`]; intern fresh text through it (the
+//!   engine commits pending fragments at the canonical sink, keeping
+//!   symbol assignment worker-count-invariant);
+//! * dedup keys moved from `dedup::example_key(&str, &Program)` (still
+//!   available for text) to [`dedup::example_stream_key`] over symbol
+//!   slices plus [`dedup::program_fingerprints`];
+//! * `construct` labels are `&'static str` now (rule labels are static).
+//!
+//! Rendered output is unchanged byte for byte: the interner is injective
+//! and rendering joins fragments with single spaces, so datasets, digests
+//! and dedup decisions are identical to the string-based engine.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +75,7 @@ pub mod constructs;
 pub mod dedup;
 pub mod example;
 pub mod generator;
+pub mod intern;
 pub mod phrases;
 pub mod pools;
 pub mod registry;
@@ -58,6 +86,7 @@ pub use config::{ConfigError, GeneratorConfigBuilder};
 pub use constructs::{construct_template_counts, ConstructKind};
 pub use example::{ExampleFlags, SynthesizedExample};
 pub use generator::{GeneratorConfig, SentenceGenerator, SynthesisStats};
+pub use intern::{Interner, LocalInterner, Symbol, SynthVocab, TokenStream};
 pub use phrases::{PhraseDerivation, PhraseKind};
 pub use pools::PhrasePools;
 pub use registry::{ConstructRule, RuleCtx, RuleRegistry};

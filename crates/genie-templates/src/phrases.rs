@@ -13,11 +13,13 @@ use rand::Rng;
 use thingpedia::{ParamDatasets, PhraseCategory, PrimitiveTemplate, Thingpedia};
 use thingtalk::ast::{FunctionRef, Invocation, Query};
 use thingtalk::class::{FunctionDef, ParamDef};
-use thingtalk::describe::describe_value;
+use thingtalk::describe::{describe_value, describe_value_into};
 use thingtalk::typecheck::SchemaRegistry;
 use thingtalk::types::Type;
 use thingtalk::units::{BaseUnit, Unit};
 use thingtalk::value::{DateEdge, DateValue, Value};
+
+use crate::intern::{Interner, SynthVocab, TokenStream};
 
 /// What code fragment a phrase denotes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,8 +41,10 @@ pub enum PhraseKind {
 /// (§3.1 calls for sampling thousands of combinations per construct).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhraseDerivation {
-    /// The natural-language fragment.
-    pub utterance: String,
+    /// The natural-language fragment, as interned tokens. Construct rules
+    /// compose phrases by splicing these token runs — never by scanning or
+    /// re-allocating text.
+    pub utterance: TokenStream,
     /// What the phrase denotes.
     pub kind: PhraseKind,
     /// The denoted query (for query and when phrases).
@@ -77,13 +81,16 @@ impl PhraseDerivation {
 ///
 /// Returns `None` when the template's category is inconsistent with the
 /// function kind (e.g. a when phrase for a non-monitorable query), mirroring
-/// the semantic-function rejection of §3.1.
+/// the semantic-function rejection of §3.1. Runs at pool-build time (single
+/// threaded), so sampled values intern directly into the global arena.
 pub fn instantiate(
+    vocab: &SynthVocab,
     library: &Thingpedia,
     datasets: &ParamDatasets,
     template: &PrimitiveTemplate,
     rng: &mut StdRng,
 ) -> Option<PhraseDerivation> {
+    let interner = vocab.interner();
     let function = library.function(&template.class, &template.function)?;
     let kind = match (template.category, function.kind.is_query()) {
         (PhraseCategory::NounPhrase, true) => PhraseKind::QueryNoun,
@@ -96,7 +103,7 @@ pub fn instantiate(
     };
 
     let mut invocation = Invocation::new(template.class.clone(), template.function.clone());
-    let mut substitutions: Vec<(String, String)> = Vec::new();
+    let mut substitutions: Vec<(String, TokenStream)> = Vec::new();
 
     // Preset parameters (constant bindings that are part of the meaning of
     // the utterance, e.g. order_by for "that changed most recently").
@@ -104,11 +111,11 @@ pub fn instantiate(
         invocation = invocation.with_param(name.clone(), value.clone());
     }
 
-    // Placeholder parameters: sample a value and render it.
+    // Placeholder parameters: sample a value and render it into tokens.
     for placeholder in template.placeholders() {
         let param = function.param(&placeholder)?;
         let value = sample_value(datasets, param, rng);
-        substitutions.push((placeholder.clone(), render_value(&value)));
+        substitutions.push((placeholder.clone(), value_tokens(interner, &value)));
         invocation = invocation.with_param(placeholder, value);
     }
 
@@ -122,7 +129,7 @@ pub fn instantiate(
         }
     }
 
-    let utterance = template.instantiate(&substitutions);
+    let utterance = instantiate_template(interner, template, &substitutions);
     let function_ref = invocation.function.clone();
     let (query, action) = if function.kind.is_query() {
         (Some(Arc::new(Query::Invocation(invocation))), None)
@@ -199,10 +206,58 @@ pub fn render_value(value: &Value) -> String {
     describe_value(value)
 }
 
+/// Render a sampled value into interned tokens (global arena; pool-build
+/// and other single-threaded paths).
+pub fn value_tokens(interner: &Interner, value: &Value) -> TokenStream {
+    let mut buf = String::new();
+    describe_value_into(value, &mut buf);
+    interner.stream_of(&buf)
+}
+
+/// Substitute the placeholders of a template utterance with rendered value
+/// tokens — the token-stream counterpart of `PrimitiveTemplate::instantiate`,
+/// producing exactly the same rendered text (placeholder suffixes such as
+/// `$name's` merge into the last value token, unbound placeholders stay
+/// literal).
+fn instantiate_template(
+    interner: &Interner,
+    template: &PrimitiveTemplate,
+    values: &[(String, TokenStream)],
+) -> TokenStream {
+    let mut out = TokenStream::new();
+    for word in template.utterance.split_whitespace() {
+        let Some(name) = word.strip_prefix('$') else {
+            out.push(interner.intern(word));
+            continue;
+        };
+        let clean: String = name
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let suffix: String = name.chars().skip(clean.len()).collect();
+        match values.iter().find(|(n, _)| *n == clean) {
+            Some((_, rendered)) => {
+                if suffix.is_empty() {
+                    out.extend_from_slice(rendered);
+                } else if let Some((&last, head)) = rendered.as_slice().split_last() {
+                    out.extend_from_slice(head);
+                    let merged = format!("{}{suffix}", interner.resolve(last));
+                    out.push(interner.intern(&merged));
+                } else {
+                    out.push(interner.intern(&suffix));
+                }
+            }
+            None => out.push(interner.intern(word)),
+        }
+    }
+    out
+}
+
 /// Build one filtered variant of a query noun phrase: adds a type-appropriate
 /// predicate over a random output parameter of the function, with a natural
 /// rendering ("having modified time after start of week").
 pub fn add_filter(
+    vocab: &SynthVocab,
     library: &Thingpedia,
     datasets: &ParamDatasets,
     phrase: &PhraseDerivation,
@@ -213,6 +268,8 @@ pub fn add_filter(
     if !matches!(phrase.kind, PhraseKind::QueryNoun | PhraseKind::WhenPhrase) {
         return None;
     }
+    let interner = vocab.interner();
+    let sym = &vocab.sym;
     let function: &FunctionDef =
         library.function(&phrase.function.class, &phrase.function.function)?;
     let outputs: Vec<&ParamDef> = function.output_params().collect();
@@ -220,54 +277,48 @@ pub fn add_filter(
         return None;
     }
     let param = outputs[rng.gen_range(0..outputs.len())];
-    let (op, value, phrase_text): (CompareOp, Value, String) = match &param.ty {
+    // The filter phrase is spliced from interned runs: connective symbols,
+    // the parameter's canonical words, and the rendered value tokens.
+    let mut text = TokenStream::new();
+    let (op, value): (CompareOp, Value) = match &param.ty {
         Type::Number | Type::Measure(_) | Type::Currency => {
             let value = sample_value(datasets, param, rng);
-            if rng.gen_bool(0.5) {
-                (
-                    CompareOp::Gt,
-                    value.clone(),
-                    format!(
-                        "with {} greater than {}",
-                        param.canonical,
-                        render_value(&value)
-                    ),
-                )
+            let op = if rng.gen_bool(0.5) {
+                text.push(sym.with);
+                interner.intern_words(&param.canonical, &mut text);
+                text.push(sym.greater);
+                text.push(sym.than);
+                CompareOp::Gt
             } else {
-                (
-                    CompareOp::Lt,
-                    value.clone(),
-                    format!(
-                        "with {} less than {}",
-                        param.canonical,
-                        render_value(&value)
-                    ),
-                )
-            }
+                text.push(sym.with);
+                interner.intern_words(&param.canonical, &mut text);
+                text.push(sym.less);
+                text.push(sym.than);
+                CompareOp::Lt
+            };
+            text.extend_from_slice(&value_tokens(interner, &value));
+            (op, value)
         }
         Type::Date => {
             let value = sample_value(datasets, param, rng);
-            (
-                CompareOp::Gt,
-                value.clone(),
-                format!("with {} after {}", param.canonical, render_value(&value)),
-            )
+            text.push(sym.with);
+            interner.intern_words(&param.canonical, &mut text);
+            text.push(sym.after);
+            text.extend_from_slice(&value_tokens(interner, &value));
+            (CompareOp::Gt, value)
         }
         Type::Boolean => {
-            let value = Value::Boolean(true);
-            (
-                CompareOp::Eq,
-                value,
-                format!("that are {}", param.canonical.replace("is ", "")),
-            )
+            text.push(sym.that);
+            text.push(sym.are);
+            interner.intern_words(&param.canonical.replace("is ", ""), &mut text);
+            (CompareOp::Eq, Value::Boolean(true))
         }
         Type::Enum(_) => {
             let value = sample_value(datasets, param, rng);
-            (
-                CompareOp::Eq,
-                value.clone(),
-                format!("with {} {}", param.canonical, render_value(&value)),
-            )
+            text.push(sym.with);
+            interner.intern_words(&param.canonical, &mut text);
+            text.extend_from_slice(&value_tokens(interner, &value));
+            (CompareOp::Eq, value)
         }
         Type::Array(_) => {
             let inner = ParamDef::new(
@@ -276,41 +327,37 @@ pub fn add_filter(
                 param.direction,
             );
             let value = sample_value(datasets, &inner, rng);
-            (
-                CompareOp::Contains,
-                value.clone(),
-                format!("containing {} {}", param.canonical, render_value(&value)),
-            )
+            text.push(sym.containing);
+            interner.intern_words(&param.canonical, &mut text);
+            text.extend_from_slice(&value_tokens(interner, &value));
+            (CompareOp::Contains, value)
         }
         _ => {
             let value = sample_value(datasets, param, rng);
             // `substr` only typechecks on string-like parameters; anything
             // else (locations, entities without text, …) gets equality.
-            if param.ty.is_string_like() && !rng.gen_bool(0.5) {
-                (
-                    CompareOp::Substr,
-                    value.clone(),
-                    format!(
-                        "whose {} contains {}",
-                        param.canonical,
-                        render_value(&value)
-                    ),
-                )
+            let op = if param.ty.is_string_like() && !rng.gen_bool(0.5) {
+                text.push(sym.whose);
+                interner.intern_words(&param.canonical, &mut text);
+                text.push(sym.contains);
+                CompareOp::Substr
             } else {
-                (
-                    CompareOp::Eq,
-                    value.clone(),
-                    format!("with {} {}", param.canonical, render_value(&value)),
-                )
-            }
+                text.push(sym.with);
+                interner.intern_words(&param.canonical, &mut text);
+                CompareOp::Eq
+            };
+            text.extend_from_slice(&value_tokens(interner, &value));
+            (op, value)
         }
     };
     let predicate = Predicate::atom(param.name.clone(), op, value);
     // Share the unfiltered subtree: the filter node wraps the pooled query
     // without cloning it.
     let query = Query::shared_filtered(phrase.query.as_ref()?, predicate);
+    let mut utterance = phrase.utterance.clone();
+    utterance.extend_from_slice(&text);
     Some(PhraseDerivation {
-        utterance: format!("{} {}", phrase.utterance, phrase_text),
+        utterance,
         kind: phrase.kind,
         query: Some(Arc::new(query)),
         action: None,
@@ -324,8 +371,9 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn setup() -> (Thingpedia, ParamDatasets, StdRng) {
+    fn setup() -> (SynthVocab, Thingpedia, ParamDatasets, StdRng) {
         (
+            SynthVocab::new(crate::intern::shared().clone()),
             Thingpedia::builtin(),
             ParamDatasets::builtin(),
             StdRng::seed_from_u64(42),
@@ -334,26 +382,56 @@ mod tests {
 
     #[test]
     fn instantiates_all_builtin_templates() {
-        let (library, datasets, mut rng) = setup();
+        let (vocab, library, datasets, mut rng) = setup();
         let mut count = 0;
         for template in library.templates() {
-            let derivation = instantiate(&library, &datasets, template, &mut rng)
+            let derivation = instantiate(&vocab, &library, &datasets, template, &mut rng)
                 .unwrap_or_else(|| panic!("failed to instantiate `{}`", template.utterance));
-            assert!(
-                !derivation.utterance.contains('$'),
-                "placeholder left in `{}`",
-                derivation.utterance
-            );
+            let text = vocab.interner().render(&derivation.utterance);
+            assert!(!text.contains('$'), "placeholder left in `{text}`");
             count += 1;
         }
         assert!(count > 250);
     }
 
     #[test]
+    fn instantiated_streams_render_like_string_instantiation() {
+        // The token-stream instantiation must reproduce the exact text of
+        // `PrimitiveTemplate::instantiate` — rendered text is the dataset
+        // identity and must not shift under the interned representation.
+        let (vocab, library, datasets, _) = setup();
+        for (i, template) in library.templates().iter().enumerate() {
+            let mut rng_a = StdRng::seed_from_u64(1000 + i as u64);
+            let mut rng_b = StdRng::seed_from_u64(1000 + i as u64);
+            let Some(derivation) = instantiate(&vocab, &library, &datasets, template, &mut rng_a)
+            else {
+                continue;
+            };
+            // Replay the sampling with the legacy string path.
+            let function = library
+                .function(&template.class, &template.function)
+                .unwrap();
+            let mut substitutions: Vec<(String, String)> = Vec::new();
+            for placeholder in template.placeholders() {
+                let param = function.param(&placeholder).unwrap();
+                let value = sample_value(&datasets, param, &mut rng_b);
+                substitutions.push((placeholder.clone(), render_value(&value)));
+            }
+            let expected = template.instantiate(&substitutions);
+            assert_eq!(
+                vocab.interner().render(&derivation.utterance),
+                expected,
+                "template `{}`",
+                template.utterance
+            );
+        }
+    }
+
+    #[test]
     fn query_phrases_carry_queries_and_actions_carry_invocations() {
-        let (library, datasets, mut rng) = setup();
+        let (vocab, library, datasets, mut rng) = setup();
         for template in library.templates() {
-            let derivation = instantiate(&library, &datasets, template, &mut rng).unwrap();
+            let derivation = instantiate(&vocab, &library, &datasets, template, &mut rng).unwrap();
             match derivation.kind {
                 PhraseKind::ActionVerb => {
                     assert!(derivation.action.is_some());
@@ -369,25 +447,29 @@ mod tests {
 
     #[test]
     fn sampled_values_typecheck() {
-        let (library, datasets, mut rng) = setup();
+        let (vocab, library, datasets, mut rng) = setup();
         for template in library.templates().iter().take(100) {
-            let derivation = instantiate(&library, &datasets, template, &mut rng).unwrap();
+            let derivation = instantiate(&vocab, &library, &datasets, template, &mut rng).unwrap();
             let program = match (&derivation.query, &derivation.action) {
                 (Some(query), _) => thingtalk::Program::get_query(query.clone()),
                 (_, Some(action)) => thingtalk::Program::do_action(action.clone()),
                 _ => unreachable!(),
             };
-            thingtalk::typecheck::typecheck(&library, &program)
-                .unwrap_or_else(|e| panic!("`{}` does not typecheck: {e}", derivation.utterance));
+            thingtalk::typecheck::typecheck(&library, &program).unwrap_or_else(|e| {
+                panic!(
+                    "`{}` does not typecheck: {e}",
+                    vocab.interner().render(&derivation.utterance)
+                )
+            });
         }
     }
 
     #[test]
     fn filtered_phrases_add_one_predicate() {
-        let (library, datasets, mut rng) = setup();
+        let (vocab, library, datasets, mut rng) = setup();
         let template = library.templates_for("com.dropbox", "list_folder")[0].clone();
-        let base = instantiate(&library, &datasets, &template, &mut rng).unwrap();
-        let filtered = add_filter(&library, &datasets, &base, &mut rng).unwrap();
+        let base = instantiate(&vocab, &library, &datasets, &template, &mut rng).unwrap();
+        let filtered = add_filter(&vocab, &library, &datasets, &base, &mut rng).unwrap();
         assert_eq!(filtered.depth, base.depth + 1);
         assert!(filtered.utterance.len() > base.utterance.len());
         let query = filtered.query.unwrap();
@@ -396,9 +478,9 @@ mod tests {
 
     #[test]
     fn action_phrases_cannot_be_filtered() {
-        let (library, datasets, mut rng) = setup();
+        let (vocab, library, datasets, mut rng) = setup();
         let template = library.templates_for("com.twitter", "post")[0].clone();
-        let base = instantiate(&library, &datasets, &template, &mut rng).unwrap();
-        assert!(add_filter(&library, &datasets, &base, &mut rng).is_none());
+        let base = instantiate(&vocab, &library, &datasets, &template, &mut rng).unwrap();
+        assert!(add_filter(&vocab, &library, &datasets, &base, &mut rng).is_none());
     }
 }

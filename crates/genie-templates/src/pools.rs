@@ -11,6 +11,7 @@ use rand::Rng;
 use thingpedia::{ParamDatasets, Thingpedia};
 
 use crate::generator::GeneratorConfig;
+use crate::intern::SynthVocab;
 use crate::phrases::{add_filter, instantiate, PhraseDerivation, PhraseKind};
 
 /// How many times the filter loop retries per missing filtered phrase before
@@ -48,6 +49,7 @@ impl PhrasePools {
     /// failed iterations; a remaining shortfall is recorded and logged
     /// (unless [`GeneratorConfig::quiet`] is set).
     pub fn build(
+        vocab: &SynthVocab,
         library: &Thingpedia,
         datasets: &ParamDatasets,
         config: &GeneratorConfig,
@@ -56,7 +58,7 @@ impl PhrasePools {
         let mut pools = PhrasePools::default();
         for template in library.templates() {
             for _ in 0..config.instantiations_per_template.max(1) {
-                let Some(derivation) = instantiate(library, datasets, template, rng) else {
+                let Some(derivation) = instantiate(vocab, library, datasets, template, rng) else {
                     continue;
                 };
                 match derivation.kind {
@@ -73,6 +75,7 @@ impl PhrasePools {
                 &pools.nouns,
                 &mut pools.filtered_nouns,
                 target,
+                vocab,
                 library,
                 datasets,
                 rng,
@@ -81,6 +84,7 @@ impl PhrasePools {
                 &pools.whens,
                 &mut pools.filtered_whens,
                 target,
+                vocab,
                 library,
                 datasets,
                 rng,
@@ -119,10 +123,12 @@ impl PhrasePools {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fill_filtered(
     base: &[PhraseDerivation],
     out: &mut Vec<PhraseDerivation>,
     target: usize,
+    vocab: &SynthVocab,
     library: &Thingpedia,
     datasets: &ParamDatasets,
     rng: &mut StdRng,
@@ -137,7 +143,7 @@ fn fill_filtered(
         let Some(candidate) = base.choose(rng) else {
             break;
         };
-        if let Some(filtered) = add_filter(library, datasets, candidate, rng) {
+        if let Some(filtered) = add_filter(vocab, library, datasets, candidate, rng) {
             out.push(filtered);
         }
     }
@@ -158,7 +164,8 @@ mod tests {
             ..GeneratorConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(11);
-        let pools = PhrasePools::build(&library, &datasets, &config, &mut rng);
+        let vocab = SynthVocab::new(crate::intern::shared().clone());
+        let pools = PhrasePools::build(&vocab, &library, &datasets, &config, &mut rng);
         // add_filter only rejects functions without output parameters; with
         // retries the pools must reach the sampling target.
         assert_eq!(pools.filtered_nouns.len(), 50);
@@ -175,7 +182,8 @@ mod tests {
             ..GeneratorConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(12);
-        let pools = PhrasePools::build(&library, &datasets, &config, &mut rng);
+        let vocab = SynthVocab::new(crate::intern::shared().clone());
+        let pools = PhrasePools::build(&vocab, &library, &datasets, &config, &mut rng);
         assert!(pools.filtered_nouns.is_empty());
         assert!(pools.filtered_whens.is_empty());
         assert!(!pools.nouns.is_empty());

@@ -21,6 +21,7 @@ use crate::constructs::ConstructKind;
 use crate::dedup::fingerprint;
 use crate::example::SynthesizedExample;
 use crate::generator::GeneratorConfig;
+use crate::intern::{LocalInterner, SynthVocab};
 use crate::phrases::PhraseKind;
 use crate::pools::PhrasePools;
 use crate::rules::builtin_rules;
@@ -33,6 +34,9 @@ pub struct RuleCtx<'a> {
     pub datasets: &'a ParamDatasets,
     /// The generator configuration.
     pub config: &'a GeneratorConfig,
+    /// The compiled synthesis vocabulary (arena handle, compiled construct
+    /// variants, common splice symbols).
+    pub vocab: &'a SynthVocab,
 }
 
 /// One construct template: a grammar rule combining phrase derivations into
@@ -72,10 +76,16 @@ pub trait ConstructRule: Send + Sync {
 
     /// Sample one derivation. `None` rejects the combination (the
     /// semantic-function rejection of §3.1).
+    ///
+    /// `local` is the worker's interning overlay: text the rule renders
+    /// fresh (timer values, edge predicates) interns through it, and the
+    /// engine commits the overlay's pending fragments at the canonical sink
+    /// so symbol assignment stays worker-count-invariant.
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample>;
 }

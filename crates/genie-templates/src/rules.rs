@@ -2,11 +2,15 @@
 //! template, ported from the old monolithic per-kind `match` in the
 //! generator.
 //!
-//! Every rule follows the same shape: pick a surface variant, draw phrase
-//! derivations from the pools, optionally rewrite parameters, and assemble
-//! the program by sharing the phrase fragments (`Arc` bumps, no deep
-//! clones). Rules reject combinations by returning `None` — the
-//! semantic-function rejection of §3.1.
+//! Every rule follows the same shape: pick a compiled surface variant, draw
+//! phrase derivations from the pools, optionally rewrite parameters, and
+//! assemble the program by sharing the phrase fragments (`Arc` bumps, no
+//! deep clones). Utterances are assembled by **splicing interned token
+//! runs** into the variant ([`CompiledVariant::splice`]) — the old
+//! `variant.replace("$np", …)` chains allocated two to three `String`s per
+//! candidate and re-scanned the pattern text every time. Rules reject
+//! combinations by returning `None` — the semantic-function rejection of
+//! §3.1.
 
 use std::sync::Arc;
 
@@ -16,6 +20,7 @@ use rand::Rng;
 
 use thingtalk::ast::{Action, CompareOp, Invocation, Predicate, Program, Query, Stream};
 use thingtalk::class::ParamDef;
+use thingtalk::describe::describe_value_into;
 use thingtalk::typecheck::SchemaRegistry;
 use thingtalk::types::Type;
 use thingtalk::units::Unit;
@@ -24,7 +29,8 @@ use thingtalk::value::Value;
 use crate::constructs::ConstructKind;
 use crate::example::SynthesizedExample;
 use crate::generator::GeneratorConfig;
-use crate::phrases::{render_value, sample_value, PhraseDerivation, PhraseKind};
+use crate::intern::{CompiledVariant, LocalInterner, SynthVocab, TokenStream, VariantPiece};
+use crate::phrases::{sample_value, PhraseDerivation, PhraseKind};
 use crate::pools::PhrasePools;
 use crate::registry::{ConstructRule, RuleCtx};
 
@@ -48,9 +54,27 @@ pub fn builtin_rules() -> Vec<Box<dyn ConstructRule>> {
     ]
 }
 
-/// Pick a surface variant of the rule's construct kind.
-fn pick_variant(kind: ConstructKind, rng: &mut StdRng) -> Option<&'static str> {
-    kind.variants().choose(rng).copied()
+/// Pick a compiled surface variant of the rule's construct kind (the same
+/// uniform draw `kind.variants().choose(rng)` made over the pattern texts).
+fn pick_variant<'v>(
+    vocab: &'v SynthVocab,
+    kind: ConstructKind,
+    rng: &mut StdRng,
+) -> Option<&'v CompiledVariant> {
+    let variants = vocab.variants(kind);
+    if variants.is_empty() {
+        None
+    } else {
+        Some(&variants[rng.gen_range(0..variants.len())])
+    }
+}
+
+/// Render a value into interned tokens through the worker-local overlay
+/// (reuses the overlay's scratch buffer — no per-value `String`).
+fn value_tokens_local(local: &mut LocalInterner<'_>, value: &Value) -> TokenStream {
+    let mut out = TokenStream::new();
+    local.intern_rendered(&mut out, |buf| describe_value_into(value, buf));
+    out
 }
 
 /// With some probability, rewrite constant parameters of the action as
@@ -58,11 +82,17 @@ fn pick_variant(kind: ConstructKind, rng: &mut StdRng) -> Option<&'static str> {
 /// utterance ("post funny cat on twitter" → "post the caption on twitter"),
 /// as in Fig. 1. Mutation is copy-on-write: the shared invocation is cloned
 /// only when a parameter is actually rewritten.
+///
+/// The rewrite substitutes the slot directly in the token stream
+/// ([`TokenStream::replacen_seq`]): the old implementation re-rendered the
+/// value, re-scanned the utterance bytes with `contains`, and paid two
+/// allocations per match in `replacen`/`format!`.
 fn pass_parameters(
     ctx: &RuleCtx<'_>,
     source: &PhraseDerivation,
     action: &mut Arc<Invocation>,
-    vp_utterance: &mut String,
+    vp_utterance: &mut TokenStream,
+    local: &mut LocalInterner<'_>,
     rng: &mut StdRng,
 ) {
     let Some(source_def) = ctx
@@ -92,10 +122,15 @@ fn pass_parameters(
         let Some(chosen) = compatible.choose(rng) else {
             continue;
         };
-        let rendered = render_value(&param.value);
-        if !rendered.is_empty() && vp_utterance.contains(&rendered) {
-            *vp_utterance =
-                vp_utterance.replacen(&rendered, &format!("the {}", chosen.canonical), 1);
+        let rendered = value_tokens_local(local, &param.value);
+        if rendered.is_empty() {
+            continue;
+        }
+        let mut replacement = TokenStream::new();
+        replacement.push(ctx.vocab.sym.the);
+        local.intern_words(&chosen.canonical, &mut replacement);
+        if let Some(rewritten) = vp_utterance.replacen_seq(&rendered, &replacement) {
+            *vp_utterance = rewritten;
             Arc::make_mut(action).in_params[index].value = Value::VarRef(chosen.name.clone());
         }
     }
@@ -115,13 +150,17 @@ impl ConstructRule for GetNotifyRule {
 
     fn instantiate(
         &self,
-        _ctx: &RuleCtx<'_>,
+        ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let np = pools.choose_query_phrase(rng)?;
-        let utterance = variant.replace("$np", &np.utterance);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |_, out| {
+            out.extend_from_slice(&np.utterance)
+        });
         let program = Program::get_query(np.query.clone()?);
         Some(SynthesizedExample::new(
             utterance,
@@ -147,16 +186,20 @@ impl ConstructRule for DoCommandRule {
 
     fn instantiate(
         &self,
-        _ctx: &RuleCtx<'_>,
+        ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         // Some of the time, a query verb phrase ("translate hello to
         // french") becomes a `now => query => notify` command.
         if rng.gen_bool(0.4) && !pools.query_verbs.is_empty() {
             let qvp = pools.query_verbs.choose(rng)?;
-            let utterance = variant.replace("$vp", &qvp.utterance);
+            let mut utterance = TokenStream::new();
+            variant.splice(&mut utterance, |_, out| {
+                out.extend_from_slice(&qvp.utterance)
+            });
             let program = Program::get_query(qvp.query.clone()?);
             return Some(SynthesizedExample::new(
                 utterance,
@@ -166,7 +209,10 @@ impl ConstructRule for DoCommandRule {
             ));
         }
         let vp = pools.action_verbs.choose(rng)?;
-        let utterance = variant.replace("$vp", &vp.utterance);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |_, out| {
+            out.extend_from_slice(&vp.utterance)
+        });
         let program = Program::do_action(vp.action.clone()?);
         Some(SynthesizedExample::new(
             utterance,
@@ -191,13 +237,17 @@ impl ConstructRule for WhenNotifyRule {
 
     fn instantiate(
         &self,
-        _ctx: &RuleCtx<'_>,
+        ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let wp = pools.choose_when_phrase(rng)?;
-        let utterance = variant.replace("$wp", &wp.utterance);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |_, out| {
+            out.extend_from_slice(&wp.utterance)
+        });
         let program = Program::when_notify(wp.query.clone()?);
         Some(SynthesizedExample::new(
             utterance,
@@ -205,6 +255,15 @@ impl ConstructRule for WhenNotifyRule {
             wp.depth + 1,
             self.label(),
         ))
+    }
+}
+
+/// The when phrase without its leading "when" (for "$vp whenever $wp_bare"
+/// surfaces) — the token counterpart of `strip_prefix("when ")`.
+fn wp_bare<'p>(vocab: &SynthVocab, wp: &'p PhraseDerivation) -> &'p [crate::intern::Symbol] {
+    match wp.utterance.as_slice() {
+        [first, rest @ ..] if *first == vocab.sym.when && !rest.is_empty() => rest,
+        whole => whole,
     }
 }
 
@@ -235,23 +294,21 @@ impl ConstructRule for WhenDoRule {
         &self,
         ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let wp = pools.choose_when_phrase(rng)?;
         let vp = pools.action_verbs.choose(rng)?;
         let mut action = vp.action.clone()?;
         let mut vp_utterance = vp.utterance.clone();
-        pass_parameters(ctx, wp, &mut action, &mut vp_utterance, rng);
-        let wp_bare = wp
-            .utterance
-            .strip_prefix("when ")
-            .unwrap_or(&wp.utterance)
-            .to_owned();
-        let utterance = variant
-            .replace("$wp_bare", &wp_bare)
-            .replace("$wp", &wp.utterance)
-            .replace("$vp", &vp_utterance);
+        pass_parameters(ctx, wp, &mut action, &mut vp_utterance, local, rng);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |piece, out| match piece {
+            VariantPiece::WpBare => out.extend_from_slice(wp_bare(ctx.vocab, wp)),
+            VariantPiece::Wp => out.extend_from_slice(&wp.utterance),
+            _ => out.extend_from_slice(&vp_utterance),
+        });
         let program = Program {
             stream: Stream::Monitor {
                 query: wp.query.clone()?,
@@ -290,17 +347,20 @@ impl ConstructRule for GetDoRule {
         &self,
         ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let np = pools.choose_query_phrase(rng)?;
         let vp = pools.action_verbs.choose(rng)?;
         let mut action = vp.action.clone()?;
         let mut vp_utterance = vp.utterance.clone();
-        pass_parameters(ctx, np, &mut action, &mut vp_utterance, rng);
-        let utterance = variant
-            .replace("$np", &np.utterance)
-            .replace("$vp", &vp_utterance);
+        pass_parameters(ctx, np, &mut action, &mut vp_utterance, local, rng);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |piece, out| match piece {
+            VariantPiece::Np => out.extend_from_slice(&np.utterance),
+            _ => out.extend_from_slice(&vp_utterance),
+        });
         let program = Program {
             stream: Stream::Now,
             query: Some(np.query.clone()?),
@@ -333,19 +393,22 @@ impl ConstructRule for WhenGetNotifyRule {
 
     fn instantiate(
         &self,
-        _ctx: &RuleCtx<'_>,
+        ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let wp = pools.choose_when_phrase(rng)?;
         let np = pools.choose_query_phrase(rng)?;
         if wp.function == np.function {
             return None;
         }
-        let utterance = variant
-            .replace("$wp", &wp.utterance)
-            .replace("$np", &np.utterance);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |piece, out| match piece {
+            VariantPiece::Wp => out.extend_from_slice(&wp.utterance),
+            _ => out.extend_from_slice(&np.utterance),
+        });
         let program = Program {
             stream: Stream::Monitor {
                 query: wp.query.clone()?,
@@ -381,19 +444,23 @@ impl ConstructRule for AtTimerDoRule {
 
     fn instantiate(
         &self,
-        _ctx: &RuleCtx<'_>,
+        ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let vp = pools.action_verbs.choose(rng)?;
         let time = Value::Time(
             rng.gen_range(6..23),
             [0u8, 15, 30, 45][rng.gen_range(0..4usize)],
         );
-        let utterance = variant
-            .replace("$time", &render_value(&time))
-            .replace("$vp", &vp.utterance);
+        let time_tokens = value_tokens_local(local, &time);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |piece, out| match piece {
+            VariantPiece::Time => out.extend_from_slice(&time_tokens),
+            _ => out.extend_from_slice(&vp.utterance),
+        });
         let program = Program {
             stream: Stream::AtTimer { time },
             query: None,
@@ -426,11 +493,12 @@ impl ConstructRule for TimerDoRule {
 
     fn instantiate(
         &self,
-        _ctx: &RuleCtx<'_>,
+        ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let vp = pools.action_verbs.choose(rng)?;
         let (amount, unit) = [
             (5.0, Unit::Minute),
@@ -441,9 +509,12 @@ impl ConstructRule for TimerDoRule {
             (1.0, Unit::Week),
         ][rng.gen_range(0..6usize)];
         let interval = Value::Measure(amount, unit);
-        let utterance = variant
-            .replace("$interval", &render_value(&interval))
-            .replace("$vp", &vp.utterance);
+        let interval_tokens = value_tokens_local(local, &interval);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |piece, out| match piece {
+            VariantPiece::Interval => out.extend_from_slice(&interval_tokens),
+            _ => out.extend_from_slice(&vp.utterance),
+        });
         let program = Program {
             stream: Stream::Timer {
                 base: Value::Date(thingtalk::value::DateValue::Edge(
@@ -483,9 +554,10 @@ impl ConstructRule for EdgeCommandRule {
         &self,
         ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let wp = pools.whens.choose(rng)?;
         let function = ctx
             .library
@@ -498,16 +570,24 @@ impl ConstructRule for EdgeCommandRule {
         let value = sample_value(ctx.datasets, param, rng);
         let above = rng.gen_bool(0.5);
         let op = if above { CompareOp::Gt } else { CompareOp::Lt };
-        let direction = if above { "goes above" } else { "drops below" };
-        let pred_text = format!(
-            "the {} of {} {} {}",
-            param.canonical,
-            function.canonical,
-            direction,
-            render_value(&value)
-        );
+        // "the {param} of {function} goes above {value}" as spliced runs.
+        let sym = &ctx.vocab.sym;
+        let mut pred_tokens = TokenStream::new();
+        pred_tokens.push(sym.the);
+        local.intern_words(&param.canonical, &mut pred_tokens);
+        pred_tokens.push(sym.of);
+        local.intern_words(&function.canonical, &mut pred_tokens);
+        if above {
+            pred_tokens.push(sym.goes);
+            pred_tokens.push(sym.above);
+        } else {
+            pred_tokens.push(sym.drops);
+            pred_tokens.push(sym.below);
+        }
+        let value_run = value_tokens_local(local, &value);
+        pred_tokens.extend_from_slice(&value_run);
         let predicate = Predicate::atom(param.name.clone(), op, value);
-        let uses_action = variant.contains("$vp");
+        let uses_action = variant.has_vp();
         let (action, vp_utterance, extra_depth) = if uses_action {
             let vp = pools.action_verbs.choose(rng)?;
             (
@@ -516,11 +596,13 @@ impl ConstructRule for EdgeCommandRule {
                 vp.depth,
             )
         } else {
-            (Action::Notify, String::new(), 0)
+            (Action::Notify, TokenStream::new(), 0)
         };
-        let utterance = variant
-            .replace("$pred", &pred_text)
-            .replace("$vp", &vp_utterance);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |piece, out| match piece {
+            VariantPiece::Pred => out.extend_from_slice(&pred_tokens),
+            _ => out.extend_from_slice(&vp_utterance),
+        });
         let program = Program {
             stream: Stream::EdgeFilter {
                 stream: Arc::new(Stream::Monitor {
@@ -561,9 +643,18 @@ impl ConstructRule for AggregationRule {
         &self,
         ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        // The aggregation op is read off the chosen pattern text, so draw
+        // the index and look at both the compiled and the text form.
+        let variants = ctx.vocab.variants(self.kind());
+        if variants.is_empty() {
+            return None;
+        }
+        let index = rng.gen_range(0..variants.len());
+        let variant = &variants[index];
+        let variant_text = self.kind().variants()[index];
         let np = pools.nouns.choose(rng)?;
         if !np.is_list(ctx.library) {
             return None;
@@ -576,15 +667,19 @@ impl ConstructRule for AggregationRule {
             .filter(|p| matches!(p.ty, Type::Number | Type::Measure(_) | Type::Currency))
             .collect();
         let param = numeric.choose(rng)?;
-        let op = match variant {
+        let op = match variant_text {
             v if v.contains("average") => thingtalk::AggregationOp::Avg,
             v if v.contains("maximum") => thingtalk::AggregationOp::Max,
             v if v.contains("minimum") => thingtalk::AggregationOp::Min,
             _ => thingtalk::AggregationOp::Sum,
         };
-        let utterance = variant
-            .replace("$field", &param.canonical)
-            .replace("$np", &np.utterance);
+        let mut field_tokens = TokenStream::new();
+        local.intern_words(&param.canonical, &mut field_tokens);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |piece, out| match piece {
+            VariantPiece::Field => out.extend_from_slice(&field_tokens),
+            _ => out.extend_from_slice(&np.utterance),
+        });
         let program = Program::get_query(Query::Aggregation {
             op,
             field: Some(param.name.clone()),
@@ -619,14 +714,18 @@ impl ConstructRule for CountAggregationRule {
         &self,
         ctx: &RuleCtx<'_>,
         pools: &PhrasePools,
+        _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
-        let variant = pick_variant(self.kind(), rng)?;
+        let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let np = pools.choose_query_phrase(rng)?;
         if !np.is_list(ctx.library) {
             return None;
         }
-        let utterance = variant.replace("$np", &np.utterance);
+        let mut utterance = TokenStream::new();
+        variant.splice(&mut utterance, |_, out| {
+            out.extend_from_slice(&np.utterance)
+        });
         let program = Program::get_query(Query::Aggregation {
             op: thingtalk::AggregationOp::Count,
             field: None,

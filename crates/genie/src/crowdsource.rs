@@ -106,7 +106,7 @@ pub fn build_batch<R: SchemaRegistry + ?Sized>(
                     .unwrap_or(true)
             });
             CrowdTask {
-                sentence: example.utterance.clone(),
+                sentence: example.text(),
                 program: example.program.to_string(),
                 easy,
             }

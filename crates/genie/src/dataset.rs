@@ -9,6 +9,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+use genie_nlp::intern::{Interner, TokenStream};
 use genie_templates::ExampleFlags;
 use luinet::ParserExample;
 use thingtalk::Program;
@@ -28,10 +29,15 @@ pub enum ExampleSource {
 }
 
 /// One sentence/program pair flowing through the pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The utterance is an interned [`TokenStream`] (see
+/// `genie_templates::intern`): pipeline stages splice, compare and
+/// fingerprint 4-byte symbols, and the text is materialized exactly once —
+/// at TSV-write time or for human-facing output ([`Example::text`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Example {
-    /// The natural-language utterance.
-    pub utterance: String,
+    /// The natural-language utterance as interned tokens.
+    pub utterance: TokenStream,
     /// The target program.
     pub program: Program,
     /// Provenance.
@@ -40,16 +46,53 @@ pub struct Example {
     pub flags: ExampleFlags,
 }
 
+/// Conversion into an interned utterance: pre-built token streams pass
+/// through untouched; text interns its whitespace words into the shared
+/// arena, so the evaluation loaders and tests keep passing plain strings.
+pub trait IntoUtterance {
+    /// Produce the interned token stream.
+    fn into_utterance(self) -> TokenStream;
+}
+
+impl IntoUtterance for TokenStream {
+    fn into_utterance(self) -> TokenStream {
+        self
+    }
+}
+
+impl IntoUtterance for &str {
+    fn into_utterance(self) -> TokenStream {
+        genie_templates::intern::shared().stream_of(self)
+    }
+}
+
+impl IntoUtterance for String {
+    fn into_utterance(self) -> TokenStream {
+        self.as_str().into_utterance()
+    }
+}
+
 impl Example {
     /// Create an example, computing flags from the program.
-    pub fn new(utterance: impl Into<String>, program: Program, source: ExampleSource) -> Self {
+    pub fn new(utterance: impl IntoUtterance, program: Program, source: ExampleSource) -> Self {
         let flags = ExampleFlags::of(&program);
         Example {
-            utterance: utterance.into(),
+            utterance: utterance.into_utterance(),
             program,
             source,
             flags,
         }
+    }
+
+    /// Render the utterance through the shared arena (the arena every
+    /// pipeline component defaults to).
+    pub fn text(&self) -> String {
+        genie_templates::intern::shared().render(&self.utterance)
+    }
+
+    /// Render the utterance through an explicit arena.
+    pub fn text_with(&self, interner: &Interner) -> String {
+        interner.render(&self.utterance)
     }
 
     /// A stable key identifying the program's function combination
@@ -162,12 +205,16 @@ impl Dataset {
         set.len()
     }
 
-    /// The number of distinct words across all utterances.
+    /// The number of distinct words across all utterances (tokenizer
+    /// granularity, via the cached per-symbol expansions — no re-tokenize).
     pub fn distinct_words(&self) -> usize {
-        let mut set: BTreeSet<String> = BTreeSet::new();
+        let interner = genie_templates::intern::shared();
+        let mut set: BTreeSet<genie_nlp::Symbol> = BTreeSet::new();
         for example in &self.examples {
-            for word in genie_nlp::tokenize(&example.utterance) {
-                set.insert(word);
+            for symbol in &example.utterance {
+                let mut expansion = TokenStream::new();
+                interner.push_tokenized(symbol, &mut expansion);
+                set.extend(expansion.iter());
             }
         }
         set.len()
@@ -242,6 +289,10 @@ impl Dataset {
 pub struct ShardedDatasetWriter {
     writers: Vec<BufWriter<File>>,
     paths: Vec<PathBuf>,
+    /// One growable render buffer per shard, reused across rows: rendering
+    /// an example reuses the capacity its shard's previous rows grew, so
+    /// steady-state writes allocate nothing.
+    render_buffers: Vec<String>,
     written: usize,
 }
 
@@ -258,23 +309,28 @@ impl ShardedDatasetWriter {
             writers.push(BufWriter::new(File::create(&path)?));
             paths.push(path);
         }
+        let render_buffers = vec![String::new(); writers.len()];
         Ok(ShardedDatasetWriter {
             writers,
             paths,
+            render_buffers,
             written: 0,
         })
     }
 
     /// Append one parser example as a `sentence\tprogram` TSV line to the
     /// next shard in round-robin order.
+    ///
+    /// This is the single point where the streamed utterance becomes text:
+    /// the sentence symbols render into the shard's reused buffer (shared
+    /// arena), the program tokens follow, and one `write_all` hands the row
+    /// to the `BufWriter`.
     pub fn write(&mut self, example: &ParserExample) -> io::Result<()> {
         let shard = self.written % self.writers.len();
-        writeln!(
-            self.writers[shard],
-            "{}\t{}",
-            example.sentence.join(" "),
-            example.program.join(" ")
-        )?;
+        let line = &mut self.render_buffers[shard];
+        line.clear();
+        example.render_tsv_row(line);
+        self.writers[shard].write_all(line.as_bytes())?;
         self.written += 1;
         Ok(())
     }
@@ -387,7 +443,7 @@ mod tests {
 
     fn parser_example(i: usize) -> ParserExample {
         ParserExample::new(
-            vec![format!("sentence{i}"), "words".to_owned()],
+            genie_templates::intern::shared().stream_of(&format!("sentence{i} words")),
             vec!["now".to_owned(), "=>".to_owned(), format!("prog{i}")],
         )
     }

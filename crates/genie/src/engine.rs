@@ -161,7 +161,7 @@ pub struct EngineStats {
 /// collision is detected on lookup instead of silently serving another
 /// utterance's parse.
 struct CacheEntry {
-    sentence: Vec<String>,
+    sentence: genie_nlp::TokenStream,
     k: usize,
     principal: String,
     response: ParseResponse,
@@ -380,7 +380,16 @@ impl GenieEngine {
         if utterance.is_empty() {
             return Err(Error::EmptyUtterance);
         }
-        let sentence = genie_nlp::tokenize(utterance);
+        // Tokenize straight into the shared arena: known words are table
+        // lookups; novel request words first land in the per-request local
+        // overlay and commit only after the request passes the length
+        // bounds — an oversized utterance never touches the arena, and a
+        // vocabulary-exhaustion attack degrades to a typed error
+        // (`try_commit` refuses near capacity) instead of a panic.
+        let interner = genie_templates::intern::shared();
+        let mut local = genie_nlp::LocalInterner::new(interner);
+        let mut sentence = genie_nlp::TokenStream::new();
+        genie_nlp::tokenize::tokenize_into(utterance, &mut local, &mut sentence);
         if sentence.is_empty() {
             return Err(Error::EmptyUtterance);
         }
@@ -389,6 +398,15 @@ impl GenieEngine {
                 tokens: sentence.len(),
                 limit: self.inner.max_utterance_tokens,
             });
+        }
+        if local.has_pending() {
+            match interner.try_commit(&local.take_pending()) {
+                Some(remap) => remap.apply(&mut sentence),
+                None => return Err(Error::Config(genie_templates::ConfigError::new(
+                    "intern_arena",
+                    "shared vocabulary arena is full; the request's novel words cannot be admitted",
+                ))),
+            }
         }
         // Clamp the per-request width: decode work grows with the beam, so
         // an untrusted request must not be able to buy unbounded work.
@@ -450,7 +468,12 @@ impl GenieEngine {
         }
         let response = ParseResponse {
             utterance: request.utterance.clone(),
-            sentence,
+            // The response surface stays text: resolve the interned tokens
+            // once, at the serving boundary.
+            sentence: sentence
+                .iter()
+                .map(|s| interner.resolve(s).to_owned())
+                .collect(),
             candidates,
         };
         if self.inner.cache_capacity > 0 {
@@ -466,7 +489,7 @@ impl GenieEngine {
                     // rendering, and rewrite per request on the way out.
                     cached.utterance = cached.sentence.join(" ");
                     Arc::new(CacheEntry {
-                        sentence: cached.sentence.clone(),
+                        sentence: sentence.clone(),
                         k,
                         principal: principal.to_owned(),
                         response: cached,
@@ -583,7 +606,7 @@ mod tests {
                 .examples
                 .iter()
                 .take(20)
-                .map(|e| e.utterance.clone())
+                .map(|e| e.text())
                 .find(|u| {
                     engine
                         .parse(&ParseRequest::new(u.clone()).bypass_cache())
@@ -698,7 +721,7 @@ mod tests {
         assert!(engine.stats().cache_hits >= 1);
         assert_eq!(engine.cached_responses(), 1);
         // Bypass gives the same content.
-        let bypassed = engine.parse(&request.clone().bypass_cache()).unwrap();
+        let bypassed = engine.parse(&request.bypass_cache()).unwrap();
         assert_eq!(first, bypassed);
         engine.clear_cache();
         assert_eq!(engine.cached_responses(), 0);

@@ -121,6 +121,7 @@ pub fn cheatsheet_data(library: &Thingpedia, config: EvalDataConfig) -> Dataset 
     )
     .into_iter()
     .map(|example| {
+        let interner = genie_templates::intern::shared();
         // Two rounds of rewriting plus casual framing.
         let mut utterance = example.utterance.clone();
         for _ in 0..2 {
@@ -130,11 +131,13 @@ pub fn cheatsheet_data(library: &Thingpedia, config: EvalDataConfig) -> Dataset 
         }
         if rng.gen_bool(0.5) {
             let prefix = CASUAL_PREFIXES.choose(&mut rng).expect("nonempty");
-            utterance = format!("{prefix} {utterance}");
+            let mut framed = interner.stream_of(prefix);
+            framed.extend_from_slice(&utterance);
+            utterance = framed;
         }
         if rng.gen_bool(0.3) {
             let suffix = CASUAL_SUFFIXES.choose(&mut rng).expect("nonempty");
-            utterance = format!("{utterance} {suffix}");
+            interner.intern_words(suffix, &mut utterance);
         }
         Example::new(utterance, example.program, ExampleSource::Evaluation)
     })
@@ -215,7 +218,9 @@ pub fn ifttt_data(library: &Thingpedia, config: EvalDataConfig) -> Dataset {
 /// light when it rains", "IG to FB"), including the artifacts the Table 2
 /// rules remove.
 fn raw_ifttt_description(example: &Example, rng: &mut StdRng) -> String {
-    let utterance = &example.utterance;
+    // Evaluation data is built once per experiment (cold path): render the
+    // stream and apply the description surgery on text.
+    let utterance = example.text();
     match rng.gen_range(0..4) {
         0 => format!("{utterance} with this button"),
         1 => utterance.replace("my ", "your "),
@@ -227,14 +232,14 @@ fn raw_ifttt_description(example: &Example, rng: &mut StdRng) -> String {
                 .iter()
                 .map(|d| d.rsplit('.').next().unwrap_or(d).to_owned())
                 .collect();
-            let mut shortened = utterance.clone();
+            let mut shortened = utterance;
             for device in devices {
                 shortened = shortened.replace(&format!(" on {device}"), "");
                 shortened = shortened.replace(&format!(" {device}"), "");
             }
             shortened
         }
-        _ => utterance.clone(),
+        _ => utterance,
     }
 }
 
@@ -259,7 +264,7 @@ mod tests {
         for dataset in [&developer, &cheatsheet, &ifttt] {
             for example in &dataset.examples {
                 assert_eq!(example.source, ExampleSource::Evaluation);
-                assert!(!example.utterance.trim().is_empty());
+                assert!(!example.text().trim().is_empty());
             }
         }
     }
@@ -307,7 +312,7 @@ mod tests {
         let casual = |d: &Dataset| {
             d.examples
                 .iter()
-                .filter(|e| CASUAL_PREFIXES.iter().any(|p| e.utterance.starts_with(p)))
+                .filter(|e| CASUAL_PREFIXES.iter().any(|p| e.text().starts_with(p)))
                 .count()
         };
         assert!(casual(&cheatsheet) > 0);

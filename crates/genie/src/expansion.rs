@@ -11,6 +11,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use genie_nlp::intern::{Interner, Symbol, TokenStream};
+use genie_nlp::ppdb::CompiledPpdb;
 use genie_nlp::Ppdb;
 use thingpedia::ParamDatasets;
 use thingtalk::ast::Predicate;
@@ -20,8 +22,15 @@ use crate::dataset::{Example, ExampleSource};
 use crate::error::GenieResult;
 
 /// Parameter expansion: produce up to `copies` variants of the example with
-/// fresh parameter values. Only values whose rendered text actually occurs in
-/// the utterance are replaced (so sentence and program stay aligned).
+/// fresh parameter values. Only values whose rendered text occurs in the
+/// utterance **as a whole-token run** are replaced (so sentence and program
+/// stay aligned). This is deliberately stricter than the byte-substring
+/// matching of the string engine it replaced: a value can no longer match
+/// *inside* a larger word (where the old `str::replace` would silently
+/// mangle the token, e.g. rewriting the `5` inside `15`). On the builtin
+/// synthesis workloads the two criteria coincide — the CI digest matrix
+/// pins the dataset bytes — but hand-built examples whose values abut
+/// punctuation inside one token expand less aggressively than before.
 ///
 /// # Errors
 ///
@@ -35,7 +44,8 @@ pub fn expand_parameters(
     copies: usize,
     rng: &mut StdRng,
 ) -> GenieResult<Vec<Example>> {
-    let replaceable = replaceable_values(example);
+    let interner = genie_templates::intern::shared();
+    let replaceable = replaceable_values(interner, example);
     if replaceable.is_empty() || copies == 0 {
         return Ok(Vec::new());
     }
@@ -44,14 +54,20 @@ pub fn expand_parameters(
         let mut utterance = example.utterance.clone();
         let mut program = example.program.clone();
         let mut changed = false;
-        for (param_name, old_text) in &replaceable {
-            let dataset = datasets.for_param(&thingtalk::types::Type::String, param_name)?;
+        for replace in &replaceable {
+            let dataset = datasets.for_param(&thingtalk::types::Type::String, &replace.param)?;
             let new_text = dataset.sample(rng).to_owned();
-            if new_text == *old_text {
+            if new_text == replace.old_text {
                 continue;
             }
-            utterance = utterance.replace(old_text.as_str(), &new_text);
-            replace_in_program(&mut program, old_text, &new_text);
+            // Substitute the value's token run wherever it occurs (the old
+            // byte-scanning `str::replace`); dataset values are pre-seeded,
+            // so interning the fresh value is a lookup, not an allocation.
+            let new_tokens = interner.stream_of(&new_text);
+            if let Some(rewritten) = utterance.replace_seq(&replace.old_tokens, &new_tokens) {
+                utterance = rewritten;
+            }
+            replace_in_program(&mut program, &replace.old_text, &new_text);
             changed = true;
         }
         if changed {
@@ -62,22 +78,45 @@ pub fn expand_parameters(
     Ok(out)
 }
 
-/// The (parameter name, rendered text) pairs of string/entity constants that
-/// appear verbatim in the utterance.
-fn replaceable_values(example: &Example) -> Vec<(String, String)> {
+/// One replaceable constant: its parameter, its rendered text (for the
+/// program-side rewrite) and its token run in the utterance.
+struct ReplaceableValue {
+    param: String,
+    old_text: String,
+    old_tokens: TokenStream,
+}
+
+/// The string/entity constants that appear as whole-token runs in the
+/// utterance. A value whose words were never interned cannot occur in the
+/// utterance stream, so the lookup never interns anything new.
+fn replaceable_values(interner: &Interner, example: &Example) -> Vec<ReplaceableValue> {
     example
         .program
         .constants()
         .into_iter()
-        .filter_map(|(name, value)| match &value {
-            Value::String(s) if example.utterance.contains(s.as_str()) && s.len() > 2 => {
-                Some((name, s.clone()))
-            }
-            Value::Entity {
-                display: Some(d), ..
-            } if example.utterance.contains(d.as_str()) && d.len() > 2 => Some((name, d.clone())),
-            _ => None,
+        .filter_map(|(name, value)| {
+            let text = match &value {
+                Value::String(s) if s.len() > 2 => s.as_str(),
+                Value::Entity {
+                    display: Some(d), ..
+                } if d.len() > 2 => d.as_str(),
+                _ => return None,
+            };
+            let tokens = existing_tokens(interner, text)?;
+            example.utterance.find_seq(&tokens, 0)?;
+            Some(ReplaceableValue {
+                param: name,
+                old_text: text.to_owned(),
+                old_tokens: TokenStream::from_slice(&tokens),
+            })
         })
+        .collect()
+}
+
+/// The token run of `text` if every word is already interned.
+fn existing_tokens(interner: &Interner, text: &str) -> Option<Vec<Symbol>> {
+    text.split_whitespace()
+        .map(|word| interner.get(word))
         .collect()
 }
 
@@ -161,7 +200,7 @@ fn replace_in_value(value: &mut Value, old_text: &str, new_text: &str) {
 /// substitutions, keeping the program unchanged.
 pub fn augment_ppdb(
     example: &Example,
-    ppdb: &Ppdb,
+    ppdb: &CompiledPpdb,
     copies: usize,
     rng: &mut StdRng,
 ) -> Vec<Example> {
@@ -188,7 +227,7 @@ pub fn expand_dataset(
     seed: u64,
     threads: usize,
 ) -> GenieResult<Vec<Example>> {
-    let ppdb = Ppdb::builtin();
+    let ppdb = Ppdb::builtin().compile(genie_templates::intern::shared());
     let expanded = genie_parallel::par_map(
         threads,
         examples,
@@ -235,10 +274,10 @@ mod tests {
             let constants = variant.program.constants();
             let (_, value) = &constants[0];
             let text = value.as_text().unwrap();
+            let rendered = variant.text();
             assert!(
-                variant.utterance.contains(&text),
-                "utterance `{}` does not contain the new value `{text}`",
-                variant.utterance
+                rendered.contains(&text),
+                "utterance `{rendered}` does not contain the new value `{text}`"
             );
             assert_eq!(variant.source, ExampleSource::Augmented);
         }
@@ -260,7 +299,7 @@ mod tests {
 
     #[test]
     fn ppdb_augmentation_keeps_the_program() {
-        let ppdb = Ppdb::builtin();
+        let ppdb = Ppdb::builtin().compile(genie_templates::intern::shared());
         let mut rng = StdRng::seed_from_u64(4);
         let augmented = augment_ppdb(&example(), &ppdb, 3, &mut rng);
         assert!(!augmented.is_empty());

@@ -194,10 +194,10 @@ fn run_once(
     Ok(test_sets
         .iter()
         .map(|(name, dataset)| {
-            let sentences: Vec<Vec<String>> = dataset
+            let sentences: Vec<genie_nlp::TokenStream> = dataset
                 .examples
                 .iter()
-                .map(|e| genie_nlp::tokenize(&e.utterance))
+                .map(|e| genie_templates::intern::shared().tokenized(&e.utterance))
                 .collect();
             let gold: Vec<Vec<String>> = dataset
                 .examples
@@ -470,10 +470,10 @@ fn spotify_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
         if spotify_test.is_empty() {
             continue;
         }
-        let sentences: Vec<Vec<String>> = spotify_test
+        let sentences: Vec<genie_nlp::TokenStream> = spotify_test
             .examples
             .iter()
-            .map(|e| genie_nlp::tokenize(&e.utterance))
+            .map(|e| genie_templates::intern::shared().tokenized(&e.utterance))
             .collect();
 
         // Baseline: paraphrases only, no augmentation or expansion.
@@ -583,13 +583,14 @@ fn tacl_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
                     crate::dataset::ExampleSource::Synthesized,
                 );
                 let rewrites = simulator.paraphrase(&example, &mut rng);
+                let interner = genie_templates::intern::shared();
                 let mut out = vec![ParserExample::new(
-                    genie_nlp::tokenize(utterance),
+                    interner.tokenize_text(utterance),
                     policy_tokens(policy),
                 )];
                 for rewrite in rewrites {
                     out.push(ParserExample::new(
-                        genie_nlp::tokenize(&rewrite.utterance),
+                        interner.tokenized(&rewrite.utterance),
                         policy_tokens(policy),
                     ));
                 }
@@ -599,7 +600,10 @@ fn tacl_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
         let test_examples: Vec<ParserExample> = test_policies
             .iter()
             .map(|(utterance, policy)| {
-                ParserExample::new(genie_nlp::tokenize(utterance), policy_tokens(policy))
+                ParserExample::new(
+                    genie_templates::intern::shared().tokenize_text(utterance),
+                    policy_tokens(policy),
+                )
             })
             .collect();
 
@@ -645,10 +649,10 @@ fn aggregation_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
         if test.is_empty() {
             continue;
         }
-        let sentences: Vec<Vec<String>> = test
+        let sentences: Vec<genie_nlp::TokenStream> = test
             .examples
             .iter()
-            .map(|e| genie_nlp::tokenize(&e.utterance))
+            .map(|e| genie_templates::intern::shared().tokenized(&e.utterance))
             .collect();
 
         let mut baseline = BaselineParser::new();

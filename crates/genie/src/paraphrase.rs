@@ -8,11 +8,15 @@
 //! error model, and the same validation heuristics Genie applies to discard
 //! obvious mistakes.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use genie_nlp::intern::{Interner, Symbol, TokenStream};
 use genie_nlp::metrics::{edit_distance, jaccard_similarity};
+use genie_nlp::ppdb::CompiledPpdb;
 use genie_nlp::{tokenize, Ppdb};
 
 use crate::dataset::{Example, ExampleSource};
@@ -95,10 +99,24 @@ impl ParaphraseConfigBuilder {
 }
 
 /// Simulates crowdworkers paraphrasing synthesized sentences.
-#[derive(Debug, Clone)]
+///
+/// All rewriting happens on interned token streams: the PPDB lexicon is
+/// compiled against the shared arena ([`Ppdb::compile`]), clause
+/// reordering and prefix/filler edits splice symbol runs, and validation
+/// compares cached tokenizer expansions — the per-candidate `String`
+/// chains and re-tokenization of the old simulator are gone. Rewrites are
+/// draw-for-draw identical to the string implementation.
 pub struct ParaphraseSimulator {
-    ppdb: Ppdb,
+    ppdb: CompiledPpdb,
     config: ParaphraseConfig,
+    interner: Arc<Interner>,
+    fillers: Vec<TokenStream>,
+    prefixes: Vec<TokenStream>,
+    /// The droppable politeness leads, in trial order.
+    leads: Vec<TokenStream>,
+    sym_when: Symbol,
+    sym_comma: Symbol,
+    sym_dot: Symbol,
 }
 
 const FILLERS: &[&str] = &[
@@ -120,11 +138,21 @@ const PREFIXES: &[&str] = &[
 ];
 
 impl ParaphraseSimulator {
-    /// Create a simulator.
+    /// Create a simulator (compiles the lexicon against the shared arena).
     pub fn new(config: ParaphraseConfig) -> Self {
+        let interner = genie_templates::intern::shared().clone();
+        let compile_all =
+            |phrases: &[&str]| phrases.iter().map(|p| interner.stream_of(p)).collect();
         ParaphraseSimulator {
-            ppdb: Ppdb::builtin(),
+            ppdb: Ppdb::builtin().compile(&interner),
             config,
+            fillers: compile_all(FILLERS),
+            prefixes: compile_all(PREFIXES),
+            leads: compile_all(&["please", "get", "show me"]),
+            sym_when: interner.intern("when"),
+            sym_comma: interner.intern(","),
+            sym_dot: interner.intern("."),
+            interner,
         }
     }
 
@@ -158,7 +186,7 @@ impl ParaphraseSimulator {
             } else {
                 self.faithful_rewrite(&example.utterance, rng)
             };
-            if self.validate(&example.utterance, &candidate) {
+            if self.validate_streams(&example.utterance, &candidate) {
                 out.push(Example::new(
                     candidate,
                     example.program.clone(),
@@ -171,8 +199,8 @@ impl ParaphraseSimulator {
 
     /// A faithful rewrite: lexical substitutions, clause reordering, filler
     /// insertion or removal.
-    fn faithful_rewrite(&self, utterance: &str, rng: &mut StdRng) -> String {
-        let mut sentence = utterance.to_owned();
+    fn faithful_rewrite(&self, utterance: &TokenStream, rng: &mut StdRng) -> TokenStream {
+        let mut sentence = utterance.clone();
         // 1–3 lexicon substitutions.
         let substitutions = rng.gen_range(1..=3);
         for _ in 0..substitutions {
@@ -182,24 +210,27 @@ impl ParaphraseSimulator {
         }
         // Clause reordering for when-commands: "when X , Y" <-> "Y when X".
         if rng.gen_bool(0.5) {
-            sentence = reorder_clauses(&sentence);
+            sentence = self.reorder_clauses(&sentence);
         }
         // Politeness prefix or filler.
         match rng.gen_range(0..4) {
             0 => {
-                let prefix = PREFIXES.choose(rng).expect("nonempty");
-                sentence = format!("{prefix} {sentence}");
+                let prefix = self.prefixes.choose(rng).expect("nonempty");
+                let mut next = prefix.clone();
+                next.extend_from_slice(&sentence);
+                sentence = next;
             }
             1 => {
-                let filler = FILLERS.choose(rng).expect("nonempty");
-                sentence = format!("{sentence} {filler}");
+                let filler = self.fillers.choose(rng).expect("nonempty");
+                sentence.extend_from_slice(filler);
             }
             2 => {
-                // Drop a leading politeness word if present.
-                for lead in ["please ", "get ", "show me "] {
-                    if let Some(rest) = sentence.strip_prefix(lead) {
-                        if rest.split_whitespace().count() >= 3 {
-                            sentence = rest.to_owned();
+                // Drop a leading politeness word if present (first matching
+                // lead only, like the `strip_prefix` loop it replaces).
+                for lead in &self.leads {
+                    if sentence.len() > lead.len() && sentence.starts_with(lead.as_slice()) {
+                        if sentence.len() - lead.len() >= 3 {
+                            sentence = TokenStream::from_slice(&sentence[lead.len()..]);
                         }
                         break;
                     }
@@ -212,52 +243,92 @@ impl ParaphraseSimulator {
 
     /// An erroneous rewrite: either near-verbatim (lazy worker) or heavily
     /// truncated (worker dropped the second clause).
-    fn erroneous_rewrite(&self, utterance: &str, rng: &mut StdRng) -> String {
+    fn erroneous_rewrite(&self, utterance: &TokenStream, rng: &mut StdRng) -> TokenStream {
         if rng.gen_bool(0.5) {
             // Minimal modification (will be dropped by validation).
-            format!("{utterance} .")
+            let mut out = utterance.clone();
+            out.push(self.sym_dot);
+            out
         } else {
-            let words: Vec<&str> = utterance.split_whitespace().collect();
-            let keep = (words.len() / 2).max(1);
-            words[..keep].join(" ")
+            let keep = (utterance.len() / 2).max(1);
+            let mut out = utterance.clone();
+            out.truncate(keep);
+            out
         }
     }
 
-    /// The validation heuristics of §3.2: discard answers that are too
-    /// similar to the synthesized sentence (no real paraphrase), too short
-    /// relative to it (information lost), or empty.
+    /// Swap "when X , Y" into "Y when X" and vice versa, splicing token
+    /// runs around the first "," / "when" fragment.
+    fn reorder_clauses(&self, sentence: &TokenStream) -> TokenStream {
+        let tokens = sentence.as_slice();
+        match tokens {
+            [first, rest @ ..] if *first == self.sym_when && !rest.is_empty() => {
+                if let Some(comma) = rest.iter().position(|&t| t == self.sym_comma) {
+                    let (condition, action) = (&rest[..comma], &rest[comma + 1..]);
+                    if !condition.is_empty() && !action.is_empty() {
+                        let mut out = TokenStream::with_capacity(tokens.len() - 1);
+                        out.extend_from_slice(action);
+                        out.push(self.sym_when);
+                        out.extend_from_slice(condition);
+                        return out;
+                    }
+                }
+                sentence.clone()
+            }
+            _ => {
+                if let Some(at) = tokens.iter().position(|&t| t == self.sym_when) {
+                    let (action, condition) = (&tokens[..at], &tokens[at + 1..]);
+                    if !action.is_empty()
+                        && !condition.is_empty()
+                        && !self.interner.resolve(action[0]).starts_with("when")
+                    {
+                        let mut out = TokenStream::with_capacity(tokens.len() + 1);
+                        out.push(self.sym_when);
+                        out.extend_from_slice(condition);
+                        out.push(self.sym_comma);
+                        out.extend_from_slice(action);
+                        return out;
+                    }
+                }
+                sentence.clone()
+            }
+        }
+    }
+
+    /// The validation heuristics of §3.2 over interned streams: the cached
+    /// per-symbol tokenizer expansions stand in for re-tokenizing rendered
+    /// text, and symbol comparisons stand in for string comparisons (the
+    /// arena is injective, so the decisions are identical).
+    pub fn validate_streams(&self, original: &TokenStream, paraphrase: &TokenStream) -> bool {
+        validate_tokens(
+            &self.interner.tokenized(original),
+            &self.interner.tokenized(paraphrase),
+        )
+    }
+
+    /// The validation heuristics over rendered text (for external callers;
+    /// same decision procedure as [`ParaphraseSimulator::validate_streams`]
+    /// — both delegate to one token-level implementation).
     pub fn validate(&self, original: &str, paraphrase: &str) -> bool {
-        let original_tokens = tokenize(original);
-        let paraphrase_tokens = tokenize(paraphrase);
-        if paraphrase_tokens.len() < 3 {
-            return false;
-        }
-        if paraphrase_tokens.len() * 2 < original_tokens.len() {
-            return false;
-        }
-        let distance = edit_distance(&original_tokens, &paraphrase_tokens);
-        if distance <= 1 {
-            return false;
-        }
-        // Completely unrelated answers are also rejected.
-        jaccard_similarity(&original_tokens, &paraphrase_tokens) >= 0.15
+        validate_tokens(&tokenize(original), &tokenize(paraphrase))
     }
 }
 
-/// Swap "when X , Y" into "Y when X" and vice versa.
-fn reorder_clauses(sentence: &str) -> String {
-    if let Some(rest) = sentence.strip_prefix("when ") {
-        if let Some((condition, action)) = rest.split_once(" , ") {
-            if !condition.is_empty() && !action.is_empty() {
-                return format!("{action} when {condition}");
-            }
-        }
-    } else if let Some((action, condition)) = sentence.split_once(" when ") {
-        if !action.is_empty() && !condition.is_empty() && !action.starts_with("when") {
-            return format!("when {condition} , {action}");
-        }
+/// The §3.2 validation heuristics over tokenized sentences (token strings
+/// or interned symbols — token equality is all they use): discard answers
+/// that are too short, too similar to the synthesized sentence (no real
+/// paraphrase), or completely unrelated.
+fn validate_tokens<T: PartialEq + Ord>(original: &[T], paraphrase: &[T]) -> bool {
+    if paraphrase.len() < 3 {
+        return false;
     }
-    sentence.to_owned()
+    if paraphrase.len() * 2 < original.len() {
+        return false;
+    }
+    if edit_distance(original, paraphrase) <= 1 {
+        return false;
+    }
+    jaccard_similarity(original, paraphrase) >= 0.15
 }
 
 #[cfg(test)]
@@ -294,11 +365,101 @@ mod tests {
 
     #[test]
     fn clause_reordering_roundtrips() {
-        let forward = reorder_clauses("when it rains , bring an umbrella");
+        let simulator = ParaphraseSimulator::new(ParaphraseConfig::default());
+        let interner = genie_templates::intern::shared();
+        let reorder = |text: &str| {
+            let stream = interner.stream_of(text);
+            interner.render(&simulator.reorder_clauses(&stream))
+        };
+        let forward = reorder("when it rains , bring an umbrella");
         assert_eq!(forward, "bring an umbrella when it rains");
-        let back = reorder_clauses(&forward);
-        assert_eq!(back, "when it rains , bring an umbrella");
-        assert_eq!(reorder_clauses("lock the door"), "lock the door");
+        assert_eq!(reorder(&forward), "when it rains , bring an umbrella");
+        assert_eq!(reorder("lock the door"), "lock the door");
+        // "whenever" is not a reorderable "when" clause.
+        assert_eq!(
+            reorder("whenever it rains bring an umbrella"),
+            "whenever it rains bring an umbrella"
+        );
+    }
+
+    /// The stream rewriter must be draw-for-draw identical to the string
+    /// implementation it replaced — rewrites are part of the dataset
+    /// identity.
+    #[test]
+    fn stream_rewrites_match_string_rewrites() {
+        let simulator = ParaphraseSimulator::new(ParaphraseConfig::default());
+        let interner = genie_templates::intern::shared();
+        let string_ppdb = Ppdb::builtin();
+
+        let string_reorder = |sentence: &str| -> String {
+            if let Some(rest) = sentence.strip_prefix("when ") {
+                if let Some((condition, action)) = rest.split_once(" , ") {
+                    if !condition.is_empty() && !action.is_empty() {
+                        return format!("{action} when {condition}");
+                    }
+                }
+            } else if let Some((action, condition)) = sentence.split_once(" when ") {
+                if !action.is_empty() && !condition.is_empty() && !action.starts_with("when") {
+                    return format!("when {condition} , {action}");
+                }
+            }
+            sentence.to_owned()
+        };
+        let string_faithful = |utterance: &str, rng: &mut StdRng| -> String {
+            let mut sentence = utterance.to_owned();
+            for _ in 0..rng.gen_range(1..=3) {
+                if let Some(next) = string_ppdb.augment_once(&sentence, rng) {
+                    sentence = next;
+                }
+            }
+            if rng.gen_bool(0.5) {
+                sentence = string_reorder(&sentence);
+            }
+            match rng.gen_range(0..4) {
+                0 => {
+                    let prefix = PREFIXES.choose(rng).expect("nonempty");
+                    sentence = format!("{prefix} {sentence}");
+                }
+                1 => {
+                    let filler = FILLERS.choose(rng).expect("nonempty");
+                    sentence = format!("{sentence} {filler}");
+                }
+                2 => {
+                    for lead in ["please ", "get ", "show me "] {
+                        if let Some(rest) = sentence.strip_prefix(lead) {
+                            if rest.split_whitespace().count() >= 3 {
+                                sentence = rest.to_owned();
+                            }
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            sentence
+        };
+
+        for (i, text) in [
+            "when i receive an email , send a slack message to #general",
+            "please post a funny cat picture on facebook",
+            "get my dropbox files and then tweet the file name",
+            "show me my new emails when i get home",
+            "lock the front door",
+            "whenever it rains close the windows",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let stream = interner.stream_of(text);
+            for round in 0..40u64 {
+                let seed = 31 * (i as u64 + 1) + round;
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                let via_string = string_faithful(text, &mut rng_a);
+                let via_stream = interner.render(&simulator.faithful_rewrite(&stream, &mut rng_b));
+                assert_eq!(via_string, via_stream, "text {text:?} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -345,7 +345,7 @@ impl<'a> DataPipeline<'a> {
         self.config.validate()?;
         let generator = SentenceGenerator::new(self.library, self.config.synthesis);
         let simulator = ParaphraseSimulator::new(self.config.paraphrase);
-        let ppdb = Ppdb::builtin();
+        let ppdb = Ppdb::builtin().compile(genie_templates::intern::shared());
         let fuse = match self.config.synthesis.batch_size {
             0 => 256,
             n => n,
@@ -438,7 +438,7 @@ impl<'a> DataPipeline<'a> {
     fn fuse_batch(
         &self,
         simulator: &ParaphraseSimulator,
-        ppdb: &Ppdb,
+        ppdb: &genie_nlp::ppdb::CompiledPpdb,
         options: NnOptions,
         paraphrase_threshold: u64,
         pending: &mut Vec<SynthesizedExample>,
@@ -558,13 +558,18 @@ impl<'a> DataPipeline<'a> {
     }
 
     /// Convert a single example.
+    ///
+    /// The sentence side is the concatenation of the cached per-symbol
+    /// tokenizer expansions of the raw utterance — exactly what
+    /// `genie_nlp::tokenize` produced for the rendered text, without
+    /// rendering or re-tokenizing anything.
     pub fn to_parser_example(
         &self,
         example: &Example,
         options: NnOptions,
         rng: &mut StdRng,
     ) -> ParserExample {
-        let sentence = genie_nlp::tokenize(&example.utterance);
+        let sentence = genie_templates::intern::shared().tokenized(&example.utterance);
         let mut program = if options.canonicalize {
             canonicalized(self.library, &example.program)
         } else {
@@ -726,7 +731,7 @@ mod tests {
             let mut out = Vec::new();
             pipeline
                 .run_streaming(NnOptions::default(), |e| {
-                    out.push((e.sentence.join(" "), e.program.join(" ")))
+                    out.push((e.sentence_text(), e.program.join(" ")))
                 })
                 .unwrap();
             out

@@ -11,13 +11,19 @@
 
 use std::collections::HashMap;
 
+use genie_nlp::intern::{FnvState, Symbol};
+
 use crate::data::ParserExample;
 
 /// The paraphrase-matching baseline parser.
+///
+/// Sentences are interned token streams, so the index keys document
+/// frequencies by 4-byte [`Symbol`] and similarity scoring compares symbol
+/// ids — no string hashing on the match path.
 #[derive(Debug, Clone, Default)]
 pub struct BaselineParser {
     examples: Vec<ParserExample>,
-    document_frequency: HashMap<String, f64>,
+    document_frequency: HashMap<Symbol, f64, FnvState>,
 }
 
 impl BaselineParser {
@@ -29,11 +35,11 @@ impl BaselineParser {
     /// Index the training examples.
     pub fn train(&mut self, examples: &[ParserExample]) {
         for example in examples {
-            let mut seen: Vec<&String> = Vec::new();
+            let mut seen: Vec<Symbol> = Vec::new();
             for token in &example.sentence {
                 if !seen.contains(&token) {
                     seen.push(token);
-                    *self.document_frequency.entry(token.clone()).or_default() += 1.0;
+                    *self.document_frequency.entry(token).or_default() += 1.0;
                 }
             }
             self.examples.push(example.clone());
@@ -45,23 +51,23 @@ impl BaselineParser {
         self.examples.len()
     }
 
-    fn idf(&self, token: &str) -> f64 {
+    fn idf(&self, token: Symbol) -> f64 {
         let n = self.examples.len().max(1) as f64;
-        let df = self.document_frequency.get(token).copied().unwrap_or(0.0);
+        let df = self.document_frequency.get(&token).copied().unwrap_or(0.0);
         ((n + 1.0) / (df + 1.0)).ln() + 1.0
     }
 
-    fn similarity(&self, a: &[String], b: &[String]) -> f64 {
+    fn similarity(&self, a: &[Symbol], b: &[Symbol]) -> f64 {
         let mut score = 0.0;
         let mut norm = 0.0;
-        for token in a {
+        for &token in a {
             let w = self.idf(token);
             norm += w;
-            if b.contains(token) {
+            if b.contains(&token) {
                 score += w;
             }
         }
-        for token in b {
+        for &token in b {
             norm += self.idf(token) * 0.25;
         }
         if norm == 0.0 {
@@ -73,7 +79,7 @@ impl BaselineParser {
 
     /// Predict the program for a sentence by nearest-neighbour matching.
     /// Returns an empty program when nothing has been indexed.
-    pub fn predict(&self, sentence: &[String]) -> Vec<String> {
+    pub fn predict(&self, sentence: &[Symbol]) -> Vec<String> {
         let mut best: Option<(&ParserExample, f64)> = None;
         for example in &self.examples {
             let score = self.similarity(sentence, &example.sentence);
@@ -85,7 +91,7 @@ impl BaselineParser {
     }
 
     /// Predict programs for many sentences.
-    pub fn predict_batch(&self, sentences: &[Vec<String>]) -> Vec<Vec<String>> {
+    pub fn predict_batch(&self, sentences: &[genie_nlp::intern::TokenStream]) -> Vec<Vec<String>> {
         sentences.iter().map(|s| self.predict(s)).collect()
     }
 
@@ -123,24 +129,15 @@ mod tests {
     fn exact_sentences_are_recalled() {
         let baseline = index();
         assert_eq!(baseline.size(), 3);
-        let p = baseline.predict(
-            &"lock the front door"
-                .split_whitespace()
-                .map(str::to_owned)
-                .collect::<Vec<_>>(),
-        );
+        let p = baseline.predict(&genie_nlp::intern::shared().stream_of("lock the front door"));
         assert_eq!(p.join(" "), "now => @com.august.lock.lock ( )");
     }
 
     #[test]
     fn near_paraphrases_match_the_right_program() {
         let baseline = index();
-        let p = baseline.predict(
-            &"please show my emails now"
-                .split_whitespace()
-                .map(str::to_owned)
-                .collect::<Vec<_>>(),
-        );
+        let p =
+            baseline.predict(&genie_nlp::intern::shared().stream_of("please show my emails now"));
         assert!(p.join(" ").contains("@com.gmail.inbox"));
     }
 
@@ -149,19 +146,17 @@ mod tests {
         let baseline = index();
         // "tweets" is rare relative to "show me my", so it should pick the
         // twitter program even with extra overlap elsewhere.
-        let p = baseline.predict(
-            &"show me all the tweets please"
-                .split_whitespace()
-                .map(str::to_owned)
-                .collect::<Vec<_>>(),
-        );
+        let p = baseline
+            .predict(&genie_nlp::intern::shared().stream_of("show me all the tweets please"));
         assert!(p.join(" ").contains("@com.twitter.timeline"));
     }
 
     #[test]
     fn empty_baseline_returns_empty_program() {
         let baseline = BaselineParser::new();
-        assert!(baseline.predict(&["anything".to_owned()]).is_empty());
+        assert!(baseline
+            .predict(&genie_nlp::intern::shared().stream_of("anything"))
+            .is_empty());
         assert_eq!(baseline.exact_match_accuracy(&[]), 0.0);
     }
 }

@@ -54,7 +54,7 @@ pub fn bucket<F: Hash>(feature: &F, candidate: &str) -> usize {
 ///   pointer feature);
 /// * a position bucket.
 pub fn candidate_buckets(
-    sentence: &[String],
+    sentence: &[&str],
     prev1: &str,
     prev2: &str,
     position: usize,
@@ -66,7 +66,7 @@ pub fn candidate_buckets(
     buckets.push(bucket(&("prev1", prev1), candidate));
     buckets.push(bucket(&("prev2", prev2, prev1), candidate));
     buckets.push(bucket(&("pos", position.min(24)), candidate));
-    let copies = sentence.iter().any(|w| w == candidate);
+    let copies = sentence.contains(&candidate);
     if copies {
         buckets.push(bucket(&("copy", prev1), ""));
         buckets.push(bucket(&("copy-word",), candidate));
@@ -74,7 +74,7 @@ pub fn candidate_buckets(
     // Pointer-style span continuation: if the previous program token was
     // itself copied from the input, learn (independently of word identity)
     // whether to keep copying the next input word or to close the span.
-    let prev_copied = sentence.iter().any(|w| w == prev1);
+    let prev_copied = sentence.contains(&prev1);
     if prev_copied {
         buckets.push(bucket(&("prev-copied",), candidate));
         let continues_span = sentence
@@ -91,7 +91,11 @@ pub fn candidate_buckets(
 
 /// The content words of a sentence used as lexical features (stop words and
 /// very short tokens are skipped, and the list is capped to bound cost).
-pub fn content_words(sentence: &[String]) -> impl Iterator<Item = &str> {
+///
+/// Sentence words arrive as resolved interned fragments
+/// ([`crate::data::resolve_sentence`]): borrowing from the arena, so this
+/// path allocates nothing per sentence.
+pub fn content_words<'a>(sentence: &'a [&'a str]) -> impl Iterator<Item = &'a str> {
     const STOP: &[&str] = &[
         "a", "an", "the", "to", "of", "in", "on", "at", "is", "are", "my", "me", "i", "and",
         "then", "please", "can", "you", "it", "that", "with", "for", "when", "if", ",", ".", "!",
@@ -99,7 +103,7 @@ pub fn content_words(sentence: &[String]) -> impl Iterator<Item = &str> {
     ];
     sentence
         .iter()
-        .map(String::as_str)
+        .copied()
         .filter(|w| w.len() > 1 && !STOP.contains(w))
         .take(12)
 }
@@ -108,8 +112,8 @@ pub fn content_words(sentence: &[String]) -> impl Iterator<Item = &str> {
 mod tests {
     use super::*;
 
-    fn words(s: &str) -> Vec<String> {
-        s.split_whitespace().map(str::to_owned).collect()
+    fn words(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
     }
 
     #[test]

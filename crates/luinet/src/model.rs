@@ -10,11 +10,12 @@
 //! model ([`crate::ProgramLm`]) contributes an additional score, mirroring
 //! the decoder LM of §4.2.
 
+use genie_nlp::intern::{Symbol, TokenStream};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::data::ParserExample;
+use crate::data::{resolve_sentence, ParserExample};
 use crate::features::{candidate_buckets, FEATURE_BUCKETS};
 use crate::lm::ProgramLm;
 use crate::vocab::{Vocab, BOS, EOS};
@@ -119,6 +120,11 @@ impl LuinetParser {
     }
 
     /// Train on the given examples (teacher forcing, averaged perceptron).
+    ///
+    /// Sentence symbols resolve once per example into borrowed fragments
+    /// ([`resolve_sentence`]): the epochs then hash and compare `&str`s
+    /// that point straight into the arena — no per-sentence `Vec<String>`
+    /// materialization, and no re-tokenization anywhere in training.
     pub fn train(&mut self, examples: &[ParserExample]) {
         // The transition model proposes candidate next-tokens at decode time
         // and is always (re)built from the training programs.
@@ -128,6 +134,10 @@ impl LuinetParser {
         }
         self.trained_examples += examples.len();
 
+        let resolved: Vec<Vec<&'static str>> = examples
+            .iter()
+            .map(|e| resolve_sentence(&e.sentence))
+            .collect();
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut buckets = Vec::with_capacity(24);
@@ -135,48 +145,34 @@ impl LuinetParser {
             order.shuffle(&mut rng);
             for &idx in &order {
                 let example = &examples[idx];
-                self.train_one(example, &mut buckets);
+                self.train_one(&resolved[idx], &example.program, &mut buckets);
             }
         }
     }
 
-    fn train_one(&mut self, example: &ParserExample, buckets: &mut Vec<usize>) {
+    fn train_one(&mut self, sentence: &[&str], program: &[String], buckets: &mut Vec<usize>) {
         let mut prev1 = BOS.to_owned();
         let mut prev2 = BOS.to_owned();
-        let gold_with_eos: Vec<&str> = example
-            .program
+        let gold_with_eos: Vec<&str> = program
             .iter()
             .map(String::as_str)
             .chain(std::iter::once(EOS))
             .collect();
         for (position, gold) in gold_with_eos.iter().enumerate() {
-            let mut candidates = self.candidates(&example.sentence, &prev1);
+            let mut candidates = self.candidates(sentence, &prev1);
             if !candidates.iter().any(|c| c == gold) {
                 candidates.push((*gold).to_owned());
             }
-            let predicted = self.best_candidate(
-                &example.sentence,
-                &prev1,
-                &prev2,
-                position,
-                &candidates,
-                buckets,
-            );
+            let predicted =
+                self.best_candidate(sentence, &prev1, &prev2, position, &candidates, buckets);
             self.updates += 1;
             if predicted != *gold {
-                candidate_buckets(&example.sentence, &prev1, &prev2, position, gold, buckets);
+                candidate_buckets(sentence, &prev1, &prev2, position, gold, buckets);
                 for &bucket in buckets.iter() {
                     self.weights[bucket] += 1.0;
                     self.totals[bucket] += self.updates as f64;
                 }
-                candidate_buckets(
-                    &example.sentence,
-                    &prev1,
-                    &prev2,
-                    position,
-                    &predicted,
-                    buckets,
-                );
+                candidate_buckets(sentence, &prev1, &prev2, position, &predicted, buckets);
                 for &bucket in buckets.iter() {
                     self.weights[bucket] -= 1.0;
                     self.totals[bucket] -= self.updates as f64;
@@ -190,15 +186,15 @@ impl LuinetParser {
     /// Candidate next-tokens: the tokens observed to follow `prev1` in the
     /// training programs, plus every input-sentence word (the copy actions),
     /// plus the end-of-sequence token.
-    fn candidates(&self, sentence: &[String], prev1: &str) -> Vec<String> {
+    fn candidates(&self, sentence: &[&str], prev1: &str) -> Vec<String> {
         let mut out: Vec<String> = self
             .transitions
             .successors(prev1)
             .map(str::to_owned)
             .collect();
-        for word in sentence {
-            if !out.contains(word) {
-                out.push(word.clone());
+        for &word in sentence {
+            if !out.iter().any(|c| c == word) {
+                out.push(word.to_owned());
             }
         }
         if !out.iter().any(|c| c == EOS) {
@@ -210,7 +206,7 @@ impl LuinetParser {
     #[allow(clippy::too_many_arguments)]
     fn score(
         &self,
-        sentence: &[String],
+        sentence: &[&str],
         prev1: &str,
         prev2: &str,
         position: usize,
@@ -237,7 +233,7 @@ impl LuinetParser {
 
     fn best_candidate(
         &self,
-        sentence: &[String],
+        sentence: &[&str],
         prev1: &str,
         prev2: &str,
         position: usize,
@@ -256,9 +252,14 @@ impl LuinetParser {
         best
     }
 
-    /// Decode the program for a tokenized sentence (greedy, averaged
+    /// Decode the program for an interned sentence (greedy, averaged
     /// weights).
-    pub fn predict(&self, sentence: &[String]) -> Vec<String> {
+    pub fn predict(&self, sentence: &[Symbol]) -> Vec<String> {
+        let sentence = resolve_sentence(sentence);
+        self.predict_resolved(&sentence)
+    }
+
+    fn predict_resolved(&self, sentence: &[&str]) -> Vec<String> {
         let mut out: Vec<String> = Vec::new();
         let mut prev1 = BOS.to_owned();
         let mut prev2 = BOS.to_owned();
@@ -304,9 +305,10 @@ impl LuinetParser {
     /// broken lexicographically on the token sequence, so the ranking is
     /// reproducible bit for bit across runs and thread counts — the
     /// property the serving cache depends on.
-    pub fn predict_topk(&self, sentence: &[String], k: usize) -> Vec<ScoredPrediction> {
-        let greedy_tokens = self.predict(sentence);
-        let greedy_score = self.sequence_score(sentence, &greedy_tokens);
+    pub fn predict_topk(&self, sentence: &[Symbol], k: usize) -> Vec<ScoredPrediction> {
+        let sentence = resolve_sentence(sentence);
+        let greedy_tokens = self.predict_resolved(&sentence);
+        let greedy_score = self.sequence_score(&sentence, &greedy_tokens);
         let mut out = vec![ScoredPrediction {
             tokens: greedy_tokens,
             score: greedy_score,
@@ -314,7 +316,7 @@ impl LuinetParser {
         if k <= 1 {
             return out;
         }
-        for hypothesis in self.beam(sentence, k) {
+        for hypothesis in self.beam(&sentence, k) {
             if out.len() >= k {
                 break;
             }
@@ -333,7 +335,7 @@ impl LuinetParser {
     /// The length-normalized averaged-weight score of a fixed token
     /// sequence (the score [`LuinetParser::predict_topk`] reports for its
     /// greedy top candidate).
-    fn sequence_score(&self, sentence: &[String], tokens: &[String]) -> f64 {
+    fn sequence_score(&self, sentence: &[&str], tokens: &[String]) -> f64 {
         let mut buckets = Vec::with_capacity(24);
         let mut prev1 = BOS.to_owned();
         let mut prev2 = BOS.to_owned();
@@ -362,7 +364,7 @@ impl LuinetParser {
 
     /// Deterministic beam search over the decode space; returns the beam
     /// ranked by length-normalized score.
-    fn beam(&self, sentence: &[String], beam_width: usize) -> Vec<Hypothesis> {
+    fn beam(&self, sentence: &[&str], beam_width: usize) -> Vec<Hypothesis> {
         let mut buckets = Vec::with_capacity(24);
         let mut beam: Vec<Hypothesis> = vec![Hypothesis {
             tokens: Vec::new(),
@@ -424,7 +426,7 @@ impl LuinetParser {
     /// Predict programs for many sentences in parallel (used by the
     /// evaluation harness). Uses all available cores for large batches; see
     /// [`LuinetParser::predict_batch_with_threads`] for an explicit count.
-    pub fn predict_batch(&self, sentences: &[Vec<String>]) -> Vec<Vec<String>> {
+    pub fn predict_batch(&self, sentences: &[TokenStream]) -> Vec<Vec<String>> {
         if sentences.len() < 32 {
             return sentences.iter().map(|s| self.predict(s)).collect();
         }
@@ -437,7 +439,7 @@ impl LuinetParser {
     /// input order, so the output is byte-identical for any thread count.
     pub fn predict_batch_with_threads(
         &self,
-        sentences: &[Vec<String>],
+        sentences: &[TokenStream],
         threads: usize,
     ) -> Vec<Vec<String>> {
         genie_parallel::par_map(threads, sentences, |_, sentence| self.predict(sentence))
@@ -447,7 +449,7 @@ impl LuinetParser {
     /// `threads` workers with order-preserving, byte-identical output.
     pub fn predict_topk_batch(
         &self,
-        sentences: &[Vec<String>],
+        sentences: &[TokenStream],
         k: usize,
         threads: usize,
     ) -> Vec<Vec<ScoredPrediction>> {
@@ -463,7 +465,7 @@ impl LuinetParser {
         if examples.is_empty() {
             return 0.0;
         }
-        let sentences: Vec<Vec<String>> = examples.iter().map(|e| e.sentence.clone()).collect();
+        let sentences: Vec<TokenStream> = examples.iter().map(|e| e.sentence.clone()).collect();
         let predictions = self.predict_batch(&sentences);
         let correct = predictions
             .iter()
@@ -477,6 +479,10 @@ impl LuinetParser {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn stream(s: &str) -> TokenStream {
+        genie_nlp::intern::shared().stream_of(s)
+    }
 
     fn training_set() -> Vec<ParserExample> {
         let mut out = Vec::new();
@@ -538,12 +544,7 @@ mod tests {
         parser.train(&examples);
         // "notify me when my calendar stuff changes" appears in training;
         // check a held-out lexical variant of a seen construct instead.
-        let predicted = parser.predict(
-            &"show me my gmail stuff"
-                .split_whitespace()
-                .map(str::to_owned)
-                .collect::<Vec<_>>(),
-        );
+        let predicted = parser.predict(&stream("show me my gmail stuff"));
         assert_eq!(predicted.join(" "), "now => @com.gmail.inbox ( ) => notify");
     }
 
@@ -556,12 +557,7 @@ mod tests {
         });
         let examples = training_set();
         parser.train(&examples);
-        let predicted = parser.predict(
-            &"tweet deadline extended again"
-                .split_whitespace()
-                .map(str::to_owned)
-                .collect::<Vec<_>>(),
-        );
+        let predicted = parser.predict(&stream("tweet deadline extended again"));
         let joined = predicted.join(" ");
         assert!(
             joined.contains("deadline") && joined.contains("extended"),
@@ -581,24 +577,14 @@ mod tests {
         })
         .with_pretrained_lm(lm);
         parser.train(&training_set());
-        let predicted = parser.predict(
-            &"show me my dropbox stuff"
-                .split_whitespace()
-                .map(str::to_owned)
-                .collect::<Vec<_>>(),
-        );
+        let predicted = parser.predict(&stream("show me my dropbox stuff"));
         assert!(predicted.join(" ").contains("@com.dropbox.list_folder"));
     }
 
     #[test]
     fn untrained_parser_predicts_nothing_useful() {
         let parser = LuinetParser::new(ModelConfig::default());
-        let predicted = parser.predict(
-            &"show me my tweets"
-                .split_whitespace()
-                .map(str::to_owned)
-                .collect::<Vec<_>>(),
-        );
+        let predicted = parser.predict(&stream("show me my tweets"));
         // With no training data there is no program vocabulary, so the
         // output cannot contain any program structure.
         assert!(!predicted.iter().any(|t| t == "=>" || t.starts_with('@')));
@@ -614,10 +600,7 @@ mod tests {
             ..ModelConfig::default()
         });
         parser.train(&training_set());
-        let sentence: Vec<String> = "show me my gmail stuff"
-            .split_whitespace()
-            .map(str::to_owned)
-            .collect();
+        let sentence = stream("show me my gmail stuff");
         let top = parser.predict_topk(&sentence, 4);
         assert!(!top.is_empty() && top.len() <= 4);
         // The top candidate is pinned to the greedy decode; the beam
@@ -645,7 +628,7 @@ mod tests {
             ..ModelConfig::default()
         });
         parser.train(&training_set());
-        let sentences: Vec<Vec<String>> =
+        let sentences: Vec<TokenStream> =
             training_set().iter().map(|e| e.sentence.clone()).collect();
         let sequential = parser.predict_topk_batch(&sentences, 3, 1);
         for threads in [2, 8] {
@@ -672,7 +655,7 @@ mod tests {
             ..ModelConfig::default()
         });
         parser.train(&training_set());
-        let sentences: Vec<Vec<String>> =
+        let sentences: Vec<TokenStream> =
             training_set().iter().map(|e| e.sentence.clone()).collect();
         let sequential: Vec<Vec<String>> = sentences.iter().map(|s| parser.predict(s)).collect();
         let batched = parser.predict_batch(&sentences);

@@ -196,7 +196,7 @@ pub fn extended() -> SkillEntry {
         ))
         .with_function(lq("get_album_tracks", "songs on an album", {
             let mut p = vec![req("album", ent("com.spotify:album"))];
-            p.extend(song_outs.clone());
+            p.extend(song_outs);
             p
         }))
         .with_function(mq(

@@ -734,7 +734,7 @@ fn build_all() -> Vec<ParamDataset> {
             "tt:person_first_name",
             FIRST_NAMES.iter().map(|s| s.to_string()).collect(),
         ),
-        ParamDataset::new("tt:username", usernames.clone()),
+        ParamDataset::new("tt:username", usernames),
         ParamDataset::new(
             "tt:contact_name",
             FIRST_NAMES.iter().map(|s| s.to_string()).collect(),
@@ -810,12 +810,12 @@ fn build_all() -> Vec<ParamDataset> {
             GENRES.iter().map(|s| s.to_string()).collect(),
         ),
         ParamDataset::new("tt:generic_entity", numbered("item", 500)),
-        ParamDataset::new("com.spotify:song", song_titles.clone()),
-        ParamDataset::new("com.spotify:artist", artists.clone()),
+        ParamDataset::new("com.spotify:song", song_titles),
+        ParamDataset::new("com.spotify:artist", artists),
         ParamDataset::new("com.spotify:album", albums),
         ParamDataset::new("com.spotify:playlist", playlists),
-        ParamDataset::new("com.youtube:video_title", video_titles.clone()),
-        ParamDataset::new("com.youtube:channel", channels.clone()),
+        ParamDataset::new("com.youtube:video_title", video_titles),
+        ParamDataset::new("com.youtube:channel", channels),
         ParamDataset::new(
             "com.twitter:tweet_text",
             cross3(

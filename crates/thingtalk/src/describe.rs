@@ -247,58 +247,95 @@ fn compare_phrase(op: CompareOp) -> &'static str {
 
 /// Describe a value in natural language.
 pub fn describe_value(value: &Value) -> String {
+    let mut out = String::new();
+    describe_value_into(value, &mut out);
+    out
+}
+
+/// [`describe_value`] into a caller-owned buffer (appending) — the
+/// allocation-free path the synthesis hot loop uses before interning the
+/// rendered words.
+pub fn describe_value_into(value: &Value, out: &mut String) {
+    use std::fmt::Write;
     match value {
-        Value::String(s) => s.clone(),
+        Value::String(s) => out.push_str(s),
         Value::Number(n) => {
             if n.fract() == 0.0 && n.abs() < 1e15 {
-                format!("{}", *n as i64)
+                let _ = write!(out, "{}", *n as i64);
             } else {
-                format!("{n}")
+                let _ = write!(out, "{n}");
             }
         }
-        Value::Boolean(true) => "yes".to_owned(),
-        Value::Boolean(false) => "no".to_owned(),
+        Value::Boolean(true) => out.push_str("yes"),
+        Value::Boolean(false) => out.push_str("no"),
         Value::Measure(amount, unit) => {
-            format!(
-                "{} {}",
-                describe_value(&Value::Number(*amount)),
-                unit.phrase()
-            )
+            describe_value_into(&Value::Number(*amount), out);
+            out.push(' ');
+            out.push_str(unit.phrase());
         }
-        Value::CompoundMeasure(parts) => parts
-            .iter()
-            .map(|(a, u)| format!("{} {}", describe_value(&Value::Number(*a)), u.phrase()))
-            .collect::<Vec<_>>()
-            .join(" "),
-        Value::Date(DateValue::Absolute(ms)) => format!("the date {ms}"),
-        Value::Date(DateValue::Edge(edge)) => edge.keyword().replace('_', " "),
+        Value::CompoundMeasure(parts) => {
+            for (i, (amount, unit)) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                describe_value_into(&Value::Number(*amount), out);
+                out.push(' ');
+                out.push_str(unit.phrase());
+            }
+        }
+        Value::Date(DateValue::Absolute(ms)) => {
+            let _ = write!(out, "the date {ms}");
+        }
+        Value::Date(DateValue::Edge(edge)) => {
+            push_keyword(out, edge.keyword());
+        }
         Value::Date(DateValue::Offset { base, offset_ms }) => {
             let days = (offset_ms.abs() as f64 / 86_400_000.0).round() as i64;
-            if *offset_ms < 0 {
-                format!("{days} days before {}", base.keyword().replace('_', " "))
-            } else {
-                format!("{days} days after {}", base.keyword().replace('_', " "))
-            }
+            let direction = if *offset_ms < 0 { "before" } else { "after" };
+            let _ = write!(out, "{days} days {direction} ");
+            push_keyword(out, base.keyword());
         }
-        Value::Time(h, m) => format!("{h}:{m:02}"),
-        Value::Location(LocationValue::Named(name)) => name.clone(),
+        Value::Time(h, m) => {
+            let _ = write!(out, "{h}:{m:02}");
+        }
+        Value::Location(LocationValue::Named(name)) => out.push_str(name),
         Value::Location(LocationValue::Coordinates {
             latitude,
             longitude,
         }) => {
-            format!("the location at {latitude}, {longitude}")
+            let _ = write!(out, "the location at {latitude}, {longitude}");
         }
-        Value::Enum(v) => v.replace('_', " "),
-        Value::Currency(amount, code) => format!("{amount} {code}"),
-        Value::Entity { value, display, .. } => display.clone().unwrap_or_else(|| value.clone()),
-        Value::Array(items) => items
-            .iter()
-            .map(describe_value)
-            .collect::<Vec<_>>()
-            .join(", "),
-        Value::VarRef(name) => format!("the {}", name.replace('_', " ")),
-        Value::Event => "the result".to_owned(),
-        Value::Undefined => "something".to_owned(),
+        Value::Enum(v) => push_keyword(out, v),
+        Value::Currency(amount, code) => {
+            let _ = write!(out, "{amount} {code}");
+        }
+        Value::Entity { value, display, .. } => {
+            out.push_str(display.as_deref().unwrap_or(value));
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                describe_value_into(item, out);
+            }
+        }
+        Value::VarRef(name) => {
+            out.push_str("the ");
+            push_keyword(out, name);
+        }
+        Value::Event => out.push_str("the result"),
+        Value::Undefined => out.push_str("something"),
+    }
+}
+
+/// Append a `snake_case` keyword with underscores replaced by spaces.
+fn push_keyword(out: &mut String, keyword: &str) {
+    for (i, part) in keyword.split('_').enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(part);
     }
 }
 

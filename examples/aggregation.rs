@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("\nSample synthesized aggregation sentences:");
     for example in &aggregation_examples {
-        println!("  \"{}\"", example.utterance);
+        println!(
+            "  \"{}\"",
+            example.utterance_text(genie_templates::intern::shared())
+        );
         println!("     => {}", example.program);
     }
     Ok(())

@@ -48,7 +48,7 @@ fn main() -> genie::GenieResult<()> {
         .iter()
         .find(|e| !e.flags.primitive)
     {
-        println!("  synthesized: \"{}\"", example.utterance);
+        println!("  synthesized: \"{}\"", example.text());
         println!("  program:     {}", example.program);
         for paraphrase in data
             .paraphrases
@@ -57,7 +57,7 @@ fn main() -> genie::GenieResult<()> {
             .filter(|p| p.program == example.program)
             .take(3)
         {
-            println!("  paraphrase:  \"{}\"", paraphrase.utterance);
+            println!("  paraphrase:  \"{}\"", paraphrase.text());
         }
     }
 

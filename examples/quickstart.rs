@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     parser.train(&pipeline.to_parser_examples(&data.combined(), NnOptions::default()));
 
     let command = "show me my dropbox files";
-    let tokens = parser.predict(&genie_nlp::tokenize(command));
+    let tokens = parser.predict(&genie_templates::intern::shared().tokenize_text(command));
     println!("\nUser command:        {command}");
     println!("Predicted tokens:    {}", tokens.join(" "));
     if let Ok(predicted) = from_tokens(&tokens) {

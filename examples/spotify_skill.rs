@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("\nSample synthesized Spotify sentences:");
     for example in &spotify_examples {
-        println!("  \"{}\"", example.utterance);
+        println!(
+            "  \"{}\"",
+            example.utterance_text(genie_templates::intern::shared())
+        );
         println!("     => {}", example.program);
     }
     Ok(())

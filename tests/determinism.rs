@@ -27,12 +27,14 @@ fn dataset_sharded(seed: u64, threads: usize, shards: usize) -> Vec<(String, Vec
         shards,
         ..config(seed, threads)
     };
-    SentenceGenerator::new(&library, config)
+    let generator = SentenceGenerator::new(&library, config);
+    let interner = generator.interner().clone();
+    generator
         .synthesize()
         .into_iter()
         .map(|e| {
             (
-                e.utterance,
+                interner.render(&e.utterance),
                 to_tokens(&e.program, NnSyntaxOptions::default()),
             )
         })
@@ -107,7 +109,7 @@ fn pipeline_output_is_thread_count_invariant() {
         let examples = pipeline.to_parser_examples(&data.combined(), NnOptions::default());
         examples
             .into_iter()
-            .map(|e| (e.sentence.join(" "), e.program.join(" ")))
+            .map(|e| (e.sentence_text(), e.program.join(" ")))
             .collect::<Vec<_>>()
     };
     let sequential = build(1);
@@ -139,7 +141,7 @@ fn fused_streaming_pipeline_matches_the_ci_matrix() {
         let mut out = Vec::new();
         pipeline
             .run_streaming(NnOptions::default(), |e| {
-                out.push((e.sentence.join(" "), e.program.join(" ")))
+                out.push((e.sentence_text(), e.program.join(" ")))
             })
             .unwrap();
         out
@@ -152,6 +154,104 @@ fn fused_streaming_pipeline_matches_the_ci_matrix() {
                 run(threads, shards),
                 reference,
                 "threads={threads} shards={shards}"
+            );
+        }
+    }
+}
+
+/// Interner determinism (the contract `genie_templates::intern` documents):
+/// a fresh pre-seeded arena driven by the full parallel synthesis engine
+/// assigns **identical symbols** for any worker count — worker overlays
+/// never assign global ids; the canonical sink commits them in stream
+/// order.
+#[test]
+fn interner_assigns_identical_symbols_across_thread_counts() {
+    use genie_templates::intern::{fresh, Symbol};
+    use genie_templates::SentenceGenerator;
+    use thingpedia::ParamDatasets;
+
+    let library = Thingpedia::builtin();
+    let datasets = ParamDatasets::builtin();
+    let run = |threads: usize| {
+        let interner = fresh(&library, &datasets);
+        let generator = SentenceGenerator::with_interner(
+            &library,
+            GeneratorConfig {
+                threads,
+                batch_size: 8,
+                ..config(29, threads)
+            },
+            interner.clone(),
+        );
+        let examples = generator.synthesize();
+        assert!(!examples.is_empty());
+        // The full arena contents: every (id, fragment) pair, in id order.
+        let table: Vec<String> = (0..interner.len() as u32)
+            .map(|id| interner.resolve(Symbol::from_raw(id)).to_owned())
+            .collect();
+        // And the raw symbol ids of every emitted utterance.
+        let streams: Vec<Vec<u32>> = examples
+            .iter()
+            .map(|e| e.utterance.iter().map(|s| s.raw()).collect())
+            .collect();
+        (table, streams)
+    };
+    let (table_1, streams_1) = run(1);
+    for threads in [2, 8] {
+        let (table_n, streams_n) = run(threads);
+        assert_eq!(
+            table_n, table_1,
+            "arena contents differ at {threads} threads"
+        );
+        assert_eq!(
+            streams_n, streams_1,
+            "symbol ids differ at {threads} threads"
+        );
+    }
+}
+
+/// Property-style round trip over randomized fragments: intern → resolve →
+/// intern is the identity, and symbol equality coincides with fragment
+/// equality.
+#[test]
+fn intern_resolve_intern_roundtrip_on_random_fragments() {
+    use genie_nlp::intern::Interner;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let interner = Interner::new();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyzABC0123456789:.,!@#\"'$_-"
+        .chars()
+        .collect();
+    let mut fragments = Vec::new();
+    for _ in 0..500 {
+        let len = rng.gen_range(1..12);
+        let fragment: String = (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect();
+        fragments.push(fragment);
+    }
+    let symbols: Vec<_> = fragments.iter().map(|f| interner.intern(f)).collect();
+    for (fragment, &symbol) in fragments.iter().zip(&symbols) {
+        let resolved = interner.resolve(symbol).to_owned();
+        assert_eq!(&resolved, fragment, "resolve changed the fragment");
+        assert_eq!(
+            interner.intern(&resolved),
+            symbol,
+            "round trip not identity"
+        );
+    }
+    // Symbol equality ⇔ fragment equality (the injectivity the dedup keys
+    // and every token comparison in the pipeline rely on).
+    for i in 0..fragments.len() {
+        for j in (i + 1)..fragments.len() {
+            assert_eq!(
+                symbols[i] == symbols[j],
+                fragments[i] == fragments[j],
+                "injectivity violated for {:?} / {:?}",
+                fragments[i],
+                fragments[j]
             );
         }
     }

@@ -53,7 +53,7 @@ fn fig1_command_parses_typechecks_executes_and_roundtrips() {
 
     // Execution on the simulated devices performs the Facebook action with
     // the picture URL passed from the cat API.
-    let mut engine = ExecutionEngine::new(SimulatedDevices::new(library.clone(), 1));
+    let mut engine = ExecutionEngine::new(SimulatedDevices::new(library, 1));
     let outcome = engine.execute_once(&canonical).unwrap();
     assert_eq!(outcome.actions.len(), 1);
     assert!(outcome.actions[0].params.contains_key("picture_url"));
@@ -118,7 +118,7 @@ fn trained_parser_translates_held_out_paraphrases() {
         .take(60)
         .map(|e| {
             (
-                genie_nlp::tokenize(&e.utterance),
+                genie_templates::intern::shared().tokenized(&e.utterance),
                 pipeline.gold_tokens(e, NnOptions::default()),
             )
         })
@@ -161,7 +161,8 @@ fn predicted_programs_are_mostly_executable() {
     let mut total = 0;
     for example in data.synthesized.examples.iter().take(40) {
         total += 1;
-        let predicted = parser.predict(&genie_nlp::tokenize(&example.utterance));
+        let predicted =
+            parser.predict(&genie_templates::intern::shared().tokenized(&example.utterance));
         let Ok(program) = from_tokens(&predicted) else {
             continue;
         };

@@ -161,7 +161,7 @@ fn engine() -> &'static (GenieEngine, String) {
             .examples
             .iter()
             .take(30)
-            .map(|e| e.utterance.clone())
+            .map(|e| e.text())
             .find(|u| {
                 engine
                     .parse(&ParseRequest::new(u.clone()).bypass_cache())

@@ -4,7 +4,7 @@
 
 use genie::pipeline::{DataPipeline, NnOptions, PipelineConfig};
 use genie::ShardedDatasetWriter;
-use genie_templates::dedup::example_key;
+use genie_templates::dedup::{example_stream_key, program_fingerprints};
 use genie_templates::{GeneratorConfig, SentenceGenerator, ShardedDedup};
 use thingpedia::Thingpedia;
 
@@ -38,12 +38,16 @@ fn streamed_examples_are_distinct_under_the_dedup_key() {
     let library = Thingpedia::builtin();
     for shards in [1, 8] {
         let generator = SentenceGenerator::new(&library, config(shards, 8));
+        let interner = generator.interner().clone();
         let mut seen = std::collections::HashSet::new();
         let stats = generator.synthesize_streaming(|example| {
             assert!(
-                seen.insert(example_key(&example.utterance, &example.program)),
+                seen.insert(example_stream_key(
+                    &example.utterance,
+                    program_fingerprints(&example.program)
+                )),
                 "duplicate emitted with {shards} shards: `{}`",
-                example.utterance
+                interner.render(&example.utterance)
             );
         });
         assert_eq!(stats.emitted, seen.len());
@@ -64,7 +68,10 @@ fn sharded_dedup_partitions_the_key_space() {
     let dedup = ShardedDedup::new(8);
     let mut keys = Vec::new();
     generator.synthesize_streaming(|example| {
-        keys.push(example_key(&example.utterance, &example.program));
+        keys.push(example_stream_key(
+            &example.utterance,
+            program_fingerprints(&example.program),
+        ));
     });
     let fresh = dedup.insert_batch(4, &keys);
     assert!(
