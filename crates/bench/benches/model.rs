@@ -53,11 +53,8 @@ fn bench_decoding(c: &mut Criterion) {
         ..ModelConfig::default()
     });
     parser.train(&examples);
-    let sentences: Vec<genie_nlp::TokenStream> = examples
-        .iter()
-        .take(50)
-        .map(|e| e.sentence.clone())
-        .collect();
+    let sentences: Vec<&genie_nlp::TokenStream> =
+        examples.iter().take(50).map(|e| &e.sentence).collect();
     c.bench_function("parser_greedy_decode_50", |b| {
         b.iter(|| black_box(parser.predict_batch(black_box(&sentences))))
     });
@@ -82,11 +79,8 @@ fn bench_baseline(c: &mut Criterion) {
     let examples = training_data(&library);
     let mut baseline = BaselineParser::new();
     baseline.train(&examples);
-    let sentences: Vec<genie_nlp::TokenStream> = examples
-        .iter()
-        .take(20)
-        .map(|e| e.sentence.clone())
-        .collect();
+    let sentences: Vec<&genie_nlp::TokenStream> =
+        examples.iter().take(20).map(|e| &e.sentence).collect();
     c.bench_function("baseline_matching_20", |b| {
         b.iter(|| black_box(baseline.predict_batch(black_box(&sentences))))
     });

@@ -1,0 +1,55 @@
+//! Fingerprint the trained LUInet model for the CI determinism matrix.
+//!
+//! Trains on the shared smoke workload ([`genie_bench::training_workload`])
+//! at an explicit worker count and prints (or writes with `--out`) one line:
+//! the weights digest, a digest of `predict_topk` over a workload slice,
+//! and the training-set accuracy. The matrix runs this at threads
+//! {1, 2, 8} and fails if any line differs — trained weights and every
+//! prediction must be byte-identical regardless of the worker count.
+//!
+//! Flags: `--threads N` (default 0 = all cores), `--seed N`, `--out PATH`.
+
+use std::hash::Hasher;
+
+use genie_bench::flag_value;
+use genie_nlp::TokenStream;
+use luinet::{LuinetParser, ModelConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = flag_value(&args, "--threads").unwrap_or(0);
+    let seed = flag_value(&args, "--seed").unwrap_or(11) as u64;
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let examples = genie_bench::training_workload(20, 80);
+    let mut parser = LuinetParser::new(ModelConfig {
+        epochs: 3,
+        seed,
+        threads,
+        ..ModelConfig::default()
+    });
+    parser.train(&examples);
+
+    let sentences: Vec<&TokenStream> = examples.iter().take(64).map(|e| &e.sentence).collect();
+    let mut hasher = genie_templates::dedup::Fnv64::new();
+    for predictions in parser.predict_topk_batch(&sentences, 3, threads) {
+        for prediction in predictions {
+            hasher.write(prediction.tokens.join(" ").as_bytes());
+            hasher.write(&prediction.score.to_bits().to_le_bytes());
+        }
+    }
+    let line = format!(
+        "weights={:016x} topk={:016x} accuracy={:.6}",
+        parser.weights_digest(),
+        hasher.finish(),
+        parser.exact_match_accuracy(&examples),
+    );
+    println!("{line}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{line}\n")).expect("write digest file");
+    }
+}

@@ -43,6 +43,40 @@ pub fn flag_value(args: &[String], flag: &str) -> Option<usize> {
     args.get(position + 1)?.parse().ok()
 }
 
+/// The shared training workload of the training bench, the
+/// `training_digest` CI bin and the determinism tests: a fixed-seed
+/// pipeline build converted to parser examples. `target_per_rule` 20 with
+/// `paraphrase_sample` 80 is the smoke size (~670 examples) the committed
+/// `BENCH_training.json` baseline was measured on.
+pub fn training_workload(
+    target_per_rule: usize,
+    paraphrase_sample: usize,
+) -> Vec<luinet::ParserExample> {
+    use genie::pipeline::{DataPipeline, NnOptions, PipelineConfig};
+
+    let library = thingpedia::Thingpedia::builtin();
+    let synthesis = genie_templates::GeneratorConfig::builder()
+        .target_per_rule(target_per_rule)
+        .max_depth(5)
+        .instantiations_per_template(1)
+        .seed(5)
+        .include_aggregation(false)
+        .include_timers(true)
+        .threads(0)
+        .quiet(true)
+        .build()
+        .expect("valid synthesis config");
+    let config = PipelineConfig::builder()
+        .synthesis(synthesis)
+        .paraphrase_sample(paraphrase_sample)
+        .seed(5)
+        .build()
+        .expect("valid pipeline config");
+    let pipeline = DataPipeline::new(&library, config);
+    let data = pipeline.build().expect("builtin pipeline builds");
+    pipeline.to_parser_examples(&data.combined(), NnOptions::default())
+}
+
 /// The process' peak resident-set size ("VmHWM") in kilobytes, from
 /// `/proc/self/status`. `None` off Linux or if the field is missing — the
 /// bench reports then omit the memory column rather than guessing.

@@ -810,6 +810,12 @@ impl std::ops::Deref for TokenStream {
     }
 }
 
+impl AsRef<[Symbol]> for TokenStream {
+    fn as_ref(&self) -> &[Symbol] {
+        self.as_slice()
+    }
+}
+
 impl std::iter::FromIterator<Symbol> for TokenStream {
     fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
         let mut out = TokenStream::new();

@@ -126,7 +126,59 @@ pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatase
     ] {
         interner.intern_words(&edge.keyword().replace('_', " "), &mut TokenStream::new());
     }
-    // 6. Fixed connective words of the generated filter / predicate / value
+    // 6. The NN-syntax program vocabulary: the model layer (LUInet) interns
+    //    program tokens into the same arena, so seed the structural tokens
+    //    and every `@class.function` / `param:name` the library can emit —
+    //    training then interns (almost) nothing, and fresh arenas assign
+    //    program-token ids deterministically for the id-level tests.
+    for token in [
+        "<s>",
+        "</s>",
+        "<unk>",
+        "now",
+        "=>",
+        "notify",
+        "monitor",
+        "edge",
+        "on",
+        "timer",
+        "attimer",
+        "base",
+        "interval",
+        "filter",
+        "join",
+        "agg",
+        "of",
+        "(",
+        ")",
+        "=",
+        "\"",
+        "!",
+        "&&",
+        "||",
+        "true",
+        "false",
+        "time",
+        "param:time",
+    ] {
+        interner.intern(token);
+    }
+    for class in library.classes() {
+        for function in class.functions.values() {
+            buf.clear();
+            let _ = write!(buf, "@{}.{}", class.name, function.name);
+            interner.intern(&buf);
+            for param in &function.params {
+                buf.clear();
+                let _ = write!(buf, "param:{}", param.name);
+                interner.intern(&buf);
+                buf.clear();
+                let _ = write!(buf, "param:{}:{}", param.name, param.ty.annotation_token());
+                interner.intern(&buf);
+            }
+        }
+    }
+    // 7. Fixed connective words of the generated filter / predicate / value
     //    phrases and common punctuation fragments.
     for word in [
         "the",

@@ -248,6 +248,12 @@ impl EngineBuilder {
     /// `model` on the full Genie strategy, and install it as the engine
     /// model — the one-stop bootstrap used by tests, examples and the
     /// serving bench.
+    ///
+    /// Training is deterministically parallel: `model.threads` only
+    /// changes wall-clock, while `model.train_shards` is part of the
+    /// model identity (see [`luinet::ModelConfig`]) — so an engine
+    /// bootstrapped from a fixed (pipeline, model) pair serves identical
+    /// responses no matter how many cores trained it.
     pub fn train(mut self, pipeline: PipelineConfig, model: ModelConfig) -> GenieResult<Self> {
         pipeline.validate()?;
         let data_pipeline = DataPipeline::new(&self.library, pipeline);

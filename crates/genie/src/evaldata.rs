@@ -111,6 +111,7 @@ pub fn cheatsheet_data(library: &Thingpedia, config: EvalDataConfig) -> Dataset 
         seed: config.seed.wrapping_add(7),
     });
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+    let interner = genie_templates::intern::shared();
     let examples = base_examples(
         library,
         EvalDataConfig {
@@ -121,7 +122,6 @@ pub fn cheatsheet_data(library: &Thingpedia, config: EvalDataConfig) -> Dataset 
     )
     .into_iter()
     .map(|example| {
-        let interner = genie_templates::intern::shared();
         // Two rounds of rewriting plus casual framing.
         let mut utterance = example.utterance.clone();
         for _ in 0..2 {

@@ -185,6 +185,8 @@ fn run_once(
         max_length: 48,
         lm_weight: if use_pretrained_lm { 2.0 } else { 0.0 },
         seed,
+        threads: scale.threads,
+        ..ModelConfig::default()
     });
     if use_pretrained_lm {
         parser = parser.with_pretrained_lm(pipeline.pretrain_lm(2));
@@ -493,6 +495,8 @@ fn spotify_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
             max_length: 48,
             lm_weight: 2.0,
             seed: seed as u64,
+            threads: scale.threads,
+            ..ModelConfig::default()
         })
         .with_pretrained_lm(pipeline.pretrain_lm(2));
         parser.train(&pipeline.to_parser_examples(&data.combined(), NnOptions::default()));
@@ -619,6 +623,8 @@ fn tacl_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
             max_length: 40,
             lm_weight: 0.0,
             seed: seed as u64,
+            threads: scale.threads,
+            ..ModelConfig::default()
         });
         parser.train(&train_paraphrase_examples);
         genie_accs.push(parser.exact_match_accuracy(&test_examples));
@@ -669,6 +675,8 @@ fn aggregation_case_study(scale: ExperimentScale) -> GenieResult<Fig9Row> {
             max_length: 48,
             lm_weight: 2.0,
             seed: seed as u64,
+            threads: scale.threads,
+            ..ModelConfig::default()
         })
         .with_pretrained_lm(pipeline.pretrain_lm(1));
         parser.train(&pipeline.to_parser_examples(&data.combined(), NnOptions::default()));

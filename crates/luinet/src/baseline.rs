@@ -90,9 +90,9 @@ impl BaselineParser {
         best.map(|(e, _)| e.program.clone()).unwrap_or_default()
     }
 
-    /// Predict programs for many sentences.
-    pub fn predict_batch(&self, sentences: &[genie_nlp::intern::TokenStream]) -> Vec<Vec<String>> {
-        sentences.iter().map(|s| self.predict(s)).collect()
+    /// Predict programs for many sentences (borrowed or owned streams).
+    pub fn predict_batch<S: AsRef<[Symbol]>>(&self, sentences: &[S]) -> Vec<Vec<String>> {
+        sentences.iter().map(|s| self.predict(s.as_ref())).collect()
     }
 
     /// Exact-match accuracy on a set of examples.

@@ -67,9 +67,11 @@ impl ParserExample {
 /// Resolve a sentence's symbols against the shared arena.
 ///
 /// The arena is a process-static append-only structure with lock-free
-/// resolve, so the returned `&'static str`s are plain table reads — the
-/// decoder borrows sentence words for feature hashing without copying a
-/// byte.
+/// resolve, so the returned `&'static str`s are plain table reads. The
+/// decoder itself no longer materializes this view — it folds each sentence
+/// once into a [`crate::features::SentenceIndex`] and works on symbols — but
+/// evaluation and debugging still borrow words through here without copying
+/// a byte.
 pub fn resolve_sentence(sentence: &[genie_nlp::Symbol]) -> Vec<&'static str> {
     let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
     sentence.iter().map(|&s| interner.resolve(s)).collect()

@@ -28,6 +28,15 @@
 //! Wang-et-al-style parser that matches the input against the canonical
 //! sentences of the programs seen in training and returns the program of the
 //! closest match.
+//!
+//! Both training and decoding run on interned 4-byte [`genie_nlp::Symbol`]s
+//! end to end — split context/candidate feature hashing
+//! ([`features::StepContext`]), per-sentence indexes
+//! ([`features::SentenceIndex`]), compiled per-`prev1` candidate tables and
+//! a shared-structure beam — and training is deterministically parallel
+//! (fixed shard partition, iterative parameter mixing; see
+//! [`model::ModelConfig::train_shards`]). Trained weights and every
+//! prediction are byte-identical for any worker thread count.
 
 pub mod baseline;
 pub mod data;

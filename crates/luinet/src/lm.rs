@@ -6,20 +6,32 @@
 //! interpolated bigram/trigram model over program tokens, trained on a large
 //! synthesized program corpus and used both as an additional score in the
 //! decoder and to propose candidate next tokens (which keeps decoding fast).
+//!
+//! Counts are keyed by interned [`Symbol`]s (shared arena): training interns
+//! each program token once, and the decoder's per-candidate
+//! [`ProgramLm::log_prob_sym`] lookups hash three 4-byte ids instead of
+//! building owned `(String, String, String)` keys per score.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
+use genie_nlp::intern::{FnvState, Symbol};
 
-use crate::vocab::{BOS, EOS};
+use crate::vocab::bos_symbol;
 
 /// An interpolated bigram/trigram language model over program tokens.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProgramLm {
-    unigram: HashMap<String, f64>,
-    bigram: HashMap<(String, String), f64>,
-    trigram: HashMap<(String, String, String), f64>,
-    successors: HashMap<String, BTreeSet<String>>,
+    unigram: HashMap<Symbol, f64, FnvState>,
+    bigram: HashMap<(Symbol, Symbol), f64, FnvState>,
+    trigram: HashMap<(Symbol, Symbol, Symbol), f64, FnvState>,
+    /// Successor lists in first-observation order (deduplicated); consumers
+    /// that need a process-history-independent order sort by resolved text
+    /// (see [`ProgramLm::successors`]).
+    successors: HashMap<Symbol, Vec<Symbol>, FnvState>,
+    /// Membership index over `successors` — dedup during training stays
+    /// O(1) per token even for high-fanout contexts (the quote token
+    /// precedes every distinct copied word).
+    successor_seen: HashSet<(Symbol, Symbol), FnvState>,
     total_tokens: f64,
     trained_programs: usize,
 }
@@ -31,29 +43,30 @@ impl ProgramLm {
     }
 
     /// Train (or continue training) on a corpus of programs, each given as
-    /// its token sequence.
+    /// its token sequence. Tokens intern into the shared arena once, here;
+    /// every later lookup is id-keyed.
     pub fn train<'a>(&mut self, programs: impl IntoIterator<Item = &'a Vec<String>>) {
+        let interner = genie_nlp::intern::shared();
+        let bos = bos_symbol();
+        let eos = crate::vocab::eos_symbol();
         for program in programs {
             self.trained_programs += 1;
-            let mut prev1 = BOS.to_owned();
-            let mut prev2 = BOS.to_owned();
-            for token in program.iter().chain(std::iter::once(&EOS.to_owned())) {
-                *self.unigram.entry(token.clone()).or_default() += 1.0;
-                *self
-                    .bigram
-                    .entry((prev1.clone(), token.clone()))
-                    .or_default() += 1.0;
-                *self
-                    .trigram
-                    .entry((prev2.clone(), prev1.clone(), token.clone()))
-                    .or_default() += 1.0;
-                self.successors
-                    .entry(prev1.clone())
-                    .or_default()
-                    .insert(token.clone());
+            let mut prev1 = bos;
+            let mut prev2 = bos;
+            for token in program
+                .iter()
+                .map(|t| interner.intern(t))
+                .chain(std::iter::once(eos))
+            {
+                *self.unigram.entry(token).or_default() += 1.0;
+                *self.bigram.entry((prev1, token)).or_default() += 1.0;
+                *self.trigram.entry((prev2, prev1, token)).or_default() += 1.0;
+                if self.successor_seen.insert((prev1, token)) {
+                    self.successors.entry(prev1).or_default().push(token);
+                }
                 self.total_tokens += 1.0;
                 prev2 = prev1;
-                prev1 = token.clone();
+                prev1 = token;
             }
         }
     }
@@ -63,40 +76,87 @@ impl ProgramLm {
         self.trained_programs
     }
 
-    /// The tokens that have been observed to follow `prev` in training.
-    pub fn successors(&self, prev: &str) -> impl Iterator<Item = &str> {
-        self.successors
-            .get(prev)
-            .into_iter()
-            .flat_map(|set| set.iter().map(String::as_str))
+    /// The interned tokens observed to follow `prev`, in first-observation
+    /// order (the hot-path view the decoder compiles its candidate tables
+    /// from).
+    pub fn successor_symbols(&self, prev: Symbol) -> &[Symbol] {
+        self.successors.get(&prev).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Interpolated log-probability of `token` following `(prev2, prev1)`.
+    /// Every `(prev, successors)` entry of the transition table (arbitrary
+    /// map order; callers impose their own).
+    pub fn successor_entries(&self) -> impl Iterator<Item = (Symbol, &[Symbol])> {
+        self.successors
+            .iter()
+            .map(|(&prev, successors)| (prev, successors.as_slice()))
+    }
+
+    /// The tokens that have been observed to follow `prev` in training,
+    /// sorted by text (a process-history-independent order).
+    pub fn successors(&self, prev: &str) -> impl Iterator<Item = &'static str> {
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
+        let mut out: Vec<&'static str> = interner
+            .get(prev)
+            .map(|symbol| {
+                self.successor_symbols(symbol)
+                    .iter()
+                    .map(|&s| interner.resolve(s))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_unstable();
+        out.into_iter()
+    }
+
+    /// Interpolated log-probability of `token` following `(prev2, prev1)`,
+    /// by text. Unseen text maps to zero counts, exactly like an interned
+    /// token with no observations.
     pub fn log_prob(&self, prev2: &str, prev1: &str, token: &str) -> f64 {
+        let interner = genie_nlp::intern::shared();
+        self.log_prob_opt(
+            interner.get(prev2),
+            interner.get(prev1),
+            interner.get(token),
+        )
+    }
+
+    /// Interpolated log-probability of `token` following `(prev2, prev1)` —
+    /// the decoder's per-candidate path: three map lookups on 4-byte ids.
+    #[inline]
+    pub fn log_prob_sym(&self, prev2: Symbol, prev1: Symbol, token: Symbol) -> f64 {
+        self.log_prob_opt(Some(prev2), Some(prev1), Some(token))
+    }
+
+    fn log_prob_opt(
+        &self,
+        prev2: Option<Symbol>,
+        prev1: Option<Symbol>,
+        token: Option<Symbol>,
+    ) -> f64 {
         if self.total_tokens == 0.0 {
             return 0.0;
         }
         let vocab_size = self.unigram.len().max(1) as f64;
-        let uni_count = self.unigram.get(token).copied().unwrap_or(0.0);
+        let uni = |s: Option<Symbol>| s.and_then(|s| self.unigram.get(&s)).copied().unwrap_or(0.0);
+        let uni_count = uni(token);
         let p_uni = (uni_count + 1.0) / (self.total_tokens + vocab_size);
-        let prev1_count = self.unigram.get(prev1).copied().unwrap_or(0.0).max(1.0);
-        let bi_count = self
-            .bigram
-            .get(&(prev1.to_owned(), token.to_owned()))
+        let prev1_count = uni(prev1).max(1.0);
+        let bi_count = prev1
+            .zip(token)
+            .and_then(|key| self.bigram.get(&key))
             .copied()
             .unwrap_or(0.0);
         let p_bi = (bi_count + 0.5) / (prev1_count + 0.5 * vocab_size);
-        let bi_context = self
-            .bigram
-            .get(&(prev2.to_owned(), prev1.to_owned()))
+        let bi_context = prev2
+            .zip(prev1)
+            .and_then(|key| self.bigram.get(&key))
             .copied()
             .unwrap_or(0.0)
             .max(1.0);
-        let tri_count = self
-            .trigram
-            .get(&(prev2.to_owned(), prev1.to_owned(), token.to_owned()))
-            .copied()
-            .unwrap_or(0.0);
+        let tri_count = match (prev2, prev1, token) {
+            (Some(p2), Some(p1), Some(t)) => self.trigram.get(&(p2, p1, t)).copied().unwrap_or(0.0),
+            _ => 0.0,
+        };
         let p_tri = (tri_count + 0.25) / (bi_context + 0.25 * vocab_size);
         (0.2 * p_uni + 0.4 * p_bi + 0.4 * p_tri).ln()
     }
@@ -106,15 +166,22 @@ impl ProgramLm {
         if program.is_empty() {
             return f64::INFINITY;
         }
-        let mut prev1 = BOS.to_owned();
-        let mut prev2 = BOS.to_owned();
+        let interner = genie_nlp::intern::shared();
+        let bos = Some(bos_symbol());
+        let eos = Some(crate::vocab::eos_symbol());
+        let mut prev1 = bos;
+        let mut prev2 = bos;
         let mut log_sum = 0.0;
         let mut count = 0usize;
-        for token in program.iter().chain(std::iter::once(&EOS.to_owned())) {
-            log_sum += self.log_prob(&prev2, &prev1, token);
+        for token in program
+            .iter()
+            .map(|t| interner.get(t))
+            .chain(std::iter::once(eos))
+        {
+            log_sum += self.log_prob_opt(prev2, prev1, token);
             count += 1;
             prev2 = prev1;
-            prev1 = token.clone();
+            prev1 = token;
         }
         (-log_sum / count as f64).exp()
     }
@@ -154,7 +221,27 @@ mod tests {
         let lm = trained();
         let next: Vec<&str> = lm.successors("now").collect();
         assert_eq!(next, vec!["=>"]);
-        assert!(lm.successors("never-seen").next().is_none());
+        assert!(lm.successors("never-seen-prev").next().is_none());
+    }
+
+    #[test]
+    fn string_and_symbol_scores_agree() {
+        let lm = trained();
+        let interner = genie_nlp::intern::shared();
+        for (prev2, prev1, token) in [
+            ("<s>", "now", "=>"),
+            ("now", "=>", "@com.gmail.inbox"),
+            ("(", ")", "=>"),
+        ] {
+            assert_eq!(
+                lm.log_prob(prev2, prev1, token),
+                lm.log_prob_sym(
+                    interner.intern(prev2),
+                    interner.intern(prev1),
+                    interner.intern(token)
+                ),
+            );
+        }
     }
 
     #[test]

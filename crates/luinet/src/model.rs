@@ -9,16 +9,62 @@
 //! perceptron with teacher forcing; an optional pretrained program language
 //! model ([`crate::ProgramLm`]) contributes an additional score, mirroring
 //! the decoder LM of §4.2.
+//!
+//! # The hot path speaks symbols
+//!
+//! Program tokens are interned [`Symbol`]s end to end: the transition model
+//! compiles into per-`prev1` candidate tables with cached candidate-half
+//! feature hashes, every sentence is indexed once per example
+//! ([`SentenceIndex`]), and each decode step folds its context halves once
+//! ([`StepContext`]) before scoring candidates by pure integer mixing. Beam
+//! hypotheses extend a shared backpointer arena instead of cloning token
+//! vectors. Text is resolved only at the public API boundary.
+//!
+//! # Deterministic parallel training
+//!
+//! [`LuinetParser::train`] splits each epoch's shuffled example stream into
+//! a **fixed** number of shards (`ModelConfig::train_shards`, independent of
+//! the worker count; per-epoch order comes from
+//! [`genie_parallel::stream_seed`]). Training proceeds in short mixing
+//! rounds: each round hands every shard a few examples, shards accumulate
+//! weight *deltas* against the round-start snapshot in parallel over
+//! [`genie_parallel::par_map`], and the deltas merge back **in shard
+//! order** (summed delayed updates — the `w ← w + Σ Δ_s / S` average of
+//! classic iterative parameter mixing damps each correction by `1/S` and
+//! measurably lost accuracy at equal epochs; summing with a short round
+//! keeps staleness bounded to `shards × TRAIN_ROUND_EXAMPLES` examples
+//! and matches the sequential perceptron on the smoke workloads). The
+//! trained weights are a function of (data, config) only — byte-identical
+//! for any worker thread count.
 
-use genie_nlp::intern::{Symbol, TokenStream};
+use std::collections::HashMap;
+
+use genie_nlp::intern::{FnvState, Symbol};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::data::{resolve_sentence, ParserExample};
-use crate::features::{candidate_buckets, FEATURE_BUCKETS};
+use crate::data::ParserExample;
+use crate::features::{cand_hash, SentenceIndex, StepContext, FEATURE_BUCKETS};
 use crate::lm::ProgramLm;
-use crate::vocab::{Vocab, BOS, EOS};
+use crate::vocab::{bos_symbol, eos_symbol, Vocab};
+
+/// Logical stream id of the per-epoch training shuffle in
+/// [`genie_parallel::stream_seed`] (distinguishes it from synthesis
+/// streams seeded from the same user seed).
+const TRAIN_SHUFFLE_STREAM: u64 = 0x7261_696e; // "rain"
+
+/// Below this many examples per shard, the trainer collapses to fewer
+/// shards: tiny datasets gain nothing from parameter mixing and lose
+/// update granularity.
+const MIN_SHARD_EXAMPLES: usize = 64;
+
+/// Examples each shard processes between two parameter-mixing merges. A
+/// smaller round keeps shard snapshots fresher (better accuracy), a larger
+/// one amortizes the merge; 2 per shard is empirically indistinguishable
+/// from sequential training on the smoke workloads while cutting the sync
+/// points in half versus per-example merging.
+const TRAIN_ROUND_EXAMPLES: usize = 2;
 
 /// Hyper-parameters of the parser.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +78,16 @@ pub struct ModelConfig {
     pub lm_weight: f32,
     /// RNG seed for shuffling.
     pub seed: u64,
+    /// Worker threads for sharded training and batch decoding (`0` = all
+    /// cores, `1` = inline). Never changes the trained weights or any
+    /// prediction — only wall-clock.
+    pub threads: usize,
+    /// Number of training shards for iterative parameter mixing (`0` = the
+    /// default of 4). Part of the model identity: like a dataset batch
+    /// size, changing it changes the trained weights — the thread count
+    /// never does. Tiny datasets automatically collapse to fewer shards
+    /// (at least `MIN_SHARD_EXAMPLES` — 64 — examples per shard).
+    pub train_shards: usize,
 }
 
 impl Default for ModelConfig {
@@ -41,7 +97,21 @@ impl Default for ModelConfig {
             max_length: 48,
             lm_weight: 2.0,
             seed: 0,
+            threads: 0,
+            train_shards: 4,
         }
+    }
+}
+
+impl ModelConfig {
+    /// The shard count used for `examples` training examples.
+    fn effective_shards(&self, examples: usize) -> usize {
+        let configured = if self.train_shards == 0 {
+            4
+        } else {
+            self.train_shards
+        };
+        configured.min((examples / MIN_SHARD_EXAMPLES).max(1))
     }
 }
 
@@ -56,14 +126,89 @@ pub struct ScoredPrediction {
     pub score: f64,
 }
 
-/// One in-flight beam hypothesis of [`LuinetParser::predict_topk`].
-#[derive(Debug, Clone)]
+/// The compiled candidate tables: for each `prev1`, the tokens observed to
+/// follow it in training, sorted by resolved text (a process-history-
+/// independent order), each with its cached candidate-half feature hash,
+/// plus an id-sorted membership index.
+#[derive(Default)]
+struct CompiledTransitions {
+    map: HashMap<Symbol, SuccessorEntry, FnvState>,
+}
+
+#[derive(Default)]
+struct SuccessorEntry {
+    /// `(token, candidate-half hash)` in text order — the iteration order
+    /// candidates are scored in (ties in the argmax go to the first seen).
+    candidates: Box<[(Symbol, u64)]>,
+    /// The same tokens sorted by raw id, for O(log n) membership.
+    members: Box<[Symbol]>,
+}
+
+impl SuccessorEntry {
+    #[inline]
+    fn contains(&self, token: Symbol) -> bool {
+        self.members.binary_search(&token).is_ok()
+    }
+}
+
+impl CompiledTransitions {
+    fn compile(lm: &ProgramLm) -> Self {
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
+        let mut map: HashMap<Symbol, SuccessorEntry, FnvState> = HashMap::default();
+        for (prev, successors) in lm.successor_entries() {
+            let mut candidates: Vec<(Symbol, u64)> = successors
+                .iter()
+                .map(|&s| (s, cand_hash(interner.resolve(s))))
+                .collect();
+            candidates.sort_unstable_by_key(|&(s, _)| interner.resolve(s));
+            let mut members: Vec<Symbol> = successors.to_vec();
+            members.sort_unstable();
+            map.insert(
+                prev,
+                SuccessorEntry {
+                    candidates: candidates.into_boxed_slice(),
+                    members: members.into_boxed_slice(),
+                },
+            );
+        }
+        CompiledTransitions { map }
+    }
+
+    #[inline]
+    fn get(&self, prev: Symbol) -> Option<&SuccessorEntry> {
+        self.map.get(&prev)
+    }
+}
+
+/// A training example prepared once per [`LuinetParser::train`] call and
+/// reused by every epoch: the sentence index and the gold program with
+/// end-of-sequence appended and candidate-half hashes cached.
+struct PreparedExample {
+    index: SentenceIndex,
+    gold: Vec<(Symbol, u64)>,
+}
+
+/// Shard-local training result: sparse weight/total deltas against the
+/// round-start snapshot, plus the number of decode steps taken.
+#[derive(Default)]
+struct ShardDelta {
+    /// bucket → (weight delta, averaged-total delta).
+    deltas: HashMap<u32, (f64, f64), FnvState>,
+    steps: u64,
+}
+
+/// An in-flight beam hypothesis: a tail pointer into the shared
+/// [`BeamArena`] instead of an owned token vector, so extending a
+/// hypothesis is O(1) and prefixes are stored once.
+#[derive(Clone, Copy)]
 struct Hypothesis {
-    tokens: Vec<String>,
-    prev1: String,
-    prev2: String,
+    /// Arena handle of the last token (0 = empty sequence).
+    tail: u32,
+    len: u32,
+    prev1: Symbol,
+    prev2: Symbol,
     score: f64,
-    steps: usize,
+    steps: u32,
     finished: bool,
 }
 
@@ -71,7 +216,86 @@ impl Hypothesis {
     /// Mean per-step score — comparable between hypotheses of different
     /// lengths, unlike the raw cumulative score.
     fn normalized(&self) -> f64 {
-        self.score / self.steps.max(1) as f64
+        self.score / (self.steps.max(1)) as f64
+    }
+}
+
+/// Shared-prefix storage for beam hypotheses: each node is `(parent handle,
+/// token)`; handle 0 is the empty sequence. Prefix comparison short-circuits
+/// on shared nodes, so the deterministic tie-break costs O(divergence), not
+/// O(length).
+#[derive(Default)]
+struct BeamArena {
+    nodes: Vec<(u32, Symbol)>,
+}
+
+impl BeamArena {
+    #[inline]
+    fn push(&mut self, parent: u32, token: Symbol) -> u32 {
+        self.nodes.push((parent, token));
+        self.nodes.len() as u32
+    }
+
+    /// The sequence ending at `tail`, front to back.
+    fn materialize(&self, mut tail: u32, len: usize) -> Vec<Symbol> {
+        let mut out = vec![Symbol::from_raw(0); len];
+        for slot in out.iter_mut().rev() {
+            let (parent, token) = self.nodes[(tail - 1) as usize];
+            *slot = token;
+            tail = parent;
+        }
+        out
+    }
+
+    fn ancestor(&self, mut tail: u32, mut back: u32) -> u32 {
+        while back > 0 {
+            tail = self.nodes[(tail - 1) as usize].0;
+            back -= 1;
+        }
+        tail
+    }
+
+    /// Compare two equal-length chains element-wise (front to back) by
+    /// resolved text.
+    fn cmp_equal_len(
+        &self,
+        interner: &genie_nlp::Interner,
+        a: u32,
+        b: u32,
+        n: u32,
+    ) -> std::cmp::Ordering {
+        if n == 0 || a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        let (a_parent, a_token) = self.nodes[(a - 1) as usize];
+        let (b_parent, b_token) = self.nodes[(b - 1) as usize];
+        self.cmp_equal_len(interner, a_parent, b_parent, n - 1)
+            .then_with(|| {
+                if a_token == b_token {
+                    std::cmp::Ordering::Equal
+                } else {
+                    interner.resolve(a_token).cmp(interner.resolve(b_token))
+                }
+            })
+    }
+
+    /// Lexicographic comparison of two token sequences by resolved text
+    /// (the deterministic beam tie-break).
+    fn cmp_seq(
+        &self,
+        interner: &genie_nlp::Interner,
+        a: &Hypothesis,
+        b: &Hypothesis,
+    ) -> std::cmp::Ordering {
+        let common = a.len.min(b.len);
+        let a_anchor = self.ancestor(a.tail, a.len - common);
+        let b_anchor = self.ancestor(b.tail, b.len - common);
+        self.cmp_equal_len(interner, a_anchor, b_anchor, common)
+            .then_with(|| a.len.cmp(&b.len))
+    }
+
+    fn seq_eq(&self, interner: &genie_nlp::Interner, a: &Hypothesis, b: &Hypothesis) -> bool {
+        a.len == b.len && self.cmp_seq(interner, a, b) == std::cmp::Ordering::Equal
     }
 }
 
@@ -83,8 +307,12 @@ pub struct LuinetParser {
     totals: Vec<f64>,
     updates: u64,
     transitions: ProgramLm,
+    compiled: CompiledTransitions,
     pretrained_lm: Option<ProgramLm>,
     trained_examples: usize,
+    bos: Symbol,
+    eos: Symbol,
+    eos_hash: u64,
 }
 
 impl LuinetParser {
@@ -97,8 +325,12 @@ impl LuinetParser {
             totals: vec![0.0; FEATURE_BUCKETS],
             updates: 0,
             transitions: ProgramLm::new(),
+            compiled: CompiledTransitions::default(),
             pretrained_lm: None,
             trained_examples: 0,
+            bos: bos_symbol(),
+            eos: eos_symbol(),
+            eos_hash: cand_hash(crate::vocab::EOS),
         }
     }
 
@@ -119,177 +351,293 @@ impl LuinetParser {
         &self.vocab
     }
 
-    /// Train on the given examples (teacher forcing, averaged perceptron).
-    ///
-    /// Sentence symbols resolve once per example into borrowed fragments
-    /// ([`resolve_sentence`]): the epochs then hash and compare `&str`s
-    /// that point straight into the arena — no per-sentence `Vec<String>`
-    /// materialization, and no re-tokenization anywhere in training.
+    /// A fingerprint of the trained parameters (non-zero weight buckets,
+    /// averaged totals and the update counter). Byte-identical weights ⇔
+    /// equal digests; the determinism tests and the training bench compare
+    /// this across thread counts and runs.
+    pub fn weights_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut state = 0xcbf2_9ce4_8422_2325u64 ^ self.updates.wrapping_mul(PRIME);
+        let mut fold = |value: u64| {
+            state ^= value;
+            state = state.wrapping_mul(PRIME);
+        };
+        for (bucket, (&weight, &total)) in self.weights.iter().zip(&self.totals).enumerate() {
+            if weight != 0.0 || total != 0.0 {
+                fold(bucket as u64);
+                fold(u64::from(weight.to_bits()));
+                fold(total.to_bits());
+            }
+        }
+        state
+    }
+
+    /// Train on the given examples (teacher forcing, averaged perceptron,
+    /// deterministically parallel — see the crate-level notes).
     pub fn train(&mut self, examples: &[ParserExample]) {
         // The transition model proposes candidate next-tokens at decode time
-        // and is always (re)built from the training programs.
+        // and is always (re)built from the training programs; this is also
+        // where program tokens intern into the shared arena.
         self.transitions.train(examples.iter().map(|e| &e.program));
         for example in examples {
             self.vocab.add_all(&example.program);
         }
         self.trained_examples += examples.len();
+        self.compiled = CompiledTransitions::compile(&self.transitions);
+        if examples.is_empty() {
+            return;
+        }
 
-        let resolved: Vec<Vec<&'static str>> = examples
-            .iter()
-            .map(|e| resolve_sentence(&e.sentence))
-            .collect();
-        let mut order: Vec<usize> = (0..examples.len()).collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut buckets = Vec::with_capacity(24);
-        for _ in 0..self.config.epochs {
+        // Per-example state is prepared once per train call (not per epoch):
+        // the sentence index and the gold chain with cached hashes.
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
+        let prepared: Vec<PreparedExample> =
+            genie_parallel::par_map(self.config.threads, examples, |_, example| {
+                let gold = example
+                    .program
+                    .iter()
+                    .map(|token| {
+                        let symbol = interner.intern(token);
+                        (symbol, cand_hash(token))
+                    })
+                    .chain(std::iter::once((self.eos, self.eos_hash)))
+                    .collect();
+                PreparedExample {
+                    index: SentenceIndex::build(&example.sentence),
+                    gold,
+                }
+            });
+
+        let shards = self.config.effective_shards(examples.len());
+        let round_len = shards * TRAIN_ROUND_EXAMPLES;
+        let mut order: Vec<u32> = (0..examples.len() as u32).collect();
+        for epoch in 0..self.config.epochs {
+            let mut rng = StdRng::seed_from_u64(genie_parallel::stream_seed(
+                self.config.seed,
+                TRAIN_SHUFFLE_STREAM,
+                epoch as u64,
+            ));
             order.shuffle(&mut rng);
-            for &idx in &order {
-                let example = &examples[idx];
-                self.train_one(&resolved[idx], &example.program, &mut buckets);
-            }
-        }
-    }
-
-    fn train_one(&mut self, sentence: &[&str], program: &[String], buckets: &mut Vec<usize>) {
-        let mut prev1 = BOS.to_owned();
-        let mut prev2 = BOS.to_owned();
-        let gold_with_eos: Vec<&str> = program
-            .iter()
-            .map(String::as_str)
-            .chain(std::iter::once(EOS))
-            .collect();
-        for (position, gold) in gold_with_eos.iter().enumerate() {
-            let mut candidates = self.candidates(sentence, &prev1);
-            if !candidates.iter().any(|c| c == gold) {
-                candidates.push((*gold).to_owned());
-            }
-            let predicted =
-                self.best_candidate(sentence, &prev1, &prev2, position, &candidates, buckets);
-            self.updates += 1;
-            if predicted != *gold {
-                candidate_buckets(sentence, &prev1, &prev2, position, gold, buckets);
-                for &bucket in buckets.iter() {
-                    self.weights[bucket] += 1.0;
-                    self.totals[bucket] += self.updates as f64;
+            // Mixing rounds: each round hands `shards` contiguous slices of
+            // the shuffled stream to the workers and merges their deltas
+            // before the next round starts, bounding how stale a shard's
+            // snapshot can get (the per-round cadence is what keeps mixed
+            // training competitive with the sequential perceptron).
+            for round in order.chunks(round_len) {
+                let chunks: Vec<&[u32]> = round.chunks(round.len().div_ceil(shards)).collect();
+                let deltas = genie_parallel::par_map(self.config.threads, &chunks, |_, chunk| {
+                    self.train_shard(chunk, &prepared)
+                });
+                // Merge in shard order: the result is a function of the
+                // shard partition alone, so the worker count can never
+                // change the trained weights.
+                let mut step_sum = 0u64;
+                for delta in &deltas {
+                    for (&bucket, &(dw, dt)) in &delta.deltas {
+                        let bucket = bucket as usize;
+                        self.weights[bucket] = (self.weights[bucket] as f64 + dw) as f32;
+                        self.totals[bucket] += dt;
+                    }
+                    step_sum += delta.steps;
                 }
-                candidate_buckets(sentence, &prev1, &prev2, position, &predicted, buckets);
-                for &bucket in buckets.iter() {
-                    self.weights[bucket] -= 1.0;
-                    self.totals[bucket] -= self.updates as f64;
+                self.updates += step_sum;
+            }
+        }
+    }
+
+    /// Train one shard of one mixing round: accumulate sparse weight deltas
+    /// against the round-start snapshot (`self.weights`, re-merged after
+    /// every round), scoring each candidate as snapshot + local delta so the
+    /// shard behaves exactly like a sequential perceptron over its chunk.
+    fn train_shard(&self, chunk: &[u32], prepared: &[PreparedExample]) -> ShardDelta {
+        let mut delta = ShardDelta::default();
+        let mut buckets: Vec<usize> = Vec::with_capacity(24);
+        for &index in chunk {
+            let example = &prepared[index as usize];
+            let mut prev1 = self.bos;
+            let mut prev2 = self.bos;
+            for (position, &(gold, gold_hash)) in example.gold.iter().enumerate() {
+                let step = StepContext::new(&example.index, prev1, prev2, position);
+                let (predicted, predicted_hash) =
+                    self.best_candidate(&step, &example.index, Some((gold, gold_hash)), &delta);
+                delta.steps += 1;
+                let stamp = (self.updates + delta.steps) as f64;
+                if predicted != gold {
+                    step.collect_buckets(gold, gold_hash, &mut buckets);
+                    for &bucket in &buckets {
+                        let slot = delta.deltas.entry(bucket as u32).or_default();
+                        slot.0 += 1.0;
+                        slot.1 += stamp;
+                    }
+                    step.collect_buckets(predicted, predicted_hash, &mut buckets);
+                    for &bucket in &buckets {
+                        let slot = delta.deltas.entry(bucket as u32).or_default();
+                        slot.0 -= 1.0;
+                        slot.1 -= stamp;
+                    }
                 }
-            }
-            // Teacher forcing: condition the next step on the gold token.
-            prev2 = std::mem::replace(&mut prev1, (*gold).to_owned());
-        }
-    }
-
-    /// Candidate next-tokens: the tokens observed to follow `prev1` in the
-    /// training programs, plus every input-sentence word (the copy actions),
-    /// plus the end-of-sequence token.
-    fn candidates(&self, sentence: &[&str], prev1: &str) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .transitions
-            .successors(prev1)
-            .map(str::to_owned)
-            .collect();
-        for &word in sentence {
-            if !out.iter().any(|c| c == word) {
-                out.push(word.to_owned());
+                // Teacher forcing: condition the next step on the gold token.
+                prev2 = prev1;
+                prev1 = gold;
             }
         }
-        if !out.iter().any(|c| c == EOS) {
-            out.push(EOS.to_owned());
-        }
-        out
+        delta
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn score(
+    /// Visit the candidate next-tokens in the deterministic scoring order:
+    /// the compiled successors of `prev1` (text order), then the sentence's
+    /// distinct words not already among them (first-occurrence order, the
+    /// copy actions), then the end-of-sequence token, then — in training —
+    /// the gold token when no other source proposed it.
+    #[inline]
+    fn for_each_candidate(
         &self,
-        sentence: &[&str],
-        prev1: &str,
-        prev2: &str,
-        position: usize,
-        candidate: &str,
-        buckets: &mut Vec<usize>,
-        averaged: bool,
-    ) -> f64 {
-        candidate_buckets(sentence, prev1, prev2, position, candidate, buckets);
-        let mut score: f64 = 0.0;
-        for &bucket in buckets.iter() {
-            if averaged && self.updates > 0 {
-                score += self.weights[bucket] as f64 - self.totals[bucket] / self.updates as f64;
-            } else {
-                score += self.weights[bucket] as f64;
+        index: &SentenceIndex,
+        prev1: Symbol,
+        gold: Option<(Symbol, u64)>,
+        mut f: impl FnMut(Symbol, u64),
+    ) {
+        let successors = self.compiled.get(prev1);
+        if let Some(entry) = successors {
+            for &(token, hash) in entry.candidates.iter() {
+                f(token, hash);
             }
         }
-        if let Some(lm) = &self.pretrained_lm {
-            if self.config.lm_weight != 0.0 {
-                score += self.config.lm_weight as f64 * lm.log_prob(prev2, prev1, candidate);
+        let in_successors = |token: Symbol| successors.is_some_and(|entry| entry.contains(token));
+        for &(word, hash) in index.distinct_words() {
+            if !in_successors(word) {
+                f(word, hash);
             }
         }
-        score
+        if !in_successors(self.eos) && !index.contains(self.eos) {
+            f(self.eos, self.eos_hash);
+        }
+        if let Some((gold, gold_hash)) = gold {
+            if !in_successors(gold) && !index.contains(gold) && gold != self.eos {
+                f(gold, gold_hash);
+            }
+        }
     }
 
+    /// Raw (non-averaged) score of one candidate during training: round-start
+    /// snapshot plus the shard-local delta overlay, plus the pretrained-LM
+    /// contribution.
+    #[inline]
+    fn score_train(
+        &self,
+        step: &StepContext<'_>,
+        candidate: Symbol,
+        candidate_hash: u64,
+        delta: &ShardDelta,
+    ) -> f64 {
+        let mut score = 0.0;
+        step.for_each_bucket(candidate, candidate_hash, |bucket| {
+            let local = delta
+                .deltas
+                .get(&(bucket as u32))
+                .map(|&(dw, _)| dw)
+                .unwrap_or(0.0);
+            score += self.weights[bucket] as f64 + local;
+        });
+        score + self.lm_score(step, candidate)
+    }
+
+    /// Averaged-weight score of one candidate at decode time.
+    #[inline]
+    fn score_decode(&self, step: &StepContext<'_>, candidate: Symbol, candidate_hash: u64) -> f64 {
+        let mut score = 0.0;
+        if self.updates > 0 {
+            let updates = self.updates as f64;
+            step.for_each_bucket(candidate, candidate_hash, |bucket| {
+                score += self.weights[bucket] as f64 - self.totals[bucket] / updates;
+            });
+        } else {
+            step.for_each_bucket(candidate, candidate_hash, |bucket| {
+                score += self.weights[bucket] as f64;
+            });
+        }
+        score + self.lm_score(step, candidate)
+    }
+
+    #[inline]
+    fn lm_score(&self, step: &StepContext<'_>, candidate: Symbol) -> f64 {
+        match &self.pretrained_lm {
+            Some(lm) if self.config.lm_weight != 0.0 => {
+                self.config.lm_weight as f64
+                    * lm.log_prob_sym(step.prev2(), step.prev1(), candidate)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The argmax candidate under the raw training score (first seen wins
+    /// ties, which the deterministic candidate order makes reproducible).
     fn best_candidate(
         &self,
-        sentence: &[&str],
-        prev1: &str,
-        prev2: &str,
-        position: usize,
-        candidates: &[String],
-        buckets: &mut Vec<usize>,
-    ) -> String {
-        let mut best = EOS.to_owned();
+        step: &StepContext<'_>,
+        index: &SentenceIndex,
+        gold: Option<(Symbol, u64)>,
+        delta: &ShardDelta,
+    ) -> (Symbol, u64) {
+        let mut best = (self.eos, self.eos_hash);
         let mut best_score = f64::NEG_INFINITY;
-        for candidate in candidates {
-            let score = self.score(sentence, prev1, prev2, position, candidate, buckets, false);
+        self.for_each_candidate(index, step.prev1(), gold, |candidate, hash| {
+            let score = self.score_train(step, candidate, hash, delta);
             if score > best_score {
                 best_score = score;
-                best = candidate.clone();
+                best = (candidate, hash);
             }
-        }
+        });
         best
+    }
+
+    /// Greedy averaged-weight decode; returns the tokens and the
+    /// length-normalized sequence score (the mean per-step score including
+    /// the final end-of-sequence step).
+    fn decode_greedy(&self, index: &SentenceIndex) -> (Vec<Symbol>, f64) {
+        let mut out: Vec<Symbol> = Vec::new();
+        let mut prev1 = self.bos;
+        let mut prev2 = self.bos;
+        let mut total = 0.0;
+        let mut steps = 0usize;
+        let mut ended = false;
+        for position in 0..self.config.max_length {
+            let step = StepContext::new(index, prev1, prev2, position);
+            let mut best = (self.eos, self.eos_hash);
+            let mut best_score = f64::NEG_INFINITY;
+            self.for_each_candidate(index, prev1, None, |candidate, hash| {
+                let score = self.score_decode(&step, candidate, hash);
+                if score > best_score {
+                    best_score = score;
+                    best = (candidate, hash);
+                }
+            });
+            total += best_score;
+            steps += 1;
+            if best.0 == self.eos {
+                ended = true;
+                break;
+            }
+            out.push(best.0);
+            prev2 = prev1;
+            prev1 = best.0;
+        }
+        if !ended {
+            // Score the closing end-of-sequence step the decode never took,
+            // so normalized scores stay comparable with finished sequences.
+            let step = StepContext::new(index, prev1, prev2, out.len());
+            total += self.score_decode(&step, self.eos, self.eos_hash);
+            steps += 1;
+        }
+        (out, total / steps.max(1) as f64)
     }
 
     /// Decode the program for an interned sentence (greedy, averaged
     /// weights).
     pub fn predict(&self, sentence: &[Symbol]) -> Vec<String> {
-        let sentence = resolve_sentence(sentence);
-        self.predict_resolved(&sentence)
-    }
-
-    fn predict_resolved(&self, sentence: &[&str]) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
-        let mut prev1 = BOS.to_owned();
-        let mut prev2 = BOS.to_owned();
-        let mut buckets = Vec::with_capacity(24);
-        for position in 0..self.config.max_length {
-            let candidates = self.candidates(sentence, &prev1);
-            let mut best = EOS.to_owned();
-            let mut best_score = f64::NEG_INFINITY;
-            for candidate in &candidates {
-                let score = self.score(
-                    sentence,
-                    &prev1,
-                    &prev2,
-                    position,
-                    candidate,
-                    &mut buckets,
-                    true,
-                );
-                if score > best_score {
-                    best_score = score;
-                    best = candidate.clone();
-                }
-            }
-            if best == EOS {
-                break;
-            }
-            out.push(best.clone());
-            prev2 = std::mem::replace(&mut prev1, best);
-        }
-        out
+        let index = SentenceIndex::build(sentence);
+        let (tokens, _) = self.decode_greedy(&index);
+        resolve_tokens(&tokens)
     }
 
     /// Decode the `k` best-scoring candidate programs for a sentence, most
@@ -306,9 +654,9 @@ impl LuinetParser {
     /// reproducible bit for bit across runs and thread counts — the
     /// property the serving cache depends on.
     pub fn predict_topk(&self, sentence: &[Symbol], k: usize) -> Vec<ScoredPrediction> {
-        let sentence = resolve_sentence(sentence);
-        let greedy_tokens = self.predict_resolved(&sentence);
-        let greedy_score = self.sequence_score(&sentence, &greedy_tokens);
+        let index = SentenceIndex::build(sentence);
+        let (greedy_tokens, greedy_score) = self.decode_greedy(&index);
+        let greedy_tokens = resolve_tokens(&greedy_tokens);
         let mut out = vec![ScoredPrediction {
             tokens: greedy_tokens,
             score: greedy_score,
@@ -316,169 +664,165 @@ impl LuinetParser {
         if k <= 1 {
             return out;
         }
-        for hypothesis in self.beam(&sentence, k) {
+        let mut arena = BeamArena::default();
+        for hypothesis in self.beam(&index, k, &mut arena) {
             if out.len() >= k {
                 break;
             }
-            if out.iter().any(|p| p.tokens == hypothesis.tokens) {
+            let tokens =
+                resolve_tokens(&arena.materialize(hypothesis.tail, hypothesis.len as usize));
+            if out.iter().any(|p| p.tokens == tokens) {
                 continue;
             }
             let score = hypothesis.normalized();
-            out.push(ScoredPrediction {
-                tokens: hypothesis.tokens,
-                score,
-            });
+            out.push(ScoredPrediction { tokens, score });
         }
         out
     }
 
-    /// The length-normalized averaged-weight score of a fixed token
-    /// sequence (the score [`LuinetParser::predict_topk`] reports for its
-    /// greedy top candidate).
-    fn sequence_score(&self, sentence: &[&str], tokens: &[String]) -> f64 {
-        let mut buckets = Vec::with_capacity(24);
-        let mut prev1 = BOS.to_owned();
-        let mut prev2 = BOS.to_owned();
-        let mut total = 0.0;
-        let mut steps = 0usize;
-        for (position, token) in tokens
-            .iter()
-            .map(String::as_str)
-            .chain(std::iter::once(EOS))
-            .enumerate()
-        {
-            total += self.score(
-                sentence,
-                &prev1,
-                &prev2,
-                position,
-                token,
-                &mut buckets,
-                true,
-            );
-            steps += 1;
-            prev2 = std::mem::replace(&mut prev1, token.to_owned());
-        }
-        total / steps.max(1) as f64
-    }
-
     /// Deterministic beam search over the decode space; returns the beam
     /// ranked by length-normalized score.
-    fn beam(&self, sentence: &[&str], beam_width: usize) -> Vec<Hypothesis> {
-        let mut buckets = Vec::with_capacity(24);
+    fn beam(
+        &self,
+        index: &SentenceIndex,
+        beam_width: usize,
+        arena: &mut BeamArena,
+    ) -> Vec<Hypothesis> {
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
         let mut beam: Vec<Hypothesis> = vec![Hypothesis {
-            tokens: Vec::new(),
-            prev1: BOS.to_owned(),
-            prev2: BOS.to_owned(),
+            tail: 0,
+            len: 0,
+            prev1: self.bos,
+            prev2: self.bos,
             score: 0.0,
             steps: 0,
             finished: false,
         }];
+        let mut next: Vec<Hypothesis> = Vec::with_capacity(beam_width * 8);
         for position in 0..self.config.max_length {
             if beam.iter().all(|h| h.finished) {
                 break;
             }
-            let mut next: Vec<Hypothesis> = Vec::with_capacity(beam.len() * 8);
+            next.clear();
             for hypothesis in &beam {
                 if hypothesis.finished {
-                    next.push(hypothesis.clone());
+                    next.push(*hypothesis);
                     continue;
                 }
-                let candidates = self.candidates(sentence, &hypothesis.prev1);
-                for candidate in &candidates {
-                    let step = self.score(
-                        sentence,
-                        &hypothesis.prev1,
-                        &hypothesis.prev2,
-                        position,
-                        candidate,
-                        &mut buckets,
-                        true,
-                    );
-                    let mut extended = hypothesis.clone();
-                    extended.score += step;
+                let step = StepContext::new(index, hypothesis.prev1, hypothesis.prev2, position);
+                self.for_each_candidate(index, hypothesis.prev1, None, |candidate, hash| {
+                    let score = self.score_decode(&step, candidate, hash);
+                    let mut extended = *hypothesis;
+                    extended.score += score;
                     extended.steps += 1;
-                    if candidate == EOS {
+                    if candidate == self.eos {
                         extended.finished = true;
                     } else {
-                        extended.prev2 = std::mem::replace(&mut extended.prev1, candidate.clone());
-                        extended.tokens.push(candidate.clone());
+                        extended.prev2 = extended.prev1;
+                        extended.prev1 = candidate;
+                        extended.tail = arena.push(hypothesis.tail, candidate);
+                        extended.len += 1;
                     }
                     next.push(extended);
-                }
+                });
             }
             // Deterministic pruning: normalized score descending, token
-            // sequence as the tie-break (no hash-order or float-equality
-            // ambiguity).
+            // sequence (by resolved text) as the tie-break — no hash-order
+            // or float-equality ambiguity, no dependence on symbol ids.
             next.sort_by(|a, b| {
                 b.normalized()
                     .partial_cmp(&a.normalized())
                     .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.tokens.cmp(&b.tokens))
+                    .then_with(|| arena.cmp_seq(interner, a, b))
             });
-            next.dedup_by(|a, b| a.tokens == b.tokens && a.finished == b.finished);
+            next.dedup_by(|a, b| a.finished == b.finished && arena.seq_eq(interner, a, b));
             next.truncate(beam_width);
-            beam = next;
+            std::mem::swap(&mut beam, &mut next);
         }
         beam
     }
 
     /// Predict programs for many sentences in parallel (used by the
-    /// evaluation harness). Uses all available cores for large batches; see
-    /// [`LuinetParser::predict_batch_with_threads`] for an explicit count.
-    pub fn predict_batch(&self, sentences: &[TokenStream]) -> Vec<Vec<String>> {
+    /// evaluation harness). Uses the configured worker threads for large
+    /// batches; see [`LuinetParser::predict_batch_with_threads`] for an
+    /// explicit count.
+    pub fn predict_batch<S>(&self, sentences: &[S]) -> Vec<Vec<String>>
+    where
+        S: AsRef<[Symbol]> + Sync,
+    {
         if sentences.len() < 32 {
-            return sentences.iter().map(|s| self.predict(s)).collect();
+            return sentences.iter().map(|s| self.predict(s.as_ref())).collect();
         }
-        self.predict_batch_with_threads(sentences, 0)
+        self.predict_batch_with_threads(sentences, self.config.threads)
     }
 
     /// [`LuinetParser::predict_batch`] with an explicit worker count (`0` =
     /// all cores, `1` = inline). Predictions are a pure function of the
     /// model and the sentence and [`genie_parallel::par_map`] preserves
     /// input order, so the output is byte-identical for any thread count.
-    pub fn predict_batch_with_threads(
-        &self,
-        sentences: &[TokenStream],
-        threads: usize,
-    ) -> Vec<Vec<String>> {
-        genie_parallel::par_map(threads, sentences, |_, sentence| self.predict(sentence))
+    pub fn predict_batch_with_threads<S>(&self, sentences: &[S], threads: usize) -> Vec<Vec<String>>
+    where
+        S: AsRef<[Symbol]> + Sync,
+    {
+        genie_parallel::par_map(threads, sentences, |_, sentence| {
+            self.predict(sentence.as_ref())
+        })
     }
 
     /// Top-`k` scored candidates for many sentences, fanned out over
     /// `threads` workers with order-preserving, byte-identical output.
-    pub fn predict_topk_batch(
+    pub fn predict_topk_batch<S>(
         &self,
-        sentences: &[TokenStream],
+        sentences: &[S],
         k: usize,
         threads: usize,
-    ) -> Vec<Vec<ScoredPrediction>> {
+    ) -> Vec<Vec<ScoredPrediction>>
+    where
+        S: AsRef<[Symbol]> + Sync,
+    {
         genie_parallel::par_map(threads, sentences, |_, sentence| {
-            self.predict_topk(sentence, k)
+            self.predict_topk(sentence.as_ref(), k)
         })
     }
 
     /// Exact-match accuracy of the parser on a set of examples (token-level
     /// exact match; the pipeline-level program accuracy additionally
-    /// canonicalizes both sides).
+    /// canonicalizes both sides). Decodes in parallel over the configured
+    /// worker threads, borrowing every sentence — no per-example clones.
     pub fn exact_match_accuracy(&self, examples: &[ParserExample]) -> f64 {
         if examples.is_empty() {
             return 0.0;
         }
-        let sentences: Vec<TokenStream> = examples.iter().map(|e| e.sentence.clone()).collect();
-        let predictions = self.predict_batch(&sentences);
-        let correct = predictions
-            .iter()
-            .zip(examples)
-            .filter(|(predicted, example)| **predicted == example.program)
-            .count();
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
+        let correct = genie_parallel::par_map(self.config.threads, examples, |_, example| {
+            let index = SentenceIndex::build(&example.sentence);
+            let (tokens, _) = self.decode_greedy(&index);
+            tokens.len() == example.program.len()
+                && tokens
+                    .iter()
+                    .zip(&example.program)
+                    .all(|(&symbol, gold)| interner.resolve(symbol) == gold)
+        })
+        .into_iter()
+        .filter(|&ok| ok)
+        .count();
         correct as f64 / examples.len() as f64
     }
+}
+
+/// Resolve decoded symbols to owned token text (the public API boundary).
+fn resolve_tokens(tokens: &[Symbol]) -> Vec<String> {
+    let interner = genie_nlp::intern::shared();
+    tokens
+        .iter()
+        .map(|&s| interner.resolve(s).to_owned())
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use genie_nlp::intern::TokenStream;
 
     fn stream(s: &str) -> TokenStream {
         genie_nlp::intern::shared().stream_of(s)
@@ -521,11 +865,38 @@ mod tests {
         out
     }
 
+    /// A larger synthetic workload (hundreds of examples) that actually
+    /// splits into multiple training shards.
+    fn sharded_training_set() -> Vec<ParserExample> {
+        let mut out = Vec::new();
+        let devices = [
+            ("twitter", "@com.twitter.timeline"),
+            ("gmail", "@com.gmail.inbox"),
+            ("dropbox", "@com.dropbox.list_folder"),
+            ("spotify", "@com.spotify.playlists"),
+            ("weather", "@org.thingpedia.weather.current"),
+            ("news", "@com.nytimes.get_front_page"),
+        ];
+        let verbs = ["show", "get", "fetch", "list", "display", "pull"];
+        let tails = ["stuff", "items", "things", "updates", "results", "entries"];
+        for (word, function) in devices {
+            for verb in verbs {
+                for tail in tails {
+                    out.push(ParserExample::from_strs(
+                        &format!("{verb} me my {word} {tail}"),
+                        &format!("now => {function} ( ) => notify"),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     #[test]
     fn learns_the_training_set() {
         let mut parser = LuinetParser::new(ModelConfig {
             epochs: 20,
-            seed: 3,
+            seed: 2,
             ..ModelConfig::default()
         });
         let examples = training_set();
@@ -572,7 +943,7 @@ mod tests {
         let programs: Vec<Vec<String>> = training_set().into_iter().map(|e| e.program).collect();
         lm.train(&programs);
         let mut parser = LuinetParser::new(ModelConfig {
-            epochs: 2,
+            epochs: 4,
             ..ModelConfig::default()
         })
         .with_pretrained_lm(lm);
@@ -628,8 +999,8 @@ mod tests {
             ..ModelConfig::default()
         });
         parser.train(&training_set());
-        let sentences: Vec<TokenStream> =
-            training_set().iter().map(|e| e.sentence.clone()).collect();
+        let examples = training_set();
+        let sentences: Vec<&TokenStream> = examples.iter().map(|e| &e.sentence).collect();
         let sequential = parser.predict_topk_batch(&sentences, 3, 1);
         for threads in [2, 8] {
             assert_eq!(
@@ -655,10 +1026,85 @@ mod tests {
             ..ModelConfig::default()
         });
         parser.train(&training_set());
-        let sentences: Vec<TokenStream> =
-            training_set().iter().map(|e| e.sentence.clone()).collect();
+        let examples = training_set();
+        let sentences: Vec<&TokenStream> = examples.iter().map(|e| &e.sentence).collect();
         let sequential: Vec<Vec<String>> = sentences.iter().map(|s| parser.predict(s)).collect();
         let batched = parser.predict_batch(&sentences);
         assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn training_is_thread_invariant_and_reproducible() {
+        let examples = sharded_training_set();
+        let train_with = |threads: usize| {
+            let mut parser = LuinetParser::new(ModelConfig {
+                epochs: 3,
+                seed: 7,
+                threads,
+                train_shards: 4,
+                ..ModelConfig::default()
+            });
+            parser.train(&examples);
+            parser
+        };
+        let baseline = train_with(1);
+        let digest = baseline.weights_digest();
+        let topk = baseline.predict_topk(&stream("fetch me my spotify updates"), 3);
+        for threads in [2, 8] {
+            let parser = train_with(threads);
+            assert_eq!(
+                parser.weights_digest(),
+                digest,
+                "weights differ at {threads} threads"
+            );
+            assert_eq!(
+                parser.predict_topk(&stream("fetch me my spotify updates"), 3),
+                topk,
+                "predictions differ at {threads} threads"
+            );
+        }
+        // Two runs at the same seed and thread count are identical too.
+        assert_eq!(train_with(1).weights_digest(), digest);
+    }
+
+    #[test]
+    fn sharded_training_matches_the_sequential_trainer_on_accuracy() {
+        let examples = sharded_training_set();
+        let accuracy_with = |train_shards: usize, threads: usize| {
+            let mut parser = LuinetParser::new(ModelConfig {
+                epochs: 3,
+                seed: 5,
+                threads,
+                train_shards,
+                ..ModelConfig::default()
+            });
+            parser.train(&examples);
+            parser.exact_match_accuracy(&examples)
+        };
+        let sequential = accuracy_with(1, 1);
+        let sharded = accuracy_with(4, 0);
+        assert!(
+            sharded >= sequential,
+            "sharded training regressed accuracy: {sharded} < {sequential}"
+        );
+        assert!(
+            sequential > 0.9,
+            "sequential accuracy too low: {sequential}"
+        );
+    }
+
+    #[test]
+    fn tiny_datasets_collapse_to_one_shard() {
+        let config = ModelConfig::default();
+        assert_eq!(config.effective_shards(24), 1);
+        assert_eq!(config.effective_shards(64), 1);
+        assert_eq!(config.effective_shards(128), 2);
+        assert_eq!(config.effective_shards(10_000), 4);
+        let wide = ModelConfig {
+            train_shards: 16,
+            ..ModelConfig::default()
+        };
+        assert_eq!(wide.effective_shards(10_000), 16);
+        assert_eq!(wide.effective_shards(300), 4);
     }
 }

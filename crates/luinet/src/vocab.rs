@@ -1,8 +1,11 @@
-//! Token vocabulary with stable integer ids.
+//! Token vocabulary with stable integer ids, backed by the shared intern
+//! arena: the vocabulary stores 4-byte [`Symbol`]s and resolves text only at
+//! the lookup boundary.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
-use serde::{Deserialize, Serialize};
+use genie_nlp::intern::{FnvState, Symbol};
 
 /// The begin-of-sequence token.
 pub const BOS: &str = "<s>";
@@ -11,32 +14,60 @@ pub const EOS: &str = "</s>";
 /// The unknown-token placeholder.
 pub const UNK: &str = "<unk>";
 
+/// The interned begin-of-sequence symbol (shared arena).
+pub fn bos_symbol() -> Symbol {
+    static SYMBOL: OnceLock<Symbol> = OnceLock::new();
+    *SYMBOL.get_or_init(|| genie_nlp::intern::shared().intern(BOS))
+}
+
+/// The interned end-of-sequence symbol (shared arena).
+pub fn eos_symbol() -> Symbol {
+    static SYMBOL: OnceLock<Symbol> = OnceLock::new();
+    *SYMBOL.get_or_init(|| genie_nlp::intern::shared().intern(EOS))
+}
+
+/// The interned unknown-token symbol (shared arena).
+pub fn unk_symbol() -> Symbol {
+    static SYMBOL: OnceLock<Symbol> = OnceLock::new();
+    *SYMBOL.get_or_init(|| genie_nlp::intern::shared().intern(UNK))
+}
+
 /// A token vocabulary mapping tokens to dense ids.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Tokens are interned symbols; the string API interns/resolves through the
+/// shared arena at the boundary, so growing the vocabulary from training
+/// programs compares 4-byte ids instead of re-hashing token text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Vocab {
-    token_to_id: BTreeMap<String, usize>,
-    id_to_token: Vec<String>,
+    token_to_id: HashMap<Symbol, usize, FnvState>,
+    id_to_token: Vec<Symbol>,
 }
 
 impl Vocab {
     /// An empty vocabulary containing only the special tokens.
     pub fn new() -> Self {
         let mut vocab = Vocab::default();
-        vocab.add(BOS);
-        vocab.add(EOS);
-        vocab.add(UNK);
+        vocab.add_symbol(bos_symbol());
+        vocab.add_symbol(eos_symbol());
+        vocab.add_symbol(unk_symbol());
         vocab
     }
 
-    /// Add a token, returning its id (existing id if already present).
-    pub fn add(&mut self, token: &str) -> usize {
-        if let Some(&id) = self.token_to_id.get(token) {
+    /// Add an interned token, returning its id (existing id if already
+    /// present).
+    pub fn add_symbol(&mut self, token: Symbol) -> usize {
+        if let Some(&id) = self.token_to_id.get(&token) {
             return id;
         }
         let id = self.id_to_token.len();
-        self.token_to_id.insert(token.to_owned(), id);
-        self.id_to_token.push(token.to_owned());
+        self.token_to_id.insert(token, id);
+        self.id_to_token.push(token);
         id
+    }
+
+    /// Add a token by text, interning it into the shared arena.
+    pub fn add(&mut self, token: &str) -> usize {
+        self.add_symbol(genie_nlp::intern::shared().intern(token))
     }
 
     /// Add every token of an iterator.
@@ -48,20 +79,31 @@ impl Vocab {
 
     /// Look up a token, returning the `<unk>` id when absent.
     pub fn id(&self, token: &str) -> usize {
-        self.token_to_id
+        genie_nlp::intern::shared()
             .get(token)
-            .copied()
-            .unwrap_or_else(|| self.token_to_id[UNK])
+            .and_then(|symbol| self.token_to_id.get(&symbol).copied())
+            .unwrap_or_else(|| self.token_to_id[&unk_symbol()])
     }
 
     /// Whether the vocabulary contains the token.
     pub fn contains(&self, token: &str) -> bool {
-        self.token_to_id.contains_key(token)
+        genie_nlp::intern::shared()
+            .get(token)
+            .is_some_and(|symbol| self.token_to_id.contains_key(&symbol))
+    }
+
+    /// Whether the vocabulary contains the interned token.
+    pub fn contains_symbol(&self, token: Symbol) -> bool {
+        self.token_to_id.contains_key(&token)
     }
 
     /// The token for an id.
-    pub fn token(&self, id: usize) -> &str {
-        self.id_to_token.get(id).map(String::as_str).unwrap_or(UNK)
+    pub fn token(&self, id: usize) -> &'static str {
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
+        self.id_to_token
+            .get(id)
+            .map(|&symbol| interner.resolve(symbol))
+            .unwrap_or(UNK)
     }
 
     /// Number of tokens (including the special tokens).
@@ -74,9 +116,10 @@ impl Vocab {
         self.id_to_token.len() <= 3
     }
 
-    /// Iterate over all tokens.
-    pub fn tokens(&self) -> impl Iterator<Item = &str> {
-        self.id_to_token.iter().map(String::as_str)
+    /// Iterate over all tokens in id order.
+    pub fn tokens(&self) -> impl Iterator<Item = &'static str> + '_ {
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
+        self.id_to_token.iter().map(move |&s| interner.resolve(s))
     }
 }
 
@@ -92,7 +135,7 @@ mod tests {
         assert_eq!(vocab.id("notify"), id);
         assert_eq!(vocab.token(id), "notify");
         assert!(vocab.contains("notify"));
-        assert!(!vocab.contains("missing"));
+        assert!(!vocab.contains("missing-from-vocab"));
     }
 
     #[test]
@@ -107,6 +150,7 @@ mod tests {
         assert!(vocab.contains(BOS));
         assert!(vocab.contains(EOS));
         assert!(vocab.contains(UNK));
+        assert!(vocab.contains_symbol(eos_symbol()));
         assert_eq!(vocab.len(), 3);
         assert!(vocab.is_empty());
     }
