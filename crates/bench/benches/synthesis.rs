@@ -78,11 +78,17 @@ fn bench_parallel_throughput(c: &mut Criterion) {
     let (seq_rate, count, seq_out) = measure(1);
     let (par_rate, _, par_out) = measure(0);
     assert_eq!(seq_out, par_out, "parallel output must be byte-identical");
+    // On a single-CPU host the "parallel" run is the sequential run plus
+    // thread overhead, so the ratio is noise, not a speedup — skip it.
+    let speedup = if genie_bench::available_cpus() > 1 {
+        format!("speedup {:.2}x", par_rate / seq_rate)
+    } else {
+        "speedup n/a (1 cpu)".to_owned()
+    };
     println!(
         "synthesis-throughput depth=5 target={target}: {count} sentences; \
          sequential {seq_rate:>10.0} sentences/sec; parallel {par_rate:>10.0} sentences/sec; \
-         speedup {:.2}x",
-        par_rate / seq_rate
+         {speedup}"
     );
 
     let mut group = c.benchmark_group("synthesis_throughput_depth5");
@@ -241,11 +247,25 @@ fn bench_streaming_report(_c: &mut Criterion) {
 
     let sequential_rate = sequential_count as f64 / sequential_secs;
     let parallel_rate = parallel_count as f64 / parallel_secs;
+    // A parallel-vs-sequential ratio is only a speedup when there is more
+    // than one CPU to run on; on a 1-CPU host the parallel run just pays
+    // thread overhead, so the report records `null` instead of a misleading
+    // sub-1.0 figure.
+    let cpus = genie_bench::available_cpus();
+    let speedup = if cpus > 1 {
+        format!("{:.4}", parallel_rate / sequential_rate)
+    } else {
+        "null".to_owned()
+    };
     println!(
-        "synthesis-streaming depth=5 target={target}: {sequential_count} sentences; \
+        "synthesis-streaming depth=5 target={target} cpus={cpus}: {sequential_count} sentences; \
          sequential {sequential_rate:>10.0} sentences/sec; parallel {parallel_rate:>10.0} \
-         sentences/sec; speedup {:.2}x; peak-rss-delta {} kB; collect-extra-rss {} kB",
-        parallel_rate / sequential_rate,
+         sentences/sec; speedup {}; peak-rss-delta {} kB; collect-extra-rss {} kB",
+        if cpus > 1 {
+            format!("{:.2}x", parallel_rate / sequential_rate)
+        } else {
+            "n/a (1 cpu)".to_owned()
+        },
         rss_delta_kb.map_or("n/a".to_owned(), |kb| kb.to_string()),
         collect_extra_rss_kb.map_or("n/a".to_owned(), |kb| kb.to_string()),
     );
@@ -272,6 +292,7 @@ fn bench_streaming_report(_c: &mut Criterion) {
     let report = json_object(&[
         ("bench", json_string("synthesis")),
         ("smoke", smoke.to_string()),
+        ("cpus", cpus.to_string()),
         (
             "config",
             json_object(&[
@@ -302,7 +323,7 @@ fn bench_streaming_report(_c: &mut Criterion) {
                 run_json("parallel", 0, parallel_count, parallel_secs),
             ),
         ),
-        ("speedup", format!("{:.4}", parallel_rate / sequential_rate)),
+        ("speedup", speedup),
         (
             "speedup_vs_baseline",
             format!(

@@ -4,19 +4,27 @@
 //! The digest is a fixed-key FNV-1a over every emitted `sentence\tprogram`
 //! line in canonical stream order, so two runs agree **iff** their datasets
 //! are byte-identical. The CI determinism matrix runs this binary at thread
-//! counts {1, 2, 8} and shard counts {1, 4, 16} and diffs the `--out` files;
-//! any divergence fails the build.
+//! counts {1, 2, 8} and shard counts {1, 4, 16} — for **both** dataset
+//! formats — and diffs the `--out` files; any divergence fails the build.
+//!
+//! With `--write-shards`, after the shard set is finished the binary merges
+//! it back through [`ShardedDatasetWriter::merge_for_each`] and asserts the
+//! merged digest equals the stream digest — the executable proof of the
+//! canonical-order contract: for the columnar format this round-trips every
+//! example through the binary codec, so TSV-vs-columnar digest equality is
+//! checked at every (threads × shards) point of the matrix.
 //!
 //! Flags: `--threads N` (0 = all cores), `--shards N`, `--batch-size N`,
 //! `--seed N`, `--target N` (samples per construct rule),
 //! `--paraphrase-sample N`, `--out PATH` (write `digest=… examples=…`, the
-//! thread/shard-independent comparison key), `--write-shards DIR`
-//! (additionally exercise the incremental sharded writers).
+//! thread/shard/format-independent comparison key), `--write-shards DIR`
+//! (additionally exercise the incremental sharded writers),
+//! `--format tsv|columnar` (the shard layout; default `tsv`).
 
 use std::hash::Hasher;
 
 use genie::pipeline::{DataPipeline, NnOptions, PipelineConfig};
-use genie::ShardedDatasetWriter;
+use genie::{DatasetFormat, ShardedDatasetWriter};
 use genie_bench::flag_value;
 use genie_templates::dedup::Fnv64;
 use genie_templates::GeneratorConfig;
@@ -35,6 +43,11 @@ fn main() -> genie::GenieResult<()> {
     let seed = flag_value(&args, "--seed").unwrap_or(42) as u64;
     let target = flag_value(&args, "--target").unwrap_or(25);
     let paraphrase_sample = flag_value(&args, "--paraphrase-sample").unwrap_or(60);
+    let format = match flag_str(&args, "--format").as_deref() {
+        None | Some("tsv") => DatasetFormat::Tsv,
+        Some("columnar") => DatasetFormat::Columnar,
+        Some(other) => panic!("unknown --format `{other}` (expected tsv or columnar)"),
+    };
 
     let library = Thingpedia::builtin();
     let config = PipelineConfig::builder()
@@ -55,7 +68,8 @@ fn main() -> genie::GenieResult<()> {
     let pipeline = DataPipeline::new(&library, config);
 
     let mut writer = flag_str(&args, "--write-shards").map(|dir| {
-        ShardedDatasetWriter::create(dir, "dataset", shards.max(1)).expect("create shard files")
+        ShardedDatasetWriter::create_with_format(dir, "dataset", shards.max(1), format)
+            .expect("create shard files")
     });
     let mut hasher = Fnv64::new();
     let mut count = 0usize;
@@ -81,10 +95,30 @@ fn main() -> genie::GenieResult<()> {
     );
     if let Some(writer) = writer {
         let paths = writer.finish().expect("flush shard files");
-        println!("shard_files={}", paths.len());
+        // Merge the shard set back and prove the canonical-order contract:
+        // the merged stream must hash to the stream digest, whatever the
+        // shard count or format.
+        let mut merged_hasher = Fnv64::new();
+        let mut merged_count = 0usize;
+        ShardedDatasetWriter::merge_for_each(&paths, |merged_line| {
+            merged_hasher.write(merged_line.as_bytes());
+            merged_hasher.write(b"\n");
+            merged_count += 1;
+        })?;
+        let merged_digest = merged_hasher.finish();
+        assert_eq!(merged_count, count, "merged shard set lost examples");
+        assert_eq!(
+            merged_digest, digest,
+            "merged {format:?} shard digest diverged from the stream digest"
+        );
+        println!(
+            "shard_files={} format={format:?} merged_digest={merged_digest:016x}",
+            paths.len()
+        );
     }
     if let Some(path) = flag_str(&args, "--out") {
-        // Only thread/shard-independent fields go into the comparison file.
+        // Only thread/shard/format-independent fields go into the
+        // comparison file.
         std::fs::write(path, format!("digest={digest:016x} examples={count}\n"))
             .expect("write digest file");
     }

@@ -77,6 +77,16 @@ pub fn training_workload(
     pipeline.to_parser_examples(&data.combined(), NnOptions::default())
 }
 
+/// The CPUs available to this process (`1` when the count cannot be
+/// determined). The synthesis bench uses this to skip the parallel-vs-
+/// sequential speedup comparison on single-CPU hosts, where thread overhead
+/// makes the ratio meaningless.
+pub fn available_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// The process' peak resident-set size ("VmHWM") in kilobytes, from
 /// `/proc/self/status`. `None` off Linux or if the field is missing — the
 /// bench reports then omit the memory column rather than guessing.
@@ -123,6 +133,47 @@ pub fn json_string(value: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Extract the raw value of a top-level `"key": value` pair from a JSON
+/// object rendered by [`json_object`] — the read-side twin of that
+/// emitter, not a general JSON parser (the vendored `serde` stand-in has no
+/// deserializer either). Returns the value text verbatim: numbers and
+/// `true`/`null` as written, strings with their quotes, nested
+/// objects/arrays whole. The multi-process bench parent uses this to fold
+/// per-worker numbers out of child report lines.
+pub fn json_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (at, c) in rest.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '[' | '{' => depth += 1,
+            ']' | '}' | ',' if depth == 0 => return Some(rest[..at].trim()),
+            ']' | '}' => depth -= 1,
+            _ => {}
+        }
+    }
+    Some(rest.trim())
+}
+
+/// [`json_field`], parsed as an `f64` (numbers only).
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    json_field(json, key)?.parse().ok()
 }
 
 /// Render a percentage with one decimal.
@@ -201,6 +252,32 @@ mod tests {
             ("label", json_string("a \"b\"\nc")),
         ]);
         assert_eq!(object, "{\"count\": 3, \"label\": \"a \\\"b\\\"\\nc\"}");
+    }
+
+    #[test]
+    fn json_field_extraction_inverts_the_emitter() {
+        let object = json_object(&[
+            ("count", "3".to_owned()),
+            ("rate", "125.5".to_owned()),
+            ("label", json_string("a, \"b\"} c")),
+            ("workers", "[{\"n\": 1}, {\"n\": 2}]".to_owned()),
+            ("tail", "true".to_owned()),
+        ]);
+        assert_eq!(json_field(&object, "count"), Some("3"));
+        assert_eq!(json_number(&object, "rate"), Some(125.5));
+        assert_eq!(json_field(&object, "label"), Some("\"a, \\\"b\\\"} c\""));
+        assert_eq!(
+            json_field(&object, "workers"),
+            Some("[{\"n\": 1}, {\"n\": 2}]")
+        );
+        assert_eq!(json_field(&object, "tail"), Some("true"));
+        assert_eq!(json_field(&object, "missing"), None);
+        assert_eq!(json_number(&object, "label"), None);
+    }
+
+    #[test]
+    fn cpu_count_is_positive() {
+        assert!(available_cpus() >= 1);
     }
 
     #[test]

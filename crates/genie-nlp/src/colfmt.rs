@@ -1,0 +1,719 @@
+//! colfmt — the little-endian binary codecs behind the on-disk artifacts:
+//! columnar dataset shards and the string tables they (and the model
+//! snapshots) share.
+//!
+//! Every artifact is a flat, offset-based layout designed so loading reads
+//! length-prefixed slices straight into the in-memory tables — no per-entry
+//! text parsing, no per-entry UTF-8 validation, no re-tokenization:
+//!
+//! * a **string table** ([`StringTable`] / [`LoadedTable`]) stores every
+//!   distinct token text once as one contiguous UTF-8 blob plus an
+//!   `(count + 1)`-entry offset array. The blob is validated as UTF-8 once
+//!   at load; after that, resolving a local id is two array reads and a
+//!   borrow — the serialized twin of the intern arena
+//!   ([`crate::intern::Interner`]);
+//! * a **columnar shard** ([`ColumnShardWriter`] / [`ColumnShard`]) stores
+//!   one column per field — example ids, flags, utterance token ids,
+//!   program token ids — with per-row extents as prefix-sum offset arrays,
+//!   so a row's tokens are a subslice, not a parse.
+//!
+//! All integers are **little-endian** and fixed-width; every file starts
+//! with an 8-byte magic and a `u32` format version, so a reader can reject
+//! foreign or future files with a typed error instead of misreading them.
+//! Structural failures (bad magic, truncated section, out-of-range id,
+//! non-monotonic offsets) surface as [`ColfmtError::Corrupt`]; the
+//! `genie` crate maps them onto its `Error::CorruptArtifact` variant.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Magic bytes opening a standalone string-table file.
+pub const TABLE_MAGIC: [u8; 8] = *b"GENCOLT1";
+/// Magic bytes opening a columnar dataset shard file.
+pub const SHARD_MAGIC: [u8; 8] = *b"GENCOLS1";
+/// Current version of both columnar layouts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A specialized `Result` for artifact encoding and decoding.
+pub type ColfmtResult<T> = std::result::Result<T, ColfmtError>;
+
+/// Why an artifact failed to read or write.
+#[derive(Debug)]
+pub enum ColfmtError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// The bytes failed structural validation: wrong magic, unsupported
+    /// version, truncated section, out-of-range id, or inconsistent
+    /// offsets.
+    Corrupt(String),
+}
+
+impl fmt::Display for ColfmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColfmtError::Io(error) => write!(f, "i/o error: {error}"),
+            ColfmtError::Corrupt(detail) => write!(f, "corrupt artifact: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ColfmtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColfmtError::Io(error) => Some(error),
+            ColfmtError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ColfmtError {
+    fn from(error: io::Error) -> Self {
+        ColfmtError::Io(error)
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> ColfmtError {
+    ColfmtError::Corrupt(detail.into())
+}
+
+/// Append a `u8` to an encode buffer.
+pub fn put_u8(out: &mut Vec<u8>, value: u8) {
+    out.push(value);
+}
+
+/// Append a little-endian `u32` to an encode buffer.
+pub fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Append a little-endian `u64` to an encode buffer.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Append a little-endian `f32` (IEEE 754 bits) to an encode buffer.
+pub fn put_f32(out: &mut Vec<u8>, value: f32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Append a little-endian `f64` (IEEE 754 bits) to an encode buffer.
+pub fn put_f64(out: &mut Vec<u8>, value: f64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over a loaded artifact buffer.
+///
+/// Every accessor returns [`ColfmtError::Corrupt`] on a short buffer
+/// instead of panicking, so truncated files become typed errors all the way
+/// up the stack.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole buffer has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// A safe `Vec::with_capacity` hint for `count` entries of at least
+    /// `min_entry_bytes` each: never larger than the remaining bytes could
+    /// hold, so a garbage count in a corrupt file cannot force a huge
+    /// allocation before the short read is detected.
+    pub fn capacity_hint(&self, count: usize, min_entry_bytes: usize) -> usize {
+        count.min(self.remaining() / min_entry_bytes.max(1))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> ColfmtResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(format!(
+                "truncated {what}: needed {n} bytes at offset {}, only {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consume and check an 8-byte magic.
+    pub fn expect_magic(&mut self, magic: &[u8; 8], what: &str) -> ColfmtResult<()> {
+        let found = self.take(8, "magic")?;
+        if found != magic {
+            return Err(corrupt(format!(
+                "not a {what}: bad magic {found:02x?} (expected {magic:02x?})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Consume and check the format version.
+    pub fn expect_version(&mut self, version: u32, what: &str) -> ColfmtResult<()> {
+        let found = self.u32()?;
+        if found != version {
+            return Err(corrupt(format!(
+                "unsupported {what} version {found} (this build reads version {version})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read one `u8`.
+    pub fn u8(&mut self) -> ColfmtResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read one little-endian `u32`.
+    pub fn u32(&mut self) -> ColfmtResult<u32> {
+        let bytes = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Read one little-endian `u64`.
+    pub fn u64(&mut self) -> ColfmtResult<u64> {
+        let bytes = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Read one little-endian `f32`.
+    pub fn f32(&mut self) -> ColfmtResult<f32> {
+        let bytes = self.take(4, "f32")?;
+        Ok(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Read one little-endian `f64`.
+    pub fn f64(&mut self) -> ColfmtResult<f64> {
+        let bytes = self.take(8, "f64")?;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed-by-caller column of `count` raw bytes.
+    pub fn u8_vec(&mut self, count: usize, what: &str) -> ColfmtResult<Vec<u8>> {
+        Ok(self.take(count, what)?.to_vec())
+    }
+
+    /// Read a column of `count` little-endian `u32`s in one bounds check.
+    pub fn u32_vec(&mut self, count: usize, what: &str) -> ColfmtResult<Vec<u32>> {
+        let bytes = count
+            .checked_mul(4)
+            .ok_or_else(|| corrupt(format!("{what}: element count {count} overflows")))?;
+        let slice = self.take(bytes, what)?;
+        Ok(slice
+            .chunks_exact(4)
+            .map(|chunk| u32::from_le_bytes(chunk.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Read a column of `count` little-endian `u64`s in one bounds check.
+    pub fn u64_vec(&mut self, count: usize, what: &str) -> ColfmtResult<Vec<u64>> {
+        let bytes = count
+            .checked_mul(8)
+            .ok_or_else(|| corrupt(format!("{what}: element count {count} overflows")))?;
+        let slice = self.take(bytes, what)?;
+        Ok(slice
+            .chunks_exact(8)
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8 bytes")))
+            .collect())
+    }
+}
+
+/// Validate that a prefix-sum offset array starts at 0 and is monotonically
+/// non-decreasing, returning its final extent.
+fn validate_offsets(offsets: &[u32], what: &str) -> ColfmtResult<usize> {
+    match offsets.first() {
+        Some(0) => {}
+        _ => return Err(corrupt(format!("{what}: offsets must start at 0"))),
+    }
+    for pair in offsets.windows(2) {
+        if pair[1] < pair[0] {
+            return Err(corrupt(format!(
+                "{what}: offsets decrease ({} after {})",
+                pair[1], pair[0]
+            )));
+        }
+    }
+    Ok(*offsets.last().expect("non-empty offsets") as usize)
+}
+
+/// A deduplicating string-table **builder**: the write-side twin of the
+/// intern arena. `id_of` assigns dense local ids in first-reference order,
+/// which is what makes a serialized shard set independent of process
+/// history — local ids are a function of the example stream alone, never of
+/// the live arena's [`crate::intern::Symbol`] values.
+#[derive(Debug, Default)]
+pub struct StringTable {
+    ids: HashMap<String, u32>,
+    blob: String,
+    offsets: Vec<u32>,
+}
+
+impl StringTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        StringTable {
+            ids: HashMap::new(),
+            blob: String::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the table holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The local id of `text`, inserting it on first reference.
+    pub fn id_of(&mut self, text: &str) -> u32 {
+        if let Some(&id) = self.ids.get(text) {
+            return id;
+        }
+        let id = self.len() as u32;
+        self.blob.push_str(text);
+        self.offsets.push(self.blob.len() as u32);
+        self.ids.insert(text.to_owned(), id);
+        id
+    }
+
+    /// The string for a local id, if in range.
+    pub fn get(&self, id: u32) -> Option<&str> {
+        let id = id as usize;
+        if id >= self.len() {
+            return None;
+        }
+        Some(&self.blob[self.offsets[id] as usize..self.offsets[id + 1] as usize])
+    }
+
+    /// Append the table **section** (count, offsets, blob — no magic) to an
+    /// encode buffer; the embedding artifact provides its own header.
+    pub fn append_to(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.len() as u32);
+        for &offset in &self.offsets {
+            put_u32(out, offset);
+        }
+        out.extend_from_slice(self.blob.as_bytes());
+    }
+
+    /// The table as a standalone file image (magic + version + section).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.offsets.len() * 4 + self.blob.len());
+        out.extend_from_slice(&TABLE_MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        self.append_to(&mut out);
+        out
+    }
+
+    /// Write the standalone table file.
+    pub fn write_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+}
+
+/// A **loaded** string table: one owned UTF-8 blob plus offsets, resolved
+/// by slicing. The blob is validated once at load; `get` is two array reads
+/// and a borrow.
+#[derive(Debug)]
+pub struct LoadedTable {
+    blob: String,
+    offsets: Vec<u32>,
+}
+
+impl LoadedTable {
+    /// Read a table section (count, offsets, blob) from a reader.
+    pub fn read_section(reader: &mut Reader<'_>) -> ColfmtResult<Self> {
+        let count = reader.u32()? as usize;
+        let offsets = reader.u32_vec(
+            count
+                .checked_add(1)
+                .ok_or_else(|| corrupt("string table: entry count overflows"))?,
+            "string table offsets",
+        )?;
+        let blob_len = validate_offsets(&offsets, "string table")?;
+        let bytes = reader.u8_vec(blob_len, "string table blob")?;
+        let blob = String::from_utf8(bytes)
+            .map_err(|error| corrupt(format!("string table blob is not UTF-8: {error}")))?;
+        for &offset in &offsets {
+            if !blob.is_char_boundary(offset as usize) {
+                return Err(corrupt(format!(
+                    "string table: offset {offset} splits a UTF-8 character"
+                )));
+            }
+        }
+        Ok(LoadedTable { blob, offsets })
+    }
+
+    /// Load a standalone table file image (magic + version + section).
+    pub fn from_file_bytes(buf: &[u8]) -> ColfmtResult<Self> {
+        let mut reader = Reader::new(buf);
+        reader.expect_magic(&TABLE_MAGIC, "colfmt string table")?;
+        reader.expect_version(FORMAT_VERSION, "colfmt string table")?;
+        let table = LoadedTable::read_section(&mut reader)?;
+        if !reader.is_done() {
+            return Err(corrupt(format!(
+                "string table: {} trailing bytes after the blob",
+                reader.remaining()
+            )));
+        }
+        Ok(table)
+    }
+
+    /// Number of strings.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the table holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The string for a local id; out-of-range ids are a corruption error
+    /// (they can only come from a damaged or mismatched shard file).
+    pub fn get(&self, id: u32) -> ColfmtResult<&str> {
+        let index = id as usize;
+        if index >= self.len() {
+            return Err(corrupt(format!(
+                "symbol id {id} out of range (table holds {} strings)",
+                self.len()
+            )));
+        }
+        Ok(&self.blob[self.offsets[index] as usize..self.offsets[index + 1] as usize])
+    }
+
+    /// Iterate over all strings in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.offsets
+            .windows(2)
+            .map(|pair| &self.blob[pair[0] as usize..pair[1] as usize])
+    }
+}
+
+/// The in-memory **builder** of one columnar dataset shard: plain column
+/// vectors, appended row by row and written as one flat file at finish.
+/// Buffered state is ids only (4 bytes per token), roughly an order of
+/// magnitude smaller than the rendered text the TSV path streams out.
+#[derive(Debug)]
+pub struct ColumnShardWriter {
+    ids: Vec<u64>,
+    flags: Vec<u8>,
+    utterance_offsets: Vec<u32>,
+    utterance_ids: Vec<u32>,
+    program_offsets: Vec<u32>,
+    program_ids: Vec<u32>,
+}
+
+impl Default for ColumnShardWriter {
+    fn default() -> Self {
+        ColumnShardWriter::new()
+    }
+}
+
+impl ColumnShardWriter {
+    /// An empty shard.
+    pub fn new() -> Self {
+        ColumnShardWriter {
+            ids: Vec::new(),
+            flags: Vec::new(),
+            utterance_offsets: vec![0],
+            utterance_ids: Vec::new(),
+            program_offsets: vec![0],
+            program_ids: Vec::new(),
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Append one example row: its canonical stream index, a flags byte,
+    /// and its utterance/program tokens as local string-table ids.
+    pub fn push_row(&mut self, id: u64, flags: u8, utterance: &[u32], program: &[u32]) {
+        self.ids.push(id);
+        self.flags.push(flags);
+        self.utterance_ids.extend_from_slice(utterance);
+        self.utterance_offsets.push(self.utterance_ids.len() as u32);
+        self.program_ids.extend_from_slice(program);
+        self.program_offsets.push(self.program_ids.len() as u32);
+    }
+
+    /// The shard as a flat file image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let rows = self.rows();
+        let mut out = Vec::with_capacity(
+            16 + rows * 9
+                + (self.utterance_offsets.len() + self.program_offsets.len()) * 4
+                + (self.utterance_ids.len() + self.program_ids.len()) * 4,
+        );
+        out.extend_from_slice(&SHARD_MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, rows as u32);
+        for &id in &self.ids {
+            put_u64(&mut out, id);
+        }
+        out.extend_from_slice(&self.flags);
+        for &offset in &self.utterance_offsets {
+            put_u32(&mut out, offset);
+        }
+        for &id in &self.utterance_ids {
+            put_u32(&mut out, id);
+        }
+        for &offset in &self.program_offsets {
+            put_u32(&mut out, offset);
+        }
+        for &id in &self.program_ids {
+            put_u32(&mut out, id);
+        }
+        out
+    }
+
+    /// Write the shard file.
+    pub fn write_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+}
+
+/// A **loaded** columnar shard: the same columns, reconstructed by bulk
+/// little-endian reads. A row's utterance and program are subslices of the
+/// id columns — no per-row parsing.
+#[derive(Debug)]
+pub struct ColumnShard {
+    ids: Vec<u64>,
+    flags: Vec<u8>,
+    utterance_offsets: Vec<u32>,
+    utterance_ids: Vec<u32>,
+    program_offsets: Vec<u32>,
+    program_ids: Vec<u32>,
+}
+
+impl ColumnShard {
+    /// Load a shard file image.
+    pub fn from_file_bytes(buf: &[u8]) -> ColfmtResult<Self> {
+        let mut reader = Reader::new(buf);
+        reader.expect_magic(&SHARD_MAGIC, "colfmt dataset shard")?;
+        reader.expect_version(FORMAT_VERSION, "colfmt dataset shard")?;
+        let rows = reader.u32()? as usize;
+        let ids = reader.u64_vec(rows, "shard ids")?;
+        let flags = reader.u8_vec(rows, "shard flags")?;
+        let utterance_offsets = reader.u32_vec(rows + 1, "shard utterance offsets")?;
+        let utterance_len = validate_offsets(&utterance_offsets, "shard utterance offsets")?;
+        let utterance_ids = reader.u32_vec(utterance_len, "shard utterance ids")?;
+        let program_offsets = reader.u32_vec(rows + 1, "shard program offsets")?;
+        let program_len = validate_offsets(&program_offsets, "shard program offsets")?;
+        let program_ids = reader.u32_vec(program_len, "shard program ids")?;
+        if !reader.is_done() {
+            return Err(corrupt(format!(
+                "dataset shard: {} trailing bytes after the columns",
+                reader.remaining()
+            )));
+        }
+        Ok(ColumnShard {
+            ids,
+            flags,
+            utterance_offsets,
+            utterance_ids,
+            program_offsets,
+            program_ids,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The canonical stream index of a row.
+    pub fn id(&self, row: usize) -> u64 {
+        self.ids[row]
+    }
+
+    /// The flags byte of a row (reserved; currently always 0).
+    pub fn flags(&self, row: usize) -> u8 {
+        self.flags[row]
+    }
+
+    /// The utterance token ids of a row.
+    pub fn utterance(&self, row: usize) -> &[u32] {
+        &self.utterance_ids
+            [self.utterance_offsets[row] as usize..self.utterance_offsets[row + 1] as usize]
+    }
+
+    /// The program token ids of a row.
+    pub fn program(&self, row: usize) -> &[u32] {
+        &self.program_ids
+            [self.program_offsets[row] as usize..self.program_offsets[row + 1] as usize]
+    }
+}
+
+/// The first 8 bytes of a file (`None` when the file is shorter) — enough
+/// to distinguish a columnar shard from a TSV shard without reading either.
+pub fn file_magic(path: &Path) -> io::Result<Option<[u8; 8]>> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    let mut filled = 0;
+    while filled < 8 {
+        let n = file.read(&mut magic[filled..])?;
+        if n == 0 {
+            return Ok(None);
+        }
+        filled += n;
+    }
+    Ok(Some(magic))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_table_roundtrips_and_deduplicates() {
+        let mut table = StringTable::new();
+        assert!(table.is_empty());
+        let a = table.id_of("now");
+        let b = table.id_of("=>");
+        assert_eq!(table.id_of("now"), a);
+        assert_ne!(a, b);
+        assert_eq!(table.get(a), Some("now"));
+        assert_eq!(table.get(99), None);
+        let unicode = table.id_of("café ☕");
+        let bytes = table.to_bytes();
+        let loaded = LoadedTable::from_file_bytes(&bytes).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert!(!loaded.is_empty());
+        assert_eq!(loaded.get(a).unwrap(), "now");
+        assert_eq!(loaded.get(unicode).unwrap(), "café ☕");
+        assert!(loaded.get(3).is_err());
+        let entries: Vec<&str> = loaded.iter().collect();
+        assert_eq!(entries, vec!["now", "=>", "café ☕"]);
+    }
+
+    #[test]
+    fn column_shard_roundtrips() {
+        let mut shard = ColumnShardWriter::new();
+        shard.push_row(0, 0, &[1, 2, 3], &[4, 5]);
+        shard.push_row(7, 1, &[], &[6]);
+        assert_eq!(shard.rows(), 2);
+        let bytes = shard.to_bytes();
+        let loaded = ColumnShard::from_file_bytes(&bytes).unwrap();
+        assert_eq!(loaded.rows(), 2);
+        assert_eq!(loaded.id(0), 0);
+        assert_eq!(loaded.id(1), 7);
+        assert_eq!(loaded.flags(1), 1);
+        assert_eq!(loaded.utterance(0), &[1, 2, 3]);
+        assert_eq!(loaded.utterance(1), &[] as &[u32]);
+        assert_eq!(loaded.program(0), &[4, 5]);
+        assert_eq!(loaded.program(1), &[6]);
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_typed_errors() {
+        let mut shard = ColumnShardWriter::new();
+        shard.push_row(0, 0, &[1, 2], &[3]);
+        let bytes = shard.to_bytes();
+        // Every proper prefix must fail with Corrupt, never panic.
+        for len in 0..bytes.len() {
+            match ColumnShard::from_file_bytes(&bytes[..len]) {
+                Err(ColfmtError::Corrupt(_)) => {}
+                other => panic!("prefix of {len} bytes: expected Corrupt, got {other:?}"),
+            }
+        }
+        // Trailing garbage is also rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            ColumnShard::from_file_bytes(&padded),
+            Err(ColfmtError::Corrupt(_))
+        ));
+        // A table file is not a shard file.
+        let table = StringTable::new().to_bytes();
+        let error = ColumnShard::from_file_bytes(&table).unwrap_err();
+        assert!(error.to_string().contains("bad magic"), "{error}");
+        // Unsupported version.
+        let mut wrong_version = bytes;
+        wrong_version[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let error = ColumnShard::from_file_bytes(&wrong_version).unwrap_err();
+        assert!(error.to_string().contains("version"), "{error}");
+    }
+
+    #[test]
+    fn non_monotonic_offsets_are_rejected() {
+        let mut table = StringTable::new();
+        table.id_of("ab");
+        table.id_of("cd");
+        let mut bytes = table.to_bytes();
+        // Corrupt the middle offset (entries: count at 12, offsets at 16).
+        bytes[20..24].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            LoadedTable::from_file_bytes(&bytes),
+            Err(ColfmtError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn utf8_and_char_boundary_validation() {
+        let mut table = StringTable::new();
+        table.id_of("héllo");
+        let mut bytes = table.to_bytes();
+        // Slice the blob mid-character: shift the end offset into the é.
+        let blob_start = bytes.len() - "héllo".len();
+        bytes[blob_start - 4..blob_start].copy_from_slice(&2u32.to_le_bytes());
+        // Blob length no longer matches the final offset → truncated or
+        // boundary error, either way Corrupt.
+        assert!(matches!(
+            LoadedTable::from_file_bytes(&bytes),
+            Err(ColfmtError::Corrupt(_))
+        ));
+        // Raw invalid UTF-8 in the blob.
+        let mut table = StringTable::new();
+        table.id_of("ok");
+        let mut bytes = table.to_bytes();
+        let blob_start = bytes.len() - 2;
+        bytes[blob_start] = 0xff;
+        let error = LoadedTable::from_file_bytes(&bytes).unwrap_err();
+        assert!(error.to_string().contains("UTF-8"), "{error}");
+    }
+
+    #[test]
+    fn reader_capacity_hint_is_bounded_by_remaining_bytes() {
+        let buf = [0u8; 16];
+        let reader = Reader::new(&buf);
+        assert_eq!(reader.capacity_hint(1_000_000_000, 4), 4);
+        assert_eq!(reader.capacity_hint(2, 4), 2);
+        assert_eq!(reader.capacity_hint(5, 0), 5);
+    }
+
+    #[test]
+    fn file_magic_distinguishes_layouts() {
+        let dir = std::env::temp_dir().join(format!("colfmt-magic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let shard_path = dir.join("x.col");
+        ColumnShardWriter::new().write_file(&shard_path).unwrap();
+        assert_eq!(file_magic(&shard_path).unwrap(), Some(SHARD_MAGIC));
+        let tsv_path = dir.join("x.tsv");
+        std::fs::write(&tsv_path, "hi\tthere\n").unwrap();
+        assert_ne!(file_magic(&tsv_path).unwrap(), Some(SHARD_MAGIC));
+        let short_path = dir.join("short");
+        std::fs::write(&short_path, "ab").unwrap();
+        assert_eq!(file_magic(&short_path).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,12 +15,16 @@
 //!   representation the whole synthesis pipeline flows through — in
 //!   [`intern`]. [`mod@tokenize`] is the single entry point producing
 //!   interned streams ([`tokenize::tokenize_into`]); rendering back to text
-//!   happens once, at output time ([`intern::Interner::render_into`]).
+//!   happens once, at output time ([`intern::Interner::render_into`]);
+//! * the little-endian binary codecs behind the on-disk artifacts —
+//!   columnar dataset shards and the serialized string tables shared with
+//!   the model snapshots — in [`colfmt`].
 //!
 //! Everything is implemented from scratch; see DESIGN.md for the
 //! substitution rationale.
 
 pub mod argident;
+pub mod colfmt;
 pub mod intern;
 pub mod metrics;
 pub mod ppdb;

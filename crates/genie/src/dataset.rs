@@ -2,17 +2,22 @@
 //! program-level splits, and the incremental sharded writers of the
 //! streaming pipeline.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use genie_nlp::intern::{Interner, TokenStream};
+use genie_nlp::colfmt::{
+    self, ColumnShard, ColumnShardWriter, LoadedTable, StringTable, SHARD_MAGIC,
+};
+use genie_nlp::intern::{FnvState, Interner, Symbol, TokenStream};
 use genie_templates::ExampleFlags;
 use luinet::ParserExample;
 use thingtalk::Program;
+
+use crate::error::{Error, GenieResult};
 
 /// Where an example came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -277,60 +282,177 @@ impl Dataset {
     }
 }
 
+/// The on-disk layout of a sharded dataset.
+///
+/// Both layouts obey the same canonical-order contract (round-robin shard
+/// assignment, merge by interleaving rounds), so the merged stream — and
+/// therefore the dataset digest — is identical between them. Choose by
+/// consumer: TSV is greppable text for humans and external trainers;
+/// columnar is the binary layout of [`genie_nlp::colfmt`] — roughly an
+/// order of magnitude smaller, and loadable without re-tokenizing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DatasetFormat {
+    /// One `sentence\tprogram` text line per example
+    /// (`{stem}.shard-NNNN.tsv`).
+    #[default]
+    Tsv,
+    /// Binary columnar shards (`{stem}.shard-NNNN.col`) sharing one string
+    /// table (`{stem}.table.col`).
+    Columnar,
+}
+
+/// The per-format state behind a [`ShardedDatasetWriter`].
+enum ShardBackend {
+    Tsv {
+        writers: Vec<BufWriter<File>>,
+        /// One growable render buffer per shard, reused across rows:
+        /// rendering an example reuses the capacity its shard's previous
+        /// rows grew, so steady-state writes allocate nothing.
+        render_buffers: Vec<String>,
+    },
+    Columnar {
+        shards: Vec<ColumnShardWriter>,
+        table: StringTable,
+        table_path: PathBuf,
+        /// Live-arena symbol → local table id, so repeated utterance tokens
+        /// cost one 4-byte hash instead of re-hashing their text.
+        symbol_ids: HashMap<Symbol, u32, FnvState>,
+        utterance_ids: Vec<u32>,
+        program_ids: Vec<u32>,
+    },
+}
+
 /// An incremental writer that spreads a stream of parser examples across
 /// `N` shard files, so arbitrarily large datasets are written with bounded
 /// memory and can be consumed shard-by-shard downstream.
 ///
 /// Examples are assigned **round-robin** (`shard = sequence_index % N`):
 /// shard files are written in canonical stream order, and
-/// [`ShardedDatasetWriter::merge`] interleaves them back into exactly the
-/// original sequence. The merged content is therefore byte-identical for any
-/// shard count — the layout is storage, not semantics.
+/// [`ShardedDatasetWriter::merge_for_each`] interleaves them back into
+/// exactly the original sequence. The merged content is therefore identical
+/// for any shard count *and either [`DatasetFormat`]* — the layout is
+/// storage, not semantics.
 pub struct ShardedDatasetWriter {
-    writers: Vec<BufWriter<File>>,
+    backend: ShardBackend,
     paths: Vec<PathBuf>,
-    /// One growable render buffer per shard, reused across rows: rendering
-    /// an example reuses the capacity its shard's previous rows grew, so
-    /// steady-state writes allocate nothing.
-    render_buffers: Vec<String>,
     written: usize,
 }
 
 impl ShardedDatasetWriter {
-    /// Create `shard_count` shard files `{stem}.shard-NNNN.tsv` under `dir`
-    /// (`0` is treated as 1), truncating any existing files.
+    /// Create `shard_count` TSV shard files `{stem}.shard-NNNN.tsv` under
+    /// `dir` (`0` is treated as 1), truncating any existing files.
     pub fn create(dir: impl AsRef<Path>, stem: &str, shard_count: usize) -> io::Result<Self> {
+        Self::create_with_format(dir, stem, shard_count, DatasetFormat::Tsv)
+    }
+
+    /// [`ShardedDatasetWriter::create`] with an explicit [`DatasetFormat`].
+    ///
+    /// Columnar shards are buffered as id columns and written at
+    /// [`ShardedDatasetWriter::finish`], together with the shared string
+    /// table `{stem}.table.col`.
+    pub fn create_with_format(
+        dir: impl AsRef<Path>,
+        stem: &str,
+        shard_count: usize,
+        format: DatasetFormat,
+    ) -> io::Result<Self> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
-        let mut writers = Vec::new();
+        let shard_count = shard_count.max(1);
         let mut paths = Vec::new();
-        for shard in 0..shard_count.max(1) {
-            let path = dir.join(format!("{stem}.shard-{shard:04}.tsv"));
-            writers.push(BufWriter::new(File::create(&path)?));
-            paths.push(path);
-        }
-        let render_buffers = vec![String::new(); writers.len()];
+        let backend = match format {
+            DatasetFormat::Tsv => {
+                let mut writers = Vec::new();
+                for shard in 0..shard_count {
+                    let path = dir.join(format!("{stem}.shard-{shard:04}.tsv"));
+                    writers.push(BufWriter::new(File::create(&path)?));
+                    paths.push(path);
+                }
+                let render_buffers = vec![String::new(); writers.len()];
+                ShardBackend::Tsv {
+                    writers,
+                    render_buffers,
+                }
+            }
+            DatasetFormat::Columnar => {
+                for shard in 0..shard_count {
+                    paths.push(dir.join(format!("{stem}.shard-{shard:04}.col")));
+                }
+                ShardBackend::Columnar {
+                    shards: (0..shard_count).map(|_| ColumnShardWriter::new()).collect(),
+                    table: StringTable::new(),
+                    table_path: dir.join(format!("{stem}.table.col")),
+                    symbol_ids: HashMap::default(),
+                    utterance_ids: Vec::new(),
+                    program_ids: Vec::new(),
+                }
+            }
+        };
         Ok(ShardedDatasetWriter {
-            writers,
+            backend,
             paths,
-            render_buffers,
             written: 0,
         })
     }
 
-    /// Append one parser example as a `sentence\tprogram` TSV line to the
-    /// next shard in round-robin order.
+    /// The format this writer produces.
+    pub fn format(&self) -> DatasetFormat {
+        match self.backend {
+            ShardBackend::Tsv { .. } => DatasetFormat::Tsv,
+            ShardBackend::Columnar { .. } => DatasetFormat::Columnar,
+        }
+    }
+
+    /// The shared string-table path of a columnar writer (`None` for TSV).
+    pub fn table_path(&self) -> Option<&Path> {
+        match &self.backend {
+            ShardBackend::Tsv { .. } => None,
+            ShardBackend::Columnar { table_path, .. } => Some(table_path),
+        }
+    }
+
+    /// Append one parser example to the next shard in round-robin order.
     ///
-    /// This is the single point where the streamed utterance becomes text:
-    /// the sentence symbols render into the shard's reused buffer (shared
-    /// arena), the program tokens follow, and one `write_all` hands the row
-    /// to the `BufWriter`.
+    /// TSV renders the row text into the shard's reused buffer (this is the
+    /// single point where the streamed utterance becomes text). Columnar
+    /// never renders: sentence symbols map to local table ids through a
+    /// symbol cache, program tokens intern into the shared string table,
+    /// and the row is four column appends.
     pub fn write(&mut self, example: &ParserExample) -> io::Result<()> {
-        let shard = self.written % self.writers.len();
-        let line = &mut self.render_buffers[shard];
-        line.clear();
-        example.render_tsv_row(line);
-        self.writers[shard].write_all(line.as_bytes())?;
+        let shard = self.written % self.paths.len();
+        match &mut self.backend {
+            ShardBackend::Tsv {
+                writers,
+                render_buffers,
+            } => {
+                let line = &mut render_buffers[shard];
+                line.clear();
+                example.render_tsv_row(line);
+                writers[shard].write_all(line.as_bytes())?;
+            }
+            ShardBackend::Columnar {
+                shards,
+                table,
+                symbol_ids,
+                utterance_ids,
+                program_ids,
+                ..
+            } => {
+                let interner: &'static Interner = genie_templates::intern::shared();
+                utterance_ids.clear();
+                for symbol in &example.sentence {
+                    let id = *symbol_ids
+                        .entry(symbol)
+                        .or_insert_with(|| table.id_of(interner.resolve(symbol)));
+                    utterance_ids.push(id);
+                }
+                program_ids.clear();
+                for token in &example.program {
+                    program_ids.push(table.id_of(token));
+                }
+                shards[shard].push_row(self.written as u64, 0, utterance_ids, program_ids);
+            }
+        }
         self.written += 1;
         Ok(())
     }
@@ -345,20 +467,51 @@ impl ShardedDatasetWriter {
         &self.paths
     }
 
-    /// Flush every shard and return the shard paths.
+    /// Flush (TSV) or write out (columnar, including the shared string
+    /// table) every shard, and return the shard paths.
     pub fn finish(mut self) -> io::Result<Vec<PathBuf>> {
-        for writer in &mut self.writers {
-            writer.flush()?;
+        match &mut self.backend {
+            ShardBackend::Tsv { writers, .. } => {
+                for writer in writers {
+                    writer.flush()?;
+                }
+            }
+            ShardBackend::Columnar {
+                shards,
+                table,
+                table_path,
+                ..
+            } => {
+                for (shard, path) in shards.iter().zip(&self.paths) {
+                    shard.write_file(path)?;
+                }
+                table.write_file(table_path)?;
+            }
         }
         Ok(self.paths)
     }
 
     /// Interleave round-robin shard files back into the canonical stream,
-    /// handing each line to `sink`: round `k` yields line `k` of each
-    /// shard, in shard order. The sequence is exactly what was written, for
-    /// any shard count, and only one line is resident at a time — the
-    /// bounded-memory counterpart of [`ShardedDatasetWriter::merge`].
-    pub fn merge_for_each(paths: &[PathBuf], mut sink: impl FnMut(String)) -> io::Result<()> {
+    /// handing each `sentence\tprogram` line to `sink`: round `k` yields
+    /// line `k` of each shard, in shard order. The sequence is exactly what
+    /// was written, for any shard count.
+    ///
+    /// The format is sniffed from the first shard's magic bytes, and both
+    /// formats yield identical lines — columnar rows are rendered through
+    /// the shard set's string table on the way out. Only one line is
+    /// resident at a time (the columnar path holds the loaded id columns,
+    /// which are an order of magnitude smaller than the text).
+    pub fn merge_for_each(paths: &[PathBuf], sink: impl FnMut(String)) -> GenieResult<()> {
+        let Some(first) = paths.first() else {
+            return Ok(());
+        };
+        match colfmt::file_magic(first)? {
+            Some(magic) if magic == SHARD_MAGIC => Self::merge_columnar(paths, sink),
+            _ => Self::merge_tsv(paths, sink),
+        }
+    }
+
+    fn merge_tsv(paths: &[PathBuf], mut sink: impl FnMut(String)) -> GenieResult<()> {
         let mut readers = Vec::new();
         for path in paths {
             readers.push(BufReader::new(File::open(path)?).lines());
@@ -367,7 +520,7 @@ impl ShardedDatasetWriter {
             let mut any = false;
             for reader in &mut readers {
                 if let Some(line) = reader.next() {
-                    sink(line?);
+                    sink(line.map_err(Error::Io)?);
                     any = true;
                 }
             }
@@ -377,14 +530,117 @@ impl ShardedDatasetWriter {
         }
     }
 
-    /// [`ShardedDatasetWriter::merge_for_each`], collected into a `Vec` —
-    /// convenient for tests and small datasets; large consumers should
-    /// stream through `merge_for_each` instead.
-    pub fn merge(paths: &[PathBuf]) -> io::Result<Vec<String>> {
-        let mut out = Vec::new();
-        Self::merge_for_each(paths, |line| out.push(line))?;
-        Ok(out)
+    fn merge_columnar(paths: &[PathBuf], mut sink: impl FnMut(String)) -> GenieResult<()> {
+        let first = paths.first().expect("checked by merge_for_each");
+        let table = load_columnar_table(first)?;
+        let mut shards = Vec::with_capacity(paths.len());
+        for path in paths {
+            let bytes = fs::read(path)?;
+            shards.push(ColumnShard::from_file_bytes(&bytes)?);
+        }
+        let rounds = shards.iter().map(ColumnShard::rows).max().unwrap_or(0);
+        for round in 0..rounds {
+            for shard in &shards {
+                if round >= shard.rows() {
+                    continue;
+                }
+                let mut line = String::new();
+                render_columnar_row(&table, shard, round, &mut line)?;
+                sink(line);
+            }
+        }
+        Ok(())
     }
+}
+
+/// Derive the shared string-table path of a columnar shard set from any of
+/// its shard paths (`{stem}.shard-NNNN.col` → `{stem}.table.col`).
+fn columnar_table_path(shard: &Path) -> GenieResult<PathBuf> {
+    let name = shard.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let stem =
+        name.find(".shard-")
+            .map(|at| &name[..at])
+            .ok_or_else(|| Error::CorruptArtifact {
+                detail: format!(
+                    "columnar shard `{}` has no `.shard-` component to derive its table path from",
+                    shard.display()
+                ),
+            })?;
+    Ok(shard.with_file_name(format!("{stem}.table.col")))
+}
+
+/// Load the shared string table of the columnar shard set `shard` belongs
+/// to.
+fn load_columnar_table(shard: &Path) -> GenieResult<LoadedTable> {
+    let table_path = columnar_table_path(shard)?;
+    let bytes = fs::read(&table_path)?;
+    Ok(LoadedTable::from_file_bytes(&bytes)?)
+}
+
+/// Render one columnar row as the `sentence\tprogram` line its TSV twin
+/// would carry (without the trailing newline, matching what
+/// [`ShardedDatasetWriter::merge_for_each`] yields for TSV shards).
+fn render_columnar_row(
+    table: &LoadedTable,
+    shard: &ColumnShard,
+    row: usize,
+    out: &mut String,
+) -> GenieResult<()> {
+    for (i, &id) in shard.utterance(row).iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(table.get(id)?);
+    }
+    out.push('\t');
+    for (i, &id) in shard.program(row).iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(table.get(id)?);
+    }
+    Ok(())
+}
+
+/// Load one columnar shard back into [`ParserExample`]s, in the shard's
+/// row order.
+///
+/// The shard set's string table is re-interned into the live arena in one
+/// bulk pass (one hash per *distinct* token text); after that every row is
+/// id-to-symbol mapping — no tokenization, no per-token hashing. This is
+/// how a worker process gets its slice of a dataset without paying the
+/// text costs the columnar format exists to avoid.
+pub fn read_columnar_shard(path: &Path) -> GenieResult<Vec<ParserExample>> {
+    let table = load_columnar_table(path)?;
+    let bytes = fs::read(path)?;
+    let shard = ColumnShard::from_file_bytes(&bytes)?;
+    let interner: &'static Interner = genie_templates::intern::shared();
+    let symbols: Vec<Symbol> = table.iter().map(|text| interner.intern(text)).collect();
+    let symbol_of = |id: u32| -> GenieResult<Symbol> {
+        symbols
+            .get(id as usize)
+            .copied()
+            .ok_or_else(|| Error::CorruptArtifact {
+                detail: format!(
+                    "columnar shard `{}`: token id {id} out of range (table holds {} strings)",
+                    path.display(),
+                    symbols.len()
+                ),
+            })
+    };
+    let mut examples = Vec::with_capacity(shard.rows());
+    for row in 0..shard.rows() {
+        let mut sentence = TokenStream::new();
+        for &id in shard.utterance(row) {
+            sentence.push(symbol_of(id)?);
+        }
+        let mut program = Vec::with_capacity(shard.program(row).len());
+        for &id in shard.program(row) {
+            program.push(interner.resolve(symbol_of(id)?).to_owned());
+        }
+        examples.push(ParserExample::new(sentence, program));
+    }
+    Ok(examples)
 }
 
 #[cfg(test)]
@@ -452,6 +708,12 @@ mod tests {
         std::env::temp_dir().join(format!("genie-writer-{tag}-{}", std::process::id()))
     }
 
+    fn merge_lines(paths: &[PathBuf]) -> Vec<String> {
+        let mut out = Vec::new();
+        ShardedDatasetWriter::merge_for_each(paths, |line| out.push(line)).unwrap();
+        out
+    }
+
     #[test]
     fn sharded_writer_merge_is_shard_count_invariant() {
         let examples: Vec<ParserExample> = (0..37).map(parser_example).collect();
@@ -464,8 +726,10 @@ mod tests {
             }
             assert_eq!(writer.written(), examples.len());
             assert_eq!(writer.paths().len(), shard_count);
+            assert_eq!(writer.format(), DatasetFormat::Tsv);
+            assert!(writer.table_path().is_none());
             let paths = writer.finish().unwrap();
-            merged_per_count.push(ShardedDatasetWriter::merge(&paths).unwrap());
+            merged_per_count.push(merge_lines(&paths));
             fs::remove_dir_all(&dir).unwrap();
         }
         assert_eq!(merged_per_count[0].len(), 37);
@@ -473,6 +737,94 @@ mod tests {
         assert_eq!(merged_per_count[1], merged_per_count[2]);
         assert!(merged_per_count[0][0].starts_with("sentence0 words\t"));
         assert!(merged_per_count[0][36].contains("prog36"));
+    }
+
+    #[test]
+    fn columnar_writer_merges_identically_to_tsv() {
+        let examples: Vec<ParserExample> = (0..37).map(parser_example).collect();
+        let mut merged_per_format = Vec::new();
+        for format in [DatasetFormat::Tsv, DatasetFormat::Columnar] {
+            let dir = scratch_dir(&format!("fmt-{format:?}"));
+            let mut writer =
+                ShardedDatasetWriter::create_with_format(&dir, "train", 4, format).unwrap();
+            for example in &examples {
+                writer.write(example).unwrap();
+            }
+            assert_eq!(writer.format(), format);
+            if format == DatasetFormat::Columnar {
+                assert!(writer.table_path().unwrap().ends_with("train.table.col"));
+            }
+            let paths = writer.finish().unwrap();
+            merged_per_format.push(merge_lines(&paths));
+            fs::remove_dir_all(&dir).unwrap();
+        }
+        assert_eq!(merged_per_format[0].len(), 37);
+        assert_eq!(merged_per_format[0], merged_per_format[1]);
+    }
+
+    #[test]
+    fn columnar_shards_read_back_as_examples() {
+        let examples: Vec<ParserExample> = (0..10).map(parser_example).collect();
+        let dir = scratch_dir("readback");
+        let mut writer =
+            ShardedDatasetWriter::create_with_format(&dir, "train", 3, DatasetFormat::Columnar)
+                .unwrap();
+        for example in &examples {
+            writer.write(example).unwrap();
+        }
+        let paths = writer.finish().unwrap();
+        // Round-robin: shard s holds examples s, s+3, s+6, ...
+        let mut roundtripped = vec![Vec::new(); 3];
+        for (shard, path) in paths.iter().enumerate() {
+            roundtripped[shard] = read_columnar_shard(path).unwrap();
+        }
+        assert_eq!(
+            roundtripped.iter().map(Vec::len).sum::<usize>(),
+            examples.len()
+        );
+        for (i, example) in examples.iter().enumerate() {
+            assert_eq!(&roundtripped[i % 3][i / 3], example, "example {i}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_columnar_artifacts_are_typed_errors() {
+        let dir = scratch_dir("corrupt");
+        let mut writer =
+            ShardedDatasetWriter::create_with_format(&dir, "train", 2, DatasetFormat::Columnar)
+                .unwrap();
+        for i in 0..6 {
+            writer.write(&parser_example(i)).unwrap();
+        }
+        let paths = writer.finish().unwrap();
+        // Truncating the string table corrupts the whole shard set.
+        let table_path = dir.join("train.table.col");
+        let table_bytes = fs::read(&table_path).unwrap();
+        fs::write(&table_path, &table_bytes[..table_bytes.len() / 2]).unwrap();
+        let error = ShardedDatasetWriter::merge_for_each(&paths, |_| {}).unwrap_err();
+        assert!(
+            matches!(error, Error::CorruptArtifact { .. }),
+            "got {error:?}"
+        );
+        let error = read_columnar_shard(&paths[0]).unwrap_err();
+        assert!(
+            matches!(error, Error::CorruptArtifact { .. }),
+            "got {error:?}"
+        );
+        // A missing table is an I/O error, not a panic.
+        fs::remove_file(&table_path).unwrap();
+        let error = ShardedDatasetWriter::merge_for_each(&paths, |_| {}).unwrap_err();
+        assert!(matches!(error, Error::Io(_)), "got {error:?}");
+        // A shard path without the `.shard-` component cannot name a table.
+        let odd = dir.join("noshard.col");
+        fs::copy(&paths[0], &odd).unwrap();
+        let error = read_columnar_shard(&odd).unwrap_err();
+        assert!(
+            matches!(error, Error::CorruptArtifact { .. }),
+            "got {error:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -244,6 +244,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Load the model from a snapshot file written by
+    /// [`luinet::LuinetParser::save_snapshot`] — the multi-process serving
+    /// path: replicas share one trained artifact instead of each re-training
+    /// or eagerly rebuilding the symbol-keyed tables.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the file cannot be read and
+    /// [`Error::CorruptArtifact`] when its bytes fail validation.
+    pub fn model_from_snapshot(mut self, path: impl AsRef<std::path::Path>) -> GenieResult<Self> {
+        let model = luinet::snapshot::load(path.as_ref())?;
+        self.model = Some(Arc::new(model));
+        Ok(self)
+    }
+
     /// Synthesize a training set with `pipeline`, train a parser with
     /// `model` on the full Genie strategy, and install it as the engine
     /// model — the one-stop bootstrap used by tests, examples and the

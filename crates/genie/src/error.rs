@@ -43,6 +43,14 @@ pub enum Error {
     },
     /// The engine was built without a usable model.
     ModelUntrained,
+    /// A binary artifact (columnar dataset shard, string table, or model
+    /// snapshot) failed structural validation: bad magic, unsupported
+    /// version, truncated section, or an out-of-range id. Distinct from
+    /// [`Error::Io`] — the file was readable, its bytes were not.
+    CorruptArtifact {
+        /// What failed validation, and where.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -80,6 +88,7 @@ impl fmt::Display for Error {
                 )
             }
             Error::ModelUntrained => write!(f, "the engine's model has seen no training data"),
+            Error::CorruptArtifact { detail } => write!(f, "corrupt artifact: {detail}"),
         }
     }
 }
@@ -113,6 +122,15 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<genie_nlp::colfmt::ColfmtError> for Error {
+    fn from(error: genie_nlp::colfmt::ColfmtError) -> Self {
+        match error {
+            genie_nlp::colfmt::ColfmtError::Io(error) => Error::Io(error),
+            genie_nlp::colfmt::ColfmtError::Corrupt(detail) => Error::CorruptArtifact { detail },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +145,14 @@ mod tests {
 
         let io: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
+
+        let corrupt: Error = genie_nlp::colfmt::ColfmtError::Corrupt("bad magic".into()).into();
+        assert!(matches!(corrupt, Error::CorruptArtifact { .. }));
+        assert!(corrupt.to_string().contains("bad magic"));
+
+        let nested_io = std::io::Error::new(std::io::ErrorKind::NotFound, "vanished");
+        let io: Error = genie_nlp::colfmt::ColfmtError::Io(nested_io).into();
+        assert!(matches!(io, Error::Io(_)), "colfmt Io maps onto Error::Io");
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod experiments;
 pub mod paraphrase;
 pub mod pipeline;
 
-pub use dataset::{Dataset, Example, ExampleSource, ShardedDatasetWriter};
+pub use dataset::{
+    read_columnar_shard, Dataset, DatasetFormat, Example, ExampleSource, ShardedDatasetWriter,
+};
 pub use engine::{
     EngineBuilder, EngineStats, GenieEngine, ParseCandidate, ParseFlags, ParseRequest,
     ParseResponse,

@@ -754,8 +754,9 @@ mod tests {
             .unwrap();
         assert_eq!(writer.written(), stats.emitted);
         let paths = writer.finish().unwrap();
-        let merged = ShardedDatasetWriter::merge(&paths).unwrap();
-        assert_eq!(merged.len(), stats.emitted);
+        let mut merged = 0usize;
+        ShardedDatasetWriter::merge_for_each(&paths, |_| merged += 1).unwrap();
+        assert_eq!(merged, stats.emitted);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

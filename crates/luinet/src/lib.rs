@@ -43,6 +43,7 @@ pub mod data;
 pub mod features;
 pub mod lm;
 pub mod model;
+pub mod snapshot;
 pub mod vocab;
 
 pub use baseline::BaselineParser;

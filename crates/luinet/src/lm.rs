@@ -21,19 +21,22 @@ use crate::vocab::bos_symbol;
 /// An interpolated bigram/trigram language model over program tokens.
 #[derive(Debug, Clone, Default)]
 pub struct ProgramLm {
-    unigram: HashMap<Symbol, f64, FnvState>,
-    bigram: HashMap<(Symbol, Symbol), f64, FnvState>,
-    trigram: HashMap<(Symbol, Symbol, Symbol), f64, FnvState>,
+    pub(crate) unigram: HashMap<Symbol, f64, FnvState>,
+    pub(crate) bigram: HashMap<(Symbol, Symbol), f64, FnvState>,
+    pub(crate) trigram: HashMap<(Symbol, Symbol, Symbol), f64, FnvState>,
     /// Successor lists in first-observation order (deduplicated); consumers
     /// that need a process-history-independent order sort by resolved text
-    /// (see [`ProgramLm::successors`]).
-    successors: HashMap<Symbol, Vec<Symbol>, FnvState>,
+    /// (see [`ProgramLm::successors`]). The order is API-visible through
+    /// [`ProgramLm::successor_symbols`], so [`crate::snapshot`] preserves
+    /// each list verbatim.
+    pub(crate) successors: HashMap<Symbol, Vec<Symbol>, FnvState>,
     /// Membership index over `successors` — dedup during training stays
     /// O(1) per token even for high-fanout contexts (the quote token
-    /// precedes every distinct copied word).
-    successor_seen: HashSet<(Symbol, Symbol), FnvState>,
-    total_tokens: f64,
-    trained_programs: usize,
+    /// precedes every distinct copied word). Derivable from `successors`;
+    /// rebuilt, not serialized, on snapshot load.
+    pub(crate) successor_seen: HashSet<(Symbol, Symbol), FnvState>,
+    pub(crate) total_tokens: f64,
+    pub(crate) trained_programs: usize,
 }
 
 impl ProgramLm {

@@ -131,17 +131,17 @@ pub struct ScoredPrediction {
 /// independent order), each with its cached candidate-half feature hash,
 /// plus an id-sorted membership index.
 #[derive(Default)]
-struct CompiledTransitions {
-    map: HashMap<Symbol, SuccessorEntry, FnvState>,
+pub(crate) struct CompiledTransitions {
+    pub(crate) map: HashMap<Symbol, SuccessorEntry, FnvState>,
 }
 
 #[derive(Default)]
-struct SuccessorEntry {
+pub(crate) struct SuccessorEntry {
     /// `(token, candidate-half hash)` in text order — the iteration order
     /// candidates are scored in (ties in the argmax go to the first seen).
-    candidates: Box<[(Symbol, u64)]>,
+    pub(crate) candidates: Box<[(Symbol, u64)]>,
     /// The same tokens sorted by raw id, for O(log n) membership.
-    members: Box<[Symbol]>,
+    pub(crate) members: Box<[Symbol]>,
 }
 
 impl SuccessorEntry {
@@ -300,19 +300,22 @@ impl BeamArena {
 }
 
 /// The trainable parser.
+///
+/// Fields are `pub(crate)` for [`crate::snapshot`], which serializes and
+/// reconstructs the whole trained state without re-deriving it.
 pub struct LuinetParser {
-    config: ModelConfig,
-    vocab: Vocab,
-    weights: Vec<f32>,
-    totals: Vec<f64>,
-    updates: u64,
-    transitions: ProgramLm,
-    compiled: CompiledTransitions,
-    pretrained_lm: Option<ProgramLm>,
-    trained_examples: usize,
-    bos: Symbol,
-    eos: Symbol,
-    eos_hash: u64,
+    pub(crate) config: ModelConfig,
+    pub(crate) vocab: Vocab,
+    pub(crate) weights: Vec<f32>,
+    pub(crate) totals: Vec<f64>,
+    pub(crate) updates: u64,
+    pub(crate) transitions: ProgramLm,
+    pub(crate) compiled: CompiledTransitions,
+    pub(crate) pretrained_lm: Option<ProgramLm>,
+    pub(crate) trained_examples: usize,
+    pub(crate) bos: Symbol,
+    pub(crate) eos: Symbol,
+    pub(crate) eos_hash: u64,
 }
 
 impl LuinetParser {

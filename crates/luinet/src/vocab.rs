@@ -121,6 +121,22 @@ impl Vocab {
         let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
         self.id_to_token.iter().map(move |&s| interner.resolve(s))
     }
+
+    /// The interned tokens in id order (snapshot serialization).
+    pub(crate) fn symbols(&self) -> &[Symbol] {
+        &self.id_to_token
+    }
+
+    /// Rebuild a vocabulary from its id-ordered symbols (snapshot load).
+    /// The ids a token gets are its position in the iterator, so feeding
+    /// back [`Vocab::symbols`] reproduces the original mapping exactly.
+    pub(crate) fn from_symbols(symbols: impl IntoIterator<Item = Symbol>) -> Self {
+        let mut vocab = Vocab::default();
+        for symbol in symbols {
+            vocab.add_symbol(symbol);
+        }
+        vocab
+    }
 }
 
 #[cfg(test)]

@@ -132,7 +132,9 @@ fn streaming_writer_roundtrip_is_shard_count_invariant() {
         assert_eq!(writer.written(), stats.emitted);
         let paths = writer.finish().unwrap();
         assert_eq!(paths.len(), shard_count);
-        merged_per_count.push(ShardedDatasetWriter::merge(&paths).unwrap());
+        let mut merged = Vec::new();
+        ShardedDatasetWriter::merge_for_each(&paths, |line| merged.push(line)).unwrap();
+        merged_per_count.push(merged);
         std::fs::remove_dir_all(&dir).unwrap();
     }
     assert!(merged_per_count[0].len() > 100);
