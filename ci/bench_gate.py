@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Bench regression gates, one per trajectory report.
+
+Usage: bench_gate.py <kind> <fresh.json> <committed.json>
+
+Every gate compares a fresh smoke run against the committed trajectory
+point. Throughput thresholds assume consistent runner hardware between
+the run that produced the committed report and this one; when runners
+change class, refresh the committed BENCH_*.json in the same PR. Digest
+and invariant checks are exact — they catch silent behavior changes, not
+noise.
+"""
+
+import json
+import sys
+
+
+def gate_synthesis(fresh, committed):
+    """>10% sentences/sec regression or dataset-digest drift fails."""
+
+    def sequential_rate(report):
+        return next(
+            run["sentences_per_sec"]
+            for run in report["runs"]
+            if run["mode"] == "sequential"
+        )
+
+    fresh_rate = sequential_rate(fresh)
+    committed_rate = sequential_rate(committed)
+    ratio = fresh_rate / committed_rate
+    print(f"sequential sentences/sec: committed {committed_rate:.0f}, "
+          f"fresh {fresh_rate:.0f} ({ratio:.2%})")
+    assert ratio >= 0.90, (
+        f"sentences/sec regressed by more than 10%: {ratio:.2%}"
+    )
+    assert fresh["dataset_digest"] == committed["dataset_digest"], (
+        "dataset digest drifted: "
+        f"{fresh['dataset_digest']} != {committed['dataset_digest']}"
+    )
+
+
+def gate_training(fresh, committed):
+    """>10% examples/sec regression, weights-digest or accuracy drift fails."""
+    # Digests are only comparable for the same workload: a baseline
+    # refreshed without GENIE_BENCH_SMOKE=1 would otherwise fail below
+    # with a misleading "digest drifted" error.
+    assert committed["smoke"] and fresh["config"] == committed["config"], (
+        "committed BENCH_training.json is not the smoke workload "
+        "(refresh it with GENIE_BENCH_SMOKE=1): "
+        f"{committed['config']} != {fresh['config']}"
+    )
+    ratio = fresh["train_examples_per_sec"] / committed["train_examples_per_sec"]
+    print(f"train examples/sec: committed {committed['train_examples_per_sec']:.0f}, "
+          f"fresh {fresh['train_examples_per_sec']:.0f} ({ratio:.2%})")
+    assert ratio >= 0.90, (
+        f"train examples/sec regressed by more than 10%: {ratio:.2%}"
+    )
+    assert fresh["weights_digest"] == committed["weights_digest"], (
+        "trained-weights digest drifted: "
+        f"{fresh['weights_digest']} != {committed['weights_digest']}"
+    )
+    assert fresh["exact_match_accuracy"] == committed["exact_match_accuracy"], (
+        "exact-match accuracy drifted: "
+        f"{fresh['exact_match_accuracy']} != {committed['exact_match_accuracy']}"
+    )
+
+
+def gate_artifacts(fresh, committed):
+    """Invariant violations, dataset-digest drift, or 2x load-time fails."""
+    assert fresh["config"] == committed["config"], (
+        "committed BENCH_artifacts.json was measured on a different "
+        f"workload: {committed['config']} != {fresh['config']}"
+    )
+    for report, which in ((fresh, "fresh"), (committed, "committed")):
+        assert report["dataset"]["formats_agree"], f"{which}: formats diverged"
+        assert report["snapshot"]["roundtrip_ok"], f"{which}: snapshot roundtrip failed"
+        speedup = report["snapshot"]["load_speedup_vs_train"]
+        assert speedup >= 10.0, (
+            f"{which}: snapshot load only {speedup}x faster than training"
+        )
+    assert fresh["dataset"]["dataset_digest"] == committed["dataset"]["dataset_digest"], (
+        "dataset digest drifted: "
+        f"{fresh['dataset']['dataset_digest']} != {committed['dataset']['dataset_digest']}"
+    )
+    fresh_load = fresh["snapshot"]["load_secs"]
+    budget = max(2.0 * committed["snapshot"]["load_secs"], 0.05)
+    print(f"snapshot load: committed {committed['snapshot']['load_secs']:.4f}s, "
+          f"fresh {fresh_load:.4f}s (budget {budget:.4f}s)")
+    assert fresh_load <= budget, (
+        f"snapshot load regressed: {fresh_load:.4f}s > {budget:.4f}s"
+    )
+
+
+def gate_serving(fresh, committed):
+    """Socket-level e2e gate.
+
+    Correctness is binary: the fresh run must have asserted byte identity
+    with the in-process rendering and typed 4xx on every malformed probe
+    (the serving_e2e binary exits non-zero otherwise, but the report flags
+    make the contract visible in the trajectory). Perf bounds are loose —
+    socket numbers absorb loopback scheduling jitter far beyond the 10%
+    used by the in-process gates: req/s may not halve, p99 may not
+    triple (floored at 25ms to absorb tiny absolute baselines).
+    """
+    assert fresh["config"] == committed["config"], (
+        "committed BENCH_serving.json was measured on a different "
+        f"workload: {committed['config']} != {fresh['config']}"
+    )
+    for report, which in ((fresh, "fresh"), (committed, "committed")):
+        socket = report["socket"]
+        assert socket["byte_identical"], (
+            f"{which}: socket responses were not byte-identical to in-process"
+        )
+        assert socket["malformed_probes_typed"], (
+            f"{which}: malformed probes were not answered with typed 4xx"
+        )
+        assert socket["coalesce_batches"] >= 1, f"{which}: nothing coalesced"
+    fresh_socket, committed_socket = fresh["socket"], committed["socket"]
+    ratio = fresh_socket["requests_per_sec"] / committed_socket["requests_per_sec"]
+    print(f"socket req/s: committed {committed_socket['requests_per_sec']:.0f}, "
+          f"fresh {fresh_socket['requests_per_sec']:.0f} ({ratio:.2%})")
+    assert ratio >= 0.50, (
+        f"socket req/s regressed by more than 50%: {ratio:.2%}"
+    )
+    p99_budget = max(3.0 * committed_socket["p99_us"], 25_000.0)
+    print(f"socket p99: committed {committed_socket['p99_us']:.0f}us, "
+          f"fresh {fresh_socket['p99_us']:.0f}us (budget {p99_budget:.0f}us)")
+    assert fresh_socket["p99_us"] <= p99_budget, (
+        f"socket p99 regressed: {fresh_socket['p99_us']:.0f}us > {p99_budget:.0f}us"
+    )
+
+
+GATES = {
+    "synthesis": gate_synthesis,
+    "training": gate_training,
+    "artifacts": gate_artifacts,
+    "serving": gate_serving,
+}
+
+
+def main():
+    if len(sys.argv) != 4 or sys.argv[1] not in GATES:
+        kinds = " | ".join(GATES)
+        sys.exit(f"usage: bench_gate.py <{kinds}> <fresh.json> <committed.json>")
+    kind, fresh_path, committed_path = sys.argv[1:]
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(committed_path) as f:
+        committed = json.load(f)
+    GATES[kind](fresh, committed)
+    print(f"{kind} gate: OK")
+
+
+if __name__ == "__main__":
+    main()

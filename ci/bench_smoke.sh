@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Shared bench-smoke driver: every bench job runs the same four steps —
+# park the committed trajectory point, produce a fresh smoke report over
+# it, show the report, and gate the fresh numbers against the committed
+# ones (ci/bench_gate.py).
+#
+# Usage: ci/bench_smoke.sh <kind> -- <command...>
+#   <kind>        one of synthesis | serving | training | artifacts
+#                 (names BENCH_<kind>.json and picks the gate)
+#   <command...>  produces a fresh BENCH_<kind>.json in the repo root
+set -euo pipefail
+
+kind="${1:?usage: ci/bench_smoke.sh <kind> -- <command...>}"
+shift
+if [ "${1:-}" != "--" ]; then
+  echo "usage: ci/bench_smoke.sh <kind> -- <command...>" >&2
+  exit 2
+fi
+shift
+
+report="BENCH_${kind}.json"
+if [ ! -f "$report" ]; then
+  echo "no committed $report to gate against" >&2
+  exit 1
+fi
+mkdir -p committed
+cp "$report" "committed/$report"
+
+"$@"
+
+echo "--- fresh $report ---"
+cat "$report"
+
+python3 "$(dirname "$0")/bench_gate.py" "$kind" "$report" "committed/$report"

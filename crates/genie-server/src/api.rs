@@ -1,0 +1,299 @@
+//! The JSON API surface: decoding `ParseRequest`s from request bodies and
+//! rendering `GenieResult<ParseResponse>`s to response bodies.
+//!
+//! The rendering functions are `pub` on purpose: the end-to-end bench and
+//! tests feed the *same requests* to an in-process [`genie::GenieEngine`]
+//! and render through the *same functions*, so "socket response equals
+//! in-process response" can be asserted **byte for byte** — if the server
+//! ever changes what it serves, the comparison fails rather than drifting
+//! silently.
+
+use genie::{Error, GenieResult, ParseRequest, ParseResponse};
+
+use crate::http::HttpError;
+use crate::json::{escape, Json};
+
+/// Decode one `{"utterance": …, "candidates"?: …, "principal"?: …}` body.
+pub fn parse_request_from_json(value: &Json) -> Result<ParseRequest, HttpError> {
+    let Some(utterance) = value.get("utterance") else {
+        return Err(HttpError::BadRequest(
+            "missing required field `utterance`".into(),
+        ));
+    };
+    let Some(utterance) = utterance.as_str() else {
+        return Err(HttpError::BadRequest("`utterance` must be a string".into()));
+    };
+    let mut request = ParseRequest::new(utterance);
+    if let Some(candidates) = value.get("candidates") {
+        let Some(count) = candidates.as_f64() else {
+            return Err(HttpError::BadRequest(
+                "`candidates` must be a number".into(),
+            ));
+        };
+        if !(count.fract() == 0.0 && (1.0..=1e6).contains(&count)) {
+            return Err(HttpError::BadRequest(
+                "`candidates` must be a positive integer".into(),
+            ));
+        }
+        request = request.with_candidates(count as usize);
+    }
+    if let Some(principal) = value.get("principal") {
+        let Some(principal) = principal.as_str() else {
+            return Err(HttpError::BadRequest("`principal` must be a string".into()));
+        };
+        request = request.with_principal(principal);
+    }
+    Ok(request)
+}
+
+/// Decode one `{"requests": [ … ]}` batch body (capped at `max_requests`).
+pub fn parse_batch_from_json(
+    value: &Json,
+    max_requests: usize,
+) -> Result<Vec<ParseRequest>, HttpError> {
+    let Some(requests) = value.get("requests").and_then(Json::as_array) else {
+        return Err(HttpError::BadRequest(
+            "missing required array field `requests`".into(),
+        ));
+    };
+    if requests.len() > max_requests {
+        return Err(HttpError::BadRequest(format!(
+            "batch of {} requests exceeds the limit of {max_requests}",
+            requests.len()
+        )));
+    }
+    requests.iter().map(parse_request_from_json).collect()
+}
+
+/// Render one successful response body.
+pub fn render_response(response: &ParseResponse) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"utterance\": ");
+    out.push_str(&escape(&response.utterance));
+    out.push_str(", \"sentence\": [");
+    push_string_array(&mut out, response.sentence.iter().map(String::as_str));
+    out.push_str("], \"candidates\": [");
+    for (i, candidate) in response.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"source\": ");
+        out.push_str(&escape(&candidate.source));
+        out.push_str(", \"tokens\": [");
+        push_string_array(&mut out, candidate.tokens.iter().map(String::as_str));
+        out.push_str("], \"score\": ");
+        // `{:.6}` is locale-free and total (no NaN from the beam), so the
+        // rendering is deterministic across platforms.
+        out.push_str(&format!("{:.6}", candidate.score));
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The HTTP status a parse error maps to.
+pub fn status_for_error(error: &Error) -> (u16, &'static str) {
+    match error {
+        // The request was well-formed HTTP+JSON but not parseable input:
+        // unprocessable, the client's to fix.
+        Error::EmptyUtterance | Error::UtteranceTooLong { .. } | Error::NoParse { .. } => {
+            (422, "Unprocessable Entity")
+        }
+        Error::ThingTalk(_) => (422, "Unprocessable Entity"),
+        // Server-side resource exhaustion (e.g. the intern arena refusing
+        // new vocabulary): try again later.
+        Error::Config(_) => (503, "Service Unavailable"),
+        Error::Io(_) | Error::CorruptArtifact { .. } | Error::ModelUntrained => {
+            (500, "Internal Server Error")
+        }
+    }
+}
+
+/// A short machine-readable code per error variant.
+pub fn code_for_error(error: &Error) -> &'static str {
+    match error {
+        Error::EmptyUtterance => "empty_utterance",
+        Error::UtteranceTooLong { .. } => "utterance_too_long",
+        Error::NoParse { .. } => "no_parse",
+        Error::ThingTalk(_) => "thingtalk",
+        Error::Config(_) => "overloaded",
+        Error::Io(_) => "io",
+        Error::CorruptArtifact { .. } => "corrupt_artifact",
+        Error::ModelUntrained => "model_untrained",
+    }
+}
+
+/// Render one parse-error body (`NoParse` carries its rejections).
+pub fn render_error(error: &Error) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"error\": {\"code\": ");
+    out.push_str(&escape(code_for_error(error)));
+    out.push_str(", \"message\": ");
+    out.push_str(&escape(&error.to_string()));
+    if let Some(rejected) = error.rejected_candidates() {
+        out.push_str(", \"rejected\": [");
+        for (i, (candidate, reason)) in rejected.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"candidate\": ");
+            out.push_str(&escape(candidate));
+            out.push_str(", \"reason\": ");
+            out.push_str(&escape(&reason.to_string()));
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Render one parse result as `(status, reason, body)` — the single
+/// rendering path for `/v1/parse` responses, shared with the byte-identity
+/// assertions in the bench and tests.
+pub fn render_result(result: &GenieResult<ParseResponse>) -> (u16, &'static str, String) {
+    match result {
+        Ok(response) => (200, "OK", render_response(response)),
+        Err(error) => {
+            let (status, reason) = status_for_error(error);
+            (status, reason, render_error(error))
+        }
+    }
+}
+
+/// Render one batch of parse results as the `/v1/parse_batch` body: the
+/// batch transport itself succeeded (`200`), each element carries its own
+/// status.
+pub fn render_batch(results: &[GenieResult<ParseResponse>]) -> String {
+    let mut out = String::with_capacity(64 * results.len().max(1));
+    out.push_str("{\"responses\": [");
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let (status, _, body) = render_result(result);
+        out.push_str("{\"status\": ");
+        out.push_str(&status.to_string());
+        out.push_str(", \"response\": ");
+        out.push_str(&body);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_string_array<'a>(out: &mut String, items: impl Iterator<Item = &'a str>) {
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&escape(item));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_requests_with_optional_fields() {
+        let body =
+            Json::parse(r#"{"utterance": "tweet hi", "candidates": 5, "principal": "alice"}"#)
+                .unwrap();
+        let request = parse_request_from_json(&body).unwrap();
+        assert_eq!(request.utterance, "tweet hi");
+        assert_eq!(request.flags.candidates, 5);
+        assert_eq!(request.flags.principal.as_deref(), Some("alice"));
+
+        let minimal = Json::parse(r#"{"utterance": "x"}"#).unwrap();
+        let request = parse_request_from_json(&minimal).unwrap();
+        assert_eq!(request.flags.candidates, 0);
+        assert_eq!(request.flags.principal, None);
+    }
+
+    #[test]
+    fn malformed_request_bodies_are_typed_400s() {
+        for body in [
+            r#"{}"#,
+            r#"{"utterance": 3}"#,
+            r#"{"utterance": "x", "candidates": "three"}"#,
+            r#"{"utterance": "x", "candidates": 0}"#,
+            r#"{"utterance": "x", "candidates": 2.5}"#,
+            r#"{"utterance": "x", "candidates": -1}"#,
+            r#"{"utterance": "x", "principal": 4}"#,
+        ] {
+            let value = Json::parse(body).unwrap();
+            let error = parse_request_from_json(&value).unwrap_err();
+            assert_eq!(error.status(), Some((400, "Bad Request")), "body `{body}`");
+        }
+    }
+
+    #[test]
+    fn batch_decoding_caps_the_request_count() {
+        let value = Json::parse(
+            r#"{"requests": [{"utterance": "a"}, {"utterance": "b"}, {"utterance": "c"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(parse_batch_from_json(&value, 8).unwrap().len(), 3);
+        assert!(matches!(
+            parse_batch_from_json(&value, 2),
+            Err(HttpError::BadRequest(_))
+        ));
+        let missing = Json::parse(r#"{"utterances": []}"#).unwrap();
+        assert!(parse_batch_from_json(&missing, 8).is_err());
+    }
+
+    #[test]
+    fn rendered_bodies_are_valid_json_and_typed() {
+        let response = ParseResponse {
+            utterance: "tweet \"hi\"".into(),
+            sentence: vec!["tweet".into(), "\"".into(), "hi".into(), "\"".into()],
+            candidates: vec![genie::ParseCandidate {
+                program: thingtalk::syntax::parse_program(
+                    "now => @com.twitter.post(status = \"hi\")",
+                )
+                .unwrap(),
+                source: "now => @com.twitter.post(status = \"hi\")".into(),
+                tokens: vec!["now".into(), "=>".into()],
+                score: -1.25,
+            }],
+        };
+        let body = render_response(&response);
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("utterance").unwrap().as_str(),
+            Some("tweet \"hi\"")
+        );
+        assert_eq!(
+            parsed.get("candidates").unwrap().as_array().unwrap()[0]
+                .get("score")
+                .unwrap()
+                .as_f64(),
+            Some(-1.25)
+        );
+
+        let error = Error::NoParse {
+            utterance: "xyzzy".into(),
+            rejected: vec![("now =>".into(), thingtalk::Error::parse("truncated"))],
+        };
+        let (status, _, body) = render_result(&Err(error));
+        assert_eq!(status, 422);
+        let parsed = Json::parse(&body).unwrap();
+        let error_object = parsed.get("error").unwrap();
+        assert_eq!(error_object.get("code").unwrap().as_str(), Some("no_parse"));
+        assert_eq!(
+            error_object
+                .get("rejected")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            1
+        );
+
+        let batch = render_batch(&[Err(Error::EmptyUtterance)]);
+        let parsed = Json::parse(&batch).unwrap();
+        let first = &parsed.get("responses").unwrap().as_array().unwrap()[0];
+        assert_eq!(first.get("status").unwrap().as_f64(), Some(422.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! The micro-batch coalescing queue.
+//!
+//! Concurrent `POST /v1/parse` requests land here as jobs. One dispatcher
+//! thread gathers jobs under the configured latency budget (or until the
+//! batch cap) and serves the whole micro-batch through
+//! [`genie::GenieEngine::parse_batch`] — the deterministic batch path
+//! (an order-preserving `genie-parallel` fan-out of the same per-request
+//! pipeline `predict_topk_batch` maps over, sharing the engine's response
+//! cache). Each response is a pure function of its own request, so **which
+//! requests happen to share a micro-batch can change latency and
+//! amortization, never content** — the property the end-to-end determinism
+//! tests pin at worker counts {1, 2, 8}.
+//!
+//! Shutdown is drain-by-construction: closing the job channel lets the
+//! dispatcher serve everything already queued, then exit; `shutdown()`
+//! joins it.
+
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use genie::{GenieEngine, GenieResult, ParseRequest, ParseResponse};
+
+use crate::metrics::Metrics;
+use std::sync::Arc;
+
+/// One queued request and the channel its response travels back on.
+struct Job {
+    request: ParseRequest,
+    reply: mpsc::SyncSender<GenieResult<ParseResponse>>,
+}
+
+/// The submission error: the server is shutting down and the queue is
+/// closed. The HTTP layer answers `503`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuttingDown;
+
+/// Handle to the dispatcher thread.
+pub struct Coalescer {
+    sender: Mutex<Option<mpsc::Sender<Job>>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Coalescer {
+    /// Start the dispatcher over `engine`.
+    pub fn start(
+        engine: GenieEngine,
+        window: Duration,
+        max_batch: usize,
+        metrics: Arc<Metrics>,
+    ) -> Coalescer {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let dispatcher = std::thread::Builder::new()
+            .name("genie-coalescer".to_owned())
+            .spawn(move || dispatch_loop(&engine, &receiver, window, max_batch, &metrics))
+            .expect("spawning the coalescer dispatcher cannot fail");
+        Coalescer {
+            sender: Mutex::new(Some(sender)),
+            dispatcher: Mutex::new(Some(dispatcher)),
+        }
+    }
+
+    /// Submit one request and block until its response is computed.
+    ///
+    /// # Errors
+    ///
+    /// `Err(ShuttingDown)` when the queue is closed (the caller answers
+    /// `503`); the inner [`GenieResult`] carries per-request parse errors.
+    pub fn submit(
+        &self,
+        request: ParseRequest,
+    ) -> Result<GenieResult<ParseResponse>, ShuttingDown> {
+        let (reply, response) = mpsc::sync_channel(1);
+        let sender = {
+            let guard = self.sender.lock().unwrap_or_else(|e| e.into_inner());
+            guard.clone()
+        };
+        let Some(sender) = sender else {
+            return Err(ShuttingDown);
+        };
+        sender
+            .send(Job { request, reply })
+            .map_err(|_| ShuttingDown)?;
+        // The dispatcher replies exactly once per accepted job (even while
+        // draining); a disconnect without a reply means it is gone.
+        response.recv().map_err(|_| ShuttingDown)
+    }
+
+    /// Close the queue, let the dispatcher drain everything queued, and
+    /// join it. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut guard = self.sender.lock().unwrap_or_else(|e| e.into_inner());
+            guard.take();
+        }
+        let dispatcher = {
+            let mut guard = self.dispatcher.lock().unwrap_or_else(|e| e.into_inner());
+            guard.take()
+        };
+        if let Some(handle) = dispatcher {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Coalescer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(
+    engine: &GenieEngine,
+    receiver: &mpsc::Receiver<Job>,
+    window: Duration,
+    max_batch: usize,
+    metrics: &Metrics,
+) {
+    loop {
+        // Block for the batch's first request…
+        let Ok(first) = receiver.recv() else {
+            return; // queue closed and fully drained
+        };
+        let mut batch = vec![first];
+        // …then gather whatever else arrives inside the latency budget.
+        let deadline = Instant::now() + window;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            let Some(budget) = deadline
+                .checked_duration_since(now)
+                .filter(|b| !b.is_zero())
+            else {
+                break;
+            };
+            match receiver.recv_timeout(budget) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        metrics.record_batch(batch.len());
+        let requests: Vec<ParseRequest> = batch.iter().map(|job| job.request.clone()).collect();
+        let results = engine.parse_batch(&requests);
+        for (job, result) in batch.into_iter().zip(results) {
+            // A submitter that gave up (connection died) just drops its
+            // receiver; failing to deliver is not an error.
+            let _ = job.reply.send(result);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # genie-server
+//!
+//! A socket-level HTTP/JSON serving front-end over [`genie::GenieEngine`],
+//! built entirely on the standard library (`TcpListener` + threads) and the
+//! engine's own deterministic batch machinery — no external HTTP stack.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Behaviour |
+//! |---|---|
+//! | `POST /v1/parse` | One utterance; coalesced into a micro-batch |
+//! | `POST /v1/parse_batch` | A client-assembled batch; straight to the engine |
+//! | `GET /metrics` | Flat-text counters (server + engine, no shadow counts) |
+//! | `GET /healthz` | Liveness |
+//!
+//! ## The determinism contract
+//!
+//! Every response body is a pure function of `(model, library, policies,
+//! request)` — never of load, timing, worker count, or which requests
+//! happened to share a coalesced micro-batch. The end-to-end tests and the
+//! `serving_e2e` bench enforce this by rendering in-process results through
+//! the *same* [`api`] functions and asserting byte identity with what came
+//! over the socket.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use genie::EngineBuilder;
+//! use genie_server::{GenieServer, ServerConfig};
+//!
+//! # fn main() -> genie::GenieResult<()> {
+//! # let library = thingpedia::Thingpedia::new();
+//! let engine = EngineBuilder::new()
+//!     .thingpedia(library)
+//!     .model_from_snapshot("model.luinet-snapshot")? // fast cold start
+//!     .build()?;
+//! let config = ServerConfig::builder()
+//!     .addr("127.0.0.1:8400")
+//!     .quota(64, 16.0) // 64-token burst, 16 req/s refill per client
+//!     .build()?;
+//! let mut server = GenieServer::bind(engine, config)?;
+//! println!("serving on http://{}", server.local_addr());
+//! // … serve until told otherwise, then drain in-flight work:
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod api;
+pub mod coalescer;
+pub mod config;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod quota;
+mod server;
+
+pub use config::{ServerConfig, ServerConfigBuilder};
+pub use server::GenieServer;

@@ -1,0 +1,394 @@
+//! The socket front-end: bind, accept, route, drain, shut down.
+//!
+//! # Threading model
+//!
+//! `worker_threads` acceptor threads share one `TcpListener` (accepting
+//! from multiple threads is the classic pre-forked pattern — the kernel
+//! load-balances) and each owns its connection for the connection's
+//! lifetime, so a request's handler never migrates threads. Parse work
+//! does not happen on acceptor threads: single parses queue into the
+//! [`crate::coalescer::Coalescer`] (one dispatcher thread, micro-batched
+//! through `GenieEngine::parse_batch`), which is where the engine's own
+//! deterministic parallelism takes over.
+//!
+//! # Shutdown
+//!
+//! [`GenieServer::shutdown`] flips the flag, nudges each blocked acceptor
+//! awake with loopback connections, joins the acceptors (each finishes the
+//! request it is serving — in-flight requests drain, idle keep-alive
+//! connections close within the read timeout), then closes and joins the
+//! coalescer (which drains its queue by construction).
+
+use std::io::BufReader;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use genie::{EngineStatsHandle, GenieEngine, GenieResult};
+
+use crate::api;
+use crate::coalescer::Coalescer;
+use crate::config::ServerConfig;
+use crate::http::{self, HttpError, Request};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::quota::Quota;
+
+struct Shared {
+    engine: GenieEngine,
+    engine_stats: EngineStatsHandle,
+    config: ServerConfig,
+    metrics: Arc<Metrics>,
+    quota: Option<Quota>,
+    coalescer: Coalescer,
+    shutdown: AtomicBool,
+}
+
+/// A bound, serving HTTP front-end over a [`GenieEngine`].
+///
+/// Dropping the server shuts it down gracefully (equivalent to
+/// [`GenieServer::shutdown`]).
+pub struct GenieServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl GenieServer {
+    /// Bind `config.addr` and start serving `engine`.
+    ///
+    /// # Errors
+    ///
+    /// `Error::Config` for an invalid config, `Error::Io` when the socket
+    /// cannot be bound.
+    pub fn bind(engine: GenieEngine, config: ServerConfig) -> GenieResult<GenieServer> {
+        config.validate()?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::default());
+        let quota =
+            (config.quota_burst > 0).then(|| Quota::new(config.quota_burst, config.quota_per_sec));
+        let coalescer = Coalescer::start(
+            engine.clone(),
+            config.coalesce_window,
+            config.max_coalesce_batch,
+            metrics.clone(),
+        );
+        let shared = Arc::new(Shared {
+            engine_stats: engine.stats_handle(),
+            engine,
+            config,
+            metrics,
+            quota,
+            coalescer,
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptors = (0..shared.config.worker_threads)
+            .map(|worker| {
+                let shared = shared.clone();
+                let listener = listener
+                    .try_clone()
+                    .expect("cloning a listener cannot fail");
+                std::thread::Builder::new()
+                    .name(format!("genie-server-{worker}"))
+                    .spawn(move || accept_loop(&shared, &listener))
+                    .expect("spawning an acceptor cannot fail")
+            })
+            .collect();
+        Ok(GenieServer {
+            shared,
+            addr,
+            acceptors,
+        })
+    }
+
+    /// The bound address (resolves ephemeral port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current metrics exposition (same text `GET /metrics` serves).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render(&self.shared.engine_stats)
+    }
+
+    /// Gracefully stop: refuse new connections, drain in-flight requests
+    /// and the coalescer queue, join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Nudge acceptors blocked in `accept()` awake until all have
+        // exited; a nudge connection is answered by the flag check and
+        // dropped. Busy acceptors finish their connection first — that is
+        // the drain.
+        while !self.acceptors.iter().all(JoinHandle::is_finished) {
+            let _ = TcpStream::connect_timeout(&self.addr, std::time::Duration::from_millis(100));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        // All handlers are gone; close the queue and drain the dispatcher.
+        self.shared.coalescer.shutdown();
+    }
+}
+
+impl Drop for GenieServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    drop(stream);
+                    return;
+                }
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                handle_connection(shared, stream, peer);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (EMFILE, aborted handshake):
+                // back off briefly and keep serving.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(shared.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match http::read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(request)) => {
+                shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                let outcome = route(shared, peer.ip(), &request);
+                shared
+                    .metrics
+                    .record_latency(started.elapsed().as_micros() as u64);
+                shared.metrics.record_status(outcome.status);
+                let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                if http::write_response(
+                    &mut stream,
+                    outcome.status,
+                    outcome.reason,
+                    outcome.content_type,
+                    outcome.body.as_bytes(),
+                    keep_alive,
+                    &outcome.extra_headers,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(error) => {
+                // Codec-level failure: answer when there is an answer to
+                // give, then close the connection either way (the stream
+                // position is no longer trustworthy).
+                if let Some((status, reason)) = error.status() {
+                    shared.metrics.record_status(status);
+                    let body = format!(
+                        "{{\"error\": {{\"code\": {}, \"message\": {}}}}}",
+                        crate::json::escape(error.code()),
+                        crate::json::escape(&error.to_string()),
+                    );
+                    let _ = http::write_response(
+                        &mut stream,
+                        status,
+                        reason,
+                        "application/json",
+                        body.as_bytes(),
+                        false,
+                        &[],
+                    );
+                }
+                return;
+            }
+        }
+    }
+}
+
+struct Outcome {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+    extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Outcome {
+    fn json(status: u16, reason: &'static str, body: String) -> Outcome {
+        Outcome {
+            status,
+            reason,
+            content_type: "application/json",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    fn error(status: u16, reason: &'static str, code: &str, message: &str) -> Outcome {
+        Outcome::json(
+            status,
+            reason,
+            format!(
+                "{{\"error\": {{\"code\": {}, \"message\": {}}}}}",
+                crate::json::escape(code),
+                crate::json::escape(message),
+            ),
+        )
+    }
+}
+
+fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/parse") => {
+            if let Some(outcome) = check_quota(shared, peer, 1.0) {
+                return outcome;
+            }
+            shared
+                .metrics
+                .parse_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let parse_request = match decode_body(&request.body)
+                .and_then(|json| api::parse_request_from_json(&json))
+            {
+                Ok(parse_request) => parse_request,
+                Err(error) => return codec_outcome(&error),
+            };
+            match shared.coalescer.submit(parse_request) {
+                Ok(result) => {
+                    record_parse_result(shared, &result);
+                    let (status, reason, body) = api::render_result(&result);
+                    Outcome::json(status, reason, body)
+                }
+                Err(_) => Outcome::error(
+                    503,
+                    "Service Unavailable",
+                    "shutting_down",
+                    "the server is draining and no longer accepts work",
+                ),
+            }
+        }
+        ("POST", "/v1/parse_batch") => {
+            shared
+                .metrics
+                .batch_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let requests = match decode_body(&request.body).and_then(|json| {
+                api::parse_batch_from_json(&json, shared.config.max_batch_requests)
+            }) {
+                Ok(requests) => requests,
+                Err(error) => return codec_outcome(&error),
+            };
+            if let Some(outcome) = check_quota(shared, peer, requests.len() as f64) {
+                return outcome;
+            }
+            // A client-assembled batch is already a batch: it goes straight
+            // to the engine's deterministic fan-out, not via the coalescer.
+            let results = shared.engine.parse_batch(&requests);
+            for result in &results {
+                record_parse_result(shared, result);
+            }
+            Outcome::json(200, "OK", api::render_batch(&results))
+        }
+        ("GET", "/metrics") => Outcome {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain; charset=utf-8",
+            body: shared.metrics.render(&shared.engine_stats),
+            extra_headers: Vec::new(),
+        },
+        ("GET", "/healthz") => Outcome::json(200, "OK", "{\"status\": \"ok\"}".to_owned()),
+        ("POST" | "GET", _) => Outcome::error(
+            404,
+            "Not Found",
+            "not_found",
+            &format!("no such endpoint: {}", request.path),
+        ),
+        _ => {
+            let mut outcome = Outcome::error(
+                405,
+                "Method Not Allowed",
+                "method_not_allowed",
+                &format!("method {} is not supported", request.method),
+            );
+            outcome
+                .extra_headers
+                .push(("Allow", "GET, POST".to_owned()));
+            outcome
+        }
+    }
+}
+
+fn decode_body(body: &[u8]) -> Result<Json, HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpError::BadRequest("request body is not UTF-8".into()))?;
+    Json::parse(text).map_err(|error| HttpError::BadRequest(format!("malformed JSON: {error}")))
+}
+
+fn codec_outcome(error: &HttpError) -> Outcome {
+    let (status, reason) = error.status().unwrap_or((400, "Bad Request"));
+    Outcome::error(status, reason, error.code(), &error.to_string())
+}
+
+fn check_quota(shared: &Shared, peer: IpAddr, cost: f64) -> Option<Outcome> {
+    let quota = shared.quota.as_ref()?;
+    let Err(exceeded) = quota.try_take(peer, cost, Instant::now()) else {
+        return None;
+    };
+    shared
+        .metrics
+        .quota_rejections
+        .fetch_add(1, Ordering::Relaxed);
+    let mut outcome = Outcome::error(
+        429,
+        "Too Many Requests",
+        "quota_exhausted",
+        &format!(
+            "per-client quota exhausted; retry in {:.3}s",
+            exceeded.retry_after_secs
+        ),
+    );
+    outcome.extra_headers.push((
+        "Retry-After",
+        format!("{}", exceeded.retry_after_secs.ceil().max(1.0) as u64),
+    ));
+    Some(outcome)
+}
+
+fn record_parse_result(shared: &Shared, result: &GenieResult<genie::ParseResponse>) {
+    if result.is_ok() {
+        shared.metrics.parse_ok.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.metrics.parse_failed.fetch_add(1, Ordering::Relaxed);
+    }
+}

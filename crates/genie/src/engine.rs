@@ -37,6 +37,7 @@
 //! the cache can only change latency, never content.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -157,6 +158,54 @@ pub struct EngineStats {
     pub rejected_candidates: u64,
 }
 
+/// The engine's counter cells, shared between the engine and any
+/// [`EngineStatsHandle`]s observing it.
+#[derive(Default)]
+struct EngineCounters {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    rejected_candidates: AtomicU64,
+}
+
+impl EngineCounters {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            rejected_candidates: self.rejected_candidates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cheap, cloneable handle onto the engine's counters — three shared
+/// atomics, no lock, no reference to the model or the library. A metrics
+/// exporter (e.g. `genie-server`'s `GET /metrics`) holds one of these and
+/// snapshots it per scrape instead of shadow-counting cache hits it cannot
+/// see from outside.
+///
+/// The handle keeps only the counter cells alive, so it can outlive the
+/// engine itself (the counters then simply stop moving).
+#[derive(Clone)]
+pub struct EngineStatsHandle {
+    counters: Arc<EngineCounters>,
+}
+
+impl EngineStatsHandle {
+    /// A consistent-enough snapshot of the counters (each cell is read
+    /// atomically; the triple is not a transaction).
+    pub fn snapshot(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+}
+
+impl fmt::Debug for EngineStatsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("EngineStatsHandle")
+            .field(&self.snapshot())
+            .finish()
+    }
+}
+
 /// One cached response, carrying the full key so a 64-bit fingerprint
 /// collision is detected on lookup instead of silently serving another
 /// utterance's parse.
@@ -176,9 +225,7 @@ struct EngineInner {
     cache_capacity: usize,
     threads: usize,
     cache: Mutex<HashMap<u64, Arc<CacheEntry>>>,
-    requests: AtomicU64,
-    cache_hits: AtomicU64,
-    rejected_candidates: AtomicU64,
+    counters: Arc<EngineCounters>,
 }
 
 /// The long-lived, thread-safe serving facade. Cloning is cheap (the
@@ -350,9 +397,7 @@ impl EngineBuilder {
                 cache_capacity: self.cache_capacity,
                 threads: self.threads,
                 cache: Mutex::new(HashMap::new()),
-                requests: AtomicU64::new(0),
-                cache_hits: AtomicU64::new(0),
-                rejected_candidates: AtomicU64::new(0),
+                counters: Arc::new(EngineCounters::default()),
             }),
         })
     }
@@ -378,10 +423,15 @@ impl GenieEngine {
 
     /// Aggregate serving counters.
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            requests: self.inner.requests.load(Ordering::Relaxed),
-            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
-            rejected_candidates: self.inner.rejected_candidates.load(Ordering::Relaxed),
+        self.inner.counters.snapshot()
+    }
+
+    /// A cloneable handle onto the engine's counters, for observers (a
+    /// metrics endpoint, a load shedder) that must read cache effectiveness
+    /// without holding — or keeping alive — the engine itself.
+    pub fn stats_handle(&self) -> EngineStatsHandle {
+        EngineStatsHandle {
+            counters: self.inner.counters.clone(),
         }
     }
 
@@ -396,7 +446,7 @@ impl GenieEngine {
     ///   decode, typecheck or policy — the rejections ride along for
     ///   error analysis.
     pub fn parse(&self, request: &ParseRequest) -> GenieResult<ParseResponse> {
-        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
         let utterance = request.utterance.trim();
         if utterance.is_empty() {
             return Err(Error::EmptyUtterance);
@@ -452,7 +502,10 @@ impl GenieEngine {
             let cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(cached) = cache.get(&key) {
                 if cached.sentence == sentence && cached.k == k && cached.principal == principal {
-                    self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .counters
+                        .cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
                     let mut response = cached.response.clone();
                     response.utterance = request.utterance.clone();
                     return Ok(response);
@@ -475,6 +528,7 @@ impl GenieEngine {
                 }
                 Err(error) => {
                     self.inner
+                        .counters
                         .rejected_candidates
                         .fetch_add(1, Ordering::Relaxed);
                     rejected.push((prediction.tokens.join(" "), error));
@@ -746,6 +800,29 @@ mod tests {
         assert_eq!(first, bypassed);
         engine.clear_cache();
         assert_eq!(engine.cached_responses(), 0);
+    }
+
+    #[test]
+    fn stats_handle_tracks_the_engine_and_outlives_it() {
+        let (base, utterance) = tiny_engine();
+        let engine = GenieEngine::builder()
+            .model_shared(base.inner.model.clone())
+            .threads(1)
+            .build()
+            .unwrap();
+        let handle = engine.stats_handle();
+        assert_eq!(handle.snapshot(), EngineStats::default());
+        let request = ParseRequest::new(utterance.clone());
+        engine.parse(&request).unwrap();
+        engine.parse(&request).unwrap();
+        let seen = handle.snapshot();
+        assert_eq!(seen.requests, 2);
+        assert_eq!(seen.cache_hits, 1);
+        assert_eq!(seen, engine.stats());
+        // The handle is just the counter cells: it stays readable after the
+        // engine is gone, and the counters simply stop moving.
+        drop(engine);
+        assert_eq!(handle.snapshot(), seen);
     }
 
     #[test]

@@ -66,8 +66,8 @@ pub use dataset::{
     read_columnar_shard, Dataset, DatasetFormat, Example, ExampleSource, ShardedDatasetWriter,
 };
 pub use engine::{
-    EngineBuilder, EngineStats, GenieEngine, ParseCandidate, ParseFlags, ParseRequest,
-    ParseResponse,
+    EngineBuilder, EngineStats, EngineStatsHandle, GenieEngine, ParseCandidate, ParseFlags,
+    ParseRequest, ParseResponse,
 };
 pub use error::{Error, GenieResult};
 pub use eval::{evaluate, EvalResult};

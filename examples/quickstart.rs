@@ -103,5 +103,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(error) => println!("\nServed via GenieEngine: no parse ({error})"),
     }
     assert!(engine.parse(&genie::ParseRequest::new("")).is_err());
+
+    // 4. Put the engine on a socket: genie-server speaks HTTP/JSON over
+    //    std TcpListener, coalescing concurrent requests into deterministic
+    //    micro-batches. Port 0 picks an ephemeral port.
+    let config = genie_server::ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .quota(64, 16.0) // per-client token bucket: 64 burst, 16 req/s
+        .build()?;
+    let mut server = genie_server::GenieServer::bind(engine, config)?;
+    println!("\ngenie-server listening on http://{}", server.local_addr());
+    println!(
+        "  try: curl -d '{{\"utterance\": \"{command}\"}}' http://{}/v1/parse",
+        server.local_addr()
+    );
+    server.shutdown(); // graceful: drains in-flight requests
     Ok(())
 }
