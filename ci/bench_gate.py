@@ -115,6 +115,9 @@ def gate_serving(fresh, committed):
             f"{which}: malformed probes were not answered with typed 4xx"
         )
         assert socket["coalesce_batches"] >= 1, f"{which}: nothing coalesced"
+        assert socket["swap_request_errors"] == 0, (
+            f"{which}: requests dropped or errored while worlds swapped"
+        )
     fresh_socket, committed_socket = fresh["socket"], committed["socket"]
     ratio = fresh_socket["requests_per_sec"] / committed_socket["requests_per_sec"]
     print(f"socket req/s: committed {committed_socket['requests_per_sec']:.0f}, "
@@ -128,6 +131,62 @@ def gate_serving(fresh, committed):
     assert fresh_socket["p99_us"] <= p99_budget, (
         f"socket p99 regressed: {fresh_socket['p99_us']:.0f}us > {p99_budget:.0f}us"
     )
+    # Swap-induced tail latency is a tracked trajectory, not a gate: the
+    # reload monopolizes a CPU for the whole resynthesize+retrain, so its
+    # p99 rides runner load far beyond what a threshold could absorb.
+    print(f"p99 during swap: committed {committed_socket['p99_during_swap_us']:.0f}us, "
+          f"fresh {fresh_socket['p99_during_swap_us']:.0f}us (tracked, not gated)")
+
+
+def gate_live(fresh, committed):
+    """Hot-swap gate: exact correctness invariants, latency tracked only.
+
+    The live bench binary already exits non-zero when a request drops or
+    errors during a swap, when post-swap socket responses drift from the
+    cold-engine rendering, or when `/metrics` disagrees with the swap
+    count — the report flags re-assert those contracts so the committed
+    trajectory point visibly carries them. Reload and during-swap
+    latencies are printed for the trajectory but not thresholded: a
+    reload is a full resynthesize+retrain on one core, so its absolute
+    time tracks runner class, not regressions the 10%-style gates catch.
+    """
+    assert fresh["config"] == committed["config"], (
+        "committed BENCH_live.json was measured on a different "
+        f"workload: {committed['config']} != {fresh['config']}"
+    )
+    swaps = fresh["config"]["swaps"]
+    for report, which in ((fresh, "fresh"), (committed, "committed")):
+        swap, post = report["swap"], report["post_swap"]
+        assert swap["request_errors"] == 0, (
+            f"{which}: requests dropped or errored during swaps"
+        )
+        assert post["byte_identical"], (
+            f"{which}: post-swap responses drifted from the cold engine"
+        )
+        assert post["metrics_consistent"], (
+            f"{which}: /metrics disagreed with the admin version endpoint"
+        )
+        assert post["world_version"] == swaps + 1, (
+            f"{which}: expected world version {swaps + 1}, "
+            f"got {post['world_version']}"
+        )
+        assert swap["full_rebuild_swaps"] == 1, (
+            f"{which}: exactly the class-adding swap should fully rebuild, "
+            f"got {swap['full_rebuild_swaps']}"
+        )
+        assert swap["incremental_swaps"] == swaps - 1, (
+            f"{which}: every content-only swap must take the incremental "
+            f"path, got {swap['incremental_swaps']} of {swaps - 1}"
+        )
+        assert swap["last_reused_batches"] > 0, (
+            f"{which}: the last incremental swap reused no memoized batches"
+        )
+    for key in ("p99_us", "requests_per_sec"):
+        print(f"steady {key}: committed {committed['steady'][key]:.1f}, "
+              f"fresh {fresh['steady'][key]:.1f}")
+    for key in ("p99_during_swap_us", "mean_reload_ms"):
+        print(f"swap {key}: committed {committed['swap'][key]:.1f}, "
+              f"fresh {fresh['swap'][key]:.1f} (tracked, not gated)")
 
 
 GATES = {
@@ -135,6 +194,7 @@ GATES = {
     "training": gate_training,
     "artifacts": gate_artifacts,
     "serving": gate_serving,
+    "live": gate_live,
 }
 
 

@@ -5,7 +5,7 @@
 # ones (ci/bench_gate.py).
 #
 # Usage: ci/bench_smoke.sh <kind> -- <command...>
-#   <kind>        one of synthesis | serving | training | artifacts
+#   <kind>        one of synthesis | serving | training | artifacts | live
 #                 (names BENCH_<kind>.json and picks the gate)
 #   <command...>  produces a fresh BENCH_<kind>.json in the repo root
 set -euo pipefail

@@ -1,0 +1,210 @@
+//! The live-update admin surface: decoding `POST /v1/admin/reload` bodies
+//! into [`genie::live::SkillDelta`]s and rendering
+//! [`genie::live::SwapReport`]s.
+//!
+//! A reload body names an operation plus its payload; the class definition
+//! travels in ThingTalk surface syntax (Fig. 3 of the paper), not a JSON
+//! encoding of the AST — the same text a skill developer writes:
+//!
+//! ```json
+//! {
+//!   "op": "upsert",
+//!   "class": "class @com.lights { action set_power(in req power : Enum(on, off)); }",
+//!   "templates": [
+//!     {"category": "vp", "function": "set_power", "utterance": "turn $power the lights"}
+//!   ],
+//!   "mode": "full"
+//! }
+//! ```
+//!
+//! ```json
+//! {"op": "remove", "class": "com.lights"}
+//! ```
+//!
+//! `"mode"` is optional: `"full"` (default) retrains from scratch — the
+//! byte-identical path — while `{"fine_tune": 2}` runs two fine-tuning
+//! epochs over the new stream instead.
+
+use genie::live::{RetrainMode, SkillDelta, SwapReport};
+use thingpedia::{PhraseCategory, PrimitiveTemplate};
+
+use crate::http::HttpError;
+use crate::json::Json;
+
+/// Decode one `POST /v1/admin/reload` body.
+pub fn skill_delta_from_json(value: &Json) -> Result<(SkillDelta, RetrainMode), HttpError> {
+    let op = required_str(value, "op")?;
+    let delta = match op {
+        "remove" => SkillDelta::Remove {
+            name: required_str(value, "class")?.to_owned(),
+        },
+        "upsert" => {
+            let source = required_str(value, "class")?;
+            let class = thingtalk::syntax::parse_class(source)
+                .map_err(|error| HttpError::BadRequest(format!("invalid class: {error}")))?;
+            let templates = match value.get("templates") {
+                None => Vec::new(),
+                Some(templates) => {
+                    let Some(entries) = templates.as_array() else {
+                        return Err(HttpError::BadRequest("`templates` must be an array".into()));
+                    };
+                    entries
+                        .iter()
+                        .map(|entry| template_from_json(&class.name, entry))
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+            };
+            SkillDelta::Upsert { class, templates }
+        }
+        other => {
+            return Err(HttpError::BadRequest(format!(
+                "`op` must be \"upsert\" or \"remove\", got \"{other}\""
+            )));
+        }
+    };
+    Ok((delta, retrain_mode_from_json(value)?))
+}
+
+fn retrain_mode_from_json(value: &Json) -> Result<RetrainMode, HttpError> {
+    let Some(mode) = value.get("mode") else {
+        return Ok(RetrainMode::Full);
+    };
+    if mode.as_str() == Some("full") {
+        return Ok(RetrainMode::Full);
+    }
+    if let Some(epochs) = mode.get("fine_tune").and_then(Json::as_f64) {
+        if epochs.fract() == 0.0 && (1.0..=1e4).contains(&epochs) {
+            return Ok(RetrainMode::FineTune {
+                epochs: epochs as usize,
+            });
+        }
+        return Err(HttpError::BadRequest(
+            "`mode.fine_tune` must be a positive integer".into(),
+        ));
+    }
+    Err(HttpError::BadRequest(
+        "`mode` must be \"full\" or {\"fine_tune\": N}".into(),
+    ))
+}
+
+fn template_from_json(class: &str, value: &Json) -> Result<PrimitiveTemplate, HttpError> {
+    let category = match required_str(value, "category")? {
+        "np" => PhraseCategory::NounPhrase,
+        "vp" => PhraseCategory::VerbPhrase,
+        "wp" => PhraseCategory::WhenPhrase,
+        other => {
+            return Err(HttpError::BadRequest(format!(
+                "`category` must be \"np\", \"vp\" or \"wp\", got \"{other}\""
+            )));
+        }
+    };
+    Ok(PrimitiveTemplate::new(
+        class,
+        required_str(value, "function")?,
+        category,
+        required_str(value, "utterance")?,
+    ))
+}
+
+fn required_str<'j>(value: &'j Json, field: &str) -> Result<&'j str, HttpError> {
+    value
+        .get(field)
+        .ok_or_else(|| HttpError::BadRequest(format!("missing required field `{field}`")))?
+        .as_str()
+        .ok_or_else(|| HttpError::BadRequest(format!("`{field}` must be a string")))
+}
+
+/// Render a completed reload as the `POST /v1/admin/reload` response body.
+pub fn render_swap_report(report: &SwapReport) -> String {
+    format!(
+        "{{\"world_version\": {}, \"total_batches\": {}, \"reused_batches\": {}, \
+         \"changed_pool_entries\": {}, \"full_rebuild\": {}, \"emitted_examples\": {}, \
+         \"fine_tuned\": {}, \"swap_latency_us\": {}}}",
+        report.version,
+        report.total_batches,
+        report.reused_batches,
+        report.changed_pool_entries,
+        report.full_rebuild,
+        report.emitted_examples,
+        report.fine_tuned,
+        report.swap_latency_us,
+    )
+}
+
+/// Render the `GET /v1/admin/version` body.
+pub fn render_version(world_version: u64, live: bool) -> String {
+    format!("{{\"world_version\": {world_version}, \"live\": {live}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_remove_and_upsert_deltas() {
+        let remove = Json::parse(r#"{"op": "remove", "class": "com.dropbox"}"#).unwrap();
+        let (delta, mode) = skill_delta_from_json(&remove).unwrap();
+        assert!(matches!(delta, SkillDelta::Remove { ref name } if name == "com.dropbox"));
+        assert_eq!(mode, RetrainMode::Full);
+
+        let upsert = Json::parse(
+            r#"{
+                "op": "upsert",
+                "class": "class @com.lights { action set_power(in req power : Enum(on, off)); }",
+                "templates": [
+                    {"category": "vp", "function": "set_power", "utterance": "turn $power the lights"}
+                ],
+                "mode": {"fine_tune": 2}
+            }"#,
+        )
+        .unwrap();
+        let (delta, mode) = skill_delta_from_json(&upsert).unwrap();
+        let SkillDelta::Upsert { class, templates } = delta else {
+            panic!("expected an upsert");
+        };
+        assert_eq!(class.name, "com.lights");
+        assert!(class.function("set_power").is_ok());
+        assert_eq!(templates.len(), 1);
+        assert_eq!(templates[0].class, "com.lights");
+        assert_eq!(templates[0].category, PhraseCategory::VerbPhrase);
+        assert_eq!(mode, RetrainMode::FineTune { epochs: 2 });
+    }
+
+    #[test]
+    fn malformed_reload_bodies_are_typed_400s() {
+        for body in [
+            r#"{}"#,
+            r#"{"op": "explode", "class": "x"}"#,
+            r#"{"op": "remove"}"#,
+            r#"{"op": "upsert", "class": "not thingtalk"}"#,
+            r#"{"op": "upsert", "class": "class @a { }", "templates": [{"category": "zp", "function": "f", "utterance": "u"}]}"#,
+            r#"{"op": "remove", "class": "x", "mode": "fast"}"#,
+            r#"{"op": "remove", "class": "x", "mode": {"fine_tune": 0}}"#,
+        ] {
+            let value = Json::parse(body).unwrap();
+            let error = skill_delta_from_json(&value).unwrap_err();
+            assert_eq!(error.status(), Some((400, "Bad Request")), "body `{body}`");
+        }
+    }
+
+    #[test]
+    fn rendered_reports_are_valid_json() {
+        let report = SwapReport {
+            version: 3,
+            total_batches: 12,
+            reused_batches: 9,
+            changed_pool_entries: 4,
+            full_rebuild: false,
+            emitted_examples: 180,
+            fine_tuned: false,
+            swap_latency_us: 12345,
+        };
+        let body = render_swap_report(&report);
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("world_version").unwrap().as_f64(), Some(3.0));
+        assert_eq!(parsed.get("reused_batches").unwrap().as_f64(), Some(9.0));
+        let version = render_version(7, true);
+        let parsed = Json::parse(&version).unwrap();
+        assert_eq!(parsed.get("world_version").unwrap().as_f64(), Some(7.0));
+    }
+}

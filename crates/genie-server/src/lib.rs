@@ -10,7 +10,9 @@
 //! |---|---|
 //! | `POST /v1/parse` | One utterance; coalesced into a micro-batch |
 //! | `POST /v1/parse_batch` | A client-assembled batch; straight to the engine |
-//! | `GET /metrics` | Flat-text counters (server + engine, no shadow counts) |
+//! | `POST /v1/admin/reload` | Apply a skill delta and hot-swap the world ([`GenieServer::bind_live`] only) |
+//! | `GET /v1/admin/version` | The serving world-snapshot version |
+//! | `GET /metrics` | Flat-text counters (server + engine + world swaps) |
 //! | `GET /healthz` | Liveness |
 //!
 //! ## The determinism contract
@@ -46,6 +48,7 @@
 //! # }
 //! ```
 
+pub mod admin;
 pub mod api;
 pub mod coalescer;
 pub mod config;

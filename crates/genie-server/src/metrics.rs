@@ -48,6 +48,12 @@ pub struct Metrics {
     pub latency_us_sum: AtomicU64,
     /// Number of latency observations.
     pub latency_us_count: AtomicU64,
+    /// `POST /v1/admin/reload` requests routed.
+    pub reload_requests: AtomicU64,
+    /// Reloads that completed and swapped a new world in.
+    pub reload_ok: AtomicU64,
+    /// Reloads rejected (no live world, bad body) or failed mid-rebuild.
+    pub reload_failed: AtomicU64,
 }
 
 impl Metrics {
@@ -79,7 +85,7 @@ impl Metrics {
     pub fn render(&self, engine: &EngineStatsHandle) -> String {
         let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         let engine_stats = engine.snapshot();
-        let pairs: [(&str, u64); 18] = [
+        let pairs: [(&str, u64); 24] = [
             ("server_connections_total", load(&self.connections)),
             ("server_http_requests_total", load(&self.http_requests)),
             ("server_parse_requests_total", load(&self.parse_requests)),
@@ -103,6 +109,9 @@ impl Metrics {
             ("server_coalesce_max_batch", load(&self.coalesce_max_batch)),
             ("server_latency_us_sum", load(&self.latency_us_sum)),
             ("server_latency_us_count", load(&self.latency_us_count)),
+            ("server_reload_requests_total", load(&self.reload_requests)),
+            ("server_reload_ok_total", load(&self.reload_ok)),
+            ("server_reload_failed_total", load(&self.reload_failed)),
             ("engine_requests_total", engine_stats.requests),
             ("engine_cache_hits_total", engine_stats.cache_hits),
             (
@@ -113,6 +122,9 @@ impl Metrics {
                 "engine_cache_misses_total",
                 engine_stats.requests - engine_stats.cache_hits.min(engine_stats.requests),
             ),
+            ("world_version", engine_stats.world_version),
+            ("world_swaps_total", engine_stats.swaps),
+            ("world_last_swap_us", engine_stats.last_swap_us),
         ];
         let mut out = String::with_capacity(pairs.len() * 40);
         for (name, value) in pairs {

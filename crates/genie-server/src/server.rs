@@ -26,8 +26,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use genie::live::LiveWorld;
 use genie::{EngineStatsHandle, GenieEngine, GenieResult};
 
+use crate::admin;
 use crate::api;
 use crate::coalescer::Coalescer;
 use crate::config::ServerConfig;
@@ -39,6 +41,9 @@ use crate::quota::Quota;
 struct Shared {
     engine: GenieEngine,
     engine_stats: EngineStatsHandle,
+    /// The live world behind the engine, when the server was bound with
+    /// [`GenieServer::bind_live`]; `None` makes `/v1/admin/reload` a 503.
+    live: Option<Arc<LiveWorld>>,
     config: ServerConfig,
     metrics: Arc<Metrics>,
     quota: Option<Quota>,
@@ -64,6 +69,31 @@ impl GenieServer {
     /// `Error::Config` for an invalid config, `Error::Io` when the socket
     /// cannot be bound.
     pub fn bind(engine: GenieEngine, config: ServerConfig) -> GenieResult<GenieServer> {
+        Self::bind_inner(engine, None, config)
+    }
+
+    /// Bind `config.addr` and serve a [`LiveWorld`]'s engine, enabling the
+    /// live-update admin surface: `POST /v1/admin/reload` applies a skill
+    /// delta (incremental re-synthesis + retraining + atomic world swap)
+    /// and `GET /v1/admin/version` reports the serving snapshot version.
+    /// Requests in flight during a swap finish on the world they started
+    /// with; [`GenieServer::shutdown`] drains an in-progress reload like
+    /// any other request.
+    ///
+    /// # Errors
+    ///
+    /// `Error::Config` for an invalid config, `Error::Io` when the socket
+    /// cannot be bound.
+    pub fn bind_live(live: Arc<LiveWorld>, config: ServerConfig) -> GenieResult<GenieServer> {
+        let engine = live.engine().clone();
+        Self::bind_inner(engine, Some(live), config)
+    }
+
+    fn bind_inner(
+        engine: GenieEngine,
+        live: Option<Arc<LiveWorld>>,
+        config: ServerConfig,
+    ) -> GenieResult<GenieServer> {
         config.validate()?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -79,6 +109,7 @@ impl GenieServer {
         let shared = Arc::new(Shared {
             engine_stats: engine.stats_handle(),
             engine,
+            live,
             config,
             metrics,
             quota,
@@ -320,6 +351,50 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
             }
             Outcome::json(200, "OK", api::render_batch(&results))
         }
+        ("POST", "/v1/admin/reload") => {
+            shared
+                .metrics
+                .reload_requests
+                .fetch_add(1, Ordering::Relaxed);
+            let Some(live) = shared.live.as_ref() else {
+                shared.metrics.reload_failed.fetch_add(1, Ordering::Relaxed);
+                return Outcome::error(
+                    503,
+                    "Service Unavailable",
+                    "not_live",
+                    "this server was not bound to a live world; reload is unavailable",
+                );
+            };
+            let (delta, mode) = match decode_body(&request.body)
+                .and_then(|json| admin::skill_delta_from_json(&json))
+            {
+                Ok(decoded) => decoded,
+                Err(error) => {
+                    shared.metrics.reload_failed.fetch_add(1, Ordering::Relaxed);
+                    return codec_outcome(&error);
+                }
+            };
+            // The rebuild runs on this acceptor thread: reloads serialize
+            // on the live world's state lock, requests keep flowing through
+            // the other acceptors on the old world, and shutdown drains an
+            // in-progress reload by joining this thread.
+            match live.reload_with(&delta, mode) {
+                Ok(report) => {
+                    shared.metrics.reload_ok.fetch_add(1, Ordering::Relaxed);
+                    Outcome::json(200, "OK", admin::render_swap_report(&report))
+                }
+                Err(error) => {
+                    shared.metrics.reload_failed.fetch_add(1, Ordering::Relaxed);
+                    let (status, reason) = api::status_for_error(&error);
+                    Outcome::json(status, reason, api::render_error(&error))
+                }
+            }
+        }
+        ("GET", "/v1/admin/version") => Outcome::json(
+            200,
+            "OK",
+            admin::render_version(shared.engine.world_version(), shared.live.is_some()),
+        ),
         ("GET", "/metrics") => Outcome {
             status: 200,
             reason: "OK",

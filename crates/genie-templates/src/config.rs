@@ -165,6 +165,13 @@ impl GeneratorConfigBuilder {
         self
     }
 
+    /// Per-template / per-attempt phrase-pool RNG streams (part of the
+    /// dataset identity; required for live incremental re-synthesis).
+    pub fn pool_streams(mut self, value: bool) -> Self {
+        self.config.pool_streams = value;
+        self
+    }
+
     /// Validate and return the configuration.
     pub fn build(self) -> Result<GeneratorConfig, ConfigError> {
         self.config.validate()?;

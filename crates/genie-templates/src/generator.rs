@@ -38,7 +38,7 @@ use crate::constructs::ConstructKind;
 use crate::dedup::{example_stream_key, program_fingerprints};
 use crate::example::SynthesizedExample;
 use crate::intern::{Interner, LocalInterner, PendingSymbols, SynthVocab, TokenStream};
-use crate::pools::PhrasePools;
+use crate::pools::{PhrasePools, PoolDraw, PoolSampler};
 use crate::registry::{ConstructRule, RuleCtx, RuleRegistry};
 use crate::shards::ShardedDedup;
 
@@ -74,6 +74,12 @@ pub struct GeneratorConfig {
     /// Suppress non-fatal diagnostics (e.g. phrase-pool shortfall logging)
     /// so benchmark and machine-readable runs stay clean.
     pub quiet: bool,
+    /// Build phrase pools from per-template / per-attempt RNG streams
+    /// instead of one sequential RNG, so a skill delta leaves other
+    /// classes' pool entries byte-identical (required for the incremental
+    /// re-synthesis of `genie::live`). Like `batch_size`, this knob is part
+    /// of the dataset identity: flipping it changes the emitted dataset.
+    pub pool_streams: bool,
 }
 
 impl Default for GeneratorConfig {
@@ -89,6 +95,7 @@ impl Default for GeneratorConfig {
             batch_size: 64,
             shards: 8,
             quiet: false,
+            pool_streams: false,
         }
     }
 }
@@ -113,6 +120,47 @@ struct WorkItem<'r> {
     batch: u64,
     count: usize,
 }
+
+/// A cached `(rule, batch)` result a [`BatchProvider`] substitutes for live
+/// instantiation during incremental re-synthesis. The provider re-interns
+/// the candidates' utterances through the worker's [`LocalInterner`], so
+/// novel symbols still commit at the canonical sink in stream order.
+pub struct ProvidedBatch {
+    /// The candidates, pre-dedup, with utterances interned through the
+    /// worker's overlay.
+    pub candidates: Vec<SynthesizedExample>,
+    /// The candidates' program fingerprints (arena-independent, so cached
+    /// values stay valid across snapshot versions).
+    pub fingerprints: Vec<(u64, u64)>,
+    /// The pool draws recorded when the batch was first instantiated.
+    pub draws: Vec<PoolDraw>,
+}
+
+/// One completed `(rule, batch)` work item, observed at the canonical sink
+/// after symbol commit — the raw material of a synthesis memo.
+pub struct BatchRecord {
+    /// The rule's stable id ([`ConstructRule::rule_id`]).
+    pub rule_id: u64,
+    /// The batch index within the rule.
+    pub batch: u64,
+    /// All candidates, pre-dedup, with globally committed symbols.
+    pub candidates: Vec<SynthesizedExample>,
+    /// The candidates' program fingerprints.
+    pub fingerprints: Vec<(u64, u64)>,
+    /// The pool draws the batch made (including rejected draws).
+    pub draws: Vec<PoolDraw>,
+    /// Whether the batch was substituted by a provider instead of being
+    /// instantiated live.
+    pub provided: bool,
+}
+
+/// Substitutes cached results for `(rule_id, batch)` work items; return
+/// `None` to instantiate the batch live.
+pub type BatchProvider<'f> =
+    &'f (dyn Fn(u64, u64, &mut LocalInterner<'_>) -> Option<ProvidedBatch> + Sync);
+
+/// Receives every completed batch at the canonical sink, in stream order.
+pub type BatchObserver<'f> = &'f mut dyn FnMut(BatchRecord);
 
 /// The sampled sentence generator.
 pub struct SentenceGenerator<'a> {
@@ -164,7 +212,7 @@ impl<'a> SentenceGenerator<'a> {
 
     /// The phrase pools (built on first use, cached for the generator's
     /// lifetime).
-    fn pools(&self) -> &PhrasePools {
+    pub fn pools(&self) -> &PhrasePools {
         self.pools.get_or_init(|| {
             let mut rng = StdRng::seed_from_u64(self.config.seed);
             PhrasePools::build(
@@ -221,6 +269,29 @@ impl<'a> SentenceGenerator<'a> {
     pub fn synthesize_streaming_with(
         &self,
         registry: &RuleRegistry,
+        sink: impl FnMut(SynthesizedExample),
+    ) -> SynthesisStats {
+        self.synthesize_streaming_observed(registry, None, None, sink)
+    }
+
+    /// [`SentenceGenerator::synthesize_streaming_with`], with two optional
+    /// hooks for incremental re-synthesis:
+    ///
+    /// * `provider` — consulted per `(rule, batch)` work item inside the
+    ///   worker; a `Some` return substitutes cached candidates for live
+    ///   instantiation (their utterances re-interned through the worker's
+    ///   overlay, so symbol commit order stays canonical);
+    /// * `observer` — called at the canonical sink for every completed
+    ///   batch, in stream order, with the post-commit candidates, their
+    ///   fingerprints and the recorded pool draws. This is how
+    ///   `genie::live` builds its synthesis memo.
+    ///
+    /// With both hooks `None` this is exactly the plain streaming run.
+    pub fn synthesize_streaming_observed(
+        &self,
+        registry: &RuleRegistry,
+        provider: Option<BatchProvider<'_>>,
+        mut observer: Option<BatchObserver<'_>>,
         mut sink: impl FnMut(SynthesizedExample),
     ) -> SynthesisStats {
         let pools = self.pools();
@@ -264,25 +335,43 @@ impl<'a> SentenceGenerator<'a> {
         let window = genie_parallel::resolve_threads(threads)
             .saturating_mul(4)
             .max(1);
-        type WorkerBatch = (Vec<SynthesizedExample>, Vec<(u64, u64)>, PendingSymbols);
+        type WorkerBatch = (
+            Vec<SynthesizedExample>,
+            Vec<(u64, u64)>,
+            PendingSymbols,
+            Vec<PoolDraw>,
+            bool,
+        );
         genie_parallel::par_stream(
             threads,
             &items,
             window,
             |_, item| -> WorkerBatch {
+                // Fresh text the rules render (timer values, predicates)
+                // interns into this per-batch overlay; the sink commits the
+                // pending fragments in canonical order.
+                let mut local = LocalInterner::new(interner);
+                if let Some(provide) = provider {
+                    if let Some(cached) = provide(item.rule.rule_id(), item.batch, &mut local) {
+                        return (
+                            cached.candidates,
+                            cached.fingerprints,
+                            local.take_pending(),
+                            cached.draws,
+                            true,
+                        );
+                    }
+                }
                 let mut batch_rng = StdRng::seed_from_u64(genie_parallel::stream_seed(
                     seed,
                     item.rule.rule_id(),
                     item.batch,
                 ));
-                // Fresh text the rules render (timer values, predicates)
-                // interns into this per-batch overlay; the sink commits the
-                // pending fragments in canonical order.
-                let mut local = LocalInterner::new(interner);
+                let mut sampler = PoolSampler::new(pools);
                 let candidates: Vec<SynthesizedExample> = (0..item.count)
                     .filter_map(|_| {
                         item.rule
-                            .instantiate(&ctx, pools, &mut local, &mut batch_rng)
+                            .instantiate(&ctx, &mut sampler, &mut local, &mut batch_rng)
                     })
                     .collect();
                 // Fingerprinting the program is the O(program size) half of
@@ -292,9 +381,15 @@ impl<'a> SentenceGenerator<'a> {
                     .iter()
                     .map(|e| program_fingerprints(&e.program))
                     .collect();
-                (candidates, fingerprints, local.take_pending())
+                (
+                    candidates,
+                    fingerprints,
+                    local.take_pending(),
+                    sampler.take_draws(),
+                    false,
+                )
             },
-            |_, (candidates, fingerprints, pending): WorkerBatch| {
+            |index, (candidates, fingerprints, pending, draws, provided): WorkerBatch| {
                 stats.batches += 1;
                 stats.generated += candidates.len();
                 // Ordered merge of the worker arena: global ids depend only
@@ -309,6 +404,17 @@ impl<'a> SentenceGenerator<'a> {
                         example_stream_key(&example.utterance, fp)
                     })
                     .collect();
+                if let Some(observe) = observer.as_deref_mut() {
+                    let item = &items[index];
+                    observe(BatchRecord {
+                        rule_id: item.rule.rule_id(),
+                        batch: item.batch,
+                        candidates: candidates.clone(),
+                        fingerprints,
+                        draws,
+                        provided,
+                    });
+                }
                 let fresh = dedup.insert_batch(threads, &keys);
                 for (example, fresh) in candidates.into_iter().zip(fresh) {
                     if fresh {
@@ -624,8 +730,8 @@ mod tests {
     #[test]
     fn custom_rules_extend_the_registry() {
         use crate::phrases::PhraseKind;
+        use crate::pools::PoolId;
         use crate::registry::ConstructRule;
-        use rand::seq::SliceRandom;
 
         /// A toy scenario rule: negated commands ("do not $vp").
         struct RefuseRule;
@@ -646,11 +752,11 @@ mod tests {
             fn instantiate(
                 &self,
                 _ctx: &RuleCtx<'_>,
-                pools: &PhrasePools,
+                pools: &mut PoolSampler<'_>,
                 local: &mut LocalInterner<'_>,
                 rng: &mut StdRng,
             ) -> Option<SynthesizedExample> {
-                let vp = pools.action_verbs.choose(rng)?;
+                let vp = pools.choose(PoolId::ActionVerbs, rng)?;
                 let program = thingtalk::Program::do_action(vp.action.clone()?);
                 let mut utterance = TokenStream::new();
                 local.intern_words("do not", &mut utterance);

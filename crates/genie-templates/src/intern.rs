@@ -55,10 +55,39 @@ pub fn shared() -> &'static Arc<Interner> {
     interner
 }
 
+/// One named pre-seeding step: a pure, idempotent walk that interns a slice
+/// of the synthesis vocabulary in a fixed order. [`preseed`] runs all of
+/// [`PRESEED_STEPS`] in sequence; snapshot builders (the live subsystem)
+/// run the same steps against their own per-snapshot arenas, which is what
+/// makes symbol assignment snapshot-count- and worker-count-invariant.
+pub type PreseedStep = fn(&Interner, &Thingpedia, &ParamDatasets);
+
+/// The pre-seeding pipeline, in its canonical order. Every step is
+/// idempotent (interning an existing string is a no-op returning the same
+/// symbol), so re-running the pipeline — on the shared arena, on a fresh
+/// snapshot arena, or after a skill delta against an already-seeded arena —
+/// never reassigns an id.
+pub const PRESEED_STEPS: &[(&str, PreseedStep)] = &[
+    ("construct-variant-words", seed_construct_variant_words),
+    ("primitive-template-words", seed_template_words),
+    ("canonical-phrases", seed_canonical_phrases),
+    ("parameter-dataset-values", seed_dataset_values),
+    ("rendered-scalars", seed_rendered_scalars),
+    ("program-vocabulary", seed_program_vocabulary),
+    ("connective-words", seed_connective_words),
+];
+
 /// Pre-seed an arena with the synthesis vocabulary of a skill library, in a
-/// fixed deterministic order. Idempotent; single-threaded contexts only.
+/// fixed deterministic order (the [`PRESEED_STEPS`] pipeline). Idempotent;
+/// single-threaded contexts only.
 pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatasets) {
-    // 1. Construct-variant words (all kinds, fixed enum order).
+    for (_, step) in PRESEED_STEPS {
+        step(interner, library, datasets);
+    }
+}
+
+/// Construct-variant words (all kinds, fixed enum order).
+fn seed_construct_variant_words(interner: &Interner, _: &Thingpedia, _: &ParamDatasets) {
     for kind in ConstructKind::ALL {
         for variant in kind.variants() {
             for word in variant.split_whitespace() {
@@ -68,7 +97,10 @@ pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatase
             }
         }
     }
-    // 2. Primitive-template words, library order.
+}
+
+/// Primitive-template words, library order.
+fn seed_template_words(interner: &Interner, library: &Thingpedia, _: &ParamDatasets) {
     for template in library.templates() {
         for word in template.utterance.split_whitespace() {
             if !word.starts_with('$') {
@@ -76,8 +108,11 @@ pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatase
             }
         }
     }
-    // 3. Function and parameter canonical phrases (filters, parameter
-    //    passing, edge predicates all splice them into utterances).
+}
+
+/// Function and parameter canonical phrases (filters, parameter passing,
+/// edge predicates all splice them into utterances).
+fn seed_canonical_phrases(interner: &Interner, library: &Thingpedia, _: &ParamDatasets) {
     for class in library.classes() {
         for function in class.functions.values() {
             interner.intern_words(&function.canonical, &mut TokenStream::new());
@@ -89,14 +124,20 @@ pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatase
             }
         }
     }
-    // 4. Parameter-dataset values (sampled into slots and by expansion).
+}
+
+/// Parameter-dataset values (sampled into slots and by expansion).
+fn seed_dataset_values(interner: &Interner, _: &Thingpedia, datasets: &ParamDatasets) {
     for dataset in datasets.datasets() {
         for value in &dataset.values {
             interner.intern_words(value, &mut TokenStream::new());
         }
     }
-    // 5. Rendered scalars: the numerals, clock times, unit phrases and date
-    //    edges `describe_value` can produce for sampled values.
+}
+
+/// Rendered scalars: the numerals, clock times, unit phrases and date edges
+/// `describe_value` can produce for sampled values.
+fn seed_rendered_scalars(interner: &Interner, _: &Thingpedia, _: &ParamDatasets) {
     let mut buf = String::new();
     for n in -10i64..=1100 {
         buf.clear();
@@ -126,11 +167,14 @@ pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatase
     ] {
         interner.intern_words(&edge.keyword().replace('_', " "), &mut TokenStream::new());
     }
-    // 6. The NN-syntax program vocabulary: the model layer (LUInet) interns
-    //    program tokens into the same arena, so seed the structural tokens
-    //    and every `@class.function` / `param:name` the library can emit —
-    //    training then interns (almost) nothing, and fresh arenas assign
-    //    program-token ids deterministically for the id-level tests.
+}
+
+/// The NN-syntax program vocabulary: the model layer (LUInet) interns
+/// program tokens into the same arena, so seed the structural tokens and
+/// every `@class.function` / `param:name` the library can emit — training
+/// then interns (almost) nothing, and fresh arenas assign program-token ids
+/// deterministically for the id-level tests.
+fn seed_program_vocabulary(interner: &Interner, library: &Thingpedia, _: &ParamDatasets) {
     for token in [
         "<s>",
         "</s>",
@@ -163,6 +207,7 @@ pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatase
     ] {
         interner.intern(token);
     }
+    let mut buf = String::new();
     for class in library.classes() {
         for function in class.functions.values() {
             buf.clear();
@@ -178,8 +223,11 @@ pub fn preseed(interner: &Interner, library: &Thingpedia, datasets: &ParamDatase
             }
         }
     }
-    // 7. Fixed connective words of the generated filter / predicate / value
-    //    phrases and common punctuation fragments.
+}
+
+/// Fixed connective words of the generated filter / predicate / value
+/// phrases and common punctuation fragments.
+fn seed_connective_words(interner: &Interner, _: &Thingpedia, _: &ParamDatasets) {
     for word in [
         "the",
         "with",
@@ -415,10 +463,56 @@ mod tests {
             let symbol = Symbol::from_raw(id);
             assert_eq!(a.resolve(symbol), b.resolve(symbol), "symbol {id}");
         }
-        // Idempotent: seeding again adds nothing.
+        // Idempotent: seeding again adds nothing — neither the whole
+        // pipeline nor any individual named step.
         let before = a.len();
         preseed(&a, &library, &datasets);
         assert_eq!(a.len(), before);
+        for (name, step) in PRESEED_STEPS {
+            step(&a, &library, &datasets);
+            assert_eq!(a.len(), before, "step `{name}` is not idempotent");
+        }
+    }
+
+    #[test]
+    fn fresh_arenas_are_snapshot_and_worker_count_invariant() {
+        // Two snapshot arenas created in the same process — regardless of
+        // how many were made before, and regardless of the worker count of
+        // the synthesis run that fills them — assign identical symbol ids.
+        // This is the contract the live subsystem's atomic swap rests on:
+        // a snapshot built on an 8-core box equals one built single-threaded.
+        use crate::generator::{GeneratorConfig, SentenceGenerator};
+        let library = Thingpedia::builtin();
+        let datasets = ParamDatasets::builtin();
+        // Burn a few arenas first: snapshot-count-invariance means earlier
+        // snapshots must not perturb later ones.
+        for _ in 0..3 {
+            let _ = fresh(&library, &datasets);
+        }
+        let run = |threads: usize| {
+            let config = GeneratorConfig {
+                target_per_rule: 6,
+                max_depth: 4,
+                seed: 11,
+                threads,
+                pool_streams: true,
+                quiet: true,
+                ..GeneratorConfig::default()
+            };
+            let arena = fresh(&library, &datasets);
+            let generator = SentenceGenerator::with_interner(&library, config, arena.clone());
+            let examples = generator.synthesize();
+            (arena, examples)
+        };
+        let (arena_1, examples_1) = run(1);
+        let (arena_8, examples_8) = run(8);
+        assert_eq!(arena_1.len(), arena_8.len());
+        for id in 0..arena_1.len() as u32 {
+            let symbol = Symbol::from_raw(id);
+            assert_eq!(arena_1.resolve(symbol), arena_8.resolve(symbol), "id {id}");
+        }
+        // Id-level equality of the synthesized streams, not just text.
+        assert_eq!(examples_1, examples_8);
     }
 
     #[test]

@@ -85,9 +85,12 @@ pub mod shards;
 pub use config::{ConfigError, GeneratorConfigBuilder};
 pub use constructs::{construct_template_counts, ConstructKind};
 pub use example::{ExampleFlags, SynthesizedExample};
-pub use generator::{GeneratorConfig, SentenceGenerator, SynthesisStats};
+pub use generator::{
+    BatchObserver, BatchProvider, BatchRecord, GeneratorConfig, ProvidedBatch, SentenceGenerator,
+    SynthesisStats,
+};
 pub use intern::{Interner, LocalInterner, Symbol, SynthVocab, TokenStream};
 pub use phrases::{PhraseDerivation, PhraseKind};
-pub use pools::PhrasePools;
+pub use pools::{PhrasePools, PoolDigests, PoolDraw, PoolId, PoolSampler, PoolsDelta};
 pub use registry::{ConstructRule, RuleCtx, RuleRegistry};
 pub use shards::ShardedDedup;

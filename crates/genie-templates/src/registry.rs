@@ -23,7 +23,7 @@ use crate::example::SynthesizedExample;
 use crate::generator::GeneratorConfig;
 use crate::intern::{LocalInterner, SynthVocab};
 use crate::phrases::PhraseKind;
-use crate::pools::PhrasePools;
+use crate::pools::PoolSampler;
 use crate::rules::builtin_rules;
 
 /// Shared read-only context handed to rules during instantiation.
@@ -77,14 +77,17 @@ pub trait ConstructRule: Send + Sync {
     /// Sample one derivation. `None` rejects the combination (the
     /// semantic-function rejection of §3.1).
     ///
-    /// `local` is the worker's interning overlay: text the rule renders
-    /// fresh (timer values, edge predicates) interns through it, and the
-    /// engine commits the overlay's pending fragments at the canonical sink
-    /// so symbol assignment stays worker-count-invariant.
+    /// `pools` is a recording [`PoolSampler`]: every phrase the rule draws
+    /// is logged, which is how the live delta closure decides whether a
+    /// skill update invalidates this batch. `local` is the worker's
+    /// interning overlay: text the rule renders fresh (timer values, edge
+    /// predicates) interns through it, and the engine commits the overlay's
+    /// pending fragments at the canonical sink so symbol assignment stays
+    /// worker-count-invariant.
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample>;

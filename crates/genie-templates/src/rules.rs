@@ -31,7 +31,7 @@ use crate::example::SynthesizedExample;
 use crate::generator::GeneratorConfig;
 use crate::intern::{CompiledVariant, LocalInterner, SynthVocab, TokenStream, VariantPiece};
 use crate::phrases::{sample_value, PhraseDerivation, PhraseKind};
-use crate::pools::PhrasePools;
+use crate::pools::{PoolId, PoolSampler};
 use crate::registry::{ConstructRule, RuleCtx};
 
 /// All builtin dataset rules, in canonical registry order.
@@ -151,7 +151,7 @@ impl ConstructRule for GetNotifyRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
@@ -187,15 +187,15 @@ impl ConstructRule for DoCommandRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
         let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         // Some of the time, a query verb phrase ("translate hello to
         // french") becomes a `now => query => notify` command.
-        if rng.gen_bool(0.4) && !pools.query_verbs.is_empty() {
-            let qvp = pools.query_verbs.choose(rng)?;
+        if rng.gen_bool(0.4) && !pools.pools().query_verbs.is_empty() {
+            let qvp = pools.choose(PoolId::QueryVerbs, rng)?;
             let mut utterance = TokenStream::new();
             variant.splice(&mut utterance, |_, out| {
                 out.extend_from_slice(&qvp.utterance)
@@ -208,7 +208,7 @@ impl ConstructRule for DoCommandRule {
                 self.label(),
             ));
         }
-        let vp = pools.action_verbs.choose(rng)?;
+        let vp = pools.choose(PoolId::ActionVerbs, rng)?;
         let mut utterance = TokenStream::new();
         variant.splice(&mut utterance, |_, out| {
             out.extend_from_slice(&vp.utterance)
@@ -238,7 +238,7 @@ impl ConstructRule for WhenNotifyRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
@@ -293,13 +293,13 @@ impl ConstructRule for WhenDoRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
         let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let wp = pools.choose_when_phrase(rng)?;
-        let vp = pools.action_verbs.choose(rng)?;
+        let vp = pools.choose(PoolId::ActionVerbs, rng)?;
         let mut action = vp.action.clone()?;
         let mut vp_utterance = vp.utterance.clone();
         pass_parameters(ctx, wp, &mut action, &mut vp_utterance, local, rng);
@@ -346,13 +346,13 @@ impl ConstructRule for GetDoRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
         let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
         let np = pools.choose_query_phrase(rng)?;
-        let vp = pools.action_verbs.choose(rng)?;
+        let vp = pools.choose(PoolId::ActionVerbs, rng)?;
         let mut action = vp.action.clone()?;
         let mut vp_utterance = vp.utterance.clone();
         pass_parameters(ctx, np, &mut action, &mut vp_utterance, local, rng);
@@ -394,7 +394,7 @@ impl ConstructRule for WhenGetNotifyRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
@@ -445,12 +445,12 @@ impl ConstructRule for AtTimerDoRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
         let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
-        let vp = pools.action_verbs.choose(rng)?;
+        let vp = pools.choose(PoolId::ActionVerbs, rng)?;
         let time = Value::Time(
             rng.gen_range(6..23),
             [0u8, 15, 30, 45][rng.gen_range(0..4usize)],
@@ -494,12 +494,12 @@ impl ConstructRule for TimerDoRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
         let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
-        let vp = pools.action_verbs.choose(rng)?;
+        let vp = pools.choose(PoolId::ActionVerbs, rng)?;
         let (amount, unit) = [
             (5.0, Unit::Minute),
             (30.0, Unit::Minute),
@@ -553,12 +553,12 @@ impl ConstructRule for EdgeCommandRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
         let variant = pick_variant(ctx.vocab, self.kind(), rng)?;
-        let wp = pools.whens.choose(rng)?;
+        let wp = pools.choose(PoolId::Whens, rng)?;
         let function = ctx
             .library
             .function(&wp.function.class, &wp.function.function)?;
@@ -589,7 +589,7 @@ impl ConstructRule for EdgeCommandRule {
         let predicate = Predicate::atom(param.name.clone(), op, value);
         let uses_action = variant.has_vp();
         let (action, vp_utterance, extra_depth) = if uses_action {
-            let vp = pools.action_verbs.choose(rng)?;
+            let vp = pools.choose(PoolId::ActionVerbs, rng)?;
             (
                 Action::Invocation(vp.action.clone()?),
                 vp.utterance.clone(),
@@ -642,7 +642,7 @@ impl ConstructRule for AggregationRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {
@@ -655,7 +655,7 @@ impl ConstructRule for AggregationRule {
         let index = rng.gen_range(0..variants.len());
         let variant = &variants[index];
         let variant_text = self.kind().variants()[index];
-        let np = pools.nouns.choose(rng)?;
+        let np = pools.choose(PoolId::Nouns, rng)?;
         if !np.is_list(ctx.library) {
             return None;
         }
@@ -713,7 +713,7 @@ impl ConstructRule for CountAggregationRule {
     fn instantiate(
         &self,
         ctx: &RuleCtx<'_>,
-        pools: &PhrasePools,
+        pools: &mut PoolSampler<'_>,
         _local: &mut LocalInterner<'_>,
         rng: &mut StdRng,
     ) -> Option<SynthesizedExample> {

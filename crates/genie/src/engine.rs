@@ -39,7 +39,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use genie_templates::dedup::fingerprint;
 use genie_templates::ConfigError;
@@ -147,7 +147,8 @@ impl ParseResponse {
     }
 }
 
-/// Aggregate serving counters (monotonic; updated atomically).
+/// Aggregate serving counters (monotonic except `world_version` and
+/// `last_swap_us`, which track the latest hot swap; updated atomically).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Requests answered (including errors).
@@ -156,6 +157,13 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Model candidates discarded by decode, typecheck or policy.
     pub rejected_candidates: u64,
+    /// Version of the world snapshot currently serving (1 = as built).
+    pub world_version: u64,
+    /// Completed hot swaps since the engine was built.
+    pub swaps: u64,
+    /// Wall-clock microseconds the most recent swap took end to end, as
+    /// reported by the caller that drove it (0 until the first swap).
+    pub last_swap_us: u64,
 }
 
 /// The engine's counter cells, shared between the engine and any
@@ -165,6 +173,9 @@ struct EngineCounters {
     requests: AtomicU64,
     cache_hits: AtomicU64,
     rejected_candidates: AtomicU64,
+    world_version: AtomicU64,
+    swaps: AtomicU64,
+    last_swap_us: AtomicU64,
 }
 
 impl EngineCounters {
@@ -173,6 +184,9 @@ impl EngineCounters {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             rejected_candidates: self.rejected_candidates.load(Ordering::Relaxed),
+            world_version: self.world_version.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            last_swap_us: self.last_swap_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -216,15 +230,29 @@ struct CacheEntry {
     response: ParseResponse,
 }
 
-struct EngineInner {
+/// The hot-swappable half of the engine: everything a live skill update
+/// replaces in one step. Immutable once published — in-flight requests
+/// capture one `Arc<World>` at entry and finish on it even if a swap lands
+/// mid-request; the response cache rides inside the world, so a swap
+/// empties it wholesale instead of serving answers from a retired library.
+struct World {
+    /// Monotonic snapshot version; 1 is the world the engine was built
+    /// with, each completed swap increments it.
+    version: u64,
     library: Arc<Thingpedia>,
     model: Arc<LuinetParser>,
     policies: Vec<Policy>,
+    cache: Mutex<HashMap<u64, Arc<CacheEntry>>>,
+}
+
+struct EngineInner {
+    /// The serving world, swapped atomically by [`GenieEngine::swap_world`].
+    /// Readers hold the lock only long enough to clone the `Arc`.
+    world: RwLock<Arc<World>>,
     candidates: usize,
     max_utterance_tokens: usize,
     cache_capacity: usize,
     threads: usize,
-    cache: Mutex<HashMap<u64, Arc<CacheEntry>>>,
     counters: Arc<EngineCounters>,
 }
 
@@ -387,17 +415,22 @@ impl EngineBuilder {
         if model.trained_examples() == 0 {
             return Err(Error::ModelUntrained);
         }
+        let counters = Arc::new(EngineCounters::default());
+        counters.world_version.store(1, Ordering::Relaxed);
         Ok(GenieEngine {
             inner: Arc::new(EngineInner {
-                library: self.library,
-                model,
-                policies: self.policies,
+                world: RwLock::new(Arc::new(World {
+                    version: 1,
+                    library: self.library,
+                    model,
+                    policies: self.policies,
+                    cache: Mutex::new(HashMap::new()),
+                })),
                 candidates: self.candidates,
                 max_utterance_tokens: self.max_utterance_tokens,
                 cache_capacity: self.cache_capacity,
                 threads: self.threads,
-                cache: Mutex::new(HashMap::new()),
-                counters: Arc::new(EngineCounters::default()),
+                counters,
             }),
         })
     }
@@ -409,16 +442,70 @@ impl GenieEngine {
         EngineBuilder::new()
     }
 
-    /// The skill library the engine serves.
-    pub fn library(&self) -> &Thingpedia {
-        &self.inner.library
+    /// The serving world at this instant (a cheap `Arc` clone; the read
+    /// lock is held only for the clone). Requests capture one world at
+    /// entry and never observe a mid-request swap.
+    fn world(&self) -> Arc<World> {
+        self.inner
+            .world
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
-    /// The trained model, shared (a cheap [`Arc`] clone) — e.g. to
-    /// assemble another engine over the same parser with different
-    /// policies or worker counts.
+    /// The skill library the engine currently serves (a swap may replace
+    /// it; the returned `Arc` pins this version).
+    pub fn library(&self) -> Arc<Thingpedia> {
+        self.world().library.clone()
+    }
+
+    /// The trained model currently serving, shared (a cheap [`Arc`]
+    /// clone) — e.g. to assemble another engine over the same parser with
+    /// different policies or worker counts.
     pub fn model(&self) -> Arc<LuinetParser> {
-        self.inner.model.clone()
+        self.world().model.clone()
+    }
+
+    /// The version of the world snapshot currently serving (1 = as built;
+    /// each completed [`GenieEngine::swap_world`] increments it).
+    pub fn world_version(&self) -> u64 {
+        self.world().version
+    }
+
+    /// Atomically replace the serving world: library, model and policies
+    /// swap together as one version, and the response cache starts empty
+    /// (it is scoped to the world it was filled under). In-flight requests
+    /// finish on the snapshot they captured at entry; requests arriving
+    /// after the swap see only the new world. Returns the new version.
+    ///
+    /// `swap_latency_us` is the end-to-end latency of the reload that
+    /// produced this world (re-synthesis + retraining + this call), as
+    /// measured by the driver; it is surfaced through
+    /// [`EngineStats::last_swap_us`].
+    pub fn swap_world(
+        &self,
+        library: Arc<Thingpedia>,
+        model: Arc<LuinetParser>,
+        policies: Vec<Policy>,
+        swap_latency_us: u64,
+    ) -> u64 {
+        let mut slot = self.inner.world.write().unwrap_or_else(|e| e.into_inner());
+        let version = slot.version + 1;
+        *slot = Arc::new(World {
+            version,
+            library,
+            model,
+            policies,
+            cache: Mutex::new(HashMap::new()),
+        });
+        drop(slot);
+        let counters = &self.inner.counters;
+        counters.world_version.store(version, Ordering::Relaxed);
+        counters.swaps.fetch_add(1, Ordering::Relaxed);
+        counters
+            .last_swap_us
+            .store(swap_latency_us, Ordering::Relaxed);
+        version
     }
 
     /// Aggregate serving counters.
@@ -447,6 +534,10 @@ impl GenieEngine {
     ///   error analysis.
     pub fn parse(&self, request: &ParseRequest) -> GenieResult<ParseResponse> {
         self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        // Capture the serving world once: the whole request — cache lookup,
+        // decode, policy check, cache fill — runs against this snapshot,
+        // even if a hot swap lands while the request is in flight.
+        let world = self.world();
         let utterance = request.utterance.trim();
         if utterance.is_empty() {
             return Err(Error::EmptyUtterance);
@@ -493,13 +584,16 @@ impl GenieEngine {
             .unwrap_or(DEFAULT_PRINCIPAL);
 
         // The response is a deterministic function of the key, so a hit can
-        // only change latency, never content. The entry stores the full
+        // only change latency, never content. The world version is folded
+        // into the key — the cache is already scoped to one world, but the
+        // fold makes the key itself honest about *which* skill library the
+        // answer was computed against. The entry stores the full
         // (sentence, k, principal) tuple and a hit re-verifies it, so a
         // 64-bit fingerprint collision degrades to a miss, never to serving
         // another utterance's parse.
-        let key = fingerprint(&(&sentence, k, principal));
+        let key = fingerprint(&(world.version, &sentence, k, principal));
         if !request.flags.bypass_cache && self.inner.cache_capacity > 0 {
-            let cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let cache = world.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(cached) = cache.get(&key) {
                 if cached.sentence == sentence && cached.k == k && cached.principal == principal {
                     self.inner
@@ -513,11 +607,11 @@ impl GenieEngine {
             }
         }
 
-        let predictions = self.inner.model.predict_topk(&sentence, k);
+        let predictions = world.model.predict_topk(&sentence, k);
         let mut candidates = Vec::new();
         let mut rejected = Vec::new();
         for prediction in predictions {
-            match self.check_candidate(&prediction.tokens, principal) {
+            match self.check_candidate(&world, &prediction.tokens, principal) {
                 Ok(program) => {
                     candidates.push(ParseCandidate {
                         source: program.to_string(),
@@ -552,7 +646,7 @@ impl GenieEngine {
             candidates,
         };
         if self.inner.cache_capacity > 0 {
-            let mut cache = self.inner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            let mut cache = world.cache.lock().unwrap_or_else(|e| e.into_inner());
             // Bounded and deterministic in content: a full cache stops
             // admitting. (Values are pure functions of their key, so *which*
             // requests are cached never affects *what* is returned.)
@@ -575,12 +669,16 @@ impl GenieEngine {
         Ok(response)
     }
 
-    /// Decode, typecheck and policy-check one model candidate.
-    fn check_candidate(&self, tokens: &[String], principal: &str) -> thingtalk::Result<Program> {
-        let program = from_tokens_checked(self.inner.library.as_ref(), tokens)?;
-        if !self.inner.policies.is_empty()
-            && !check_program(&self.inner.policies, principal, &program)
-        {
+    /// Decode, typecheck and policy-check one model candidate against a
+    /// captured world snapshot.
+    fn check_candidate(
+        &self,
+        world: &World,
+        tokens: &[String],
+        principal: &str,
+    ) -> thingtalk::Result<Program> {
+        let program = from_tokens_checked(world.library.as_ref(), tokens)?;
+        if !world.policies.is_empty() && !check_program(&world.policies, principal, &program) {
             return Err(thingtalk::Error::policy_violation(format!(
                 "no installed policy allows principal `{principal}` to run this program"
             )));
@@ -599,19 +697,19 @@ impl GenieEngine {
         })
     }
 
-    /// Drop every cached response (e.g. after a policy change in a test
-    /// harness; the engine itself is immutable once built).
+    /// Drop every cached response of the current world (a hot swap does
+    /// this implicitly — the new world starts with an empty cache).
     pub fn clear_cache(&self) {
-        self.inner
+        self.world()
             .cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
     }
 
-    /// Number of cached responses.
+    /// Number of cached responses in the current world.
     pub fn cached_responses(&self) -> usize {
-        self.inner
+        self.world()
             .cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -702,7 +800,10 @@ mod tests {
         assert!(best.source.contains("=>"), "not a program: {}", best.source);
         // Every returned candidate typechecks against the library.
         for candidate in &response.candidates {
-            assert!(thingtalk::typecheck::typecheck(engine.library(), &candidate.program).is_ok());
+            assert!(
+                thingtalk::typecheck::typecheck(engine.library().as_ref(), &candidate.program)
+                    .is_ok()
+            );
         }
     }
 
@@ -762,7 +863,7 @@ mod tests {
     #[test]
     fn zero_limits_are_config_errors() {
         let (engine, _) = tiny_engine();
-        let model = engine.inner.model.clone();
+        let model = engine.model();
         let zero_candidates = GenieEngine::builder()
             .model_shared(model.clone())
             .candidates(0)
@@ -785,7 +886,7 @@ mod tests {
         let (base, utterance) = tiny_engine();
         // A private engine so the counters are this test's alone.
         let engine = GenieEngine::builder()
-            .model_shared(base.inner.model.clone())
+            .model_shared(base.model())
             .threads(1)
             .build()
             .unwrap();
@@ -806,12 +907,18 @@ mod tests {
     fn stats_handle_tracks_the_engine_and_outlives_it() {
         let (base, utterance) = tiny_engine();
         let engine = GenieEngine::builder()
-            .model_shared(base.inner.model.clone())
+            .model_shared(base.model())
             .threads(1)
             .build()
             .unwrap();
         let handle = engine.stats_handle();
-        assert_eq!(handle.snapshot(), EngineStats::default());
+        assert_eq!(
+            handle.snapshot(),
+            EngineStats {
+                world_version: 1,
+                ..EngineStats::default()
+            }
+        );
         let request = ParseRequest::new(utterance.clone());
         engine.parse(&request).unwrap();
         engine.parse(&request).unwrap();
@@ -849,7 +956,7 @@ mod tests {
             ),
         ];
         let engine = GenieEngine::builder()
-            .model_shared(base.inner.model.clone())
+            .model_shared(base.model())
             .policies(only_unused)
             .threads(1)
             .build()
@@ -901,7 +1008,7 @@ mod tests {
         let mut baseline = None;
         for threads in [1usize, 2, 8] {
             let engine = GenieEngine::builder()
-                .model_shared(base.inner.model.clone())
+                .model_shared(base.model())
                 .threads(threads)
                 .build()
                 .unwrap();

@@ -26,7 +26,11 @@
 //!   table (used by the `genie-bench` binaries and the integration tests);
 //! * [`engine`] — the **serving facade**: a long-lived, thread-safe
 //!   [`engine::GenieEngine`] that answers `ParseRequest → GenieResult<ParseResponse>`
-//!   with decoded, typechecked, policy-checked candidate programs.
+//!   with decoded, typechecked, policy-checked candidate programs;
+//! * [`live`] — versioned world snapshots with atomic hot swap: a
+//!   [`live::LiveWorld`] applies skill deltas at runtime by incrementally
+//!   re-synthesizing only the affected `(rule, batch)` closure, retraining,
+//!   and swapping library + model + policies as one new world version.
 //!
 //! # Builder-API migration notes
 //!
@@ -59,6 +63,7 @@ pub mod eval;
 pub mod evaldata;
 pub mod expansion;
 pub mod experiments;
+pub mod live;
 pub mod paraphrase;
 pub mod pipeline;
 
@@ -71,5 +76,6 @@ pub use engine::{
 };
 pub use error::{Error, GenieResult};
 pub use eval::{evaluate, EvalResult};
+pub use live::{LiveWorld, RetrainMode, SkillDelta, SwapReport};
 pub use paraphrase::{ParaphraseConfig, ParaphraseSimulator};
 pub use pipeline::{DataPipeline, NnOptions, PipelineConfig, StreamStats, TrainingStrategy};

@@ -1,0 +1,449 @@
+//! Live Thingpedia: versioned world snapshots with atomic hot swap,
+//! incremental re-synthesis and delta retraining.
+//!
+//! A [`LiveWorld`] owns a [`GenieEngine`] plus everything needed to rebuild
+//! its serving world when the skill library changes at runtime:
+//!
+//! 1. **Bootstrap** synthesizes a training set into a *snapshot-scoped*
+//!    interner arena ([`genie_templates::intern::fresh`]), memoizing every
+//!    `(rule, batch)` synthesis work item — candidates, program
+//!    fingerprints and the pool draws it made — via the
+//!    [`BatchObserver`](genie_templates::BatchObserver) hook, trains a
+//!    [`LuinetParser`], and builds the engine (world version 1).
+//! 2. **Reload** applies a [`SkillDelta`] to a copy of the library,
+//!    pre-seeds a fresh snapshot arena for the *new* library, and diffs the
+//!    new phrase pools against the memoized build
+//!    ([`PoolDigests::diff`](genie_templates::PoolDigests)). Work items
+//!    whose recorded draws never touched a changed pool entry are served
+//!    from the memo by a [`BatchProvider`](genie_templates::BatchProvider)
+//!    (their utterances re-interned into the new arena); only the affected
+//!    closure is re-instantiated. The full example stream is retrained and
+//!    [`GenieEngine::swap_world`] publishes library + model + policies as
+//!    one new version.
+//!
+//! # Determinism contract
+//!
+//! An incremental reload emits a dataset **byte-identical** to a cold
+//! bootstrap at the post-delta library, for any thread and shard count:
+//!
+//! * unaffected batches replay the exact candidates a live instantiation
+//!   would produce (sound because a batch's control flow reads pool
+//!   *content* only at its recorded draw indices; pool length changes force
+//!   a full rebuild via
+//!   [`PoolsDelta::lengths_changed`](genie_templates::PoolsDelta));
+//! * batches still arrive at the canonical sink in `(registry order,
+//!   batch index)` order, and dedup keys are injective per arena, so the
+//!   keep/drop decisions equal the cold run's even where absolute symbol
+//!   ids drift;
+//! * downstream fuse stages (paraphrase, expansion, parser-example
+//!   conversion) key their randomness on the global stream index, never on
+//!   wall-clock or scheduling.
+//!
+//! Retraining from scratch on the byte-identical stream therefore yields a
+//! byte-identical model ([`LuinetParser::weights_digest`] equality is the
+//! cheap proxy the tests and the CI gate check). The optional
+//! [`RetrainMode::FineTune`] path trades that equivalence for latency: it
+//! clones the serving model and runs a few [`LuinetParser::fine_tune`]
+//! epochs over the new stream instead.
+//!
+//! In-flight requests are never torn: they capture one immutable world
+//! `Arc` at entry and finish on it even if a swap lands mid-request.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use genie_templates::{
+    BatchRecord, Interner, PoolDigests, PoolsDelta, ProvidedBatch, SentenceGenerator, TokenStream,
+};
+use luinet::{LuinetParser, ModelConfig, ParserExample};
+use thingpedia::{ParamDatasets, PrimitiveTemplate, Thingpedia};
+use thingtalk::class::ClassDef;
+use thingtalk::policy::Policy;
+
+use crate::engine::GenieEngine;
+use crate::error::GenieResult;
+use crate::pipeline::{DataPipeline, NnOptions, PipelineConfig, StreamStats};
+
+/// One runtime change to the skill library.
+#[derive(Debug, Clone)]
+pub enum SkillDelta {
+    /// Add a class, or replace an existing class in place (same template
+    /// splice position, so unrelated pool entries keep their indices).
+    Upsert {
+        /// The class definition.
+        class: ClassDef,
+        /// Its primitive templates (replacing any previous ones).
+        templates: Vec<PrimitiveTemplate>,
+    },
+    /// Remove a class and all its primitive templates.
+    Remove {
+        /// The class name (e.g. `com.spotify`).
+        name: String,
+    },
+}
+
+impl SkillDelta {
+    /// The class name the delta targets.
+    pub fn class_name(&self) -> &str {
+        match self {
+            SkillDelta::Upsert { class, .. } => &class.name,
+            SkillDelta::Remove { name } => name,
+        }
+    }
+
+    /// Apply the delta to a library copy.
+    fn apply(&self, library: &mut Thingpedia) {
+        match self {
+            SkillDelta::Upsert { class, templates } => {
+                library.upsert_class(class.clone(), templates.clone());
+            }
+            SkillDelta::Remove { name } => {
+                library.remove_class(name);
+            }
+        }
+    }
+}
+
+/// How a reload produces the next model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainMode {
+    /// Retrain from scratch on the (incrementally re-synthesized) stream —
+    /// the byte-identical path: the swapped model equals a cold bootstrap
+    /// at the new library.
+    Full,
+    /// Clone the serving model and run this many
+    /// [`LuinetParser::fine_tune`] epochs over the new stream — the
+    /// low-latency approximate path (the new stream contains the full
+    /// dataset, so rehearsal against forgetting is built in).
+    FineTune {
+        /// Fine-tuning epochs (0 falls back to [`RetrainMode::Full`]).
+        epochs: usize,
+    },
+}
+
+/// What one completed reload did, returned by [`LiveWorld::reload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapReport {
+    /// The world version now serving.
+    pub version: u64,
+    /// Synthesis `(rule, batch)` work items in the new build.
+    pub total_batches: usize,
+    /// Work items served from the memo instead of re-instantiated.
+    pub reused_batches: usize,
+    /// Pool entries whose content the delta changed.
+    pub changed_pool_entries: usize,
+    /// Whether a pool length change forced a full re-synthesis.
+    pub full_rebuild: bool,
+    /// Parser examples the retraining consumed.
+    pub emitted_examples: usize,
+    /// Whether the model was fine-tuned instead of retrained from scratch.
+    pub fine_tuned: bool,
+    /// End-to-end reload latency (delta apply → re-synthesis → retrain →
+    /// swap), as surfaced by [`crate::engine::EngineStats::last_swap_us`].
+    pub swap_latency_us: u64,
+}
+
+/// The memoized synthesis of the serving world: everything the next delta
+/// needs to decide which work items it can replay.
+struct SynthesisMemo {
+    /// The snapshot arena the memoized candidates' utterances live in.
+    arena: Arc<Interner>,
+    /// Per-entry content digests of the phrase pools at build time.
+    digests: PoolDigests,
+    /// Every completed `(rule, batch)` work item, keyed by `(rule_id,
+    /// batch)`.
+    batches: HashMap<(u64, u64), BatchRecord>,
+}
+
+/// Mutable half of a [`LiveWorld`], held behind a mutex so concurrent
+/// reloads serialize (requests never wait on it — they go straight to the
+/// engine's world slot).
+struct LiveState {
+    library: Arc<Thingpedia>,
+    memo: SynthesisMemo,
+}
+
+/// Everything one synthesis + training pass produced.
+struct BuildOutcome {
+    parser: LuinetParser,
+    memo: SynthesisMemo,
+    stats: StreamStats,
+    examples: usize,
+    reused_batches: usize,
+    changed_pool_entries: usize,
+    full_rebuild: bool,
+    fine_tuned: bool,
+}
+
+/// A hot-swappable serving world: a [`GenieEngine`] plus the synthesis
+/// memo and configuration needed to rebuild it incrementally on a skill
+/// delta. See the [module docs](self) for the lifecycle.
+pub struct LiveWorld {
+    engine: GenieEngine,
+    pipeline: PipelineConfig,
+    model: ModelConfig,
+    options: NnOptions,
+    policies: Vec<Policy>,
+    state: Mutex<LiveState>,
+}
+
+impl LiveWorld {
+    /// Bootstrap a live world over `library`: synthesize + train with the
+    /// given configs, memoize the synthesis, and build the engine (world
+    /// version 1). Forces [`genie_templates::GeneratorConfig::pool_streams`]
+    /// (genie_templates) on — per-template pool RNG streams are what keep
+    /// a delta's pool damage local, and the knob is part of the dataset
+    /// identity, so it must be fixed for the world's whole lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config validation, pipeline and engine-build failures.
+    pub fn bootstrap(
+        library: Thingpedia,
+        pipeline: PipelineConfig,
+        model: ModelConfig,
+    ) -> GenieResult<Self> {
+        Self::bootstrap_with(library, pipeline, model, NnOptions::default(), Vec::new())
+    }
+
+    /// [`LiveWorld::bootstrap`] with explicit parser-token options and
+    /// TACL policies (re-installed verbatim on every swap).
+    pub fn bootstrap_with(
+        library: Thingpedia,
+        mut pipeline: PipelineConfig,
+        model: ModelConfig,
+        options: NnOptions,
+        policies: Vec<Policy>,
+    ) -> GenieResult<Self> {
+        pipeline.synthesis.pool_streams = true;
+        pipeline.validate()?;
+        let library = Arc::new(library);
+        let outcome = build_world(
+            &library,
+            &pipeline,
+            &model,
+            options,
+            None,
+            TrainPlan::Scratch,
+        )?;
+        let engine = GenieEngine::builder()
+            .thingpedia_shared(library.clone())
+            .model(outcome.parser)
+            .policies(policies.clone())
+            .build()?;
+        Ok(LiveWorld {
+            engine,
+            pipeline,
+            model,
+            options,
+            policies,
+            state: Mutex::new(LiveState {
+                library,
+                memo: outcome.memo,
+            }),
+        })
+    }
+
+    /// The engine this world serves through. Clones share the world slot,
+    /// so a handle captured before a reload observes the swap.
+    pub fn engine(&self) -> &GenieEngine {
+        &self.engine
+    }
+
+    /// The world version currently serving.
+    pub fn version(&self) -> u64 {
+        self.engine.world_version()
+    }
+
+    /// The library of the serving world.
+    pub fn library(&self) -> Arc<Thingpedia> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .library
+            .clone()
+    }
+
+    /// Apply a skill delta with byte-identical retraining
+    /// ([`RetrainMode::Full`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and training failures; the serving world is
+    /// untouched unless the whole rebuild succeeds.
+    pub fn reload(&self, delta: &SkillDelta) -> GenieResult<SwapReport> {
+        self.reload_with(delta, RetrainMode::Full)
+    }
+
+    /// Apply a skill delta: copy + patch the library, incrementally
+    /// re-synthesize, retrain per `mode`, and atomically swap the new
+    /// world in. Concurrent reloads serialize; requests in flight finish
+    /// on the world they started with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and training failures; the serving world is
+    /// untouched unless the whole rebuild succeeds.
+    pub fn reload_with(&self, delta: &SkillDelta, mode: RetrainMode) -> GenieResult<SwapReport> {
+        let start = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut library = (*state.library).clone();
+        delta.apply(&mut library);
+        let library = Arc::new(library);
+        let plan = match mode {
+            RetrainMode::Full | RetrainMode::FineTune { epochs: 0 } => TrainPlan::Scratch,
+            RetrainMode::FineTune { epochs } => TrainPlan::FineTune {
+                base: self.engine.model(),
+                epochs,
+            },
+        };
+        let outcome = build_world(
+            &library,
+            &self.pipeline,
+            &self.model,
+            self.options,
+            Some(&state.memo),
+            plan,
+        )?;
+        let swap_latency_us = start.elapsed().as_micros() as u64;
+        let version = self.engine.swap_world(
+            library.clone(),
+            Arc::new(outcome.parser),
+            self.policies.clone(),
+            swap_latency_us,
+        );
+        state.library = library;
+        state.memo = outcome.memo;
+        Ok(SwapReport {
+            version,
+            total_batches: outcome.stats.synthesis.batches,
+            reused_batches: outcome.reused_batches,
+            changed_pool_entries: outcome.changed_pool_entries,
+            full_rebuild: outcome.full_rebuild,
+            emitted_examples: outcome.examples,
+            fine_tuned: outcome.fine_tuned,
+            swap_latency_us,
+        })
+    }
+}
+
+/// How [`build_world`] turns the example stream into a parser.
+enum TrainPlan {
+    /// `LuinetParser::new` + full training — byte-identical to a cold
+    /// bootstrap at the same library.
+    Scratch,
+    /// Clone `base` (via a snapshot round-trip; the parser is deliberately
+    /// not `Clone`) and fine-tune for `epochs`.
+    FineTune {
+        base: Arc<LuinetParser>,
+        epochs: usize,
+    },
+}
+
+/// One full synthesis + training pass over `library`, incrementally reusing
+/// `previous` where the pool diff proves a work item unaffected.
+fn build_world(
+    library: &Thingpedia,
+    pipeline: &PipelineConfig,
+    model: &ModelConfig,
+    options: NnOptions,
+    previous: Option<&SynthesisMemo>,
+    plan: TrainPlan,
+) -> GenieResult<BuildOutcome> {
+    let datasets = ParamDatasets::builtin();
+    let arena = genie_templates::intern::fresh(library, &datasets);
+    // The digest pass builds the new pools once up front (a pure function
+    // of `(library, seed)`); the pipeline's own generator rebuilds them
+    // identically, so the diff below describes exactly the pools the run
+    // will draw from.
+    let digests = {
+        let generator =
+            SentenceGenerator::with_interner(library, pipeline.synthesis, arena.clone());
+        generator.pools().content_digests(generator.interner())
+    };
+    let delta: Option<PoolsDelta> = previous.map(|memo| memo.digests.diff(&digests));
+    let full_rebuild = match &delta {
+        Some(delta) => delta.lengths_changed(),
+        None => false,
+    };
+    let changed_pool_entries = delta.as_ref().map_or(0, |d| d.changed_entries);
+    let reusable = match (&delta, previous) {
+        (Some(delta), Some(memo)) if !delta.lengths_changed() => Some((delta, memo)),
+        _ => None,
+    };
+    let provider = reusable.map(|(delta, memo)| {
+        move |rule_id: u64, batch: u64, local: &mut genie_templates::LocalInterner<'_>| {
+            let record = memo.batches.get(&(rule_id, batch))?;
+            if delta.affects(&record.draws) {
+                return None;
+            }
+            let candidates = record
+                .candidates
+                .iter()
+                .map(|example| {
+                    let mut replay = example.clone();
+                    let text = memo.arena.render(&example.utterance);
+                    let mut stream = TokenStream::with_capacity(example.utterance.len());
+                    local.intern_words(&text, &mut stream);
+                    replay.utterance = stream;
+                    replay
+                })
+                .collect();
+            Some(ProvidedBatch {
+                candidates,
+                fingerprints: record.fingerprints.clone(),
+                draws: record.draws.clone(),
+            })
+        }
+    });
+    let data_pipeline = DataPipeline::with_interner(library, *pipeline, arena.clone());
+    let mut batches: HashMap<(u64, u64), BatchRecord> = HashMap::new();
+    let mut observer = |record: BatchRecord| {
+        batches.insert((record.rule_id, record.batch), record);
+    };
+    let mut examples: Vec<ParserExample> = Vec::new();
+    let stats =
+        data_pipeline.run_streaming_observed(
+            options,
+            provider.as_ref().map(|f| {
+                f
+                    as &(dyn Fn(
+                        u64,
+                        u64,
+                        &mut genie_templates::LocalInterner<'_>,
+                    ) -> Option<ProvidedBatch>
+                          + Sync)
+            }),
+            Some(&mut observer),
+            |example| examples.push(example),
+        )?;
+    let reused_batches = batches.values().filter(|record| record.provided).count();
+    let (parser, fine_tuned) = match plan {
+        TrainPlan::Scratch => {
+            let mut parser = LuinetParser::new(model.clone());
+            parser.train(&examples);
+            (parser, false)
+        }
+        TrainPlan::FineTune { base, epochs } => {
+            let bytes = luinet::snapshot::to_bytes(&base);
+            let mut parser = luinet::snapshot::from_bytes(&bytes)?;
+            parser.fine_tune(&examples, epochs);
+            (parser, true)
+        }
+    };
+    Ok(BuildOutcome {
+        parser,
+        memo: SynthesisMemo {
+            arena,
+            digests,
+            batches,
+        },
+        stats,
+        examples: examples.len(),
+        reused_batches,
+        changed_pool_entries,
+        full_rebuild,
+        fine_tuned,
+    })
+}

@@ -13,9 +13,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use std::sync::Arc;
+
 use genie_nlp::Ppdb;
 use genie_templates::dedup::fingerprint;
-use genie_templates::{GeneratorConfig, SentenceGenerator, SynthesisStats, SynthesizedExample};
+use genie_templates::{
+    BatchObserver, BatchProvider, GeneratorConfig, Interner, SentenceGenerator, SynthesisStats,
+    SynthesizedExample,
+};
 use luinet::{ParserExample, ProgramLm};
 use thingpedia::{ParamDatasets, Thingpedia};
 use thingtalk::canonical::canonicalized;
@@ -234,6 +239,10 @@ pub struct DataPipeline<'a> {
     library: &'a Thingpedia,
     datasets: ParamDatasets,
     config: PipelineConfig,
+    /// Snapshot-scoped synthesis arena (live worlds). `None` — the default —
+    /// synthesizes straight into the process-shared arena, exactly as
+    /// before the live subsystem existed.
+    synth_interner: Option<Arc<Interner>>,
 }
 
 impl<'a> DataPipeline<'a> {
@@ -243,12 +252,69 @@ impl<'a> DataPipeline<'a> {
             library,
             datasets: ParamDatasets::builtin(),
             config,
+            synth_interner: None,
+        }
+    }
+
+    /// Create a pipeline whose *synthesis half* (phrase pools, construct
+    /// vocabulary, dedup keys) interns into a caller-owned snapshot arena
+    /// instead of the process-shared one. The arena is pre-seeded for the
+    /// library, so symbol assignment inside the snapshot is worker-count-
+    /// and snapshot-count-invariant. Downstream fused stages (paraphrase,
+    /// expansion, parser-example conversion) still speak the shared arena:
+    /// each synthesized utterance is re-interned at the sequential fuse
+    /// boundary, which keeps the model layer's `&'static str` vocabulary
+    /// untouched and the emitted text byte-identical either way.
+    pub fn with_interner(
+        library: &'a Thingpedia,
+        config: PipelineConfig,
+        interner: Arc<Interner>,
+    ) -> Self {
+        DataPipeline {
+            library,
+            datasets: ParamDatasets::builtin(),
+            config,
+            synth_interner: Some(interner),
         }
     }
 
     /// The skill library the pipeline targets.
     pub fn library(&self) -> &Thingpedia {
         self.library
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The snapshot arena the synthesis half interns into, when one was
+    /// attached with [`DataPipeline::with_interner`].
+    pub fn synth_interner(&self) -> Option<&Arc<Interner>> {
+        self.synth_interner.as_ref()
+    }
+
+    /// The sentence generator this pipeline runs: snapshot-arena-scoped
+    /// when one is attached, shared-arena otherwise.
+    fn generator(&self) -> SentenceGenerator<'a> {
+        match &self.synth_interner {
+            Some(arena) => {
+                SentenceGenerator::with_interner(self.library, self.config.synthesis, arena.clone())
+            }
+            None => SentenceGenerator::new(self.library, self.config.synthesis),
+        }
+    }
+
+    /// Re-intern a synthesized utterance from the snapshot arena into the
+    /// process-shared one (a no-op without a snapshot arena). Called at
+    /// sequential points only, so shared-arena growth stays deterministic
+    /// for a fixed call sequence; rendering is injective, so the text is
+    /// unchanged.
+    fn bridge_to_shared(&self, example: &mut SynthesizedExample) {
+        if let Some(snapshot) = &self.synth_interner {
+            let text = snapshot.render(&example.utterance);
+            example.utterance = genie_templates::intern::shared().stream_of(&text);
+        }
     }
 
     /// Run synthesis, paraphrasing and augmentation.
@@ -262,8 +328,11 @@ impl<'a> DataPipeline<'a> {
         // fields are still `pub`, and e.g. an out-of-range `error_rate`
         // would otherwise panic inside the paraphrase simulation.
         self.config.validate()?;
-        let generator = SentenceGenerator::new(self.library, self.config.synthesis);
-        let synthesized_raw = generator.synthesize();
+        let generator = self.generator();
+        let mut synthesized_raw = generator.synthesize();
+        for example in &mut synthesized_raw {
+            self.bridge_to_shared(example);
+        }
         let synthesized = Dataset::from_examples(
             synthesized_raw
                 .iter()
@@ -340,10 +409,30 @@ impl<'a> DataPipeline<'a> {
     pub fn run_streaming(
         &self,
         options: NnOptions,
+        sink: impl FnMut(ParserExample),
+    ) -> GenieResult<StreamStats> {
+        self.run_streaming_observed(options, None, None, sink)
+    }
+
+    /// [`DataPipeline::run_streaming`] with the incremental-re-synthesis
+    /// hooks of the live subsystem threaded through to
+    /// [`SentenceGenerator::synthesize_streaming_observed`]:
+    ///
+    /// * `provider` — consulted per `(rule, batch)` synthesis work item; a
+    ///   `Some` return substitutes cached candidates for live sampling
+    ///   (batches whose phrase pools a skill delta did not touch);
+    /// * `observer` — receives every completed batch (candidates,
+    ///   fingerprints, pool draws) at the canonical sink, which is what the
+    ///   live subsystem memoizes for the *next* delta.
+    pub fn run_streaming_observed(
+        &self,
+        options: NnOptions,
+        provider: Option<BatchProvider<'_>>,
+        observer: Option<BatchObserver<'_>>,
         mut sink: impl FnMut(ParserExample),
     ) -> GenieResult<StreamStats> {
         self.config.validate()?;
-        let generator = SentenceGenerator::new(self.library, self.config.synthesis);
+        let generator = self.generator();
         let simulator = ParaphraseSimulator::new(self.config.paraphrase);
         let ppdb = Ppdb::builtin().compile(genie_templates::intern::shared());
         let fuse = match self.config.synthesis.batch_size {
@@ -354,7 +443,8 @@ impl<'a> DataPipeline<'a> {
         // spread over the whole stream: an index is selected when its
         // fingerprint falls under `paraphrase_sample / expected` of the
         // 64-bit space.
-        let expected = genie_templates::RuleRegistry::builtin()
+        let registry = genie_templates::RuleRegistry::builtin();
+        let expected = registry
             .enabled_rules(&self.config.synthesis)
             .len()
             .saturating_mul(self.config.synthesis.target_per_rule)
@@ -372,26 +462,32 @@ impl<'a> DataPipeline<'a> {
         // synthesis itself still runs to completion (it has no cancellation
         // channel), but its remaining output is discarded unprocessed.
         let mut failure: Option<Error> = None;
-        let synthesis = generator.synthesize_streaming(|example| {
-            if failure.is_some() {
-                return;
-            }
-            pending.push(example);
-            if pending.len() >= fuse {
-                if let Err(error) = self.fuse_batch(
-                    &simulator,
-                    &ppdb,
-                    options,
-                    paraphrase_threshold,
-                    &mut pending,
-                    &mut next_index,
-                    &mut stats,
-                    &mut sink,
-                ) {
-                    failure = Some(error);
+        let synthesis = generator.synthesize_streaming_observed(
+            &registry,
+            provider,
+            observer,
+            |mut example| {
+                if failure.is_some() {
+                    return;
                 }
-            }
-        });
+                self.bridge_to_shared(&mut example);
+                pending.push(example);
+                if pending.len() >= fuse {
+                    if let Err(error) = self.fuse_batch(
+                        &simulator,
+                        &ppdb,
+                        options,
+                        paraphrase_threshold,
+                        &mut pending,
+                        &mut next_index,
+                        &mut stats,
+                        &mut sink,
+                    ) {
+                        failure = Some(error);
+                    }
+                }
+            },
+        );
         if let Some(error) = failure {
             return Err(error);
         }

@@ -1,0 +1,265 @@
+//! End-to-end properties of the live subsystem (`genie::live`):
+//!
+//! * incremental re-synthesis after a skill delta produces a world
+//!   **byte-identical** (weights-digest-identical) to a cold bootstrap at
+//!   the post-delta library, across thread and shard counts;
+//! * pool length changes (class add/remove) fall back to a full rebuild
+//!   and still match the cold world;
+//! * a reload actually changes the served answers for an utterance whose
+//!   skill changed — the response cache never leaks a retired world's
+//!   parse across the swap.
+
+use genie::live::{LiveWorld, RetrainMode, SkillDelta};
+use genie::pipeline::DataPipeline;
+use genie::{ParaphraseConfig, ParseRequest, PipelineConfig};
+use genie_templates::GeneratorConfig;
+use luinet::ModelConfig;
+use thingpedia::{PrimitiveTemplate, Thingpedia};
+use thingtalk::typecheck::SchemaRegistry;
+
+fn pipeline(threads: usize, shards: usize) -> PipelineConfig {
+    PipelineConfig::builder()
+        .synthesis(
+            GeneratorConfig::builder()
+                .target_per_rule(10)
+                .max_depth(4)
+                .instantiations_per_template(1)
+                .seed(7)
+                .threads(threads)
+                .shards(shards)
+                .quiet(true)
+                .build()
+                .unwrap(),
+        )
+        .paraphrase(
+            ParaphraseConfig::builder()
+                .per_sentence(1)
+                .error_rate(0.0)
+                .seed(7)
+                .build()
+                .unwrap(),
+        )
+        .paraphrase_sample(20)
+        .parameter_expansion(false)
+        .seed(7)
+        .build()
+        .unwrap()
+}
+
+fn model() -> ModelConfig {
+    ModelConfig {
+        epochs: 4,
+        seed: 7,
+        threads: 1,
+        ..ModelConfig::default()
+    }
+}
+
+/// A content-only delta: re-word every template of a mid-list class,
+/// keeping the template count (and so every pool length) unchanged.
+fn reworded_delta(library: &Thingpedia) -> SkillDelta {
+    let templates = library.templates();
+    let name = templates[templates.len() / 2].class.clone();
+    let class = library.class(&name).unwrap().clone();
+    let replacement: Vec<PrimitiveTemplate> = templates
+        .iter()
+        .filter(|t| t.class == name)
+        .cloned()
+        .map(|mut t| {
+            t.utterance = format!("{} pronto", t.utterance);
+            t
+        })
+        .collect();
+    SkillDelta::Upsert {
+        class,
+        templates: replacement,
+    }
+}
+
+/// The library after `delta`, for building the cold reference world.
+fn patched(library: &Thingpedia, delta: &SkillDelta) -> Thingpedia {
+    let mut patched = library.clone();
+    match delta {
+        SkillDelta::Upsert { class, templates } => {
+            patched.upsert_class(class.clone(), templates.clone());
+        }
+        SkillDelta::Remove { name } => {
+            patched.remove_class(name);
+        }
+    }
+    patched
+}
+
+#[test]
+fn incremental_reload_matches_cold_bootstrap_across_threads_and_shards() {
+    let base = Thingpedia::builtin();
+    let delta = reworded_delta(&base);
+    // The reference: a cold world bootstrapped directly at the post-delta
+    // library. Thread and shard counts are not part of the dataset
+    // identity, so one reference serves every combination.
+    let cold = LiveWorld::bootstrap(patched(&base, &delta), pipeline(1, 1), model()).unwrap();
+    let cold_digest = cold.engine().model().weights_digest();
+
+    for (threads, shards) in [(1, 1), (2, 4), (8, 16), (1, 16), (8, 1)] {
+        let world = LiveWorld::bootstrap(base.clone(), pipeline(threads, shards), model()).unwrap();
+        let report = world.reload(&delta).unwrap();
+        assert_eq!(report.version, 2, "threads={threads} shards={shards}");
+        assert!(
+            !report.full_rebuild,
+            "a re-wording must not change pool lengths (threads={threads} shards={shards})"
+        );
+        assert!(
+            report.reused_batches > 0,
+            "a one-template delta must leave reusable batches (threads={threads} shards={shards})"
+        );
+        assert!(
+            report.changed_pool_entries > 0,
+            "the re-wording must change pool entry digests (threads={threads} shards={shards})"
+        );
+        assert_eq!(
+            world.engine().model().weights_digest(),
+            cold_digest,
+            "incremental world diverged from cold bootstrap at threads={threads} shards={shards} \
+             (reused {} of {} batches)",
+            report.reused_batches,
+            report.total_batches,
+        );
+    }
+}
+
+#[test]
+fn class_removal_forces_full_rebuild_and_still_matches_cold() {
+    let base = Thingpedia::builtin();
+    let templates = base.templates();
+    let victim = templates[templates.len() / 3].class.clone();
+    let delta = SkillDelta::Remove {
+        name: victim.clone(),
+    };
+    let cold = LiveWorld::bootstrap(patched(&base, &delta), pipeline(1, 4), model()).unwrap();
+
+    let world = LiveWorld::bootstrap(base, pipeline(2, 4), model()).unwrap();
+    let report = world.reload(&delta).unwrap();
+    assert!(
+        report.full_rebuild,
+        "removing a class changes pool lengths, which must force a full rebuild"
+    );
+    assert_eq!(report.reused_batches, 0);
+    assert_eq!(
+        world.engine().model().weights_digest(),
+        cold.engine().model().weights_digest(),
+        "full-rebuild reload diverged from cold bootstrap"
+    );
+    assert!(world.library().class(&victim).is_none());
+}
+
+/// Satellite regression: after a reload that removes a skill, the engine's
+/// answer for an utterance of that skill must change — the response cache
+/// (keyed by world version, scoped to the world) never serves the retired
+/// library's parse.
+#[test]
+fn reload_changes_answers_for_a_changed_skill() {
+    let base = Thingpedia::builtin();
+    let world = LiveWorld::bootstrap(base.clone(), pipeline(0, 4), model()).unwrap();
+    let engine = world.engine();
+
+    // A training utterance the engine demonstrably parses, plus the class
+    // its best program mentions.
+    let data = DataPipeline::new(&base, pipeline(0, 4)).build().unwrap();
+    let (utterance, class) = data
+        .synthesized
+        .examples
+        .iter()
+        .take(40)
+        .filter_map(|example| {
+            let response = engine.parse(&ParseRequest::new(example.text())).ok()?;
+            let source = &response.best().source;
+            let at = source.find('@')?;
+            let class: String = source[at + 1..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '_')
+                .collect();
+            let class = class
+                .rsplit_once('.')
+                .map_or(class.clone(), |(c, _)| c.to_string());
+            Some((example.text(), class))
+        })
+        .next()
+        .expect("the engine answers none of its own training utterances");
+    assert!(
+        base.class(&class).is_some(),
+        "bad class extraction: {class}"
+    );
+
+    // Parse twice so the answer is demonstrably served from the cache.
+    let before = engine.parse(&ParseRequest::new(utterance.clone())).unwrap();
+    let cached = engine.parse(&ParseRequest::new(utterance.clone())).unwrap();
+    assert_eq!(before, cached);
+    assert!(engine.stats().cache_hits >= 1);
+
+    let report = world
+        .reload(&SkillDelta::Remove {
+            name: class.clone(),
+        })
+        .unwrap();
+    assert_eq!(report.version, 2);
+    assert_eq!(engine.world_version(), 2);
+    assert_eq!(engine.stats().swaps, 1);
+
+    // The same utterance now gets a different answer: every candidate
+    // typechecks against the new library, which no longer has the class.
+    let marker = format!("@{class}");
+    match engine.parse(&ParseRequest::new(utterance)) {
+        Ok(after) => {
+            assert_ne!(
+                before, after,
+                "the cache served a retired world's parse across the swap"
+            );
+            for candidate in &after.candidates {
+                assert!(
+                    !candidate.source.contains(&marker),
+                    "candidate still uses the removed class: {}",
+                    candidate.source
+                );
+            }
+        }
+        // With the skill gone the decoder may find no well-typed candidate
+        // at all — also a changed answer.
+        Err(error) => {
+            let rendered = error.to_string();
+            assert!(!rendered.is_empty());
+        }
+    }
+}
+
+#[test]
+fn fine_tune_reload_is_approximate_but_serves() {
+    let base = Thingpedia::builtin();
+    let delta = reworded_delta(&base);
+    let world = LiveWorld::bootstrap(base, pipeline(0, 4), model()).unwrap();
+    let scratch_digest = {
+        let cold = LiveWorld::bootstrap(patched(&world.library(), &delta), pipeline(1, 4), model())
+            .unwrap();
+        cold.engine().model().weights_digest()
+    };
+    let report = world
+        .reload_with(&delta, RetrainMode::FineTune { epochs: 2 })
+        .unwrap();
+    assert!(report.fine_tuned);
+    assert_eq!(report.version, 2);
+    assert_ne!(
+        world.engine().model().weights_digest(),
+        scratch_digest,
+        "fine-tuning is the approximate path; matching the scratch model would be a fluke"
+    );
+    // The fine-tuned world still serves: the engine parses at least one of
+    // its own training utterances.
+    let library = world.library();
+    let data = DataPipeline::new(&library, pipeline(0, 4)).build().unwrap();
+    let served = data.synthesized.examples.iter().take(20).any(|example| {
+        world
+            .engine()
+            .parse(&ParseRequest::new(example.text()))
+            .is_ok()
+    });
+    assert!(served, "fine-tuned world answers nothing");
+}

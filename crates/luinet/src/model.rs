@@ -54,6 +54,12 @@ use crate::vocab::{bos_symbol, eos_symbol, Vocab};
 /// streams seeded from the same user seed).
 const TRAIN_SHUFFLE_STREAM: u64 = 0x7261_696e; // "rain"
 
+/// Logical stream id of the delta-training shuffle
+/// ([`LuinetParser::fine_tune`]); XORed with the update counter at call
+/// time so successive fine-tune passes draw independent shuffles while
+/// staying a pure function of the call sequence.
+const FINE_TUNE_SHUFFLE_STREAM: u64 = 0x7475_6e65; // "tune"
+
 /// Below this many examples per shard, the trainer collapses to fewer
 /// shards: tiny datasets gain nothing from parameter mixing and lose
 /// update granularity.
@@ -378,41 +384,12 @@ impl LuinetParser {
     /// Train on the given examples (teacher forcing, averaged perceptron,
     /// deterministically parallel — see the crate-level notes).
     pub fn train(&mut self, examples: &[ParserExample]) {
-        // The transition model proposes candidate next-tokens at decode time
-        // and is always (re)built from the training programs; this is also
-        // where program tokens intern into the shared arena.
-        self.transitions.train(examples.iter().map(|e| &e.program));
-        for example in examples {
-            self.vocab.add_all(&example.program);
-        }
-        self.trained_examples += examples.len();
-        self.compiled = CompiledTransitions::compile(&self.transitions);
+        self.absorb_programs(examples);
         if examples.is_empty() {
             return;
         }
-
-        // Per-example state is prepared once per train call (not per epoch):
-        // the sentence index and the gold chain with cached hashes.
-        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
-        let prepared: Vec<PreparedExample> =
-            genie_parallel::par_map(self.config.threads, examples, |_, example| {
-                let gold = example
-                    .program
-                    .iter()
-                    .map(|token| {
-                        let symbol = interner.intern(token);
-                        (symbol, cand_hash(token))
-                    })
-                    .chain(std::iter::once((self.eos, self.eos_hash)))
-                    .collect();
-                PreparedExample {
-                    index: SentenceIndex::build(&example.sentence),
-                    gold,
-                }
-            });
-
+        let prepared = self.prepare_examples(examples);
         let shards = self.config.effective_shards(examples.len());
-        let round_len = shards * TRAIN_ROUND_EXAMPLES;
         let mut order: Vec<u32> = (0..examples.len() as u32).collect();
         for epoch in 0..self.config.epochs {
             let mut rng = StdRng::seed_from_u64(genie_parallel::stream_seed(
@@ -421,30 +398,120 @@ impl LuinetParser {
                 epoch as u64,
             ));
             order.shuffle(&mut rng);
-            // Mixing rounds: each round hands `shards` contiguous slices of
-            // the shuffled stream to the workers and merges their deltas
-            // before the next round starts, bounding how stale a shard's
-            // snapshot can get (the per-round cadence is what keeps mixed
-            // training competitive with the sequential perceptron).
-            for round in order.chunks(round_len) {
-                let chunks: Vec<&[u32]> = round.chunks(round.len().div_ceil(shards)).collect();
-                let deltas = genie_parallel::par_map(self.config.threads, &chunks, |_, chunk| {
-                    self.train_shard(chunk, &prepared)
-                });
-                // Merge in shard order: the result is a function of the
-                // shard partition alone, so the worker count can never
-                // change the trained weights.
-                let mut step_sum = 0u64;
-                for delta in &deltas {
-                    for (&bucket, &(dw, dt)) in &delta.deltas {
-                        let bucket = bucket as usize;
-                        self.weights[bucket] = (self.weights[bucket] as f64 + dw) as f32;
-                        self.totals[bucket] += dt;
-                    }
-                    step_sum += delta.steps;
-                }
-                self.updates += step_sum;
+            self.run_rounds(&prepared, &order, shards);
+        }
+    }
+
+    /// Delta-train for a live skill update: continue from the current
+    /// (already-trained) weights, running `epochs` additional passes over
+    /// the changed examples (callers should mix in a rehearsal sample of
+    /// the unchanged dataset — a pure-delta pass lets the perceptron
+    /// forget untouched skills).
+    ///
+    /// This is the *approximate* fast path of the live subsystem: it
+    /// converges the perceptron toward the updated skill in a fraction of a
+    /// full retrain, but the resulting weights are a function of the whole
+    /// call sequence, not of the final dataset — swaps that must be
+    /// byte-identical to a freshly built engine retrain from scratch
+    /// instead. Deterministic for a fixed call sequence: the shuffle stream
+    /// is keyed by the update counter at entry, and the worker count never
+    /// changes the weights.
+    ///
+    /// Averaging restarts at the fine-tune boundary: the base model's
+    /// *averaged* weights are materialized as the new raw weights and the
+    /// running totals reset. Without this, the standard averaged-perceptron
+    /// bookkeeping discounts every update by how late it arrives, so a
+    /// short delta pass after a long base run would contribute almost
+    /// nothing to the served (averaged) weights.
+    pub fn fine_tune(&mut self, examples: &[ParserExample], epochs: usize) {
+        self.absorb_programs(examples);
+        if examples.is_empty() || epochs == 0 {
+            return;
+        }
+        // Key the shuffle stream by the update counter *at entry* (a pure
+        // function of the call sequence), before averaging resets it.
+        let stream = FINE_TUNE_SHUFFLE_STREAM ^ self.updates;
+        if self.updates > 0 {
+            let updates = self.updates as f64;
+            for (weight, total) in self.weights.iter_mut().zip(&mut self.totals) {
+                *weight = (f64::from(*weight) - *total / updates) as f32;
+                *total = 0.0;
             }
+            self.updates = 0;
+        }
+        let prepared = self.prepare_examples(examples);
+        let shards = self.config.effective_shards(examples.len());
+        let mut order: Vec<u32> = (0..examples.len() as u32).collect();
+        for epoch in 0..epochs {
+            let mut rng = StdRng::seed_from_u64(genie_parallel::stream_seed(
+                self.config.seed,
+                stream,
+                epoch as u64,
+            ));
+            order.shuffle(&mut rng);
+            self.run_rounds(&prepared, &order, shards);
+        }
+    }
+
+    /// Absorb the training programs into the transition model and the
+    /// program vocabulary. The transition model proposes candidate
+    /// next-tokens at decode time and accumulates across calls; this is
+    /// also where program tokens intern into the shared arena.
+    fn absorb_programs(&mut self, examples: &[ParserExample]) {
+        self.transitions.train(examples.iter().map(|e| &e.program));
+        for example in examples {
+            self.vocab.add_all(&example.program);
+        }
+        self.trained_examples += examples.len();
+        self.compiled = CompiledTransitions::compile(&self.transitions);
+    }
+
+    /// Per-example state, prepared once per train call (not per epoch):
+    /// the sentence index and the gold chain with cached hashes.
+    fn prepare_examples(&self, examples: &[ParserExample]) -> Vec<PreparedExample> {
+        let interner: &'static genie_nlp::Interner = genie_nlp::intern::shared();
+        genie_parallel::par_map(self.config.threads, examples, |_, example| {
+            let gold = example
+                .program
+                .iter()
+                .map(|token| {
+                    let symbol = interner.intern(token);
+                    (symbol, cand_hash(token))
+                })
+                .chain(std::iter::once((self.eos, self.eos_hash)))
+                .collect();
+            PreparedExample {
+                index: SentenceIndex::build(&example.sentence),
+                gold,
+            }
+        })
+    }
+
+    /// One epoch of mixing rounds over a shuffled order: each round hands
+    /// `shards` contiguous slices of the stream to the workers and merges
+    /// their deltas before the next round starts, bounding how stale a
+    /// shard's snapshot can get (the per-round cadence is what keeps mixed
+    /// training competitive with the sequential perceptron).
+    fn run_rounds(&mut self, prepared: &[PreparedExample], order: &[u32], shards: usize) {
+        let round_len = shards * TRAIN_ROUND_EXAMPLES;
+        for round in order.chunks(round_len) {
+            let chunks: Vec<&[u32]> = round.chunks(round.len().div_ceil(shards)).collect();
+            let deltas = genie_parallel::par_map(self.config.threads, &chunks, |_, chunk| {
+                self.train_shard(chunk, prepared)
+            });
+            // Merge in shard order: the result is a function of the shard
+            // partition alone, so the worker count can never change the
+            // trained weights.
+            let mut step_sum = 0u64;
+            for delta in &deltas {
+                for (&bucket, &(dw, dt)) in &delta.deltas {
+                    let bucket = bucket as usize;
+                    self.weights[bucket] = (self.weights[bucket] as f64 + dw) as f32;
+                    self.totals[bucket] += dt;
+                }
+                step_sum += delta.steps;
+            }
+            self.updates += step_sum;
         }
     }
 
@@ -893,6 +960,58 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn fine_tune_is_thread_invariant_and_learns_the_delta() {
+        // The delta: a skill the base model has never seen.
+        let delta: Vec<ParserExample> = ["show", "get", "fetch", "list"]
+            .iter()
+            .map(|verb| {
+                ParserExample::from_strs(
+                    &format!("{verb} me my instagram stuff"),
+                    "now => @com.instagram.feed ( ) => notify",
+                )
+            })
+            .collect();
+        // Delta passes mix the changed examples with a rehearsal sample of
+        // the base dataset — fine-tuning on the delta alone would let the
+        // perceptron forget the untouched skills.
+        let mut rehearsal = delta.clone();
+        rehearsal.extend(training_set());
+        let run = |threads: usize| {
+            let mut parser = LuinetParser::new(ModelConfig {
+                epochs: 10,
+                seed: 3,
+                threads,
+                ..ModelConfig::default()
+            });
+            parser.train(&training_set());
+            parser.fine_tune(&rehearsal, 4);
+            parser
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        // Delta training is deterministic for a fixed call sequence and
+        // worker-count-invariant like full training.
+        assert_eq!(sequential.weights_digest(), parallel.weights_digest());
+        // It actually learns the new skill without forgetting the old one.
+        let accuracy = sequential.exact_match_accuracy(&delta);
+        assert!(accuracy > 0.9, "delta accuracy {accuracy}");
+        let base_accuracy = sequential.exact_match_accuracy(&training_set());
+        assert!(base_accuracy > 0.8, "base accuracy {base_accuracy}");
+        // And it is the approximate path: the weights differ from a
+        // from-scratch retrain over the combined dataset.
+        let mut scratch = LuinetParser::new(ModelConfig {
+            epochs: 10,
+            seed: 3,
+            threads: 1,
+            ..ModelConfig::default()
+        });
+        let mut combined = training_set();
+        combined.extend(delta.iter().cloned());
+        scratch.train(&combined);
+        assert_ne!(scratch.weights_digest(), sequential.weights_digest());
     }
 
     #[test]

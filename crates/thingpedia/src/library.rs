@@ -49,6 +49,33 @@ impl Thingpedia {
         self.templates.extend(templates);
     }
 
+    /// Add or replace a class. An existing class's templates are replaced
+    /// *in place* — the new templates take over the position of the old
+    /// class's first template — so the template order of every other class
+    /// (and therefore their phrase-pool entries under per-template RNG
+    /// streams) is untouched by an update.
+    pub fn upsert_class(&mut self, class: ClassDef, templates: Vec<PrimitiveTemplate>) {
+        let name = class.name.clone();
+        self.classes.insert(name.clone(), class);
+        let insert_at = self.templates.iter().position(|t| t.class == name);
+        self.templates.retain(|t| t.class != name);
+        match insert_at {
+            Some(at) => {
+                let at = at.min(self.templates.len());
+                self.templates.splice(at..at, templates);
+            }
+            None => self.templates.extend(templates),
+        }
+    }
+
+    /// Remove a class and all of its templates. Returns whether the class
+    /// existed.
+    pub fn remove_class(&mut self, name: &str) -> bool {
+        let existed = self.classes.remove(name).is_some();
+        self.templates.retain(|t| t.class != name);
+        existed
+    }
+
     /// All primitive templates.
     pub fn templates(&self) -> &[PrimitiveTemplate] {
         &self.templates
@@ -256,6 +283,67 @@ mod tests {
         let spotify = extended.class("com.spotify").unwrap();
         assert!(spotify.queries().count() >= 10);
         assert!(spotify.actions().count() >= 10);
+    }
+
+    #[test]
+    fn upsert_replaces_templates_in_place() {
+        let mut library = Thingpedia::builtin();
+        let class_count = library.class_count();
+        let template_count = library.templates().len();
+        // Pick a class somewhere in the middle of the template list.
+        let name = library.templates()[template_count / 2].class.clone();
+        let old_span: Vec<usize> = library
+            .templates()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.class == name)
+            .map(|(i, _)| i)
+            .collect();
+        let class = library.class(&name).unwrap().clone();
+        let replacement: Vec<PrimitiveTemplate> = library
+            .templates()
+            .iter()
+            .filter(|t| t.class == name)
+            .cloned()
+            .collect();
+        let before: Vec<String> = library
+            .templates()
+            .iter()
+            .filter(|t| t.class != name)
+            .map(|t| format!("{}/{}", t.class, t.utterance))
+            .collect();
+        library.upsert_class(class, replacement);
+        assert_eq!(
+            library.class_count(),
+            class_count,
+            "upsert must not duplicate"
+        );
+        assert_eq!(library.templates().len(), template_count);
+        let new_span: Vec<usize> = library
+            .templates()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.class == name)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(new_span.first(), old_span.first(), "span must stay put");
+        let after: Vec<String> = library
+            .templates()
+            .iter()
+            .filter(|t| t.class != name)
+            .map(|t| format!("{}/{}", t.class, t.utterance))
+            .collect();
+        assert_eq!(before, after, "other classes' template order untouched");
+    }
+
+    #[test]
+    fn remove_class_drops_templates() {
+        let mut library = Thingpedia::builtin();
+        let name = library.templates()[0].class.clone();
+        assert!(library.remove_class(&name));
+        assert!(library.class(&name).is_none());
+        assert!(library.templates().iter().all(|t| t.class != name));
+        assert!(!library.remove_class(&name), "second removal is a no-op");
     }
 
     #[test]
