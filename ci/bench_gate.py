@@ -189,12 +189,64 @@ def gate_live(fresh, committed):
               f"fresh {fresh['swap'][key]:.1f} (tracked, not gated)")
 
 
+def gate_robustness(fresh, committed):
+    """Chaos-soak gate: fault-model invariants exact, counts tracked only.
+
+    The chaos_soak binary already exits non-zero when any invariant
+    breaks; the gate re-asserts the flags on both reports so the
+    committed trajectory point visibly carries them, and pins the
+    seeded fault-schedule digest — the schedule is a pure function of
+    (seed, site, hit-index), so a digest drift means the injection
+    engine (or the plan) changed and the soak is no longer replaying
+    the committed scenario. Per-site fired counts depend on thread
+    scheduling (how many hits each site takes), so they are tracked,
+    not gated.
+    """
+    assert fresh["config"] == committed["config"], (
+        "committed BENCH_robustness.json was measured on a different "
+        f"fault plan: {committed['config']} != {fresh['config']}"
+    )
+    assert fresh["fault_schedule_digest"] == committed["fault_schedule_digest"], (
+        "fault schedule digest drifted (injection engine or plan changed): "
+        f"{fresh['fault_schedule_digest']} != {committed['fault_schedule_digest']}"
+    )
+    for report, which in ((fresh, "fresh"), (committed, "committed")):
+        assert report["all_responses_valid"], (
+            f"{which}: a response under chaos was neither byte-identical "
+            "nor a typed 4xx/5xx"
+        )
+        assert report["version_monotonic"], (
+            f"{which}: the world version went backwards under the reload storm"
+        )
+        assert report["recovered_to_steady_state"], (
+            f"{which}: the post-chaos byte-identity pass was not clean"
+        )
+        assert report["zero_hung_connections"], (
+            f"{which}: a connection hung"
+        )
+        reloads = report["reload_storm"]
+        assert reloads["swapped"] + reloads["failed_typed"] == reloads["attempted"], (
+            f"{which}: a reload neither swapped nor failed typed"
+        )
+        assert reloads["version_after"] == reloads["version_before"] + reloads["swapped"], (
+            f"{which}: version advanced by {reloads['version_after'] - reloads['version_before']}"
+            f" but {reloads['swapped']} reloads swapped"
+        )
+    storm, metrics = fresh["storm"], fresh["server_metrics"]
+    print(f"storm: {storm['identical']} identical, {storm['typed_faults']} typed faults, "
+          f"{storm['reconnects']} reconnects")
+    print(f"supervision: {metrics['server_panics_total']} panics caught, "
+          f"{metrics['server_acceptor_respawns_total']} acceptors respawned "
+          "(tracked, not gated)")
+
+
 GATES = {
     "synthesis": gate_synthesis,
     "training": gate_training,
     "artifacts": gate_artifacts,
     "serving": gate_serving,
     "live": gate_live,
+    "robustness": gate_robustness,
 }
 
 

@@ -6,7 +6,7 @@
 #
 # Usage: ci/bench_smoke.sh <kind> -- <command...>
 #   <kind>        one of synthesis | serving | training | artifacts | live
-#                 (names BENCH_<kind>.json and picks the gate)
+#                 | robustness (names BENCH_<kind>.json and picks the gate)
 #   <command...>  produces a fresh BENCH_<kind>.json in the repo root
 set -euo pipefail
 

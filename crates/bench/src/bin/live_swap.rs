@@ -55,12 +55,14 @@ fn swap_utterance(swap: usize) -> String {
     format!("swap the bench lights $power pronto v{swap}")
 }
 
-/// The wire body of swap `i`'s `POST /v1/admin/reload`.
+/// The wire body of swap `i`'s `POST /v1/admin/reload`. `wait: true`: this
+/// bench times the full rebuild and reads the swap report synchronously,
+/// so it opts out of the default 202-accepted background handoff.
 fn reload_body(swap: usize) -> String {
     format!(
         "{{\"op\": \"upsert\", \"class\": {}, \"templates\": \
          [{{\"category\": \"vp\", \"function\": \"set_power\", \"utterance\": {}}}], \
-         \"mode\": \"full\"}}",
+         \"mode\": \"full\", \"wait\": true}}",
         genie_server::json::escape(BENCH_CLASS),
         genie_server::json::escape(&swap_utterance(swap)),
     )

@@ -382,10 +382,12 @@ fn swap_tail_latency(clients: usize, utterances: &[String]) -> (f64, usize, usiz
     let class = "class @com.bench.lights { action set_power(in req power : Enum(on, off)); }";
     let reloads = 2usize;
     for swap in 1..=reloads {
+        // `wait: true`: the bench wants the synchronous swap report, not
+        // the default 202-accepted handoff to the background builder.
         let body = format!(
             "{{\"op\": \"upsert\", \"class\": {}, \"templates\": \
              [{{\"category\": \"vp\", \"function\": \"set_power\", \
-             \"utterance\": {}}}], \"mode\": \"full\"}}",
+             \"utterance\": {}}}], \"mode\": \"full\", \"wait\": true}}",
             genie_server::json::escape(class),
             genie_server::json::escape(&format!("swap the bench lights $power v{swap}")),
         );

@@ -321,9 +321,10 @@ impl StringTable {
         out
     }
 
-    /// Write the standalone table file.
-    pub fn write_file(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+    /// Write the standalone table file — sealed with a checksum footer and
+    /// renamed into place atomically (see [`write_artifact`]).
+    pub fn write_file(&self, path: &Path) -> ColfmtResult<()> {
+        write_artifact(path, &self.to_bytes(), "colfmt.write")
     }
 }
 
@@ -485,9 +486,10 @@ impl ColumnShardWriter {
         out
     }
 
-    /// Write the shard file.
-    pub fn write_file(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+    /// Write the shard file — sealed with a checksum footer and renamed
+    /// into place atomically (see [`write_artifact`]).
+    pub fn write_file(&self, path: &Path) -> ColfmtResult<()> {
+        write_artifact(path, &self.to_bytes(), "colfmt.write")
     }
 }
 
@@ -561,6 +563,157 @@ impl ColumnShard {
         &self.program_ids
             [self.program_offsets[row] as usize..self.program_offsets[row + 1] as usize]
     }
+}
+
+/// Magic bytes opening the trailing checksum footer every artifact file
+/// carries after its payload.
+pub const FOOTER_MAGIC: [u8; 8] = *b"GENCKSF1";
+/// Footer layout: magic + `u64` payload length + `u64` FNV-1a checksum.
+pub const FOOTER_LEN: usize = 24;
+
+/// Append the checksum footer for `payload` to an encode buffer.
+///
+/// The footer sits *after* the payload so [`file_magic`] sniffing and the
+/// in-memory codecs ([`LoadedTable::from_file_bytes`] and friends, which
+/// insist on consuming every byte) keep working on the payload alone; the
+/// file layer strips and verifies it on read.
+pub fn append_footer(out: &mut Vec<u8>, payload_len: usize) {
+    let checksum = crate::failpoint::fnv64(&out[out.len() - payload_len..]);
+    out.extend_from_slice(&FOOTER_MAGIC);
+    put_u64(out, payload_len as u64);
+    put_u64(out, checksum);
+}
+
+/// The full sealed file image for `payload`: payload + checksum footer.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    out.extend_from_slice(payload);
+    append_footer(&mut out, payload.len());
+    out
+}
+
+/// Validate a sealed file image and return the payload slice. Any torn,
+/// truncated, or bit-flipped write fails here with a typed
+/// [`ColfmtError::Corrupt`] instead of misparsing downstream.
+pub fn unseal(buf: &[u8]) -> ColfmtResult<&[u8]> {
+    if buf.len() < FOOTER_LEN {
+        return Err(corrupt(format!(
+            "artifact of {} bytes is shorter than its checksum footer — torn write?",
+            buf.len()
+        )));
+    }
+    let footer = &buf[buf.len() - FOOTER_LEN..];
+    if footer[..8] != FOOTER_MAGIC {
+        return Err(corrupt(
+            "artifact checksum footer missing — torn write or pre-checksum file",
+        ));
+    }
+    let payload_len = u64::from_le_bytes([
+        footer[8], footer[9], footer[10], footer[11], footer[12], footer[13], footer[14],
+        footer[15],
+    ]) as usize;
+    let stored = u64::from_le_bytes([
+        footer[16], footer[17], footer[18], footer[19], footer[20], footer[21], footer[22],
+        footer[23],
+    ]);
+    let body = &buf[..buf.len() - FOOTER_LEN];
+    if payload_len != body.len() {
+        return Err(corrupt(format!(
+            "artifact footer claims {payload_len} payload bytes but {} are present — torn write?",
+            body.len()
+        )));
+    }
+    let actual = crate::failpoint::fnv64(body);
+    if actual != stored {
+        return Err(corrupt(format!(
+            "artifact checksum mismatch (stored {stored:016x}, computed {actual:016x})"
+        )));
+    }
+    Ok(body)
+}
+
+/// Crash-safe sealed artifact write: seal `payload`, write to a sibling
+/// temp file, fsync, then atomically rename over `path` (and best-effort
+/// fsync the directory). A crash at any point leaves either the old file or
+/// the new one — never a half-written artifact under the final name.
+///
+/// `site` names the [`crate::failpoint`] hooked here; an armed
+/// [`FaultKind::Torn`](crate::failpoint::FaultKind) persists a truncated
+/// prefix under the final name and *reports success*, simulating exactly
+/// the torn write the footer exists to catch.
+pub fn write_artifact(path: &Path, payload: &[u8], site: &str) -> ColfmtResult<()> {
+    let sealed = seal(payload);
+    if let Some(fault) = crate::failpoint::check(site) {
+        use crate::failpoint::FaultKind;
+        match fault.kind {
+            FaultKind::Error => {
+                return Err(ColfmtError::Io(io::Error::other(format!(
+                    "{} at `{site}` (hit {})",
+                    crate::failpoint::INJECTED_ERROR_PREFIX,
+                    fault.hit
+                ))));
+            }
+            FaultKind::Panic => panic!("failpoint `{site}` injected panic (hit {})", fault.hit),
+            FaultKind::Delay => std::thread::sleep(fault.delay),
+            FaultKind::Torn => {
+                // Crash mid-write: half the sealed image lands under the
+                // final name and the writer "succeeds".
+                std::fs::write(path, &sealed[..sealed.len() / 2])?;
+                return Ok(());
+            }
+        }
+    }
+    atomic_write(path, &sealed)?;
+    Ok(())
+}
+
+/// Read a sealed artifact written by [`write_artifact`], verify its footer,
+/// and return the payload bytes. `site` names the read-side failpoint.
+pub fn read_artifact(path: &Path, site: &str) -> ColfmtResult<Vec<u8>> {
+    crate::failpoint::fail_io(site)?;
+    let mut bytes = std::fs::read(path)?;
+    let payload_len = unseal(&bytes)?.len();
+    bytes.truncate(payload_len);
+    Ok(bytes)
+}
+
+/// write-temp → fsync → rename. The temp name carries the pid plus a
+/// process-wide counter so concurrent writers in one test process never
+/// collide.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("artifact path {path:?} has no file name")))?;
+    let temp = path.with_file_name(format!(
+        "{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&temp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&temp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&temp);
+        return result;
+    }
+    // Durability of the rename itself: sync the containing directory where
+    // the platform allows opening it (best-effort elsewhere).
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The first 8 bytes of a file (`None` when the file is shorter) — enough
@@ -699,6 +852,68 @@ mod tests {
         assert_eq!(reader.capacity_hint(1_000_000_000, 4), 4);
         assert_eq!(reader.capacity_hint(2, 4), 2);
         assert_eq!(reader.capacity_hint(5, 0), 5);
+    }
+
+    #[test]
+    fn sealed_artifacts_roundtrip_and_detect_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("colfmt-seal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sealed.bin");
+        let payload = b"hello artifact".to_vec();
+        write_artifact(&path, &payload, "colfmt.write").unwrap();
+        assert_eq!(read_artifact(&path, "colfmt.read").unwrap(), payload);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len(), payload.len() + FOOTER_LEN);
+
+        // Every proper prefix of the sealed image is a typed Corrupt error:
+        // a torn write can never be mistaken for a valid artifact.
+        for len in 0..on_disk.len() {
+            std::fs::write(&path, &on_disk[..len]).unwrap();
+            match read_artifact(&path, "colfmt.read") {
+                Err(ColfmtError::Corrupt(_)) => {}
+                other => panic!("torn prefix of {len} bytes: expected Corrupt, got {other:?}"),
+            }
+        }
+
+        // A flipped payload bit fails the checksum.
+        let mut flipped = on_disk;
+        flipped[3] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let error = read_artifact(&path, "colfmt.read").unwrap_err();
+        assert!(error.to_string().contains("checksum mismatch"), "{error}");
+
+        // A pre-checksum (footerless) file is reported as such.
+        std::fs::write(&path, &payload).unwrap();
+        let error = read_artifact(&path, "colfmt.read").unwrap_err();
+        assert!(error.to_string().contains("footer"), "{error}");
+
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp.")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sealed_table_file_roundtrips_through_read_artifact() {
+        let dir = std::env::temp_dir().join(format!("colfmt-seal-table-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.col");
+        let mut table = StringTable::new();
+        let id = table.id_of("now");
+        table.write_file(&path).unwrap();
+        let payload = read_artifact(&path, "colfmt.read").unwrap();
+        let loaded = LoadedTable::from_file_bytes(&payload).unwrap();
+        assert_eq!(loaded.get(id).unwrap(), "now");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

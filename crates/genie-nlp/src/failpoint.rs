@@ -1,0 +1,549 @@
+//! failpoint — deterministic, zero-dependency fault injection.
+//!
+//! A failpoint is a **named site** in production code (`snapshot.write`,
+//! `colfmt.read`, `server.accept`, `coalescer.flush`, `reload.retrain`, …)
+//! that normally does nothing: the disarmed fast path is a single relaxed
+//! atomic load, so sites are always compiled in and cost nothing in a
+//! release serve path. Tests and the chaos bench **arm** the registry with a
+//! [`FaultPlan`] — a seed plus per-site fault rates — and armed sites start
+//! firing I/O errors, panics, delays, or torn writes.
+//!
+//! The whole point is **determinism**: the outcome of the k-th hit of a
+//! site is a pure function of `(plan seed, site name, k)` — see
+//! [`planned_outcome`] — independent of thread interleaving, wall clock, or
+//! how many *other* sites fired in between. Two chaos runs with the same
+//! seed and the same per-site hit counts draw byte-identical fault
+//! schedules, so a failing run is replayable from its seed alone, and
+//! [`schedule_digest`] lets a bench report pin the planned schedule so a
+//! regression gate can prove the committed baseline and the fresh run
+//! injected the very same faults.
+//!
+//! The registry is process-global. Only ever arm it from a test binary or a
+//! bench harness — never from serving code — and prefer a scoped
+//! [`armed`] guard so a panicking test cannot leave the process armed.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed site does on a hit that fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Surface an injected `io::Error` to the caller.
+    Error,
+    /// Panic at the site (exercises `catch_unwind` supervision).
+    Panic,
+    /// Sleep for the site's configured delay, then proceed normally.
+    Delay,
+    /// For artifact writes: persist a truncated prefix and report success,
+    /// simulating a crash mid-write. Sites that cannot tear treat this as
+    /// [`FaultKind::Error`].
+    Torn,
+}
+
+impl FaultKind {
+    /// Stable single-letter code used by [`schedule_digest`].
+    fn code(self) -> u8 {
+        match self {
+            FaultKind::Error => b'e',
+            FaultKind::Panic => b'p',
+            FaultKind::Delay => b'd',
+            FaultKind::Torn => b't',
+        }
+    }
+}
+
+/// A fault drawn by [`check`]: the kind plus the site-local hit index that
+/// drew it (useful in panic messages and logs).
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// What to do.
+    pub kind: FaultKind,
+    /// Zero-based index of this hit at its site.
+    pub hit: u64,
+    /// Sleep length for [`FaultKind::Delay`] outcomes.
+    pub delay: Duration,
+}
+
+/// Per-site fault rates. Rates are probabilities in `[0, 1]` evaluated in a
+/// fixed order (error, panic, delay, torn) against one deterministic draw
+/// per hit, so `error(0.5).panic(0.5)` means half the hits error and the
+/// other half panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteSpec {
+    error_rate: f64,
+    panic_rate: f64,
+    delay_rate: f64,
+    torn_rate: f64,
+    delay_ms: u64,
+    max_fires: u64,
+}
+
+impl Default for SiteSpec {
+    fn default() -> Self {
+        SiteSpec {
+            error_rate: 0.0,
+            panic_rate: 0.0,
+            delay_rate: 0.0,
+            torn_rate: 0.0,
+            delay_ms: 0,
+            max_fires: u64::MAX,
+        }
+    }
+}
+
+impl SiteSpec {
+    /// A spec that never fires; combine with the rate builders below.
+    pub fn new() -> Self {
+        SiteSpec::default()
+    }
+
+    /// Fire an injected I/O error on this fraction of hits.
+    pub fn error(mut self, rate: f64) -> Self {
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Panic on this fraction of hits.
+    pub fn panic(mut self, rate: f64) -> Self {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sleep `delay_ms` milliseconds on this fraction of hits.
+    pub fn delay(mut self, rate: f64, delay_ms: u64) -> Self {
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay_ms = delay_ms;
+        self
+    }
+
+    /// Tear the write (truncate + report success) on this fraction of hits.
+    pub fn torn(mut self, rate: f64) -> Self {
+        self.torn_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Stop firing after this many faults (hits keep counting); the default
+    /// is unlimited.
+    pub fn max_fires(mut self, fires: u64) -> Self {
+        self.max_fires = fires;
+        self
+    }
+}
+
+/// A seeded fault schedule: which sites fire, at what rates, from one seed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<(String, SiteSpec)>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Add (or replace) a site's spec.
+    pub fn site(mut self, name: impl Into<String>, spec: SiteSpec) -> Self {
+        let name = name.into();
+        self.sites.retain(|(existing, _)| *existing != name);
+        self.sites.push((name, spec));
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured sites, in insertion order.
+    pub fn sites(&self) -> &[(String, SiteSpec)] {
+        &self.sites
+    }
+}
+
+struct SiteEntry {
+    spec: SiteSpec,
+    hits: u64,
+    fired: u64,
+}
+
+struct Registry {
+    seed: u64,
+    sites: HashMap<String, SiteEntry>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Option<Registry>> {
+    static REGISTRY: OnceLock<Mutex<Option<Registry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, Option<Registry>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm the global registry with `plan`. Hit/fire counters start at zero.
+pub fn arm(plan: &FaultPlan) {
+    let mut guard = lock_registry();
+    *guard = Some(Registry {
+        seed: plan.seed,
+        sites: plan
+            .sites
+            .iter()
+            .map(|(name, spec)| {
+                (
+                    name.clone(),
+                    SiteEntry {
+                        spec: *spec,
+                        hits: 0,
+                        fired: 0,
+                    },
+                )
+            })
+            .collect(),
+    });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm every site; all [`check`] calls go back to the one-load fast path.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+    *lock_registry() = None;
+}
+
+/// Whether a plan is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Scoped arming: disarms on drop, even if the test panics.
+pub struct ArmedGuard(());
+
+/// Arm `plan` for the lifetime of the returned guard.
+#[must_use = "the registry disarms when the guard drops"]
+pub fn armed(plan: &FaultPlan) -> ArmedGuard {
+    arm(plan);
+    ArmedGuard(())
+}
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// 64-bit FNV-1a over a byte string (site names, digests).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64→64 bit hash.
+fn mix64(mut value: u64) -> u64 {
+    value = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    value = (value ^ (value >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    value = (value ^ (value >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    value ^ (value >> 31)
+}
+
+/// The unit-interval draw for hit `k` of `site` under `seed`: a pure
+/// function, independent of every other site and of thread interleaving.
+fn draw(seed: u64, site: &str, k: u64) -> f64 {
+    let mixed = mix64(seed ^ mix64(fnv64(site.as_bytes())) ^ mix64(k.wrapping_mul(0x9e37)));
+    // 53 high bits → [0, 1) exactly as a f64 can represent it.
+    (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The outcome the k-th hit of `site` draws under `(seed, spec)` — the pure
+/// schedule function behind [`check`]. `None` means the hit passes clean.
+pub fn planned_outcome(seed: u64, site: &str, spec: &SiteSpec, k: u64) -> Option<FaultKind> {
+    let value = draw(seed, site, k);
+    let mut threshold = spec.error_rate;
+    if value < threshold {
+        return Some(FaultKind::Error);
+    }
+    threshold += spec.panic_rate;
+    if value < threshold {
+        return Some(FaultKind::Panic);
+    }
+    threshold += spec.delay_rate;
+    if value < threshold {
+        return Some(FaultKind::Delay);
+    }
+    threshold += spec.torn_rate;
+    if value < threshold {
+        return Some(FaultKind::Torn);
+    }
+    None
+}
+
+/// Digest of the first `horizon` planned outcomes of every site in `plan`,
+/// in site insertion order. Pure: equal plans produce equal digests on any
+/// machine, which is how `BENCH_robustness.json` proves a fresh chaos run
+/// replayed the committed fault schedule.
+pub fn schedule_digest(plan: &FaultPlan, horizon: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(plan.sites.len() * horizon as usize);
+    for (name, spec) in &plan.sites {
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.push(b'=');
+        for k in 0..horizon {
+            bytes.push(match planned_outcome(plan.seed, name, spec, k) {
+                Some(kind) => kind.code(),
+                None => b'.',
+            });
+        }
+        bytes.push(b';');
+    }
+    fnv64(&bytes)
+}
+
+/// Hit `site`: returns the fault to inject, or `None` on the (overwhelmingly
+/// common) clean path. Disarmed cost is a single relaxed atomic load.
+#[inline]
+pub fn check(site: &str) -> Option<Fault> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_armed(site)
+}
+
+#[cold]
+fn check_armed(site: &str) -> Option<Fault> {
+    let mut guard = lock_registry();
+    let registry = guard.as_mut()?;
+    let seed = registry.seed;
+    let entry = registry.sites.get_mut(site)?;
+    let k = entry.hits;
+    entry.hits += 1;
+    if entry.fired >= entry.spec.max_fires {
+        return None;
+    }
+    let kind = planned_outcome(seed, site, &entry.spec, k)?;
+    entry.fired += 1;
+    let delay = Duration::from_millis(entry.spec.delay_ms);
+    Some(Fault {
+        kind,
+        hit: k,
+        delay,
+    })
+}
+
+/// The injected error surfaced by [`fail_io`]; sniffable by message prefix.
+pub const INJECTED_ERROR_PREFIX: &str = "injected fault";
+
+/// Hit `site` and act on the outcome for a fallible I/O-shaped call site:
+/// `Error` (and `Torn`, defensively) becomes an `io::Error`, `Panic`
+/// panics, `Delay` sleeps then passes, clean hits return `Ok(())`.
+pub fn fail_io(site: &str) -> io::Result<()> {
+    match check(site) {
+        None => Ok(()),
+        Some(fault) => match fault.kind {
+            FaultKind::Error | FaultKind::Torn => Err(io::Error::other(format!(
+                "{INJECTED_ERROR_PREFIX} at `{site}` (hit {})",
+                fault.hit
+            ))),
+            FaultKind::Panic => {
+                panic!("failpoint `{site}` injected panic (hit {})", fault.hit)
+            }
+            FaultKind::Delay => {
+                std::thread::sleep(fault.delay);
+                Ok(())
+            }
+        },
+    }
+}
+
+/// Counters for one site, as captured by [`snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// The site name.
+    pub site: String,
+    /// Total hits since arming.
+    pub hits: u64,
+    /// Hits that drew a fault (and were under `max_fires`).
+    pub fired: u64,
+}
+
+/// Total hits of `site` since arming (0 when disarmed or unknown).
+pub fn hits(site: &str) -> u64 {
+    lock_registry()
+        .as_ref()
+        .and_then(|r| r.sites.get(site))
+        .map_or(0, |e| e.hits)
+}
+
+/// Faults actually injected at `site` since arming.
+pub fn fired(site: &str) -> u64 {
+    lock_registry()
+        .as_ref()
+        .and_then(|r| r.sites.get(site))
+        .map_or(0, |e| e.fired)
+}
+
+/// Counters for every armed site, sorted by site name.
+pub fn snapshot() -> Vec<SiteStats> {
+    let guard = lock_registry();
+    let mut stats: Vec<SiteStats> = guard
+        .as_ref()
+        .map(|registry| {
+            registry
+                .sites
+                .iter()
+                .map(|(site, entry)| SiteStats {
+                    site: site.clone(),
+                    hits: entry.hits,
+                    fired: entry.fired,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    stats.sort_by(|a, b| a.site.cmp(&b.site));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests that arm it serialize here.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_is_a_no_op() {
+        let _serial = serial();
+        disarm();
+        assert!(!is_armed());
+        assert!(check("snapshot.write").is_none());
+        assert!(fail_io("snapshot.write").is_ok());
+        assert_eq!(hits("snapshot.write"), 0);
+    }
+
+    #[test]
+    fn planned_outcomes_are_deterministic_and_rate_shaped() {
+        let spec = SiteSpec::new().error(0.25);
+        let first: Vec<_> = (0..512)
+            .map(|k| planned_outcome(7, "colfmt.read", &spec, k))
+            .collect();
+        let second: Vec<_> = (0..512)
+            .map(|k| planned_outcome(7, "colfmt.read", &spec, k))
+            .collect();
+        assert_eq!(first, second, "same (seed, site, k) must draw identically");
+
+        let fired = first.iter().flatten().count();
+        assert!(
+            (64..192).contains(&fired),
+            "≈25% of 512 draws should fire, got {fired}"
+        );
+        assert!(first.iter().flatten().all(|k| *k == FaultKind::Error));
+
+        // A different seed or site draws a different schedule.
+        let other_seed: Vec<_> = (0..512)
+            .map(|k| planned_outcome(8, "colfmt.read", &spec, k))
+            .collect();
+        let other_site: Vec<_> = (0..512)
+            .map(|k| planned_outcome(7, "colfmt.write", &spec, k))
+            .collect();
+        assert_ne!(first, other_seed);
+        assert_ne!(first, other_site);
+    }
+
+    #[test]
+    fn rate_order_is_error_then_panic_then_delay_then_torn() {
+        let spec = SiteSpec::new()
+            .error(0.25)
+            .panic(0.25)
+            .delay(0.25, 1)
+            .torn(0.25);
+        let outcomes: Vec<_> = (0..2048)
+            .map(|k| planned_outcome(3, "x", &spec, k))
+            .collect();
+        assert!(outcomes.iter().all(|o| o.is_some()), "rates sum to 1");
+        for kind in [
+            FaultKind::Error,
+            FaultKind::Panic,
+            FaultKind::Delay,
+            FaultKind::Torn,
+        ] {
+            let count = outcomes.iter().flatten().filter(|k| **k == kind).count();
+            assert!(
+                (307..717).contains(&count),
+                "{kind:?} should take ≈1/4 of 2048 draws, got {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn armed_sites_count_hits_and_respect_max_fires() {
+        let _serial = serial();
+        let plan = FaultPlan::new(11).site("unit.always", SiteSpec::new().error(1.0).max_fires(2));
+        let _guard = armed(&plan);
+        assert!(is_armed());
+        assert!(fail_io("unit.always").is_err());
+        assert!(fail_io("unit.always").is_err());
+        // Third hit is past max_fires: counted but clean.
+        assert!(fail_io("unit.always").is_ok());
+        assert_eq!(hits("unit.always"), 3);
+        assert_eq!(fired("unit.always"), 2);
+        // Unknown sites are clean but cost nothing.
+        assert!(fail_io("unit.unknown").is_ok());
+        let stats = snapshot();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].site, "unit.always");
+    }
+
+    #[test]
+    fn armed_schedule_matches_planned_outcomes() {
+        let _serial = serial();
+        let spec = SiteSpec::new().error(0.5);
+        let plan = FaultPlan::new(99).site("unit.replay", spec);
+        let _guard = armed(&plan);
+        let live: Vec<bool> = (0..64).map(|_| fail_io("unit.replay").is_err()).collect();
+        let planned: Vec<bool> = (0..64)
+            .map(|k| planned_outcome(99, "unit.replay", &spec, k).is_some())
+            .collect();
+        assert_eq!(live, planned, "live draws must replay the pure schedule");
+    }
+
+    #[test]
+    fn schedule_digest_is_pure_and_seed_sensitive() {
+        let plan = |seed| {
+            FaultPlan::new(seed)
+                .site("a", SiteSpec::new().error(0.1))
+                .site("b", SiteSpec::new().panic(0.2))
+        };
+        assert_eq!(
+            schedule_digest(&plan(5), 256),
+            schedule_digest(&plan(5), 256)
+        );
+        assert_ne!(
+            schedule_digest(&plan(5), 256),
+            schedule_digest(&plan(6), 256)
+        );
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let _serial = serial();
+        {
+            let _guard = armed(&FaultPlan::new(1).site("unit.scoped", SiteSpec::new().error(1.0)));
+            assert!(fail_io("unit.scoped").is_err());
+        }
+        assert!(!is_armed());
+        assert!(fail_io("unit.scoped").is_ok());
+    }
+}

@@ -18,13 +18,17 @@
 //!   happens once, at output time ([`intern::Interner::render_into`]);
 //! * the little-endian binary codecs behind the on-disk artifacts —
 //!   columnar dataset shards and the serialized string tables shared with
-//!   the model snapshots — in [`colfmt`].
+//!   the model snapshots — in [`colfmt`];
+//! * the deterministic fault-injection registry the chaos harness and the
+//!   fault-tolerance tests arm — named failpoint sites drawing seeded,
+//!   replayable fault schedules — in [`failpoint`].
 //!
 //! Everything is implemented from scratch; see DESIGN.md for the
 //! substitution rationale.
 
 pub mod argident;
 pub mod colfmt;
+pub mod failpoint;
 pub mod intern;
 pub mod metrics;
 pub mod ppdb;

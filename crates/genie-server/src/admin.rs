@@ -106,6 +106,14 @@ fn template_from_json(class: &str, value: &Json) -> Result<PrimitiveTemplate, Ht
     ))
 }
 
+/// Decode the optional `"wait"` flag of a reload body. The default
+/// (`false`) queues the rebuild and answers `202 Accepted` immediately;
+/// `true` keeps the original synchronous contract and blocks for the swap
+/// report.
+pub fn wait_from_json(value: &Json) -> bool {
+    value.get("wait").and_then(Json::as_bool).unwrap_or(false)
+}
+
 fn required_str<'j>(value: &'j Json, field: &str) -> Result<&'j str, HttpError> {
     value
         .get(field)
@@ -129,6 +137,14 @@ pub fn render_swap_report(report: &SwapReport) -> String {
         report.fine_tuned,
         report.swap_latency_us,
     )
+}
+
+/// Render the `202 Accepted` body for a queued asynchronous reload.
+/// `accepted_version` is the serving world version at acceptance — the
+/// caller polls `/v1/admin/version` (or `/v1/admin/reload/status`) for
+/// `world_version > accepted_version` to observe the swap.
+pub fn render_accepted(accepted_version: u64) -> String {
+    format!("{{\"status\": \"accepted\", \"accepted_version\": {accepted_version}}}")
 }
 
 /// Render the `GET /v1/admin/version` body.

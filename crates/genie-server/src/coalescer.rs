@@ -11,10 +11,24 @@
 //! amortization, never content** — the property the end-to-end determinism
 //! tests pin at worker counts {1, 2, 8}.
 //!
-//! Shutdown is drain-by-construction: closing the job channel lets the
-//! dispatcher serve everything already queued, then exit; `shutdown()`
-//! joins it.
+//! # Deadlines
+//!
+//! Every job carries its request's deadline. The submitter waits with
+//! `recv_timeout` and answers a typed `504` past it; the dispatcher skips
+//! jobs that are already expired when their batch forms, so a stalled
+//! pipeline cannot also waste engine work on answers nobody is waiting for.
+//!
+//! # Supervision
+//!
+//! The per-batch work runs under `catch_unwind`: a panic (the
+//! `coalescer.flush` failpoint injects them in chaos runs) costs that one
+//! batch — its submitters get a typed `500` via [`SubmitError::Crashed`] —
+//! and the dispatcher keeps serving. Shutdown stays drain-by-construction:
+//! closing the job channel lets the dispatcher serve everything already
+//! queued, then exit; `shutdown()` joins it.
 
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
@@ -28,13 +42,23 @@ use std::sync::Arc;
 /// One queued request and the channel its response travels back on.
 struct Job {
     request: ParseRequest,
+    deadline: Instant,
     reply: mpsc::SyncSender<GenieResult<ParseResponse>>,
 }
 
-/// The submission error: the server is shutting down and the queue is
-/// closed. The HTTP layer answers `503`.
+/// Why a submission produced no response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShuttingDown;
+pub enum SubmitError {
+    /// The server is shutting down and the queue is closed. The HTTP layer
+    /// answers `503`.
+    ShuttingDown,
+    /// The request's deadline budget elapsed before its batch completed.
+    /// The HTTP layer answers `504`.
+    DeadlineExceeded,
+    /// The dispatcher dropped this job's reply without answering — its
+    /// batch panicked mid-dispatch. The HTTP layer answers `500`.
+    Crashed,
+}
 
 /// Handle to the dispatcher thread.
 pub struct Coalescer {
@@ -44,47 +68,76 @@ pub struct Coalescer {
 
 impl Coalescer {
     /// Start the dispatcher over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying thread-spawn failure, when the OS refuses a thread.
     pub fn start(
         engine: GenieEngine,
         window: Duration,
         max_batch: usize,
         metrics: Arc<Metrics>,
-    ) -> Coalescer {
+    ) -> io::Result<Coalescer> {
         let (sender, receiver) = mpsc::channel::<Job>();
         let dispatcher = std::thread::Builder::new()
             .name("genie-coalescer".to_owned())
-            .spawn(move || dispatch_loop(&engine, &receiver, window, max_batch, &metrics))
-            .expect("spawning the coalescer dispatcher cannot fail");
-        Coalescer {
+            .spawn(move || dispatch_loop(&engine, &receiver, window, max_batch, &metrics))?;
+        Ok(Coalescer {
             sender: Mutex::new(Some(sender)),
             dispatcher: Mutex::new(Some(dispatcher)),
-        }
+        })
     }
 
-    /// Submit one request and block until its response is computed.
+    /// Submit one request and block until its response is computed or
+    /// `deadline` passes.
     ///
     /// # Errors
     ///
-    /// `Err(ShuttingDown)` when the queue is closed (the caller answers
-    /// `503`); the inner [`GenieResult`] carries per-request parse errors.
+    /// A [`SubmitError`] when no response will come (the caller answers a
+    /// typed 5xx); the inner [`GenieResult`] carries per-request parse
+    /// errors.
     pub fn submit(
         &self,
         request: ParseRequest,
-    ) -> Result<GenieResult<ParseResponse>, ShuttingDown> {
+        deadline: Instant,
+    ) -> Result<GenieResult<ParseResponse>, SubmitError> {
         let (reply, response) = mpsc::sync_channel(1);
         let sender = {
             let guard = self.sender.lock().unwrap_or_else(|e| e.into_inner());
             guard.clone()
         };
         let Some(sender) = sender else {
-            return Err(ShuttingDown);
+            return Err(SubmitError::ShuttingDown);
         };
         sender
-            .send(Job { request, reply })
-            .map_err(|_| ShuttingDown)?;
-        // The dispatcher replies exactly once per accepted job (even while
-        // draining); a disconnect without a reply means it is gone.
-        response.recv().map_err(|_| ShuttingDown)
+            .send(Job {
+                request,
+                deadline,
+                reply,
+            })
+            .map_err(|_| SubmitError::ShuttingDown)?;
+        let now = Instant::now();
+        let Some(budget) = deadline
+            .checked_duration_since(now)
+            .filter(|b| !b.is_zero())
+        else {
+            return Err(SubmitError::DeadlineExceeded);
+        };
+        match response.recv_timeout(budget) {
+            Ok(result) => Ok(result),
+            Err(RecvTimeoutError::Timeout) => Err(SubmitError::DeadlineExceeded),
+            // The dispatcher replies exactly once per accepted job, even
+            // while draining; a disconnect without a reply means its batch
+            // panicked — or the job was dropped as already expired, in
+            // which case the deadline verdict is the truthful one.
+            Err(RecvTimeoutError::Disconnected) => {
+                if Instant::now() >= deadline {
+                    Err(SubmitError::DeadlineExceeded)
+                } else {
+                    Err(SubmitError::Crashed)
+                }
+            }
+        }
     }
 
     /// Close the queue, let the dispatcher drain everything queued, and
@@ -124,10 +177,10 @@ fn dispatch_loop(
         };
         let mut batch = vec![first];
         // …then gather whatever else arrives inside the latency budget.
-        let deadline = Instant::now() + window;
+        let gather_deadline = Instant::now() + window;
         while batch.len() < max_batch {
             let now = Instant::now();
-            let Some(budget) = deadline
+            let Some(budget) = gather_deadline
                 .checked_duration_since(now)
                 .filter(|b| !b.is_zero())
             else {
@@ -139,13 +192,40 @@ fn dispatch_loop(
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        metrics.record_batch(batch.len());
-        let requests: Vec<ParseRequest> = batch.iter().map(|job| job.request.clone()).collect();
-        let results = engine.parse_batch(&requests);
-        for (job, result) in batch.into_iter().zip(results) {
-            // A submitter that gave up (connection died) just drops its
-            // receiver; failing to deliver is not an error.
-            let _ = job.reply.send(result);
+        // Jobs already past their deadline get dropped here: their
+        // submitters have answered 504 and gone, and the engine should not
+        // burn a batch slot computing for nobody.
+        let now = Instant::now();
+        batch.retain(|job| job.deadline > now);
+        if batch.is_empty() {
+            continue;
+        }
+        // A panic below (e.g. the `coalescer.flush` failpoint) costs this
+        // one batch — the dropped reply senders surface as typed 500s at
+        // the submitters — and the dispatcher keeps serving.
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            if let Err(error) = genie_nlp::failpoint::fail_io("coalescer.flush") {
+                for job in &batch {
+                    let _ = job
+                        .reply
+                        .send(Err(genie::Error::Io(io::Error::other(error.to_string()))));
+                }
+                return;
+            }
+            metrics.record_batch(batch.len());
+            let requests: Vec<ParseRequest> = batch.iter().map(|job| job.request.clone()).collect();
+            let results = engine.parse_batch(&requests);
+            for (job, result) in batch.iter().zip(results) {
+                // A submitter that gave up (connection died) just drops its
+                // receiver; failing to deliver is not an error.
+                let _ = job.reply.send(result);
+            }
+        }))
+        .is_err();
+        if crashed {
+            metrics
+                .panics
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }

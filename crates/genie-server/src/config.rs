@@ -22,6 +22,11 @@ pub const DEFAULT_MAX_BATCH_REQUESTS: usize = 64;
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(5);
 /// Default acceptor/handler thread count.
 pub const DEFAULT_WORKER_THREADS: usize = 4;
+/// Default cap on concurrently admitted parse requests (the overload
+/// shedding gate); generous enough that only a genuine pile-up sheds.
+pub const DEFAULT_MAX_INFLIGHT: usize = 512;
+/// Default per-request deadline budget (coalescer wait + batch execution).
+pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// The server's validated configuration. Construct via
 /// [`ServerConfig::builder`].
@@ -49,6 +54,15 @@ pub struct ServerConfig {
     pub quota_burst: u32,
     /// Token-bucket refill rate per client IP, tokens/second.
     pub quota_per_sec: f64,
+    /// Cap on parse requests admitted concurrently (queued in the
+    /// coalescer or executing). Past it the server **sheds** with a `503`
+    /// and `Retry-After` instead of queueing unboundedly; `0` disables the
+    /// gate.
+    pub max_inflight: usize,
+    /// Per-request deadline budget: a single parse that cannot complete
+    /// (coalescer wait included) inside it answers a typed `504` instead of
+    /// stalling its keep-alive pipeline.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +77,8 @@ impl Default for ServerConfig {
             read_timeout: DEFAULT_READ_TIMEOUT,
             quota_burst: 0,
             quota_per_sec: 0.0,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            request_deadline: DEFAULT_REQUEST_DEADLINE,
         }
     }
 }
@@ -128,6 +144,18 @@ impl ServerConfig {
                 "a non-zero quota burst needs a non-zero refill rate",
             ));
         }
+        if self.max_inflight > 1 << 20 {
+            return Err(ConfigError::new(
+                "max_inflight",
+                format!("must be at most 2^20, got {}", self.max_inflight),
+            ));
+        }
+        if self.request_deadline.is_zero() || self.request_deadline > Duration::from_secs(600) {
+            return Err(ConfigError::new(
+                "request_deadline",
+                "must be positive and at most 600s",
+            ));
+        }
         Ok(())
     }
 }
@@ -189,6 +217,19 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Overload-shedding cap on concurrently admitted parse requests
+    /// (`0` disables the gate).
+    pub fn max_inflight(mut self, requests: usize) -> Self {
+        self.config.max_inflight = requests;
+        self
+    }
+
+    /// Per-request deadline budget (coalescer wait + execution).
+    pub fn request_deadline(mut self, deadline: Duration) -> Self {
+        self.config.request_deadline = deadline;
+        self
+    }
+
     /// Validate and return the config.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         self.config.validate()?;
@@ -239,6 +280,18 @@ mod tests {
         assert!(ServerConfig::builder().quota(4, f64::NAN).build().is_err());
         assert!(ServerConfig::builder().quota(4, -1.0).build().is_err());
         assert!(ServerConfig::builder().quota(4, 0.0).build().is_err());
+        assert!(ServerConfig::builder()
+            .max_inflight((1 << 20) + 1)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .request_deadline(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(ServerConfig::builder()
+            .request_deadline(Duration::from_secs(3600))
+            .build()
+            .is_err());
         // The errors name the offending field.
         let error = ServerConfig::builder().quota(4, 0.0).build().unwrap_err();
         assert!(error.to_string().contains("quota_per_sec"));

@@ -1,0 +1,98 @@
+//! The server's typed bind-time error.
+//!
+//! Binding used to `.expect(...)` its way through listener cloning and
+//! thread spawning — a resource-exhausted host (thread limits, fd limits)
+//! would take the process down instead of reporting a failure the caller
+//! can handle. Every bind-time failure is now a [`ServerError`], and
+//! `From<ServerError> for genie::Error` keeps `?` working in
+//! `GenieResult` contexts.
+
+use std::fmt;
+use std::io;
+
+use genie_templates::ConfigError;
+
+/// Why [`crate::GenieServer`] failed to bind and start serving.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The [`crate::ServerConfig`] failed validation.
+    Config(ConfigError),
+    /// The listening socket could not be bound, inspected, or cloned.
+    Io(io::Error),
+    /// An OS thread could not be spawned at bind time. `what` names the
+    /// thread (acceptor, coalescer dispatcher, supervisor, reload runner).
+    Spawn {
+        /// Which thread failed to start.
+        what: &'static str,
+        /// The underlying spawn failure.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Config(error) => write!(f, "invalid server config: {error}"),
+            ServerError::Io(error) => write!(f, "server socket setup failed: {error}"),
+            ServerError::Spawn { what, source } => {
+                write!(f, "could not spawn the {what} thread: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Config(error) => Some(error),
+            ServerError::Io(error) => Some(error),
+            ServerError::Spawn { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ConfigError> for ServerError {
+    fn from(error: ConfigError) -> Self {
+        ServerError::Config(error)
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(error: io::Error) -> Self {
+        ServerError::Io(error)
+    }
+}
+
+impl From<ServerError> for genie::Error {
+    fn from(error: ServerError) -> Self {
+        match error {
+            ServerError::Config(config) => genie::Error::from(config),
+            ServerError::Io(io) => genie::Error::Io(io),
+            spawn @ ServerError::Spawn { .. } => {
+                genie::Error::Io(io::Error::other(spawn.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failing_stage() {
+        let spawn = ServerError::Spawn {
+            what: "acceptor",
+            source: io::Error::other("out of threads"),
+        };
+        assert!(spawn.to_string().contains("acceptor"));
+        assert!(spawn.to_string().contains("out of threads"));
+        let as_genie: genie::Error = spawn.into();
+        assert!(matches!(as_genie, genie::Error::Io(_)));
+
+        let config = ServerError::from(ConfigError::new("worker_threads", "zero"));
+        assert!(config.to_string().contains("worker_threads"));
+        let as_genie: genie::Error = config.into();
+        assert!(matches!(as_genie, genie::Error::Config(_)));
+    }
+}

@@ -99,6 +99,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -245,7 +253,12 @@ impl<'a> Parser<'a> {
                     let rest = &self.bytes[start..];
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| self.error("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().expect("non-empty by construction");
+                    // Non-empty by construction (`rest` starts at a byte we
+                    // just consumed), but typed beats provable on the
+                    // untrusted-input path.
+                    let Some(c) = text.chars().next() else {
+                        return Err(self.error("truncated string"));
+                    };
                     out.push(c);
                     self.at = start + c.len_utf8();
                 }
@@ -306,7 +319,7 @@ impl<'a> Parser<'a> {
             self.at += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.at])
-            .expect("digits and sign characters are ASCII");
+            .map_err(|_| self.error("malformed number"))?;
         let value: f64 = text.parse().map_err(|_| self.error("malformed number"))?;
         if !value.is_finite() {
             return Err(self.error("number out of range"));

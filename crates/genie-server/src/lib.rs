@@ -10,9 +10,10 @@
 //! |---|---|
 //! | `POST /v1/parse` | One utterance; coalesced into a micro-batch |
 //! | `POST /v1/parse_batch` | A client-assembled batch; straight to the engine |
-//! | `POST /v1/admin/reload` | Apply a skill delta and hot-swap the world ([`GenieServer::bind_live`] only) |
+//! | `POST /v1/admin/reload` | Apply a skill delta on a background builder: `202 Accepted` (or `{"wait": true}` for the swap report) ([`GenieServer::bind_live`] only) |
+//! | `GET /v1/admin/reload/status` | The reload runner's state and last outcome |
 //! | `GET /v1/admin/version` | The serving world-snapshot version |
-//! | `GET /metrics` | Flat-text counters (server + engine + world swaps) |
+//! | `GET /metrics` | Flat-text counters (server + engine + world swaps + supervision) |
 //! | `GET /healthz` | Liveness |
 //!
 //! ## The determinism contract
@@ -48,15 +49,23 @@
 //! # }
 //! ```
 
+// The request path must never take the process down on hostile input: no
+// unsupervised unwraps/expects outside test code. Fallible paths use typed
+// errors; lock poisoning recovers via `unwrap_or_else(|e| e.into_inner())`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod admin;
 pub mod api;
 pub mod coalescer;
 pub mod config;
+pub mod error;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod quota;
+pub mod reload;
 mod server;
 
 pub use config::{ServerConfig, ServerConfigBuilder};
+pub use error::ServerError;
 pub use server::GenieServer;

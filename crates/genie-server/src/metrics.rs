@@ -52,8 +52,20 @@ pub struct Metrics {
     pub reload_requests: AtomicU64,
     /// Reloads that completed and swapped a new world in.
     pub reload_ok: AtomicU64,
-    /// Reloads rejected (no live world, bad body) or failed mid-rebuild.
+    /// Reloads rejected (no live world, bad body, busy) or failed
+    /// mid-rebuild — every failed reload left the old world serving.
     pub reload_failed: AtomicU64,
+    /// Request handlers (or the coalescer dispatcher) that panicked and
+    /// were caught by supervision; each cost one `500` or one dropped
+    /// batch, never the process.
+    pub panics: AtomicU64,
+    /// Dead acceptor threads respawned by the supervisor watchdog.
+    pub acceptor_respawns: AtomicU64,
+    /// Requests shed by the overload admission gate (`503` + `Retry-After`;
+    /// disjoint from `quota_rejections`' `429`s).
+    pub shed: AtomicU64,
+    /// Requests that blew their deadline budget and answered `504`.
+    pub deadline_exceeded: AtomicU64,
 }
 
 impl Metrics {
@@ -85,7 +97,7 @@ impl Metrics {
     pub fn render(&self, engine: &EngineStatsHandle) -> String {
         let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         let engine_stats = engine.snapshot();
-        let pairs: [(&str, u64); 24] = [
+        let pairs: [(&str, u64); 28] = [
             ("server_connections_total", load(&self.connections)),
             ("server_http_requests_total", load(&self.http_requests)),
             ("server_parse_requests_total", load(&self.parse_requests)),
@@ -112,6 +124,16 @@ impl Metrics {
             ("server_reload_requests_total", load(&self.reload_requests)),
             ("server_reload_ok_total", load(&self.reload_ok)),
             ("server_reload_failed_total", load(&self.reload_failed)),
+            ("server_panics_total", load(&self.panics)),
+            (
+                "server_acceptor_respawns_total",
+                load(&self.acceptor_respawns),
+            ),
+            ("server_shed_total", load(&self.shed)),
+            (
+                "server_deadline_exceeded_total",
+                load(&self.deadline_exceeded),
+            ),
             ("engine_requests_total", engine_stats.requests),
             ("engine_cache_hits_total", engine_stats.cache_hits),
             (

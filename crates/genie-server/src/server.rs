@@ -9,45 +9,74 @@
 //! does not happen on acceptor threads: single parses queue into the
 //! [`crate::coalescer::Coalescer`] (one dispatcher thread, micro-batched
 //! through `GenieEngine::parse_batch`), which is where the engine's own
-//! deterministic parallelism takes over.
+//! deterministic parallelism takes over. Reload rebuilds do not happen on
+//! acceptor threads either: they queue into the
+//! [`crate::reload::ReloadRunner`]'s builder thread.
+//!
+//! # Supervision
+//!
+//! Acceptors are supervised: a watchdog thread owns the acceptor handles,
+//! joins any that die (a panic that escapes a handler — per-request
+//! handling itself runs under `catch_unwind` and answers a typed `500`
+//! first), and respawns them so the configured accept capacity recovers.
+//! The chaos soak drives this on purpose through the `server.accept` and
+//! `server.handle` failpoints.
+//!
+//! # Overload
+//!
+//! Ahead of the coalescer sits a bounded admission gate: past
+//! `max_inflight` concurrently admitted parse requests the server sheds
+//! with a `503` + `Retry-After` instead of queueing unboundedly
+//! (deliberately distinct from the per-client quota's `429`). Each admitted
+//! request carries a deadline; one that cannot complete inside
+//! `request_deadline` answers a typed `504`.
 //!
 //! # Shutdown
 //!
 //! [`GenieServer::shutdown`] flips the flag, nudges each blocked acceptor
-//! awake with loopback connections, joins the acceptors (each finishes the
-//! request it is serving — in-flight requests drain, idle keep-alive
-//! connections close within the read timeout), then closes and joins the
-//! coalescer (which drains its queue by construction).
+//! awake with loopback connections until the supervisor (which joins the
+//! acceptors) exits, then closes and joins the coalescer (which drains its
+//! queue by construction) and the reload runner (which finishes or rolls
+//! back an in-progress rebuild).
 
 use std::io::BufReader;
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use genie::live::LiveWorld;
 use genie::{EngineStatsHandle, GenieEngine, GenieResult};
 
 use crate::admin;
 use crate::api;
-use crate::coalescer::Coalescer;
+use crate::coalescer::{Coalescer, SubmitError};
 use crate::config::ServerConfig;
+use crate::error::ServerError;
 use crate::http::{self, HttpError, Request};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::quota::Quota;
+use crate::reload::{ReloadRunner, ReloadSubmit};
+
+/// How often the supervisor watchdog sweeps for dead acceptors.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(20);
 
 struct Shared {
     engine: GenieEngine,
     engine_stats: EngineStatsHandle,
-    /// The live world behind the engine, when the server was bound with
-    /// [`GenieServer::bind_live`]; `None` makes `/v1/admin/reload` a 503.
-    live: Option<Arc<LiveWorld>>,
     config: ServerConfig,
     metrics: Arc<Metrics>,
     quota: Option<Quota>,
     coalescer: Coalescer,
+    /// The background reload builder, when the server was bound with
+    /// [`GenieServer::bind_live`]; `None` makes `/v1/admin/reload` a 503.
+    reload: Option<ReloadRunner>,
+    /// Parse requests currently admitted (queued or executing); the
+    /// overload gate compares this against `config.max_inflight`.
+    inflight: AtomicUsize,
     shutdown: AtomicBool,
 }
 
@@ -58,7 +87,7 @@ struct Shared {
 pub struct GenieServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptors: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl GenieServer {
@@ -66,25 +95,31 @@ impl GenieServer {
     ///
     /// # Errors
     ///
-    /// `Error::Config` for an invalid config, `Error::Io` when the socket
-    /// cannot be bound.
-    pub fn bind(engine: GenieEngine, config: ServerConfig) -> GenieResult<GenieServer> {
+    /// A typed [`ServerError`]: `Config` for an invalid config, `Io` when
+    /// the socket cannot be bound, `Spawn` when the OS refuses a thread.
+    /// (`ServerError` converts into `genie::Error`, so `?` keeps working
+    /// in `GenieResult` contexts.)
+    pub fn bind(engine: GenieEngine, config: ServerConfig) -> Result<GenieServer, ServerError> {
         Self::bind_inner(engine, None, config)
     }
 
     /// Bind `config.addr` and serve a [`LiveWorld`]'s engine, enabling the
     /// live-update admin surface: `POST /v1/admin/reload` applies a skill
     /// delta (incremental re-synthesis + retraining + atomic world swap)
-    /// and `GET /v1/admin/version` reports the serving snapshot version.
+    /// on a background builder thread — the default reply is `202
+    /// Accepted`, `{"wait": true}` blocks for the swap report — and
+    /// `GET /v1/admin/version` reports the serving snapshot version.
     /// Requests in flight during a swap finish on the world they started
-    /// with; [`GenieServer::shutdown`] drains an in-progress reload like
-    /// any other request.
+    /// with; a failed or panicking rebuild leaves the old world serving;
+    /// [`GenieServer::shutdown`] drains an in-progress reload.
     ///
     /// # Errors
     ///
-    /// `Error::Config` for an invalid config, `Error::Io` when the socket
-    /// cannot be bound.
-    pub fn bind_live(live: Arc<LiveWorld>, config: ServerConfig) -> GenieResult<GenieServer> {
+    /// A typed [`ServerError`], as for [`GenieServer::bind`].
+    pub fn bind_live(
+        live: Arc<LiveWorld>,
+        config: ServerConfig,
+    ) -> Result<GenieServer, ServerError> {
         let engine = live.engine().clone();
         Self::bind_inner(engine, Some(live), config)
     }
@@ -93,7 +128,7 @@ impl GenieServer {
         engine: GenieEngine,
         live: Option<Arc<LiveWorld>>,
         config: ServerConfig,
-    ) -> GenieResult<GenieServer> {
+    ) -> Result<GenieServer, ServerError> {
         config.validate()?;
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -105,33 +140,60 @@ impl GenieServer {
             config.coalesce_window,
             config.max_coalesce_batch,
             metrics.clone(),
-        );
+        )
+        .map_err(|source| ServerError::Spawn {
+            what: "coalescer dispatcher",
+            source,
+        })?;
+        let reload = live
+            .map(|live| ReloadRunner::start(live, metrics.clone()))
+            .transpose()
+            .map_err(|source| ServerError::Spawn {
+                what: "reload runner",
+                source,
+            })?;
         let shared = Arc::new(Shared {
             engine_stats: engine.stats_handle(),
             engine,
-            live,
             config,
             metrics,
             quota,
             coalescer,
+            reload,
+            inflight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
-        let acceptors = (0..shared.config.worker_threads)
-            .map(|worker| {
-                let shared = shared.clone();
-                let listener = listener
-                    .try_clone()
-                    .expect("cloning a listener cannot fail");
-                std::thread::Builder::new()
-                    .name(format!("genie-server-{worker}"))
-                    .spawn(move || accept_loop(&shared, &listener))
-                    .expect("spawning an acceptor cannot fail")
-            })
-            .collect();
+        let mut acceptors = Vec::with_capacity(shared.config.worker_threads);
+        for worker in 0..shared.config.worker_threads {
+            let handle = spawn_acceptor(&shared, &listener, worker).map_err(|source| {
+                // Threads already spawned must not outlive a failed bind
+                // holding the listener: tell them to exit on their next
+                // accepted connection.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                ServerError::Spawn {
+                    what: "acceptor",
+                    source,
+                }
+            })?;
+            acceptors.push(Some(handle));
+        }
+        let supervisor = {
+            let supervised = shared.clone();
+            std::thread::Builder::new()
+                .name("genie-supervisor".to_owned())
+                .spawn(move || supervise(&supervised, &listener, acceptors))
+                .map_err(|source| {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    ServerError::Spawn {
+                        what: "supervisor",
+                        source,
+                    }
+                })?
+        };
         Ok(GenieServer {
             shared,
             addr,
-            acceptors,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -149,25 +211,76 @@ impl GenieServer {
     /// and the coalescer queue, join every thread. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Nudge acceptors blocked in `accept()` awake until all have
-        // exited; a nudge connection is answered by the flag check and
-        // dropped. Busy acceptors finish their connection first — that is
-        // the drain.
-        while !self.acceptors.iter().all(JoinHandle::is_finished) {
-            let _ = TcpStream::connect_timeout(&self.addr, std::time::Duration::from_millis(100));
-            std::thread::sleep(std::time::Duration::from_millis(5));
+        let Some(supervisor) = self.supervisor.take() else {
+            return;
+        };
+        // Nudge acceptors blocked in `accept()` awake until the supervisor
+        // (which joins them) has exited; a nudge connection is answered by
+        // the flag check and dropped. Busy acceptors finish their
+        // connection first — that is the drain.
+        while !supervisor.is_finished() {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(100));
+            std::thread::sleep(Duration::from_millis(5));
         }
-        for handle in self.acceptors.drain(..) {
-            let _ = handle.join();
-        }
-        // All handlers are gone; close the queue and drain the dispatcher.
+        let _ = supervisor.join();
+        // All handlers are gone; close the queues and drain the workers.
         self.shared.coalescer.shutdown();
+        if let Some(reload) = self.shared.reload.as_ref() {
+            reload.shutdown();
+        }
     }
 }
 
 impl Drop for GenieServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+fn spawn_acceptor(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    worker: usize,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = shared.clone();
+    let listener = listener.try_clone()?;
+    std::thread::Builder::new()
+        .name(format!("genie-server-{worker}"))
+        .spawn(move || accept_loop(&shared, &listener))
+}
+
+/// The watchdog: joins acceptors that died (an escaped panic) and respawns
+/// them so accept capacity recovers; on shutdown, joins whatever is left.
+fn supervise(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    mut acceptors: Vec<Option<JoinHandle<()>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for (worker, slot) in acceptors.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(JoinHandle::is_finished) {
+                if let Some(dead) = slot.take() {
+                    let _ = dead.join();
+                }
+            }
+            if slot.is_none() && !shared.shutdown.load(Ordering::SeqCst) {
+                // A respawn failure (thread limits) is retried next tick;
+                // the remaining acceptors keep serving meanwhile.
+                if let Ok(handle) = spawn_acceptor(shared, listener, worker) {
+                    shared
+                        .metrics
+                        .acceptor_respawns
+                        .fetch_add(1, Ordering::Relaxed);
+                    *slot = Some(handle);
+                }
+            }
+        }
+        std::thread::sleep(SUPERVISOR_TICK);
+    }
+    for slot in &mut acceptors {
+        if let Some(handle) = slot.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -178,6 +291,14 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     drop(stream);
                     return;
+                }
+                // Chaos hook: an injected error drops this connection (the
+                // client sees a reset, a valid fault-model outcome); an
+                // injected panic kills this acceptor so the supervisor's
+                // respawn path gets exercised.
+                if genie_nlp::failpoint::fail_io("server.accept").is_err() {
+                    drop(stream);
+                    continue;
                 }
                 shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
                 handle_connection(shared, stream, peer);
@@ -191,7 +312,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
                 }
                 // Transient accept errors (EMFILE, aborted handshake):
                 // back off briefly and keep serving.
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(10));
             }
         }
     }
@@ -219,12 +340,29 @@ fn handle_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
             Ok(Some(request)) => {
                 shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
                 let started = Instant::now();
-                let outcome = route(shared, peer.ip(), &request);
+                // Supervision: a handler panic costs this one request (a
+                // typed 500) and this one connection, never the acceptor.
+                let routed = catch_unwind(AssertUnwindSafe(|| route(shared, peer.ip(), &request)));
+                let (outcome, panicked) = match routed {
+                    Ok(outcome) => (outcome, false),
+                    Err(_) => {
+                        shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                        let outcome = Outcome::error(
+                            500,
+                            "Internal Server Error",
+                            "internal_panic",
+                            "the request handler panicked; it was supervised and this \
+                             connection will close",
+                        );
+                        (outcome, true)
+                    }
+                };
                 shared
                     .metrics
                     .record_latency(started.elapsed().as_micros() as u64);
                 shared.metrics.record_status(outcome.status);
-                let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+                let keep_alive =
+                    request.keep_alive && !panicked && !shared.shutdown.load(Ordering::SeqCst);
                 if http::write_response(
                     &mut stream,
                     outcome.status,
@@ -299,9 +437,60 @@ impl Outcome {
     }
 }
 
+/// RAII admission slot: dropping it (however the request ends — success,
+/// typed error, or panic unwinding through `catch_unwind`) frees capacity.
+struct InflightPermit<'a>(&'a AtomicUsize);
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Try to take an admission slot; past `max_inflight` the request is shed
+/// with a `503` + `Retry-After` (distinct from the quota's `429`: the gate
+/// protects the *server*, the quota polices each *client*).
+fn admit(shared: &Shared) -> Result<Option<InflightPermit<'_>>, Box<Outcome>> {
+    if shared.config.max_inflight == 0 {
+        return Ok(None); // gate disabled
+    }
+    let admitted = shared.inflight.fetch_add(1, Ordering::AcqRel);
+    if admitted >= shared.config.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        let mut outcome = Outcome::error(
+            503,
+            "Service Unavailable",
+            "overloaded",
+            &format!(
+                "the server is at its admission limit ({} in-flight requests); retry shortly",
+                shared.config.max_inflight
+            ),
+        );
+        outcome.extra_headers.push(("Retry-After", "1".to_owned()));
+        return Err(Box::new(outcome));
+    }
+    Ok(Some(InflightPermit(&shared.inflight)))
+}
+
 fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
+    // Chaos hook: an injected error is a typed 500; an injected panic
+    // unwinds into the handler's `catch_unwind` and becomes the
+    // `internal_panic` 500, proving supervision end to end.
+    if let Err(error) = genie_nlp::failpoint::fail_io("server.handle") {
+        return Outcome::error(
+            500,
+            "Internal Server Error",
+            "injected_fault",
+            &error.to_string(),
+        );
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/parse") => {
+            let _permit = match admit(shared) {
+                Ok(permit) => permit,
+                Err(shed) => return *shed,
+            };
             if let Some(outcome) = check_quota(shared, peer, 1.0) {
                 return outcome;
             }
@@ -315,21 +504,47 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
                 Ok(parse_request) => parse_request,
                 Err(error) => return codec_outcome(&error),
             };
-            match shared.coalescer.submit(parse_request) {
+            let deadline = Instant::now() + shared.config.request_deadline;
+            match shared.coalescer.submit(parse_request, deadline) {
                 Ok(result) => {
                     record_parse_result(shared, &result);
                     let (status, reason, body) = api::render_result(&result);
                     Outcome::json(status, reason, body)
                 }
-                Err(_) => Outcome::error(
+                Err(SubmitError::ShuttingDown) => Outcome::error(
                     503,
                     "Service Unavailable",
                     "shutting_down",
                     "the server is draining and no longer accepts work",
                 ),
+                Err(SubmitError::DeadlineExceeded) => {
+                    shared
+                        .metrics
+                        .deadline_exceeded
+                        .fetch_add(1, Ordering::Relaxed);
+                    Outcome::error(
+                        504,
+                        "Gateway Timeout",
+                        "deadline_exceeded",
+                        &format!(
+                            "the request missed its {}ms deadline budget",
+                            shared.config.request_deadline.as_millis()
+                        ),
+                    )
+                }
+                Err(SubmitError::Crashed) => Outcome::error(
+                    500,
+                    "Internal Server Error",
+                    "batch_crashed",
+                    "the micro-batch serving this request crashed; it was supervised — retry",
+                ),
             }
         }
         ("POST", "/v1/parse_batch") => {
+            let _permit = match admit(shared) {
+                Ok(permit) => permit,
+                Err(shed) => return *shed,
+            };
             shared
                 .metrics
                 .batch_requests
@@ -356,7 +571,7 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
                 .metrics
                 .reload_requests
                 .fetch_add(1, Ordering::Relaxed);
-            let Some(live) = shared.live.as_ref() else {
+            let Some(runner) = shared.reload.as_ref() else {
                 shared.metrics.reload_failed.fetch_add(1, Ordering::Relaxed);
                 return Outcome::error(
                     503,
@@ -365,35 +580,62 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
                     "this server was not bound to a live world; reload is unavailable",
                 );
             };
-            let (delta, mode) = match decode_body(&request.body)
-                .and_then(|json| admin::skill_delta_from_json(&json))
-            {
+            let body = match decode_body(&request.body) {
+                Ok(body) => body,
+                Err(error) => {
+                    shared.metrics.reload_failed.fetch_add(1, Ordering::Relaxed);
+                    return codec_outcome(&error);
+                }
+            };
+            let (delta, mode) = match admin::skill_delta_from_json(&body) {
                 Ok(decoded) => decoded,
                 Err(error) => {
                     shared.metrics.reload_failed.fetch_add(1, Ordering::Relaxed);
                     return codec_outcome(&error);
                 }
             };
-            // The rebuild runs on this acceptor thread: reloads serialize
-            // on the live world's state lock, requests keep flowing through
-            // the other acceptors on the old world, and shutdown drains an
-            // in-progress reload by joining this thread.
-            match live.reload_with(&delta, mode) {
-                Ok(report) => {
-                    shared.metrics.reload_ok.fetch_add(1, Ordering::Relaxed);
-                    Outcome::json(200, "OK", admin::render_swap_report(&report))
+            // The rebuild runs on the background builder thread; this
+            // acceptor either returns immediately (202) or merely waits for
+            // the report, so shutdown can drain it like any blocked request.
+            match runner.submit(delta, mode, admin::wait_from_json(&body)) {
+                ReloadSubmit::Accepted { accepted_version } => {
+                    Outcome::json(202, "Accepted", admin::render_accepted(accepted_version))
                 }
-                Err(error) => {
-                    shared.metrics.reload_failed.fetch_add(1, Ordering::Relaxed);
-                    let (status, reason) = api::status_for_error(&error);
-                    Outcome::json(status, reason, api::render_error(&error))
-                }
+                ReloadSubmit::Done(outcome) => match *outcome {
+                    Ok(report) => Outcome::json(200, "OK", admin::render_swap_report(&report)),
+                    Err(error) => {
+                        let (status, reason) = api::status_for_error(&error);
+                        Outcome::json(status, reason, api::render_error(&error))
+                    }
+                },
+                ReloadSubmit::Busy => Outcome::error(
+                    409,
+                    "Conflict",
+                    "reload_in_progress",
+                    "another reload is already queued or running; poll \
+                     /v1/admin/reload/status and retry",
+                ),
+                ReloadSubmit::ShuttingDown => Outcome::error(
+                    503,
+                    "Service Unavailable",
+                    "shutting_down",
+                    "the server is draining and no longer accepts reloads",
+                ),
             }
         }
+        ("GET", "/v1/admin/reload/status") => match shared.reload.as_ref() {
+            Some(runner) => Outcome::json(200, "OK", runner.render_status()),
+            None => Outcome::error(
+                503,
+                "Service Unavailable",
+                "not_live",
+                "this server was not bound to a live world; reload is unavailable",
+            ),
+        },
         ("GET", "/v1/admin/version") => Outcome::json(
             200,
             "OK",
-            admin::render_version(shared.engine.world_version(), shared.live.is_some()),
+            admin::render_version(shared.engine.world_version(), shared.reload.is_some()),
         ),
         ("GET", "/metrics") => Outcome {
             status: 200,

@@ -468,8 +468,11 @@ impl ShardedDatasetWriter {
     }
 
     /// Flush (TSV) or write out (columnar, including the shared string
-    /// table) every shard, and return the shard paths.
-    pub fn finish(mut self) -> io::Result<Vec<PathBuf>> {
+    /// table) every shard, and return the shard paths. Columnar artifacts
+    /// are sealed with a checksum footer and renamed into place atomically
+    /// (see [`colfmt::write_artifact`]), so a crash mid-write can never
+    /// leave a half-written shard under the final name.
+    pub fn finish(mut self) -> GenieResult<Vec<PathBuf>> {
         match &mut self.backend {
             ShardBackend::Tsv { writers, .. } => {
                 for writer in writers {
@@ -535,7 +538,7 @@ impl ShardedDatasetWriter {
         let table = load_columnar_table(first)?;
         let mut shards = Vec::with_capacity(paths.len());
         for path in paths {
-            let bytes = fs::read(path)?;
+            let bytes = colfmt::read_artifact(path, "colfmt.read")?;
             shards.push(ColumnShard::from_file_bytes(&bytes)?);
         }
         let rounds = shards.iter().map(ColumnShard::rows).max().unwrap_or(0);
@@ -573,7 +576,7 @@ fn columnar_table_path(shard: &Path) -> GenieResult<PathBuf> {
 /// to.
 fn load_columnar_table(shard: &Path) -> GenieResult<LoadedTable> {
     let table_path = columnar_table_path(shard)?;
-    let bytes = fs::read(&table_path)?;
+    let bytes = colfmt::read_artifact(&table_path, "colfmt.read")?;
     Ok(LoadedTable::from_file_bytes(&bytes)?)
 }
 
@@ -612,7 +615,7 @@ fn render_columnar_row(
 /// text costs the columnar format exists to avoid.
 pub fn read_columnar_shard(path: &Path) -> GenieResult<Vec<ParserExample>> {
     let table = load_columnar_table(path)?;
-    let bytes = fs::read(path)?;
+    let bytes = colfmt::read_artifact(path, "colfmt.read")?;
     let shard = ColumnShard::from_file_bytes(&bytes)?;
     let interner: &'static Interner = genie_templates::intern::shared();
     let symbols: Vec<Symbol> = table.iter().map(|text| interner.intern(text)).collect();

@@ -288,6 +288,10 @@ impl LiveWorld {
     pub fn reload_with(&self, delta: &SkillDelta, mode: RetrainMode) -> GenieResult<SwapReport> {
         let start = Instant::now();
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        // Chaos-harness injection point: a fault here (error or panic) must
+        // leave the old world serving and the version untouched — the swap
+        // below only happens after the whole rebuild succeeds.
+        genie_nlp::failpoint::fail_io("reload.retrain")?;
         let mut library = (*state.library).clone();
         delta.apply(&mut library);
         let library = Arc::new(library);

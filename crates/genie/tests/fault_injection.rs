@@ -1,0 +1,234 @@
+//! Deterministic fault injection against the artifact and reload layers:
+//! a torn snapshot or columnar write (the crash the atomic
+//! write-temp→fsync→rename path exists to prevent, forced here with the
+//! `genie_nlp::failpoint` registry) must be *detected* at load as a typed
+//! [`Error::CorruptArtifact`], never misparsed; and a reload that dies
+//! mid-rebuild must roll back — the old world keeps serving, the version
+//! stays put, and the next (healthy) reload succeeds.
+//!
+//! Own test binary: these tests arm the **process-global** failpoint
+//! registry, so they serialize on [`REGISTRY`] rather than race the
+//! harness's parallel test threads.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use genie::engine::{GenieEngine, ParseRequest};
+use genie::live::{LiveWorld, SkillDelta};
+use genie::{
+    read_columnar_shard, DatasetFormat, Error, ParaphraseConfig, PipelineConfig,
+    ShardedDatasetWriter,
+};
+use genie_nlp::failpoint::{self, FaultPlan, SiteSpec, INJECTED_ERROR_PREFIX};
+use genie_templates::GeneratorConfig;
+use luinet::{ModelConfig, ParserExample};
+use thingpedia::{PrimitiveTemplate, Thingpedia};
+
+/// Serializes the tests: the failpoint registry is process-global.
+static REGISTRY: Mutex<()> = Mutex::new(());
+
+fn registry_lock() -> MutexGuard<'static, ()> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pipeline() -> PipelineConfig {
+    PipelineConfig::builder()
+        .synthesis(
+            GeneratorConfig::builder()
+                .target_per_rule(10)
+                .max_depth(4)
+                .instantiations_per_template(1)
+                .seed(7)
+                .threads(1)
+                .shards(4)
+                .quiet(true)
+                .build()
+                .unwrap(),
+        )
+        .paraphrase(
+            ParaphraseConfig::builder()
+                .per_sentence(1)
+                .error_rate(0.0)
+                .seed(7)
+                .build()
+                .unwrap(),
+        )
+        .paraphrase_sample(20)
+        .parameter_expansion(false)
+        .seed(7)
+        .build()
+        .unwrap()
+}
+
+fn model() -> ModelConfig {
+    ModelConfig {
+        epochs: 4,
+        seed: 7,
+        threads: 1,
+        ..ModelConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("genie-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Torn writes are detected, not misparsed
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_torn_snapshot_write_is_a_typed_corrupt_artifact_at_load() {
+    let _serialized = registry_lock();
+    let engine = GenieEngine::builder()
+        .train(pipeline(), model())
+        .unwrap()
+        .build()
+        .unwrap();
+    let dir = scratch_dir("snapshot");
+    let path = dir.join("model.snap");
+
+    // The torn fault makes the save report success after persisting only
+    // half of the sealed bytes under the *final* name — the crash the
+    // rename protocol cannot absorb, which the checksum footer catches.
+    let plan = FaultPlan::new(0x7042).site("snapshot.write", SiteSpec::new().torn(1.0));
+    {
+        let _armed = failpoint::armed(&plan);
+        luinet::snapshot::save(&engine.model(), &path).unwrap();
+    }
+    let error = GenieEngine::builder()
+        .model_from_snapshot(&path)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        matches!(error, Error::CorruptArtifact { .. }),
+        "a torn snapshot must load as CorruptArtifact, got {error:?}"
+    );
+
+    // Disarmed, the same save round-trips.
+    luinet::snapshot::save(&engine.model(), &path).unwrap();
+    GenieEngine::builder()
+        .model_from_snapshot(&path)
+        .unwrap()
+        .build()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_torn_columnar_write_is_a_typed_corrupt_artifact_at_read() {
+    let _serialized = registry_lock();
+    let dir = scratch_dir("colfmt");
+    let interner = genie_templates::intern::shared();
+    let mut writer =
+        ShardedDatasetWriter::create_with_format(&dir, "train", 2, DatasetFormat::Columnar)
+            .unwrap();
+    for i in 0..6 {
+        writer
+            .write(&ParserExample::new(
+                interner.stream_of(&format!("sentence{i} words")),
+                vec!["now".to_owned(), "=>".to_owned(), format!("prog{i}")],
+            ))
+            .unwrap();
+    }
+
+    let plan = FaultPlan::new(0xC01F).site("colfmt.write", SiteSpec::new().torn(1.0));
+    let paths = {
+        let _armed = failpoint::armed(&plan);
+        // Every shard (and the string table) lands torn — and finish()
+        // still reports success, exactly like a crash after rename.
+        writer.finish().unwrap()
+    };
+    let error = read_columnar_shard(&paths[0]).unwrap_err();
+    assert!(
+        matches!(error, Error::CorruptArtifact { .. }),
+        "a torn shard must read as CorruptArtifact, got {error:?}"
+    );
+    let error = ShardedDatasetWriter::merge_for_each(&paths, |_| {}).unwrap_err();
+    assert!(
+        matches!(error, Error::CorruptArtifact { .. }),
+        "a torn shard set must merge as CorruptArtifact, got {error:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// A reload that dies mid-rebuild rolls back
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_failed_reload_leaves_the_old_world_serving_and_the_version_unchanged() {
+    let world = LiveWorld::bootstrap(Thingpedia::builtin(), pipeline(), model()).unwrap();
+    let _serialized = registry_lock();
+
+    // An utterance from the serving world's own training distribution:
+    // the rollback contract is that it keeps parsing identically.
+    let data = genie::DataPipeline::new(&world.library(), pipeline())
+        .build()
+        .unwrap();
+    let utterance = data
+        .synthesized
+        .examples
+        .iter()
+        .map(|e| e.text())
+        .find(|u| {
+            world
+                .engine()
+                .parse(&ParseRequest::new(u.clone()).bypass_cache())
+                .is_ok()
+        })
+        .expect("the world answers none of its own training utterances");
+    let before = world
+        .engine()
+        .parse(&ParseRequest::new(utterance.clone()).bypass_cache())
+        .unwrap();
+
+    let class = thingtalk::syntax::parse_class(
+        "class @com.test.lights { action set_power(in req power : Enum(on, off)); }",
+    )
+    .unwrap();
+    let template = PrimitiveTemplate::new(
+        &class.name,
+        "set_power",
+        thingpedia::PhraseCategory::VerbPhrase,
+        "flip the test lights $power".to_owned(),
+    );
+    let delta = SkillDelta::Upsert {
+        class,
+        templates: vec![template],
+    };
+
+    let plan =
+        FaultPlan::new(0x5EED).site("reload.retrain", SiteSpec::new().error(1.0).max_fires(1));
+    {
+        let _armed = failpoint::armed(&plan);
+        let error = world.reload(&delta).unwrap_err();
+        assert!(
+            error.to_string().contains(INJECTED_ERROR_PREFIX),
+            "expected the injected fault, got {error:?}"
+        );
+    }
+    // Rollback: nothing swapped, nothing drifted.
+    assert_eq!(
+        world.version(),
+        1,
+        "a failed reload must not advance the version"
+    );
+    let after = world
+        .engine()
+        .parse(&ParseRequest::new(utterance).bypass_cache())
+        .unwrap();
+    assert_eq!(
+        before.best().source,
+        after.best().source,
+        "the old world must keep serving identically after a failed reload"
+    );
+
+    // The same delta, disarmed: the world was left healthy enough to swap.
+    let report = world.reload(&delta).unwrap();
+    assert_eq!(report.version, 2);
+    assert_eq!(world.version(), 2);
+}

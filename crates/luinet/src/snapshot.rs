@@ -39,8 +39,8 @@ use std::collections::HashMap;
 use std::path::Path;
 
 use genie_nlp::colfmt::{
-    put_f32, put_f64, put_u32, put_u64, put_u8, ColfmtError, ColfmtResult, LoadedTable, Reader,
-    StringTable,
+    self, put_f32, put_f64, put_u32, put_u64, put_u8, ColfmtError, ColfmtResult, LoadedTable,
+    Reader, StringTable,
 };
 use genie_nlp::intern::{FnvState, Symbol};
 
@@ -170,8 +170,11 @@ pub fn to_bytes(parser: &LuinetParser) -> Vec<u8> {
 
 /// Save a trained parser to a snapshot file.
 pub fn save(parser: &LuinetParser, path: &Path) -> ColfmtResult<()> {
-    std::fs::write(path, to_bytes(parser))?;
-    Ok(())
+    // Sealed + atomic (write-temp → fsync → rename, trailing checksum): a
+    // crash mid-save leaves the previous snapshot intact, and a torn write
+    // is detected on load instead of misparsing. `snapshot.write` is the
+    // chaos-harness failpoint.
+    colfmt::write_artifact(path, &to_bytes(parser), "snapshot.write")
 }
 
 /// Reconstruct a parser from snapshot bytes.
@@ -280,7 +283,7 @@ pub fn from_bytes(buf: &[u8]) -> ColfmtResult<LuinetParser> {
 
 /// Load a parser from a snapshot file.
 pub fn load(path: &Path) -> ColfmtResult<LuinetParser> {
-    let bytes = std::fs::read(path)?;
+    let bytes = colfmt::read_artifact(path, "snapshot.read")?;
     from_bytes(&bytes)
 }
 
