@@ -240,6 +240,47 @@ def gate_robustness(fresh, committed):
           "(tracked, not gated)")
 
 
+def gate_recovery(fresh, committed):
+    """Recovery-soak gate: durability invariants exact, timings tracked only.
+
+    The recovery_soak binary already exits non-zero when any invariant
+    breaks; the gate re-asserts the flags on both reports so the
+    committed trajectory point visibly carries them, and pins the
+    seeded fault-schedule digest — a drift means the crash/storm
+    scenario is no longer the committed one. Recovery latency and
+    replication poll counts depend on scheduler timing, so they are
+    tracked, not gated.
+    """
+    assert fresh["config"] == committed["config"], (
+        "committed BENCH_recovery.json was measured on a different "
+        f"fault plan: {committed['config']} != {fresh['config']}"
+    )
+    assert fresh["fault_schedule_digest"] == committed["fault_schedule_digest"], (
+        "fault schedule digest drifted (injection engine or plan changed): "
+        f"{fresh['fault_schedule_digest']} != {committed['fault_schedule_digest']}"
+    )
+    flags = (
+        "recovered_version_matches",
+        "recovered_digest_matches",
+        "typed_faults_only",
+        "follower_converged",
+        "follower_digest_matches",
+        "degraded_mode_served",
+    )
+    for report, which in ((fresh, "fresh"), (committed, "committed")):
+        for flag in flags:
+            assert report["invariants"][flag], f"{which}: invariant `{flag}` broke"
+    storm, replication = fresh["crash_storm"], fresh["replication"]
+    print(f"crash storm: {storm['recoveries']} recoveries to v{storm['final_version']}, "
+          f"{storm['typed_faults']} typed faults, "
+          f"mean recovery {storm['mean_recovery_secs']:.3f}s / "
+          f"max {storm['max_recovery_secs']:.3f}s (tracked, not gated)")
+    print(f"replication: follower v{replication['follower_version']} after "
+          f"{replication['polls']} polls, {replication['applied']} applied, "
+          f"{replication['resyncs']} resyncs, {replication['errors']} errors "
+          "(tracked, not gated)")
+
+
 GATES = {
     "synthesis": gate_synthesis,
     "training": gate_training,
@@ -247,6 +288,7 @@ GATES = {
     "serving": gate_serving,
     "live": gate_live,
     "robustness": gate_robustness,
+    "recovery": gate_recovery,
 }
 
 

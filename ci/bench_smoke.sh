@@ -6,7 +6,8 @@
 #
 # Usage: ci/bench_smoke.sh <kind> -- <command...>
 #   <kind>        one of synthesis | serving | training | artifacts | live
-#                 | robustness (names BENCH_<kind>.json and picks the gate)
+#                 | robustness | recovery
+#                 (names BENCH_<kind>.json and picks the gate)
 #   <command...>  produces a fresh BENCH_<kind>.json in the repo root
 set -euo pipefail
 

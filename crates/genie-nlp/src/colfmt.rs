@@ -565,173 +565,13 @@ impl ColumnShard {
     }
 }
 
-/// Magic bytes opening the trailing checksum footer every artifact file
-/// carries after its payload.
-pub const FOOTER_MAGIC: [u8; 8] = *b"GENCKSF1";
-/// Footer layout: magic + `u64` payload length + `u64` FNV-1a checksum.
-pub const FOOTER_LEN: usize = 24;
-
-/// Append the checksum footer for `payload` to an encode buffer.
-///
-/// The footer sits *after* the payload so [`file_magic`] sniffing and the
-/// in-memory codecs ([`LoadedTable::from_file_bytes`] and friends, which
-/// insist on consuming every byte) keep working on the payload alone; the
-/// file layer strips and verifies it on read.
-pub fn append_footer(out: &mut Vec<u8>, payload_len: usize) {
-    let checksum = crate::failpoint::fnv64(&out[out.len() - payload_len..]);
-    out.extend_from_slice(&FOOTER_MAGIC);
-    put_u64(out, payload_len as u64);
-    put_u64(out, checksum);
-}
-
-/// The full sealed file image for `payload`: payload + checksum footer.
-pub fn seal(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + FOOTER_LEN);
-    out.extend_from_slice(payload);
-    append_footer(&mut out, payload.len());
-    out
-}
-
-/// Validate a sealed file image and return the payload slice. Any torn,
-/// truncated, or bit-flipped write fails here with a typed
-/// [`ColfmtError::Corrupt`] instead of misparsing downstream.
-pub fn unseal(buf: &[u8]) -> ColfmtResult<&[u8]> {
-    if buf.len() < FOOTER_LEN {
-        return Err(corrupt(format!(
-            "artifact of {} bytes is shorter than its checksum footer — torn write?",
-            buf.len()
-        )));
-    }
-    let footer = &buf[buf.len() - FOOTER_LEN..];
-    if footer[..8] != FOOTER_MAGIC {
-        return Err(corrupt(
-            "artifact checksum footer missing — torn write or pre-checksum file",
-        ));
-    }
-    let payload_len = u64::from_le_bytes([
-        footer[8], footer[9], footer[10], footer[11], footer[12], footer[13], footer[14],
-        footer[15],
-    ]) as usize;
-    let stored = u64::from_le_bytes([
-        footer[16], footer[17], footer[18], footer[19], footer[20], footer[21], footer[22],
-        footer[23],
-    ]);
-    let body = &buf[..buf.len() - FOOTER_LEN];
-    if payload_len != body.len() {
-        return Err(corrupt(format!(
-            "artifact footer claims {payload_len} payload bytes but {} are present — torn write?",
-            body.len()
-        )));
-    }
-    let actual = crate::failpoint::fnv64(body);
-    if actual != stored {
-        return Err(corrupt(format!(
-            "artifact checksum mismatch (stored {stored:016x}, computed {actual:016x})"
-        )));
-    }
-    Ok(body)
-}
-
-/// Crash-safe sealed artifact write: seal `payload`, write to a sibling
-/// temp file, fsync, then atomically rename over `path` (and best-effort
-/// fsync the directory). A crash at any point leaves either the old file or
-/// the new one — never a half-written artifact under the final name.
-///
-/// `site` names the [`crate::failpoint`] hooked here; an armed
-/// [`FaultKind::Torn`](crate::failpoint::FaultKind) persists a truncated
-/// prefix under the final name and *reports success*, simulating exactly
-/// the torn write the footer exists to catch.
-pub fn write_artifact(path: &Path, payload: &[u8], site: &str) -> ColfmtResult<()> {
-    let sealed = seal(payload);
-    if let Some(fault) = crate::failpoint::check(site) {
-        use crate::failpoint::FaultKind;
-        match fault.kind {
-            FaultKind::Error => {
-                return Err(ColfmtError::Io(io::Error::other(format!(
-                    "{} at `{site}` (hit {})",
-                    crate::failpoint::INJECTED_ERROR_PREFIX,
-                    fault.hit
-                ))));
-            }
-            FaultKind::Panic => panic!("failpoint `{site}` injected panic (hit {})", fault.hit),
-            FaultKind::Delay => std::thread::sleep(fault.delay),
-            FaultKind::Torn => {
-                // Crash mid-write: half the sealed image lands under the
-                // final name and the writer "succeeds".
-                std::fs::write(path, &sealed[..sealed.len() / 2])?;
-                return Ok(());
-            }
-        }
-    }
-    atomic_write(path, &sealed)?;
-    Ok(())
-}
-
-/// Read a sealed artifact written by [`write_artifact`], verify its footer,
-/// and return the payload bytes. `site` names the read-side failpoint.
-pub fn read_artifact(path: &Path, site: &str) -> ColfmtResult<Vec<u8>> {
-    crate::failpoint::fail_io(site)?;
-    let mut bytes = std::fs::read(path)?;
-    let payload_len = unseal(&bytes)?.len();
-    bytes.truncate(payload_len);
-    Ok(bytes)
-}
-
-/// write-temp → fsync → rename. The temp name carries the pid plus a
-/// process-wide counter so concurrent writers in one test process never
-/// collide.
-fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    use std::io::Write;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| io::Error::other(format!("artifact path {path:?} has no file name")))?;
-    let temp = path.with_file_name(format!(
-        "{}.tmp.{}.{}",
-        file_name.to_string_lossy(),
-        std::process::id(),
-        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let result = (|| {
-        let mut file = std::fs::File::create(&temp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&temp, path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&temp);
-        return result;
-    }
-    // Durability of the rename itself: sync the containing directory where
-    // the platform allows opening it (best-effort elsewhere).
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            if let Ok(dir) = std::fs::File::open(parent) {
-                let _ = dir.sync_all();
-            }
-        }
-    }
-    Ok(())
-}
-
-/// The first 8 bytes of a file (`None` when the file is shorter) — enough
-/// to distinguish a columnar shard from a TSV shard without reading either.
-pub fn file_magic(path: &Path) -> io::Result<Option<[u8; 8]>> {
-    use std::io::Read;
-    let mut file = std::fs::File::open(path)?;
-    let mut magic = [0u8; 8];
-    let mut filled = 0;
-    while filled < 8 {
-        let n = file.read(&mut magic[filled..])?;
-        if n == 0 {
-            return Ok(None);
-        }
-        filled += n;
-    }
-    Ok(Some(magic))
-}
+// The checksum-footer + atomic-rename discipline moved to the shared
+// [`crate::sealed`] module (the journal and world bundles route through it
+// too); the old `colfmt::` names keep working via this re-export.
+pub use crate::sealed::{
+    append_footer, file_magic, read_artifact, seal, unseal, write_artifact, FOOTER_LEN,
+    FOOTER_MAGIC,
+};
 
 #[cfg(test)]
 mod tests {

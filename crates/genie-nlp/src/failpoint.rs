@@ -392,6 +392,17 @@ pub fn fired(site: &str) -> u64 {
         .map_or(0, |e| e.fired)
 }
 
+/// Serialize tests that arm the **process-global** registry.
+///
+/// Any test binary whose tests call [`armed`] must hold this guard for the
+/// duration of the test, or parallel test threads race each other's fault
+/// plans. A poisoned lock is recovered (a panicking fault-injection test
+/// must not cascade into every later one).
+pub fn registry_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Counters for every armed site, sorted by site name.
 pub fn snapshot() -> Vec<SiteStats> {
     let guard = lock_registry();
@@ -419,8 +430,7 @@ mod tests {
 
     /// The registry is process-global, so tests that arm it serialize here.
     fn serial() -> std::sync::MutexGuard<'static, ()> {
-        static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock().unwrap_or_else(|e| e.into_inner())
+        registry_test_lock()
     }
 
     #[test]

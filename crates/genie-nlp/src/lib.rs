@@ -19,6 +19,10 @@
 //! * the little-endian binary codecs behind the on-disk artifacts —
 //!   columnar dataset shards and the serialized string tables shared with
 //!   the model snapshots — in [`colfmt`];
+//! * the shared sealed-artifact discipline every durable file rides on —
+//!   checksum footers, atomic write-temp→fsync→rename, and the
+//!   length-prefixed record framing behind the delta journal — in
+//!   [`sealed`];
 //! * the deterministic fault-injection registry the chaos harness and the
 //!   fault-tolerance tests arm — named failpoint sites drawing seeded,
 //!   replayable fault schedules — in [`failpoint`].
@@ -32,6 +36,7 @@ pub mod failpoint;
 pub mod intern;
 pub mod metrics;
 pub mod ppdb;
+pub mod sealed;
 pub mod tokenize;
 
 pub use argident::{identify_arguments, ArgumentSpan, ArgumentValue, Preprocessed};

@@ -1,0 +1,407 @@
+//! sealed — the crash-safe artifact file discipline shared by every
+//! on-disk format in the workspace.
+//!
+//! PR 9 introduced two ideas that PR 10 makes load-bearing everywhere:
+//!
+//! * a **checksum footer**: every artifact file ends with
+//!   [`FOOTER_MAGIC`] + the payload length + an FNV-1a checksum, so a torn
+//!   or bit-flipped write is *detected* at read time as a typed
+//!   [`ColfmtError::Corrupt`] instead of being misparsed downstream;
+//! * an **atomic write protocol**: write to a sibling temp file, fsync,
+//!   rename over the final name, fsync the directory — a crash at any point
+//!   leaves either the old file or the new one, never a half-written
+//!   artifact under the final name.
+//!
+//! Both used to live inside `colfmt`; they are format-independent, so they
+//! now live here and `colfmt`, `luinet::snapshot`, the delta journal and
+//! the world bundles all route through the same implementation (`colfmt`
+//! re-exports the old names for backward compatibility).
+//!
+//! On top of the sealed-file layer this module adds **record framing** for
+//! append-oriented artifacts (the delta journal): each record is
+//! `[u32 length][u64 FNV-1a checksum][payload]`, so a reader can recover
+//! every intact record from a file whose tail was torn mid-append and
+//! report the torn tail as a typed error instead of failing the whole load.
+
+use std::io;
+use std::path::Path;
+
+use crate::colfmt::{put_u32, put_u64, ColfmtError, ColfmtResult};
+use crate::failpoint::fnv64;
+
+/// Magic bytes opening the trailing checksum footer every artifact file
+/// carries after its payload.
+pub const FOOTER_MAGIC: [u8; 8] = *b"GENCKSF1";
+/// Footer layout: magic + `u64` payload length + `u64` FNV-1a checksum.
+pub const FOOTER_LEN: usize = 24;
+
+/// Append the checksum footer for `payload` to an encode buffer.
+///
+/// The footer sits *after* the payload so [`crate::colfmt::file_magic`]
+/// sniffing and the in-memory codecs (which insist on consuming every
+/// byte) keep working on the payload alone; the file layer strips and
+/// verifies it on read.
+pub fn append_footer(out: &mut Vec<u8>, payload_len: usize) {
+    let checksum = fnv64(&out[out.len() - payload_len..]);
+    out.extend_from_slice(&FOOTER_MAGIC);
+    put_u64(out, payload_len as u64);
+    put_u64(out, checksum);
+}
+
+/// The full sealed file image for `payload`: payload + checksum footer.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FOOTER_LEN);
+    out.extend_from_slice(payload);
+    append_footer(&mut out, payload.len());
+    out
+}
+
+/// Validate a sealed file image and return the payload slice. Any torn,
+/// truncated, or bit-flipped write fails here with a typed
+/// [`ColfmtError::Corrupt`] instead of misparsing downstream.
+pub fn unseal(buf: &[u8]) -> ColfmtResult<&[u8]> {
+    if buf.len() < FOOTER_LEN {
+        return Err(corrupt(format!(
+            "artifact of {} bytes is shorter than its checksum footer — torn write?",
+            buf.len()
+        )));
+    }
+    let footer = &buf[buf.len() - FOOTER_LEN..];
+    if footer[..8] != FOOTER_MAGIC {
+        return Err(corrupt(
+            "artifact checksum footer missing — torn write or pre-checksum file",
+        ));
+    }
+    let payload_len = u64::from_le_bytes([
+        footer[8], footer[9], footer[10], footer[11], footer[12], footer[13], footer[14],
+        footer[15],
+    ]) as usize;
+    let stored = u64::from_le_bytes([
+        footer[16], footer[17], footer[18], footer[19], footer[20], footer[21], footer[22],
+        footer[23],
+    ]);
+    let body = &buf[..buf.len() - FOOTER_LEN];
+    if payload_len != body.len() {
+        return Err(corrupt(format!(
+            "artifact footer claims {payload_len} payload bytes but {} are present — torn write?",
+            body.len()
+        )));
+    }
+    let actual = fnv64(body);
+    if actual != stored {
+        return Err(corrupt(format!(
+            "artifact checksum mismatch (stored {stored:016x}, computed {actual:016x})"
+        )));
+    }
+    Ok(body)
+}
+
+/// Crash-safe sealed artifact write: seal `payload`, write to a sibling
+/// temp file, fsync, then atomically rename over `path` (and best-effort
+/// fsync the directory). A crash at any point leaves either the old file or
+/// the new one — never a half-written artifact under the final name.
+///
+/// `site` names the [`crate::failpoint`] hooked here; an armed
+/// [`FaultKind::Torn`](crate::failpoint::FaultKind) persists a truncated
+/// prefix under the final name and *reports success*, simulating exactly
+/// the torn write the footer exists to catch.
+pub fn write_artifact(path: &Path, payload: &[u8], site: &str) -> ColfmtResult<()> {
+    let sealed = seal(payload);
+    if let Some(fault) = crate::failpoint::check(site) {
+        use crate::failpoint::FaultKind;
+        match fault.kind {
+            FaultKind::Error => {
+                return Err(ColfmtError::Io(io::Error::other(format!(
+                    "{} at `{site}` (hit {})",
+                    crate::failpoint::INJECTED_ERROR_PREFIX,
+                    fault.hit
+                ))));
+            }
+            FaultKind::Panic => panic!("failpoint `{site}` injected panic (hit {})", fault.hit),
+            FaultKind::Delay => std::thread::sleep(fault.delay),
+            FaultKind::Torn => {
+                // Crash mid-write: half the sealed image lands under the
+                // final name and the writer "succeeds".
+                std::fs::write(path, &sealed[..sealed.len() / 2])?;
+                return Ok(());
+            }
+        }
+    }
+    atomic_write(path, &sealed)?;
+    Ok(())
+}
+
+/// Read a sealed artifact written by [`write_artifact`], verify its footer,
+/// and return the payload bytes. `site` names the read-side failpoint.
+pub fn read_artifact(path: &Path, site: &str) -> ColfmtResult<Vec<u8>> {
+    crate::failpoint::fail_io(site)?;
+    let mut bytes = std::fs::read(path)?;
+    let payload_len = unseal(&bytes)?.len();
+    bytes.truncate(payload_len);
+    Ok(bytes)
+}
+
+/// write-temp → fsync → rename. The temp name carries the pid plus a
+/// process-wide counter so concurrent writers in one test process never
+/// collide.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("artifact path {path:?} has no file name")))?;
+    let temp = path.with_file_name(format!(
+        "{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&temp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&temp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&temp);
+        return result;
+    }
+    // Durability of the rename itself: sync the containing directory where
+    // the platform allows opening it (best-effort elsewhere).
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The first 8 bytes of a file (`None` when the file is shorter) — enough
+/// to distinguish file layouts without reading any of them.
+pub fn file_magic(path: &Path) -> io::Result<Option<[u8; 8]>> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    let mut filled = 0;
+    while filled < 8 {
+        let n = file.read(&mut magic[filled..])?;
+        if n == 0 {
+            return Ok(None);
+        }
+        filled += n;
+    }
+    Ok(Some(magic))
+}
+
+// ---------------------------------------------------------------------------
+// Record framing for append-oriented artifacts (the delta journal)
+// ---------------------------------------------------------------------------
+
+/// Bytes of framing ahead of each record payload: `u32` length + `u64`
+/// FNV-1a checksum of the payload.
+pub const RECORD_HEADER_LEN: usize = 12;
+
+/// Frame one record — `[u32 length][u64 checksum][payload]` — onto an
+/// encode buffer.
+pub fn append_record(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(out, payload.len() as u32);
+    put_u64(out, fnv64(payload));
+    out.extend_from_slice(payload);
+}
+
+/// Why record parsing stopped before the end of the buffer. Everything
+/// *before* the torn tail is intact and usable; the tail itself must be
+/// ignored (it is the residue of a crash mid-append).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the first unparseable record.
+    pub offset: usize,
+    /// What failed: a short header, a short payload, or a checksum
+    /// mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for TornTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "torn record tail at byte {}: {}",
+            self.offset, self.detail
+        )
+    }
+}
+
+/// Parse every intact framed record out of `buf`.
+///
+/// Returns the record payload slices in order plus `Some(TornTail)` when
+/// the buffer ends in a record that is truncated or fails its checksum —
+/// the crash-mid-append case. The torn tail is a *typed* condition, not an
+/// error: callers replay everything before it and ignore the rest.
+pub fn read_records(buf: &[u8]) -> (Vec<&[u8]>, Option<TornTail>) {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        let remaining = buf.len() - pos;
+        if remaining < RECORD_HEADER_LEN {
+            return (
+                records,
+                Some(TornTail {
+                    offset: pos,
+                    detail: format!("{remaining} trailing bytes are shorter than a record header"),
+                }),
+            );
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let stored = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let body_start = pos + RECORD_HEADER_LEN;
+        if buf.len() - body_start < len {
+            return (
+                records,
+                Some(TornTail {
+                    offset: pos,
+                    detail: format!(
+                        "record claims {len} bytes but only {} remain",
+                        buf.len() - body_start
+                    ),
+                }),
+            );
+        }
+        let payload = &buf[body_start..body_start + len];
+        let actual = fnv64(payload);
+        if actual != stored {
+            return (
+                records,
+                Some(TornTail {
+                    offset: pos,
+                    detail: format!(
+                        "record checksum mismatch (stored {stored:016x}, computed {actual:016x})"
+                    ),
+                }),
+            );
+        }
+        records.push(payload);
+        pos = body_start + len;
+    }
+    (records, None)
+}
+
+fn corrupt(detail: impl Into<String>) -> ColfmtError {
+    ColfmtError::Corrupt(detail.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_artifacts_roundtrip_and_detect_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("sealed-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sealed.bin");
+        let payload = b"hello artifact".to_vec();
+        write_artifact(&path, &payload, "colfmt.write").unwrap();
+        assert_eq!(read_artifact(&path, "colfmt.read").unwrap(), payload);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len(), payload.len() + FOOTER_LEN);
+
+        // Every proper prefix of the sealed image is a typed Corrupt error:
+        // a torn write can never be mistaken for a valid artifact.
+        for len in 0..on_disk.len() {
+            std::fs::write(&path, &on_disk[..len]).unwrap();
+            match read_artifact(&path, "colfmt.read") {
+                Err(ColfmtError::Corrupt(_)) => {}
+                other => panic!("torn prefix of {len} bytes: expected Corrupt, got {other:?}"),
+            }
+        }
+
+        // A flipped payload bit fails the checksum.
+        let mut flipped = on_disk;
+        flipped[3] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let error = read_artifact(&path, "colfmt.read").unwrap_err();
+        assert!(error.to_string().contains("checksum mismatch"), "{error}");
+
+        // A pre-checksum (footerless) file is reported as such.
+        std::fs::write(&path, &payload).unwrap();
+        let error = read_artifact(&path, "colfmt.read").unwrap_err();
+        assert!(error.to_string().contains("footer"), "{error}");
+
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp.")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn framed_records_roundtrip() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, b"first");
+        append_record(&mut buf, b"");
+        append_record(&mut buf, b"third record");
+        let (records, tail) = read_records(&buf);
+        assert_eq!(
+            records,
+            vec![
+                b"first".as_slice(),
+                b"".as_slice(),
+                b"third record".as_slice()
+            ]
+        );
+        assert!(tail.is_none());
+        let (records, tail) = read_records(&[]);
+        assert!(records.is_empty());
+        assert!(tail.is_none());
+    }
+
+    #[test]
+    fn a_torn_tail_preserves_every_intact_record() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, b"alpha");
+        append_record(&mut buf, b"beta");
+        let intact = buf.len();
+        append_record(&mut buf, b"gamma-torn-away");
+        // Every truncation point inside the last record keeps the first two
+        // records and reports a typed torn tail (except exactly at the
+        // boundary, which is a clean two-record file).
+        for cut in intact + 1..buf.len() {
+            let (records, tail) = read_records(&buf[..cut]);
+            assert_eq!(
+                records,
+                vec![b"alpha".as_slice(), b"beta".as_slice()],
+                "cut at {cut}"
+            );
+            let tail = tail.expect("a truncated record must report a torn tail");
+            assert_eq!(tail.offset, intact);
+        }
+        let (records, tail) = read_records(&buf[..intact]);
+        assert_eq!(records.len(), 2);
+        assert!(tail.is_none());
+    }
+
+    #[test]
+    fn a_corrupt_record_is_reported_as_the_tail() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, b"good");
+        let boundary = buf.len();
+        append_record(&mut buf, b"flipped");
+        *buf.last_mut().unwrap() ^= 0x01;
+        let (records, tail) = read_records(&buf);
+        assert_eq!(records, vec![b"good".as_slice()]);
+        let tail = tail.expect("checksum mismatch must be a torn tail");
+        assert_eq!(tail.offset, boundary);
+        assert!(tail.to_string().contains("checksum mismatch"), "{tail}");
+    }
+}

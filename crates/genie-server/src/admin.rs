@@ -24,8 +24,21 @@
 //! `"mode"` is optional: `"full"` (default) retrains from scratch — the
 //! byte-identical path — while `{"fine_tune": 2}` runs two fine-tuning
 //! epochs over the new stream instead.
+//!
+//! The optional `"functions"` array carries natural-language metadata the
+//! ThingTalk source cannot express — canonical phrases, descriptions, the
+//! understandability rating, and per-parameter canonicals:
+//!
+//! ```json
+//! {"functions": [{"name": "set_power", "canonical": "switch the lights",
+//!                 "params": [{"name": "power", "canonical": "state"}]}]}
+//! ```
+//!
+//! The delta feed (`GET /v1/admin/deltas`) always renders it so a follower
+//! reproduces the primary's library — and therefore its weights digest —
+//! field for field.
 
-use genie::live::{RetrainMode, SkillDelta, SwapReport};
+use genie::live::{JournalRecord, RetrainMode, SkillDelta, SwapReport};
 use thingpedia::{PhraseCategory, PrimitiveTemplate};
 
 use crate::http::HttpError;
@@ -40,8 +53,19 @@ pub fn skill_delta_from_json(value: &Json) -> Result<(SkillDelta, RetrainMode), 
         },
         "upsert" => {
             let source = required_str(value, "class")?;
-            let class = thingtalk::syntax::parse_class(source)
+            let mut class = thingtalk::syntax::parse_class(source)
                 .map_err(|error| HttpError::BadRequest(format!("invalid class: {error}")))?;
+            // Presentation metadata is not part of the parseable source, so
+            // it rides alongside — the journal replicates it field-for-field.
+            if let Some(display_name) = value.get("display_name").and_then(Json::as_str) {
+                class = class.with_display_name(display_name);
+            }
+            if let Some(domain) = value.get("domain").and_then(Json::as_str) {
+                class = class.with_domain(domain);
+            }
+            if let Some(functions) = value.get("functions") {
+                apply_function_metadata(&mut class, functions)?;
+            }
             let templates = match value.get("templates") {
                 None => Vec::new(),
                 Some(templates) => {
@@ -63,6 +87,56 @@ pub fn skill_delta_from_json(value: &Json) -> Result<(SkillDelta, RetrainMode), 
         }
     };
     Ok((delta, retrain_mode_from_json(value)?))
+}
+
+/// Patch the optional `"functions"` metadata array of an upsert body onto a
+/// freshly parsed class. Each entry names a declared function and overrides
+/// its natural-language fields; unknown function or parameter names are
+/// rejected rather than silently dropped.
+fn apply_function_metadata(
+    class: &mut thingtalk::class::ClassDef,
+    functions: &Json,
+) -> Result<(), HttpError> {
+    let Some(entries) = functions.as_array() else {
+        return Err(HttpError::BadRequest("`functions` must be an array".into()));
+    };
+    for entry in entries {
+        let name = required_str(entry, "name")?;
+        let function = class.functions.get_mut(name).ok_or_else(|| {
+            HttpError::BadRequest(format!("metadata for undeclared function `{name}`"))
+        })?;
+        if let Some(canonical) = entry.get("canonical").and_then(Json::as_str) {
+            function.canonical = canonical.to_owned();
+        }
+        if let Some(description) = entry.get("description").and_then(Json::as_str) {
+            function.description = description.to_owned();
+        }
+        if let Some(easy) = entry.get("easy_to_understand").and_then(Json::as_bool) {
+            function.easy_to_understand = easy;
+        }
+        if let Some(params) = entry.get("params") {
+            let Some(params) = params.as_array() else {
+                return Err(HttpError::BadRequest(
+                    "`functions[].params` must be an array".into(),
+                ));
+            };
+            for param_entry in params {
+                let param_name = required_str(param_entry, "name")?;
+                let canonical = required_str(param_entry, "canonical")?;
+                let param = function
+                    .params
+                    .iter_mut()
+                    .find(|param| param.name == param_name)
+                    .ok_or_else(|| {
+                        HttpError::BadRequest(format!(
+                            "metadata for undeclared parameter `{name}.{param_name}`"
+                        ))
+                    })?;
+                param.canonical = canonical.to_owned();
+            }
+        }
+    }
+    Ok(())
 }
 
 fn retrain_mode_from_json(value: &Json) -> Result<RetrainMode, HttpError> {
@@ -98,12 +172,29 @@ fn template_from_json(class: &str, value: &Json) -> Result<PrimitiveTemplate, Ht
             )));
         }
     };
-    Ok(PrimitiveTemplate::new(
+    let mut template = PrimitiveTemplate::new(
         class,
         required_str(value, "function")?,
         category,
         required_str(value, "utterance")?,
-    ))
+    );
+    if let Some(presets) = value.get("presets") {
+        let Some(entries) = presets.as_array() else {
+            return Err(HttpError::BadRequest("`presets` must be an array".into()));
+        };
+        for entry in entries {
+            let name = required_str(entry, "param")?;
+            let text = required_str(entry, "value")?;
+            let mut parser = thingtalk::syntax::Parser::new(text).map_err(|error| {
+                HttpError::BadRequest(format!("preset value `{text}`: {error}"))
+            })?;
+            let value = parser.value().map_err(|error| {
+                HttpError::BadRequest(format!("preset value `{text}`: {error}"))
+            })?;
+            template = template.with_preset(name, value);
+        }
+    }
+    Ok(template)
 }
 
 /// Decode the optional `"wait"` flag of a reload body. The default
@@ -127,7 +218,7 @@ pub fn render_swap_report(report: &SwapReport) -> String {
     format!(
         "{{\"world_version\": {}, \"total_batches\": {}, \"reused_batches\": {}, \
          \"changed_pool_entries\": {}, \"full_rebuild\": {}, \"emitted_examples\": {}, \
-         \"fine_tuned\": {}, \"swap_latency_us\": {}}}",
+         \"fine_tuned\": {}, \"swap_latency_us\": {}, \"persisted\": {}}}",
         report.version,
         report.total_batches,
         report.reused_batches,
@@ -136,6 +227,7 @@ pub fn render_swap_report(report: &SwapReport) -> String {
         report.emitted_examples,
         report.fine_tuned,
         report.swap_latency_us,
+        report.persisted,
     )
 }
 
@@ -147,9 +239,207 @@ pub fn render_accepted(accepted_version: u64) -> String {
     format!("{{\"status\": \"accepted\", \"accepted_version\": {accepted_version}}}")
 }
 
-/// Render the `GET /v1/admin/version` body.
-pub fn render_version(world_version: u64, live: bool) -> String {
-    format!("{{\"world_version\": {world_version}, \"live\": {live}}}")
+/// Render the `GET /v1/admin/version` body. `weights_digest` is the
+/// serving model's FNV-1a weight digest — the byte-identity proxy a
+/// replica compares against its primary.
+pub fn render_version(world_version: u64, live: bool, weights_digest: u64) -> String {
+    format!(
+        "{{\"world_version\": {world_version}, \"live\": {live}, \
+         \"weights_digest\": \"{weights_digest:#018x}\"}}"
+    )
+}
+
+/// Render the `GET /readyz` body. A degraded follower still serves parses
+/// from its last world, but reports itself not ready (and the route
+/// answers `503`) so load balancers can prefer healthy replicas.
+pub fn render_ready(
+    role: &str,
+    ready: bool,
+    world_version: u64,
+    replication_lag: u64,
+    degraded: bool,
+) -> String {
+    format!(
+        "{{\"status\": {}, \"role\": {}, \"ready\": {ready}, \
+         \"world_version\": {world_version}, \"replication_lag\": {replication_lag}, \
+         \"degraded\": {degraded}}}",
+        crate::json::escape(if ready { "ok" } else { "degraded" }),
+        crate::json::escape(role),
+    )
+}
+
+/// Render the `GET /v1/admin/deltas?since=V` body: the primary's effective
+/// journal history after `since`, each record in exactly the shape
+/// [`skill_delta_from_json`] decodes (plus its version and content digest),
+/// so a follower replays them through the same codec a client reloads with.
+pub fn render_deltas(world_version: u64, journal_start: u64, records: &[JournalRecord]) -> String {
+    let mut body = format!(
+        "{{\"world_version\": {world_version}, \"journal_start\": {journal_start}, \
+         \"records\": ["
+    );
+    for (index, record) in records.iter().enumerate() {
+        if index > 0 {
+            body.push_str(", ");
+        }
+        render_record(&mut body, record);
+    }
+    body.push_str("]}");
+    body
+}
+
+fn render_record(out: &mut String, record: &JournalRecord) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"version\": {}, \"digest\": \"{:#018x}\", \"mode\": {}, ",
+        record.version,
+        record.digest,
+        match record.mode {
+            RetrainMode::Full => "\"full\"".to_owned(),
+            RetrainMode::FineTune { epochs } => format!("{{\"fine_tune\": {epochs}}}"),
+        },
+    );
+    match &record.delta {
+        SkillDelta::Remove { name } => {
+            let _ = write!(
+                out,
+                "\"op\": \"remove\", \"class\": {}}}",
+                crate::json::escape(name)
+            );
+        }
+        SkillDelta::Upsert { class, templates } => {
+            let _ = write!(
+                out,
+                "\"op\": \"upsert\", \"class\": {}, \"display_name\": {}, \"domain\": {}, \
+                 \"functions\": [",
+                crate::json::escape(&class.to_string()),
+                crate::json::escape(&class.display_name),
+                crate::json::escape(&class.domain),
+            );
+            // The ThingTalk source only carries declarations; the canonical
+            // phrases and descriptions that drive synthesis ride alongside,
+            // or a follower would re-derive defaults and drift off the
+            // primary's weights digest.
+            for (index, function) in class.functions.values().enumerate() {
+                if index > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\": {}, \"canonical\": {}, \"description\": {}, \
+                     \"easy_to_understand\": {}, \"params\": [",
+                    crate::json::escape(&function.name),
+                    crate::json::escape(&function.canonical),
+                    crate::json::escape(&function.description),
+                    function.easy_to_understand,
+                );
+                for (param_index, param) in function.params.iter().enumerate() {
+                    if param_index > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"name\": {}, \"canonical\": {}}}",
+                        crate::json::escape(&param.name),
+                        crate::json::escape(&param.canonical),
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("], \"templates\": [");
+            for (index, template) in templates.iter().enumerate() {
+                if index > 0 {
+                    out.push_str(", ");
+                }
+                render_template(out, template);
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn render_template(out: &mut String, template: &PrimitiveTemplate) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"category\": \"{}\", \"function\": {}, \"utterance\": {}, \"presets\": [",
+        template.category.label(),
+        crate::json::escape(&template.function),
+        crate::json::escape(&template.utterance),
+    );
+    for (index, (name, value)) in template.preset_params.iter().enumerate() {
+        if index > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"param\": {}, \"value\": {}}}",
+            crate::json::escape(name),
+            crate::json::escape(&value.to_string()),
+        );
+    }
+    out.push_str("]}");
+}
+
+/// One record of a primary's delta feed, as decoded by a follower.
+pub struct DeltaFeedRecord {
+    /// The world version this record produces.
+    pub version: u64,
+    /// The delta to apply.
+    pub delta: SkillDelta,
+    /// How to retrain.
+    pub mode: RetrainMode,
+}
+
+/// A decoded `GET /v1/admin/deltas` response.
+pub struct DeltaFeed {
+    /// The primary's serving world version.
+    pub world_version: u64,
+    /// The primary's first effectively journaled version (0 when its
+    /// journal is empty) — a follower older than this must resync.
+    pub journal_start: u64,
+    /// The effective records after `since`, in version order.
+    pub records: Vec<DeltaFeedRecord>,
+}
+
+/// Decode a primary's `GET /v1/admin/deltas` response body.
+pub fn delta_feed_from_json(value: &Json) -> Result<DeltaFeed, HttpError> {
+    let world_version = required_u64(value, "world_version")?;
+    let journal_start = required_u64(value, "journal_start")?;
+    let records = value
+        .get("records")
+        .and_then(Json::as_array)
+        .ok_or_else(|| HttpError::BadRequest("`records` must be an array".into()))?;
+    let records = records
+        .iter()
+        .map(|entry| {
+            let version = required_u64(entry, "version")?;
+            let (delta, mode) = skill_delta_from_json(entry)?;
+            Ok(DeltaFeedRecord {
+                version,
+                delta,
+                mode,
+            })
+        })
+        .collect::<Result<Vec<_>, HttpError>>()?;
+    Ok(DeltaFeed {
+        world_version,
+        journal_start,
+        records,
+    })
+}
+
+fn required_u64(value: &Json, field: &str) -> Result<u64, HttpError> {
+    let number = value
+        .get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| HttpError::BadRequest(format!("`{field}` must be a number")))?;
+    if number.fract() != 0.0 || !(0.0..=1.8e19).contains(&number) {
+        return Err(HttpError::BadRequest(format!(
+            "`{field}` must be a non-negative integer, got {number}"
+        )));
+    }
+    Ok(number as u64)
 }
 
 #[cfg(test)]
@@ -214,13 +504,103 @@ mod tests {
             emitted_examples: 180,
             fine_tuned: false,
             swap_latency_us: 12345,
+            persisted: true,
         };
         let body = render_swap_report(&report);
         let parsed = Json::parse(&body).unwrap();
         assert_eq!(parsed.get("world_version").unwrap().as_f64(), Some(3.0));
         assert_eq!(parsed.get("reused_batches").unwrap().as_f64(), Some(9.0));
-        let version = render_version(7, true);
+        let version = render_version(7, true, 0xDEAD_BEEF);
         let parsed = Json::parse(&version).unwrap();
         assert_eq!(parsed.get("world_version").unwrap().as_f64(), Some(7.0));
+        assert_eq!(
+            parsed.get("weights_digest").unwrap().as_str(),
+            Some("0x00000000deadbeef")
+        );
+        let ready = render_ready("follower", false, 4, 2, true);
+        let parsed = Json::parse(&ready).unwrap();
+        assert_eq!(parsed.get("role").unwrap().as_str(), Some("follower"));
+        assert_eq!(parsed.get("ready").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("replication_lag").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn the_delta_feed_round_trips_through_its_own_codec() {
+        let mut class = thingtalk::syntax::parse_class(
+            "class @com.test.lights { action set_power(in req power : Enum(on, off)); }",
+        )
+        .unwrap()
+        .with_display_name("Test Lights")
+        .with_domain("home");
+        // Custom NL metadata the source syntax cannot carry — the feed must
+        // transport it or a follower synthesizes from different canonicals.
+        {
+            let function = class.functions.get_mut("set_power").unwrap();
+            function.canonical = "switch the lights".to_owned();
+            function.description = "Turn the test lights on or off.".to_owned();
+            function.easy_to_understand = false;
+            function.params[0].canonical = "state".to_owned();
+        }
+        let template = PrimitiveTemplate::new(
+            "com.test.lights",
+            "set_power",
+            PhraseCategory::VerbPhrase,
+            "flip the \"quoted\" lights $power",
+        )
+        .with_preset("power", thingtalk::Value::Enum("on".to_owned()));
+        let records = vec![
+            JournalRecord {
+                version: 2,
+                delta: SkillDelta::Upsert {
+                    class,
+                    templates: vec![template],
+                },
+                mode: RetrainMode::FineTune { epochs: 3 },
+                digest: 0x1234,
+            },
+            JournalRecord {
+                version: 3,
+                delta: SkillDelta::Remove {
+                    name: "com.test.lights".to_owned(),
+                },
+                mode: RetrainMode::Full,
+                digest: 0x5678,
+            },
+        ];
+        let body = render_deltas(9, 2, &records);
+        let feed = delta_feed_from_json(&Json::parse(&body).unwrap()).unwrap();
+        assert_eq!(feed.world_version, 9);
+        assert_eq!(feed.journal_start, 2);
+        assert_eq!(feed.records.len(), 2);
+        assert_eq!(feed.records[0].version, 2);
+        assert_eq!(feed.records[0].mode, RetrainMode::FineTune { epochs: 3 });
+        let SkillDelta::Upsert { class, templates } = &feed.records[0].delta else {
+            panic!("expected an upsert");
+        };
+        assert_eq!(class.name, "com.test.lights");
+        assert_eq!(class.display_name, "Test Lights");
+        assert_eq!(class.domain, "home");
+        let function = &class.functions["set_power"];
+        assert_eq!(function.canonical, "switch the lights");
+        assert_eq!(function.description, "Turn the test lights on or off.");
+        assert!(!function.easy_to_understand);
+        assert_eq!(function.params[0].canonical, "state");
+        assert_eq!(templates.len(), 1);
+        assert_eq!(templates[0].utterance, "flip the \"quoted\" lights $power");
+        assert_eq!(templates[0].preset_params.len(), 1);
+        assert!(matches!(
+            feed.records[1].delta,
+            SkillDelta::Remove { ref name } if name == "com.test.lights"
+        ));
+
+        // The round-tripped record re-encodes to the identical journal
+        // content digest — the fidelity the replication protocol rests on.
+        let original = genie::live::journal::content_digest(2, &records[0].delta, records[0].mode);
+        let decoded =
+            genie::live::journal::content_digest(2, &feed.records[0].delta, feed.records[0].mode);
+        assert_eq!(
+            original, decoded,
+            "HTTP transport must not lose delta fidelity"
+        );
     }
 }

@@ -291,6 +291,90 @@ pub fn read_request<R: BufRead>(
     }))
 }
 
+/// One parsed response — the *client* side of the codec, used by the
+/// follower's replication poller against a primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Read one response from `reader`, enforcing the same line/header limits
+/// as [`read_request`] and capping the body at `max_body_bytes`. The
+/// server end of this codec always frames with `Content-Length`, so a
+/// short read is a typed error, never a silent truncation.
+pub fn read_response<R: BufRead>(
+    reader: &mut R,
+    max_body_bytes: usize,
+) -> Result<Response, HttpError> {
+    let status_line = read_line_limited(reader, MAX_REQUEST_LINE_BYTES, false)?
+        .ok_or_else(|| HttpError::BadRequest("stream closed before a status line".into()))?;
+    let mut parts = status_line.split(' ').filter(|p| !p.is_empty());
+    let status: u16 = match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => {
+            code.parse().map_err(|_| {
+                HttpError::BadRequest(format!("unparseable status code `{}`", code.escape_debug()))
+            })?
+        }
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed status line: `{}`",
+                status_line.escape_debug()
+            )))
+        }
+    };
+    let mut content_length: Option<usize> = None;
+    let mut headers_seen = 0usize;
+    loop {
+        let line = read_line_limited(reader, MAX_HEADER_LINE_BYTES, true)?
+            .ok_or_else(|| HttpError::BadRequest("stream ended inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        headers_seen += 1;
+        if headers_seen > MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers".into()));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                let length: usize = value.trim().parse().map_err(|_| {
+                    HttpError::BadRequest(format!(
+                        "unparseable Content-Length `{}`",
+                        value.trim().escape_debug()
+                    ))
+                })?;
+                content_length = Some(length);
+            }
+        }
+    }
+    let declared = content_length
+        .ok_or_else(|| HttpError::BadRequest("response without Content-Length".into()))?;
+    if declared > max_body_bytes {
+        return Err(HttpError::PayloadTooLarge {
+            declared,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; declared];
+    let mut filled = 0usize;
+    while filled < declared {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::BadRequest(
+                    "response body shorter than Content-Length".into(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(error) if is_timeout(&error) => return Err(HttpError::Timeout),
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(error) => return Err(HttpError::Io(error)),
+        }
+    }
+    Ok(Response { status, body })
+}
+
 /// Write one response. The body is always fully framed with
 /// `Content-Length`, so pipelined clients can delimit responses.
 pub fn write_response<W: Write>(
@@ -500,6 +584,41 @@ mod tests {
         assert_eq!(second.method, "GET");
         assert_eq!(second.path, "/metrics");
         assert!(read_request(&mut reader, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_client_reader() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            503,
+            "Service Unavailable",
+            "application/json",
+            b"{\"degraded\": true}",
+            false,
+            &[],
+        )
+        .unwrap();
+        let response = read_response(&mut BufReader::new(&wire[..]), 1024).unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(response.body, b"{\"degraded\": true}");
+
+        // Oversized and truncated bodies are typed errors.
+        let oversized = b"HTTP/1.1 200 OK\r\nContent-Length: 99999\r\n\r\n";
+        assert!(matches!(
+            read_response(&mut BufReader::new(&oversized[..]), 1024),
+            Err(HttpError::PayloadTooLarge { .. })
+        ));
+        let truncated = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(
+            read_response(&mut BufReader::new(&truncated[..]), 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        let unframed = b"HTTP/1.1 200 OK\r\n\r\n";
+        assert!(matches!(
+            read_response(&mut BufReader::new(&unframed[..]), 1024),
+            Err(HttpError::BadRequest(_))
+        ));
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //! | `POST /v1/parse_batch` | A client-assembled batch; straight to the engine |
 //! | `POST /v1/admin/reload` | Apply a skill delta on a background builder: `202 Accepted` (or `{"wait": true}` for the swap report) ([`GenieServer::bind_live`] only) |
 //! | `GET /v1/admin/reload/status` | The reload runner's state and last outcome |
-//! | `GET /v1/admin/version` | The serving world-snapshot version |
-//! | `GET /metrics` | Flat-text counters (server + engine + world swaps + supervision) |
+//! | `GET /v1/admin/version` | The serving world-snapshot version and `weights_digest` |
+//! | `GET /v1/admin/deltas?since=V` | The effective delta-journal history after `V` — the replication feed followers poll |
+//! | `GET /v1/admin/bundle` | The sealed world bundle, verbatim — the follower resync artifact (durable worlds only) |
+//! | `GET /metrics` | Flat-text counters (server + engine + world swaps + supervision + replication) |
 //! | `GET /healthz` | Liveness |
+//! | `GET /readyz` | Readiness: role, world version, replication lag; `503` while a follower is degraded |
 //!
 //! ## The determinism contract
 //!
@@ -59,6 +62,7 @@ pub mod api;
 pub mod coalescer;
 pub mod config;
 pub mod error;
+pub mod follower;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -68,4 +72,5 @@ mod server;
 
 pub use config::{ServerConfig, ServerConfigBuilder};
 pub use error::ServerError;
+pub use follower::{FollowerConfig, FollowerConfigBuilder};
 pub use server::GenieServer;

@@ -66,6 +66,22 @@ pub struct Metrics {
     pub shed: AtomicU64,
     /// Requests that blew their deadline budget and answered `504`.
     pub deadline_exceeded: AtomicU64,
+    /// Replication polls a follower issued against its primary.
+    pub replication_polls: AtomicU64,
+    /// Journal records a follower applied from its primary.
+    pub replication_applied: AtomicU64,
+    /// Bundle resyncs a follower performed (too far behind for
+    /// record-by-record catch-up).
+    pub replication_resyncs: AtomicU64,
+    /// Replication poll/apply attempts that failed (primary unreachable,
+    /// protocol error, or a rejected record).
+    pub replication_errors: AtomicU64,
+    /// Gauge: how many world versions the follower currently trails its
+    /// primary by (0 when caught up or not a follower).
+    pub replication_lag: AtomicU64,
+    /// Gauge: 1 while a follower serves in degraded mode (its primary has
+    /// been unreachable past the retry budget), 0 otherwise.
+    pub degraded: AtomicU64,
 }
 
 impl Metrics {
@@ -97,7 +113,7 @@ impl Metrics {
     pub fn render(&self, engine: &EngineStatsHandle) -> String {
         let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         let engine_stats = engine.snapshot();
-        let pairs: [(&str, u64); 28] = [
+        let pairs: [(&str, u64); 34] = [
             ("server_connections_total", load(&self.connections)),
             ("server_http_requests_total", load(&self.http_requests)),
             ("server_parse_requests_total", load(&self.parse_requests)),
@@ -134,6 +150,24 @@ impl Metrics {
                 "server_deadline_exceeded_total",
                 load(&self.deadline_exceeded),
             ),
+            (
+                "server_replication_polls_total",
+                load(&self.replication_polls),
+            ),
+            (
+                "server_replication_applied_total",
+                load(&self.replication_applied),
+            ),
+            (
+                "server_replication_resyncs_total",
+                load(&self.replication_resyncs),
+            ),
+            (
+                "server_replication_errors_total",
+                load(&self.replication_errors),
+            ),
+            ("server_replication_lag", load(&self.replication_lag)),
+            ("server_degraded", load(&self.degraded)),
             ("engine_requests_total", engine_stats.requests),
             ("engine_cache_hits_total", engine_stats.cache_hits),
             (

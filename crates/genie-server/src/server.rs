@@ -55,6 +55,7 @@ use crate::api;
 use crate::coalescer::{Coalescer, SubmitError};
 use crate::config::ServerConfig;
 use crate::error::ServerError;
+use crate::follower::{FollowerConfig, FollowerRunner};
 use crate::http::{self, HttpError, Request};
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -71,9 +72,19 @@ struct Shared {
     metrics: Arc<Metrics>,
     quota: Option<Quota>,
     coalescer: Coalescer,
+    /// The live world behind the engine, when bound with
+    /// [`GenieServer::bind_live`] or [`GenieServer::bind_follower`]; the
+    /// replication surface (`/v1/admin/deltas`, `/v1/admin/bundle`) needs
+    /// it beyond what the [`ReloadRunner`] holds.
+    live: Option<Arc<LiveWorld>>,
     /// The background reload builder, when the server was bound with
-    /// [`GenieServer::bind_live`]; `None` makes `/v1/admin/reload` a 503.
+    /// [`GenieServer::bind_live`]; `None` makes `/v1/admin/reload` a 503
+    /// (followers deliberately have none — their world converges on the
+    /// primary's journal, never on direct writes).
     reload: Option<ReloadRunner>,
+    /// Whether this server replicates from a primary
+    /// ([`GenieServer::bind_follower`]); `/readyz` reports the role.
+    follower: bool,
     /// Parse requests currently admitted (queued or executing); the
     /// overload gate compares this against `config.max_inflight`.
     inflight: AtomicUsize,
@@ -88,6 +99,9 @@ pub struct GenieServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
     supervisor: Option<JoinHandle<()>>,
+    /// The replication poller, when bound with
+    /// [`GenieServer::bind_follower`].
+    follower_runner: Option<FollowerRunner>,
 }
 
 impl GenieServer {
@@ -100,7 +114,7 @@ impl GenieServer {
     /// (`ServerError` converts into `genie::Error`, so `?` keeps working
     /// in `GenieResult` contexts.)
     pub fn bind(engine: GenieEngine, config: ServerConfig) -> Result<GenieServer, ServerError> {
-        Self::bind_inner(engine, None, config)
+        Self::bind_inner(engine, None, false, config)
     }
 
     /// Bind `config.addr` and serve a [`LiveWorld`]'s engine, enabling the
@@ -121,12 +135,45 @@ impl GenieServer {
         config: ServerConfig,
     ) -> Result<GenieServer, ServerError> {
         let engine = live.engine().clone();
-        Self::bind_inner(engine, Some(live), config)
+        Self::bind_inner(engine, Some(live), false, config)
+    }
+
+    /// Bind `config.addr` and serve `live` as a **follower** of the primary
+    /// named in `follower`: a background poller fetches
+    /// `GET /v1/admin/deltas?since=V` with exponential backoff + jitter,
+    /// applies each record deterministically (converging on the primary's
+    /// `weights_digest`), and resyncs from the primary's bundle when it
+    /// falls too far behind. While the primary is unreachable the follower
+    /// keeps serving its last world in **degraded mode** — `GET /readyz`
+    /// answers `503` and the `server_degraded` gauge flips, but parses keep
+    /// working. Followers refuse direct `POST /v1/admin/reload` (`503
+    /// not_live`): their world converges on the journal alone.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ServerError`], as for [`GenieServer::bind`].
+    pub fn bind_follower(
+        live: Arc<LiveWorld>,
+        config: ServerConfig,
+        follower: FollowerConfig,
+    ) -> Result<GenieServer, ServerError> {
+        follower.validate()?;
+        let engine = live.engine().clone();
+        let mut server = Self::bind_inner(engine, Some(live.clone()), true, config)?;
+        let runner = FollowerRunner::start(live, follower, server.shared.metrics.clone()).map_err(
+            |source| ServerError::Spawn {
+                what: "follower poller",
+                source,
+            },
+        )?;
+        server.follower_runner = Some(runner);
+        Ok(server)
     }
 
     fn bind_inner(
         engine: GenieEngine,
         live: Option<Arc<LiveWorld>>,
+        follower: bool,
         config: ServerConfig,
     ) -> Result<GenieServer, ServerError> {
         config.validate()?;
@@ -146,6 +193,8 @@ impl GenieServer {
             source,
         })?;
         let reload = live
+            .clone()
+            .filter(|_| !follower)
             .map(|live| ReloadRunner::start(live, metrics.clone()))
             .transpose()
             .map_err(|source| ServerError::Spawn {
@@ -159,7 +208,9 @@ impl GenieServer {
             metrics,
             quota,
             coalescer,
+            live,
             reload,
+            follower,
             inflight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
@@ -194,6 +245,7 @@ impl GenieServer {
             shared,
             addr,
             supervisor: Some(supervisor),
+            follower_runner: None,
         })
     }
 
@@ -211,6 +263,11 @@ impl GenieServer {
     /// and the coalescer queue, join every thread. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Stop the replication poller first: no new world swaps land while
+        // the request paths drain.
+        if let Some(mut runner) = self.follower_runner.take() {
+            runner.shutdown();
+        }
         let Some(supervisor) = self.supervisor.take() else {
             return;
         };
@@ -368,7 +425,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, peer: SocketAddr) {
                     outcome.status,
                     outcome.reason,
                     outcome.content_type,
-                    outcome.body.as_bytes(),
+                    &outcome.body,
                     keep_alive,
                     &outcome.extra_headers,
                 )
@@ -409,7 +466,9 @@ struct Outcome {
     status: u16,
     reason: &'static str,
     content_type: &'static str,
-    body: String,
+    /// Raw bytes: JSON and metrics bodies are UTF-8, the bundle endpoint's
+    /// is a sealed binary artifact.
+    body: Vec<u8>,
     extra_headers: Vec<(&'static str, String)>,
 }
 
@@ -419,7 +478,7 @@ impl Outcome {
             status,
             reason,
             content_type: "application/json",
-            body,
+            body: body.into_bytes(),
             extra_headers: Vec::new(),
         }
     }
@@ -485,7 +544,13 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
             &error.to_string(),
         );
     }
-    match (request.method.as_str(), request.path.as_str()) {
+    // The admin surface takes query parameters (`/v1/admin/deltas?since=V`);
+    // routing matches on the path alone.
+    let (path, query) = request
+        .path
+        .split_once('?')
+        .unwrap_or((request.path.as_str(), ""));
+    match (request.method.as_str(), path) {
         ("POST", "/v1/parse") => {
             let _permit = match admit(shared) {
                 Ok(permit) => permit,
@@ -608,13 +673,19 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
                         Outcome::json(status, reason, api::render_error(&error))
                     }
                 },
-                ReloadSubmit::Busy => Outcome::error(
-                    409,
-                    "Conflict",
-                    "reload_in_progress",
-                    "another reload is already queued or running; poll \
-                     /v1/admin/reload/status and retry",
-                ),
+                ReloadSubmit::Busy => {
+                    let mut outcome = Outcome::error(
+                        409,
+                        "Conflict",
+                        "reload_in_progress",
+                        "another reload is already queued or running; poll \
+                         /v1/admin/reload/status and retry",
+                    );
+                    // Rebuilds take seconds, not milliseconds: tell the
+                    // client when retrying is worth it.
+                    outcome.extra_headers.push(("Retry-After", "2".to_owned()));
+                    outcome
+                }
                 ReloadSubmit::ShuttingDown => Outcome::error(
                     503,
                     "Service Unavailable",
@@ -635,16 +706,106 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
         ("GET", "/v1/admin/version") => Outcome::json(
             200,
             "OK",
-            admin::render_version(shared.engine.world_version(), shared.reload.is_some()),
+            admin::render_version(
+                shared.engine.world_version(),
+                shared.reload.is_some(),
+                shared.engine.model().weights_digest(),
+            ),
         ),
+        ("GET", "/v1/admin/deltas") => {
+            let Some(live) = shared.live.as_ref() else {
+                return Outcome::error(
+                    503,
+                    "Service Unavailable",
+                    "not_live",
+                    "this server was not bound to a live world; there is no delta journal",
+                );
+            };
+            let since = match query_param(query, "since") {
+                None => 0,
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(since) => since,
+                    Err(_) => {
+                        return Outcome::error(
+                            400,
+                            "Bad Request",
+                            "bad_request",
+                            &format!("`since` must be a non-negative integer, got `{raw}`"),
+                        )
+                    }
+                },
+            };
+            let records = live.journal_records_since(since);
+            Outcome::json(
+                200,
+                "OK",
+                admin::render_deltas(live.version(), live.journal_first_version(), &records),
+            )
+        }
+        ("GET", "/v1/admin/bundle") => {
+            let Some(live) = shared.live.as_ref() else {
+                return Outcome::error(
+                    503,
+                    "Service Unavailable",
+                    "not_live",
+                    "this server was not bound to a live world; there is no bundle",
+                );
+            };
+            match live.bundle_bytes() {
+                // Sealed bytes ship verbatim: the checksum footer crosses
+                // the wire, so the receiver re-validates end to end.
+                Ok(bytes) => Outcome {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "application/octet-stream",
+                    body: bytes,
+                    extra_headers: Vec::new(),
+                },
+                Err(genie::Error::Config(error)) => Outcome::error(
+                    503,
+                    "Service Unavailable",
+                    "not_durable",
+                    &error.to_string(),
+                ),
+                Err(error) => Outcome::error(
+                    500,
+                    "Internal Server Error",
+                    "bundle_unavailable",
+                    &error.to_string(),
+                ),
+            }
+        }
         ("GET", "/metrics") => Outcome {
             status: 200,
             reason: "OK",
             content_type: "text/plain; charset=utf-8",
-            body: shared.metrics.render(&shared.engine_stats),
+            body: shared.metrics.render(&shared.engine_stats).into_bytes(),
             extra_headers: Vec::new(),
         },
         ("GET", "/healthz") => Outcome::json(200, "OK", "{\"status\": \"ok\"}".to_owned()),
+        ("GET", "/readyz") => {
+            let degraded = shared.metrics.degraded.load(Ordering::Relaxed) != 0;
+            let lag = shared.metrics.replication_lag.load(Ordering::Relaxed);
+            let role = if shared.follower {
+                "follower"
+            } else {
+                "primary"
+            };
+            let body = admin::render_ready(
+                role,
+                !degraded,
+                shared.engine.world_version(),
+                lag,
+                degraded,
+            );
+            if degraded {
+                // Still serving (parses keep working on the last world),
+                // but load balancers should prefer healthy replicas.
+                Outcome::json(503, "Service Unavailable", body)
+            } else {
+                Outcome::json(200, "OK", body)
+            }
+        }
         ("POST" | "GET", _) => Outcome::error(
             404,
             "Not Found",
@@ -664,6 +825,15 @@ fn route(shared: &Shared, peer: IpAddr, request: &Request) -> Outcome {
             outcome
         }
     }
+}
+
+/// The value of query parameter `name`, verbatim (the admin paths are
+/// ASCII; no percent-decoding).
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=')?;
+        (key == name).then_some(value)
+    })
 }
 
 fn decode_body(body: &[u8]) -> Result<Json, HttpError> {

@@ -402,6 +402,18 @@ pub struct PoolDigests {
 }
 
 impl PoolDigests {
+    /// The per-entry digests of each pool, in [`PoolId::ALL`] order — the
+    /// serializable face of the digests (the world-bundle codec persists
+    /// them so a recovered world can diff future deltas).
+    pub fn entries(&self) -> &[Vec<u64>; 6] {
+        &self.entries
+    }
+
+    /// Rebuild digests from serialized entries ([`PoolId::ALL`] order).
+    pub fn from_entries(entries: [Vec<u64>; 6]) -> Self {
+        PoolDigests { entries }
+    }
+
     /// Entry-wise diff against the digests of a newer pool build.
     pub fn diff(&self, new: &PoolDigests) -> PoolsDelta {
         let lengths_changed = PoolId::ALL

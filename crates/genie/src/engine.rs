@@ -273,6 +273,7 @@ pub struct EngineBuilder {
     max_utterance_tokens: usize,
     cache_capacity: usize,
     threads: usize,
+    initial_version: u64,
 }
 
 impl Default for EngineBuilder {
@@ -285,6 +286,7 @@ impl Default for EngineBuilder {
             max_utterance_tokens: DEFAULT_MAX_UTTERANCE_TOKENS,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             threads: 0,
+            initial_version: 1,
         }
     }
 }
@@ -387,6 +389,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Start serving at this world version instead of 1 — the crash-recovery
+    /// path: an engine rebuilt from a version-`V` bundle must report `V`, so
+    /// journal replay and follower catch-up line up with the pre-crash
+    /// history. Values below 1 are clamped to 1.
+    pub fn world_version(mut self, version: u64) -> Self {
+        self.initial_version = version.max(1);
+        self
+    }
+
     /// Validate and assemble the engine.
     ///
     /// # Errors
@@ -416,11 +427,13 @@ impl EngineBuilder {
             return Err(Error::ModelUntrained);
         }
         let counters = Arc::new(EngineCounters::default());
-        counters.world_version.store(1, Ordering::Relaxed);
+        counters
+            .world_version
+            .store(self.initial_version, Ordering::Relaxed);
         Ok(GenieEngine {
             inner: Arc::new(EngineInner {
                 world: RwLock::new(Arc::new(World {
-                    version: 1,
+                    version: self.initial_version,
                     library: self.library,
                     model,
                     policies: self.policies,
@@ -489,8 +502,35 @@ impl GenieEngine {
         policies: Vec<Policy>,
         swap_latency_us: u64,
     ) -> u64 {
+        self.swap_world_inner(None, library, model, policies, swap_latency_us)
+    }
+
+    /// [`GenieEngine::swap_world`] at an explicit version — the replication
+    /// path: a follower installing a primary's bundle must land on the
+    /// bundle's version, not `local + 1`. Returns the version installed.
+    pub fn swap_world_at(
+        &self,
+        version: u64,
+        library: Arc<Thingpedia>,
+        model: Arc<LuinetParser>,
+        policies: Vec<Policy>,
+        swap_latency_us: u64,
+    ) -> u64 {
+        self.swap_world_inner(Some(version), library, model, policies, swap_latency_us)
+    }
+
+    fn swap_world_inner(
+        &self,
+        version: Option<u64>,
+        library: Arc<Thingpedia>,
+        model: Arc<LuinetParser>,
+        policies: Vec<Policy>,
+        swap_latency_us: u64,
+    ) -> u64 {
         let mut slot = self.inner.world.write().unwrap_or_else(|e| e.into_inner());
-        let version = slot.version + 1;
+        // The version is read and replaced under the same write lock, so
+        // concurrent implicit swaps never mint the same successor.
+        let version = version.unwrap_or(slot.version + 1);
         *slot = Arc::new(World {
             version,
             library,

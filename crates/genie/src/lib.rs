@@ -76,6 +76,8 @@ pub use engine::{
 };
 pub use error::{Error, GenieResult};
 pub use eval::{evaluate, EvalResult};
-pub use live::{LiveWorld, RetrainMode, SkillDelta, SwapReport};
+pub use live::{
+    DeltaJournal, JournalRecord, LiveWorld, RecoveryReport, RetrainMode, SkillDelta, SwapReport,
+};
 pub use paraphrase::{ParaphraseConfig, ParaphraseSimulator};
 pub use pipeline::{DataPipeline, NnOptions, PipelineConfig, StreamStats, TrainingStrategy};

@@ -50,11 +50,14 @@
 //! `Arc` at entry and finish on it even if a swap lands mid-request.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use genie_nlp::failpoint::fnv64;
 use genie_templates::{
-    BatchRecord, Interner, PoolDigests, PoolsDelta, ProvidedBatch, SentenceGenerator, TokenStream,
+    BatchRecord, ConfigError, Interner, PoolDigests, PoolsDelta, ProvidedBatch, SentenceGenerator,
+    TokenStream,
 };
 use luinet::{LuinetParser, ModelConfig, ParserExample};
 use thingpedia::{ParamDatasets, PrimitiveTemplate, Thingpedia};
@@ -62,8 +65,13 @@ use thingtalk::class::ClassDef;
 use thingtalk::policy::Policy;
 
 use crate::engine::GenieEngine;
-use crate::error::GenieResult;
+use crate::error::{Error, GenieResult};
 use crate::pipeline::{DataPipeline, NnOptions, PipelineConfig, StreamStats};
+
+pub mod bundle;
+pub mod journal;
+
+pub use journal::{DeltaJournal, JournalRecord};
 
 /// One runtime change to the skill library.
 #[derive(Debug, Clone)]
@@ -142,6 +150,32 @@ pub struct SwapReport {
     /// End-to-end reload latency (delta apply → re-synthesis → retrain →
     /// swap), as surfaced by [`crate::engine::EngineStats::last_swap_us`].
     pub swap_latency_us: u64,
+    /// Whether the new world was persisted as a bundle after the swap
+    /// (vacuously `true` for worlds without durability). A `false` here is
+    /// survivable — the delta is journaled, so recovery replays it — but
+    /// the next restart pays a replay instead of a bundle load.
+    pub persisted: bool,
+}
+
+/// What [`LiveWorld::open_durable`] did to get back to serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a usable world bundle was loaded (`false` = cold bootstrap,
+    /// because the bundle was missing, torn, or built under a different
+    /// configuration).
+    pub recovered_from_bundle: bool,
+    /// The bundle's world version (0 when none was loaded).
+    pub bundle_version: u64,
+    /// Journal records replayed on top of the starting world.
+    pub replayed: usize,
+    /// Journal records skipped because the starting world already included
+    /// them (their version ≤ the bundle's).
+    pub skipped: usize,
+    /// Whether the journal ended in a torn/corrupt tail record (ignored;
+    /// everything before it replayed).
+    pub torn_tail: bool,
+    /// The world version now serving.
+    pub version: u64,
 }
 
 /// The memoized synthesis of the serving world: everything the next delta
@@ -176,6 +210,13 @@ struct BuildOutcome {
     fine_tuned: bool,
 }
 
+/// The on-disk side of a durable world: the delta journal plus the bundle
+/// path appends and recoveries go through.
+struct Durability {
+    journal: DeltaJournal,
+    bundle_path: PathBuf,
+}
+
 /// A hot-swappable serving world: a [`GenieEngine`] plus the synthesis
 /// memo and configuration needed to rebuild it incrementally on a skill
 /// delta. See the [module docs](self) for the lifecycle.
@@ -185,7 +226,16 @@ pub struct LiveWorld {
     model: ModelConfig,
     options: NnOptions,
     policies: Vec<Policy>,
+    config_digest: u64,
     state: Mutex<LiveState>,
+    durability: Option<Durability>,
+}
+
+/// The configuration identity a bundle is scoped to: a world rebuilt under
+/// a different pipeline/model/options tuple is a different world, so its
+/// bundle must not warm-start this one.
+fn config_digest(pipeline: &PipelineConfig, model: &ModelConfig, options: &NnOptions) -> u64 {
+    fnv64(format!("{pipeline:?}|{model:?}|{options:?}").as_bytes())
 }
 
 impl LiveWorld {
@@ -232,17 +282,184 @@ impl LiveWorld {
             .model(outcome.parser)
             .policies(policies.clone())
             .build()?;
+        let config_digest = config_digest(&pipeline, &model, &options);
         Ok(LiveWorld {
             engine,
             pipeline,
             model,
             options,
             policies,
+            config_digest,
             state: Mutex::new(LiveState {
                 library,
                 memo: outcome.memo,
             }),
+            durability: None,
         })
+    }
+
+    /// Open a **durable** live world rooted at `dir`: recover from the
+    /// world bundle and delta journal if they exist, else bootstrap cold
+    /// from `library` and create them.
+    ///
+    /// Recovery order:
+    ///
+    /// 1. load `world.bundle` — if it unseals, decodes, and was built under
+    ///    this exact (pipeline, model, options) configuration, the world
+    ///    warm-starts at the bundle's version with the bundled model and
+    ///    synthesis memo (no re-synthesis, no retraining);
+    /// 2. otherwise (missing, torn, or config drift) bootstrap cold at
+    ///    `library` — version 1, exactly like [`LiveWorld::bootstrap`];
+    /// 3. replay every effective journal record newer than the starting
+    ///    version, in order (a torn journal tail is ignored as a typed
+    ///    condition; abort-cancelled records are skipped);
+    /// 4. persist a consolidated bundle at the recovered version.
+    ///
+    /// The result is deterministic: the recovered `weights_digest` equals
+    /// the digest the primary served at that version (see the
+    /// [determinism contract](self)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal/bundle I/O failures, a journal whose intact
+    /// records fail to decode, a version gap in the journal (history lost
+    /// beyond what cold bootstrap can rebuild), and pipeline/engine errors.
+    pub fn open_durable(
+        dir: &Path,
+        library: Thingpedia,
+        pipeline: PipelineConfig,
+        model: ModelConfig,
+    ) -> GenieResult<(Self, RecoveryReport)> {
+        Self::open_durable_with(
+            dir,
+            library,
+            pipeline,
+            model,
+            NnOptions::default(),
+            Vec::new(),
+        )
+    }
+
+    /// [`LiveWorld::open_durable`] with explicit parser-token options and
+    /// TACL policies.
+    pub fn open_durable_with(
+        dir: &Path,
+        library: Thingpedia,
+        mut pipeline: PipelineConfig,
+        model: ModelConfig,
+        options: NnOptions,
+        policies: Vec<Policy>,
+    ) -> GenieResult<(Self, RecoveryReport)> {
+        pipeline.synthesis.pool_streams = true;
+        pipeline.validate()?;
+        std::fs::create_dir_all(dir)?;
+        let digest = config_digest(&pipeline, &model, &options);
+        let bundle_path = dir.join("world.bundle");
+        let (journal, torn) = DeltaJournal::open(&dir.join("deltas.journal"))?;
+        let durability = Durability {
+            journal,
+            bundle_path: bundle_path.clone(),
+        };
+        // A bundle that is missing, torn, or config-scoped to a different
+        // world is simply unusable — recovery falls back to cold bootstrap
+        // plus a full journal replay, which rebuilds the identical world.
+        let warm = match bundle::load(&bundle_path) {
+            Ok(bundle) if bundle.config_digest == digest => Some(bundle),
+            _ => None,
+        };
+        let (world, recovered_from_bundle, bundle_version) = match warm {
+            Some(bundle) => {
+                let (library, memo, snapshot, version) = bundle.into_parts();
+                let parser = luinet::snapshot::from_bytes(&snapshot)?;
+                let engine = GenieEngine::builder()
+                    .thingpedia_shared(library.clone())
+                    .model(parser)
+                    .policies(policies.clone())
+                    .world_version(version)
+                    .build()?;
+                (
+                    LiveWorld {
+                        engine,
+                        pipeline,
+                        model,
+                        options,
+                        policies,
+                        config_digest: digest,
+                        state: Mutex::new(LiveState { library, memo }),
+                        durability: Some(durability),
+                    },
+                    true,
+                    version,
+                )
+            }
+            None => {
+                let mut world = Self::bootstrap_with(library, pipeline, model, options, policies)?;
+                world.durability = Some(durability);
+                (world, false, 0)
+            }
+        };
+        let mut replayed = 0;
+        let mut skipped = 0;
+        let records = match &world.durability {
+            Some(durability) => durability.journal.records_since(0),
+            None => Vec::new(),
+        };
+        for record in records {
+            let current = world.engine.world_version();
+            if record.version <= current {
+                skipped += 1;
+                continue;
+            }
+            if record.version != current + 1 {
+                return Err(Error::CorruptArtifact {
+                    detail: format!(
+                        "journal record v{} does not follow recovered world v{current} — \
+                         history gap",
+                        record.version
+                    ),
+                });
+            }
+            world.reload_inner(&record.delta, record.mode, false, false)?;
+            replayed += 1;
+        }
+        if replayed > 0 || !recovered_from_bundle {
+            world.persist_current()?;
+        }
+        let version = world.engine.world_version();
+        Ok((
+            world,
+            RecoveryReport {
+                recovered_from_bundle,
+                bundle_version,
+                replayed,
+                skipped,
+                torn_tail: torn.is_some(),
+                version,
+            },
+        ))
+    }
+
+    /// Seal and atomically persist the serving world as a bundle at its
+    /// current version. No-op for non-durable worlds.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the sealed write fails (including an injected
+    /// `bundle.write` fault).
+    pub fn persist_current(&self) -> GenieResult<()> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let snapshot = luinet::snapshot::to_bytes(&self.engine.model());
+        let payload = bundle::encode(
+            self.engine.world_version(),
+            self.config_digest,
+            &state.library,
+            &state.memo,
+            &snapshot,
+        );
+        bundle::save(&durability.bundle_path, &payload)
     }
 
     /// The engine this world serves through. Clones share the world slot,
@@ -286,39 +503,101 @@ impl LiveWorld {
     /// Propagates pipeline and training failures; the serving world is
     /// untouched unless the whole rebuild succeeds.
     pub fn reload_with(&self, delta: &SkillDelta, mode: RetrainMode) -> GenieResult<SwapReport> {
+        self.reload_inner(delta, mode, true, true)
+    }
+
+    /// The reload engine. `journal` appends the delta as a WAL record
+    /// before the rebuild (and an abort record on rebuild failure);
+    /// recovery replay passes `false` because the record already exists.
+    /// `persist` rewrites the world bundle after a successful swap.
+    fn reload_inner(
+        &self,
+        delta: &SkillDelta,
+        mode: RetrainMode,
+        journal: bool,
+        persist: bool,
+    ) -> GenieResult<SwapReport> {
         let start = Instant::now();
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        // Chaos-harness injection point: a fault here (error or panic) must
-        // leave the old world serving and the version untouched — the swap
-        // below only happens after the whole rebuild succeeds.
-        genie_nlp::failpoint::fail_io("reload.retrain")?;
-        let mut library = (*state.library).clone();
-        delta.apply(&mut library);
-        let library = Arc::new(library);
-        let plan = match mode {
-            RetrainMode::Full | RetrainMode::FineTune { epochs: 0 } => TrainPlan::Scratch,
-            RetrainMode::FineTune { epochs } => TrainPlan::FineTune {
-                base: self.engine.model(),
-                epochs,
-            },
+        // The state lock serializes reloads, so `world_version` cannot move
+        // between this read and the swap below.
+        let next_version = self.engine.world_version() + 1;
+        if journal {
+            if let Some(durability) = &self.durability {
+                // WAL discipline: the delta is durable *before* the rebuild
+                // runs. An append failure is a typed error and the old
+                // world keeps serving — nothing was rebuilt or swapped.
+                durability.journal.append_delta(next_version, delta, mode)?;
+            }
+        }
+        let rebuilt = (|| {
+            // Chaos-harness injection point: a fault here (error or panic)
+            // must leave the old world serving and the version untouched —
+            // the swap below only happens after the whole rebuild succeeds.
+            genie_nlp::failpoint::fail_io("reload.retrain")?;
+            let mut library = (*state.library).clone();
+            delta.apply(&mut library);
+            let library = Arc::new(library);
+            let plan = match mode {
+                RetrainMode::Full | RetrainMode::FineTune { epochs: 0 } => TrainPlan::Scratch,
+                RetrainMode::FineTune { epochs } => TrainPlan::FineTune {
+                    base: self.engine.model(),
+                    epochs,
+                },
+            };
+            let outcome = build_world(
+                &library,
+                &self.pipeline,
+                &self.model,
+                self.options,
+                Some(&state.memo),
+                plan,
+            )?;
+            Ok((library, outcome))
+        })();
+        let (library, outcome) = match rebuilt {
+            Ok(rebuilt) => rebuilt,
+            Err(error) => {
+                if journal {
+                    if let Some(durability) = &self.durability {
+                        // Best-effort: the journaled delta failed, so mark
+                        // it dead for recovery. If this append is itself
+                        // lost to a crash, replay applies the delta — a
+                        // deterministic world the version accounting still
+                        // agrees with.
+                        let _ = durability.journal.append_abort(next_version);
+                    }
+                }
+                return Err(error);
+            }
         };
-        let outcome = build_world(
-            &library,
-            &self.pipeline,
-            &self.model,
-            self.options,
-            Some(&state.memo),
-            plan,
-        )?;
+        let parser = Arc::new(outcome.parser);
         let swap_latency_us = start.elapsed().as_micros() as u64;
-        let version = self.engine.swap_world(
+        let version = self.engine.swap_world_at(
+            next_version,
             library.clone(),
-            Arc::new(outcome.parser),
+            parser.clone(),
             self.policies.clone(),
             swap_latency_us,
         );
         state.library = library;
         state.memo = outcome.memo;
+        let mut persisted = true;
+        if persist {
+            if let Some(durability) = &self.durability {
+                // Bundle-write failure is survivable (the journal already
+                // has the delta; the next restart replays it), so it is
+                // reported, not propagated.
+                let payload = bundle::encode(
+                    version,
+                    self.config_digest,
+                    &state.library,
+                    &state.memo,
+                    &luinet::snapshot::to_bytes(&parser),
+                );
+                persisted = bundle::save(&durability.bundle_path, &payload).is_ok();
+            }
+        }
         Ok(SwapReport {
             version,
             total_batches: outcome.stats.synthesis.batches,
@@ -328,7 +607,102 @@ impl LiveWorld {
             emitted_examples: outcome.examples,
             fine_tuned: outcome.fine_tuned,
             swap_latency_us,
+            persisted,
         })
+    }
+
+    /// The FNV-1a digest of the serving model's weights — the byte-identity
+    /// proxy replication and recovery compare.
+    pub fn weights_digest(&self) -> u64 {
+        self.engine.model().weights_digest()
+    }
+
+    /// Whether this world journals deltas and persists bundles.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The effective journal history after `since` (exclusive). Empty for
+    /// non-durable worlds.
+    pub fn journal_records_since(&self, since: u64) -> Vec<JournalRecord> {
+        match &self.durability {
+            Some(durability) => durability.journal.records_since(since),
+            None => Vec::new(),
+        }
+    }
+
+    /// The first effectively journaled version (0 when empty or
+    /// non-durable) — a follower older than this must resync from a bundle.
+    pub fn journal_first_version(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |durability| durability.journal.first_version())
+    }
+
+    /// The last effectively journaled version (0 when empty or
+    /// non-durable).
+    pub fn journal_last_version(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |durability| durability.journal.last_version())
+    }
+
+    /// The sealed bytes of the current world bundle, as served to a
+    /// resyncing follower (the follower unseals and decodes them with
+    /// [`LiveWorld::install_bundle`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for non-durable worlds; [`Error::Io`] when the
+    /// bundle file is unreadable.
+    pub fn bundle_bytes(&self) -> GenieResult<Vec<u8>> {
+        let Some(durability) = &self.durability else {
+            return Err(Error::Config(ConfigError::new(
+                "durability",
+                "this world was not opened durable — no bundle exists",
+            )));
+        };
+        // The sealed image ships verbatim: the checksum footer crosses the
+        // wire, so a truncated transfer is detected at the receiver.
+        Ok(std::fs::read(&durability.bundle_path)?)
+    }
+
+    /// Install a primary's sealed bundle — the follower resync path. The
+    /// bundle must match this world's configuration digest; versions at or
+    /// below the serving one are a no-op. Returns the serving version.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CorruptArtifact`] when the bytes fail validation or the
+    /// configuration digests differ.
+    pub fn install_bundle(&self, sealed_bytes: &[u8]) -> GenieResult<u64> {
+        let payload = genie_nlp::sealed::unseal(sealed_bytes).map_err(Error::from)?;
+        let decoded = bundle::decode(payload)?;
+        if decoded.config_digest != self.config_digest {
+            return Err(Error::CorruptArtifact {
+                detail: format!(
+                    "bundle configuration digest {:#018x} does not match this world's {:#018x}",
+                    decoded.config_digest, self.config_digest
+                ),
+            });
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let current = self.engine.world_version();
+        if decoded.world_version <= current {
+            return Ok(current);
+        }
+        let (library, memo, snapshot, version) = decoded.into_parts();
+        let parser = luinet::snapshot::from_bytes(&snapshot)?;
+        let installed = self.engine.swap_world_at(
+            version,
+            library.clone(),
+            Arc::new(parser),
+            self.policies.clone(),
+            0,
+        );
+        state.library = library;
+        state.memo = memo;
+        Ok(installed)
     }
 }
 

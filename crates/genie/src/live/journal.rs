@@ -1,0 +1,539 @@
+//! The delta journal: a write-ahead log of accepted skill deltas.
+//!
+//! Every accepted [`SkillDelta`] is appended — with its [`RetrainMode`],
+//! the world version it will produce, and a content digest — *before* the
+//! rebuild runs, so a crash at any later point can replay the delta from
+//! disk. The journal is one sealed artifact (see [`genie_nlp::sealed`]):
+//!
+//! ```text
+//! "GENJRNL1" | u32 format | frame* | checksum footer
+//! frame     = u32 len | u64 fnv64(payload) | payload
+//! payload   = u8 kind(1=delta, 2=abort) | u64 version | kind-specific body
+//! ```
+//!
+//! Appends rewrite the whole sealed file through the atomic
+//! write-temp→fsync→rename path (`journal.append` failpoint) — journals
+//! hold one frame per *skill delta*, which arrive at human cadence, so the
+//! rewrite stays small while every append gets full crash-atomicity. A
+//! truncated or torn tail frame surfaces as a typed [`TornTail`] condition
+//! at open; every intact frame before it replays.
+//!
+//! A reload that journals its delta but then dies mid-rebuild appends an
+//! **abort** frame for the same version (the client saw an error, so
+//! recovery must not apply the delta); [`DeltaJournal::records_since`]
+//! resolves delta/abort pairs and returns only the effective history.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use genie_nlp::colfmt::{put_u32, put_u64, put_u8, ColfmtError, ColfmtResult, Reader};
+use genie_nlp::failpoint::fnv64;
+use genie_nlp::sealed::{self, TornTail};
+use thingpedia::{PhraseCategory, PrimitiveTemplate, Thingpedia};
+use thingtalk::syntax::{parse_class, Parser};
+
+use super::{RetrainMode, SkillDelta};
+use crate::error::{Error, GenieResult};
+
+/// Magic bytes opening a delta journal.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"GENJRNL1";
+/// Journal format version.
+pub const JOURNAL_FORMAT: u32 = 2;
+/// Bytes of the journal header (magic + format version).
+const HEADER_LEN: usize = 12;
+
+/// One journaled skill delta, as replayed at recovery.
+#[derive(Debug, Clone)]
+pub struct JournalRecord {
+    /// The world version this delta produced (or would have produced).
+    pub version: u64,
+    /// The delta itself.
+    pub delta: SkillDelta,
+    /// How the reload retrained.
+    pub mode: RetrainMode,
+    /// FNV-1a digest of the record's encoded body — the content identity
+    /// replication compares.
+    pub digest: u64,
+}
+
+/// One decoded journal frame.
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    Delta(JournalRecord),
+    /// The delta journaled for `version` failed mid-rebuild; recovery must
+    /// skip it.
+    Abort {
+        version: u64,
+    },
+}
+
+struct JournalState {
+    /// The unsealed file image: header + every intact frame. Appends extend
+    /// this and rewrite the sealed file from it.
+    payload: Vec<u8>,
+    entries: Vec<JournalEntry>,
+}
+
+/// An open delta journal. Appends serialize internally; reloads additionally
+/// serialize on the live world's state lock, so frames land in version
+/// order.
+pub struct DeltaJournal {
+    path: PathBuf,
+    state: Mutex<JournalState>,
+}
+
+impl DeltaJournal {
+    /// Open (or lazily create) the journal at `path`, replaying every
+    /// intact frame. A torn or corrupt tail is returned as a typed
+    /// [`TornTail`] — not an error — and the in-memory image keeps only the
+    /// intact prefix, so the next append heals the file.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the file exists but cannot be read (including an
+    /// injected `journal.read` fault); [`Error::CorruptArtifact`] when a
+    /// checksum-valid frame fails to decode (format drift, not a torn
+    /// write).
+    pub fn open(path: &Path) -> GenieResult<(Self, Option<TornTail>)> {
+        genie_nlp::failpoint::fail_io("journal.read")?;
+        let raw = match std::fs::read(path) {
+            Ok(raw) => raw,
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
+                let mut payload = Vec::with_capacity(HEADER_LEN);
+                payload.extend_from_slice(&JOURNAL_MAGIC);
+                put_u32(&mut payload, JOURNAL_FORMAT);
+                return Ok((
+                    DeltaJournal {
+                        path: path.to_owned(),
+                        state: Mutex::new(JournalState {
+                            payload,
+                            entries: Vec::new(),
+                        }),
+                    },
+                    None,
+                ));
+            }
+            Err(error) => return Err(error.into()),
+        };
+        // A cleanly sealed file unseals; a torn one (crash mid-write under
+        // an injected `Torn` fault) does not — its raw bytes are then the
+        // payload prefix, and frame checksums recover the intact history.
+        let body: &[u8] = match sealed::unseal(&raw) {
+            Ok(body) => body,
+            Err(_) => &raw[..],
+        };
+        if body.len() < HEADER_LEN || body[..8] != JOURNAL_MAGIC {
+            // Too torn to even carry the header: treat as empty history.
+            let mut payload = Vec::with_capacity(HEADER_LEN);
+            payload.extend_from_slice(&JOURNAL_MAGIC);
+            put_u32(&mut payload, JOURNAL_FORMAT);
+            return Ok((
+                DeltaJournal {
+                    path: path.to_owned(),
+                    state: Mutex::new(JournalState {
+                        payload,
+                        entries: Vec::new(),
+                    }),
+                },
+                Some(TornTail {
+                    offset: 0,
+                    detail: "journal shorter than its header — torn first write".to_owned(),
+                }),
+            ));
+        }
+        let format = u32::from_le_bytes([body[8], body[9], body[10], body[11]]);
+        if format != JOURNAL_FORMAT {
+            return Err(Error::CorruptArtifact {
+                detail: format!("journal format {format} (supported: {JOURNAL_FORMAT})"),
+            });
+        }
+        let (frames, torn) = sealed::read_records(&body[HEADER_LEN..]);
+        let mut payload = Vec::with_capacity(HEADER_LEN + body.len());
+        payload.extend_from_slice(&JOURNAL_MAGIC);
+        put_u32(&mut payload, JOURNAL_FORMAT);
+        let mut entries = Vec::with_capacity(frames.len());
+        for frame in frames {
+            entries.push(decode_entry(frame)?);
+            sealed::append_record(&mut payload, frame);
+        }
+        Ok((
+            DeltaJournal {
+                path: path.to_owned(),
+                state: Mutex::new(JournalState { payload, entries }),
+            },
+            torn,
+        ))
+    }
+
+    /// Append one accepted delta (WAL step: runs before the rebuild).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the sealed rewrite fails (including an injected
+    /// `journal.append` fault) — the in-memory image is untouched and the
+    /// reload must not proceed.
+    pub fn append_delta(
+        &self,
+        version: u64,
+        delta: &SkillDelta,
+        mode: RetrainMode,
+    ) -> GenieResult<u64> {
+        let mut body = Vec::new();
+        put_u8(&mut body, 1);
+        put_u64(&mut body, version);
+        encode_mode(&mut body, mode);
+        encode_delta(&mut body, delta);
+        let digest = fnv64(&body);
+        put_u64(&mut body, digest);
+        self.append_frame(
+            &body,
+            JournalEntry::Delta(JournalRecord {
+                version,
+                delta: delta.clone(),
+                mode,
+                digest,
+            }),
+        )?;
+        Ok(digest)
+    }
+
+    /// Append an abort frame: the delta journaled for `version` failed
+    /// mid-rebuild and must not replay.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the sealed rewrite fails. Callers tolerate this
+    /// (the abort is best-effort; a lost abort replays a delta the primary
+    /// rejected, which recovery resolves deterministically).
+    pub fn append_abort(&self, version: u64) -> GenieResult<()> {
+        let mut body = Vec::new();
+        put_u8(&mut body, 2);
+        put_u64(&mut body, version);
+        self.append_frame(&body, JournalEntry::Abort { version })
+    }
+
+    fn append_frame(&self, body: &[u8], entry: JournalEntry) -> GenieResult<()> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut payload = state.payload.clone();
+        sealed::append_record(&mut payload, body);
+        sealed::write_artifact(&self.path, &payload, "journal.append")?;
+        state.payload = payload;
+        state.entries.push(entry);
+        Ok(())
+    }
+
+    /// The effective history after `since` (exclusive), in version order:
+    /// delta frames minus any abort-cancelled ones.
+    pub fn records_since(&self, since: u64) -> Vec<JournalRecord> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let aborted: Vec<u64> = state
+            .entries
+            .iter()
+            .filter_map(|entry| match entry {
+                JournalEntry::Abort { version } => Some(*version),
+                JournalEntry::Delta(_) => None,
+            })
+            .collect();
+        state
+            .entries
+            .iter()
+            .filter_map(|entry| match entry {
+                JournalEntry::Delta(record)
+                    if record.version > since && !aborted.contains(&record.version) =>
+                {
+                    Some(record.clone())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last effectively journaled version (0 when the history is
+    /// empty) — the version a recovered server must land on.
+    pub fn last_version(&self) -> u64 {
+        self.records_since(0)
+            .last()
+            .map_or(0, |record| record.version)
+    }
+
+    /// The first effectively journaled version (0 when empty). A follower
+    /// whose local version predates this cannot catch up record-by-record
+    /// and must resync from a bundle.
+    pub fn first_version(&self) -> u64 {
+        self.records_since(0)
+            .first()
+            .map_or(0, |record| record.version)
+    }
+
+    /// Total frames currently journaled (deltas + aborts).
+    pub fn frames(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+}
+
+fn encode_mode(out: &mut Vec<u8>, mode: RetrainMode) {
+    match mode {
+        RetrainMode::Full => {
+            put_u8(out, 0);
+            put_u64(out, 0);
+        }
+        RetrainMode::FineTune { epochs } => {
+            put_u8(out, 1);
+            put_u64(out, epochs as u64);
+        }
+    }
+}
+
+fn encode_delta(out: &mut Vec<u8>, delta: &SkillDelta) {
+    match delta {
+        SkillDelta::Remove { name } => {
+            put_u8(out, 0);
+            put_str(out, name);
+        }
+        SkillDelta::Upsert { class, templates } => {
+            put_u8(out, 1);
+            // `ClassDef`'s Display omits the presentation metadata, so it
+            // rides alongside the parseable source.
+            put_str(out, &class.to_string());
+            put_str(out, &class.display_name);
+            put_str(out, &class.domain);
+            put_u32(out, templates.len() as u32);
+            for template in templates {
+                encode_template(out, template);
+            }
+        }
+    }
+}
+
+pub(super) fn encode_template(out: &mut Vec<u8>, template: &PrimitiveTemplate) {
+    put_str(out, &template.class);
+    put_str(out, &template.function);
+    put_u8(out, category_tag(template.category));
+    put_str(out, &template.utterance);
+    put_u32(out, template.preset_params.len() as u32);
+    for (name, value) in &template.preset_params {
+        put_str(out, name);
+        put_str(out, &value.to_string());
+    }
+}
+
+pub(super) fn decode_template(reader: &mut Reader<'_>) -> ColfmtResult<PrimitiveTemplate> {
+    let class = read_str(reader, "template class")?;
+    let function = read_str(reader, "template function")?;
+    let category = category_from_tag(reader.u8()?)?;
+    let utterance = read_str(reader, "template utterance")?;
+    let presets = reader.u32()? as usize;
+    let mut template = PrimitiveTemplate::new(class, function, category, utterance);
+    for _ in 0..presets {
+        let name = read_str(reader, "preset name")?;
+        let text = read_str(reader, "preset value")?;
+        let value = parse_value(&text)?;
+        template = template.with_preset(name, value);
+    }
+    Ok(template)
+}
+
+fn category_tag(category: PhraseCategory) -> u8 {
+    match category {
+        PhraseCategory::NounPhrase => 0,
+        PhraseCategory::VerbPhrase => 1,
+        PhraseCategory::WhenPhrase => 2,
+    }
+}
+
+fn category_from_tag(tag: u8) -> ColfmtResult<PhraseCategory> {
+    match tag {
+        0 => Ok(PhraseCategory::NounPhrase),
+        1 => Ok(PhraseCategory::VerbPhrase),
+        2 => Ok(PhraseCategory::WhenPhrase),
+        other => Err(ColfmtError::Corrupt(format!(
+            "unknown phrase category tag {other}"
+        ))),
+    }
+}
+
+pub(super) fn parse_value(text: &str) -> ColfmtResult<thingtalk::Value> {
+    let mut parser = Parser::new(text)
+        .map_err(|error| ColfmtError::Corrupt(format!("preset value `{text}`: {error}")))?;
+    parser
+        .value()
+        .map_err(|error| ColfmtError::Corrupt(format!("preset value `{text}`: {error}")))
+}
+
+pub(super) fn put_str(out: &mut Vec<u8>, text: &str) {
+    put_u32(out, text.len() as u32);
+    out.extend_from_slice(text.as_bytes());
+}
+
+pub(super) fn read_str(reader: &mut Reader<'_>, what: &str) -> ColfmtResult<String> {
+    let len = reader.u32()? as usize;
+    let bytes = reader.u8_vec(len, what)?;
+    String::from_utf8(bytes).map_err(|_| ColfmtError::Corrupt(format!("{what}: invalid UTF-8")))
+}
+
+fn decode_entry(frame: &[u8]) -> GenieResult<JournalEntry> {
+    decode_entry_inner(frame).map_err(Error::from)
+}
+
+fn decode_entry_inner(frame: &[u8]) -> ColfmtResult<JournalEntry> {
+    let mut reader = Reader::new(frame);
+    let kind = reader.u8()?;
+    let version = reader.u64()?;
+    match kind {
+        1 => {
+            let mode = match reader.u8()? {
+                0 => {
+                    reader.u64()?;
+                    RetrainMode::Full
+                }
+                1 => RetrainMode::FineTune {
+                    epochs: reader.u64()? as usize,
+                },
+                other => {
+                    return Err(ColfmtError::Corrupt(format!(
+                        "unknown retrain mode tag {other}"
+                    )))
+                }
+            };
+            let delta = match reader.u8()? {
+                0 => SkillDelta::Remove {
+                    name: read_str(&mut reader, "removed class name")?,
+                },
+                1 => {
+                    let source = read_str(&mut reader, "class source")?;
+                    let display_name = read_str(&mut reader, "class display name")?;
+                    let domain = read_str(&mut reader, "class domain")?;
+                    let class = parse_class(&source)
+                        .map_err(|error| {
+                            ColfmtError::Corrupt(format!("journaled class source: {error}"))
+                        })?
+                        .with_display_name(display_name)
+                        .with_domain(domain);
+                    let count = reader.u32()? as usize;
+                    let mut templates = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        templates.push(decode_template(&mut reader)?);
+                    }
+                    SkillDelta::Upsert { class, templates }
+                }
+                other => {
+                    return Err(ColfmtError::Corrupt(format!(
+                        "unknown skill delta tag {other}"
+                    )))
+                }
+            };
+            let digest = reader.u64()?;
+            let stored = fnv64(&frame[..frame.len() - 8]);
+            if digest != stored {
+                return Err(ColfmtError::Corrupt(format!(
+                    "journal record v{version}: content digest mismatch"
+                )));
+            }
+            Ok(JournalEntry::Delta(JournalRecord {
+                version,
+                delta,
+                mode,
+                digest,
+            }))
+        }
+        2 => Ok(JournalEntry::Abort { version }),
+        other => Err(ColfmtError::Corrupt(format!(
+            "unknown journal frame kind {other}"
+        ))),
+    }
+}
+
+/// Encode one delta the way [`DeltaJournal::append_delta`] does, returning
+/// the content digest it would journal — used by the admin API to report a
+/// digest without appending.
+pub fn content_digest(version: u64, delta: &SkillDelta, mode: RetrainMode) -> u64 {
+    let mut body = Vec::new();
+    put_u8(&mut body, 1);
+    put_u64(&mut body, version);
+    encode_mode(&mut body, mode);
+    encode_delta(&mut body, delta);
+    fnv64(&body)
+}
+
+/// Re-encode a library class as the journal does — shared with the bundle
+/// codec so both artifacts round-trip classes identically.
+pub(super) fn encode_class(out: &mut Vec<u8>, class: &thingtalk::class::ClassDef) {
+    put_str(out, &class.to_string());
+    put_str(out, &class.display_name);
+    put_str(out, &class.domain);
+    // The ThingTalk source carries the declarations but NOT the
+    // natural-language metadata (canonical phrases, descriptions, the
+    // understandability rating) — reparsing alone would silently fall back
+    // to name-derived defaults, and synthesis renders utterances from the
+    // canonicals, so that loss changes the dataset and breaks byte-level
+    // recovery. Serialize the metadata explicitly, function by function.
+    put_u32(out, class.functions.len() as u32);
+    for function in class.functions.values() {
+        put_str(out, &function.name);
+        put_str(out, &function.canonical);
+        put_str(out, &function.description);
+        put_u8(out, u8::from(function.easy_to_understand));
+        put_u32(out, function.params.len() as u32);
+        for param in &function.params {
+            put_str(out, &param.name);
+            put_str(out, &param.canonical);
+        }
+    }
+}
+
+/// Decode one class (source + presentation and NL metadata).
+pub(super) fn decode_class(reader: &mut Reader<'_>) -> ColfmtResult<thingtalk::class::ClassDef> {
+    let source = read_str(reader, "class source")?;
+    let display_name = read_str(reader, "class display name")?;
+    let domain = read_str(reader, "class domain")?;
+    let mut class = parse_class(&source)
+        .map_err(|error| ColfmtError::Corrupt(format!("bundled class source: {error}")))?
+        .with_display_name(display_name)
+        .with_domain(domain);
+    let function_count = reader.u32()? as usize;
+    for _ in 0..function_count {
+        let name = read_str(reader, "function name")?;
+        let canonical = read_str(reader, "function canonical")?;
+        let description = read_str(reader, "function description")?;
+        let easy_to_understand = reader.u8()? != 0;
+        let param_count = reader.u32()? as usize;
+        let function = class.functions.get_mut(&name).ok_or_else(|| {
+            ColfmtError::Corrupt(format!("metadata for undeclared function `{name}`"))
+        })?;
+        function.canonical = canonical;
+        function.description = description;
+        function.easy_to_understand = easy_to_understand;
+        for _ in 0..param_count {
+            let param_name = read_str(reader, "param name")?;
+            let param_canonical = read_str(reader, "param canonical")?;
+            let param = function
+                .params
+                .iter_mut()
+                .find(|param| param.name == param_name)
+                .ok_or_else(|| {
+                    ColfmtError::Corrupt(format!(
+                        "metadata for undeclared parameter `{name}.{param_name}`"
+                    ))
+                })?;
+            param.canonical = param_canonical;
+        }
+    }
+    Ok(class)
+}
+
+/// The digest of a whole library, in class order — a cheap identity check
+/// the follower uses after a resync.
+pub fn library_digest(library: &Thingpedia) -> u64 {
+    let mut body = Vec::new();
+    for class in library.classes() {
+        encode_class(&mut body, class);
+    }
+    for template in library.templates() {
+        encode_template(&mut body, template);
+    }
+    fnv64(&body)
+}

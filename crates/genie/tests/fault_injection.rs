@@ -7,11 +7,12 @@
 //! stays put, and the next (healthy) reload succeeds.
 //!
 //! Own test binary: these tests arm the **process-global** failpoint
-//! registry, so they serialize on [`REGISTRY`] rather than race the
+//! registry, so they serialize on
+//! [`genie_nlp::failpoint::registry_test_lock`] rather than race the
 //! harness's parallel test threads.
 
 use std::path::PathBuf;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::MutexGuard;
 
 use genie::engine::{GenieEngine, ParseRequest};
 use genie::live::{LiveWorld, SkillDelta};
@@ -24,11 +25,8 @@ use genie_templates::GeneratorConfig;
 use luinet::{ModelConfig, ParserExample};
 use thingpedia::{PrimitiveTemplate, Thingpedia};
 
-/// Serializes the tests: the failpoint registry is process-global.
-static REGISTRY: Mutex<()> = Mutex::new(());
-
 fn registry_lock() -> MutexGuard<'static, ()> {
-    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+    failpoint::registry_test_lock()
 }
 
 fn pipeline() -> PipelineConfig {

@@ -1,0 +1,377 @@
+//! Crash-recovery of durable worlds: the delta journal (WAL) + world
+//! bundle must bring a restarted process back to the exact last journaled
+//! version with a byte-identical `weights_digest`, under torn writes at
+//! every journal/bundle site.
+//!
+//! Own test binary: these tests arm the **process-global** failpoint
+//! registry, so they serialize on
+//! [`genie_nlp::failpoint::registry_test_lock`] rather than race the
+//! harness's parallel test threads.
+
+use std::path::PathBuf;
+
+use genie::live::LiveWorld;
+use genie::{ParaphraseConfig, PipelineConfig, RetrainMode, SkillDelta};
+use genie_nlp::failpoint::{self, registry_test_lock, FaultPlan, SiteSpec, INJECTED_ERROR_PREFIX};
+use genie_templates::GeneratorConfig;
+use luinet::ModelConfig;
+use thingpedia::{PhraseCategory, PrimitiveTemplate, Thingpedia};
+
+fn pipeline() -> PipelineConfig {
+    PipelineConfig::builder()
+        .synthesis(
+            GeneratorConfig::builder()
+                .target_per_rule(10)
+                .max_depth(4)
+                .instantiations_per_template(1)
+                .seed(7)
+                .threads(1)
+                .shards(4)
+                .quiet(true)
+                .build()
+                .unwrap(),
+        )
+        .paraphrase(
+            ParaphraseConfig::builder()
+                .per_sentence(1)
+                .error_rate(0.0)
+                .seed(7)
+                .build()
+                .unwrap(),
+        )
+        .paraphrase_sample(20)
+        .parameter_expansion(false)
+        .seed(7)
+        .build()
+        .unwrap()
+}
+
+fn model() -> ModelConfig {
+    ModelConfig {
+        epochs: 4,
+        seed: 7,
+        threads: 1,
+        ..ModelConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("genie-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn lights_delta(utterance: &str) -> SkillDelta {
+    let class = thingtalk::syntax::parse_class(
+        "class @com.test.lights { action set_power(in req power : Enum(on, off)); }",
+    )
+    .unwrap();
+    let template = PrimitiveTemplate::new(
+        &class.name,
+        "set_power",
+        PhraseCategory::VerbPhrase,
+        utterance.to_owned(),
+    );
+    SkillDelta::Upsert {
+        class,
+        templates: vec![template],
+    }
+}
+
+#[test]
+fn a_fresh_durable_world_bootstraps_with_an_empty_journal() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("fresh");
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(!report.recovered_from_bundle);
+    assert_eq!(report.version, 1);
+    assert_eq!(report.replayed, 0);
+    assert!(!report.torn_tail, "an empty journal is not a torn journal");
+    assert_eq!(world.journal_last_version(), 0, "nothing journaled yet");
+    assert!(world.is_durable());
+    let digest = world.weights_digest();
+
+    // A second open warm-starts from the v1 bundle the first one wrote.
+    drop(world);
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(report.recovered_from_bundle, "the v1 bundle must load");
+    assert_eq!(report.bundle_version, 1);
+    assert_eq!(report.version, 1);
+    assert_eq!(
+        world.weights_digest(),
+        digest,
+        "bundle recovery must reproduce the model byte-for-byte"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_replays_the_journal_over_the_bundle_and_is_idempotent() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("replay");
+    let (world, _) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    let report = world
+        .reload(&lights_delta("flip the test lights $power"))
+        .unwrap();
+    assert_eq!(report.version, 2);
+    assert!(report.persisted, "the healthy reload must write its bundle");
+    assert_eq!(world.journal_last_version(), 2);
+    let digest = world.weights_digest();
+    drop(world);
+
+    // Restart: the bundle is already at v2, so the journaled record is
+    // skipped (replay over a bundle whose version is current).
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(report.recovered_from_bundle);
+    assert_eq!(report.bundle_version, 2);
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.skipped, 1, "the v2 record predates the bundle");
+    assert_eq!(report.version, 2);
+    assert_eq!(world.weights_digest(), digest);
+    drop(world);
+
+    // Idempotence: recovering again changes nothing.
+    let (world, second) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert_eq!(second, report, "re-recovery must be a fixed point");
+    assert_eq!(world.weights_digest(), digest);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_torn_bundle_write_falls_back_to_cold_bootstrap_plus_full_replay() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("torn-bundle");
+    let (world, _) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+
+    // The reload's bundle write lands torn under the final name and
+    // "succeeds" — the crash the checksum footer exists to catch.
+    let plan = FaultPlan::new(0xB0B0).site("bundle.write", SiteSpec::new().torn(1.0));
+    let report = {
+        let _armed = failpoint::armed(&plan);
+        world
+            .reload(&lights_delta("flip the test lights $power"))
+            .unwrap()
+    };
+    assert_eq!(report.version, 2);
+    let digest = world.weights_digest();
+    drop(world);
+
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(
+        !report.recovered_from_bundle,
+        "a torn bundle must be detected and discarded"
+    );
+    assert_eq!(report.replayed, 1, "the journaled delta replays cold");
+    assert_eq!(
+        report.version, 2,
+        "recovery lands on the last journaled version"
+    );
+    assert_eq!(
+        world.weights_digest(),
+        digest,
+        "cold bootstrap + replay must reproduce the pre-crash model"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_torn_journal_tail_is_ignored_and_the_intact_prefix_replays() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("torn-tail");
+    let (world, _) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    world
+        .reload(&lights_delta("flip the test lights $power"))
+        .unwrap();
+    let digest_v2 = world.weights_digest();
+
+    // The next reload's journal append AND bundle write both land torn:
+    // the v3 frame is half-written and the bundle is garbage, exactly a
+    // crash in the middle of accepting the delta.
+    let plan = FaultPlan::new(0x7EA2)
+        .site("journal.append", SiteSpec::new().torn(1.0))
+        .site("bundle.write", SiteSpec::new().torn(1.0));
+    {
+        let _armed = failpoint::armed(&plan);
+        world
+            .reload(&lights_delta("turn the test lights $power please"))
+            .unwrap();
+    }
+    drop(world);
+
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(
+        report.torn_tail,
+        "the half-written v3 frame is a typed tail"
+    );
+    assert!(!report.recovered_from_bundle);
+    assert_eq!(
+        report.version, 2,
+        "recovery lands on the last *durably* journaled version"
+    );
+    assert_eq!(report.replayed, 1);
+    assert_eq!(world.weights_digest(), digest_v2);
+
+    // The journal healed: the next accepted delta reuses version 3.
+    let report = world
+        .reload(&lights_delta("turn the test lights $power please"))
+        .unwrap();
+    assert_eq!(report.version, 3);
+    assert_eq!(world.journal_last_version(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_journal_append_failure_rejects_the_delta_and_keeps_serving() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("wal-fail");
+    let (world, _) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+
+    let plan =
+        FaultPlan::new(0x3A11).site("journal.append", SiteSpec::new().error(1.0).max_fires(1));
+    {
+        let _armed = failpoint::armed(&plan);
+        let error = world
+            .reload(&lights_delta("flip the test lights $power"))
+            .unwrap_err();
+        assert!(
+            error.to_string().contains(INJECTED_ERROR_PREFIX),
+            "expected the injected append fault, got {error:?}"
+        );
+    }
+    assert_eq!(world.version(), 1, "nothing swapped");
+    assert_eq!(world.journal_last_version(), 0, "nothing journaled");
+
+    // Disarmed, the same delta goes through with WAL intact.
+    let report = world
+        .reload(&lights_delta("flip the test lights $power"))
+        .unwrap();
+    assert_eq!(report.version, 2);
+    assert_eq!(world.journal_last_version(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn an_aborted_reload_is_journaled_as_dead_and_never_replays() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("abort");
+    let (world, _) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+
+    // The delta journals, then the rebuild dies: an abort frame marks the
+    // journaled v2 dead.
+    let plan =
+        FaultPlan::new(0xDEAD).site("reload.retrain", SiteSpec::new().error(1.0).max_fires(1));
+    {
+        let _armed = failpoint::armed(&plan);
+        world
+            .reload(&lights_delta("flip the test lights $power"))
+            .unwrap_err();
+    }
+    assert_eq!(world.version(), 1);
+    assert_eq!(
+        world.journal_last_version(),
+        0,
+        "the aborted record must not count as journaled history"
+    );
+    drop(world);
+
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert_eq!(report.version, 1, "the aborted delta must not replay");
+    assert_eq!(report.replayed, 0);
+
+    // The next accepted delta reuses the aborted version.
+    let report = world
+        .reload(&lights_delta("flip the test lights $power"))
+        .unwrap();
+    assert_eq!(report.version, 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fine_tuned_reloads_recover_through_the_journal() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("finetune");
+    let (world, _) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    let report = world
+        .reload_with(
+            &lights_delta("flip the test lights $power"),
+            RetrainMode::FineTune { epochs: 2 },
+        )
+        .unwrap();
+    assert!(report.fine_tuned);
+    assert_eq!(report.version, 2);
+    let digest = world.weights_digest();
+    drop(world);
+
+    // Bundle recovery restores the fine-tuned model directly.
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(report.recovered_from_bundle);
+    assert_eq!(world.weights_digest(), digest);
+    drop(world);
+
+    // And with the bundle gone, replay re-derives it: fine-tuning from the
+    // byte-identical v1 base over the byte-identical stream.
+    std::fs::remove_file(dir.join("world.bundle")).unwrap();
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(!report.recovered_from_bundle);
+    assert_eq!(report.version, 2);
+    assert_eq!(
+        world.weights_digest(),
+        digest,
+        "fine-tune replay must reproduce the pre-crash model"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_stale_bundle_with_a_newer_journal_replays_to_the_live_digest() {
+    let _serialized = registry_test_lock();
+    let dir = scratch_dir("stale-bundle");
+    let (world, _) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    // Fail only the bundle persist: the journal commits v2 but the bundle
+    // on disk stays at v1 — recovery must warm-start from the stale
+    // bundle and replay the newer record on top of its memo.
+    let plan = FaultPlan::new(1).site("bundle.write", SiteSpec::new().error(1.0).max_fires(1));
+    let report = {
+        let _armed = failpoint::armed(&plan);
+        world
+            .reload(&lights_delta("flip the test lights $power"))
+            .unwrap()
+    };
+    assert!(!report.persisted, "the bundle write was injected to fail");
+    assert_eq!(report.version, 2);
+    let digest = world.weights_digest();
+    drop(world);
+
+    let (world, report) =
+        LiveWorld::open_durable(&dir, Thingpedia::builtin(), pipeline(), model()).unwrap();
+    assert!(
+        report.recovered_from_bundle,
+        "the stale v1 bundle must load"
+    );
+    assert_eq!(report.bundle_version, 1);
+    assert_eq!(report.replayed, 1);
+    assert_eq!(report.version, 2);
+    assert_eq!(
+        world.weights_digest(),
+        digest,
+        "replay over a stale bundle must reproduce the pre-crash model byte-for-byte"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -49,6 +49,22 @@ impl Thingpedia {
         self.templates.extend(templates);
     }
 
+    /// Reassemble a library from serialized parts, preserving the template
+    /// `Vec` **exactly** as given. The template order is part of the
+    /// synthesis identity (per-template pool RNG streams key on splice
+    /// position), so deserializers — the world-bundle codec — must not
+    /// rebuild it through [`Thingpedia::add_class`], which would group
+    /// templates by class.
+    pub fn from_parts(classes: Vec<ClassDef>, templates: Vec<PrimitiveTemplate>) -> Self {
+        Thingpedia {
+            classes: classes
+                .into_iter()
+                .map(|class| (class.name.clone(), class))
+                .collect(),
+            templates,
+        }
+    }
+
     /// Add or replace a class. An existing class's templates are replaced
     /// *in place* — the new templates take over the position of the old
     /// class's first template — so the template order of every other class

@@ -8,13 +8,14 @@
 //! These tests live in their own binary because several of them arm the
 //! **process-global** failpoint registry (`genie_nlp::failpoint`). The
 //! test harness still runs tests in this binary on parallel threads, so
-//! every test that talks to a server serializes on [`REGISTRY`] — a test
-//! that armed `server.handle` must never overlap a test that assumed a
-//! quiet registry.
+//! every test that talks to a server serializes on
+//! [`genie_nlp::failpoint::registry_test_lock`] — a test that armed
+//! `server.handle` must never overlap a test that assumed a quiet
+//! registry.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use genie::engine::{GenieEngine, ParseRequest};
@@ -34,10 +35,8 @@ use thingpedia::Thingpedia;
 /// Serializes every test in this binary: the failpoint registry is
 /// process-global, so an armed plan in one test would inject faults into
 /// a server under test in another.
-static REGISTRY: Mutex<()> = Mutex::new(());
-
 fn registry_lock() -> MutexGuard<'static, ()> {
-    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+    failpoint::registry_test_lock()
 }
 
 /// Injected panics are part of the script here; keep them out of the test
